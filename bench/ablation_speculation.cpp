@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation — what speculation actually buys, per benchmark: circuits
+ * created by grants vs revived speculatively, termination causes, and
+ * the marginal latency/reusability gain of Pseudo+S over Pseudo.
+ *
+ * Paper reference (§6.A): "pseudo-circuit speculation has small
+ * contribution in latency reduction due to limited prediction
+ * capability" — but it visibly raises reusability (Fig 10 a vs b).
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+using namespace noc;
+
+int
+main()
+{
+    const SimConfig base = traceConfig();
+
+    std::printf("Ablation: speculation behaviour (XY + static VA)\n\n");
+    printHeader("benchmark", {"reuse-P%", "reuse-PS%", "dLat%",
+                              "spec/created%", "credTerm%"});
+
+    for (const BenchmarkProfile &b : benchmarkSuite()) {
+        SimConfig p_cfg = base;
+        p_cfg.scheme = Scheme::Pseudo;
+        const SimResult p = runBenchmark(p_cfg, b);
+
+        SimConfig ps_cfg = base;
+        ps_cfg.scheme = Scheme::PseudoS;
+        const SimResult ps = runBenchmark(ps_cfg, b);
+
+        const auto &pc = ps.pcTotals;
+        const double created =
+            static_cast<double>(pc.created + pc.speculated);
+        const double terms = static_cast<double>(
+            pc.terminatedConflict + pc.terminatedCredit);
+        printRow(b.name,
+                 {p.reusability * 100.0, ps.reusability * 100.0,
+                  (1.0 - ps.avgNetLatency / p.avgNetLatency) * 100.0,
+                  created > 0 ? pc.speculated / created * 100.0 : 0.0,
+                  terms > 0 ? pc.terminatedCredit / terms * 100.0 : 0.0},
+                 14, 1);
+    }
+    std::printf("\ncolumns: reusability without/with speculation, "
+                "latency gain of +S over plain Pseudo, share of circuits "
+                "that were speculative revivals, share of terminations "
+                "caused by credit exhaustion\n");
+    return 0;
+}

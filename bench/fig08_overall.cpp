@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 8 — Overall performance of the pseudo-circuit schemes.
+ *
+ * (a) Network-latency reduction of Pseudo / Pseudo+S / Pseudo+B /
+ *     Pseudo+S+B (run with DOR-XY + static VA, the configuration the
+ *     paper finds best for the scheme) relative to the best baseline
+ *     configuration (O1TURN + dynamic VA), per benchmark.
+ * (b) Pseudo-circuit reusability: fraction of switch traversals that
+ *     reused a circuit.
+ *
+ * Paper reference: ~16% average latency reduction for Pseudo+S+B;
+ * speculation contributes a small additional gain over plain Pseudo;
+ * jbb is the outlier that prefers O1TURN due to hotspot traffic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+using namespace noc;
+
+int
+main()
+{
+    const SimConfig base = traceConfig();
+
+    std::printf("Figure 8(a): network latency reduction vs best baseline "
+                "(O1TURN + dynamic VA)\n\n");
+    printHeader("benchmark", {"Pseudo", "Pseudo+S", "Pseudo+B",
+                              "Pseudo+S+B"});
+
+    std::vector<double> avg_red(4, 0.0);
+    std::vector<double> avg_reuse(4, 0.0);
+    std::vector<std::vector<double>> reuse_rows;
+    std::vector<std::string> names;
+    int count = 0;
+
+    for (const BenchmarkProfile &b : benchmarkSuite()) {
+        SimConfig best_cfg = base;
+        best_cfg.routing = RoutingKind::O1Turn;
+        best_cfg.vaPolicy = VaPolicy::Dynamic;
+        const SimResult baseline = runBenchmark(best_cfg, b);
+
+        std::vector<double> reds;
+        std::vector<double> reuses;
+        int idx = 0;
+        for (const Scheme scheme : pseudoSchemes()) {
+            SimConfig cfg = base;   // XY + static VA
+            cfg.scheme = scheme;
+            const SimResult r = runBenchmark(cfg, b);
+            reds.push_back(latencyReduction(baseline, r) * 100.0);
+            reuses.push_back(r.reusability * 100.0);
+            avg_red[idx] += reds.back();
+            avg_reuse[idx] += reuses.back();
+            ++idx;
+        }
+        printRow(b.name, reds, 12, 1);
+        reuse_rows.push_back(reuses);
+        names.push_back(b.name);
+        ++count;
+    }
+    for (double &v : avg_red)
+        v /= count;
+    printRow("average", avg_red, 12, 1);
+    std::printf("\npaper reference: 16%% average reduction with "
+                "Pseudo+S+B; jbb favours O1TURN (negative here)\n");
+
+    std::printf("\nFigure 8(b): pseudo-circuit reusability (%% of switch "
+                "traversals)\n\n");
+    printHeader("benchmark", {"Pseudo", "Pseudo+S", "Pseudo+B",
+                              "Pseudo+S+B"});
+    for (std::size_t i = 0; i < reuse_rows.size(); ++i)
+        printRow(names[i], reuse_rows[i], 12, 1);
+    for (double &v : avg_reuse)
+        v /= count;
+    printRow("average", avg_reuse, 12, 1);
+    std::printf("\npaper reference: speculation raises reusability; "
+                "buffer bypassing leaves it unchanged but removes one "
+                "more stage per reuse\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 9 — Network latency reduction across routing algorithms and VC
+ * allocation policies: {XY, YX, O1TURN} x {static, dynamic VA}, one
+ * sub-figure per scheme variant (a: Pseudo, b: Pseudo+S, c: Pseudo+B,
+ * d: Pseudo+S+B). All reductions are relative to the best baseline
+ * (O1TURN + dynamic VA), as in the paper.
+ *
+ * Paper reference: DOR with static VA achieves the highest reduction for
+ * every scheme variant; jbb is the exception where O1TURN wins because
+ * DOR cannot spread its hotspot traffic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+using namespace noc;
+
+int
+main()
+{
+    const SimConfig base = traceConfig();
+    const struct
+    {
+        RoutingKind routing;
+        VaPolicy va;
+        const char *label;
+    } configs[] = {
+        {RoutingKind::XY, VaPolicy::Static, "StatVA-XY"},
+        {RoutingKind::YX, VaPolicy::Static, "StatVA-YX"},
+        {RoutingKind::O1Turn, VaPolicy::Static, "StatVA-O1"},
+        {RoutingKind::XY, VaPolicy::Dynamic, "DynVA-XY"},
+        {RoutingKind::YX, VaPolicy::Dynamic, "DynVA-YX"},
+        {RoutingKind::O1Turn, VaPolicy::Dynamic, "DynVA-O1"},
+    };
+    const char *subfig[] = {"(a) Pseudo", "(b) Pseudo+S", "(c) Pseudo+B",
+                            "(d) Pseudo+S+B"};
+
+    std::printf("Figure 9: latency reduction (%%) vs best baseline "
+                "(O1TURN + dynamic VA)\n");
+
+    // Baselines once per benchmark.
+    std::vector<SimResult> baselines;
+    for (const BenchmarkProfile &b : benchmarkSuite()) {
+        SimConfig cfg = base;
+        cfg.routing = RoutingKind::O1Turn;
+        cfg.vaPolicy = VaPolicy::Dynamic;
+        baselines.push_back(runBenchmark(cfg, b));
+    }
+
+    int scheme_idx = 0;
+    for (const Scheme scheme : pseudoSchemes()) {
+        std::printf("\n%s\n\n", subfig[scheme_idx++]);
+        printHeader("benchmark",
+                    {"StatVA-XY", "StatVA-YX", "StatVA-O1", "DynVA-XY",
+                     "DynVA-YX", "DynVA-O1"});
+        std::vector<double> avg(6, 0.0);
+        int bench_idx = 0;
+        for (const BenchmarkProfile &b : benchmarkSuite()) {
+            std::vector<double> row;
+            for (const auto &c : configs) {
+                SimConfig cfg = base;
+                cfg.scheme = scheme;
+                cfg.routing = c.routing;
+                cfg.vaPolicy = c.va;
+                const SimResult r = runBenchmark(cfg, b);
+                row.push_back(
+                    latencyReduction(baselines[bench_idx], r) * 100.0);
+            }
+            for (std::size_t i = 0; i < row.size(); ++i)
+                avg[i] += row[i];
+            printRow(b.name, row, 12, 1);
+            ++bench_idx;
+        }
+        for (double &v : avg)
+            v /= bench_idx;
+        printRow("average", avg, 12, 1);
+    }
+    std::printf("\npaper reference: static VA + DOR is the best scheme "
+                "configuration in most benchmarks; jbb prefers O1TURN\n");
+    return 0;
+}

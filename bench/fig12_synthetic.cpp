@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 12 — Load-latency curves under synthetic workloads:
+ * (a) uniform random, (b) bit complement, (c) bit permutation
+ * (transpose), on an 8x8 mesh with XY routing and static VA, 5-flit
+ * packets, baseline + all four pseudo-circuit schemes.
+ *
+ * Paper reference: at low load UR and BP improve by ~11% and BC by ~6%;
+ * the advantage shrinks towards saturation (contention breaks circuits);
+ * BC saturates earlier than UR (longer average distance), BP earliest
+ * (diagonal crossing under DOR).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "traffic/synthetic.hpp"
+
+using namespace noc;
+
+namespace {
+
+SimWindows
+synthWindows()
+{
+    SimWindows w;
+    w.warmup = 2000;
+    w.measure = 6000;
+    w.drainLimit = 30000;
+    if (const char *env = std::getenv("NOC_MEASURE")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            w.measure = static_cast<Cycle>(v);
+    }
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig base = syntheticConfig();
+    const SyntheticPattern patterns[] = {SyntheticPattern::UniformRandom,
+                                         SyntheticPattern::BitComplement,
+                                         SyntheticPattern::Transpose};
+    const char *subfig[] = {"(a) uniform random (UR)",
+                            "(b) bit complement (BC)",
+                            "(c) bit permutation (BP)"};
+    const std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Pseudo,
+                                         Scheme::PseudoS, Scheme::PseudoB,
+                                         Scheme::PseudoSB};
+    const double loads[] = {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30,
+                            0.35, 0.40};
+
+    std::printf("Figure 12: average packet latency (cycles) vs offered "
+                "load (flits/node/cycle)\n8x8 mesh, XY + static VA, "
+                "5-flit packets; 'sat' marks saturation (latency blown "
+                "past 10x zero-load or drain failure)\n");
+
+    for (int f = 0; f < 3; ++f) {
+        std::printf("\n%s\n\n", subfig[f]);
+        printHeader("load", {"Baseline", "Pseudo", "Pseudo+S", "Pseudo+B",
+                             "Pseudo+S+B", "gain@SB"});
+        std::vector<double> zero_load(schemes.size(), 0.0);
+        for (const double load : loads) {
+            std::printf("%-16.2f", load);
+            double base_lat = 0.0;
+            double sb_lat = 0.0;
+            bool base_ok = false;
+            bool sb_ok = false;
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                SimConfig cfg = base;
+                cfg.scheme = schemes[s];
+                auto src = std::make_unique<SyntheticTraffic>(
+                    patterns[f], cfg.numNodes(), load, 5,
+                    1234 + static_cast<int>(load * 1000));
+                const SimResult r =
+                    runSimulation(cfg, std::move(src), synthWindows());
+                if (zero_load[s] == 0.0)
+                    zero_load[s] = r.avgTotalLatency;
+                const bool saturated = !r.drained ||
+                    r.avgTotalLatency > 10.0 * zero_load[s];
+                if (!saturated) {
+                    std::printf("%12.2f", r.avgTotalLatency);
+                    if (schemes[s] == Scheme::Baseline) {
+                        base_lat = r.avgTotalLatency;
+                        base_ok = true;
+                    }
+                    if (schemes[s] == Scheme::PseudoSB) {
+                        sb_lat = r.avgTotalLatency;
+                        sb_ok = true;
+                    }
+                } else {
+                    std::printf("%12s", "sat");
+                }
+            }
+            if (base_ok && sb_ok)
+                std::printf("%11.1f%%", (1.0 - sb_lat / base_lat) * 100.0);
+            std::printf("\n");
+        }
+    }
+    std::printf("\npaper reference: ~11%% low-load improvement for UR/BP, "
+                "~6%% for BC; gains vanish near saturation\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: cycles/sec
+ * for the main platforms and schemes, and the cost of trace generation.
+ * These guard against performance regressions in the router hot path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "network/network.hpp"
+#include "sim/experiment.hpp"
+#include "traffic/cmp_model.hpp"
+#include "traffic/synthetic.hpp"
+
+using namespace noc;
+
+namespace {
+
+void
+BM_NetworkStep(benchmark::State &state, TopologyKind kind, Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.topology = kind;
+    if (kind == TopologyKind::Mesh) {
+        cfg.meshWidth = 8;
+        cfg.meshHeight = 8;
+        cfg.concentration = 1;
+    }
+    cfg.scheme = scheme;
+    cfg.vaPolicy = VaPolicy::Static;
+    Network net(cfg);
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom,
+                             cfg.numNodes(), 0.15, 5, 7);
+    for (auto _ : state) {
+        traffic.tick(net, net.now(), SimPhase::Warmup);
+        net.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            net.numRouters());
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const SimConfig cfg = traceConfig();
+    const auto topo = makeTopology(cfg);
+    const BenchmarkProfile &b = findBenchmark("fma3d");
+    for (auto _ : state) {
+        auto trace = generateCmpTrace(b, *topo, 2000, 1);
+        benchmark::DoNotOptimize(trace.data());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_NetworkStep, mesh8x8_baseline, TopologyKind::Mesh,
+                  Scheme::Baseline);
+BENCHMARK_CAPTURE(BM_NetworkStep, mesh8x8_pseudosb, TopologyKind::Mesh,
+                  Scheme::PseudoSB);
+BENCHMARK_CAPTURE(BM_NetworkStep, cmesh4x4_baseline, TopologyKind::CMesh,
+                  Scheme::Baseline);
+BENCHMARK_CAPTURE(BM_NetworkStep, cmesh4x4_pseudosb, TopologyKind::CMesh,
+                  Scheme::PseudoSB);
+BENCHMARK_CAPTURE(BM_NetworkStep, mecs4x4_pseudosb, TopologyKind::Mecs,
+                  Scheme::PseudoSB);
+BENCHMARK_CAPTURE(BM_NetworkStep, fbfly4x4_pseudosb, TopologyKind::FlatFly,
+                  Scheme::PseudoSB);
+BENCHMARK(BM_TraceGeneration);

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table I — CMP configuration parameters, as instantiated by this
+ * reproduction (paper values where the OCR preserved them, documented
+ * substitutes otherwise; see DESIGN.md §3).
+ */
+
+#include <cstdio>
+
+#include "network/network.hpp"
+#include "sim/experiment.hpp"
+#include "traffic/cmp_model.hpp"
+
+using namespace noc;
+
+int
+main()
+{
+    const SimConfig cfg = traceConfig();
+    const auto topo = makeTopology(cfg);
+    const CmpParams params;
+    CmpModel model(findBenchmark("fma3d"), *topo, 1, params);
+
+    std::printf("Table I: CMP configuration\n\n");
+    std::printf("%-28s%s\n", "cores", "32 out-of-order");
+    std::printf("%-28s%s\n", "L2 banks", "32 (shared, S-NUCA,"
+                             " address-interleaved)");
+    std::printf("%-28s%d per core (self-throttling)\n", "MSHRs",
+                params.mshrsPerCore);
+    std::printf("%-28s%s\n", "cache block", "64 B");
+    std::printf("%-28s%d cycles\n", "L2 bank latency", params.l2Latency);
+    std::printf("%-28s%d cycles\n", "memory latency", params.memLatency);
+    std::printf("%-28s%.0f%%\n", "L2 miss rate",
+                params.l2MissRate * 100.0);
+    std::printf("%-28s%s\n", "coherence",
+                "directory-style MSI, write-through, write-invalidate");
+    std::printf("%-28s%u flit / %u flits\n", "packet sizes (addr/data)",
+                params.addrFlits, params.dataFlits);
+    std::printf("%-28s%s\n", "interconnect", topo->name().c_str());
+    std::printf("%-28s%d VCs x %d flits, 128-bit links\n",
+                "router buffers", cfg.numVcs, cfg.bufferDepth);
+    std::printf("%-28s%zu cores / %zu banks\n", "role split",
+                model.cores().size(), model.banks().size());
+    std::printf("\nworkloads (intensity = miss-issue probability per "
+                "cycle per core):\n\n");
+    std::printf("%-16s%-10s%10s%8s%8s%8s%9s%6s\n", "benchmark", "suite",
+                "intensity", "repeat", "burst", "zipf", "writes", "coh");
+    for (const BenchmarkProfile &b : benchmarkSuite()) {
+        std::printf("%-16s%-10s%10.3f%8.2f%8.2f%8.2f%9.2f%6.2f%s\n",
+                    b.name.c_str(), b.suite.c_str(), b.intensity,
+                    b.repeatProb, b.burstProb, b.zipfAlpha,
+                    b.writeFraction, b.cohProb,
+                    b.globalHotspot ? "  [hotspot]" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Topology explorer: compares all four topologies under a chosen
+ * synthetic pattern and load, for the baseline and pseudo-circuit
+ * routers — a miniature version of the paper's §7.A study that you can
+ * point at your own operating point.
+ *
+ *   $ ./topology_explorer [pattern] [load]
+ *   $ ./topology_explorer transpose 0.15
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "sim/experiment.hpp"
+#include "traffic/synthetic.hpp"
+
+using namespace noc;
+
+namespace {
+
+SyntheticPattern
+parsePattern(const char *name)
+{
+    if (std::strcmp(name, "uniform") == 0)
+        return SyntheticPattern::UniformRandom;
+    if (std::strcmp(name, "complement") == 0)
+        return SyntheticPattern::BitComplement;
+    if (std::strcmp(name, "transpose") == 0)
+        return SyntheticPattern::Transpose;
+    if (std::strcmp(name, "bitrev") == 0)
+        return SyntheticPattern::BitReverse;
+    if (std::strcmp(name, "shuffle") == 0)
+        return SyntheticPattern::Shuffle;
+    if (std::strcmp(name, "hotspot") == 0)
+        return SyntheticPattern::Hotspot;
+    if (std::strcmp(name, "tornado") == 0)
+        return SyntheticPattern::Tornado;
+    if (std::strcmp(name, "neighbor") == 0)
+        return SyntheticPattern::Neighbor;
+    NOC_FATAL(std::string("unknown pattern: ") + name +
+              " (uniform|complement|transpose|bitrev|shuffle|hotspot|tornado|neighbor)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SyntheticPattern pattern =
+        argc > 1 ? parsePattern(argv[1]) : SyntheticPattern::UniformRandom;
+    const double load = argc > 2 ? std::atof(argv[2]) : 0.10;
+
+    std::printf("pattern %s at %.2f flits/node/cycle, 64 nodes\n\n",
+                toString(pattern), load);
+    printHeader("topology", {"base-lat", "SB-lat", "reduction%", "hops",
+                             "reuse%"});
+
+    for (const TopologyKind kind :
+         {TopologyKind::Mesh, TopologyKind::CMesh, TopologyKind::Mecs,
+          TopologyKind::FlatFly}) {
+        SimConfig cfg;
+        cfg.topology = kind;
+        if (kind == TopologyKind::Mesh) {
+            cfg.meshWidth = 8;
+            cfg.meshHeight = 8;
+            cfg.concentration = 1;
+        } else {
+            cfg.meshWidth = 4;
+            cfg.meshHeight = 4;
+            cfg.concentration = 4;
+        }
+        cfg.routing = RoutingKind::XY;
+        cfg.vaPolicy = VaPolicy::Static;
+
+        SimWindows w;
+        w.warmup = 2000;
+        w.measure = 6000;
+
+        auto make_source = [&] {
+            return std::make_unique<SyntheticTraffic>(
+                pattern, cfg.numNodes(), load, 5, 11);
+        };
+        cfg.scheme = Scheme::Baseline;
+        const SimResult base = runSimulation(cfg, make_source(), w);
+        cfg.scheme = Scheme::PseudoSB;
+        const SimResult sb = runSimulation(cfg, make_source(), w);
+
+        if (!base.drained || !sb.drained) {
+            std::printf("%-16s%12s  (saturated at this load)\n",
+                        toString(kind), "-");
+            continue;
+        }
+        printRow(toString(kind),
+                 {base.avgTotalLatency, sb.avgTotalLatency,
+                  (1.0 - sb.avgTotalLatency / base.avgTotalLatency) * 100.0,
+                  sb.avgHops, sb.reusability * 100.0},
+                 12, 2);
+    }
+    return 0;
+}

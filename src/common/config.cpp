@@ -1,0 +1,112 @@
+#include "common/config.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+const char *
+toString(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline: return "Baseline";
+      case Scheme::Pseudo:   return "Pseudo";
+      case Scheme::PseudoS:  return "Pseudo+S";
+      case Scheme::PseudoB:  return "Pseudo+B";
+      case Scheme::PseudoSB: return "Pseudo+S+B";
+      case Scheme::Evc:      return "EVC";
+    }
+    return "?";
+}
+
+const char *
+toString(RoutingKind routing)
+{
+    switch (routing) {
+      case RoutingKind::XY:     return "XY";
+      case RoutingKind::YX:     return "YX";
+      case RoutingKind::O1Turn: return "O1TURN";
+    }
+    return "?";
+}
+
+const char *
+toString(VaPolicy policy)
+{
+    switch (policy) {
+      case VaPolicy::Dynamic: return "DynamicVA";
+      case VaPolicy::Static:  return "StaticVA";
+    }
+    return "?";
+}
+
+const char *
+toString(TopologyKind topology)
+{
+    switch (topology) {
+      case TopologyKind::Mesh:    return "Mesh";
+      case TopologyKind::CMesh:   return "CMesh";
+      case TopologyKind::Mecs:    return "MECS";
+      case TopologyKind::FlatFly: return "FBFLY";
+      case TopologyKind::Torus:   return "Torus";
+    }
+    return "?";
+}
+
+int
+SimConfig::numNodes() const
+{
+    // The plain mesh always has one terminal per router; every other
+    // topology (including the torus) honours the concentration knob.
+    const int conc = topology == TopologyKind::Mesh ? 1 : concentration;
+    return meshWidth * meshHeight * conc;
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream os;
+    os << toString(topology) << ' ' << meshWidth << 'x' << meshHeight
+       << " conc=" << (topology == TopologyKind::Mesh ? 1 : concentration)
+       << ' ' << toString(scheme) << ' ' << toString(routing) << ' '
+       << toString(vaPolicy) << " vcs=" << numVcs << " buf=" << bufferDepth;
+    return os.str();
+}
+
+void
+SimConfig::validate() const
+{
+    if (meshWidth < 2 || meshHeight < 2)
+        NOC_FATAL("mesh dimensions must be at least 2x2");
+    if (numVcs < 1)
+        NOC_FATAL("at least one VC per port is required");
+    if (bufferDepth < 1)
+        NOC_FATAL("buffer depth must be at least one flit");
+    if (linkLatency < 1 || creditLatency < 1)
+        NOC_FATAL("link and credit latency must be at least one cycle");
+    if (routing == RoutingKind::O1Turn && numVcs < 2)
+        NOC_FATAL("O1TURN needs >= 2 VCs (two virtual networks)");
+    if (scheme == Scheme::Evc) {
+        if (evcNumExpressVcs < 1 || evcNumExpressVcs >= numVcs)
+            NOC_FATAL("EVC needs 1..numVcs-1 express VCs");
+        if (evcLmax < 2)
+            NOC_FATAL("EVC lmax must be at least 2 hops");
+        if (routing != RoutingKind::XY && routing != RoutingKind::YX)
+            NOC_FATAL("EVC requires dimension-order routing");
+    }
+    if (topology != TopologyKind::Mesh && concentration < 1)
+        NOC_FATAL("concentration must be positive");
+    if (topology == TopologyKind::Torus) {
+        if (meshWidth < 3 || meshHeight < 3)
+            NOC_FATAL("a torus needs at least 3 routers per dimension");
+        if (numVcs < 2)
+            NOC_FATAL("torus dateline classes need >= 2 VCs");
+        if (routing == RoutingKind::O1Turn)
+            NOC_FATAL("O1TURN is not defined on the torus");
+        if (scheme == Scheme::Evc)
+            NOC_FATAL("EVC requires a mesh-family topology");
+    }
+}
+
+} // namespace noc

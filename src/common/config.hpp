@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Central simulation configuration: the knobs the paper sweeps.
+ */
+
+#ifndef NOC_COMMON_CONFIG_HPP
+#define NOC_COMMON_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace noc {
+
+/** Which acceleration scheme the routers run (paper §3–§4, Fig 6). */
+enum class Scheme {
+    Baseline,     ///< speculative 2-stage router, no pseudo-circuits
+    Pseudo,       ///< basic pseudo-circuit (SA bypass)
+    PseudoS,      ///< + pseudo-circuit speculation
+    PseudoB,      ///< + buffer bypassing
+    PseudoSB,     ///< + both aggressive schemes
+    Evc,          ///< express virtual channels comparator (Fig 14)
+};
+
+/** Routing algorithms evaluated in the paper (§5). */
+enum class RoutingKind {
+    XY,           ///< dimension-order, X first
+    YX,           ///< dimension-order, Y first
+    O1Turn,       ///< random choice of XY/YX per packet, VC-partitioned
+};
+
+/** VC allocation policies (§5). */
+enum class VaPolicy {
+    Dynamic,      ///< pick the free output VC with most downstream credits
+    Static,       ///< destination-hashed VC, constant per flow
+};
+
+/** Topologies evaluated in §7.A. */
+enum class TopologyKind {
+    Mesh,         ///< 2D mesh, 1 terminal per router
+    CMesh,        ///< concentrated 2D mesh, 4 terminals per router
+    Mecs,         ///< multidrop express channels (concentrated)
+    FlatFly,      ///< flattened butterfly (concentrated)
+    Torus,        ///< 2D torus with dateline VCs (extension)
+};
+
+const char *toString(Scheme scheme);
+const char *toString(RoutingKind routing);
+const char *toString(VaPolicy policy);
+const char *toString(TopologyKind topology);
+
+/**
+ * Full configuration of one simulation run. Defaults follow the paper's
+ * setup (§5): 4 VCs/port, 4-flit buffers, 128-bit links, 1-cycle links.
+ */
+struct SimConfig
+{
+    // --- topology ---
+    TopologyKind topology = TopologyKind::CMesh;
+    int meshWidth = 4;            ///< routers per row
+    int meshHeight = 4;           ///< routers per column
+    int concentration = 4;        ///< terminals per router (CMesh/MECS/FBFLY)
+
+    // --- router microarchitecture ---
+    int numVcs = 4;               ///< virtual channels per input port
+    int bufferDepth = 4;          ///< flits of buffering per VC
+    int linkLatency = 1;          ///< cycles of link traversal
+    int creditLatency = 1;        ///< cycles for a credit to travel upstream
+
+    // --- schemes / policies ---
+    Scheme scheme = Scheme::Baseline;
+    RoutingKind routing = RoutingKind::XY;
+    VaPolicy vaPolicy = VaPolicy::Dynamic;
+
+    // --- EVC parameters (Scheme::Evc only; paper §7.B) ---
+    int evcLmax = 2;              ///< express-path length in hops
+    int evcNumExpressVcs = 2;     ///< VCs reserved as express VCs
+
+    // --- pseudo-circuit extensions ---
+    /// Entries per output-port speculation history register. The paper
+    /// uses 1; larger values are an extension (bench/ablation_history).
+    int pcHistoryDepth = 1;
+
+    // --- misc ---
+    std::uint64_t seed = 1;
+
+    /** Derived: total number of routers. */
+    int numRouters() const { return meshWidth * meshHeight; }
+
+    /** Derived: total number of terminals. */
+    int numNodes() const;
+
+    /** Human-readable one-line description. */
+    std::string describe() const;
+
+    /** Sanity-check the configuration; calls NOC_FATAL on bad values. */
+    void validate() const;
+};
+
+} // namespace noc
+
+#endif // NOC_COMMON_CONFIG_HPP

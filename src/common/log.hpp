@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated; a simulator bug. Aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   — something looks suspicious but the simulation continues.
+ */
+
+#ifndef NOC_COMMON_LOG_HPP
+#define NOC_COMMON_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace noc {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace noc
+
+#define NOC_PANIC(msg) ::noc::panicImpl(__FILE__, __LINE__, (msg))
+#define NOC_FATAL(msg) ::noc::fatalImpl(__FILE__, __LINE__, (msg))
+#define NOC_WARN(msg) ::noc::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Invariant check that is always on (simulation correctness beats speed). */
+#define NOC_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            NOC_PANIC(std::string("assertion failed: ") + #cond + " — " +   \
+                      (msg));                                               \
+        }                                                                   \
+    } while (0)
+
+#endif // NOC_COMMON_LOG_HPP

@@ -1,0 +1,213 @@
+#include "common/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+namespace {
+
+std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+} // namespace
+
+Options
+Options::parse(int argc, const char *const *argv, int first)
+{
+    std::vector<std::string> tokens;
+    for (int i = first; i < argc; ++i)
+        tokens.emplace_back(argv[i]);
+    return parse(tokens);
+}
+
+Options
+Options::parse(const std::vector<std::string> &tokens)
+{
+    Options opts;
+    for (const std::string &token : tokens) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0)
+            NOC_FATAL("expected key=value, got: " + token);
+        opts.entries_[lowered(token.substr(0, eq))] =
+            Entry{token.substr(eq + 1)};
+    }
+    return opts;
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return entries_.count(lowered(key)) > 0;
+}
+
+std::string
+Options::getString(const std::string &key, const std::string &fallback) const
+{
+    const auto it = entries_.find(lowered(key));
+    if (it == entries_.end())
+        return fallback;
+    it->second.used = true;
+    return it->second.value;
+}
+
+long
+Options::getInt(const std::string &key, long fallback) const
+{
+    const auto it = entries_.find(lowered(key));
+    if (it == entries_.end())
+        return fallback;
+    it->second.used = true;
+    char *end = nullptr;
+    const long v = std::strtol(it->second.value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        NOC_FATAL("option " + key + " is not an integer: " +
+                  it->second.value);
+    return v;
+}
+
+double
+Options::getDouble(const std::string &key, double fallback) const
+{
+    const auto it = entries_.find(lowered(key));
+    if (it == entries_.end())
+        return fallback;
+    it->second.used = true;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.value.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        NOC_FATAL("option " + key + " is not a number: " +
+                  it->second.value);
+    return v;
+}
+
+bool
+Options::getBool(const std::string &key, bool fallback) const
+{
+    const auto it = entries_.find(lowered(key));
+    if (it == entries_.end())
+        return fallback;
+    it->second.used = true;
+    const std::string v = lowered(it->second.value);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    NOC_FATAL("option " + key + " is not a boolean: " + it->second.value);
+}
+
+std::vector<std::string>
+Options::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[key, entry] : entries_) {
+        if (!entry.used)
+            unused.push_back(key);
+    }
+    return unused;
+}
+
+Scheme
+parseScheme(const std::string &name)
+{
+    const std::string n = lowered(name);
+    if (n == "baseline")
+        return Scheme::Baseline;
+    if (n == "pseudo")
+        return Scheme::Pseudo;
+    if (n == "pseudo-s" || n == "pseudo+s")
+        return Scheme::PseudoS;
+    if (n == "pseudo-b" || n == "pseudo+b")
+        return Scheme::PseudoB;
+    if (n == "pseudo-sb" || n == "pseudo+s+b")
+        return Scheme::PseudoSB;
+    if (n == "evc")
+        return Scheme::Evc;
+    NOC_FATAL("unknown scheme: " + name);
+}
+
+RoutingKind
+parseRouting(const std::string &name)
+{
+    const std::string n = lowered(name);
+    if (n == "xy")
+        return RoutingKind::XY;
+    if (n == "yx")
+        return RoutingKind::YX;
+    if (n == "o1turn" || n == "o1")
+        return RoutingKind::O1Turn;
+    NOC_FATAL("unknown routing: " + name);
+}
+
+VaPolicy
+parseVaPolicy(const std::string &name)
+{
+    const std::string n = lowered(name);
+    if (n == "static")
+        return VaPolicy::Static;
+    if (n == "dynamic")
+        return VaPolicy::Dynamic;
+    NOC_FATAL("unknown VA policy: " + name);
+}
+
+TopologyKind
+parseTopology(const std::string &name)
+{
+    const std::string n = lowered(name);
+    if (n == "mesh")
+        return TopologyKind::Mesh;
+    if (n == "cmesh")
+        return TopologyKind::CMesh;
+    if (n == "mecs")
+        return TopologyKind::Mecs;
+    if (n == "fbfly" || n == "flatfly")
+        return TopologyKind::FlatFly;
+    if (n == "torus")
+        return TopologyKind::Torus;
+    NOC_FATAL("unknown topology: " + name);
+}
+
+SimConfig
+configFromOptions(const Options &opts)
+{
+    SimConfig cfg;
+    cfg.topology = parseTopology(opts.getString("topology", "cmesh"));
+    // Sensible defaults per topology family.
+    if (cfg.topology == TopologyKind::Mesh ||
+        cfg.topology == TopologyKind::Torus) {
+        cfg.meshWidth = 8;
+        cfg.meshHeight = 8;
+        cfg.concentration = 1;
+    }
+    cfg.meshWidth = static_cast<int>(opts.getInt("width", cfg.meshWidth));
+    cfg.meshHeight =
+        static_cast<int>(opts.getInt("height", cfg.meshHeight));
+    cfg.concentration =
+        static_cast<int>(opts.getInt("concentration", cfg.concentration));
+    cfg.numVcs = static_cast<int>(opts.getInt("vcs", cfg.numVcs));
+    cfg.bufferDepth =
+        static_cast<int>(opts.getInt("buffers", cfg.bufferDepth));
+    cfg.linkLatency =
+        static_cast<int>(opts.getInt("link-latency", cfg.linkLatency));
+    cfg.creditLatency =
+        static_cast<int>(opts.getInt("credit-latency", cfg.creditLatency));
+    cfg.scheme = parseScheme(opts.getString("scheme", "baseline"));
+    cfg.routing = parseRouting(opts.getString("routing", "xy"));
+    cfg.vaPolicy = parseVaPolicy(opts.getString("va", "static"));
+    cfg.evcLmax = static_cast<int>(opts.getInt("evc-lmax", cfg.evcLmax));
+    cfg.evcNumExpressVcs = static_cast<int>(
+        opts.getInt("evc-express", cfg.evcNumExpressVcs));
+    cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace noc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Key=value option parsing for SimConfig and experiment knobs, so the
+ * example binaries and the noctool driver can be scripted:
+ *
+ *   noctool run topology=mesh width=8 height=8 scheme=pseudo-sb \
+ *           routing=xy va=static pattern=transpose load=0.1
+ */
+
+#ifndef NOC_COMMON_OPTIONS_HPP
+#define NOC_COMMON_OPTIONS_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace noc {
+
+/** Parsed "key=value" arguments with typed accessors. */
+class Options
+{
+  public:
+    /** Parse argv-style tokens; fatals on tokens without '='. */
+    static Options parse(int argc, const char *const *argv, int first = 1);
+    static Options parse(const std::vector<std::string> &tokens);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; fatal on malformed values. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    long getInt(const std::string &key, long fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Keys that were never read — catches typos in scripts. */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    struct Entry
+    {
+        std::string value;
+        mutable bool used = false;
+    };
+    std::map<std::string, Entry> entries_;
+};
+
+/** Parse enum spellings (case-insensitive); fatal on unknown values. */
+Scheme parseScheme(const std::string &name);
+RoutingKind parseRouting(const std::string &name);
+VaPolicy parseVaPolicy(const std::string &name);
+TopologyKind parseTopology(const std::string &name);
+
+/**
+ * Build a SimConfig from options. Recognised keys: topology, width,
+ * height, concentration, vcs, buffers, link-latency, credit-latency,
+ * scheme, routing, va, evc-lmax, evc-express, seed.
+ */
+SimConfig configFromOptions(const Options &opts);
+
+} // namespace noc
+
+#endif // NOC_COMMON_OPTIONS_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * We use xoshiro256** seeded through SplitMix64. Every stochastic component
+ * (traffic generators, O1TURN coin flips, the CMP model) owns its own Rng
+ * instance so runs are reproducible and independent of evaluation order.
+ */
+
+#ifndef NOC_COMMON_RNG_HPP
+#define NOC_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace noc {
+
+/**
+ * Small, fast, deterministic PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound) using rejection-free Lemire mapping. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace noc
+
+#endif // NOC_COMMON_RNG_HPP

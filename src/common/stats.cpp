@@ -1,0 +1,145 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+void
+StatAccumulator::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+void
+StatAccumulator::merge(const StatAccumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto total = count_ + other.count_;
+    m2_ += other.m2_ + delta * delta *
+        (static_cast<double>(count_) * static_cast<double>(other.count_) /
+         static_cast<double>(total));
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) /
+        static_cast<double>(total);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = total;
+}
+
+void
+StatAccumulator::reset()
+{
+    *this = StatAccumulator{};
+}
+
+double
+StatAccumulator::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+StatAccumulator::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+StatAccumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+StatAccumulator::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double
+StatAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    NOC_ASSERT(bucket_width > 0.0, "histogram bucket width must be positive");
+    NOC_ASSERT(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total_;
+    if (sample < 0.0) {
+        ++buckets_.front();
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(sample / bucketWidth_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    NOC_ASSERT(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+    if (total_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double next = seen + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            const double within =
+                (target - seen) / static_cast<double>(buckets_[i]);
+            return (static_cast<double>(i) + within) * bucketWidth_;
+        }
+        seen = next;
+    }
+    return bucketWidth_ * static_cast<double>(buckets_.size());
+}
+
+std::string
+formatPercent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace noc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lightweight statistics collection: scalar accumulators and histograms.
+ */
+
+#ifndef NOC_COMMON_STATS_HPP
+#define NOC_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/**
+ * Streaming accumulator for a scalar sample series (count / sum / min /
+ * max / mean / variance via Welford's algorithm).
+ */
+class StatAccumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Merge another accumulator into this one. */
+    void merge(const StatAccumulator &other);
+
+    /** Drop all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucketWidth * numBuckets), with an
+ * overflow bucket; used for latency distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width, std::size_t num_buckets);
+
+    void add(double sample);
+    void reset();
+
+    std::uint64_t totalCount() const { return total_; }
+    std::uint64_t bucketCount(std::size_t idx) const { return buckets_[idx]; }
+    std::uint64_t overflowCount() const { return overflow_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+
+    /**
+     * Sample value at the given quantile (0..1), linearly interpolated
+     * within the containing bucket. Returns the histogram upper bound when
+     * the quantile falls into the overflow bucket.
+     */
+    double quantile(double q) const;
+
+  private:
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Format helper: percentage with one decimal, e.g. "16.2%". */
+std::string formatPercent(double fraction);
+
+} // namespace noc
+
+#endif // NOC_COMMON_STATS_HPP

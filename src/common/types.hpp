@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types and constants shared across the simulator.
+ */
+
+#ifndef NOC_COMMON_TYPES_HPP
+#define NOC_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace noc {
+
+/** Simulation time, measured in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a network terminal (network-interface endpoint). */
+using NodeId = std::int32_t;
+
+/** Identifier of a router within a topology. */
+using RouterId = std::int32_t;
+
+/** Index of a router port (input or output side). */
+using PortId = std::int32_t;
+
+/** Index of a virtual channel within a port. */
+using VcId = std::int32_t;
+
+/** Globally unique packet identifier. */
+using PacketId = std::uint64_t;
+
+/** Sentinel for "no port". */
+inline constexpr PortId kInvalidPort = -1;
+
+/** Sentinel for "no VC". */
+inline constexpr VcId kInvalidVc = -1;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel for "no router". */
+inline constexpr RouterId kInvalidRouter = -1;
+
+/** Sentinel cycle value meaning "never". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace noc
+
+#endif // NOC_COMMON_TYPES_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Link/wire delay modelling: a calendar ring buffer of in-flight flits
+ * and credits. Wires are pipelined — any number of items may be in
+ * flight; per-cycle injection limits are enforced by the routers/NIs.
+ */
+
+#ifndef NOC_NETWORK_LINK_HPP
+#define NOC_NETWORK_LINK_HPP
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace noc {
+
+/** One in-flight delivery. */
+struct LinkEvent
+{
+    enum class Kind {
+        FlitToRouter,
+        FlitToNi,
+        CreditToRouter,
+        CreditToNi,
+    };
+
+    Kind kind = Kind::FlitToRouter;
+    RouterId router = kInvalidRouter;  ///< FlitToRouter / CreditToRouter
+    PortId inPort = kInvalidPort;      ///< FlitToRouter
+    NodeId node = kInvalidNode;        ///< *ToNi
+    VcId vc = kInvalidVc;              ///< CreditToNi
+    Flit flit;                         ///< flit events
+    Credit credit;                     ///< CreditToRouter
+};
+
+/**
+ * Calendar queue over a bounded delay horizon. schedule() places events
+ * at absolute cycles within `horizon` cycles of the present; eventsAt()
+ * hands out (and recycles) the bucket for the current cycle.
+ */
+class EventRing
+{
+  public:
+    explicit EventRing(int horizon)
+        : buckets_(static_cast<std::size_t>(horizon) + 2)
+    {
+        NOC_ASSERT(horizon >= 1, "event horizon must be positive");
+    }
+
+    void
+    schedule(Cycle now, Cycle when, LinkEvent event)
+    {
+        NOC_ASSERT(when > now, "events must be scheduled in the future");
+        NOC_ASSERT(when - now < buckets_.size(),
+                   "event beyond the ring horizon");
+        buckets_[when % buckets_.size()].push_back(std::move(event));
+    }
+
+    /** Bucket for cycle `now`; caller must process then clear() it. */
+    std::vector<LinkEvent> &
+    eventsAt(Cycle now)
+    {
+        return buckets_[now % buckets_.size()];
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &bucket : buckets_) {
+            if (!bucket.empty())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<std::vector<LinkEvent>> buckets_;
+};
+
+} // namespace noc
+
+#endif // NOC_NETWORK_LINK_HPP

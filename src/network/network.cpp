@@ -1,0 +1,324 @@
+#include "network/network.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "topology/fbfly.hpp"
+#include "topology/mecs.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace noc {
+
+std::unique_ptr<Topology>
+makeTopology(const SimConfig &cfg)
+{
+    switch (cfg.topology) {
+      case TopologyKind::Mesh:
+        return std::make_unique<Mesh>(cfg.meshWidth, cfg.meshHeight, 1);
+      case TopologyKind::CMesh:
+        return std::make_unique<CMesh>(cfg.meshWidth, cfg.meshHeight,
+                                       cfg.concentration);
+      case TopologyKind::Mecs:
+        return std::make_unique<Mecs>(cfg.meshWidth, cfg.meshHeight,
+                                      cfg.concentration);
+      case TopologyKind::FlatFly:
+        return std::make_unique<FlattenedButterfly>(
+            cfg.meshWidth, cfg.meshHeight, cfg.concentration);
+      case TopologyKind::Torus:
+        return std::make_unique<Torus>(cfg.meshWidth, cfg.meshHeight,
+                                       cfg.concentration);
+    }
+    NOC_FATAL("unknown topology kind");
+}
+
+namespace {
+
+int
+eventHorizon(const SimConfig &cfg)
+{
+    // Longest wire = full row or column span; credits may cross two hops
+    // (EVC). Add slack for the +1 cycle delivery offset.
+    const int span = cfg.meshWidth + cfg.meshHeight;
+    const int lat = std::max(cfg.linkLatency, cfg.creditLatency);
+    return lat * span + 4;
+}
+
+} // namespace
+
+Network::Network(const SimConfig &cfg)
+    : cfg_(cfg), topo_(makeTopology(cfg)), ring_(eventHorizon(cfg))
+{
+    cfg_.validate();
+    routing_ = makeRouting(cfg_.routing, *topo_);
+
+    routers_.reserve(topo_->numRouters());
+    for (RouterId r = 0; r < topo_->numRouters(); ++r)
+        routers_.push_back(
+            std::make_unique<Router>(cfg_, *topo_, *routing_, r));
+
+    nis_.reserve(topo_->numNodes());
+    for (NodeId n = 0; n < topo_->numNodes(); ++n)
+        nis_.push_back(
+            std::make_unique<NetworkInterface>(cfg_, *topo_, *routing_, n));
+
+    if (cfg_.scheme == Scheme::Evc)
+        buildEvcCreditMap();
+}
+
+void
+Network::buildEvcCreditMap()
+{
+    evcUpstream_.resize(topo_->numRouters());
+    for (RouterId r = 0; r < topo_->numRouters(); ++r) {
+        evcUpstream_[r].assign(topo_->numInputPorts(r),
+                               {kInvalidRouter, kInvalidPort});
+        for (PortId p = 0; p < topo_->numInputPorts(r); ++p) {
+            const InputSource &src = topo_->input(r, p);
+            if (src.isTerminal())
+                continue;
+            const RouterId mid = src.router;
+            const PortId dir_port = src.outPort;
+            // The express source is the router feeding `mid` through the
+            // same direction port (unique on a mesh).
+            for (PortId p2 = 0; p2 < topo_->numInputPorts(mid); ++p2) {
+                const InputSource &up = topo_->input(mid, p2);
+                if (!up.isTerminal() && up.outPort == dir_port) {
+                    evcUpstream_[r][p] = {up.router, dir_port};
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+Network::injectPacket(const PacketDesc &packet)
+{
+    nis_[packet.src]->inject(packet);
+    ++outstanding_;
+}
+
+void
+Network::dispatch(const LinkEvent &ev)
+{
+    switch (ev.kind) {
+      case LinkEvent::Kind::FlitToRouter:
+        routers_[ev.router]->deliverFlit(ev.inPort, ev.flit, now_);
+        lastProgress_ = now_;
+        break;
+      case LinkEvent::Kind::FlitToNi: {
+        lastProgress_ = now_;
+        NetworkInterface &ni = *nis_[ev.node];
+        const std::size_t before = ni.completed.size();
+        ni.receiveFlit(ev.flit, now_);
+        if (ni.completed.size() != before) {
+            NOC_ASSERT(outstanding_ > 0, "completion without injection");
+            --outstanding_;
+        }
+        // The NI consumes the flit immediately; return the ejection-port
+        // buffer slot to the router.
+        LinkEvent credit;
+        credit.kind = LinkEvent::Kind::CreditToRouter;
+        credit.router = topo_->nodeRouter(ev.node);
+        credit.credit.outPort = topo_->nodePort(ev.node);
+        credit.credit.drop = 0;
+        credit.credit.vc = ev.flit.vc;
+        credit.credit.express = false;
+        ring_.schedule(now_, now_ + 1 + cfg_.creditLatency, credit);
+        break;
+      }
+      case LinkEvent::Kind::CreditToRouter:
+        routers_[ev.router]->deliverCredit(ev.credit);
+        break;
+      case LinkEvent::Kind::CreditToNi:
+        nis_[ev.node]->addCredit(ev.vc);
+        break;
+    }
+}
+
+void
+Network::step()
+{
+    // Phase 1: arrivals. Credits land before flits — a flit arriving in
+    // the same cycle as a credit must see the updated counter, or e.g. a
+    // buffer-bypass check would spuriously fail.
+    auto &bucket = ring_.eventsAt(now_);
+    for (const LinkEvent &ev : bucket) {
+        if (ev.kind == LinkEvent::Kind::CreditToRouter ||
+            ev.kind == LinkEvent::Kind::CreditToNi) {
+            dispatch(ev);
+        }
+    }
+    for (const LinkEvent &ev : bucket) {
+        if (ev.kind == LinkEvent::Kind::FlitToRouter ||
+            ev.kind == LinkEvent::Kind::FlitToNi) {
+            dispatch(ev);
+        }
+    }
+    bucket.clear();
+
+    // Phase 2: NI injection.
+    for (auto &ni : nis_) {
+        if (auto flit = ni->step(now_)) {
+            LinkEvent ev;
+            ev.kind = LinkEvent::Kind::FlitToRouter;
+            ev.router = topo_->nodeRouter(ni->node());
+            ev.inPort = topo_->nodePort(ni->node());
+            ev.flit = *flit;
+            ring_.schedule(now_, now_ + 1 + cfg_.linkLatency, ev);
+        }
+    }
+
+    // Phase 3: routers.
+    for (auto &router : routers_) {
+        router->step(now_);
+        const RouterId r = router->id();
+
+        for (const Router::SentFlit &sf : router->sentFlits) {
+            const OutputChannel &chan = topo_->output(r, sf.outPort);
+            LinkEvent ev;
+            if (chan.isTerminal()) {
+                ev.kind = LinkEvent::Kind::FlitToNi;
+                ev.node = chan.terminal;
+                ev.flit = sf.flit;
+                ring_.schedule(now_, now_ + 1 + cfg_.linkLatency, ev);
+            } else {
+                const Drop &drop = chan.drops[sf.drop];
+                ev.kind = LinkEvent::Kind::FlitToRouter;
+                ev.router = drop.router;
+                ev.inPort = drop.inPort;
+                ev.flit = sf.flit;
+                ring_.schedule(now_,
+                               now_ + 1 + cfg_.linkLatency * drop.distance,
+                               ev);
+            }
+        }
+        router->sentFlits.clear();
+
+        for (const Router::SentCredit &sc : router->sentCredits) {
+            const InputSource &src = topo_->input(r, sc.inPort);
+            LinkEvent ev;
+            if (src.isTerminal()) {
+                ev.kind = LinkEvent::Kind::CreditToNi;
+                ev.node = src.terminal;
+                ev.vc = sc.vc;
+                ring_.schedule(now_, now_ + 1 + cfg_.creditLatency, ev);
+            } else if (sc.express) {
+                const auto [up_router, up_port] = evcUpstream_[r][sc.inPort];
+                NOC_ASSERT(up_router != kInvalidRouter,
+                           "express credit with no two-hop upstream");
+                ev.kind = LinkEvent::Kind::CreditToRouter;
+                ev.router = up_router;
+                ev.credit.outPort = up_port;
+                ev.credit.drop = 0;
+                ev.credit.vc = sc.vc;
+                ev.credit.express = true;
+                ring_.schedule(now_, now_ + 1 + cfg_.creditLatency * 2, ev);
+            } else {
+                ev.kind = LinkEvent::Kind::CreditToRouter;
+                ev.router = src.router;
+                ev.credit.outPort = src.outPort;
+                ev.credit.drop = src.dropIndex;
+                ev.credit.vc = sc.vc;
+                ev.credit.express = false;
+                ring_.schedule(now_,
+                               now_ + 1 + cfg_.creditLatency * src.distance,
+                               ev);
+            }
+        }
+        router->sentCredits.clear();
+    }
+
+    ++now_;
+}
+
+std::string
+Network::describeStall() const
+{
+    std::uint64_t queued = 0;
+    for (const auto &ni : nis_)
+        queued += ni->queueDepth();
+    std::uint64_t buffered = 0;
+    int busy_routers = 0;
+    for (RouterId r = 0; r < static_cast<RouterId>(routers_.size()); ++r) {
+        std::uint64_t here = 0;
+        for (PortId p = 0; p < topo_->numInputPorts(r); ++p) {
+            for (VcId v = 0; v < cfg_.numVcs; ++v)
+                here += routers_[r]->inputVc(p, v).occupancy();
+        }
+        buffered += here;
+        busy_routers += here > 0;
+    }
+    std::ostringstream os;
+    os << outstanding_ << " packets outstanding, " << queued
+       << " queued at NIs, " << buffered << " flits buffered in "
+       << busy_routers << " routers, " << cyclesSinceProgress()
+       << " cycles since progress";
+    return os.str();
+}
+
+void
+Network::drainCompleted(std::vector<CompletedPacket> &out)
+{
+    for (auto &ni : nis_) {
+        out.insert(out.end(), ni->completed.begin(), ni->completed.end());
+        ni->completed.clear();
+    }
+}
+
+RouterStats
+Network::aggregateRouterStats() const
+{
+    RouterStats total;
+    for (const auto &router : routers_) {
+        const RouterStats &s = router->stats();
+        total.flitsArrived += s.flitsArrived;
+        total.bufferWrites += s.bufferWrites;
+        total.bufferReads += s.bufferReads;
+        total.xbarTraversals += s.xbarTraversals;
+        total.vaGrants += s.vaGrants;
+        total.saGrants += s.saGrants;
+        total.saBypasses += s.saBypasses;
+        total.bufferBypasses += s.bufferBypasses;
+        total.headTraversals += s.headTraversals;
+        total.headSaBypasses += s.headSaBypasses;
+        total.headBufferBypasses += s.headBufferBypasses;
+        total.expressBypasses += s.expressBypasses;
+        total.wastedGrants += s.wastedGrants;
+        total.localityHeads += s.localityHeads;
+        total.localityHits += s.localityHits;
+    }
+    return total;
+}
+
+PseudoCircuitStats
+Network::aggregatePcStats() const
+{
+    PseudoCircuitStats total;
+    for (const auto &router : routers_) {
+        const PseudoCircuitStats &s = router->pcStats();
+        total.created += s.created;
+        total.terminatedConflict += s.terminatedConflict;
+        total.terminatedCredit += s.terminatedCredit;
+        total.speculated += s.speculated;
+    }
+    return total;
+}
+
+NiStats
+Network::aggregateNiStats() const
+{
+    NiStats total;
+    for (const auto &ni : nis_) {
+        const NiStats &s = ni->stats();
+        total.packetsInjected += s.packetsInjected;
+        total.flitsInjected += s.flitsInjected;
+        total.packetsReceived += s.packetsReceived;
+        total.localityPackets += s.localityPackets;
+        total.localityHits += s.localityHits;
+    }
+    return total;
+}
+
+} // namespace noc

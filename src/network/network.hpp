@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The complete on-chip network: topology + routers + NIs + links,
+ * advanced one cycle at a time.
+ *
+ * Per cycle:
+ *   1. deliver everything arriving now (flits and credits, to routers
+ *      and NIs);
+ *   2. NIs inject (at most one flit each);
+ *   3. routers run switch traversal + allocation; their emitted flits
+ *      and credits are placed on the links with wire delay proportional
+ *      to physical span.
+ */
+
+#ifndef NOC_NETWORK_NETWORK_HPP
+#define NOC_NETWORK_NETWORK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "network/link.hpp"
+#include "network/network_interface.hpp"
+#include "router/router.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+/** Build the topology described by a configuration. */
+std::unique_ptr<Topology> makeTopology(const SimConfig &cfg);
+
+class Network
+{
+  public:
+    explicit Network(const SimConfig &cfg);
+
+    const SimConfig &config() const { return cfg_; }
+    const Topology &topology() const { return *topo_; }
+    const RoutingAlgorithm &routing() const { return *routing_; }
+
+    Cycle now() const { return now_; }
+
+    /** Hand a packet to its source NI. */
+    void injectPacket(const PacketDesc &packet);
+
+    /** Advance one cycle. */
+    void step();
+
+    /** No packet queued, in flight, or partially received. */
+    bool idle() const { return outstanding_ == 0; }
+
+    std::uint64_t packetsOutstanding() const { return outstanding_; }
+
+    /**
+     * Forward-progress watchdog: cycles since a flit last moved
+     * anywhere in the network. With packets outstanding, a large value
+     * indicates deadlock/livelock (which the scheme set here should
+     * never produce); the simulator uses it to fail fast with
+     * diagnostics instead of spinning to the drain limit.
+     */
+    Cycle cyclesSinceProgress() const { return now_ - lastProgress_; }
+
+    /** One-line description of where outstanding packets are stuck. */
+    std::string describeStall() const;
+
+    NetworkInterface &ni(NodeId n) { return *nis_[n]; }
+    Router &router(RouterId r) { return *routers_[r]; }
+    int numRouters() const { return static_cast<int>(routers_.size()); }
+    int numNodes() const { return static_cast<int>(nis_.size()); }
+
+    /** Move every NI's completed packets into `out`. */
+    void drainCompleted(std::vector<CompletedPacket> &out);
+
+    RouterStats aggregateRouterStats() const;
+    PseudoCircuitStats aggregatePcStats() const;
+    NiStats aggregateNiStats() const;
+
+  private:
+    void dispatch(const LinkEvent &event);
+    void buildEvcCreditMap();
+
+    SimConfig cfg_;
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+    EventRing ring_;
+    Cycle now_ = 0;
+    std::uint64_t outstanding_ = 0;
+    Cycle lastProgress_ = 0;
+
+    /// EVC express-credit upstream map: [router][inPort] -> (source
+    /// router two hops back, its output port); kInvalidRouter if none.
+    std::vector<std::vector<std::pair<RouterId, PortId>>> evcUpstream_;
+};
+
+} // namespace noc
+
+#endif // NOC_NETWORK_NETWORK_HPP

@@ -1,0 +1,150 @@
+#include "network/network_interface.hpp"
+
+#include "common/log.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+NetworkInterface::NetworkInterface(const SimConfig &cfg, const Topology &topo,
+                                   const RoutingAlgorithm &routing,
+                                   NodeId node)
+    : cfg_(cfg), topo_(topo), routing_(routing), node_(node),
+      router_(topo.nodeRouter(node)),
+      rng_(cfg.seed * 0x51cf3bull + static_cast<std::uint64_t>(node) + 7),
+      credits_(cfg.numVcs, cfg.bufferDepth)
+{
+}
+
+void
+NetworkInterface::inject(const PacketDesc &packet)
+{
+    NOC_ASSERT(packet.src == node_, "packet injected at the wrong NI");
+    NOC_ASSERT(packet.dst != node_, "self-addressed packet");
+    NOC_ASSERT(packet.size >= 1, "empty packet");
+    if (packet.measured) {
+        if (lastDst_ != kInvalidNode) {
+            ++stats_.localityPackets;
+            if (packet.dst == lastDst_)
+                ++stats_.localityHits;
+        }
+        lastDst_ = packet.dst;
+    }
+    queue_.push_back(packet);
+}
+
+VcId
+NetworkInterface::chooseVc(const PacketDesc &packet, int cls)
+{
+    VcId base;
+    int count;
+    if (cfg_.scheme == Scheme::Evc) {
+        // Express VCs at injection ports have no two-hop manager; the NI
+        // is restricted to the normal partition.
+        base = 0;
+        count = cfg_.numVcs - cfg_.evcNumExpressVcs;
+    } else {
+        const auto range = routing_.vcRangeAt(router_, packet.src,
+                                              packet.dst, cls,
+                                              cfg_.numVcs);
+        base = range.first;
+        count = range.second;
+    }
+    if (cfg_.vaPolicy == VaPolicy::Static)
+        return base + static_cast<VcId>(packet.dst % count);
+
+    // Dynamic: VC with most credits available right now.
+    VcId best = base;
+    for (VcId v = base; v < base + count; ++v) {
+        if (credits_[v] > credits_[best])
+            best = v;
+    }
+    return best;
+}
+
+std::optional<Flit>
+NetworkInterface::step(Cycle now)
+{
+    if (!current_) {
+        if (queue_.empty())
+            return std::nullopt;
+        current_ = queue_.front();
+        queue_.pop_front();
+        sentFlits_ = 0;
+        currentCls_ = routing_.numClasses() > 1
+            ? static_cast<int>(rng_.nextBelow(routing_.numClasses()))
+            : 0;
+        currentVc_ = chooseVc(*current_, currentCls_);
+        currentRoute_ = routing_.route(router_, current_->dst, currentCls_);
+        currentInjectTime_ = now;
+    }
+
+    if (credits_[currentVc_] <= 0)
+        return std::nullopt;
+
+    Flit flit;
+    flit.packet = current_->id;
+    flit.src = current_->src;
+    flit.dst = current_->dst;
+    flit.seq = sentFlits_;
+    flit.packetSize = current_->size;
+    flit.cls = currentCls_;
+    flit.vc = currentVc_;
+    flit.route = currentRoute_;
+    flit.tag = current_->tag;
+    flit.createTime = current_->createTime;
+    flit.injectTime = currentInjectTime_;
+    flit.measured = current_->measured;
+    if (current_->size == 1)
+        flit.type = FlitType::HeadTail;
+    else if (sentFlits_ == 0)
+        flit.type = FlitType::Head;
+    else if (sentFlits_ == current_->size - 1)
+        flit.type = FlitType::Tail;
+    else
+        flit.type = FlitType::Body;
+
+    --credits_[currentVc_];
+    ++sentFlits_;
+    ++stats_.flitsInjected;
+    if (sentFlits_ == current_->size) {
+        ++stats_.packetsInjected;
+        current_.reset();
+    }
+    return flit;
+}
+
+void
+NetworkInterface::receiveFlit(const Flit &flit, Cycle now)
+{
+    NOC_ASSERT(flit.dst == node_, "flit ejected at the wrong NI");
+    Reassembly &r = rx_[flit.packet];
+    ++r.received;
+    r.hops = flit.hops;
+    if (r.received == flit.packetSize) {
+        CompletedPacket done;
+        done.id = flit.packet;
+        done.src = flit.src;
+        done.dst = flit.dst;
+        done.size = flit.packetSize;
+        done.tag = flit.tag;
+        done.createTime = flit.createTime;
+        done.injectTime = flit.injectTime;
+        done.ejectTime = now;
+        done.hops = r.hops;
+        done.measured = flit.measured;
+        completed.push_back(done);
+        rx_.erase(flit.packet);
+        ++stats_.packetsReceived;
+    }
+}
+
+void
+NetworkInterface::addCredit(VcId vc)
+{
+    NOC_ASSERT(vc >= 0 && vc < cfg_.numVcs, "credit VC out of range");
+    ++credits_[vc];
+    NOC_ASSERT(credits_[vc] <= cfg_.bufferDepth, "NI credit overflow");
+}
+
+} // namespace noc

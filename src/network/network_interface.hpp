@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Network interface (NI): packetisation, serial flit injection under
+ * credit flow control, and reassembly at the receiver (paper §3.A).
+ */
+
+#ifndef NOC_NETWORK_NETWORK_INTERFACE_HPP
+#define NOC_NETWORK_NETWORK_INTERFACE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace noc {
+
+class Topology;
+class RoutingAlgorithm;
+
+/** A fully received packet, reported to the simulator. */
+struct CompletedPacket
+{
+    PacketId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t size = 1;
+    std::uint32_t tag = 0;
+    Cycle createTime = 0;
+    Cycle injectTime = 0;
+    Cycle ejectTime = 0;
+    std::uint16_t hops = 0;
+    bool measured = true;
+};
+
+/** Source-side counters (drive Fig 1's end-to-end locality). */
+struct NiStats
+{
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t packetsReceived = 0;
+    std::uint64_t localityPackets = 0;  ///< injections with a previous dst
+    std::uint64_t localityHits = 0;     ///< ... whose dst repeated
+};
+
+class NetworkInterface
+{
+  public:
+    NetworkInterface(const SimConfig &cfg, const Topology &topo,
+                     const RoutingAlgorithm &routing, NodeId node);
+
+    NodeId node() const { return node_; }
+
+    /** Queue a packet for injection. */
+    void inject(const PacketDesc &packet);
+
+    /** True when nothing is queued or partially sent. */
+    bool idle() const { return !current_ && queue_.empty(); }
+
+    std::size_t queueDepth() const
+    {
+        return queue_.size() + (current_ ? 1 : 0);
+    }
+
+    /**
+     * One injection cycle: emit at most one flit. Returns the flit to put
+     * on the terminal link, if any.
+     */
+    std::optional<Flit> step(Cycle now);
+
+    /** A flit arrived from the router's ejection port. */
+    void receiveFlit(const Flit &flit, Cycle now);
+
+    /** A credit came back for the router's terminal input port. */
+    void addCredit(VcId vc);
+
+    /** Completed packets since the last drain (receiver side). */
+    std::vector<CompletedPacket> completed;
+
+    const NiStats &stats() const { return stats_; }
+
+  private:
+    VcId chooseVc(const PacketDesc &packet, int cls);
+
+    const SimConfig cfg_;
+    const Topology &topo_;
+    const RoutingAlgorithm &routing_;
+    const NodeId node_;
+    const RouterId router_;
+    Rng rng_;
+
+    std::deque<PacketDesc> queue_;
+    std::optional<PacketDesc> current_;
+    std::uint32_t sentFlits_ = 0;
+    int currentCls_ = 0;
+    VcId currentVc_ = kInvalidVc;
+    RouteDecision currentRoute_;
+    Cycle currentInjectTime_ = 0;
+
+    std::vector<int> credits_;          ///< per VC at the terminal input
+
+    /// Receiver-side reassembly: packet id -> flits seen / first info.
+    struct Reassembly
+    {
+        std::uint32_t received = 0;
+        std::uint16_t hops = 0;
+    };
+    std::unordered_map<PacketId, Reassembly> rx_;
+
+    NodeId lastDst_ = kInvalidNode;
+    NiStats stats_;
+};
+
+} // namespace noc
+
+#endif // NOC_NETWORK_NETWORK_INTERFACE_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Round-robin arbiter, the primitive used by both stages of the
+ * separable switch allocator and by the VC allocator.
+ */
+
+#ifndef NOC_ROUTER_ARBITER_HPP
+#define NOC_ROUTER_ARBITER_HPP
+
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+/**
+ * Rotating-priority arbiter over `size` requesters. grant() scans from
+ * the slot after the last winner, so service is fair and starvation-free
+ * among persistent requesters.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(int size = 0) : size_(size), last_(size - 1) {}
+
+    void resize(int size)
+    {
+        size_ = size;
+        last_ = size - 1;
+    }
+
+    int size() const { return size_; }
+
+    /**
+     * Pick a winner among requesters (true entries). Returns the winning
+     * index and updates priority, or -1 if nothing is requested.
+     */
+    int
+    grant(const std::vector<bool> &requests)
+    {
+        NOC_ASSERT(static_cast<int>(requests.size()) == size_,
+                   "arbiter request vector size mismatch");
+        for (int i = 1; i <= size_; ++i) {
+            const int idx = (last_ + i) % size_;
+            if (requests[idx]) {
+                last_ = idx;
+                return idx;
+            }
+        }
+        return -1;
+    }
+
+    /** Peek without rotating priority (for diagnostics/tests). */
+    int
+    peek(const std::vector<bool> &requests) const
+    {
+        for (int i = 1; i <= size_; ++i) {
+            const int idx = (last_ + i) % size_;
+            if (requests[idx])
+                return idx;
+        }
+        return -1;
+    }
+
+  private:
+    int size_;
+    int last_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_ARBITER_HPP

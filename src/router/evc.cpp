@@ -1,0 +1,68 @@
+#include "router/evc.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "topology/mesh.hpp"
+
+namespace noc {
+
+EvcUnit::EvcUnit() = default;
+
+EvcUnit::EvcUnit(const SimConfig &cfg, const Topology &topo)
+{
+    mesh_ = dynamic_cast<const Mesh *>(&topo);
+    if (mesh_ == nullptr)
+        NOC_FATAL("EVC requires a mesh-family topology");
+    enabled_ = true;
+    numExpress_ = cfg.evcNumExpressVcs;
+    expressBase_ = cfg.numVcs - cfg.evcNumExpressVcs;
+    NOC_ASSERT(expressBase_ >= 1, "EVC leaves no normal VCs");
+}
+
+int
+EvcUnit::remainingDimHops(RouterId r, NodeId dst, PortId out_port) const
+{
+    NOC_ASSERT(enabled_, "EVC unit is disabled");
+    const PortId net_base = mesh_->concentration();
+    if (out_port < net_base)
+        return 0;   // terminal port
+    const RouterId dst_router = mesh_->nodeRouter(dst);
+    const auto dir = static_cast<Mesh::Direction>(out_port - net_base);
+    if (dir == Mesh::East || dir == Mesh::West)
+        return std::abs(mesh_->xOf(dst_router) - mesh_->xOf(r));
+    return std::abs(mesh_->yOf(dst_router) - mesh_->yOf(r));
+}
+
+RouterId
+EvcUnit::twoHopSink(RouterId r, PortId out_port) const
+{
+    NOC_ASSERT(enabled_, "EVC unit is disabled");
+    const PortId net_base = mesh_->concentration();
+    if (out_port < net_base)
+        return kInvalidRouter;
+    const auto dir = static_cast<Mesh::Direction>(out_port - net_base);
+    int x = mesh_->xOf(r);
+    int y = mesh_->yOf(r);
+    switch (dir) {
+      case Mesh::North: y -= 2; break;
+      case Mesh::East:  x += 2; break;
+      case Mesh::South: y += 2; break;
+      case Mesh::West:  x -= 2; break;
+    }
+    if (x < 0 || x >= mesh_->width() || y < 0 || y >= mesh_->height())
+        return kInvalidRouter;
+    return mesh_->routerAt(x, y);
+}
+
+bool
+EvcUnit::eligible(RouterId r, NodeId dst, const RouteDecision &route) const
+{
+    if (!enabled_)
+        return false;
+    if (twoHopSink(r, route.outPort) == kInvalidRouter)
+        return false;
+    return remainingDimHops(r, dst, route.outPort) >= 2;
+}
+
+} // namespace noc

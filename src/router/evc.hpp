@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Express Virtual Channels support (Kumar et al., ISCA 2007) — the
+ * comparator scheme of the paper's §7.B (Fig 14).
+ *
+ * Dynamic EVCs with l_max = 2: the VC space at every port is split into
+ * normal VCs [0, numNormal) and express VCs [numNormal, numVcs). A head
+ * with at least two remaining hops in its current dimension may acquire an
+ * express VC at the router two hops downstream (the express *sink*); its
+ * flits then pass the intermediate router through a latch — no buffering,
+ * no arbitration — with priority over locally arbitrated traffic. Express
+ * buffer credits travel two hops back on dedicated wiring.
+ */
+
+#ifndef NOC_ROUTER_EVC_HPP
+#define NOC_ROUTER_EVC_HPP
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "routing/routing.hpp"
+
+namespace noc {
+
+class Topology;
+class Mesh;
+
+class EvcUnit
+{
+  public:
+    /** Disabled unit (non-EVC schemes). */
+    EvcUnit();
+
+    /** Enabled unit; requires a mesh-family topology. */
+    EvcUnit(const SimConfig &cfg, const Topology &topo);
+
+    bool enabled() const { return enabled_; }
+    VcId expressBase() const { return expressBase_; }
+    int numExpress() const { return numExpress_; }
+    int numNormal() const { return expressBase_; }
+    bool isExpressVc(VcId v) const { return enabled_ && v >= expressBase_; }
+
+    /**
+     * Remaining hops in the dimension a direction port travels, from
+     * router `r` towards `dst`'s router. 0 for terminal ports.
+     */
+    int remainingDimHops(RouterId r, NodeId dst, PortId out_port) const;
+
+    /** Router two hops downstream through `out_port`, or kInvalidRouter. */
+    RouterId twoHopSink(RouterId r, PortId out_port) const;
+
+    /** True if a head routed to `route` may start an express path here. */
+    bool eligible(RouterId r, NodeId dst, const RouteDecision &route) const;
+
+  private:
+    bool enabled_ = false;
+    const Mesh *mesh_ = nullptr;
+    VcId expressBase_ = kInvalidVc;
+    int numExpress_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_EVC_HPP

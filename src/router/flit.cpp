@@ -1,0 +1,33 @@
+#include "router/flit.hpp"
+
+#include <sstream>
+
+namespace noc {
+
+namespace {
+
+const char *
+typeName(FlitType t)
+{
+    switch (t) {
+      case FlitType::Head:     return "H";
+      case FlitType::Body:     return "B";
+      case FlitType::Tail:     return "T";
+      case FlitType::HeadTail: return "HT";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Flit::describe() const
+{
+    std::ostringstream os;
+    os << "flit[pkt=" << packet << ' ' << typeName(type) << ' ' << seq << '/'
+       << packetSize << " src=" << src << " dst=" << dst << " vc=" << vc
+       << " out=" << route.outPort << '.' << route.drop << ']';
+    return os.str();
+}
+
+} // namespace noc

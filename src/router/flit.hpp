@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Flits, packets and credits — the units of transfer in the network.
+ *
+ * A packet is split into flits by the sending network interface: a head
+ * flit carrying routing state, body flits, and a tail flit (single-flit
+ * packets use HeadTail). Links are 128 bits wide (paper §5): an
+ * address-only packet is 1 flit, an address + 64 B cache block is 5 flits.
+ */
+
+#ifndef NOC_ROUTER_FLIT_HPP
+#define NOC_ROUTER_FLIT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "routing/routing.hpp"
+
+namespace noc {
+
+enum class FlitType : std::uint8_t {
+    Head,
+    Body,
+    Tail,
+    HeadTail,   ///< single-flit packet
+};
+
+inline bool
+isHead(FlitType t)
+{
+    return t == FlitType::Head || t == FlitType::HeadTail;
+}
+
+inline bool
+isTail(FlitType t)
+{
+    return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+/**
+ * One flit in flight. Copied by value through buffers and links; kept
+ * small deliberately.
+ */
+struct Flit
+{
+    PacketId packet = 0;
+    FlitType type = FlitType::Head;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t seq = 0;        ///< flit index within the packet
+    std::uint32_t packetSize = 1; ///< total flits in the packet
+
+    int cls = 0;                  ///< routing class (O1TURN virtual network)
+    VcId vc = kInvalidVc;         ///< VC at the input port it travels to/sits in
+    RouteDecision route;          ///< lookahead decision for current router
+    std::uint32_t tag = 0;        ///< opaque payload tag (workload models)
+
+    Cycle createTime = 0;         ///< packet creation (source queueing incl.)
+    Cycle injectTime = 0;         ///< head flit's entry into the network
+    std::uint16_t hops = 0;       ///< routers traversed so far
+
+    /// EVC: remaining express hops; >0 bypasses intermediate routers.
+    std::int8_t evcHopsLeft = 0;
+
+    bool measured = true;         ///< counts toward statistics
+
+    std::string describe() const;
+};
+
+/** Description of a packet for the network interface to inject. */
+struct PacketDesc
+{
+    PacketId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t size = 1;       ///< flits
+    std::uint32_t tag = 0;        ///< opaque payload tag (workload models)
+    Cycle createTime = 0;
+    bool measured = true;
+};
+
+/** A flow-control credit returning one buffer slot to an upstream router. */
+struct Credit
+{
+    PortId outPort = kInvalidPort; ///< output port at the *upstream* router
+    int drop = 0;                  ///< drop index on that channel
+    VcId vc = kInvalidVc;
+    bool express = false;          ///< EVC: credit for an express buffer
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_FLIT_HPP

@@ -1,0 +1,74 @@
+#include "router/input_unit.hpp"
+
+#include "common/log.hpp"
+
+namespace noc {
+
+void
+InputVc::enqueue(const Flit &flit, Cycle ready_at, int buffer_depth)
+{
+    NOC_ASSERT(static_cast<int>(q_.size()) < buffer_depth,
+               "buffer overflow — credit flow control is broken");
+    // If the VC was drained/idle and a head arrives, a new packet starts.
+    if (q_.empty() && state_ == State::Idle) {
+        NOC_ASSERT(isHead(flit.type),
+                   "body flit arrived at an idle, empty VC");
+        startPacket(flit.route);
+    }
+    q_.push_back({flit, ready_at});
+}
+
+Flit
+InputVc::dequeue()
+{
+    NOC_ASSERT(!q_.empty(), "dequeue from empty VC");
+    const Flit flit = q_.front().flit;
+    q_.pop_front();
+    if (isTail(flit.type))
+        finishPacket();
+    return flit;
+}
+
+void
+InputVc::activate(VcId out_vc, bool express)
+{
+    NOC_ASSERT(state_ == State::WaitingVa, "activate without pending VA");
+    state_ = State::Active;
+    outVc_ = out_vc;
+    outVcExpress_ = express;
+}
+
+void
+InputVc::noteBypassedFlit(const Flit &flit)
+{
+    NOC_ASSERT(q_.empty(), "buffer bypass with a non-empty VC buffer");
+    NOC_ASSERT(state_ == State::Active, "bypassed flit on inactive VC");
+    if (isTail(flit.type))
+        finishPacket();
+}
+
+void
+InputVc::startPacket(const RouteDecision &route)
+{
+    NOC_ASSERT(state_ == State::Idle, "packet start on busy VC");
+    state_ = State::WaitingVa;
+    route_ = route;
+    outVc_ = kInvalidVc;
+    outVcExpress_ = false;
+}
+
+void
+InputVc::finishPacket()
+{
+    state_ = State::Idle;
+    outVc_ = kInvalidVc;
+    outVcExpress_ = false;
+    if (!q_.empty()) {
+        const Flit &next = q_.front().flit;
+        NOC_ASSERT(isHead(next.type),
+                   "non-head flit behind a tail in a VC FIFO");
+        startPacket(next.route);
+    }
+}
+
+} // namespace noc

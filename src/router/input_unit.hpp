@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Input-port state: per-VC flit FIFOs and the per-VC packet state machine.
+ *
+ * The state machine describes the packet currently at the *front* of the
+ * VC (wormhole allows several packets queued back to back in one VC FIFO;
+ * transitions happen when heads arrive at an empty VC and when tails
+ * depart). With buffer bypassing, flits may flow through a VC without ever
+ * being enqueued; the state machine still tracks the in-flight packet.
+ */
+
+#ifndef NOC_ROUTER_INPUT_UNIT_HPP
+#define NOC_ROUTER_INPUT_UNIT_HPP
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace noc {
+
+/** A buffered flit plus the first cycle it may leave the buffer. */
+struct BufferedFlit
+{
+    Flit flit;
+    Cycle ready = 0;   ///< buffer write occupies the arrival cycle
+};
+
+class InputVc
+{
+  public:
+    enum class State {
+        Idle,        ///< no packet in progress
+        WaitingVa,   ///< head at front, needs an output VC
+        Active,      ///< output VC allocated; flits compete for the switch
+    };
+
+    State state() const { return state_; }
+    const RouteDecision &route() const { return route_; }
+    VcId outVc() const { return outVc_; }
+    /** True when the allocated output VC is an EVC express channel. */
+    bool outVcExpress() const { return outVcExpress_; }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t occupancy() const { return q_.size(); }
+    const BufferedFlit &front() const { return q_.front(); }
+    bool frontReady(Cycle now) const
+    {
+        return !q_.empty() && q_.front().ready <= now;
+    }
+
+    /** Buffer write; caller must have verified space via credits. */
+    void enqueue(const Flit &flit, Cycle ready_at, int buffer_depth);
+
+    /** Pop the front flit (switch traversal of a buffered flit). */
+    Flit dequeue();
+
+    /** Head got its output VC. */
+    void activate(VcId out_vc, bool express);
+
+    /**
+     * State bookkeeping for a flit that bypassed the buffer entirely
+     * (buffer bypassing, §4.B). Heads must already be activated by the
+     * caller; tails return the VC to Idle.
+     */
+    void noteBypassedFlit(const Flit &flit);
+
+    /** Transition WaitingVa with the given packet route (head at front). */
+    void startPacket(const RouteDecision &route);
+
+    /** Called after a tail departs: look at the next queued packet. */
+    void finishPacket();
+
+  private:
+    std::deque<BufferedFlit> q_;
+    State state_ = State::Idle;
+    RouteDecision route_;
+    VcId outVc_ = kInvalidVc;
+    bool outVcExpress_ = false;
+};
+
+/** One router input port: VCs plus single-cycle bypass latches. */
+class InputPort
+{
+  public:
+    InputPort(int num_vcs) : vcs_(num_vcs) {}
+
+    InputVc &vc(VcId v) { return vcs_[v]; }
+    const InputVc &vc(VcId v) const { return vcs_[v]; }
+    int numVcs() const { return static_cast<int>(vcs_.size()); }
+
+  private:
+    std::vector<InputVc> vcs_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_INPUT_UNIT_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Output-port state: per-(drop, VC) credit counters and VC ownership.
+ *
+ * On multidrop channels (MECS) every drop-off router has its own buffers,
+ * so credits and ownership are tracked per drop. Point-to-point channels
+ * have exactly one drop. For EVC, express VCs of the router *two* hops
+ * downstream are additionally tracked per direction channel.
+ */
+
+#ifndef NOC_ROUTER_OUTPUT_UNIT_HPP
+#define NOC_ROUTER_OUTPUT_UNIT_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace noc {
+
+/** State of one downstream virtual channel, as seen by the sender. */
+struct OutputVcState
+{
+    int credits = 0;
+    bool owned = false;
+    PortId ownerPort = kInvalidPort;
+    VcId ownerVc = kInvalidVc;
+};
+
+class OutputPort
+{
+  public:
+    /**
+     * @param num_drops  drop-offs on the channel (0 = unconnected port)
+     * @param num_vcs    VCs per drop
+     * @param buffer_depth initial credits per VC
+     */
+    OutputPort(int num_drops, int num_vcs, int buffer_depth);
+
+    bool connected() const { return numDrops_ > 0; }
+    int numDrops() const { return numDrops_; }
+    int numVcs() const { return numVcs_; }
+
+    OutputVcState &vc(int drop, VcId v);
+    const OutputVcState &vc(int drop, VcId v) const;
+
+    void allocate(int drop, VcId v, PortId owner_port, VcId owner_vc);
+    void release(int drop, VcId v);
+
+    /** Credit returned from the drop's router. */
+    void addCredit(int drop, VcId v);
+
+    /** Consume one credit when a flit departs. */
+    void takeCredit(int drop, VcId v);
+
+    /** True if any VC in [base, base+count) at `drop` has a credit. */
+    bool anyCredit(int drop, VcId base, int count) const;
+
+    /** True if any *free* VC in [base, base+count) at `drop` has credit. */
+    bool anyFreeCreditedVc(int drop, VcId base, int count) const;
+
+    // --- EVC express state (sink two hops downstream) ---
+
+    /** Enable express tracking for `count` VCs starting at `base`. */
+    void initExpress(VcId base, int count, int buffer_depth);
+    bool hasExpress() const { return !expressVcs_.empty(); }
+    OutputVcState &expressVc(VcId v);
+    const OutputVcState &expressVc(VcId v) const;
+
+  private:
+    int numDrops_;
+    int numVcs_;
+    std::vector<OutputVcState> vcs_;        ///< [drop * numVcs + vc]
+    VcId expressBase_ = kInvalidVc;
+    std::vector<OutputVcState> expressVcs_; ///< [vc - expressBase]
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_OUTPUT_UNIT_HPP

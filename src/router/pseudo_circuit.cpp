@@ -1,0 +1,109 @@
+#include "router/pseudo_circuit.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+PseudoCircuitUnit::PseudoCircuitUnit(int num_in_ports, int num_out_ports,
+                                     int history_depth)
+    : regs_(num_in_ports), history_(num_out_ports),
+      historyDepth_(history_depth)
+{
+    NOC_ASSERT(history_depth >= 1, "history depth must be positive");
+}
+
+void
+PseudoCircuitUnit::onGrant(PortId in_port, VcId in_vc,
+                           const RouteDecision &route)
+{
+    // Terminate any other circuit claiming the granted output port.
+    for (PortId j = 0; j < static_cast<PortId>(regs_.size()); ++j) {
+        if (j != in_port && regs_[j].valid &&
+            regs_[j].route.outPort == route.outPort) {
+            invalidate(j, /*credit_cause=*/false);
+        }
+    }
+    // Overwriting this input port's circuit terminates the old one.
+    if (regs_[in_port].valid && !(regs_[in_port].route == route &&
+                                  regs_[in_port].inVc == in_vc)) {
+        invalidate(in_port, /*credit_cause=*/false);
+    }
+    regs_[in_port].valid = true;
+    regs_[in_port].inVc = in_vc;
+    regs_[in_port].route = route;
+    ++stats_.created;
+}
+
+void
+PseudoCircuitUnit::terminateForCredit(PortId in_port)
+{
+    if (regs_[in_port].valid)
+        invalidate(in_port, /*credit_cause=*/true);
+}
+
+PortId
+PseudoCircuitUnit::speculationCandidate(PortId out_port) const
+{
+    if (outputBusy(out_port))
+        return kInvalidPort;
+    // Most recent history entry first; an entry is eligible only if its
+    // input register is free and still retains a route to this output.
+    for (const PortId in_port : history_[out_port]) {
+        const Register &reg = regs_[in_port];
+        if (!reg.valid && reg.route.outPort == out_port)
+            return in_port;
+    }
+    return kInvalidPort;
+}
+
+void
+PseudoCircuitUnit::revive(PortId in_port)
+{
+    Register &reg = regs_[in_port];
+    NOC_ASSERT(!reg.valid, "reviving a live pseudo-circuit");
+    reg.valid = true;
+    ++stats_.speculated;
+}
+
+PortId
+PseudoCircuitUnit::trySpeculate(PortId out_port)
+{
+    const PortId in_port = speculationCandidate(out_port);
+    if (in_port == kInvalidPort)
+        return kInvalidPort;
+    revive(in_port);
+    return in_port;
+}
+
+bool
+PseudoCircuitUnit::outputBusy(PortId out_port) const
+{
+    for (const auto &reg : regs_) {
+        if (reg.valid && reg.route.outPort == out_port)
+            return true;
+    }
+    return false;
+}
+
+void
+PseudoCircuitUnit::invalidate(PortId in_port, bool credit_cause)
+{
+    Register &reg = regs_[in_port];
+    NOC_ASSERT(reg.valid, "invalidating an invalid pseudo-circuit");
+    reg.valid = false;
+    // History register at the output remembers who held it last (§4.A);
+    // with depth > 1, older holders are kept as fallback candidates.
+    auto &hist = history_[reg.route.outPort];
+    hist.erase(std::remove(hist.begin(), hist.end(), in_port), hist.end());
+    hist.insert(hist.begin(), in_port);
+    if (static_cast<int>(hist.size()) > historyDepth_)
+        hist.resize(historyDepth_);
+    if (credit_cause)
+        ++stats_.terminatedCredit;
+    else
+        ++stats_.terminatedConflict;
+}
+
+} // namespace noc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The pseudo-circuit unit: the paper's core contribution (§3, §4.A).
+ *
+ * One register per input port holds the most recent crossbar connection
+ * (input VC, output port, drop) plus a valid bit; one history register per
+ * output port holds the input port of the most recently terminated
+ * pseudo-circuit (used by speculation). Termination clears the valid bit
+ * but leaves the registers intact, exactly as in §3.C, which is what makes
+ * speculative restoration (§4.A) possible.
+ */
+
+#ifndef NOC_ROUTER_PSEUDO_CIRCUIT_HPP
+#define NOC_ROUTER_PSEUDO_CIRCUIT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "routing/routing.hpp"
+
+namespace noc {
+
+/** Counters exposed for evaluation (Fig 8b, Fig 10). */
+struct PseudoCircuitStats
+{
+    std::uint64_t created = 0;        ///< circuits set up by SA grants
+    std::uint64_t terminatedConflict = 0;
+    std::uint64_t terminatedCredit = 0;
+    std::uint64_t speculated = 0;     ///< circuits revived speculatively
+};
+
+class PseudoCircuitUnit
+{
+  public:
+    /** Per-input-port pseudo-circuit register (paper Fig 3a). */
+    struct Register
+    {
+        bool valid = false;
+        VcId inVc = kInvalidVc;
+        RouteDecision route;   ///< output port + drop of the connection
+    };
+
+    /**
+     * @param history_depth  entries per output-port history register.
+     *   The paper uses depth 1 (a single input-port number); deeper
+     *   histories let speculation fall back to older holders whose
+     *   retained routes still match (extension, see ablation_history).
+     */
+    PseudoCircuitUnit(int num_in_ports, int num_out_ports,
+                      int history_depth = 1);
+
+    /** The register at an input port (for comparator checks). */
+    const Register &at(PortId in_port) const { return regs_[in_port]; }
+
+    /**
+     * A switch-arbiter grant (inPort, inVc) -> route was made: create the
+     * new pseudo-circuit and terminate every conflicting one (same input
+     * port or same output port), recording termination history.
+     */
+    void onGrant(PortId in_port, VcId in_vc, const RouteDecision &route);
+
+    /**
+     * Terminate the circuit at `in_port` because its output ran out of
+     * downstream credits (§3.C condition 2). No-op if already invalid.
+     */
+    void terminateForCredit(PortId in_port);
+
+    /**
+     * The input port speculation would restore onto `out_port` right
+     * now (§4.A): the most recently terminated holder whose retained
+     * route still targets the output and whose register is free.
+     * Returns kInvalidPort when the output is busy or nothing matches.
+     */
+    PortId speculationCandidate(PortId out_port) const;
+
+    /** Revive a previously terminated circuit (caller checked credit). */
+    void revive(PortId in_port);
+
+    /**
+     * Speculative restoration (§4.A): candidate lookup + revival in one
+     * step (no credit check — the router layer does that). Returns the
+     * revived input port or kInvalidPort.
+     */
+    PortId trySpeculate(PortId out_port);
+
+    /** True if some valid circuit drives `out_port`. */
+    bool outputBusy(PortId out_port) const;
+
+    /** Most recent history entry of an output (or kInvalidPort). */
+    PortId history(PortId out_port) const
+    {
+        return history_[out_port].empty() ? kInvalidPort
+                                          : history_[out_port].front();
+    }
+
+    const PseudoCircuitStats &stats() const { return stats_; }
+
+  private:
+    void invalidate(PortId in_port, bool credit_cause);
+
+    std::vector<Register> regs_;     ///< [input port]
+    /// [output port] -> recently terminated inputs, most recent first.
+    std::vector<std::vector<PortId>> history_;
+    int historyDepth_;
+    PseudoCircuitStats stats_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_PSEUDO_CIRCUIT_HPP

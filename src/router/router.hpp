@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The pipelined virtual-channel router (paper §3.A, Fig 2) with the
+ * pseudo-circuit scheme (§3), pseudo-circuit speculation and buffer
+ * bypassing (§4), and an EVC mode (§7.B).
+ *
+ * Pipeline (Fig 6), in cycles of per-hop router delay:
+ *   Baseline      BW | VA+SA | ST   (3)
+ *   Pseudo        BW | ST          (2)   — SA bypassed on a circuit match
+ *   Pseudo+B      ST               (1)   — arrival-cycle switch traversal
+ * plus one link-traversal cycle per grid hop in all configurations.
+ *
+ * Simulation structure per cycle (driven by Network):
+ *   1. deliverFlit()/deliverCredit() for everything arriving this cycle
+ *      (buffer write, or bypass-latch capture);
+ *   2. step(): switch-traversal phase (SA winners from the previous
+ *      cycle, then latched flits, then pseudo-circuit buffered bypasses),
+ *      followed by the allocation phase (VA, speculative SA,
+ *      pseudo-circuit creation/termination/speculation).
+ * Outputs accumulate in sentFlits/sentCredits for the caller to drain.
+ */
+
+#ifndef NOC_ROUTER_ROUTER_HPP
+#define NOC_ROUTER_ROUTER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "router/evc.hpp"
+#include "router/flit.hpp"
+#include "router/input_unit.hpp"
+#include "router/output_unit.hpp"
+#include "router/pseudo_circuit.hpp"
+#include "router/switch_allocator.hpp"
+#include "router/vc_allocator.hpp"
+
+namespace noc {
+
+class Topology;
+class RoutingAlgorithm;
+
+/** Per-router event counters (drive energy, reusability and locality). */
+struct RouterStats
+{
+    std::uint64_t flitsArrived = 0;
+    std::uint64_t bufferWrites = 0;
+    std::uint64_t bufferReads = 0;
+    std::uint64_t xbarTraversals = 0;
+    std::uint64_t vaGrants = 0;
+    std::uint64_t saGrants = 0;
+    std::uint64_t saBypasses = 0;      ///< circuit reuse from the buffer
+    std::uint64_t bufferBypasses = 0;  ///< circuit reuse through the latch
+    std::uint64_t headTraversals = 0;  ///< head flits through the switch
+    std::uint64_t headSaBypasses = 0;  ///< heads reusing from the buffer
+    std::uint64_t headBufferBypasses = 0;  ///< heads through the latch
+    std::uint64_t expressBypasses = 0; ///< EVC intermediate-hop traversals
+    std::uint64_t wastedGrants = 0;    ///< speculation / preemption losses
+
+    /// Crossbar-connection temporal locality (Fig 1): per-input-port
+    /// consecutive packets using the same output port.
+    std::uint64_t localityHeads = 0;
+    std::uint64_t localityHits = 0;
+
+    /** Flits that reused a pseudo-circuit. */
+    std::uint64_t circuitReuses() const
+    {
+        return saBypasses + bufferBypasses;
+    }
+};
+
+class Router
+{
+  public:
+    /** A flit leaving through an output channel. */
+    struct SentFlit
+    {
+        PortId outPort = kInvalidPort;
+        int drop = 0;
+        Flit flit;
+    };
+
+    /** A credit leaving upstream through an input port. */
+    struct SentCredit
+    {
+        PortId inPort = kInvalidPort;
+        VcId vc = kInvalidVc;
+        bool express = false;
+    };
+
+    Router(const SimConfig &cfg, const Topology &topo,
+           const RoutingAlgorithm &routing, RouterId id);
+
+    RouterId id() const { return id_; }
+    int numInputPorts() const { return static_cast<int>(inputs_.size()); }
+    int numOutputPorts() const { return static_cast<int>(outputs_.size()); }
+
+    /** Arrival of a flit on an input port at cycle `now` (phase 1). */
+    void deliverFlit(PortId in_port, const Flit &flit, Cycle now);
+
+    /** Arrival of a credit for one of this router's outputs (phase 1). */
+    void deliverCredit(const Credit &credit);
+
+    /** One cycle of switch traversal + allocation (phase 2). */
+    void step(Cycle now);
+
+    /** Flits/credits produced by the latest step(); caller clears. */
+    std::vector<SentFlit> sentFlits;
+    std::vector<SentCredit> sentCredits;
+
+    const RouterStats &stats() const { return stats_; }
+    const PseudoCircuitStats &pcStats() const { return pc_.stats(); }
+    const PseudoCircuitUnit &pcUnit() const { return pc_; }
+    const InputVc &inputVc(PortId p, VcId v) const
+    {
+        return inputs_[p].vc(v);
+    }
+    const OutputPort &outputPort(PortId p) const { return outputs_[p]; }
+    OutputPort &outputPortForTest(PortId p) { return outputs_[p]; }
+
+  private:
+    // --- scheme predicates ---
+    bool pcEnabled() const
+    {
+        return cfg_.scheme == Scheme::Pseudo ||
+               cfg_.scheme == Scheme::PseudoS ||
+               cfg_.scheme == Scheme::PseudoB ||
+               cfg_.scheme == Scheme::PseudoSB;
+    }
+    bool specEnabled() const
+    {
+        return cfg_.scheme == Scheme::PseudoS ||
+               cfg_.scheme == Scheme::PseudoSB;
+    }
+    bool bbEnabled() const
+    {
+        return cfg_.scheme == Scheme::PseudoB ||
+               cfg_.scheme == Scheme::PseudoSB;
+    }
+    bool evcEnabled() const { return cfg_.scheme == Scheme::Evc; }
+
+    /** VC range this head flit may be allocated into at this router
+     *  (position-dependent for torus dateline classes). */
+    std::pair<VcId, int> vaRange(const Flit &head) const;
+
+    bool pendingUsesInput(PortId in_port) const;
+    bool pendingUsesOutput(PortId out_port) const;
+
+    /** Try to capture an arriving flit in the buffer-bypass latch. */
+    bool tryBufferBypass(PortId in_port, const Flit &flit, Cycle now);
+
+    /** Head-flit VA performed outside the allocation phase (§3.B: "VA is
+     *  performed independently"); returns the granted VC or kInvalidVc. */
+    VcId independentVa(const Flit &head, const RouteDecision &route);
+
+    // --- step() phases ---
+    void switchPhase(Cycle now);
+    void allocationPhase(Cycle now);
+
+    void doVa(PortId in_port, VcId in_vc, Cycle now);
+
+    /** True if this VC's front flit will traverse via the standing
+     *  pseudo-circuit, so it must not request SA (§3.B). */
+    bool willUseCircuit(PortId in_port, VcId in_vc) const;
+
+    void creditTerminations();
+    void speculate();
+
+    /**
+     * Move one flit through the crossbar onto its output channel,
+     * handling credits, ownership release, lookahead routing and stats.
+     * `from_buffer` distinguishes buffered flits (buffer-read energy,
+     * upstream credit) from latched ones (credit only).
+     */
+    void traverse(PortId in_port, Flit flit, const RouteDecision &route,
+                  VcId out_vc, bool express_out, bool from_buffer,
+                  Cycle now);
+
+    /** EVC: move an express flit through the intermediate-hop latch. */
+    void traverseExpress(PortId in_port, Flit flit, Cycle now);
+
+    void noteLocality(PortId in_port, PortId out_port);
+
+    const SimConfig cfg_;
+    const Topology &topo_;
+    const RoutingAlgorithm &routing_;
+    const RouterId id_;
+
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    PseudoCircuitUnit pc_;
+    EvcUnit evc_;
+    VcAllocator va_;
+    SwitchAllocator sa_;
+
+    std::vector<SaGrant> pendingGrants_;          ///< execute next cycle
+    std::vector<std::optional<Flit>> bypassLatch_;  ///< per input port
+    std::vector<std::optional<Flit>> expressLatch_; ///< per input port
+    std::vector<bool> usedIn_;
+    std::vector<bool> usedOut_;
+    int vaRotate_ = 0;
+
+    std::vector<PortId> lastOutPort_;  ///< per input port, for locality
+
+    RouterStats stats_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_ROUTER_HPP

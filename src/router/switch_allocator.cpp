@@ -1,0 +1,79 @@
+#include "router/switch_allocator.hpp"
+
+#include "common/log.hpp"
+
+namespace noc {
+
+SwitchAllocator::SwitchAllocator(int num_in_ports, int num_out_ports,
+                                 int num_vcs)
+    : numVcs_(num_vcs)
+{
+    inputArbs_.reserve(num_in_ports);
+    for (int i = 0; i < num_in_ports; ++i)
+        inputArbs_.emplace_back(num_vcs);
+    outputArbs_.reserve(num_out_ports);
+    for (int o = 0; o < num_out_ports; ++o)
+        outputArbs_.emplace_back(num_in_ports);
+}
+
+std::vector<SaGrant>
+SwitchAllocator::allocate(const std::vector<std::vector<SaRequest>> &requests)
+{
+    const int num_in = static_cast<int>(inputArbs_.size());
+    const int num_out = static_cast<int>(outputArbs_.size());
+    NOC_ASSERT(static_cast<int>(requests.size()) == num_in,
+               "request matrix has wrong input-port count");
+
+    // Stage 1: one winning VC per input port.
+    struct InputWinner
+    {
+        VcId vc = kInvalidVc;
+        PortId outPort = kInvalidPort;
+        bool speculative = false;
+    };
+    std::vector<InputWinner> winners(num_in);
+    std::vector<bool> vc_reqs(numVcs_);
+    for (PortId i = 0; i < num_in; ++i) {
+        NOC_ASSERT(static_cast<int>(requests[i].size()) == numVcs_,
+                   "request matrix has wrong VC count");
+        for (VcId v = 0; v < numVcs_; ++v)
+            vc_reqs[v] = requests[i][v].valid;
+        const int win = inputArbs_[i].grant(vc_reqs);
+        if (win >= 0) {
+            winners[i].vc = win;
+            winners[i].outPort = requests[i][win].outPort;
+            winners[i].speculative = requests[i][win].speculative;
+        }
+    }
+
+    // Stage 2: one winning input per output port; non-speculative
+    // requests have priority over speculative ones.
+    std::vector<SaGrant> grants;
+    std::vector<bool> in_reqs(num_in);
+    for (PortId o = 0; o < num_out; ++o) {
+        bool any_nonspec = false;
+        for (PortId i = 0; i < num_in; ++i) {
+            if (winners[i].vc != kInvalidVc && winners[i].outPort == o &&
+                !winners[i].speculative) {
+                any_nonspec = true;
+                break;
+            }
+        }
+        bool any = false;
+        for (PortId i = 0; i < num_in; ++i) {
+            in_reqs[i] = winners[i].vc != kInvalidVc &&
+                winners[i].outPort == o &&
+                (!any_nonspec || !winners[i].speculative);
+            any = any || in_reqs[i];
+        }
+        if (!any)
+            continue;
+        const int win = outputArbs_[o].grant(in_reqs);
+        NOC_ASSERT(win >= 0, "output arbiter lost a pending request");
+        grants.push_back({win, winners[win].vc, o,
+                          winners[win].speculative});
+    }
+    return grants;
+}
+
+} // namespace noc

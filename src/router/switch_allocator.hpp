@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Separable input-first switch allocator with speculation support
+ * (Peh & Dally, HPCA 2001 — the paper's baseline router, §3.A).
+ *
+ * Stage 1 arbitrates among the VCs of each input port; stage 2 arbitrates
+ * among input-port winners for each output port. Non-speculative requests
+ * (packets that already hold an output VC) beat speculative ones (heads
+ * whose VA is still in flight); a speculative winner whose VA failed
+ * wastes its crossbar slot, which is the speculation penalty.
+ */
+
+#ifndef NOC_ROUTER_SWITCH_ALLOCATOR_HPP
+#define NOC_ROUTER_SWITCH_ALLOCATOR_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/arbiter.hpp"
+
+namespace noc {
+
+/** One switch request from an input VC. */
+struct SaRequest
+{
+    bool valid = false;
+    PortId outPort = kInvalidPort;
+    bool speculative = false;
+};
+
+/** One switch grant. */
+struct SaGrant
+{
+    PortId inPort = kInvalidPort;
+    VcId inVc = kInvalidVc;
+    PortId outPort = kInvalidPort;
+    bool speculative = false;
+};
+
+class SwitchAllocator
+{
+  public:
+    SwitchAllocator(int num_in_ports, int num_out_ports, int num_vcs);
+
+    /**
+     * Run one allocation round. `requests[in][vc]` describes each input
+     * VC's request. At most one grant per input and per output port.
+     */
+    std::vector<SaGrant>
+    allocate(const std::vector<std::vector<SaRequest>> &requests);
+
+  private:
+    int numVcs_;
+    std::vector<RoundRobinArbiter> inputArbs_;   ///< per input, over VCs
+    std::vector<RoundRobinArbiter> outputArbs_;  ///< per output, over inputs
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_SWITCH_ALLOCATOR_HPP

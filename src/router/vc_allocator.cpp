@@ -1,0 +1,36 @@
+#include "router/vc_allocator.hpp"
+
+#include "common/log.hpp"
+
+namespace noc {
+
+VcId
+VcAllocator::staticVc(VcId base, int count, NodeId dst)
+{
+    NOC_ASSERT(count > 0, "empty VC range");
+    return base + static_cast<VcId>(dst % count);
+}
+
+VcId
+VcAllocator::choose(const OutputPort &port, int drop, VcId base, int count,
+                    NodeId dst) const
+{
+    if (policy_ == VaPolicy::Static) {
+        const VcId v = staticVc(base, count, dst);
+        return port.vc(drop, v).owned ? kInvalidVc : v;
+    }
+
+    // Dynamic: free VC with the most credits (ties -> lowest index).
+    VcId best = kInvalidVc;
+    int best_credits = -1;
+    for (VcId v = base; v < base + count; ++v) {
+        const OutputVcState &s = port.vc(drop, v);
+        if (!s.owned && s.credits > best_credits) {
+            best = v;
+            best_credits = s.credits;
+        }
+    }
+    return best;
+}
+
+} // namespace noc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Output-VC selection policies (paper §5):
+ *  - dynamic VA: pick the free VC with the most downstream credits;
+ *  - static VA: destination-hashed VC, so all flows to one destination
+ *    share the same VC everywhere, maximising pseudo-circuit reusability.
+ */
+
+#ifndef NOC_ROUTER_VC_ALLOCATOR_HPP
+#define NOC_ROUTER_VC_ALLOCATOR_HPP
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "router/output_unit.hpp"
+
+namespace noc {
+
+class VcAllocator
+{
+  public:
+    explicit VcAllocator(VaPolicy policy) : policy_(policy) {}
+
+    VaPolicy policy() const { return policy_; }
+
+    /**
+     * Choose a free output VC in [base, base+count) on (port, drop) for a
+     * packet to `dst`. Returns kInvalidVc when nothing is available.
+     */
+    VcId choose(const OutputPort &port, int drop, VcId base, int count,
+                NodeId dst) const;
+
+    /** The VC static VA would use (free or not) — for reuse checks. */
+    static VcId staticVc(VcId base, int count, NodeId dst);
+
+  private:
+    VaPolicy policy_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_VC_ALLOCATOR_HPP

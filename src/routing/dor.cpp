@@ -1,0 +1,107 @@
+#include "routing/dor.hpp"
+
+#include "common/log.hpp"
+#include "topology/fbfly.hpp"
+#include "topology/mecs.hpp"
+#include "topology/mesh.hpp"
+
+namespace noc {
+
+MeshDor::MeshDor(const Mesh &mesh, bool x_first)
+    : mesh_(mesh), xFirst_(x_first)
+{
+}
+
+RouteDecision
+MeshDor::route(RouterId r, NodeId dst, int cls) const
+{
+    (void)cls;
+    const RouterId dst_router = mesh_.nodeRouter(dst);
+    if (dst_router == r)
+        return {mesh_.nodePort(dst), 0};
+
+    const int dx = mesh_.xOf(dst_router) - mesh_.xOf(r);
+    const int dy = mesh_.yOf(dst_router) - mesh_.yOf(r);
+
+    Mesh::Direction dir;
+    if (xFirst_) {
+        if (dx != 0)
+            dir = dx > 0 ? Mesh::East : Mesh::West;
+        else
+            dir = dy > 0 ? Mesh::South : Mesh::North;
+    } else {
+        if (dy != 0)
+            dir = dy > 0 ? Mesh::South : Mesh::North;
+        else
+            dir = dx > 0 ? Mesh::East : Mesh::West;
+    }
+    return {mesh_.dirPort(dir), 0};
+}
+
+std::string
+MeshDor::name() const
+{
+    return xFirst_ ? "XY" : "YX";
+}
+
+FbflyDor::FbflyDor(const FlattenedButterfly &fbfly, bool x_first)
+    : fbfly_(fbfly), xFirst_(x_first)
+{
+}
+
+RouteDecision
+FbflyDor::route(RouterId r, NodeId dst, int cls) const
+{
+    (void)cls;
+    const RouterId dst_router = fbfly_.nodeRouter(dst);
+    if (dst_router == r)
+        return {fbfly_.nodePort(dst), 0};
+
+    const int dst_x = fbfly_.xOf(dst_router);
+    const int dst_y = fbfly_.yOf(dst_router);
+    const bool x_off = dst_x != fbfly_.xOf(r);
+    const bool y_off = dst_y != fbfly_.yOf(r);
+
+    if (xFirst_ ? x_off : (x_off && !y_off))
+        return {fbfly_.rowPort(r, dst_x), 0};
+    return {fbfly_.colPort(r, dst_y), 0};
+}
+
+std::string
+FbflyDor::name() const
+{
+    return xFirst_ ? "XY" : "YX";
+}
+
+MecsDor::MecsDor(const Mecs &mecs, bool x_first)
+    : mecs_(mecs), xFirst_(x_first)
+{
+}
+
+RouteDecision
+MecsDor::route(RouterId r, NodeId dst, int cls) const
+{
+    (void)cls;
+    const RouterId dst_router = mecs_.nodeRouter(dst);
+    if (dst_router == r)
+        return {mecs_.nodePort(dst), 0};
+
+    const int dx = mecs_.xOf(dst_router) - mecs_.xOf(r);
+    const int dy = mecs_.yOf(dst_router) - mecs_.yOf(r);
+
+    const bool go_x = xFirst_ ? dx != 0 : (dx != 0 && dy == 0);
+    if (go_x) {
+        const auto dir = dx > 0 ? Mecs::East : Mecs::West;
+        return {mecs_.dirPort(dir), std::abs(dx) - 1};
+    }
+    const auto dir = dy > 0 ? Mecs::South : Mecs::North;
+    return {mecs_.dirPort(dir), std::abs(dy) - 1};
+}
+
+std::string
+MecsDor::name() const
+{
+    return xFirst_ ? "XY" : "YX";
+}
+
+} // namespace noc

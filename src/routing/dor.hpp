@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dimension-order routing for the mesh family and the express topologies.
+ */
+
+#ifndef NOC_ROUTING_DOR_HPP
+#define NOC_ROUTING_DOR_HPP
+
+#include "routing/routing.hpp"
+
+namespace noc {
+
+class Mesh;
+class FlattenedButterfly;
+class Mecs;
+
+/** XY or YX dimension-order routing on a (concentrated) mesh. */
+class MeshDor : public RoutingAlgorithm
+{
+  public:
+    MeshDor(const Mesh &mesh, bool x_first);
+
+    RouteDecision route(RouterId r, NodeId dst, int cls) const override;
+    std::string name() const override;
+
+  private:
+    const Mesh &mesh_;
+    bool xFirst_;
+};
+
+/** Dimension-order routing on the flattened butterfly (one hop per dim). */
+class FbflyDor : public RoutingAlgorithm
+{
+  public:
+    FbflyDor(const FlattenedButterfly &fbfly, bool x_first);
+
+    RouteDecision route(RouterId r, NodeId dst, int cls) const override;
+    std::string name() const override;
+
+  private:
+    const FlattenedButterfly &fbfly_;
+    bool xFirst_;
+};
+
+/** Dimension-order routing on MECS (one multidrop channel hop per dim). */
+class MecsDor : public RoutingAlgorithm
+{
+  public:
+    MecsDor(const Mecs &mecs, bool x_first);
+
+    RouteDecision route(RouterId r, NodeId dst, int cls) const override;
+    std::string name() const override;
+
+  private:
+    const Mecs &mecs_;
+    bool xFirst_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTING_DOR_HPP

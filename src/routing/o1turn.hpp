@@ -1,0 +1,34 @@
+/**
+ * @file
+ * O1TURN routing (Seo et al., ISCA 2005): each packet randomly picks XY or
+ * YX at injection; the two orientations run in disjoint VC partitions
+ * (virtual networks), which keeps the combination deadlock-free and gives
+ * near-optimal worst-case throughput on 2D meshes.
+ */
+
+#ifndef NOC_ROUTING_O1TURN_HPP
+#define NOC_ROUTING_O1TURN_HPP
+
+#include "routing/dor.hpp"
+
+namespace noc {
+
+class O1TurnRouting : public RoutingAlgorithm
+{
+  public:
+    explicit O1TurnRouting(const Mesh &mesh);
+
+    /** cls 0 routes XY, cls 1 routes YX. */
+    RouteDecision route(RouterId r, NodeId dst, int cls) const override;
+    int numClasses() const override { return 2; }
+    std::pair<VcId, int> vcRange(int cls, int num_vcs) const override;
+    std::string name() const override { return "O1TURN"; }
+
+  private:
+    MeshDor xy_;
+    MeshDor yx_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTING_O1TURN_HPP

@@ -1,0 +1,77 @@
+#include "routing/routing.hpp"
+
+#include "common/log.hpp"
+#include "routing/dor.hpp"
+#include "routing/o1turn.hpp"
+#include "routing/torus_dor.hpp"
+#include "topology/fbfly.hpp"
+#include "topology/mecs.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace noc {
+
+std::pair<VcId, int>
+RoutingAlgorithm::vcRange(int cls, int num_vcs) const
+{
+    (void)cls;
+    return {0, num_vcs};
+}
+
+std::pair<VcId, int>
+RoutingAlgorithm::vcRangeAt(RouterId r, NodeId src, NodeId dst, int cls,
+                            int num_vcs) const
+{
+    (void)r;
+    (void)src;
+    (void)dst;
+    return vcRange(cls, num_vcs);
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeRouting(RoutingKind kind, const Topology &topo)
+{
+    if (const auto *mesh = dynamic_cast<const Mesh *>(&topo)) {
+        switch (kind) {
+          case RoutingKind::XY:
+            return std::make_unique<MeshDor>(*mesh, true);
+          case RoutingKind::YX:
+            return std::make_unique<MeshDor>(*mesh, false);
+          case RoutingKind::O1Turn:
+            return std::make_unique<O1TurnRouting>(*mesh);
+        }
+    }
+    if (const auto *fbfly = dynamic_cast<const FlattenedButterfly *>(&topo)) {
+        switch (kind) {
+          case RoutingKind::XY:
+            return std::make_unique<FbflyDor>(*fbfly, true);
+          case RoutingKind::YX:
+            return std::make_unique<FbflyDor>(*fbfly, false);
+          case RoutingKind::O1Turn:
+            NOC_FATAL("O1TURN is not defined on the flattened butterfly");
+        }
+    }
+    if (const auto *torus = dynamic_cast<const Torus *>(&topo)) {
+        switch (kind) {
+          case RoutingKind::XY:
+            return std::make_unique<TorusDor>(*torus, true);
+          case RoutingKind::YX:
+            return std::make_unique<TorusDor>(*torus, false);
+          case RoutingKind::O1Turn:
+            NOC_FATAL("O1TURN is not defined on the torus");
+        }
+    }
+    if (const auto *mecs = dynamic_cast<const Mecs *>(&topo)) {
+        switch (kind) {
+          case RoutingKind::XY:
+            return std::make_unique<MecsDor>(*mecs, true);
+          case RoutingKind::YX:
+            return std::make_unique<MecsDor>(*mecs, false);
+          case RoutingKind::O1Turn:
+            NOC_FATAL("O1TURN is not defined on MECS");
+        }
+    }
+    NOC_FATAL("no routing algorithm for topology " + topo.name());
+}
+
+} // namespace noc

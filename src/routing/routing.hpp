@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Routing algorithm abstraction.
+ *
+ * All algorithms are used in *lookahead* form (Galles' SGI Spider style,
+ * paper §3.A): the decision for router R is computed one hop upstream and
+ * carried by the head flit, so route computation is off the critical path.
+ *
+ * A routing class ("cls") identifies the virtual network a packet travels
+ * in. Deterministic algorithms have one class; O1TURN has two (XY and YX)
+ * and partitions the VC space between them for deadlock freedom.
+ */
+
+#ifndef NOC_ROUTING_ROUTING_HPP
+#define NOC_ROUTING_ROUTING_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace noc {
+
+class Topology;
+
+/** A routing decision at one router: output channel and drop-off. */
+struct RouteDecision
+{
+    PortId outPort = kInvalidPort;
+    int drop = 0;   ///< drop index on multidrop channels; 0 otherwise
+
+    bool operator==(const RouteDecision &) const = default;
+};
+
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /**
+     * Route a packet of class `cls` standing at router `r` towards node
+     * `dst`. Returns the terminal port when `dst` is attached to `r`.
+     */
+    virtual RouteDecision route(RouterId r, NodeId dst, int cls) const = 0;
+
+    /** Number of routing classes (virtual networks). */
+    virtual int numClasses() const { return 1; }
+
+    /** VC range {base, count} a class may use out of `num_vcs` VCs. */
+    virtual std::pair<VcId, int> vcRange(int cls, int num_vcs) const;
+
+    /**
+     * Position-dependent VC range for a packet of `cls` from `src`
+     * standing at router `r` en route to `dst`. Defaults to vcRange();
+     * torus routing overrides it to implement dateline VC classes
+     * (packets that crossed the wraparound use the upper half of the VC
+     * space, which breaks ring channel-dependency cycles).
+     */
+    virtual std::pair<VcId, int> vcRangeAt(RouterId r, NodeId src,
+                                           NodeId dst, int cls,
+                                           int num_vcs) const;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Build the routing algorithm for a topology. Dispatches on the concrete
+ * topology type; fails fatally on unsupported combinations (e.g. O1TURN
+ * on MECS).
+ */
+std::unique_ptr<RoutingAlgorithm> makeRouting(RoutingKind kind,
+                                              const Topology &topo);
+
+} // namespace noc
+
+#endif // NOC_ROUTING_ROUTING_HPP

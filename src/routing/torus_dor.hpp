@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal dimension-order routing on the torus with dateline VC
+ * classes (extension beyond the paper's mesh family).
+ *
+ * Each dimension is traversed in the minimal direction (ties towards
+ * increasing coordinate). Within a ring, a packet starts in the lower
+ * half of the VC space and switches to the upper half once it has
+ * crossed the wraparound link ("dateline"), which breaks the ring's
+ * channel-dependency cycle; dimension order breaks cycles across
+ * dimensions, so the combination is deadlock-free with 2+ VCs.
+ */
+
+#ifndef NOC_ROUTING_TORUS_DOR_HPP
+#define NOC_ROUTING_TORUS_DOR_HPP
+
+#include "routing/routing.hpp"
+
+namespace noc {
+
+class Torus;
+
+class TorusDor : public RoutingAlgorithm
+{
+  public:
+    TorusDor(const Torus &torus, bool x_first);
+
+    RouteDecision route(RouterId r, NodeId dst, int cls) const override;
+    std::pair<VcId, int> vcRangeAt(RouterId r, NodeId src, NodeId dst,
+                                   int cls, int num_vcs) const override;
+    std::string name() const override;
+
+    /**
+     * True if a packet that started at ring position `from`, travelling
+     * in direction `dir` (+1/-1), has already passed the wraparound by
+     * the time it stands at `at`. Exposed for tests.
+     */
+    static bool crossedDateline(int from, int at, int dir);
+
+    /** Minimal-direction step (-1, 0, +1) from `from` towards `to`;
+     *  ties (exactly half the ring) resolve to +1. */
+    static int minimalStep(int from, int to, int size);
+
+  private:
+    const Torus &torus_;
+    bool xFirst_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTING_TORUS_DOR_HPP

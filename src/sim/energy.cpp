@@ -1,0 +1,20 @@
+#include "sim/energy.hpp"
+
+namespace noc {
+
+EnergyBreakdown
+computeEnergy(const RouterStats &stats, const EnergyParams &params)
+{
+    EnergyBreakdown e;
+    e.bufferPj =
+        params.bufferWritePj * static_cast<double>(stats.bufferWrites) +
+        params.bufferReadPj * static_cast<double>(stats.bufferReads);
+    e.crossbarPj =
+        params.crossbarPj * static_cast<double>(stats.xbarTraversals);
+    e.arbiterPj = params.arbiterPj *
+        static_cast<double>(stats.saGrants + stats.vaGrants +
+                            stats.wastedGrants);
+    return e;
+}
+
+} // namespace noc

@@ -1,0 +1,121 @@
+#include "sim/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "network/network.hpp"
+#include "traffic/cmp_model.hpp"
+
+namespace noc {
+
+SimConfig
+traceConfig()
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::CMesh;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.concentration = 4;
+    cfg.numVcs = 4;
+    cfg.bufferDepth = 4;
+    cfg.routing = RoutingKind::XY;
+    cfg.vaPolicy = VaPolicy::Static;
+    cfg.scheme = Scheme::Baseline;
+    return cfg;
+}
+
+SimConfig
+syntheticConfig()
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    cfg.concentration = 1;
+    cfg.numVcs = 4;
+    cfg.bufferDepth = 4;
+    cfg.routing = RoutingKind::XY;
+    cfg.vaPolicy = VaPolicy::Static;
+    cfg.scheme = Scheme::Baseline;
+    return cfg;
+}
+
+SimWindows
+traceWindows()
+{
+    SimWindows w;
+    w.warmup = 3000;
+    w.measure = 15000;
+    w.drainLimit = 60000;
+    // Harness iteration aid: NOC_MEASURE=<cycles> shortens runs.
+    if (const char *env = std::getenv("NOC_MEASURE")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            w.measure = static_cast<Cycle>(v);
+    }
+    return w;
+}
+
+const std::vector<TraceRecord> &
+benchmarkTrace(const SimConfig &cfg, const BenchmarkProfile &b)
+{
+    static std::map<std::string, std::vector<TraceRecord>> cache;
+    const auto topo = makeTopology(cfg);
+    const std::string key = b.name + "@" + topo->name();
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const SimWindows w = traceWindows();
+        it = cache.emplace(key,
+                           generateCmpTrace(b, *topo, w.warmup + w.measure,
+                                            /*seed=*/0xbe9c0u + cfg.seed))
+                 .first;
+    }
+    return it->second;
+}
+
+SimResult
+runBenchmark(const SimConfig &cfg, const BenchmarkProfile &b)
+{
+    auto source =
+        std::make_unique<TraceReplaySource>(benchmarkTrace(cfg, b));
+    return runSimulation(cfg, std::move(source), traceWindows());
+}
+
+double
+latencyReduction(const SimResult &baseline, const SimResult &other)
+{
+    if (baseline.avgNetLatency <= 0.0)
+        return 0.0;
+    return 1.0 - other.avgNetLatency / baseline.avgNetLatency;
+}
+
+const std::vector<Scheme> &
+pseudoSchemes()
+{
+    static const std::vector<Scheme> schemes = {
+        Scheme::Pseudo, Scheme::PseudoS, Scheme::PseudoB, Scheme::PseudoSB};
+    return schemes;
+}
+
+void
+printHeader(const std::string &label, const std::vector<std::string> &columns,
+            int width)
+{
+    std::printf("%-16s", label.c_str());
+    for (const std::string &c : columns)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &values,
+         int width, int precision)
+{
+    std::printf("%-16s", label.c_str());
+    for (const double v : values)
+        std::printf("%*.*f", width, precision, v);
+    std::printf("\n");
+}
+
+} // namespace noc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment plumbing shared by the figure-reproduction harnesses in
+ * bench/: canonical configurations, benchmark-trace caching (one trace
+ * per benchmark+topology, replayed identically across schemes — the
+ * paper's methodology), and small table-formatting helpers.
+ */
+
+#ifndef NOC_SIM_EXPERIMENT_HPP
+#define NOC_SIM_EXPERIMENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "traffic/benchmarks.hpp"
+#include "traffic/trace.hpp"
+
+namespace noc {
+
+/** The paper's trace platform: 4x4 concentrated mesh, 64 terminals. */
+SimConfig traceConfig();
+
+/** The synthetic platform: 8x8 mesh, XY + static VA (Fig 12). */
+SimConfig syntheticConfig();
+
+/** Default windows for trace-driven runs. */
+SimWindows traceWindows();
+
+/**
+ * The cached CMP trace for (benchmark, topology of cfg). The trace spans
+ * warmup+measure cycles of the default windows.
+ */
+const std::vector<TraceRecord> &benchmarkTrace(const SimConfig &cfg,
+                                               const BenchmarkProfile &b);
+
+/** Run one benchmark trace under one configuration. */
+SimResult runBenchmark(const SimConfig &cfg, const BenchmarkProfile &b);
+
+/** Latency reduction of `other` relative to `baseline` (positive=better,
+ *  computed on network latency as in Figs 8/9). */
+double latencyReduction(const SimResult &baseline, const SimResult &other);
+
+/** All four pseudo-circuit scheme variants, in paper order. */
+const std::vector<Scheme> &pseudoSchemes();
+
+// --- tiny fixed-width table helpers for the harnesses ---
+void printRow(const std::string &label, const std::vector<double> &values,
+              int width = 12, int precision = 3);
+void printHeader(const std::string &label,
+                 const std::vector<std::string> &columns, int width = 12);
+
+} // namespace noc
+
+#endif // NOC_SIM_EXPERIMENT_HPP

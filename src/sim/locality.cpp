@@ -1,0 +1,71 @@
+#include "sim/locality.hpp"
+
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+LocalityResult
+analyzeLocality(const std::vector<TraceRecord> &trace, const Topology &topo,
+                const RoutingAlgorithm &routing)
+{
+    LocalityResult result;
+    std::unordered_map<NodeId, NodeId> last_dst;
+
+    // last output port used per (router, input port).
+    std::vector<std::vector<PortId>> last_out(topo.numRouters());
+    for (RouterId r = 0; r < topo.numRouters(); ++r)
+        last_out[r].assign(topo.numInputPorts(r), kInvalidPort);
+
+    std::uint64_t e2e_hits = 0;
+    std::uint64_t e2e_total = 0;
+    std::uint64_t xbar_hits = 0;
+    std::uint64_t xbar_total = 0;
+
+    for (const TraceRecord &rec : trace) {
+        const auto it = last_dst.find(rec.src);
+        if (it != last_dst.end()) {
+            ++e2e_total;
+            if (it->second == rec.dst)
+                ++e2e_hits;
+        }
+        last_dst[rec.src] = rec.dst;
+        ++result.packets;
+
+        // Walk the packet's path (routing class 0).
+        RouterId router = topo.nodeRouter(rec.src);
+        PortId in_port = topo.nodePort(rec.src);
+        for (;;) {
+            const RouteDecision d = routing.route(router, rec.dst, 0);
+            ++xbar_total;
+            ++result.hops;
+            if (last_out[router][in_port] == d.outPort)
+                ++xbar_hits;
+            last_out[router][in_port] = d.outPort;
+
+            const OutputChannel &chan = topo.output(router, d.outPort);
+            if (chan.isTerminal()) {
+                NOC_ASSERT(chan.terminal == rec.dst,
+                           "route walked to the wrong terminal");
+                break;
+            }
+            NOC_ASSERT(chan.isConnected(), "route into an unconnected port");
+            const Drop &drop = chan.drops[d.drop];
+            router = drop.router;
+            in_port = drop.inPort;
+        }
+    }
+
+    result.endToEnd = e2e_total == 0
+        ? 0.0
+        : static_cast<double>(e2e_hits) / static_cast<double>(e2e_total);
+    result.crossbar = xbar_total == 0
+        ? 0.0
+        : static_cast<double>(xbar_hits) / static_cast<double>(xbar_total);
+    return result;
+}
+
+} // namespace noc

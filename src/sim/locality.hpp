@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Communication temporal-locality analysis (paper Fig 1).
+ *
+ * Two metrics over a packet trace:
+ *  - end-to-end locality: fraction of packets whose (source, destination)
+ *    pair repeats the previous packet injected by the same source;
+ *  - crossbar-connection locality: fraction of per-router packet
+ *    traversals whose (input port -> output port) connection repeats the
+ *    previous connection used at that input port.
+ * The second is computed by walking each packet's route through the
+ * topology, so it is a property of the trace + routing alone,
+ * independent of simulator timing (exactly how Fig 1 frames it).
+ */
+
+#ifndef NOC_SIM_LOCALITY_HPP
+#define NOC_SIM_LOCALITY_HPP
+
+#include <vector>
+
+#include "traffic/trace.hpp"
+
+namespace noc {
+
+class Topology;
+class RoutingAlgorithm;
+
+struct LocalityResult
+{
+    double endToEnd = 0.0;
+    double crossbar = 0.0;
+    std::uint64_t packets = 0;
+    std::uint64_t hops = 0;
+};
+
+LocalityResult analyzeLocality(const std::vector<TraceRecord> &trace,
+                               const Topology &topo,
+                               const RoutingAlgorithm &routing);
+
+} // namespace noc
+
+#endif // NOC_SIM_LOCALITY_HPP

@@ -1,0 +1,116 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "network/network.hpp"
+
+namespace noc {
+
+void
+printResult(std::ostream &os, const std::string &title,
+            const SimResult &result)
+{
+    os << title << "\n";
+    os << "  packets measured        " << result.measuredPackets << "\n";
+    os << "  avg packet latency      " << result.avgTotalLatency
+       << " cycles\n";
+    os << "  avg network latency     " << result.avgNetLatency
+       << " cycles\n";
+    os << "  p99 packet latency      " << result.p99TotalLatency
+       << " cycles\n";
+    os << "  avg hops                " << result.avgHops << "\n";
+    os << "  throughput              " << result.throughput
+       << " flits/node/cycle\n";
+    os << "  circuit reusability     " << formatPercent(result.reusability)
+       << "\n";
+    os << "  crossbar locality       "
+       << formatPercent(result.crossbarLocality) << "\n";
+    os << "  end-to-end locality     "
+       << formatPercent(result.endToEndLocality) << "\n";
+    os << "  router energy           " << result.energy.totalPj() / 1000.0
+       << " nJ (buffer " << formatPercent(result.energy.bufferPj /
+                                          result.energy.totalPj())
+       << ", crossbar "
+       << formatPercent(result.energy.crossbarPj / result.energy.totalPj())
+       << ")\n";
+    os << "  drained                 " << (result.drained ? "yes" : "NO")
+       << "\n";
+}
+
+std::vector<RouterActivity>
+routerActivity(Network &net, Cycle cycles)
+{
+    NOC_ASSERT(cycles > 0, "activity needs a nonzero interval");
+    std::vector<RouterActivity> out;
+    out.reserve(net.numRouters());
+    for (RouterId r = 0; r < net.numRouters(); ++r) {
+        const RouterStats &s = net.router(r).stats();
+        RouterActivity a;
+        a.router = r;
+        a.traversals = s.xbarTraversals;
+        a.crossbarUtil =
+            static_cast<double>(s.xbarTraversals) / static_cast<double>(cycles);
+        a.reuseRate = s.xbarTraversals == 0
+            ? 0.0
+            : static_cast<double>(s.circuitReuses()) /
+                static_cast<double>(s.xbarTraversals);
+        a.wastedGrants = s.wastedGrants;
+        out.push_back(a);
+    }
+    return out;
+}
+
+const RouterActivity &
+hottest(const std::vector<RouterActivity> &activity)
+{
+    NOC_ASSERT(!activity.empty(), "no routers in activity snapshot");
+    return *std::max_element(activity.begin(), activity.end(),
+                             [](const RouterActivity &a,
+                                const RouterActivity &b)
+                             { return a.traversals < b.traversals; });
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string quoted = "\"";
+    for (const char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            os_ << ',';
+        os_ << escape(fields[i]);
+    }
+    os_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::string &label,
+                    const std::vector<double> &values)
+{
+    os_ << escape(label);
+    for (const double v : values) {
+        std::ostringstream tmp;
+        tmp << v;
+        os_ << ',' << tmp.str();
+    }
+    os_ << '\n';
+}
+
+} // namespace noc

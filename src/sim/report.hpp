@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Result reporting: human-readable SimResult summaries, per-router
+ * utilization breakdowns (for spotting hotspots, e.g. jbb's), and a
+ * small CSV writer so harness output can feed plotting scripts.
+ */
+
+#ifndef NOC_SIM_REPORT_HPP
+#define NOC_SIM_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace noc {
+
+class Network;
+
+/** Multi-line human-readable summary of one run. */
+void printResult(std::ostream &os, const std::string &title,
+                 const SimResult &result);
+
+/** Per-router activity snapshot. */
+struct RouterActivity
+{
+    RouterId router = kInvalidRouter;
+    std::uint64_t traversals = 0;   ///< crossbar traversals
+    double crossbarUtil = 0.0;      ///< traversals / cycles
+    double reuseRate = 0.0;         ///< circuit reuses / traversals
+    std::uint64_t wastedGrants = 0;
+};
+
+/** Snapshot every router's counters, normalized over `cycles`. */
+std::vector<RouterActivity> routerActivity(Network &net, Cycle cycles);
+
+/** The busiest router in the snapshot (hotspot detection). */
+const RouterActivity &hottest(const std::vector<RouterActivity> &activity);
+
+/**
+ * Minimal CSV writer: quotes fields containing commas/quotes/newlines,
+ * writes one row per call.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    void writeRow(const std::vector<std::string> &fields);
+    void writeRow(const std::string &label,
+                  const std::vector<double> &values);
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ostream &os_;
+};
+
+} // namespace noc
+
+#endif // NOC_SIM_REPORT_HPP

@@ -1,0 +1,141 @@
+#include "sim/simulator.hpp"
+
+#include "common/log.hpp"
+
+namespace noc {
+
+Simulator::Simulator(const SimConfig &cfg,
+                     std::unique_ptr<TrafficSource> source)
+    : net_(cfg), source_(std::move(source))
+{
+    NOC_ASSERT(source_ != nullptr, "simulator needs a traffic source");
+}
+
+void
+Simulator::stepOnce(SimPhase phase)
+{
+    source_->tick(net_, net_.now(), phase);
+    net_.step();
+
+    completedScratch_.clear();
+    net_.drainCompleted(completedScratch_);
+    for (const CompletedPacket &p : completedScratch_) {
+        source_->onPacketDelivered(p, net_, net_.now());
+        if (!p.measured)
+            continue;
+        const auto total = static_cast<double>(p.ejectTime - p.createTime);
+        const auto net_lat = static_cast<double>(p.ejectTime - p.injectTime);
+        totalLatency_.add(total);
+        netLatency_.add(net_lat);
+        hopCount_.add(static_cast<double>(p.hops));
+        (p.size == 1 ? addrLatency_ : dataLatency_).add(total);
+        intervalLatency_.add(total);
+        latencyHist_.add(total);
+        measuredFlits_ += p.size;
+        intervalFlits_ += p.size;
+    }
+}
+
+SimResult
+Simulator::run(const SimWindows &windows)
+{
+    for (Cycle c = 0; c < windows.warmup; ++c)
+        stepOnce(SimPhase::Warmup);
+
+    const RouterStats before = net_.aggregateRouterStats();
+    for (Cycle c = 0; c < windows.measure; ++c) {
+        stepOnce(SimPhase::Measure);
+        if (windows.sampleInterval > 0 &&
+            (c + 1) % windows.sampleInterval == 0) {
+            SimSample sample;
+            sample.cycle = net_.now();
+            sample.packets = intervalLatency_.count();
+            sample.avgLatency = intervalLatency_.mean();
+            sample.throughput = static_cast<double>(intervalFlits_) /
+                (static_cast<double>(windows.sampleInterval) *
+                 static_cast<double>(net_.numNodes()));
+            samples_.push_back(sample);
+            intervalLatency_.reset();
+            intervalFlits_ = 0;
+        }
+    }
+
+    Cycle drained_cycles = 0;
+    while (!(net_.idle() && source_->exhausted()) &&
+           drained_cycles < windows.drainLimit) {
+        stepOnce(SimPhase::Drain);
+        ++drained_cycles;
+        // Forward-progress watchdog: fail fast on a wedged network
+        // instead of spinning to the drain limit.
+        if (!net_.idle() && net_.cyclesSinceProgress() > 10000) {
+            NOC_WARN("network stalled during drain: " +
+                     net_.describeStall());
+            break;
+        }
+    }
+    const RouterStats after = net_.aggregateRouterStats();
+
+    SimResult result;
+    result.cyclesRun = net_.now();
+    result.drained = net_.idle() && source_->exhausted();
+    result.measuredPackets = totalLatency_.count();
+    result.avgTotalLatency = totalLatency_.mean();
+    result.avgNetLatency = netLatency_.mean();
+    result.p99TotalLatency = latencyHist_.quantile(0.99);
+    result.avgHops = hopCount_.mean();
+    result.avgLatencyAddrPkts = addrLatency_.mean();
+    result.avgLatencyDataPkts = dataLatency_.mean();
+    result.samples = samples_;
+    result.throughput = static_cast<double>(measuredFlits_) /
+        (static_cast<double>(windows.measure) *
+         static_cast<double>(net_.numNodes()));
+
+    // Event deltas over the measurement + drain interval.
+    RouterStats delta;
+    delta.flitsArrived = after.flitsArrived - before.flitsArrived;
+    delta.bufferWrites = after.bufferWrites - before.bufferWrites;
+    delta.bufferReads = after.bufferReads - before.bufferReads;
+    delta.xbarTraversals = after.xbarTraversals - before.xbarTraversals;
+    delta.vaGrants = after.vaGrants - before.vaGrants;
+    delta.saGrants = after.saGrants - before.saGrants;
+    delta.saBypasses = after.saBypasses - before.saBypasses;
+    delta.bufferBypasses = after.bufferBypasses - before.bufferBypasses;
+    delta.headTraversals = after.headTraversals - before.headTraversals;
+    delta.headSaBypasses = after.headSaBypasses - before.headSaBypasses;
+    delta.headBufferBypasses =
+        after.headBufferBypasses - before.headBufferBypasses;
+    delta.expressBypasses = after.expressBypasses - before.expressBypasses;
+    delta.wastedGrants = after.wastedGrants - before.wastedGrants;
+    delta.localityHeads = after.localityHeads - before.localityHeads;
+    delta.localityHits = after.localityHits - before.localityHits;
+
+    result.routerTotals = delta;
+    result.pcTotals = net_.aggregatePcStats();
+    result.niTotals = net_.aggregateNiStats();
+    result.energy = computeEnergy(delta);
+
+    if (delta.xbarTraversals > 0) {
+        result.reusability = static_cast<double>(delta.circuitReuses()) /
+            static_cast<double>(delta.xbarTraversals);
+    }
+    if (delta.localityHeads > 0) {
+        result.crossbarLocality = static_cast<double>(delta.localityHits) /
+            static_cast<double>(delta.localityHeads);
+    }
+    if (result.niTotals.localityPackets > 0) {
+        result.endToEndLocality =
+            static_cast<double>(result.niTotals.localityHits) /
+            static_cast<double>(result.niTotals.localityPackets);
+    }
+    return result;
+}
+
+SimResult
+runSimulation(const SimConfig &cfg, std::unique_ptr<TrafficSource> source,
+              const SimWindows &windows)
+{
+    Simulator sim(cfg, std::move(source));
+    return sim.run(windows);
+}
+
+} // namespace noc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The simulation driver: warmup / measure / drain phasing, statistics
+ * collection, and saturation detection.
+ */
+
+#ifndef NOC_SIM_SIMULATOR_HPP
+#define NOC_SIM_SIMULATOR_HPP
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "network/network.hpp"
+#include "sim/energy.hpp"
+#include "traffic/traffic.hpp"
+
+namespace noc {
+
+/** Phase lengths and limits for one run. */
+struct SimWindows
+{
+    Cycle warmup = 5000;
+    Cycle measure = 20000;
+    Cycle drainLimit = 100000;  ///< give up (saturated) past this
+    /// Emit a SimSample every N cycles of the measurement window
+    /// (0 = off). Useful for convergence/saturation inspection.
+    Cycle sampleInterval = 0;
+};
+
+/** One time-series point over a sampling interval. */
+struct SimSample
+{
+    Cycle cycle = 0;            ///< end of the interval
+    std::uint64_t packets = 0;  ///< completions in the interval
+    double avgLatency = 0.0;    ///< create->eject, this interval only
+    double throughput = 0.0;    ///< flits/node/cycle, this interval
+};
+
+/** Everything one run produces. */
+struct SimResult
+{
+    std::uint64_t measuredPackets = 0;
+    double avgTotalLatency = 0.0;   ///< creation -> ejection
+    double avgNetLatency = 0.0;     ///< injection -> ejection
+    double p99TotalLatency = 0.0;
+    double avgHops = 0.0;
+    double throughput = 0.0;        ///< accepted flits / node / cycle
+
+    /// Latency split by the paper's bimodal packet mix.
+    double avgLatencyAddrPkts = 0.0;   ///< single-flit (address) packets
+    double avgLatencyDataPkts = 0.0;   ///< multi-flit (data) packets
+
+    /// Fraction of switch traversals that reused a pseudo-circuit
+    /// (Fig 8b / Fig 10: "reusability").
+    double reusability = 0.0;
+
+    /// Time series (only when SimWindows::sampleInterval > 0).
+    std::vector<SimSample> samples;
+
+    /// Timing-independent trace locality is in sim/locality.hpp; these
+    /// are the online equivalents measured during the run.
+    double crossbarLocality = 0.0;
+    double endToEndLocality = 0.0;
+
+    EnergyBreakdown energy;
+    RouterStats routerTotals;
+    PseudoCircuitStats pcTotals;
+    NiStats niTotals;
+
+    Cycle cyclesRun = 0;
+    bool drained = false;           ///< all packets delivered in time
+};
+
+class Simulator
+{
+  public:
+    Simulator(const SimConfig &cfg, std::unique_ptr<TrafficSource> source);
+
+    /** Run warmup + measurement + drain; collect statistics. */
+    SimResult run(const SimWindows &windows = {});
+
+    Network &network() { return net_; }
+    TrafficSource &source() { return *source_; }
+
+  private:
+    void stepOnce(SimPhase phase);
+
+    Network net_;
+    std::unique_ptr<TrafficSource> source_;
+    std::vector<CompletedPacket> completedScratch_;
+
+    StatAccumulator totalLatency_;
+    StatAccumulator netLatency_;
+    StatAccumulator hopCount_;
+    StatAccumulator addrLatency_;
+    StatAccumulator dataLatency_;
+    StatAccumulator intervalLatency_;
+    Histogram latencyHist_{1.0, 4096};
+    std::uint64_t measuredFlits_ = 0;
+    std::uint64_t intervalFlits_ = 0;
+    std::vector<SimSample> samples_;
+};
+
+/** Convenience: run one configuration with a traffic source factory. */
+SimResult runSimulation(const SimConfig &cfg,
+                        std::unique_ptr<TrafficSource> source,
+                        const SimWindows &windows = {});
+
+} // namespace noc
+
+#endif // NOC_SIM_SIMULATOR_HPP

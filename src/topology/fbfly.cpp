@@ -1,0 +1,56 @@
+#include "topology/fbfly.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+FlattenedButterfly::FlattenedButterfly(int width, int height,
+                                       int concentration)
+    : Topology(width, height, concentration)
+{
+    initTables();
+    attachTerminals();
+
+    for (RouterId r = 0; r < numRouters(); ++r) {
+        const int x = xOf(r);
+        const int y = yOf(r);
+        for (int x2 = 0; x2 < width_; ++x2) {
+            if (x2 != x)
+                addChannel(r, {routerAt(x2, y)});
+        }
+        for (int y2 = 0; y2 < height_; ++y2) {
+            if (y2 != y)
+                addChannel(r, {routerAt(x, y2)});
+        }
+    }
+}
+
+PortId
+FlattenedButterfly::rowPort(RouterId r, int x2) const
+{
+    const int x = xOf(r);
+    NOC_ASSERT(x2 != x && x2 >= 0 && x2 < width_, "bad row-port column");
+    const int idx = x2 < x ? x2 : x2 - 1;
+    return concentration_ + idx;
+}
+
+PortId
+FlattenedButterfly::colPort(RouterId r, int y2) const
+{
+    const int y = yOf(r);
+    NOC_ASSERT(y2 != y && y2 >= 0 && y2 < height_, "bad col-port row");
+    const int idx = y2 < y ? y2 : y2 - 1;
+    return concentration_ + (width_ - 1) + idx;
+}
+
+std::string
+FlattenedButterfly::name() const
+{
+    std::ostringstream os;
+    os << "FBFLY" << width_ << 'x' << height_ << 'c' << concentration_;
+    return os.str();
+}
+
+} // namespace noc

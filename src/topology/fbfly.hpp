@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Flattened butterfly topology (Kim, Balfour & Dally, MICRO 2007).
+ *
+ * Concentrated 2D array where every router has a dedicated point-to-point
+ * link to every other router in its row and in its column. Link latency
+ * scales with physical span (same unit wire delay as the mesh).
+ *
+ * Output-port layout per router (x, y): ports [0, C) terminals; then one
+ * port per other column x' (ascending order, skipping x); then one port
+ * per other row y' (ascending order, skipping y).
+ */
+
+#ifndef NOC_TOPOLOGY_FBFLY_HPP
+#define NOC_TOPOLOGY_FBFLY_HPP
+
+#include "topology/topology.hpp"
+
+namespace noc {
+
+class FlattenedButterfly : public Topology
+{
+  public:
+    FlattenedButterfly(int width, int height, int concentration = 4);
+
+    /** Output port reaching column x2 within the router's row. */
+    PortId rowPort(RouterId r, int x2) const;
+
+    /** Output port reaching row y2 within the router's column. */
+    PortId colPort(RouterId r, int y2) const;
+
+    std::string name() const override;
+};
+
+} // namespace noc
+
+#endif // NOC_TOPOLOGY_FBFLY_HPP

@@ -1,0 +1,51 @@
+#include "topology/mecs.hpp"
+
+#include <sstream>
+
+namespace noc {
+
+Mecs::Mecs(int width, int height, int concentration)
+    : Topology(width, height, concentration)
+{
+    initTables();
+    attachTerminals();
+
+    for (RouterId r = 0; r < numRouters(); ++r) {
+        const int x = xOf(r);
+        const int y = yOf(r);
+
+        // North: drops at y-1, y-2, ..., 0 (increasing distance).
+        std::vector<RouterId> drops;
+        for (int y2 = y - 1; y2 >= 0; --y2)
+            drops.push_back(routerAt(x, y2));
+        drops.empty() ? addUnconnectedOutput(r) : addChannel(r, drops);
+
+        // East: drops at x+1 .. width-1.
+        drops.clear();
+        for (int x2 = x + 1; x2 < width_; ++x2)
+            drops.push_back(routerAt(x2, y));
+        drops.empty() ? addUnconnectedOutput(r) : addChannel(r, drops);
+
+        // South: drops at y+1 .. height-1.
+        drops.clear();
+        for (int y2 = y + 1; y2 < height_; ++y2)
+            drops.push_back(routerAt(x, y2));
+        drops.empty() ? addUnconnectedOutput(r) : addChannel(r, drops);
+
+        // West: drops at x-1 .. 0.
+        drops.clear();
+        for (int x2 = x - 1; x2 >= 0; --x2)
+            drops.push_back(routerAt(x2, y));
+        drops.empty() ? addUnconnectedOutput(r) : addChannel(r, drops);
+    }
+}
+
+std::string
+Mecs::name() const
+{
+    std::ostringstream os;
+    os << "MECS" << width_ << 'x' << height_ << 'c' << concentration_;
+    return os.str();
+}
+
+} // namespace noc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MECS: Multidrop Express Channel topology (Grot et al., HPCA 2009),
+ * configured without replicated channels (as in the paper's §7.A).
+ *
+ * Each router drives one multidrop output channel per direction that
+ * passes — and can drop flits off at — every router further along that
+ * direction in the same row/column. Receivers have one input port per
+ * passing channel, so input port counts vary with grid position.
+ *
+ * Output-port layout per router: ports [0, C) terminals; then the four
+ * direction channels North, East, South, West (unconnected at edges).
+ */
+
+#ifndef NOC_TOPOLOGY_MECS_HPP
+#define NOC_TOPOLOGY_MECS_HPP
+
+#include "topology/topology.hpp"
+
+namespace noc {
+
+class Mecs : public Topology
+{
+  public:
+    enum Direction { North = 0, East = 1, South = 2, West = 3 };
+
+    Mecs(int width, int height, int concentration = 4);
+
+    /** Output port id for a direction channel. */
+    PortId dirPort(Direction dir) const
+    {
+        return concentration_ + static_cast<PortId>(dir);
+    }
+
+    std::string name() const override;
+};
+
+} // namespace noc
+
+#endif // NOC_TOPOLOGY_MECS_HPP

@@ -1,0 +1,56 @@
+#include "topology/mesh.hpp"
+
+#include <sstream>
+
+namespace noc {
+
+Mesh::Mesh(int width, int height, int concentration)
+    : Topology(width, height, concentration)
+{
+    initTables();
+    attachTerminals();
+
+    for (RouterId r = 0; r < numRouters(); ++r) {
+        const int x = xOf(r);
+        const int y = yOf(r);
+        const struct { int dx, dy; } deltas[4] = {
+            {0, -1},  // North
+            {1, 0},   // East
+            {0, 1},   // South
+            {-1, 0},  // West
+        };
+        for (const auto &d : deltas) {
+            const int nx = x + d.dx;
+            const int ny = y + d.dy;
+            if (nx >= 0 && nx < width_ && ny >= 0 && ny < height_)
+                addChannel(r, {routerAt(nx, ny)});
+            else
+                addUnconnectedOutput(r);
+        }
+    }
+}
+
+std::string
+Mesh::name() const
+{
+    std::ostringstream os;
+    os << "Mesh" << width_ << 'x' << height_;
+    if (concentration_ > 1)
+        os << "c" << concentration_;
+    return os.str();
+}
+
+CMesh::CMesh(int width, int height, int concentration)
+    : Mesh(width, height, concentration)
+{
+}
+
+std::string
+CMesh::name() const
+{
+    std::ostringstream os;
+    os << "CMesh" << width_ << 'x' << height_ << 'c' << concentration_;
+    return os.str();
+}
+
+} // namespace noc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * 2D mesh topology with configurable concentration.
+ *
+ * Output-port layout per router: ports [0, C) are terminals, then
+ * North, East, South, West (edge ports exist but are unconnected so that
+ * the direction → port mapping is uniform across routers).
+ */
+
+#ifndef NOC_TOPOLOGY_MESH_HPP
+#define NOC_TOPOLOGY_MESH_HPP
+
+#include "topology/topology.hpp"
+
+namespace noc {
+
+class Mesh : public Topology
+{
+  public:
+    enum Direction { North = 0, East = 1, South = 2, West = 3 };
+
+    Mesh(int width, int height, int concentration = 1);
+
+    /** Output port id for a mesh direction. */
+    PortId dirPort(Direction dir) const
+    {
+        return concentration_ + static_cast<PortId>(dir);
+    }
+
+    std::string name() const override;
+};
+
+/**
+ * Concentrated mesh (Balfour & Dally): a mesh whose routers each serve
+ * several terminals. Identical wiring to Mesh; kept as a distinct type so
+ * experiment configs and output labels match the paper.
+ */
+class CMesh : public Mesh
+{
+  public:
+    CMesh(int width, int height, int concentration = 4);
+
+    std::string name() const override;
+};
+
+} // namespace noc
+
+#endif // NOC_TOPOLOGY_MESH_HPP

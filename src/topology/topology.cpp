@@ -1,0 +1,122 @@
+#include "topology/topology.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+Topology::Topology(int width, int height, int concentration)
+    : width_(width), height_(height), concentration_(concentration),
+      numNodes_(width * height * concentration)
+{
+    NOC_ASSERT(width >= 1 && height >= 1, "degenerate topology grid");
+    NOC_ASSERT(concentration >= 1, "concentration must be positive");
+}
+
+void
+Topology::initTables()
+{
+    outputs_.assign(numRouters(), {});
+    inputs_.assign(numRouters(), {});
+}
+
+void
+Topology::attachTerminals()
+{
+    for (RouterId r = 0; r < numRouters(); ++r) {
+        for (int c = 0; c < concentration_; ++c) {
+            const NodeId node = r * concentration_ + c;
+            OutputChannel out;
+            out.terminal = node;
+            outputs_[r].push_back(out);
+
+            InputSource in;
+            in.terminal = node;
+            inputs_[r].push_back(in);
+        }
+    }
+}
+
+PortId
+Topology::addChannel(RouterId src, const std::vector<RouterId> &drop_routers)
+{
+    NOC_ASSERT(!drop_routers.empty(), "channel needs at least one drop");
+    const auto out_port = static_cast<PortId>(outputs_[src].size());
+    OutputChannel channel;
+    for (std::size_t i = 0; i < drop_routers.size(); ++i) {
+        const RouterId dst = drop_routers[i];
+        NOC_ASSERT(dst != src, "channel loops back to its source");
+        Drop drop;
+        drop.router = dst;
+        drop.inPort = static_cast<PortId>(inputs_[dst].size());
+        drop.distance = gridDistance(src, dst);
+
+        InputSource in;
+        in.router = src;
+        in.outPort = out_port;
+        in.dropIndex = static_cast<int>(i);
+        in.distance = drop.distance;
+        inputs_[dst].push_back(in);
+
+        channel.drops.push_back(drop);
+    }
+    outputs_[src].push_back(std::move(channel));
+    return out_port;
+}
+
+PortId
+Topology::addUnconnectedOutput(RouterId src)
+{
+    const auto out_port = static_cast<PortId>(outputs_[src].size());
+    outputs_[src].emplace_back();
+    return out_port;
+}
+
+int
+Topology::numOutputPorts(RouterId r) const
+{
+    return static_cast<int>(outputs_[r].size());
+}
+
+int
+Topology::numInputPorts(RouterId r) const
+{
+    return static_cast<int>(inputs_[r].size());
+}
+
+const OutputChannel &
+Topology::output(RouterId r, PortId p) const
+{
+    NOC_ASSERT(p >= 0 && p < numOutputPorts(r), "output port out of range");
+    return outputs_[r][p];
+}
+
+const InputSource &
+Topology::input(RouterId r, PortId p) const
+{
+    NOC_ASSERT(p >= 0 && p < numInputPorts(r), "input port out of range");
+    return inputs_[r][p];
+}
+
+RouterId
+Topology::nodeRouter(NodeId n) const
+{
+    NOC_ASSERT(n >= 0 && n < numNodes_, "node id out of range");
+    return n / concentration_;
+}
+
+PortId
+Topology::nodePort(NodeId n) const
+{
+    NOC_ASSERT(n >= 0 && n < numNodes_, "node id out of range");
+    return n % concentration_;
+}
+
+int
+Topology::gridDistance(RouterId a, RouterId b) const
+{
+    return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
+}
+
+} // namespace noc

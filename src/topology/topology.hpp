@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Topology abstraction.
+ *
+ * A topology is a set of routers laid out on a 2D grid, each with:
+ *  - terminal ports (one per attached node, the first ports on both the
+ *    input and the output side), and
+ *  - network ports.
+ *
+ * Output channels may be *multidrop* (MECS): one physical channel passes
+ * several downstream routers and the flit's route selects the drop-off.
+ * Ordinary point-to-point links are channels with exactly one drop.
+ * Input and output port counts may differ (MECS routers have one input
+ * port per upstream multidrop channel passing them).
+ */
+
+#ifndef NOC_TOPOLOGY_TOPOLOGY_HPP
+#define NOC_TOPOLOGY_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace noc {
+
+/** One drop-off point of an output channel. */
+struct Drop
+{
+    RouterId router = kInvalidRouter;  ///< receiving router
+    PortId inPort = kInvalidPort;      ///< input port at the receiver
+    int distance = 1;                  ///< physical length in grid hops
+};
+
+/** An output channel: terminal, unconnected, or 1..k drops. */
+struct OutputChannel
+{
+    /** Node fed by this channel; kInvalidNode for network channels. */
+    NodeId terminal = kInvalidNode;
+    /** Drop-off points in increasing distance; empty if terminal/edge. */
+    std::vector<Drop> drops;
+
+    bool isTerminal() const { return terminal != kInvalidNode; }
+    bool isConnected() const { return isTerminal() || !drops.empty(); }
+};
+
+/** Where an input port's flits come from. */
+struct InputSource
+{
+    /** Node injecting here; kInvalidNode for network inputs. */
+    NodeId terminal = kInvalidNode;
+    RouterId router = kInvalidRouter;  ///< upstream router
+    PortId outPort = kInvalidPort;     ///< upstream output channel
+    int dropIndex = 0;                 ///< which drop of that channel
+    int distance = 1;                  ///< physical length in grid hops
+
+    bool isTerminal() const { return terminal != kInvalidNode; }
+};
+
+/**
+ * Base topology: owns the per-router port tables; concrete topologies
+ * populate them in their constructors.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    int numRouters() const { return width_ * height_; }
+    int numNodes() const { return numNodes_; }
+    int width() const { return width_; }
+    int height() const { return height_; }
+    /** Terminals attached per router. */
+    int concentration() const { return concentration_; }
+
+    int xOf(RouterId r) const { return r % width_; }
+    int yOf(RouterId r) const { return r / width_; }
+    RouterId routerAt(int x, int y) const { return y * width_ + x; }
+
+    int numOutputPorts(RouterId r) const;
+    int numInputPorts(RouterId r) const;
+
+    const OutputChannel &output(RouterId r, PortId p) const;
+    const InputSource &input(RouterId r, PortId p) const;
+
+    /** Router a node is attached to. */
+    RouterId nodeRouter(NodeId n) const;
+    /** Terminal port index (same on input and output side) of a node. */
+    PortId nodePort(NodeId n) const;
+
+    /** Physical distance between two routers (drives wire delay).
+     *  Manhattan by default; tori wrap it (folded layout). */
+    virtual int gridDistance(RouterId a, RouterId b) const;
+
+    virtual std::string name() const = 0;
+
+  protected:
+    Topology(int width, int height, int concentration);
+
+    /** Reserve table space; call first in subclass constructors. */
+    void initTables();
+
+    /** Attach `concentration()` terminals to every router, ports 0..C-1. */
+    void attachTerminals();
+
+    /**
+     * Register a (possibly multidrop) output channel on `src` and create
+     * the matching input ports at each drop. Returns the output port id.
+     */
+    PortId addChannel(RouterId src, const std::vector<RouterId> &drop_routers);
+
+    /** Register an explicitly unconnected output port (mesh edges). */
+    PortId addUnconnectedOutput(RouterId src);
+
+    int width_;
+    int height_;
+    int concentration_;
+    int numNodes_;
+
+    std::vector<std::vector<OutputChannel>> outputs_;  ///< [router][port]
+    std::vector<std::vector<InputSource>> inputs_;     ///< [router][port]
+};
+
+} // namespace noc
+
+#endif // NOC_TOPOLOGY_TOPOLOGY_HPP

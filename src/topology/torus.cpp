@@ -1,0 +1,55 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+Torus::Torus(int width, int height, int concentration)
+    : Topology(width, height, concentration)
+{
+    NOC_ASSERT(width >= 3 && height >= 3,
+               "a torus needs at least 3 routers per dimension (smaller "
+               "rings have parallel links between the same routers)");
+    initTables();
+    attachTerminals();
+
+    for (RouterId r = 0; r < numRouters(); ++r) {
+        const int x = xOf(r);
+        const int y = yOf(r);
+        const struct { int dx, dy; } deltas[4] = {
+            {0, -1},  // North
+            {1, 0},   // East
+            {0, 1},   // South
+            {-1, 0},  // West
+        };
+        for (const auto &d : deltas) {
+            const int nx = (x + d.dx + width_) % width_;
+            const int ny = (y + d.dy + height_) % height_;
+            addChannel(r, {routerAt(nx, ny)});
+        }
+    }
+}
+
+int
+Torus::gridDistance(RouterId a, RouterId b) const
+{
+    const int dx = std::abs(xOf(a) - xOf(b));
+    const int dy = std::abs(yOf(a) - yOf(b));
+    return std::min(dx, width_ - dx) + std::min(dy, height_ - dy);
+}
+
+std::string
+Torus::name() const
+{
+    std::ostringstream os;
+    os << "Torus" << width_ << 'x' << height_;
+    if (concentration_ > 1)
+        os << 'c' << concentration_;
+    return os.str();
+}
+
+} // namespace noc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * 2D torus topology (extension beyond the paper's mesh family).
+ *
+ * A mesh with wraparound links in both dimensions; every router has the
+ * full four neighbours. Links are modelled with unit wire delay (an
+ * idealised — or folded — layout). Deadlock freedom over the wrap links
+ * comes from dateline VC classes supplied by TorusDor (routing/torus.hpp):
+ * a packet moving through the wrap link switches to the upper half of
+ * the VC space, breaking the channel-dependency cycle.
+ *
+ * Output-port layout matches Mesh: ports [0, C) terminals, then North,
+ * East, South, West.
+ */
+
+#ifndef NOC_TOPOLOGY_TORUS_HPP
+#define NOC_TOPOLOGY_TORUS_HPP
+
+#include "topology/topology.hpp"
+
+namespace noc {
+
+class Torus : public Topology
+{
+  public:
+    enum Direction { North = 0, East = 1, South = 2, West = 3 };
+
+    Torus(int width, int height, int concentration = 1);
+
+    PortId dirPort(Direction dir) const
+    {
+        return concentration_ + static_cast<PortId>(dir);
+    }
+
+    /** Wrap-aware distance: every neighbour link is one unit long. */
+    int gridDistance(RouterId a, RouterId b) const override;
+
+    std::string name() const override;
+};
+
+} // namespace noc
+
+#endif // NOC_TOPOLOGY_TORUS_HPP

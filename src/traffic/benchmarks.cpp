@@ -1,0 +1,52 @@
+#include "traffic/benchmarks.hpp"
+
+#include "common/log.hpp"
+
+namespace noc {
+
+const std::vector<BenchmarkProfile> &
+benchmarkSuite()
+{
+    // Intensities sit in the self-throttled low-load regime a 4-MSHR,
+    // 32-core CMP actually drives its NoC at; repeat probabilities are
+    // calibrated so suite-average locality tracks the paper's Fig 1.
+    // name, suite, intensity, repeat, burst, zipf, hotspot, writes, coh,
+    // sharers
+    static const std::vector<BenchmarkProfile> suite = {
+        {"fma3d",        "SPEComp", 0.012, 0.30, 0.25, 0.90, false, 0.30,
+         0.05, 2},
+        {"equake",       "SPEComp", 0.010, 0.25, 0.20, 0.80, false, 0.25,
+         0.05, 2},
+        {"mgrid",        "SPEComp", 0.014, 0.35, 0.30, 0.70, false, 0.35,
+         0.03, 2},
+        {"blackscholes", "PARSEC",  0.005, 0.20, 0.15, 0.60, false, 0.20,
+         0.02, 2},
+        {"streamcluster","PARSEC",  0.017, 0.25, 0.25, 0.80, false, 0.25,
+         0.08, 4},
+        {"swaptions",    "PARSEC",  0.006, 0.15, 0.15, 0.60, false, 0.20,
+         0.02, 2},
+        {"npb_cg",       "NPB",     0.012, 0.22, 0.20, 0.50, false, 0.30,
+         0.06, 2},
+        {"jbb",          "SPECjbb", 0.018, 0.12, 0.15, 1.30, true,  0.30,
+         0.05, 2},
+        {"fft",          "SPLASH-2",0.012, 0.18, 0.20, 0.45, false, 0.30,
+         0.10, 4},
+        {"lu",           "SPLASH-2",0.010, 0.28, 0.25, 0.80, false, 0.30,
+         0.08, 2},
+        {"radix",        "SPLASH-2",0.017, 0.22, 0.20, 0.60, false, 0.40,
+         0.05, 2},
+    };
+    return suite;
+}
+
+const BenchmarkProfile &
+findBenchmark(const std::string &name)
+{
+    for (const BenchmarkProfile &b : benchmarkSuite()) {
+        if (b.name == name)
+            return b;
+    }
+    NOC_FATAL("unknown benchmark: " + name);
+}
+
+} // namespace noc

@@ -1,0 +1,317 @@
+#include "traffic/cmp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "network/network.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+std::uint32_t
+cmpTag(CmpMsgType type, std::uint32_t txn)
+{
+    return (txn << 3) | static_cast<std::uint32_t>(type);
+}
+
+CmpMsgType
+cmpTagType(std::uint32_t tag)
+{
+    return static_cast<CmpMsgType>(tag & 7u);
+}
+
+std::uint32_t
+cmpTagTxn(std::uint32_t tag)
+{
+    return tag >> 3;
+}
+
+CmpModel::CmpModel(const BenchmarkProfile &profile, const Topology &topo,
+                   std::uint64_t seed, const CmpParams &params)
+    : profile_(profile), params_(params), topo_(topo),
+      rng_(seed ^ 0xc0ffee123456789ULL)
+{
+    // Role assignment (Fig 7): with concentration, the first half of each
+    // router's terminals are cores and the second half are L2 banks; on a
+    // plain mesh, a checkerboard keeps cores and banks interleaved.
+    coreIndex_.assign(topo.numNodes(), -1);
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        if (isCore(n)) {
+            coreIndex_[n] = static_cast<int>(cores_.size());
+            cores_.push_back(n);
+        } else {
+            banks_.push_back(n);
+        }
+    }
+    NOC_ASSERT(!cores_.empty() && !banks_.empty(),
+               "CMP model needs both cores and banks");
+
+    mshrsInUse_.assign(cores_.size(), 0);
+    lastBank_.assign(cores_.size(), 0);
+    burstLeft_.assign(cores_.size(), 0);
+    for (std::size_t c = 0; c < cores_.size(); ++c)
+        lastBank_[c] = static_cast<int>(rng_.nextBelow(banks_.size()));
+
+    // Zipf CDF over bank popularity ranks.
+    zipfCdf_.resize(banks_.size());
+    double sum = 0.0;
+    for (std::size_t k = 0; k < banks_.size(); ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), profile_.zipfAlpha);
+        zipfCdf_[k] = sum;
+    }
+    for (double &v : zipfCdf_)
+        v /= sum;
+
+    // Rank -> bank mapping: shared for hotspot workloads (everyone hits
+    // the same popular banks), a per-core random permutation otherwise.
+    bankRank_.resize(cores_.size());
+    std::vector<int> identity(banks_.size());
+    for (std::size_t k = 0; k < banks_.size(); ++k)
+        identity[k] = static_cast<int>(k);
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        bankRank_[c] = identity;
+        if (!profile_.globalHotspot) {
+            // Fisher–Yates with the model RNG.
+            for (std::size_t k = banks_.size(); k > 1; --k) {
+                const auto j = rng_.nextBelow(k);
+                std::swap(bankRank_[c][k - 1], bankRank_[c][j]);
+            }
+        }
+    }
+}
+
+bool
+CmpModel::isCore(NodeId node) const
+{
+    const int conc = topo_.concentration();
+    if (conc >= 2)
+        return topo_.nodePort(node) < conc / 2;
+    const RouterId r = topo_.nodeRouter(node);
+    return (topo_.xOf(r) + topo_.yOf(r)) % 2 == 0;
+}
+
+NodeId
+CmpModel::pickBank(int core_idx)
+{
+    if (rng_.nextBool(profile_.repeatProb))
+        return banks_[lastBank_[core_idx]];
+    const double u = rng_.nextDouble();
+    const auto it = std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+    const auto rank = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - zipfCdf_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     zipfCdf_.size() - 1)));
+    lastBank_[core_idx] = bankRank_[core_idx][rank];
+    return banks_[lastBank_[core_idx]];
+}
+
+void
+CmpModel::tick(Cycle now, std::vector<CmpMessage> &out, bool throttle)
+{
+    // Bank responses / coherence messages that became ready.
+    while (!pending_.empty() && pending_.top().ready <= now) {
+        out.push_back(pending_.top().msg);
+        pending_.pop();
+    }
+
+    if (throttle)
+        return;
+
+    // Core miss issue, limited by free MSHRs (self-throttling, §5).
+    // Misses arrive in bursts: once a core misses, it keeps issuing
+    // back-to-back requests to the same bank with probability burstProb
+    // per request, modelling MSHR-limited miss runs.
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if (mshrsInUse_[c] >= params_.mshrsPerCore)
+            continue;
+        bool in_burst = burstLeft_[c] > 0;
+        if (!in_burst && !rng_.nextBool(profile_.intensity))
+            continue;
+        if (in_burst)
+            --burstLeft_[c];
+        else if (rng_.nextBool(profile_.burstProb))
+            burstLeft_[c] = 1 + static_cast<int>(rng_.nextBelow(3));
+        const bool is_write = rng_.nextBool(profile_.writeFraction);
+        const NodeId bank = in_burst ? banks_[lastBank_[c]]
+                                     : pickBank(static_cast<int>(c));
+        CmpMessage msg;
+        msg.src = cores_[c];
+        msg.dst = bank;
+        msg.size = is_write ? params_.dataFlits : params_.addrFlits;
+        msg.tag = cmpTag(is_write ? CmpMsgType::WriteReq
+                                  : CmpMsgType::ReadReq,
+                         nextTxn_++);
+        out.push_back(msg);
+        ++mshrsInUse_[c];
+        ++requestsIssued_;
+        ++outstandingTxns_;
+    }
+}
+
+void
+CmpModel::deliver(const CmpMessage &msg, Cycle now)
+{
+    const CmpMsgType type = cmpTagType(msg.tag);
+    switch (type) {
+      case CmpMsgType::ReadReq:
+      case CmpMsgType::WriteReq: {
+        // L2 bank: service the request after the bank (and possibly
+        // memory) latency.
+        Cycle latency = static_cast<Cycle>(params_.l2Latency);
+        if (rng_.nextBool(params_.l2MissRate))
+            latency += static_cast<Cycle>(params_.memLatency);
+        CmpMessage resp;
+        resp.src = msg.dst;
+        resp.dst = msg.src;
+        const bool is_write = type == CmpMsgType::WriteReq;
+        resp.size = is_write ? params_.addrFlits : params_.dataFlits;
+        resp.tag = cmpTag(is_write ? CmpMsgType::WriteAck
+                                   : CmpMsgType::ReadResp,
+                          cmpTagTxn(msg.tag));
+        pending_.push({now + latency, resp});
+
+        // Write-invalidation coherence: notify sharers.
+        if (is_write && rng_.nextBool(profile_.cohProb)) {
+            for (int s = 0; s < profile_.sharingDegree; ++s) {
+                const NodeId sharer =
+                    cores_[rng_.nextBelow(cores_.size())];
+                if (sharer == msg.src)
+                    continue;
+                CmpMessage inv;
+                inv.src = msg.dst;
+                inv.dst = sharer;
+                inv.size = params_.addrFlits;
+                inv.tag = cmpTag(CmpMsgType::Inv, cmpTagTxn(msg.tag));
+                pending_.push({now + static_cast<Cycle>(params_.l2Latency),
+                               inv});
+                ++outstandingTxns_;
+            }
+        }
+        break;
+      }
+      case CmpMsgType::ReadResp:
+      case CmpMsgType::WriteAck: {
+        // Requesting core: retire the miss, free the MSHR.
+        NOC_ASSERT(coreIndex_[msg.dst] >= 0,
+                   "response delivered to a bank");
+        const auto core_idx = static_cast<std::size_t>(coreIndex_[msg.dst]);
+        NOC_ASSERT(mshrsInUse_[core_idx] > 0, "MSHR underflow");
+        --mshrsInUse_[core_idx];
+        NOC_ASSERT(outstandingTxns_ > 0, "transaction underflow");
+        --outstandingTxns_;
+        ++requestsCompleted_;
+        break;
+      }
+      case CmpMsgType::Inv: {
+        // Sharer core: acknowledge immediately (1-cycle L1 lookup).
+        CmpMessage ack;
+        ack.src = msg.dst;
+        ack.dst = msg.src;
+        ack.size = params_.addrFlits;
+        ack.tag = cmpTag(CmpMsgType::InvAck, cmpTagTxn(msg.tag));
+        pending_.push({now + 1, ack});
+        break;
+      }
+      case CmpMsgType::InvAck:
+        NOC_ASSERT(outstandingTxns_ > 0, "transaction underflow");
+        --outstandingTxns_;
+        break;
+    }
+}
+
+bool
+CmpModel::quiescent() const
+{
+    return pending_.empty() && outstandingTxns_ == 0;
+}
+
+std::vector<TraceRecord>
+generateCmpTrace(const BenchmarkProfile &profile, const Topology &topo,
+                 Cycle cycles, std::uint64_t seed, const CmpParams &params)
+{
+    CmpModel model(profile, topo, seed, params);
+    std::vector<TraceRecord> trace;
+    std::vector<CmpMessage> out;
+
+    // Analytic latency estimate: the baseline router is 3 cycles per hop
+    // plus one of wire, plus serialisation; +2 covers NI/ejection.
+    const auto estimate = [&](const CmpMessage &m) {
+        const RouterId a = topo.nodeRouter(m.src);
+        const RouterId b = topo.nodeRouter(m.dst);
+        const int hops = std::abs(topo.xOf(a) - topo.xOf(b)) +
+            std::abs(topo.yOf(a) - topo.yOf(b)) + 1;
+        return static_cast<Cycle>(4 * hops + m.size - 1 + 2);
+    };
+
+    struct Arrival
+    {
+        Cycle when;
+        CmpMessage msg;
+        bool operator>(const Arrival &o) const { return when > o.when; }
+    };
+    std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>>
+        inflight;
+
+    for (Cycle now = 0; now < cycles; ++now) {
+        while (!inflight.empty() && inflight.top().when <= now) {
+            model.deliver(inflight.top().msg, now);
+            inflight.pop();
+        }
+        out.clear();
+        model.tick(now, out, /*throttle=*/false);
+        for (const CmpMessage &m : out) {
+            trace.push_back({now, m.src, m.dst, m.size, m.tag});
+            inflight.push({now + estimate(m), m});
+        }
+    }
+    return trace;
+}
+
+CmpTrafficSource::CmpTrafficSource(const BenchmarkProfile &profile,
+                                   const Topology &topo, std::uint64_t seed,
+                                   const CmpParams &params)
+    : model_(profile, topo, seed, params)
+{
+}
+
+CmpTrafficSource::CmpTrafficSource(const BenchmarkProfile &profile,
+                                   const SimConfig &cfg, std::uint64_t seed,
+                                   const CmpParams &params)
+    : ownedTopo_(makeTopology(cfg)),
+      model_(profile, *ownedTopo_, seed, params)
+{
+}
+
+void
+CmpTrafficSource::tick(Network &net, Cycle now, SimPhase phase)
+{
+    scratch_.clear();
+    model_.tick(now, scratch_, /*throttle=*/phase == SimPhase::Drain);
+    for (const CmpMessage &m : scratch_) {
+        PacketDesc pkt;
+        pkt.id = nextPacketId();
+        pkt.src = m.src;
+        pkt.dst = m.dst;
+        pkt.size = m.size;
+        pkt.tag = m.tag;
+        pkt.createTime = now;
+        pkt.measured = phase == SimPhase::Measure;
+        net.injectPacket(pkt);
+    }
+}
+
+void
+CmpTrafficSource::onPacketDelivered(const CompletedPacket &packet,
+                                    Network &net, Cycle now)
+{
+    (void)net;
+    CmpMessage msg;
+    msg.src = packet.src;
+    msg.dst = packet.dst;
+    msg.size = packet.size;
+    msg.tag = packet.tag;
+    model_.deliver(msg, now);
+}
+
+} // namespace noc

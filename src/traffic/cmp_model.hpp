@@ -1,0 +1,177 @@
+/**
+ * @file
+ * CMP cache-coherence traffic model — the substitute for the paper's
+ * Simics/SPARC full-system traces (§5, Table I, Fig 7).
+ *
+ * The modelled machine: 32 out-of-order cores and 32 address-interleaved
+ * shared L2 banks (S-NUCA) connected by the on-chip network; 4 MSHRs per
+ * core self-throttle the request stream; a directory-style write-through
+ * MSI-like protocol with three transaction classes:
+ *   read  : 1-flit request  -> 5-flit data response,
+ *   write : 5-flit request  -> 1-flit ack,
+ *   coh   : 1-flit invalidations to sharers -> 1-flit acks.
+ * Per-benchmark behaviour comes from BenchmarkProfile knobs.
+ *
+ * The model is transport-agnostic: tick() emits messages, deliver()
+ * feeds arrivals back. It can run
+ *   - offline against an analytic latency estimate to *synthesise a
+ *     trace* (generateCmpTrace), which is then replayed identically
+ *     across router schemes — the paper's methodology; or
+ *   - live, closed-loop, as a TrafficSource (CmpTrafficSource).
+ */
+
+#ifndef NOC_TRAFFIC_CMP_MODEL_HPP
+#define NOC_TRAFFIC_CMP_MODEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "traffic/benchmarks.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/traffic.hpp"
+
+namespace noc {
+
+class Topology;
+
+/** Timing/protocol constants (Table I of the paper). */
+struct CmpParams
+{
+    int mshrsPerCore = 4;      ///< lockup-free self-throttling window
+    int l2Latency = 10;        ///< L2 bank access, cycles
+    int memLatency = 120;      ///< off-chip access on an L2 miss, cycles
+    double l2MissRate = 0.10;  ///< fraction of requests missing in L2
+    std::uint32_t addrFlits = 1;  ///< address-only packet size
+    std::uint32_t dataFlits = 5;  ///< address + 64 B data packet size
+};
+
+/** Message classes flowing between cores and banks. */
+enum class CmpMsgType : std::uint32_t {
+    ReadReq = 0,
+    WriteReq = 1,
+    ReadResp = 2,
+    WriteAck = 3,
+    Inv = 4,
+    InvAck = 5,
+};
+
+/** Encode/decode message metadata into the packet tag. */
+std::uint32_t cmpTag(CmpMsgType type, std::uint32_t txn);
+CmpMsgType cmpTagType(std::uint32_t tag);
+std::uint32_t cmpTagTxn(std::uint32_t tag);
+
+/** One model-level message. */
+struct CmpMessage
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t size = 1;
+    std::uint32_t tag = 0;
+};
+
+class CmpModel
+{
+  public:
+    CmpModel(const BenchmarkProfile &profile, const Topology &topo,
+             std::uint64_t seed, const CmpParams &params = {});
+
+    /** Terminal role assignment (Fig 7 layout). */
+    bool isCore(NodeId node) const;
+    const std::vector<NodeId> &cores() const { return cores_; }
+    const std::vector<NodeId> &banks() const { return banks_; }
+
+    /**
+     * One model cycle: cores may issue new misses (unless `throttle`),
+     * banks emit responses that became ready. Messages append to `out`.
+     */
+    void tick(Cycle now, std::vector<CmpMessage> &out, bool throttle);
+
+    /** A message reached its destination terminal. */
+    void deliver(const CmpMessage &msg, Cycle now);
+
+    /** No MSHR in use and no response in flight inside the model. */
+    bool quiescent() const;
+
+    std::uint64_t requestsIssued() const { return requestsIssued_; }
+
+    /** Misses whose response has arrived (retired memory requests). */
+    std::uint64_t requestsCompleted() const { return requestsCompleted_; }
+
+  private:
+    NodeId pickBank(int core_idx);
+
+    BenchmarkProfile profile_;
+    CmpParams params_;
+    const Topology &topo_;
+    Rng rng_;
+
+    std::vector<NodeId> cores_;
+    std::vector<NodeId> banks_;
+    std::vector<int> coreIndex_;   ///< node id -> index in cores_, or -1
+
+    // Per-core state.
+    std::vector<int> mshrsInUse_;
+    std::vector<int> lastBank_;          ///< index into banks_
+    std::vector<int> burstLeft_;         ///< remaining same-bank burst
+    std::vector<std::vector<int>> bankRank_;  ///< per-core popularity order
+
+    std::vector<double> zipfCdf_;
+
+    // Bank-side responses waiting for L2/memory latency.
+    struct Pending
+    {
+        Cycle ready;
+        CmpMessage msg;
+        bool operator>(const Pending &o) const { return ready > o.ready; }
+    };
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
+        pending_;
+
+    std::uint32_t nextTxn_ = 1;
+    std::uint64_t requestsIssued_ = 0;
+    std::uint64_t requestsCompleted_ = 0;
+    std::uint64_t outstandingTxns_ = 0;
+};
+
+/**
+ * Synthesise a packet trace by running the model against an analytic
+ * network-latency estimate for `cycles` cycles (paper methodology:
+ * traces in, identical replay across schemes).
+ */
+std::vector<TraceRecord> generateCmpTrace(const BenchmarkProfile &profile,
+                                          const Topology &topo, Cycle cycles,
+                                          std::uint64_t seed,
+                                          const CmpParams &params = {});
+
+/** Live closed-loop traffic source wrapping the model. */
+class CmpTrafficSource : public TrafficSource
+{
+  public:
+    CmpTrafficSource(const BenchmarkProfile &profile, const Topology &topo,
+                     std::uint64_t seed, const CmpParams &params = {});
+
+    /** Owning variant: builds the topology described by `cfg` itself. */
+    CmpTrafficSource(const BenchmarkProfile &profile, const SimConfig &cfg,
+                     std::uint64_t seed, const CmpParams &params = {});
+
+    void tick(Network &net, Cycle now, SimPhase phase) override;
+    void onPacketDelivered(const CompletedPacket &packet, Network &net,
+                           Cycle now) override;
+    bool exhausted() const override { return model_.quiescent(); }
+
+    const CmpModel &model() const { return model_; }
+
+  private:
+    std::unique_ptr<Topology> ownedTopo_;   ///< set by the owning ctor
+    CmpModel model_;
+    std::vector<CmpMessage> scratch_;
+};
+
+} // namespace noc
+
+#endif // NOC_TRAFFIC_CMP_MODEL_HPP

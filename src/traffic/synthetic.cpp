@@ -1,0 +1,153 @@
+#include "traffic/synthetic.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+#include "network/network.hpp"
+
+namespace noc {
+
+const char *
+toString(SyntheticPattern pattern)
+{
+    switch (pattern) {
+      case SyntheticPattern::UniformRandom: return "uniform-random";
+      case SyntheticPattern::BitComplement: return "bit-complement";
+      case SyntheticPattern::Transpose:     return "bit-permutation";
+      case SyntheticPattern::BitReverse:    return "bit-reverse";
+      case SyntheticPattern::Shuffle:       return "shuffle";
+      case SyntheticPattern::Hotspot:       return "hotspot";
+      case SyntheticPattern::Tornado:       return "tornado";
+      case SyntheticPattern::Neighbor:      return "neighbor";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Side of the square node grid the spatial patterns assume. */
+int
+gridSide(int num_nodes)
+{
+    int side = 1;
+    while (side * side < num_nodes)
+        ++side;
+    NOC_ASSERT(side * side == num_nodes,
+               "tornado/neighbor need a square node count");
+    return side;
+}
+
+} // namespace
+
+NodeId
+patternDestination(SyntheticPattern pattern, NodeId src, int num_nodes)
+{
+    // Spatial patterns work on the square node grid.
+    if (pattern == SyntheticPattern::Tornado ||
+        pattern == SyntheticPattern::Neighbor) {
+        const int side = gridSide(num_nodes);
+        const int x = src % side;
+        const int y = src / side;
+        const int shift =
+            pattern == SyntheticPattern::Tornado ? side / 2 - 1 : 1;
+        const int dx = (x + shift + side) % side;
+        return static_cast<NodeId>(y * side + dx);
+    }
+
+    NOC_ASSERT(std::has_single_bit(static_cast<unsigned>(num_nodes)),
+               "bit-wise patterns need a power-of-two node count");
+    const int bits = std::countr_zero(static_cast<unsigned>(num_nodes));
+    const auto s = static_cast<unsigned>(src);
+    switch (pattern) {
+      case SyntheticPattern::BitComplement:
+        return static_cast<NodeId>(~s & (num_nodes - 1u));
+      case SyntheticPattern::Transpose: {
+        NOC_ASSERT(bits % 2 == 0,
+                   "transpose needs an even number of address bits");
+        const int half = bits / 2;
+        const unsigned lo = s & ((1u << half) - 1u);
+        const unsigned hi = s >> half;
+        return static_cast<NodeId>((lo << half) | hi);
+      }
+      case SyntheticPattern::BitReverse: {
+        unsigned r = 0;
+        for (int b = 0; b < bits; ++b)
+            r |= ((s >> b) & 1u) << (bits - 1 - b);
+        return static_cast<NodeId>(r);
+      }
+      case SyntheticPattern::Shuffle:
+        return static_cast<NodeId>(
+            ((s << 1) | (s >> (bits - 1))) & (num_nodes - 1u));
+      default:
+        NOC_PANIC("pattern has no fixed destination function");
+    }
+}
+
+SyntheticTraffic::SyntheticTraffic(SyntheticPattern pattern, int num_nodes,
+                                   double injection_rate, int packet_size,
+                                   std::uint64_t seed)
+    : pattern_(pattern), numNodes_(num_nodes),
+      packetRate_(injection_rate / packet_size), packetSize_(packet_size),
+      rng_(seed)
+{
+    NOC_ASSERT(packet_size >= 1, "packet size must be positive");
+    NOC_ASSERT(injection_rate >= 0.0 && injection_rate <= 1.0,
+               "injection rate must be within [0, 1] flits/node/cycle");
+    if (pattern == SyntheticPattern::Hotspot) {
+        // Four hot nodes receive an extra share of the traffic.
+        for (int i = 0; i < 4 && i < num_nodes; ++i)
+            hotspots_.push_back(static_cast<NodeId>(
+                (i * num_nodes) / 4 + num_nodes / 8));
+    }
+}
+
+NodeId
+SyntheticTraffic::destination(NodeId src)
+{
+    switch (pattern_) {
+      case SyntheticPattern::UniformRandom: {
+        NodeId dst = src;
+        while (dst == src)
+            dst = static_cast<NodeId>(rng_.nextBelow(numNodes_));
+        return dst;
+      }
+      case SyntheticPattern::Hotspot: {
+        // 50% of packets go to a hot node; the rest are uniform.
+        if (rng_.nextBool(0.5)) {
+            const NodeId dst = hotspots_[rng_.nextBelow(hotspots_.size())];
+            if (dst != src)
+                return dst;
+        }
+        NodeId dst = src;
+        while (dst == src)
+            dst = static_cast<NodeId>(rng_.nextBelow(numNodes_));
+        return dst;
+      }
+      default:
+        return patternDestination(pattern_, src, numNodes_);
+    }
+}
+
+void
+SyntheticTraffic::tick(Network &net, Cycle now, SimPhase phase)
+{
+    if (phase == SimPhase::Drain)
+        return;
+    for (NodeId src = 0; src < numNodes_; ++src) {
+        if (!rng_.nextBool(packetRate_))
+            continue;
+        const NodeId dst = destination(src);
+        if (dst == src)
+            continue;   // fixed-pattern self-traffic carries no load
+        PacketDesc pkt;
+        pkt.id = nextPacketId();
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.size = packetSize_;
+        pkt.createTime = now;
+        pkt.measured = phase == SimPhase::Measure;
+        net.injectPacket(pkt);
+    }
+}
+
+} // namespace noc

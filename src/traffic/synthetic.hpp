@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic workload traffic (paper §6.B): Bernoulli packet injection
+ * under classic destination patterns. Uniform random, bit complement and
+ * bit permutation (matrix transpose) are the paper's three; bit reverse,
+ * shuffle and hotspot are provided for wider coverage.
+ */
+
+#ifndef NOC_TRAFFIC_SYNTHETIC_HPP
+#define NOC_TRAFFIC_SYNTHETIC_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "traffic/traffic.hpp"
+
+namespace noc {
+
+enum class SyntheticPattern {
+    UniformRandom,
+    BitComplement,
+    Transpose,    ///< the paper's "bit permutation" (BP)
+    BitReverse,
+    Shuffle,
+    Hotspot,
+    Tornado,      ///< half-way around each grid dimension
+    Neighbor,     ///< one hop in +x (wrapping), maximal locality
+};
+
+const char *toString(SyntheticPattern pattern);
+
+/**
+ * Destination of `src` under a pattern over `num_nodes` endpoints.
+ * Bit-wise patterns require a power-of-two node count; Transpose further
+ * requires an even number of address bits. UniformRandom/Hotspot must be
+ * drawn per packet and are not valid here.
+ */
+NodeId patternDestination(SyntheticPattern pattern, NodeId src,
+                          int num_nodes);
+
+class SyntheticTraffic : public TrafficSource
+{
+  public:
+    /**
+     * @param injection_rate  flits per node per cycle (load)
+     * @param packet_size     flits per packet (paper: 5)
+     */
+    SyntheticTraffic(SyntheticPattern pattern, int num_nodes,
+                     double injection_rate, int packet_size,
+                     std::uint64_t seed);
+
+    void tick(Network &net, Cycle now, SimPhase phase) override;
+
+  private:
+    NodeId destination(NodeId src);
+
+    SyntheticPattern pattern_;
+    int numNodes_;
+    double packetRate_;   ///< packets per node per cycle
+    int packetSize_;
+    Rng rng_;
+    std::vector<NodeId> hotspots_;
+};
+
+} // namespace noc
+
+#endif // NOC_TRAFFIC_SYNTHETIC_HPP

@@ -1,0 +1,92 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "network/network.hpp"
+
+namespace noc {
+
+void
+writeTrace(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    os << "# noc-trace v1: cycle src dst size tag\n";
+    for (const TraceRecord &r : records) {
+        os << r.cycle << ' ' << r.src << ' ' << r.dst << ' ' << r.size
+           << ' ' << r.tag << '\n';
+    }
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    std::ofstream os(path);
+    if (!os)
+        NOC_FATAL("cannot open trace file for writing: " + path);
+    writeTrace(os, records);
+}
+
+std::vector<TraceRecord>
+readTrace(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        TraceRecord r;
+        if (!(fields >> r.cycle >> r.src >> r.dst >> r.size >> r.tag))
+            NOC_FATAL("malformed trace line: " + line);
+        records.push_back(r);
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        NOC_FATAL("cannot open trace file for reading: " + path);
+    return readTrace(is);
+}
+
+TraceReplaySource::TraceReplaySource(std::vector<TraceRecord> records,
+                                     double dilation)
+    : records_(std::move(records)), dilation_(dilation)
+{
+    NOC_ASSERT(dilation_ > 0.0, "trace dilation must be positive");
+    NOC_ASSERT(std::is_sorted(records_.begin(), records_.end(),
+                              [](const TraceRecord &a, const TraceRecord &b)
+                              { return a.cycle < b.cycle; }),
+               "trace records must be sorted by cycle");
+}
+
+void
+TraceReplaySource::tick(Network &net, Cycle now, SimPhase phase)
+{
+    while (next_ < records_.size()) {
+        const TraceRecord &r = records_[next_];
+        const auto when =
+            static_cast<Cycle>(std::llround(r.cycle * dilation_));
+        if (when > now)
+            break;
+        PacketDesc pkt;
+        pkt.id = nextPacketId();
+        pkt.src = r.src;
+        pkt.dst = r.dst;
+        pkt.size = r.size;
+        pkt.tag = r.tag;
+        pkt.createTime = now;
+        pkt.measured = phase == SimPhase::Measure;
+        net.injectPacket(pkt);
+        ++next_;
+    }
+}
+
+} // namespace noc

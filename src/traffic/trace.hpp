@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Packet traces: the record format, text-file reader/writer, and a
+ * replay traffic source.
+ *
+ * The paper extracts traces from a full-system simulator and replays
+ * them through the network simulator; here traces come from the CMP
+ * coherence model (see cmp_model.hpp) but the replay machinery is
+ * identical — and replaying one fixed trace across router schemes is
+ * what makes the scheme comparisons apples-to-apples.
+ */
+
+#ifndef NOC_TRAFFIC_TRACE_HPP
+#define NOC_TRAFFIC_TRACE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "traffic/traffic.hpp"
+
+namespace noc {
+
+/** One packet injection event. */
+struct TraceRecord
+{
+    Cycle cycle = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t size = 1;
+    std::uint32_t tag = 0;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** Write records as a plain-text trace ("cycle src dst size tag\n"). */
+void writeTrace(std::ostream &os, const std::vector<TraceRecord> &records);
+void writeTraceFile(const std::string &path,
+                    const std::vector<TraceRecord> &records);
+
+/** Parse a text trace; fatals on malformed lines. */
+std::vector<TraceRecord> readTrace(std::istream &is);
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+/**
+ * Replays a trace: each record is injected at its cycle (scaled by an
+ * optional time-dilation factor, which lets one trace model lighter or
+ * heavier load). Records must be sorted by cycle.
+ */
+class TraceReplaySource : public TrafficSource
+{
+  public:
+    explicit TraceReplaySource(std::vector<TraceRecord> records,
+                               double dilation = 1.0);
+
+    void tick(Network &net, Cycle now, SimPhase phase) override;
+    bool exhausted() const override { return next_ >= records_.size(); }
+
+    std::size_t injectedCount() const { return next_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    double dilation_;
+    std::size_t next_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_TRAFFIC_TRACE_HPP

@@ -1,0 +1,3 @@
+// Intentionally small: TrafficSource is an interface; concrete sources
+// live in synthetic.cpp, trace.cpp and cmp_model.cpp.
+#include "traffic/traffic.hpp"

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Traffic-source abstraction driving a Network.
+ *
+ * Sources are ticked once per cycle before the network advances; they
+ * inject packets through Network::injectPacket and (for closed-loop
+ * models) react to deliveries via onPacketDelivered.
+ */
+
+#ifndef NOC_TRAFFIC_TRAFFIC_HPP
+#define NOC_TRAFFIC_TRAFFIC_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "network/network_interface.hpp"
+
+namespace noc {
+
+class Network;
+
+/** Simulation phases as seen by a traffic source. */
+enum class SimPhase {
+    Warmup,    ///< inject, but packets are not measured
+    Measure,   ///< inject; packets count towards statistics
+    Drain,     ///< stop creating new work
+};
+
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Generate this cycle's injections. */
+    virtual void tick(Network &net, Cycle now, SimPhase phase) = 0;
+
+    /** A packet reached its destination NI (closed-loop reactions). */
+    virtual void
+    onPacketDelivered(const CompletedPacket &packet, Network &net, Cycle now)
+    {
+        (void)packet;
+        (void)net;
+        (void)now;
+    }
+
+    /**
+     * True when the source has no pending work of its own: given no
+     * further deliveries, it will never inject again. Open-loop sources
+     * are trivially done once the Drain phase stops them; closed-loop
+     * models report outstanding transactions.
+     */
+    virtual bool exhausted() const { return true; }
+
+    /** Next unique packet id. */
+    PacketId nextPacketId() { return ++lastPacketId_; }
+
+  private:
+    PacketId lastPacketId_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_TRAFFIC_TRAFFIC_HPP

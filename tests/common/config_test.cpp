@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Config, DefaultsAreValid)
+{
+    SimConfig cfg;
+    cfg.validate();   // must not fatal
+    EXPECT_EQ(cfg.numRouters(), 16);
+    EXPECT_EQ(cfg.numNodes(), 64);
+}
+
+TEST(Config, MeshIgnoresConcentration)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    cfg.concentration = 4;   // not used by Mesh
+    EXPECT_EQ(cfg.numNodes(), 64);
+}
+
+TEST(Config, EnumNames)
+{
+    EXPECT_STREQ(toString(Scheme::Baseline), "Baseline");
+    EXPECT_STREQ(toString(Scheme::Pseudo), "Pseudo");
+    EXPECT_STREQ(toString(Scheme::PseudoS), "Pseudo+S");
+    EXPECT_STREQ(toString(Scheme::PseudoB), "Pseudo+B");
+    EXPECT_STREQ(toString(Scheme::PseudoSB), "Pseudo+S+B");
+    EXPECT_STREQ(toString(Scheme::Evc), "EVC");
+    EXPECT_STREQ(toString(RoutingKind::XY), "XY");
+    EXPECT_STREQ(toString(RoutingKind::YX), "YX");
+    EXPECT_STREQ(toString(RoutingKind::O1Turn), "O1TURN");
+    EXPECT_STREQ(toString(VaPolicy::Static), "StaticVA");
+    EXPECT_STREQ(toString(VaPolicy::Dynamic), "DynamicVA");
+    EXPECT_STREQ(toString(TopologyKind::Mesh), "Mesh");
+    EXPECT_STREQ(toString(TopologyKind::CMesh), "CMesh");
+    EXPECT_STREQ(toString(TopologyKind::Mecs), "MECS");
+    EXPECT_STREQ(toString(TopologyKind::FlatFly), "FBFLY");
+}
+
+TEST(Config, DescribeMentionsKeyKnobs)
+{
+    SimConfig cfg;
+    cfg.scheme = Scheme::PseudoSB;
+    cfg.routing = RoutingKind::O1Turn;
+    const std::string desc = cfg.describe();
+    EXPECT_NE(desc.find("Pseudo+S+B"), std::string::npos);
+    EXPECT_NE(desc.find("O1TURN"), std::string::npos);
+    EXPECT_NE(desc.find("CMesh"), std::string::npos);
+}
+
+TEST(ConfigDeath, RejectsBadValues)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SimConfig cfg;
+    cfg.meshWidth = 1;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "dimensions");
+
+    cfg = SimConfig{};
+    cfg.numVcs = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "VC");
+
+    cfg = SimConfig{};
+    cfg.routing = RoutingKind::O1Turn;
+    cfg.numVcs = 1;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "O1TURN");
+
+    cfg = SimConfig{};
+    cfg.scheme = Scheme::Evc;
+    cfg.evcNumExpressVcs = 4;   // leaves no normal VCs
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "EVC");
+
+    cfg = SimConfig{};
+    cfg.scheme = Scheme::Evc;
+    cfg.routing = RoutingKind::O1Turn;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "dimension-order");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace noc {
+namespace {
+
+TEST(LogDeath, PanicAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(NOC_PANIC("broken invariant"), "panic: broken invariant");
+}
+
+TEST(LogDeath, FatalExitsWithCodeOne)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(NOC_FATAL("bad config"), testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+TEST(LogDeath, AssertFiresOnFalse)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const int x = 3;
+    EXPECT_DEATH(NOC_ASSERT(x == 4, "x must be four"),
+                 "assertion failed: x == 4");
+}
+
+TEST(Log, AssertPassesOnTrue)
+{
+    NOC_ASSERT(1 + 1 == 2, "arithmetic works");   // must not abort
+    SUCCEED();
+}
+
+TEST(Log, WarnDoesNotTerminate)
+{
+    NOC_WARN("just a warning");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace noc

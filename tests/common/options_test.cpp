@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/options.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Options, ParsesKeyValues)
+{
+    const Options opts =
+        Options::parse({"width=8", "scheme=pseudo-sb", "load=0.15"});
+    EXPECT_TRUE(opts.has("width"));
+    EXPECT_TRUE(opts.has("WIDTH"));   // case-insensitive keys
+    EXPECT_FALSE(opts.has("height"));
+    EXPECT_EQ(opts.getInt("width", 0), 8);
+    EXPECT_EQ(opts.getString("scheme", ""), "pseudo-sb");
+    EXPECT_DOUBLE_EQ(opts.getDouble("load", 0.0), 0.15);
+}
+
+TEST(Options, FallbacksApply)
+{
+    const Options opts = Options::parse({});
+    EXPECT_EQ(opts.getInt("missing", 42), 42);
+    EXPECT_EQ(opts.getString("missing", "x"), "x");
+    EXPECT_TRUE(opts.getBool("missing", true));
+}
+
+TEST(Options, BooleanSpellings)
+{
+    const Options opts = Options::parse(
+        {"a=true", "b=0", "c=YES", "d=off"});
+    EXPECT_TRUE(opts.getBool("a", false));
+    EXPECT_FALSE(opts.getBool("b", true));
+    EXPECT_TRUE(opts.getBool("c", false));
+    EXPECT_FALSE(opts.getBool("d", true));
+}
+
+TEST(Options, UnusedKeyTracking)
+{
+    const Options opts = Options::parse({"used=1", "typo=2"});
+    opts.getInt("used", 0);
+    const auto unused = opts.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Options, ArgvParsing)
+{
+    const char *argv[] = {"prog", "width=4", "height=2"};
+    const Options opts = Options::parse(3, argv);
+    EXPECT_EQ(opts.getInt("width", 0), 4);
+    EXPECT_EQ(opts.getInt("height", 0), 2);
+}
+
+TEST(OptionsDeath, RejectsMalformedTokens)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(Options::parse({"no-equals"}), testing::ExitedWithCode(1),
+                "key=value");
+    const Options opts = Options::parse({"n=abc"});
+    EXPECT_EXIT(opts.getInt("n", 0), testing::ExitedWithCode(1),
+                "integer");
+    const Options opts2 = Options::parse({"x=1.2.3"});
+    EXPECT_EXIT(opts2.getDouble("x", 0), testing::ExitedWithCode(1),
+                "number");
+    const Options opts3 = Options::parse({"b=maybe"});
+    EXPECT_EXIT(opts3.getBool("b", false), testing::ExitedWithCode(1),
+                "boolean");
+}
+
+TEST(ParseEnums, AllSpellings)
+{
+    EXPECT_EQ(parseScheme("baseline"), Scheme::Baseline);
+    EXPECT_EQ(parseScheme("Pseudo"), Scheme::Pseudo);
+    EXPECT_EQ(parseScheme("pseudo+s"), Scheme::PseudoS);
+    EXPECT_EQ(parseScheme("pseudo-b"), Scheme::PseudoB);
+    EXPECT_EQ(parseScheme("PSEUDO-SB"), Scheme::PseudoSB);
+    EXPECT_EQ(parseScheme("evc"), Scheme::Evc);
+    EXPECT_EQ(parseRouting("xy"), RoutingKind::XY);
+    EXPECT_EQ(parseRouting("YX"), RoutingKind::YX);
+    EXPECT_EQ(parseRouting("o1turn"), RoutingKind::O1Turn);
+    EXPECT_EQ(parseVaPolicy("static"), VaPolicy::Static);
+    EXPECT_EQ(parseVaPolicy("Dynamic"), VaPolicy::Dynamic);
+    EXPECT_EQ(parseTopology("mesh"), TopologyKind::Mesh);
+    EXPECT_EQ(parseTopology("cmesh"), TopologyKind::CMesh);
+    EXPECT_EQ(parseTopology("mecs"), TopologyKind::Mecs);
+    EXPECT_EQ(parseTopology("fbfly"), TopologyKind::FlatFly);
+    EXPECT_EQ(parseTopology("flatfly"), TopologyKind::FlatFly);
+    EXPECT_EQ(parseTopology("torus"), TopologyKind::Torus);
+}
+
+TEST(ParseEnumsDeath, UnknownNamesFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parseScheme("warp"), testing::ExitedWithCode(1), "scheme");
+    EXPECT_EXIT(parseRouting("adaptive"), testing::ExitedWithCode(1),
+                "routing");
+    EXPECT_EXIT(parseTopology("hypercube"), testing::ExitedWithCode(1),
+                "topology");
+}
+
+TEST(ConfigFromOptions, DefaultsAndOverrides)
+{
+    const SimConfig def = configFromOptions(Options::parse({}));
+    EXPECT_EQ(def.topology, TopologyKind::CMesh);
+    EXPECT_EQ(def.numNodes(), 64);
+
+    const SimConfig mesh = configFromOptions(Options::parse(
+        {"topology=mesh", "scheme=pseudo-sb", "vcs=8", "buffers=2"}));
+    EXPECT_EQ(mesh.topology, TopologyKind::Mesh);
+    EXPECT_EQ(mesh.meshWidth, 8);   // mesh family default
+    EXPECT_EQ(mesh.numVcs, 8);
+    EXPECT_EQ(mesh.bufferDepth, 2);
+    EXPECT_EQ(mesh.scheme, Scheme::PseudoSB);
+}
+
+TEST(ConfigFromOptionsDeath, ValidationStillRuns)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(configFromOptions(Options::parse({"width=1"})),
+                testing::ExitedWithCode(1), "dimensions");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace noc {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero)
+{
+    StatAccumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.min(), 0.0);
+    EXPECT_EQ(acc.max(), 0.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulator, BasicMoments)
+{
+    StatAccumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(acc.stddev(), 2.0, 1e-12);
+}
+
+TEST(StatAccumulator, MergeMatchesCombinedStream)
+{
+    StatAccumulator a;
+    StatAccumulator b;
+    StatAccumulator all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.37 - 3.0;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatAccumulator, MergeWithEmpty)
+{
+    StatAccumulator a;
+    a.add(3.0);
+    StatAccumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(StatAccumulator, ResetClears)
+{
+    StatAccumulator a;
+    a.add(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, CountsAndOverflow)
+{
+    Histogram h(10.0, 4);   // [0,40) + overflow
+    h.add(0.0);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(39.9);
+    h.add(40.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.totalCount(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+}
+
+TEST(Histogram, QuantileInterpolates)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, QuantileEmpty)
+{
+    Histogram h(1.0, 10);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(FormatPercent, Formats)
+{
+    EXPECT_EQ(formatPercent(0.162), "16.2%");
+    EXPECT_EQ(formatPercent(0.0), "0.0%");
+    EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+} // namespace
+} // namespace noc

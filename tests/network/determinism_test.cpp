@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Determinism guarantees: a simulation is a pure function of its
+ * configuration and seed. Accidental nondeterminism (iteration over
+ * unordered containers, uninitialised state, address-dependent
+ * behaviour) would silently break experiment reproducibility, so two
+ * independently constructed runs must match event for event.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "traffic/cmp_model.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+SimResult
+runOnce(Scheme scheme, std::uint64_t seed)
+{
+    SimConfig cfg = syntheticConfig();
+    cfg.scheme = scheme;
+    cfg.seed = seed;
+    SimWindows w;
+    w.warmup = 500;
+    w.measure = 3000;
+    w.drainLimit = 20000;
+    auto src = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::UniformRandom, cfg.numNodes(), 0.12, 5,
+        seed * 3 + 1);
+    return runSimulation(cfg, std::move(src), w);
+}
+
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.measuredPackets, b.measuredPackets);
+    EXPECT_DOUBLE_EQ(a.avgTotalLatency, b.avgTotalLatency);
+    EXPECT_DOUBLE_EQ(a.avgNetLatency, b.avgNetLatency);
+    EXPECT_DOUBLE_EQ(a.reusability, b.reusability);
+    EXPECT_EQ(a.routerTotals.xbarTraversals, b.routerTotals.xbarTraversals);
+    EXPECT_EQ(a.routerTotals.saBypasses, b.routerTotals.saBypasses);
+    EXPECT_EQ(a.routerTotals.bufferBypasses,
+              b.routerTotals.bufferBypasses);
+    EXPECT_EQ(a.pcTotals.created, b.pcTotals.created);
+    EXPECT_EQ(a.pcTotals.speculated, b.pcTotals.speculated);
+}
+
+TEST(Determinism, IdenticalRunsMatchExactly)
+{
+    for (const Scheme scheme :
+         {Scheme::Baseline, Scheme::PseudoSB, Scheme::Evc}) {
+        const SimResult a = runOnce(scheme, 11);
+        const SimResult b = runOnce(scheme, 11);
+        expectIdentical(a, b);
+    }
+}
+
+TEST(Determinism, SeedsActuallyMatter)
+{
+    const SimResult a = runOnce(Scheme::PseudoSB, 11);
+    const SimResult b = runOnce(Scheme::PseudoSB, 12);
+    EXPECT_NE(a.routerTotals.xbarTraversals,
+              b.routerTotals.xbarTraversals);
+}
+
+TEST(Determinism, ClosedLoopCmpRunsMatch)
+{
+    auto run = [] {
+        SimConfig cfg = traceConfig();
+        cfg.scheme = Scheme::PseudoSB;
+        auto src = std::make_unique<CmpTrafficSource>(
+            findBenchmark("equake"), cfg, 5);
+        SimWindows w;
+        w.warmup = 500;
+        w.measure = 2000;
+        w.drainLimit = 20000;
+        return runSimulation(cfg, std::move(src), w);
+    };
+    expectIdentical(run(), run());
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Express-virtual-channel behaviour (paper §7.B): eligibility geometry,
+ * intermediate-router bypassing, express-credit conservation, and the
+ * latency benefit on long dimension runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/network.hpp"
+#include "router/evc.hpp"
+#include "topology/mesh.hpp"
+
+namespace noc {
+namespace {
+
+SimConfig
+evcConfig(int width, int height)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = width;
+    cfg.meshHeight = height;
+    cfg.concentration = 1;
+    cfg.routing = RoutingKind::XY;
+    cfg.vaPolicy = VaPolicy::Dynamic;
+    cfg.scheme = Scheme::Evc;
+    return cfg;
+}
+
+TEST(EvcUnit, DisabledByDefault)
+{
+    EvcUnit unit;
+    EXPECT_FALSE(unit.enabled());
+}
+
+TEST(EvcUnit, GeometryOnAnEightMesh)
+{
+    const SimConfig cfg = evcConfig(8, 8);
+    Mesh topo(8, 8, 1);
+    EvcUnit unit(cfg, topo);
+    EXPECT_TRUE(unit.enabled());
+    EXPECT_EQ(unit.expressBase(), 2);
+    EXPECT_EQ(unit.numExpress(), 2);
+    EXPECT_EQ(unit.numNormal(), 2);
+
+    const RouterId origin = topo.routerAt(0, 0);
+    const PortId east = topo.dirPort(Mesh::East);
+    EXPECT_EQ(unit.twoHopSink(origin, east), topo.routerAt(2, 0));
+    EXPECT_EQ(unit.twoHopSink(topo.routerAt(6, 0), east),
+              kInvalidRouter);
+    EXPECT_EQ(unit.twoHopSink(topo.routerAt(7, 0), east),
+              kInvalidRouter);
+
+    // Eligible only with >= 2 remaining hops in the dimension.
+    const NodeId far = topo.routerAt(5, 0);
+    const NodeId near = topo.routerAt(1, 0);
+    EXPECT_TRUE(unit.eligible(origin, far, {east, 0}));
+    EXPECT_FALSE(unit.eligible(origin, near, {east, 0}));
+    // Terminal route: never eligible.
+    EXPECT_FALSE(unit.eligible(origin, 0, {0, 0}));
+}
+
+TEST(Evc, LongRunBeatsBaselineLatency)
+{
+    // A single packet crossing 7 hops of one dimension: EVC bypasses
+    // three intermediate routers entirely.
+    auto run_one = [](Scheme scheme) {
+        SimConfig cfg = evcConfig(8, 2);
+        cfg.scheme = scheme;
+        Network net(cfg);
+        PacketDesc p;
+        p.id = 1;
+        p.src = 0;
+        p.dst = 7;
+        p.size = 1;
+        p.createTime = 0;
+        net.injectPacket(p);
+        std::vector<CompletedPacket> done;
+        Cycle guard = 0;
+        while (done.empty() && guard++ < 1000) {
+            net.step();
+            net.drainCompleted(done);
+        }
+        EXPECT_EQ(done.size(), 1u);
+        return done.empty() ? Cycle{0}
+                            : done.front().ejectTime - done.front().injectTime;
+    };
+    const Cycle base = run_one(Scheme::Baseline);
+    const Cycle evc = run_one(Scheme::Evc);
+    EXPECT_LT(evc, base);
+    // 3 bypassed routers save 2 cycles each relative to the full
+    // 3-cycle pipeline at an unloaded router.
+    EXPECT_EQ(base - evc, 6u);
+}
+
+TEST(Evc, IntermediateRoutersRecordExpressBypasses)
+{
+    SimConfig cfg = evcConfig(8, 2);
+    Network net(cfg);
+    PacketDesc p;
+    p.id = 1;
+    p.src = 0;
+    p.dst = 6;
+    p.size = 1;
+    p.createTime = 0;
+    net.injectPacket(p);
+    Cycle guard = 0;
+    while (!net.idle() && guard++ < 1000)
+        net.step();
+    ASSERT_TRUE(net.idle());
+    const RouterStats stats = net.aggregateRouterStats();
+    // 0 -> 6 is three express pairs: intermediates 1, 3, 5 bypassed.
+    EXPECT_EQ(stats.expressBypasses, 3u);
+}
+
+TEST(Evc, ExpressCreditsConserveAfterDrain)
+{
+    SimConfig cfg = evcConfig(8, 8);
+    cfg.bufferDepth = 2;
+    Network net(cfg);
+    // A burst of long-distance packets through the express planes.
+    for (int i = 0; i < 64; ++i) {
+        PacketDesc p;
+        p.id = 100 + i;
+        p.src = i % 8;                       // top row
+        p.dst = 56 + (i * 3) % 8;            // bottom row
+        p.size = 3;
+        p.createTime = net.now();
+        net.injectPacket(p);
+        net.step();
+    }
+    Cycle guard = 0;
+    while (!net.idle() && guard++ < 20000)
+        net.step();
+    ASSERT_TRUE(net.idle());
+
+    const Mesh &topo = dynamic_cast<const Mesh &>(net.topology());
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        for (PortId pt = 1; pt < topo.numOutputPorts(r); ++pt) {
+            const OutputPort &op = net.router(r).outputPort(pt);
+            if (!op.hasExpress())
+                continue;
+            for (VcId v = 2; v < 4; ++v) {
+                EXPECT_EQ(op.expressVc(v).credits, cfg.bufferDepth)
+                    << "router " << r << " port " << pt << " vc " << v;
+                EXPECT_FALSE(op.expressVc(v).owned);
+            }
+        }
+    }
+}
+
+TEST(Evc, NoExpressStateWithoutTwoHopSink)
+{
+    SimConfig cfg = evcConfig(4, 4);
+    Network net(cfg);
+    const Mesh &topo = dynamic_cast<const Mesh &>(net.topology());
+    // Router at x=2 has no two-hop sink to the east (x=4 off grid).
+    const RouterId r = topo.routerAt(2, 1);
+    EXPECT_FALSE(
+        net.router(r).outputPort(topo.dirPort(Mesh::East)).hasExpress());
+    const RouterId r2 = topo.routerAt(1, 1);
+    EXPECT_TRUE(
+        net.router(r2).outputPort(topo.dirPort(Mesh::East)).hasExpress());
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "network/link.hpp"
+
+namespace noc {
+namespace {
+
+LinkEvent
+flitEvent(RouterId r, PortId p)
+{
+    LinkEvent ev;
+    ev.kind = LinkEvent::Kind::FlitToRouter;
+    ev.router = r;
+    ev.inPort = p;
+    return ev;
+}
+
+TEST(EventRing, DeliversAtScheduledCycle)
+{
+    EventRing ring(10);
+    ring.schedule(0, 3, flitEvent(1, 0));
+    ring.schedule(0, 5, flitEvent(2, 0));
+    EXPECT_TRUE(ring.eventsAt(1).empty());
+    EXPECT_TRUE(ring.eventsAt(2).empty());
+    ASSERT_EQ(ring.eventsAt(3).size(), 1u);
+    EXPECT_EQ(ring.eventsAt(3)[0].router, 1);
+    ring.eventsAt(3).clear();
+    ASSERT_EQ(ring.eventsAt(5).size(), 1u);
+    EXPECT_EQ(ring.eventsAt(5)[0].router, 2);
+}
+
+TEST(EventRing, MultipleEventsPerCycleKeepOrder)
+{
+    EventRing ring(8);
+    for (int i = 0; i < 5; ++i)
+        ring.schedule(0, 2, flitEvent(i, i));
+    const auto &bucket = ring.eventsAt(2);
+    ASSERT_EQ(bucket.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(bucket[i].router, i);
+}
+
+TEST(EventRing, WrapsAroundTheHorizon)
+{
+    EventRing ring(4);
+    for (Cycle now = 0; now < 40; ++now) {
+        ring.schedule(now, now + 3, flitEvent(static_cast<int>(now), 0));
+        if (now >= 3) {
+            auto &bucket = ring.eventsAt(now);
+            ASSERT_EQ(bucket.size(), 1u) << "cycle " << now;
+            EXPECT_EQ(bucket[0].router, static_cast<int>(now - 3));
+            bucket.clear();
+        }
+    }
+}
+
+TEST(EventRing, EmptyQuery)
+{
+    EventRing ring(4);
+    EXPECT_TRUE(ring.empty());
+    ring.schedule(0, 2, flitEvent(0, 0));
+    EXPECT_FALSE(ring.empty());
+    ring.eventsAt(2).clear();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(EventRingDeath, RejectsPastAndFarFuture)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventRing ring(4);
+    EXPECT_DEATH(ring.schedule(5, 5, flitEvent(0, 0)), "future");
+    EXPECT_DEATH(ring.schedule(5, 4, flitEvent(0, 0)), "future");
+    EXPECT_DEATH(ring.schedule(5, 5 + 7, flitEvent(0, 0)), "horizon");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Property-style sweeps: random configurations under random traffic must
+ * (a) deliver every packet, (b) restore every credit, (c) never violate
+ * the internal assertions (overflow, negative credits, FIFO breakage),
+ * and (d) keep the pseudo-circuit invariant — at most one valid circuit
+ * per input and per output port — at every observation point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "network/network.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+void
+checkPcUniqueness(Network &net)
+{
+    const Topology &topo = net.topology();
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        const PseudoCircuitUnit &pc = net.router(r).pcUnit();
+        std::vector<int> per_output(topo.numOutputPorts(r), 0);
+        for (PortId in = 0; in < topo.numInputPorts(r); ++in) {
+            if (pc.at(in).valid)
+                ++per_output[pc.at(in).route.outPort];
+        }
+        for (int count : per_output)
+            EXPECT_LE(count, 1) << "two circuits drive one output";
+    }
+}
+
+struct FuzzCase
+{
+    std::uint64_t seed;
+};
+
+class FuzzTest : public testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(FuzzTest, RandomConfigRandomTraffic)
+{
+    Rng rng(GetParam().seed);
+
+    SimConfig cfg;
+    const TopologyKind topos[] = {TopologyKind::Mesh, TopologyKind::CMesh,
+                                  TopologyKind::Mecs, TopologyKind::FlatFly,
+                                  TopologyKind::Torus};
+    cfg.topology = topos[rng.nextBelow(5)];
+    const int min_dim = cfg.topology == TopologyKind::Torus ? 3 : 2;
+    cfg.meshWidth = static_cast<int>(rng.nextRange(min_dim, 4));
+    cfg.meshHeight = static_cast<int>(rng.nextRange(min_dim, 4));
+    cfg.concentration = static_cast<int>(rng.nextRange(1, 3));
+    cfg.numVcs = static_cast<int>(rng.nextRange(2, 4));
+    cfg.bufferDepth = static_cast<int>(rng.nextRange(1, 5));
+    cfg.linkLatency = static_cast<int>(rng.nextRange(1, 2));
+    cfg.creditLatency = static_cast<int>(rng.nextRange(1, 2));
+    const Scheme schemes[] = {Scheme::Baseline, Scheme::Pseudo,
+                              Scheme::PseudoS, Scheme::PseudoB,
+                              Scheme::PseudoSB};
+    cfg.scheme = schemes[rng.nextBelow(5)];
+    const bool mesh_family = cfg.topology == TopologyKind::Mesh ||
+        cfg.topology == TopologyKind::CMesh;
+    cfg.routing = mesh_family && rng.nextBool(0.3) ? RoutingKind::O1Turn
+        : (rng.nextBool(0.5) ? RoutingKind::XY : RoutingKind::YX);
+    cfg.vaPolicy = rng.nextBool(0.5) ? VaPolicy::Static : VaPolicy::Dynamic;
+    cfg.seed = GetParam().seed;
+
+    Network net(cfg);
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom,
+                             cfg.numNodes(),
+                             0.02 + rng.nextDouble() * 0.25,
+                             1 + static_cast<int>(rng.nextBelow(5)),
+                             GetParam().seed * 31);
+    std::uint64_t injected = 0;
+    for (Cycle c = 0; c < 1500; ++c) {
+        traffic.tick(net, net.now(), SimPhase::Measure);
+        net.step();
+        if (c % 250 == 0)
+            checkPcUniqueness(net);
+    }
+    Cycle guard = 0;
+    while (!net.idle() && guard++ < 100000)
+        net.step();
+    ASSERT_TRUE(net.idle()) << cfg.describe();
+    // Flush in-flight ejection credits before conservation checks.
+    for (int flush = 0; flush < 16; ++flush)
+        net.step();
+    checkPcUniqueness(net);
+
+    // After the drain every queued packet has been fully sent and
+    // delivered, so sends == receives == completions.
+    injected = net.aggregateNiStats().packetsInjected;
+    EXPECT_EQ(net.aggregateNiStats().packetsReceived, injected)
+        << cfg.describe();
+    std::vector<CompletedPacket> done;
+    net.drainCompleted(done);
+    EXPECT_EQ(done.size(), injected) << cfg.describe();
+
+    // Credit conservation everywhere.
+    const Topology &topo = net.topology();
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        for (PortId p = 0; p < topo.numOutputPorts(r); ++p) {
+            if (!topo.output(r, p).isConnected())
+                continue;
+            const OutputPort &op = net.router(r).outputPort(p);
+            for (int d = 0; d < op.numDrops(); ++d) {
+                for (VcId v = 0; v < cfg.numVcs; ++v) {
+                    EXPECT_EQ(op.vc(d, v).credits, cfg.bufferDepth)
+                        << cfg.describe();
+                    EXPECT_FALSE(op.vc(d, v).owned) << cfg.describe();
+                }
+            }
+        }
+    }
+}
+
+std::vector<FuzzCase>
+fuzzCases()
+{
+    std::vector<FuzzCase> cases;
+    for (std::uint64_t s = 1; s <= 24; ++s)
+        cases.push_back({s});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzTest, testing::ValuesIn(fuzzCases()),
+                         [](const auto &info) {
+                             return "seed" + std::to_string(info.param.seed);
+                         });
+
+// EVC has its own invariant sweep (it is excluded from the main matrix
+// because it constrains topology and routing).
+class EvcFuzzTest : public testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(EvcFuzzTest, EvcRandomLoadDrainsAndConserves)
+{
+    Rng rng(GetParam().seed * 97 + 13);
+    SimConfig cfg;
+    cfg.topology = rng.nextBool(0.5) ? TopologyKind::Mesh
+                                     : TopologyKind::CMesh;
+    cfg.meshWidth = static_cast<int>(rng.nextRange(3, 6));
+    cfg.meshHeight = static_cast<int>(rng.nextRange(3, 6));
+    cfg.concentration =
+        cfg.topology == TopologyKind::Mesh ? 1 : 2;
+    cfg.numVcs = static_cast<int>(rng.nextRange(2, 4));
+    cfg.evcNumExpressVcs = cfg.numVcs / 2;
+    cfg.bufferDepth = static_cast<int>(rng.nextRange(1, 4));
+    cfg.routing = rng.nextBool(0.5) ? RoutingKind::XY : RoutingKind::YX;
+    cfg.vaPolicy = rng.nextBool(0.5) ? VaPolicy::Static : VaPolicy::Dynamic;
+    cfg.scheme = Scheme::Evc;
+    cfg.seed = GetParam().seed;
+
+    Network net(cfg);
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom,
+                             cfg.numNodes(),
+                             0.02 + rng.nextDouble() * 0.15,
+                             1 + static_cast<int>(rng.nextBelow(5)),
+                             GetParam().seed * 7 + 3);
+    for (Cycle c = 0; c < 1500; ++c) {
+        traffic.tick(net, net.now(), SimPhase::Measure);
+        net.step();
+    }
+    Cycle guard = 0;
+    while (!net.idle() && guard++ < 100000)
+        net.step();
+    ASSERT_TRUE(net.idle()) << cfg.describe();
+    for (int flush = 0; flush < 16; ++flush)
+        net.step();
+
+    const Topology &topo = net.topology();
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+        for (PortId p = 0; p < topo.numOutputPorts(r); ++p) {
+            if (!topo.output(r, p).isConnected())
+                continue;
+            const OutputPort &op = net.router(r).outputPort(p);
+            for (int d = 0; d < op.numDrops(); ++d) {
+                for (VcId v = 0; v < cfg.numVcs; ++v) {
+                    EXPECT_EQ(op.vc(d, v).credits, cfg.bufferDepth)
+                        << cfg.describe();
+                }
+            }
+            if (op.hasExpress()) {
+                for (VcId v = cfg.numVcs - cfg.evcNumExpressVcs;
+                     v < cfg.numVcs; ++v) {
+                    EXPECT_EQ(op.expressVc(v).credits, cfg.bufferDepth)
+                        << cfg.describe();
+                    EXPECT_FALSE(op.expressVc(v).owned) << cfg.describe();
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvcSweep, EvcFuzzTest,
+                         testing::ValuesIn(fuzzCases()),
+                         [](const auto &info) {
+                             return "seed" + std::to_string(info.param.seed);
+                         });
+
+// Pseudo-circuit schemes must never *hurt* single-flow latency: with one
+// flow and idle routers, reuse can only remove pipeline stages.
+TEST(LatencyOrdering, SchemesAreMonotoneOnAnIdleNetwork)
+{
+    auto run_flow = [](Scheme scheme) {
+        SimConfig cfg;
+        cfg.topology = TopologyKind::Mesh;
+        cfg.meshWidth = 4;
+        cfg.meshHeight = 4;
+        cfg.concentration = 1;
+        cfg.routing = RoutingKind::XY;
+        cfg.vaPolicy = VaPolicy::Static;
+        cfg.scheme = scheme;
+        Network net(cfg);
+        Cycle total = 0;
+        int count = 0;
+        for (int i = 0; i < 20; ++i) {
+            PacketDesc p;
+            p.id = 1 + i;
+            p.src = 0;
+            p.dst = 15;
+            p.size = 1;
+            p.createTime = net.now();
+            net.injectPacket(p);
+            std::vector<CompletedPacket> done;
+            while (done.empty()) {
+                net.step();
+                net.drainCompleted(done);
+            }
+            if (i >= 2) {   // skip circuit-warming packets
+                total += done.front().ejectTime - done.front().injectTime;
+                ++count;
+            }
+            // idle gap between packets
+            for (int g = 0; g < 20; ++g)
+                net.step();
+        }
+        return static_cast<double>(total) / count;
+    };
+
+    const double base = run_flow(Scheme::Baseline);
+    const double pseudo = run_flow(Scheme::Pseudo);
+    const double pseudo_b = run_flow(Scheme::PseudoB);
+    const double pseudo_sb = run_flow(Scheme::PseudoSB);
+    EXPECT_LT(pseudo, base);
+    EXPECT_LT(pseudo_b, pseudo);
+    EXPECT_LE(pseudo_sb, pseudo_b);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "router/flit.hpp"
+
+namespace noc {
+namespace {
+
+TEST(FlitType, HeadAndTailPredicates)
+{
+    EXPECT_TRUE(isHead(FlitType::Head));
+    EXPECT_TRUE(isHead(FlitType::HeadTail));
+    EXPECT_FALSE(isHead(FlitType::Body));
+    EXPECT_FALSE(isHead(FlitType::Tail));
+
+    EXPECT_TRUE(isTail(FlitType::Tail));
+    EXPECT_TRUE(isTail(FlitType::HeadTail));
+    EXPECT_FALSE(isTail(FlitType::Head));
+    EXPECT_FALSE(isTail(FlitType::Body));
+}
+
+TEST(Flit, DescribeContainsIdentity)
+{
+    Flit f;
+    f.packet = 42;
+    f.type = FlitType::Body;
+    f.seq = 2;
+    f.packetSize = 5;
+    f.src = 7;
+    f.dst = 13;
+    f.vc = 3;
+    f.route = {6, 1};
+    const std::string d = f.describe();
+    EXPECT_NE(d.find("pkt=42"), std::string::npos);
+    EXPECT_NE(d.find("B 2/5"), std::string::npos);
+    EXPECT_NE(d.find("src=7"), std::string::npos);
+    EXPECT_NE(d.find("dst=13"), std::string::npos);
+    EXPECT_NE(d.find("vc=3"), std::string::npos);
+    EXPECT_NE(d.find("out=6.1"), std::string::npos);
+}
+
+TEST(Flit, DescribeAllTypes)
+{
+    Flit f;
+    for (const auto t : {FlitType::Head, FlitType::Body, FlitType::Tail,
+                         FlitType::HeadTail}) {
+        f.type = t;
+        EXPECT_FALSE(f.describe().empty());
+    }
+}
+
+TEST(RouteDecision, Equality)
+{
+    EXPECT_EQ((RouteDecision{2, 0}), (RouteDecision{2, 0}));
+    EXPECT_FALSE((RouteDecision{2, 0}) == (RouteDecision{2, 1}));
+    EXPECT_FALSE((RouteDecision{2, 0}) == (RouteDecision{3, 0}));
+}
+
+TEST(Flit, DefaultsAreSane)
+{
+    const Flit f;
+    EXPECT_EQ(f.vc, kInvalidVc);
+    EXPECT_EQ(f.route.outPort, kInvalidPort);
+    EXPECT_EQ(f.evcHopsLeft, 0);
+    EXPECT_TRUE(f.measured);
+    const PacketDesc p;
+    EXPECT_EQ(p.size, 1u);
+    EXPECT_TRUE(p.measured);
+}
+
+} // namespace
+} // namespace noc

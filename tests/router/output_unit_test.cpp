@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "router/output_unit.hpp"
+
+namespace noc {
+namespace {
+
+TEST(OutputPort, InitialCredits)
+{
+    OutputPort port(2, 4, 3);
+    EXPECT_TRUE(port.connected());
+    for (int d = 0; d < 2; ++d) {
+        for (VcId v = 0; v < 4; ++v) {
+            EXPECT_EQ(port.vc(d, v).credits, 3);
+            EXPECT_FALSE(port.vc(d, v).owned);
+        }
+    }
+}
+
+TEST(OutputPort, UnconnectedPort)
+{
+    OutputPort port(0, 4, 3);
+    EXPECT_FALSE(port.connected());
+}
+
+TEST(OutputPort, CreditLifecycle)
+{
+    OutputPort port(1, 2, 2);
+    port.takeCredit(0, 0);
+    EXPECT_EQ(port.vc(0, 0).credits, 1);
+    port.takeCredit(0, 0);
+    EXPECT_EQ(port.vc(0, 0).credits, 0);
+    port.addCredit(0, 0);
+    EXPECT_EQ(port.vc(0, 0).credits, 1);
+}
+
+TEST(OutputPortDeath, NegativeCreditCaught)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    OutputPort port(1, 2, 1);
+    port.takeCredit(0, 1);
+    EXPECT_DEATH(port.takeCredit(0, 1), "credit");
+}
+
+TEST(OutputPort, OwnershipLifecycle)
+{
+    OutputPort port(1, 2, 2);
+    port.allocate(0, 1, 3, 2);
+    EXPECT_TRUE(port.vc(0, 1).owned);
+    EXPECT_EQ(port.vc(0, 1).ownerPort, 3);
+    EXPECT_EQ(port.vc(0, 1).ownerVc, 2);
+    port.release(0, 1);
+    EXPECT_FALSE(port.vc(0, 1).owned);
+}
+
+TEST(OutputPortDeath, DoubleAllocationCaught)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    OutputPort port(1, 2, 2);
+    port.allocate(0, 0, 1, 1);
+    EXPECT_DEATH(port.allocate(0, 0, 2, 2), "allocation");
+}
+
+TEST(OutputPort, AnyCreditQueries)
+{
+    OutputPort port(1, 4, 1);
+    EXPECT_TRUE(port.anyCredit(0, 0, 4));
+    for (VcId v = 0; v < 4; ++v)
+        port.takeCredit(0, v);
+    EXPECT_FALSE(port.anyCredit(0, 0, 4));
+    port.addCredit(0, 2);
+    EXPECT_TRUE(port.anyCredit(0, 0, 4));
+    EXPECT_FALSE(port.anyCredit(0, 0, 2));   // range-restricted
+}
+
+TEST(OutputPort, AnyFreeCreditedVc)
+{
+    OutputPort port(1, 2, 1);
+    EXPECT_TRUE(port.anyFreeCreditedVc(0, 0, 2));
+    port.allocate(0, 0, 0, 0);
+    port.takeCredit(0, 1);
+    EXPECT_FALSE(port.anyFreeCreditedVc(0, 0, 2));
+    port.addCredit(0, 1);
+    EXPECT_TRUE(port.anyFreeCreditedVc(0, 0, 2));
+}
+
+TEST(OutputPort, DropsAreIndependent)
+{
+    OutputPort port(3, 2, 2);
+    port.takeCredit(1, 0);
+    port.takeCredit(1, 0);
+    EXPECT_EQ(port.vc(0, 0).credits, 2);
+    EXPECT_EQ(port.vc(1, 0).credits, 0);
+    EXPECT_EQ(port.vc(2, 0).credits, 2);
+}
+
+TEST(OutputPort, ExpressStateSeparate)
+{
+    OutputPort port(1, 4, 4);
+    EXPECT_FALSE(port.hasExpress());
+    port.initExpress(2, 2, 4);
+    EXPECT_TRUE(port.hasExpress());
+    EXPECT_EQ(port.expressVc(2).credits, 4);
+    EXPECT_EQ(port.expressVc(3).credits, 4);
+    --port.expressVc(3).credits;
+    EXPECT_EQ(port.expressVc(3).credits, 3);
+    EXPECT_EQ(port.vc(0, 3).credits, 4);   // normal pool untouched
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the pseudo-circuit unit, mirroring the paper's Fig 4
+ * (creation / reuse / termination by conflict) and Fig 5 (speculative
+ * restoration with conflict resolution via the history register).
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/pseudo_circuit.hpp"
+
+namespace noc {
+namespace {
+
+TEST(PseudoCircuit, StartsInvalid)
+{
+    PseudoCircuitUnit pc(4, 4);
+    for (PortId p = 0; p < 4; ++p) {
+        EXPECT_FALSE(pc.at(p).valid);
+        EXPECT_EQ(pc.history(p), kInvalidPort);
+    }
+}
+
+TEST(PseudoCircuit, GrantCreatesCircuit)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(1, 2, {3, 0});
+    EXPECT_TRUE(pc.at(1).valid);
+    EXPECT_EQ(pc.at(1).inVc, 2);
+    EXPECT_EQ(pc.at(1).route.outPort, 3);
+    EXPECT_EQ(pc.stats().created, 1u);
+}
+
+TEST(PseudoCircuit, ConflictOnOutputTerminatesOther)
+{
+    // Fig 4(c): a flit at a different input port claims the same output.
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 0, {3, 0});
+    pc.onGrant(2, 1, {3, 0});
+    EXPECT_FALSE(pc.at(0).valid);
+    EXPECT_TRUE(pc.at(2).valid);
+    EXPECT_EQ(pc.stats().terminatedConflict, 1u);
+    // Registers are retained after termination (§3.C).
+    EXPECT_EQ(pc.at(0).route.outPort, 3);
+    EXPECT_EQ(pc.at(0).inVc, 0);
+    // History remembers the terminated circuit's input port... then the
+    // overwrite is visible once the new circuit also dies.
+    EXPECT_EQ(pc.history(3), 0);
+}
+
+TEST(PseudoCircuit, ConflictOnInputOverwrites)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(1, 0, {2, 0});
+    pc.onGrant(1, 3, {3, 0});
+    EXPECT_TRUE(pc.at(1).valid);
+    EXPECT_EQ(pc.at(1).route.outPort, 3);
+    EXPECT_EQ(pc.stats().terminatedConflict, 1u);
+    EXPECT_EQ(pc.history(2), 1);
+}
+
+TEST(PseudoCircuit, RegrantOfSameConnectionIsNotATermination)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(1, 2, {3, 0});
+    pc.onGrant(1, 2, {3, 0});
+    EXPECT_TRUE(pc.at(1).valid);
+    EXPECT_EQ(pc.stats().terminatedConflict, 0u);
+    EXPECT_EQ(pc.stats().created, 2u);
+}
+
+TEST(PseudoCircuit, CreditTermination)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 1, {2, 0});
+    pc.terminateForCredit(0);
+    EXPECT_FALSE(pc.at(0).valid);
+    EXPECT_EQ(pc.stats().terminatedCredit, 1u);
+    // Idempotent on an invalid circuit.
+    pc.terminateForCredit(0);
+    EXPECT_EQ(pc.stats().terminatedCredit, 1u);
+}
+
+TEST(PseudoCircuit, OutputBusy)
+{
+    PseudoCircuitUnit pc(4, 4);
+    EXPECT_FALSE(pc.outputBusy(2));
+    pc.onGrant(0, 0, {2, 0});
+    EXPECT_TRUE(pc.outputBusy(2));
+    EXPECT_FALSE(pc.outputBusy(1));
+}
+
+TEST(PseudoCircuit, SpeculationRevivesLastCircuit)
+{
+    // Fig 5(a): the previously terminated circuit is restored once the
+    // output becomes available again.
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 1, {2, 0});
+    pc.terminateForCredit(0);
+    EXPECT_EQ(pc.trySpeculate(2), 0);
+    EXPECT_TRUE(pc.at(0).valid);
+    EXPECT_EQ(pc.at(0).inVc, 1);
+    EXPECT_EQ(pc.stats().speculated, 1u);
+}
+
+TEST(PseudoCircuit, SpeculationNeedsHistory)
+{
+    PseudoCircuitUnit pc(4, 4);
+    EXPECT_EQ(pc.trySpeculate(1), kInvalidPort);
+}
+
+TEST(PseudoCircuit, SpeculationBlockedByBusyOutput)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 0, {2, 0});
+    pc.onGrant(1, 0, {2, 0});   // terminates input 0's circuit
+    // Output 2 is busy (input 1 holds it): no restoration of input 0.
+    EXPECT_EQ(pc.trySpeculate(2), kInvalidPort);
+    EXPECT_FALSE(pc.at(0).valid);
+}
+
+TEST(PseudoCircuit, SpeculationBlockedWhenInputMovedOn)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 0, {2, 0});
+    pc.terminateForCredit(0);     // history[2] = 0
+    pc.onGrant(0, 0, {3, 0});     // input 0 now points at output 3
+    pc.terminateForCredit(0);     // history[3] = 0
+    // history[2] names input 0, but its retained route is output 3:
+    // restoring it would connect the wrong output, so nothing revives.
+    EXPECT_EQ(pc.trySpeculate(2), kInvalidPort);
+    EXPECT_FALSE(pc.at(0).valid);
+    // Output 3, whose history matches the retained route, does revive.
+    EXPECT_EQ(pc.trySpeculate(3), 0);
+}
+
+TEST(PseudoCircuit, SpeculationRevivesMostRecentTerminationOnOutput)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 0, {2, 0});
+    pc.onGrant(1, 0, {2, 0});   // history[2] = 0; input 1 holds output 2
+    pc.terminateForCredit(1);   // history[2] = 1 (most recent)
+    // The history register resolves towards input 1, not input 0.
+    EXPECT_EQ(pc.trySpeculate(2), 1);
+    EXPECT_FALSE(pc.at(0).valid);
+    EXPECT_TRUE(pc.at(1).valid);
+}
+
+TEST(PseudoCircuit, ConflictResolutionUsesMostRecentInput)
+{
+    // Fig 5(b): two inputs historically used the same output; only the
+    // one named by the history register is restored.
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 0, {2, 0});   // input 0 -> output 2
+    pc.onGrant(1, 0, {2, 0});   // terminates it; history[2] = 0
+    pc.onGrant(3, 0, {2, 0});   // terminates input 1; history[2] = 1
+    pc.terminateForCredit(3);   // history[2] = 3
+    EXPECT_EQ(pc.trySpeculate(2), 3);
+    EXPECT_TRUE(pc.at(3).valid);
+    EXPECT_FALSE(pc.at(0).valid);
+    EXPECT_FALSE(pc.at(1).valid);
+}
+
+TEST(PseudoCircuit, SpeculatedCircuitCanBeReterminated)
+{
+    PseudoCircuitUnit pc(4, 4);
+    pc.onGrant(0, 1, {2, 0});
+    pc.terminateForCredit(0);
+    ASSERT_EQ(pc.trySpeculate(2), 0);
+    pc.onGrant(1, 0, {2, 0});
+    EXPECT_FALSE(pc.at(0).valid);
+    EXPECT_TRUE(pc.at(1).valid);
+}
+
+TEST(PseudoCircuit, DepthOneHistoryForgetsOlderHolders)
+{
+    PseudoCircuitUnit pc(4, 4, /*history_depth=*/1);
+    pc.onGrant(0, 0, {2, 0});
+    pc.terminateForCredit(0);        // history[2] = {0}
+    pc.onGrant(1, 0, {2, 0});
+    pc.terminateForCredit(1);        // history[2] = {1}, 0 forgotten
+    pc.onGrant(1, 0, {3, 0});        // input 1's register moves to 3
+    // Depth 1 only remembers input 1, whose route no longer matches.
+    EXPECT_EQ(pc.trySpeculate(2), kInvalidPort);
+}
+
+TEST(PseudoCircuit, DeeperHistoryFallsBackToOlderHolder)
+{
+    PseudoCircuitUnit pc(4, 4, /*history_depth=*/2);
+    pc.onGrant(0, 0, {2, 0});
+    pc.terminateForCredit(0);        // history[2] = {0}
+    pc.onGrant(1, 0, {2, 0});
+    pc.terminateForCredit(1);        // history[2] = {1, 0}
+    pc.onGrant(1, 0, {3, 0});        // input 1 moves on
+    // Depth 2 falls back to input 0, whose register still says output 2.
+    EXPECT_EQ(pc.trySpeculate(2), 0);
+    EXPECT_TRUE(pc.at(0).valid);
+}
+
+TEST(PseudoCircuit, HistoryDeduplicatesRepeatedTerminations)
+{
+    PseudoCircuitUnit pc(4, 4, /*history_depth=*/2);
+    for (int round = 0; round < 3; ++round) {
+        pc.onGrant(0, 0, {2, 0});
+        pc.terminateForCredit(0);
+    }
+    pc.onGrant(1, 0, {2, 0});
+    pc.terminateForCredit(1);
+    // Input 0 appears once in the history despite three terminations,
+    // so the older slot still holds it behind input 1.
+    EXPECT_EQ(pc.history(2), 1);
+    pc.onGrant(1, 0, {3, 0});
+    EXPECT_EQ(pc.trySpeculate(2), 0);
+}
+
+TEST(PseudoCircuit, AtMostOneCircuitPerOutput)
+{
+    PseudoCircuitUnit pc(5, 5);
+    for (PortId in = 0; in < 5; ++in)
+        pc.onGrant(in, 0, {3, 0});
+    int valid = 0;
+    for (PortId in = 0; in < 5; ++in)
+        valid += pc.at(in).valid;
+    EXPECT_EQ(valid, 1);
+    EXPECT_TRUE(pc.at(4).valid);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "router/switch_allocator.hpp"
+
+namespace noc {
+namespace {
+
+std::vector<std::vector<SaRequest>>
+emptyRequests(int ins, int vcs)
+{
+    return std::vector<std::vector<SaRequest>>(
+        ins, std::vector<SaRequest>(vcs));
+}
+
+TEST(SwitchAllocator, NoRequestsNoGrants)
+{
+    SwitchAllocator sa(3, 3, 2);
+    EXPECT_TRUE(sa.allocate(emptyRequests(3, 2)).empty());
+}
+
+TEST(SwitchAllocator, SingleRequestGranted)
+{
+    SwitchAllocator sa(3, 3, 2);
+    auto reqs = emptyRequests(3, 2);
+    reqs[1][0] = {true, 2, false};
+    const auto grants = sa.allocate(reqs);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].inPort, 1);
+    EXPECT_EQ(grants[0].inVc, 0);
+    EXPECT_EQ(grants[0].outPort, 2);
+    EXPECT_FALSE(grants[0].speculative);
+}
+
+TEST(SwitchAllocator, OneGrantPerOutputPort)
+{
+    SwitchAllocator sa(4, 2, 2);
+    auto reqs = emptyRequests(4, 2);
+    for (int i = 0; i < 4; ++i)
+        reqs[i][0] = {true, 0, false};   // everyone wants output 0
+    const auto grants = sa.allocate(reqs);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].outPort, 0);
+}
+
+TEST(SwitchAllocator, OneGrantPerInputPort)
+{
+    SwitchAllocator sa(1, 4, 4);
+    auto reqs = emptyRequests(1, 4);
+    for (int v = 0; v < 4; ++v)
+        reqs[0][v] = {true, v, false};   // four VCs, four outputs
+    const auto grants = sa.allocate(reqs);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].inPort, 0);
+}
+
+TEST(SwitchAllocator, ParallelFlowsAllGranted)
+{
+    SwitchAllocator sa(3, 3, 1);
+    auto reqs = emptyRequests(3, 1);
+    reqs[0][0] = {true, 1, false};
+    reqs[1][0] = {true, 2, false};
+    reqs[2][0] = {true, 0, false};
+    EXPECT_EQ(sa.allocate(reqs).size(), 3u);
+}
+
+TEST(SwitchAllocator, NonSpeculativeBeatsSpeculative)
+{
+    SwitchAllocator sa(2, 2, 1);
+    auto reqs = emptyRequests(2, 1);
+    reqs[0][0] = {true, 0, true};    // speculative
+    reqs[1][0] = {true, 0, false};   // committed
+    for (int round = 0; round < 4; ++round) {
+        const auto grants = sa.allocate(reqs);
+        ASSERT_EQ(grants.size(), 1u);
+        EXPECT_EQ(grants[0].inPort, 1);
+        EXPECT_FALSE(grants[0].speculative);
+    }
+}
+
+TEST(SwitchAllocator, SpeculativeGrantedWhenAlone)
+{
+    SwitchAllocator sa(2, 2, 1);
+    auto reqs = emptyRequests(2, 1);
+    reqs[0][0] = {true, 1, true};
+    const auto grants = sa.allocate(reqs);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_TRUE(grants[0].speculative);
+}
+
+TEST(SwitchAllocator, RotatesFairlyAcrossInputs)
+{
+    SwitchAllocator sa(2, 1, 1);
+    auto reqs = emptyRequests(2, 1);
+    reqs[0][0] = {true, 0, false};
+    reqs[1][0] = {true, 0, false};
+    std::vector<int> wins(2, 0);
+    for (int i = 0; i < 100; ++i) {
+        const auto grants = sa.allocate(reqs);
+        ASSERT_EQ(grants.size(), 1u);
+        ++wins[grants[0].inPort];
+    }
+    EXPECT_EQ(wins[0], 50);
+    EXPECT_EQ(wins[1], 50);
+}
+
+TEST(SwitchAllocator, RotatesFairlyAcrossVcs)
+{
+    SwitchAllocator sa(1, 2, 2);
+    auto reqs = emptyRequests(1, 2);
+    reqs[0][0] = {true, 0, false};
+    reqs[0][1] = {true, 1, false};
+    std::vector<int> wins(2, 0);
+    for (int i = 0; i < 100; ++i) {
+        const auto grants = sa.allocate(reqs);
+        ASSERT_EQ(grants.size(), 1u);
+        ++wins[grants[0].inVc];
+    }
+    EXPECT_EQ(wins[0], 50);
+    EXPECT_EQ(wins[1], 50);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "router/vc_allocator.hpp"
+
+namespace noc {
+namespace {
+
+TEST(VcAllocator, StaticHashesDestination)
+{
+    EXPECT_EQ(VcAllocator::staticVc(0, 4, 0), 0);
+    EXPECT_EQ(VcAllocator::staticVc(0, 4, 5), 1);
+    EXPECT_EQ(VcAllocator::staticVc(0, 4, 63), 3);
+    EXPECT_EQ(VcAllocator::staticVc(2, 2, 63), 3);   // partitioned range
+}
+
+TEST(VcAllocator, StaticFailsWhenTargetVcOwned)
+{
+    OutputPort port(1, 4, 4);
+    VcAllocator va(VaPolicy::Static);
+    const NodeId dst = 1;   // -> VC 1
+    EXPECT_EQ(va.choose(port, 0, 0, 4, dst), 1);
+    port.allocate(0, 1, 0, 0);
+    EXPECT_EQ(va.choose(port, 0, 0, 4, dst), kInvalidVc);
+}
+
+TEST(VcAllocator, StaticIgnoresOtherFreeVcs)
+{
+    OutputPort port(1, 4, 4);
+    VcAllocator va(VaPolicy::Static);
+    port.allocate(0, 2, 0, 0);
+    // dst hashing to VC 2 must not spill to 0,1,3.
+    EXPECT_EQ(va.choose(port, 0, 0, 4, 2), kInvalidVc);
+}
+
+TEST(VcAllocator, DynamicPicksMostCredits)
+{
+    OutputPort port(1, 4, 4);
+    VcAllocator va(VaPolicy::Dynamic);
+    port.takeCredit(0, 0);
+    port.takeCredit(0, 0);
+    port.takeCredit(0, 1);
+    // Credits now: 2, 3, 4, 4 -> first max is VC 2.
+    EXPECT_EQ(va.choose(port, 0, 0, 4, 0), 2);
+}
+
+TEST(VcAllocator, DynamicSkipsOwnedVcs)
+{
+    OutputPort port(1, 4, 4);
+    VcAllocator va(VaPolicy::Dynamic);
+    port.allocate(0, 0, 0, 0);
+    port.allocate(0, 1, 0, 1);
+    EXPECT_EQ(va.choose(port, 0, 0, 4, 0), 2);
+    port.allocate(0, 2, 0, 2);
+    port.allocate(0, 3, 0, 3);
+    EXPECT_EQ(va.choose(port, 0, 0, 4, 0), kInvalidVc);
+}
+
+TEST(VcAllocator, DynamicGrantsZeroCreditVc)
+{
+    // VA does not require credits; SA does.
+    OutputPort port(1, 2, 1);
+    VcAllocator va(VaPolicy::Dynamic);
+    port.takeCredit(0, 0);
+    port.takeCredit(0, 1);
+    EXPECT_EQ(va.choose(port, 0, 0, 2, 0), 0);
+}
+
+TEST(VcAllocator, RespectsRangeRestriction)
+{
+    OutputPort port(1, 4, 4);
+    VcAllocator va(VaPolicy::Dynamic);
+    // Only the upper half [2, 4) may be used (O1TURN class 1).
+    const VcId vc = va.choose(port, 0, 2, 2, 7);
+    EXPECT_GE(vc, 2);
+    EXPECT_LT(vc, 4);
+}
+
+TEST(VcAllocator, MultidropStateIsIndependent)
+{
+    OutputPort port(3, 2, 4);
+    VcAllocator va(VaPolicy::Dynamic);
+    port.allocate(1, 0, 0, 0);
+    port.allocate(1, 1, 0, 1);
+    EXPECT_EQ(va.choose(port, 1, 0, 2, 0), kInvalidVc);
+    EXPECT_NE(va.choose(port, 0, 0, 2, 0), kInvalidVc);
+    EXPECT_NE(va.choose(port, 2, 0, 2, 0), kInvalidVc);
+}
+
+} // namespace
+} // namespace noc

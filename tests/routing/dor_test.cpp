@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "routing/dor.hpp"
+#include "routing/routing.hpp"
+#include "topology/fbfly.hpp"
+#include "topology/mecs.hpp"
+#include "topology/mesh.hpp"
+
+namespace noc {
+namespace {
+
+/** Follow a route from src to dst; returns hop count; fails on loops. */
+template <typename Topo>
+int
+walk(const Topo &topo, const RoutingAlgorithm &routing, NodeId src,
+     NodeId dst)
+{
+    RouterId r = topo.nodeRouter(src);
+    int hops = 0;
+    while (true) {
+        const RouteDecision d = routing.route(r, dst, 0);
+        const OutputChannel &chan = topo.output(r, d.outPort);
+        EXPECT_TRUE(chan.isConnected());
+        ++hops;
+        if (chan.isTerminal()) {
+            EXPECT_EQ(chan.terminal, dst);
+            return hops;
+        }
+        r = chan.drops[d.drop].router;
+        EXPECT_LE(hops, 64) << "routing loop";
+        if (hops > 64)
+            return hops;
+    }
+}
+
+TEST(MeshDor, XYDeliversAllPairsMinimally)
+{
+    Mesh topo(4, 4, 1);
+    MeshDor xy(topo, true);
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const int hops = walk(topo, xy, s, d);
+            const int manhattan =
+                std::abs(topo.xOf(s) - topo.xOf(d)) +
+                std::abs(topo.yOf(s) - topo.yOf(d));
+            EXPECT_EQ(hops, manhattan + 1);   // +1 for the ejection hop
+        }
+    }
+}
+
+TEST(MeshDor, XYGoesXFirst)
+{
+    Mesh topo(4, 4, 1);
+    MeshDor xy(topo, true);
+    const RouterId r = topo.routerAt(0, 0);
+    const NodeId dst = topo.routerAt(3, 3);   // conc 1: node == router
+    EXPECT_EQ(xy.route(r, dst, 0).outPort, topo.dirPort(Mesh::East));
+}
+
+TEST(MeshDor, YXGoesYFirst)
+{
+    Mesh topo(4, 4, 1);
+    MeshDor yx(topo, false);
+    const RouterId r = topo.routerAt(0, 0);
+    const NodeId dst = topo.routerAt(3, 3);
+    EXPECT_EQ(yx.route(r, dst, 0).outPort, topo.dirPort(Mesh::South));
+    EXPECT_EQ(yx.name(), "YX");
+}
+
+TEST(MeshDor, LocalDeliveryUsesTerminalPort)
+{
+    CMesh topo(4, 4, 4);
+    MeshDor xy(topo, true);
+    // Node 5 lives on router 1 at port 1.
+    EXPECT_EQ(xy.route(1, 5, 0).outPort, 1);
+    EXPECT_EQ(xy.route(1, 5, 0).drop, 0);
+}
+
+TEST(FbflyDor, AtMostTwoNetworkHops)
+{
+    FlattenedButterfly topo(4, 4, 4);
+    FbflyDor xy(topo, true);
+    for (NodeId s = 0; s < topo.numNodes(); s += 3) {
+        for (NodeId d = 0; d < topo.numNodes(); d += 5) {
+            if (s == d)
+                continue;
+            const int hops = walk(topo, xy, s, d);
+            EXPECT_LE(hops, 3);   // row + column + ejection
+        }
+    }
+}
+
+TEST(FbflyDor, YxVariantCorrectsYFirst)
+{
+    FlattenedButterfly topo(4, 4, 4);
+    FbflyDor yx(topo, false);
+    const RouterId r = topo.routerAt(0, 0);
+    const NodeId dst = 4 * topo.routerAt(2, 3);   // router (2,3), port 0
+    EXPECT_EQ(yx.route(r, dst, 0).outPort, topo.colPort(r, 3));
+    for (NodeId s = 0; s < topo.numNodes(); s += 7) {
+        for (NodeId d = 0; d < topo.numNodes(); d += 3) {
+            if (s != d)
+                walk(topo, yx, s, d);
+        }
+    }
+}
+
+TEST(MecsDor, SingleChannelHopPerDimension)
+{
+    Mecs topo(4, 4, 4);
+    MecsDor xy(topo, true);
+    for (NodeId s = 0; s < topo.numNodes(); s += 3) {
+        for (NodeId d = 0; d < topo.numNodes(); d += 5) {
+            if (s == d)
+                continue;
+            const int hops = walk(topo, xy, s, d);
+            EXPECT_LE(hops, 3);
+        }
+    }
+}
+
+TEST(MecsDor, DropSelectsDestinationColumn)
+{
+    Mecs topo(4, 4, 4);
+    MecsDor xy(topo, true);
+    const RouterId r = topo.routerAt(0, 1);
+    const NodeId dst = 4 * topo.routerAt(3, 1);   // same row, x=3
+    const RouteDecision d = xy.route(r, dst, 0);
+    EXPECT_EQ(d.outPort, topo.dirPort(Mecs::East));
+    EXPECT_EQ(d.drop, 2);   // third drop = three hops east
+}
+
+TEST(MecsDor, AllPairsDeliver)
+{
+    Mecs topo(4, 4, 4);
+    MecsDor xy(topo, true);
+    MecsDor yx(topo, false);
+    for (NodeId s = 0; s < topo.numNodes(); s += 5) {
+        for (NodeId d = 0; d < topo.numNodes(); d += 7) {
+            if (s == d)
+                continue;
+            walk(topo, xy, s, d);
+            walk(topo, yx, s, d);
+        }
+    }
+}
+
+TEST(MakeRouting, DispatchesOnTopologyType)
+{
+    Mesh mesh(4, 4, 1);
+    EXPECT_EQ(makeRouting(RoutingKind::XY, mesh)->name(), "XY");
+    EXPECT_EQ(makeRouting(RoutingKind::O1Turn, mesh)->name(), "O1TURN");
+    FlattenedButterfly fbfly(4, 4, 4);
+    EXPECT_EQ(makeRouting(RoutingKind::YX, fbfly)->name(), "YX");
+    Mecs mecs(4, 4, 4);
+    EXPECT_EQ(makeRouting(RoutingKind::XY, mecs)->name(), "XY");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "routing/o1turn.hpp"
+#include "topology/mesh.hpp"
+
+namespace noc {
+namespace {
+
+TEST(O1Turn, ClassZeroIsXYClassOneIsYX)
+{
+    Mesh topo(4, 4, 1);
+    O1TurnRouting o1(topo);
+    const RouterId r = topo.routerAt(0, 0);
+    const NodeId dst = topo.routerAt(3, 3);
+    EXPECT_EQ(o1.route(r, dst, 0).outPort, topo.dirPort(Mesh::East));
+    EXPECT_EQ(o1.route(r, dst, 1).outPort, topo.dirPort(Mesh::South));
+}
+
+TEST(O1Turn, TwoClasses)
+{
+    Mesh topo(4, 4, 1);
+    O1TurnRouting o1(topo);
+    EXPECT_EQ(o1.numClasses(), 2);
+}
+
+TEST(O1Turn, VcPartitionIsDisjointAndComplete)
+{
+    Mesh topo(4, 4, 1);
+    O1TurnRouting o1(topo);
+    const auto [b0, c0] = o1.vcRange(0, 4);
+    const auto [b1, c1] = o1.vcRange(1, 4);
+    EXPECT_EQ(b0, 0);
+    EXPECT_EQ(c0, 2);
+    EXPECT_EQ(b1, 2);
+    EXPECT_EQ(c1, 2);
+
+    // Odd VC counts still cover everything without overlap.
+    const auto [ob0, oc0] = o1.vcRange(0, 5);
+    const auto [ob1, oc1] = o1.vcRange(1, 5);
+    EXPECT_EQ(ob0 + oc0, ob1);
+    EXPECT_EQ(ob1 + oc1, 5);
+}
+
+TEST(O1Turn, BothClassesDeliverEverywhere)
+{
+    Mesh topo(4, 4, 1);
+    O1TurnRouting o1(topo);
+    for (int cls = 0; cls < 2; ++cls) {
+        for (NodeId s = 0; s < topo.numNodes(); ++s) {
+            for (NodeId d = 0; d < topo.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                RouterId r = topo.nodeRouter(s);
+                int hops = 0;
+                while (true) {
+                    const RouteDecision dec = o1.route(r, d, cls);
+                    const OutputChannel &chan = topo.output(r, dec.outPort);
+                    ASSERT_TRUE(chan.isConnected());
+                    ++hops;
+                    ASSERT_LE(hops, 16);
+                    if (chan.isTerminal()) {
+                        EXPECT_EQ(chan.terminal, d);
+                        break;
+                    }
+                    r = chan.drops[dec.drop].router;
+                }
+            }
+        }
+    }
+}
+
+TEST(DefaultVcRange, CoversAllVcs)
+{
+    Mesh topo(4, 4, 1);
+    MeshDor xy(topo, true);
+    const auto [base, count] = xy.vcRange(0, 4);
+    EXPECT_EQ(base, 0);
+    EXPECT_EQ(count, 4);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "sim/energy.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Energy, ZeroEventsZeroEnergy)
+{
+    RouterStats stats;
+    const EnergyBreakdown e = computeEnergy(stats);
+    EXPECT_EQ(e.totalPj(), 0.0);
+}
+
+TEST(Energy, BaselineFlitHopMatchesTableII)
+{
+    // One baseline flit-hop: write + read + crossbar + one arbitration.
+    RouterStats stats;
+    stats.bufferWrites = 1;
+    stats.bufferReads = 1;
+    stats.xbarTraversals = 1;
+    stats.saGrants = 1;
+    const EnergyBreakdown e = computeEnergy(stats);
+    // Table II shares: buffer 23.4%, crossbar 76.22%, arbiter 0.24%.
+    EXPECT_NEAR(e.bufferPj / e.totalPj(), 0.234, 0.005);
+    EXPECT_NEAR(e.crossbarPj / e.totalPj(), 0.7622, 0.005);
+    EXPECT_NEAR(e.arbiterPj / e.totalPj(), 0.0024, 0.0005);
+}
+
+TEST(Energy, BufferBypassSavesBufferEnergy)
+{
+    RouterStats normal;
+    normal.bufferWrites = 100;
+    normal.bufferReads = 100;
+    normal.xbarTraversals = 100;
+    normal.saGrants = 100;
+
+    RouterStats bypassed;   // same traffic, all flits bypass buffers
+    bypassed.xbarTraversals = 100;
+    bypassed.bufferBypasses = 100;
+
+    const double full = computeEnergy(normal).totalPj();
+    const double lean = computeEnergy(bypassed).totalPj();
+    EXPECT_LT(lean, full);
+    // The saving is the buffer share (plus the tiny arbiter share).
+    EXPECT_NEAR(1.0 - lean / full, 0.234 + 0.0024, 0.005);
+}
+
+TEST(Energy, SaBypassAloneSavesAlmostNothing)
+{
+    // Pseudo without buffer bypassing skips arbitration only: §6.A says
+    // "virtually no energy saving".
+    RouterStats normal;
+    normal.bufferWrites = 100;
+    normal.bufferReads = 100;
+    normal.xbarTraversals = 100;
+    normal.saGrants = 100;
+
+    RouterStats pseudo = normal;
+    pseudo.saGrants = 0;
+    pseudo.saBypasses = 100;
+
+    const double full = computeEnergy(normal).totalPj();
+    const double lean = computeEnergy(pseudo).totalPj();
+    EXPECT_LT(1.0 - lean / full, 0.005);
+}
+
+TEST(Energy, CustomParamsScaleLinearly)
+{
+    RouterStats stats;
+    stats.xbarTraversals = 10;
+    EnergyParams params;
+    params.crossbarPj = 1.0;
+    EXPECT_DOUBLE_EQ(computeEnergy(stats, params).crossbarPj, 10.0);
+    params.crossbarPj = 2.0;
+    EXPECT_DOUBLE_EQ(computeEnergy(stats, params).crossbarPj, 20.0);
+}
+
+TEST(Energy, WastedGrantsBurnArbiterEnergy)
+{
+    RouterStats stats;
+    stats.wastedGrants = 50;
+    const EnergyBreakdown e = computeEnergy(stats);
+    EXPECT_GT(e.arbiterPj, 0.0);
+    EXPECT_EQ(e.bufferPj, 0.0);
+    EXPECT_EQ(e.crossbarPj, 0.0);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Experiment, TraceConfigMatchesPaperPlatform)
+{
+    const SimConfig cfg = traceConfig();
+    EXPECT_EQ(cfg.topology, TopologyKind::CMesh);
+    EXPECT_EQ(cfg.numNodes(), 64);
+    EXPECT_EQ(cfg.numRouters(), 16);
+    EXPECT_EQ(cfg.numVcs, 4);
+    EXPECT_EQ(cfg.bufferDepth, 4);
+    cfg.validate();
+}
+
+TEST(Experiment, SyntheticConfigIsEightByEightMesh)
+{
+    const SimConfig cfg = syntheticConfig();
+    EXPECT_EQ(cfg.topology, TopologyKind::Mesh);
+    EXPECT_EQ(cfg.numNodes(), 64);
+    EXPECT_EQ(cfg.routing, RoutingKind::XY);
+    EXPECT_EQ(cfg.vaPolicy, VaPolicy::Static);
+    cfg.validate();
+}
+
+TEST(Experiment, MeasureWindowEnvOverride)
+{
+    ::setenv("NOC_MEASURE", "1234", 1);
+    EXPECT_EQ(traceWindows().measure, 1234u);
+    ::unsetenv("NOC_MEASURE");
+    EXPECT_EQ(traceWindows().measure, 15000u);
+}
+
+TEST(Experiment, PseudoSchemesInPaperOrder)
+{
+    const auto &schemes = pseudoSchemes();
+    ASSERT_EQ(schemes.size(), 4u);
+    EXPECT_EQ(schemes[0], Scheme::Pseudo);
+    EXPECT_EQ(schemes[1], Scheme::PseudoS);
+    EXPECT_EQ(schemes[2], Scheme::PseudoB);
+    EXPECT_EQ(schemes[3], Scheme::PseudoSB);
+}
+
+TEST(Experiment, TraceDiffersAcrossBenchmarks)
+{
+    const SimConfig cfg = traceConfig();
+    const auto &a = benchmarkTrace(cfg, findBenchmark("fma3d"));
+    const auto &b = benchmarkTrace(cfg, findBenchmark("fft"));
+    EXPECT_NE(a, b);
+}
+
+TEST(Experiment, TraceDependsOnTopology)
+{
+    SimConfig cmesh = traceConfig();
+    SimConfig mesh = cmesh;
+    mesh.topology = TopologyKind::Mesh;
+    mesh.meshWidth = 8;
+    mesh.meshHeight = 8;
+    mesh.concentration = 1;
+    const auto &a = benchmarkTrace(cmesh, findBenchmark("lu"));
+    const auto &b = benchmarkTrace(mesh, findBenchmark("lu"));
+    EXPECT_NE(&a, &b);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "routing/routing.hpp"
+#include "sim/locality.hpp"
+#include "topology/mecs.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/cmp_model.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Locality, PerfectRepetition)
+{
+    Mesh topo(4, 4, 1);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    std::vector<TraceRecord> trace;
+    for (int i = 0; i < 100; ++i)
+        trace.push_back({static_cast<Cycle>(i), 0, 15, 1, 0});
+    const LocalityResult r = analyzeLocality(trace, topo, *routing);
+    // First packet has no predecessor; 99/99 repeats afterwards.
+    EXPECT_DOUBLE_EQ(r.endToEnd, 1.0);
+    // Crossbar locality misses only on the very first traversal of each
+    // router on the path.
+    EXPECT_GT(r.crossbar, 0.95);
+    EXPECT_EQ(r.packets, 100u);
+}
+
+TEST(Locality, AlternatingDestinationsHaveNoEndToEndLocality)
+{
+    Mesh topo(4, 4, 1);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    std::vector<TraceRecord> trace;
+    for (int i = 0; i < 100; ++i)
+        trace.push_back({static_cast<Cycle>(i), 0,
+                         i % 2 ? NodeId{15} : NodeId{12}, 1, 0});
+    const LocalityResult r = analyzeLocality(trace, topo, *routing);
+    EXPECT_DOUBLE_EQ(r.endToEnd, 0.0);
+    // But both destinations sit on the bottom row: with XY routing the
+    // path prefix through the first routers is shared, so crossbar
+    // locality remains positive — the paper's Fig 1 observation.
+    EXPECT_GT(r.crossbar, 0.4);
+}
+
+TEST(Locality, CrossbarExceedsEndToEndOnCmpTraffic)
+{
+    // The motivating observation (Fig 1): crossbar-connection locality
+    // is strictly larger than end-to-end locality.
+    CMesh topo(4, 4, 4);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    const auto trace =
+        generateCmpTrace(findBenchmark("fma3d"), topo, 4000, 77);
+    const LocalityResult r = analyzeLocality(trace, topo, *routing);
+    EXPECT_GT(r.crossbar, r.endToEnd);
+    EXPECT_GT(r.endToEnd, 0.05);
+    EXPECT_LT(r.endToEnd, 0.6);
+}
+
+TEST(Locality, EmptyTrace)
+{
+    Mesh topo(4, 4, 1);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    const LocalityResult r = analyzeLocality({}, topo, *routing);
+    EXPECT_EQ(r.packets, 0u);
+    EXPECT_EQ(r.endToEnd, 0.0);
+    EXPECT_EQ(r.crossbar, 0.0);
+}
+
+TEST(Locality, WalksMultidropChannels)
+{
+    // On MECS a row traversal is a single channel hop: 0 -> router 3
+    // crosses two routers only (source + ejection).
+    Mecs topo(4, 4, 1);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    const std::vector<TraceRecord> trace = {{0, 0, 3, 1, 0}};
+    const LocalityResult r = analyzeLocality(trace, topo, *routing);
+    EXPECT_EQ(r.hops, 2u);
+}
+
+TEST(Locality, StaticVsTrafficOrderIndependence)
+{
+    // The analyzer is timing-free: permuting record cycles (but not
+    // order) must not change the result.
+    CMesh topo(4, 4, 4);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    auto trace = generateCmpTrace(findBenchmark("lu"), topo, 2000, 5);
+    const LocalityResult a = analyzeLocality(trace, topo, *routing);
+    for (auto &rec : trace)
+        rec.cycle *= 10;
+    const LocalityResult b = analyzeLocality(trace, topo, *routing);
+    EXPECT_DOUBLE_EQ(a.endToEnd, b.endToEnd);
+    EXPECT_DOUBLE_EQ(a.crossbar, b.crossbar);
+}
+
+TEST(Locality, HopsCountIncludesEjection)
+{
+    Mesh topo(4, 4, 1);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    // 0 -> 3: three hops east + ejection traversal = 4 crossbar uses.
+    const std::vector<TraceRecord> trace = {{0, 0, 3, 1, 0}};
+    const LocalityResult r = analyzeLocality(trace, topo, *routing);
+    EXPECT_EQ(r.hops, 4u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "network/network.hpp"
+#include "sim/report.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+TEST(CsvWriter, PlainRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"has,comma", "has\"quote", "plain"});
+    EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvWriter, NumericRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow("label", {1.5, 2.0});
+    EXPECT_EQ(os.str(), "label,1.5,2\n");
+}
+
+TEST(Report, PrintResultMentionsKeyFields)
+{
+    SimResult r;
+    r.measuredPackets = 10;
+    r.avgTotalLatency = 21.5;
+    r.reusability = 0.5;
+    r.drained = true;
+    std::ostringstream os;
+    printResult(os, "my run", r);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("my run"), std::string::npos);
+    EXPECT_NE(out.find("21.5"), std::string::npos);
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+    EXPECT_NE(out.find("drained"), std::string::npos);
+}
+
+TEST(Report, RouterActivityAndHotspot)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    Network net(cfg);
+    // All traffic through one flow: routers on the path are hot.
+    for (int i = 0; i < 20; ++i) {
+        PacketDesc p;
+        p.id = 1 + i;
+        p.src = 0;
+        p.dst = 3;
+        p.size = 2;
+        p.createTime = net.now();
+        net.injectPacket(p);
+        net.step();
+    }
+    while (!net.idle())
+        net.step();
+
+    const auto activity = routerActivity(net, net.now());
+    ASSERT_EQ(activity.size(), 16u);
+    const RouterActivity &hot = hottest(activity);
+    // Path routers 0..3 each traverse all 40 flits; others are idle.
+    EXPECT_LE(hot.router, 3);
+    EXPECT_EQ(hot.traversals, 40u);
+    EXPECT_GT(hot.crossbarUtil, 0.0);
+    for (const RouterActivity &a : activity) {
+        if (a.router > 3)
+            EXPECT_EQ(a.traversals, 0u);
+    }
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/cmp_model.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+SimWindows
+shortWindows()
+{
+    SimWindows w;
+    w.warmup = 500;
+    w.measure = 2000;
+    w.drainLimit = 20000;
+    return w;
+}
+
+TEST(Simulator, SyntheticRunProducesSaneStats)
+{
+    SimConfig cfg = syntheticConfig();
+    auto src = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::UniformRandom, cfg.numNodes(), 0.1, 5, 1);
+    const SimResult r = runSimulation(cfg, std::move(src), shortWindows());
+    EXPECT_TRUE(r.drained);
+    EXPECT_GT(r.measuredPackets, 100u);
+    EXPECT_GT(r.avgNetLatency, 10.0);
+    EXPECT_LT(r.avgNetLatency, 200.0);
+    EXPECT_GE(r.avgTotalLatency, r.avgNetLatency);
+    EXPECT_GE(r.p99TotalLatency, r.avgTotalLatency * 0.8);
+    EXPECT_NEAR(r.throughput, 0.1, 0.02);
+    EXPECT_GT(r.avgHops, 1.0);
+    EXPECT_EQ(r.reusability, 0.0);   // baseline has no circuits
+    EXPECT_GT(r.energy.totalPj(), 0.0);
+}
+
+TEST(Simulator, PseudoSchemeReducesLatencyOnCmpTraffic)
+{
+    SimConfig base = traceConfig();
+    const BenchmarkProfile &bench = findBenchmark("fma3d");
+
+    const SimResult baseline = runBenchmark(base, bench);
+    SimConfig accel = base;
+    accel.scheme = Scheme::PseudoSB;
+    const SimResult fast = runBenchmark(accel, bench);
+
+    ASSERT_TRUE(baseline.drained);
+    ASSERT_TRUE(fast.drained);
+    EXPECT_EQ(baseline.measuredPackets, fast.measuredPackets)
+        << "identical trace must yield identical packet counts";
+    EXPECT_LT(fast.avgNetLatency, baseline.avgNetLatency);
+    EXPECT_GT(fast.reusability, 0.1);
+    EXPECT_LT(fast.energy.totalPj(), baseline.energy.totalPj());
+}
+
+TEST(Simulator, ReusabilityOrderingAcrossSchemes)
+{
+    // Speculation can only add reuse opportunities.
+    SimConfig cfg = traceConfig();
+    const BenchmarkProfile &bench = findBenchmark("equake");
+    cfg.scheme = Scheme::Pseudo;
+    const SimResult pseudo = runBenchmark(cfg, bench);
+    cfg.scheme = Scheme::PseudoS;
+    const SimResult pseudo_s = runBenchmark(cfg, bench);
+    EXPECT_GE(pseudo_s.reusability, pseudo.reusability * 0.98);
+    EXPECT_GT(pseudo.reusability, 0.05);
+}
+
+TEST(Simulator, BenchmarkTraceIsCachedAndShared)
+{
+    SimConfig cfg = traceConfig();
+    const BenchmarkProfile &bench = findBenchmark("radix");
+    const auto &a = benchmarkTrace(cfg, bench);
+    const auto &b = benchmarkTrace(cfg, bench);
+    EXPECT_EQ(&a, &b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(Simulator, LatencyReductionHelper)
+{
+    SimResult base;
+    base.avgNetLatency = 100.0;
+    SimResult other;
+    other.avgNetLatency = 84.0;
+    EXPECT_NEAR(latencyReduction(base, other), 0.16, 1e-12);
+    SimResult zero;
+    EXPECT_EQ(latencyReduction(zero, other), 0.0);
+}
+
+TEST(Simulator, ClosedLoopCmpSourceDrains)
+{
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+    auto src =
+        std::make_unique<CmpTrafficSource>(findBenchmark("jbb"), cfg, 3);
+    const SimResult r = runSimulation(cfg, std::move(src), shortWindows());
+    EXPECT_TRUE(r.drained);
+    EXPECT_GT(r.measuredPackets, 50u);
+}
+
+TEST(Simulator, TimeSeriesSampling)
+{
+    SimConfig cfg = syntheticConfig();
+    auto src = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::UniformRandom, cfg.numNodes(), 0.1, 5, 1);
+    SimWindows w = shortWindows();
+    w.sampleInterval = 500;
+    const SimResult r = runSimulation(cfg, std::move(src), w);
+    ASSERT_EQ(r.samples.size(), w.measure / 500);
+    std::uint64_t total = 0;
+    for (const SimSample &s : r.samples) {
+        total += s.packets;
+        EXPECT_GT(s.throughput, 0.0);
+        EXPECT_GT(s.avgLatency, 0.0);
+    }
+    // Samples only cover packets completed inside the measure window;
+    // in-flight ones complete during drain.
+    EXPECT_LE(total, r.measuredPackets);
+    EXPECT_GT(total, r.measuredPackets / 2);
+}
+
+TEST(Simulator, BimodalLatencySplit)
+{
+    SimConfig cfg = traceConfig();
+    const SimResult r = runBenchmark(cfg, findBenchmark("fma3d"));
+    // Address packets (1 flit) are strictly faster than data packets
+    // (5 flits, +4 serialization cycles).
+    EXPECT_GT(r.avgLatencyAddrPkts, 0.0);
+    EXPECT_GT(r.avgLatencyDataPkts, r.avgLatencyAddrPkts + 2.0);
+}
+
+TEST(Simulator, SaturatedRunIsFlagged)
+{
+    SimConfig cfg = syntheticConfig();
+    auto src = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::Transpose, cfg.numNodes(), 0.95, 5, 1);
+    SimWindows w = shortWindows();
+    w.drainLimit = 200;   // far too little to drain an overloaded mesh
+    const SimResult r = runSimulation(cfg, std::move(src), w);
+    EXPECT_FALSE(r.drained);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "topology/fbfly.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Fbfly, PortCounts)
+{
+    FlattenedButterfly f(4, 4, 4);
+    EXPECT_EQ(f.numNodes(), 64);
+    for (RouterId r = 0; r < f.numRouters(); ++r) {
+        // 4 terminals + 3 row + 3 column links, both sides.
+        EXPECT_EQ(f.numOutputPorts(r), 10);
+        EXPECT_EQ(f.numInputPorts(r), 10);
+    }
+}
+
+TEST(Fbfly, RowPortsReachEveryColumn)
+{
+    FlattenedButterfly f(4, 4, 4);
+    const RouterId r = f.routerAt(1, 2);
+    for (int x2 = 0; x2 < 4; ++x2) {
+        if (x2 == 1)
+            continue;
+        const PortId p = f.rowPort(r, x2);
+        const OutputChannel &chan = f.output(r, p);
+        ASSERT_EQ(chan.drops.size(), 1u);
+        EXPECT_EQ(chan.drops[0].router, f.routerAt(x2, 2));
+        EXPECT_EQ(chan.drops[0].distance, std::abs(x2 - 1));
+    }
+}
+
+TEST(Fbfly, ColPortsReachEveryRow)
+{
+    FlattenedButterfly f(4, 4, 4);
+    const RouterId r = f.routerAt(3, 0);
+    for (int y2 = 1; y2 < 4; ++y2) {
+        const PortId p = f.colPort(r, y2);
+        const OutputChannel &chan = f.output(r, p);
+        ASSERT_EQ(chan.drops.size(), 1u);
+        EXPECT_EQ(chan.drops[0].router, f.routerAt(3, y2));
+        EXPECT_EQ(chan.drops[0].distance, y2);
+    }
+}
+
+TEST(Fbfly, RowAndColPortsAreDistinct)
+{
+    FlattenedButterfly f(4, 4, 4);
+    const RouterId r = f.routerAt(2, 2);
+    std::vector<PortId> ports;
+    for (int x2 = 0; x2 < 4; ++x2) {
+        if (x2 != 2)
+            ports.push_back(f.rowPort(r, x2));
+    }
+    for (int y2 = 0; y2 < 4; ++y2) {
+        if (y2 != 2)
+            ports.push_back(f.colPort(r, y2));
+    }
+    std::sort(ports.begin(), ports.end());
+    EXPECT_TRUE(std::adjacent_find(ports.begin(), ports.end()) ==
+                ports.end());
+    EXPECT_EQ(ports.front(), 4);   // right after the terminals
+    EXPECT_EQ(ports.back(), 9);
+}
+
+TEST(Fbfly, EveryNetworkLinkIsBidirectionalPairwise)
+{
+    FlattenedButterfly f(4, 4, 4);
+    // For each link r -> s there must be a link s -> r.
+    for (RouterId r = 0; r < f.numRouters(); ++r) {
+        for (PortId p = 4; p < f.numOutputPorts(r); ++p) {
+            const OutputChannel &chan = f.output(r, p);
+            ASSERT_TRUE(chan.isConnected());
+            const RouterId s = chan.drops[0].router;
+            bool reverse = false;
+            for (PortId q = 4; q < f.numOutputPorts(s); ++q) {
+                if (f.output(s, q).drops[0].router == r)
+                    reverse = true;
+            }
+            EXPECT_TRUE(reverse);
+        }
+    }
+}
+
+} // namespace
+} // namespace noc

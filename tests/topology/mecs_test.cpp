@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "topology/mecs.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Mecs, OutputPortCountIsUniform)
+{
+    Mecs m(4, 4, 4);
+    for (RouterId r = 0; r < m.numRouters(); ++r)
+        EXPECT_EQ(m.numOutputPorts(r), 8);   // 4 terminals + 4 channels
+}
+
+TEST(Mecs, EastChannelDropsAtEveryRouterToTheRight)
+{
+    Mecs m(4, 4, 4);
+    const RouterId r = m.routerAt(0, 2);
+    const OutputChannel &east = m.output(r, m.dirPort(Mecs::East));
+    ASSERT_EQ(east.drops.size(), 3u);
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(east.drops[k].router, m.routerAt(k + 1, 2));
+        EXPECT_EQ(east.drops[k].distance, k + 1);
+    }
+}
+
+TEST(Mecs, EdgeChannelsAreUnconnected)
+{
+    Mecs m(4, 4, 4);
+    const RouterId nw = m.routerAt(0, 0);
+    EXPECT_FALSE(m.output(nw, m.dirPort(Mecs::North)).isConnected());
+    EXPECT_FALSE(m.output(nw, m.dirPort(Mecs::West)).isConnected());
+    EXPECT_TRUE(m.output(nw, m.dirPort(Mecs::East)).isConnected());
+    EXPECT_TRUE(m.output(nw, m.dirPort(Mecs::South)).isConnected());
+}
+
+TEST(Mecs, InputPortCountDependsOnPosition)
+{
+    Mecs m(4, 4, 4);
+    // Router (x, y) is passed by x channels from the west, 3-x from the
+    // east, y from the north and 3-y from the south: always 6 network
+    // inputs on a 4x4, plus 4 terminals.
+    for (RouterId r = 0; r < m.numRouters(); ++r)
+        EXPECT_EQ(m.numInputPorts(r), 4 + 6);
+}
+
+TEST(Mecs, InputTablesInvertDropTables)
+{
+    Mecs m(4, 4, 2);
+    for (RouterId r = 0; r < m.numRouters(); ++r) {
+        for (PortId p = 0; p < m.numOutputPorts(r); ++p) {
+            const OutputChannel &chan = m.output(r, p);
+            if (chan.isTerminal() || !chan.isConnected())
+                continue;
+            for (std::size_t d = 0; d < chan.drops.size(); ++d) {
+                const InputSource &src =
+                    m.input(chan.drops[d].router, chan.drops[d].inPort);
+                EXPECT_EQ(src.router, r);
+                EXPECT_EQ(src.outPort, p);
+                EXPECT_EQ(src.dropIndex, static_cast<int>(d));
+            }
+        }
+    }
+}
+
+TEST(Mecs, DistancesAreMonotonicAlongChannels)
+{
+    Mecs m(4, 4, 4);
+    for (RouterId r = 0; r < m.numRouters(); ++r) {
+        for (PortId p = 4; p < m.numOutputPorts(r); ++p) {
+            const OutputChannel &chan = m.output(r, p);
+            for (std::size_t d = 1; d < chan.drops.size(); ++d)
+                EXPECT_EQ(chan.drops[d].distance,
+                          chan.drops[d - 1].distance + 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace noc

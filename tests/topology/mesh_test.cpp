@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "topology/mesh.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Mesh, DimensionsAndCounts)
+{
+    Mesh m(4, 3, 1);
+    EXPECT_EQ(m.numRouters(), 12);
+    EXPECT_EQ(m.numNodes(), 12);
+    EXPECT_EQ(m.width(), 4);
+    EXPECT_EQ(m.height(), 3);
+    EXPECT_EQ(m.concentration(), 1);
+    EXPECT_EQ(m.name(), "Mesh4x3");
+}
+
+TEST(Mesh, CoordinateRoundTrip)
+{
+    Mesh m(5, 4, 1);
+    for (RouterId r = 0; r < m.numRouters(); ++r)
+        EXPECT_EQ(m.routerAt(m.xOf(r), m.yOf(r)), r);
+}
+
+TEST(Mesh, UniformPortCount)
+{
+    Mesh m(4, 4, 1);
+    for (RouterId r = 0; r < m.numRouters(); ++r) {
+        EXPECT_EQ(m.numOutputPorts(r), 5);   // terminal + 4 directions
+        // Input ports: terminal + one per connected neighbour.
+        int neighbours = 0;
+        for (int dir = 0; dir < 4; ++dir) {
+            if (m.output(r, m.dirPort(static_cast<Mesh::Direction>(dir)))
+                    .isConnected())
+                ++neighbours;
+        }
+        EXPECT_EQ(m.numInputPorts(r), 1 + neighbours);
+    }
+}
+
+TEST(Mesh, CornerAndCenterConnectivity)
+{
+    Mesh m(4, 4, 1);
+    const RouterId corner = m.routerAt(0, 0);
+    EXPECT_FALSE(m.output(corner, m.dirPort(Mesh::North)).isConnected());
+    EXPECT_FALSE(m.output(corner, m.dirPort(Mesh::West)).isConnected());
+    EXPECT_TRUE(m.output(corner, m.dirPort(Mesh::East)).isConnected());
+    EXPECT_TRUE(m.output(corner, m.dirPort(Mesh::South)).isConnected());
+
+    const RouterId center = m.routerAt(1, 1);
+    for (int dir = 0; dir < 4; ++dir) {
+        EXPECT_TRUE(
+            m.output(center, m.dirPort(static_cast<Mesh::Direction>(dir)))
+                .isConnected());
+    }
+}
+
+TEST(Mesh, NeighbourTargetsAreCorrect)
+{
+    Mesh m(4, 4, 1);
+    const RouterId r = m.routerAt(2, 1);
+    const auto &east = m.output(r, m.dirPort(Mesh::East));
+    ASSERT_EQ(east.drops.size(), 1u);
+    EXPECT_EQ(east.drops[0].router, m.routerAt(3, 1));
+    EXPECT_EQ(east.drops[0].distance, 1);
+    const auto &north = m.output(r, m.dirPort(Mesh::North));
+    ASSERT_EQ(north.drops.size(), 1u);
+    EXPECT_EQ(north.drops[0].router, m.routerAt(2, 0));
+}
+
+TEST(Mesh, InputOutputTablesAreInverse)
+{
+    Mesh m(3, 3, 1);
+    for (RouterId r = 0; r < m.numRouters(); ++r) {
+        for (PortId p = 0; p < m.numOutputPorts(r); ++p) {
+            const OutputChannel &chan = m.output(r, p);
+            if (chan.isTerminal() || !chan.isConnected())
+                continue;
+            for (std::size_t d = 0; d < chan.drops.size(); ++d) {
+                const Drop &drop = chan.drops[d];
+                const InputSource &src = m.input(drop.router, drop.inPort);
+                EXPECT_EQ(src.router, r);
+                EXPECT_EQ(src.outPort, p);
+                EXPECT_EQ(src.dropIndex, static_cast<int>(d));
+                EXPECT_EQ(src.distance, drop.distance);
+            }
+        }
+    }
+}
+
+TEST(Mesh, TerminalMapping)
+{
+    Mesh m(4, 4, 1);
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        EXPECT_EQ(m.nodeRouter(n), n);
+        EXPECT_EQ(m.nodePort(n), 0);
+        const OutputChannel &chan = m.output(m.nodeRouter(n), m.nodePort(n));
+        EXPECT_TRUE(chan.isTerminal());
+        EXPECT_EQ(chan.terminal, n);
+        const InputSource &src = m.input(m.nodeRouter(n), m.nodePort(n));
+        EXPECT_TRUE(src.isTerminal());
+        EXPECT_EQ(src.terminal, n);
+    }
+}
+
+TEST(CMesh, ConcentrationFour)
+{
+    CMesh m(4, 4, 4);
+    EXPECT_EQ(m.numNodes(), 64);
+    EXPECT_EQ(m.name(), "CMesh4x4c4");
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        EXPECT_EQ(m.nodeRouter(n), n / 4);
+        EXPECT_EQ(m.nodePort(n), n % 4);
+    }
+    // Ports: 4 terminals + 4 directions.
+    EXPECT_EQ(m.numOutputPorts(m.routerAt(1, 1)), 8);
+}
+
+} // namespace
+} // namespace noc

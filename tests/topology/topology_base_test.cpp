@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "topology/mesh.hpp"
+
+namespace noc {
+namespace {
+
+TEST(TopologyBaseDeath, PortRangeChecks)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Mesh m(3, 3, 1);
+    EXPECT_DEATH(m.output(0, 99), "out of range");
+    EXPECT_DEATH(m.output(0, -1), "out of range");
+    EXPECT_DEATH(m.input(0, 99), "out of range");
+    EXPECT_DEATH(m.nodeRouter(-1), "out of range");
+    EXPECT_DEATH(m.nodePort(9), "out of range");
+}
+
+TEST(TopologyBase, UnconnectedOutputs)
+{
+    Mesh m(3, 3, 1);
+    const OutputChannel &edge =
+        m.output(m.routerAt(0, 0), m.dirPort(Mesh::West));
+    EXPECT_FALSE(edge.isConnected());
+    EXPECT_FALSE(edge.isTerminal());
+    EXPECT_TRUE(edge.drops.empty());
+}
+
+TEST(TopologyBase, TerminalChannels)
+{
+    CMesh m(2, 2, 3);
+    const OutputChannel &term = m.output(1, 2);
+    EXPECT_TRUE(term.isTerminal());
+    EXPECT_TRUE(term.isConnected());
+    EXPECT_EQ(term.terminal, 1 * 3 + 2);
+}
+
+TEST(TopologyBase, GridDistance)
+{
+    Mesh m(5, 4, 1);
+    EXPECT_EQ(m.gridDistance(m.routerAt(0, 0), m.routerAt(4, 3)), 7);
+    EXPECT_EQ(m.gridDistance(m.routerAt(2, 2), m.routerAt(2, 2)), 0);
+    EXPECT_EQ(m.gridDistance(m.routerAt(3, 1), m.routerAt(1, 1)), 2);
+}
+
+TEST(TopologyBase, InputSourceTerminalPredicate)
+{
+    Mesh m(3, 3, 1);
+    EXPECT_TRUE(m.input(4, 0).isTerminal());
+    // Some network input of the center router.
+    EXPECT_FALSE(m.input(4, 1).isTerminal());
+    EXPECT_NE(m.input(4, 1).router, kInvalidRouter);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "network/network.hpp"
+#include "routing/torus_dor.hpp"
+#include "topology/torus.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Torus, EveryRouterHasFourNeighbours)
+{
+    Torus t(4, 4, 1);
+    EXPECT_EQ(t.name(), "Torus4x4");
+    for (RouterId r = 0; r < t.numRouters(); ++r) {
+        EXPECT_EQ(t.numOutputPorts(r), 5);
+        EXPECT_EQ(t.numInputPorts(r), 5);
+        for (int dir = 0; dir < 4; ++dir) {
+            EXPECT_TRUE(
+                t.output(r, t.dirPort(static_cast<Torus::Direction>(dir)))
+                    .isConnected());
+        }
+    }
+}
+
+TEST(Torus, WrapLinksConnectEdges)
+{
+    Torus t(4, 3, 1);
+    const RouterId east_edge = t.routerAt(3, 1);
+    const auto &east = t.output(east_edge, t.dirPort(Torus::East));
+    ASSERT_EQ(east.drops.size(), 1u);
+    EXPECT_EQ(east.drops[0].router, t.routerAt(0, 1));
+
+    const RouterId top = t.routerAt(2, 0);
+    const auto &north = t.output(top, t.dirPort(Torus::North));
+    EXPECT_EQ(north.drops[0].router, t.routerAt(2, 2));
+}
+
+TEST(Torus, WrapAwareDistance)
+{
+    Torus t(8, 8, 1);
+    EXPECT_EQ(t.gridDistance(t.routerAt(0, 0), t.routerAt(7, 0)), 1);
+    EXPECT_EQ(t.gridDistance(t.routerAt(0, 0), t.routerAt(4, 0)), 4);
+    EXPECT_EQ(t.gridDistance(t.routerAt(1, 1), t.routerAt(7, 7)), 4);
+}
+
+TEST(TorusDor, MinimalStepPicksShorterWay)
+{
+    EXPECT_EQ(TorusDor::minimalStep(0, 1, 8), 1);
+    EXPECT_EQ(TorusDor::minimalStep(0, 7, 8), -1);
+    EXPECT_EQ(TorusDor::minimalStep(0, 4, 8), 1);   // tie -> +1
+    EXPECT_EQ(TorusDor::minimalStep(6, 1, 8), 1);   // wraps east
+    EXPECT_EQ(TorusDor::minimalStep(3, 3, 8), 0);
+}
+
+TEST(TorusDor, DatelineCrossingDetection)
+{
+    // From column 6 travelling east: 6 -> 7 (not crossed) -> 0 (crossed).
+    EXPECT_FALSE(TorusDor::crossedDateline(6, 6, 1));
+    EXPECT_FALSE(TorusDor::crossedDateline(6, 7, 1));
+    EXPECT_TRUE(TorusDor::crossedDateline(6, 0, 1));
+    EXPECT_TRUE(TorusDor::crossedDateline(6, 1, 1));
+    // From column 1 travelling west: 1 -> 0 (not crossed) -> 7 (crossed).
+    EXPECT_FALSE(TorusDor::crossedDateline(1, 0, -1));
+    EXPECT_TRUE(TorusDor::crossedDateline(1, 7, -1));
+}
+
+TEST(TorusDor, RoutesAreMinimal)
+{
+    Torus t(5, 5, 1);
+    TorusDor xy(t, true);
+    for (NodeId s = 0; s < t.numNodes(); ++s) {
+        for (NodeId d = 0; d < t.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            RouterId r = t.nodeRouter(s);
+            int hops = 0;
+            while (true) {
+                const RouteDecision dec = xy.route(r, d, 0);
+                const OutputChannel &chan = t.output(r, dec.outPort);
+                ASSERT_TRUE(chan.isConnected());
+                ++hops;
+                ASSERT_LE(hops, 8) << "non-minimal torus route";
+                if (chan.isTerminal()) {
+                    EXPECT_EQ(chan.terminal, d);
+                    break;
+                }
+                r = chan.drops[dec.drop].router;
+            }
+            EXPECT_EQ(hops,
+                      t.gridDistance(t.nodeRouter(s), t.nodeRouter(d)) + 1);
+        }
+    }
+}
+
+TEST(TorusDor, VcClassSwitchesOnTheWrapLink)
+{
+    Torus t(8, 8, 1);
+    TorusDor xy(t, true);
+    const NodeId src = t.routerAt(6, 0);
+    const NodeId dst = t.routerAt(2, 0);   // east through the wrap
+    // Channel 6->7 stays below the dateline: lower half.
+    EXPECT_EQ(xy.vcRangeAt(t.routerAt(6, 0), src, dst, 0, 4),
+              (std::pair<VcId, int>{0, 2}));
+    // The wrap channel 7->0 itself is the dateline: upper half.
+    EXPECT_EQ(xy.vcRangeAt(t.routerAt(7, 0), src, dst, 0, 4),
+              (std::pair<VcId, int>{2, 2}));
+    // Channels past the wrap (0->1, 1->2) remain in the upper half.
+    EXPECT_EQ(xy.vcRangeAt(t.routerAt(0, 0), src, dst, 0, 4),
+              (std::pair<VcId, int>{2, 2}));
+    EXPECT_EQ(xy.vcRangeAt(t.routerAt(1, 0), src, dst, 0, 4),
+              (std::pair<VcId, int>{2, 2}));
+    // The ejection channel at the destination is a sink: lower half.
+    EXPECT_EQ(xy.vcRangeAt(t.routerAt(2, 0), src, dst, 0, 4),
+              (std::pair<VcId, int>{0, 2}));
+}
+
+TEST(TorusDor, NonWrappingRouteStaysInLowerClass)
+{
+    Torus t(8, 8, 1);
+    TorusDor xy(t, true);
+    const NodeId src = t.routerAt(1, 1);
+    const NodeId dst = t.routerAt(3, 4);
+    for (const RouterId r : {t.routerAt(1, 1), t.routerAt(2, 1),
+                             t.routerAt(3, 1), t.routerAt(3, 3)}) {
+        EXPECT_EQ(xy.vcRangeAt(r, src, dst, 0, 4),
+                  (std::pair<VcId, int>{0, 2}));
+    }
+}
+
+TEST(TorusNetwork, WrapPathBeatsMeshForFarPairs)
+{
+    auto one_packet = [](TopologyKind kind) {
+        SimConfig cfg;
+        cfg.topology = kind;
+        cfg.meshWidth = 8;
+        cfg.meshHeight = 8;
+        cfg.concentration = 1;
+        cfg.routing = RoutingKind::XY;
+        cfg.vaPolicy = VaPolicy::Static;
+        Network net(cfg);
+        PacketDesc p;
+        p.id = 1;
+        p.src = 0;
+        p.dst = 7;   // corner of the row: 7 mesh hops, 1 torus hop
+        p.size = 1;
+        p.createTime = 0;
+        net.injectPacket(p);
+        std::vector<CompletedPacket> done;
+        int guard = 0;
+        while (done.empty() && guard++ < 500) {
+            net.step();
+            net.drainCompleted(done);
+        }
+        EXPECT_FALSE(done.empty());
+        return done.empty()
+            ? Cycle{0}
+            : done.front().ejectTime - done.front().injectTime;
+    };
+    EXPECT_LT(one_packet(TopologyKind::Torus),
+              one_packet(TopologyKind::Mesh));
+}
+
+TEST(TorusNetwork, HeavyWrapTrafficDrainsDeadlockFree)
+{
+    // Tornado traffic stresses the wraparound channels — exactly the
+    // pattern that deadlocks a torus without dateline VCs.
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Torus;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    cfg.concentration = 1;
+    cfg.numVcs = 2;          // minimum legal: one VC per dateline class
+    cfg.bufferDepth = 2;
+    cfg.routing = RoutingKind::XY;
+    cfg.vaPolicy = VaPolicy::Static;
+    cfg.scheme = Scheme::PseudoSB;
+    Network net(cfg);
+    SyntheticTraffic traffic(SyntheticPattern::Tornado, 64, 0.3, 4, 9);
+    for (Cycle c = 0; c < 3000; ++c) {
+        traffic.tick(net, net.now(), SimPhase::Measure);
+        net.step();
+    }
+    Cycle guard = 0;
+    while (!net.idle() && guard++ < 100000)
+        net.step();
+    EXPECT_TRUE(net.idle()) << net.describeStall();
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "network/network.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/cmp_model.hpp"
+
+namespace noc {
+namespace {
+
+TEST(CmpTag, RoundTrip)
+{
+    const auto tag = cmpTag(CmpMsgType::ReadResp, 12345);
+    EXPECT_EQ(cmpTagType(tag), CmpMsgType::ReadResp);
+    EXPECT_EQ(cmpTagTxn(tag), 12345u);
+}
+
+TEST(CmpModel, RoleSplitOnConcentratedMesh)
+{
+    CMesh topo(4, 4, 4);
+    CmpModel model(findBenchmark("fma3d"), topo, 1);
+    EXPECT_EQ(model.cores().size(), 32u);
+    EXPECT_EQ(model.banks().size(), 32u);
+    // Fig 7: first two terminals of each router are cores.
+    EXPECT_TRUE(model.isCore(0));
+    EXPECT_TRUE(model.isCore(1));
+    EXPECT_FALSE(model.isCore(2));
+    EXPECT_FALSE(model.isCore(3));
+}
+
+TEST(CmpModel, RoleSplitOnPlainMesh)
+{
+    Mesh topo(8, 8, 1);
+    CmpModel model(findBenchmark("fma3d"), topo, 1);
+    EXPECT_EQ(model.cores().size(), 32u);
+    EXPECT_EQ(model.banks().size(), 32u);
+}
+
+TEST(CmpModel, MshrsThrottleOutstandingRequests)
+{
+    CMesh topo(4, 4, 4);
+    BenchmarkProfile hot = findBenchmark("fma3d");
+    hot.intensity = 1.0;   // a request every cycle if allowed
+    CmpParams params;
+    params.mshrsPerCore = 4;
+    CmpModel model(hot, topo, 1, params);
+
+    std::vector<CmpMessage> out;
+    // Never deliver anything: every core must cap at 4 requests.
+    for (Cycle c = 0; c < 100; ++c)
+        model.tick(c, out, false);
+    EXPECT_EQ(model.requestsIssued(), 32u * 4u);
+
+    std::map<NodeId, int> per_core;
+    for (const CmpMessage &m : out) {
+        EXPECT_TRUE(model.isCore(m.src));
+        EXPECT_FALSE(model.isCore(m.dst));
+        ++per_core[m.src];
+    }
+    for (const auto &[core, count] : per_core)
+        EXPECT_LE(count, 4);
+}
+
+TEST(CmpModel, RequestsGenerateResponses)
+{
+    CMesh topo(4, 4, 4);
+    CmpModel model(findBenchmark("equake"), topo, 2);
+    std::vector<CmpMessage> out;
+    model.tick(0, out, false);
+    // Force one read request through.
+    CmpMessage req;
+    req.src = model.cores()[0];
+    req.dst = model.banks()[3];
+    req.size = 1;
+    req.tag = cmpTag(CmpMsgType::ReadReq, 999);
+    model.deliver(req, 10);
+
+    bool got_response = false;
+    for (Cycle c = 10; c < 400 && !got_response; ++c) {
+        out.clear();
+        model.tick(c, out, true);
+        for (const CmpMessage &m : out) {
+            if (cmpTagTxn(m.tag) == 999u) {
+                EXPECT_EQ(cmpTagType(m.tag), CmpMsgType::ReadResp);
+                EXPECT_EQ(m.src, req.dst);
+                EXPECT_EQ(m.dst, req.src);
+                EXPECT_EQ(m.size, 5u);   // data response
+                got_response = true;
+            }
+        }
+    }
+    EXPECT_TRUE(got_response);
+}
+
+TEST(CmpModel, InvalidationsAreAcknowledged)
+{
+    CMesh topo(4, 4, 4);
+    CmpModel model(findBenchmark("fft"), topo, 3);
+    CmpMessage inv;
+    inv.src = model.banks()[0];
+    inv.dst = model.cores()[5];
+    inv.size = 1;
+    inv.tag = cmpTag(CmpMsgType::Inv, 77);
+    model.deliver(inv, 0);
+    std::vector<CmpMessage> out;
+    model.tick(1, out, true);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(cmpTagType(out[0].tag), CmpMsgType::InvAck);
+    EXPECT_EQ(out[0].src, inv.dst);
+    EXPECT_EQ(out[0].dst, inv.src);
+}
+
+TEST(GenerateCmpTrace, ProducesSortedPlausibleTrace)
+{
+    CMesh topo(4, 4, 4);
+    const auto trace =
+        generateCmpTrace(findBenchmark("fma3d"), topo, 3000, 42);
+    ASSERT_GT(trace.size(), 500u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_LE(trace[i - 1].cycle, trace[i].cycle);
+    for (const TraceRecord &r : trace) {
+        EXPECT_NE(r.src, r.dst);
+        EXPECT_TRUE(r.size == 1 || r.size == 5);
+        EXPECT_LT(r.cycle, 3000u);
+    }
+}
+
+TEST(GenerateCmpTrace, DeterministicForSeed)
+{
+    CMesh topo(4, 4, 4);
+    const auto a = generateCmpTrace(findBenchmark("lu"), topo, 1000, 9);
+    const auto b = generateCmpTrace(findBenchmark("lu"), topo, 1000, 9);
+    EXPECT_EQ(a, b);
+    const auto c = generateCmpTrace(findBenchmark("lu"), topo, 1000, 10);
+    EXPECT_NE(a, c);
+}
+
+TEST(CmpTrafficSource, ClosedLoopRunsAndQuiesces)
+{
+    SimConfig cfg;   // CMesh 4x4 conc4
+    Network net(cfg);
+    CmpTrafficSource src(findBenchmark("radix"), net.topology(), 5);
+    for (Cycle c = 0; c < 2000; ++c) {
+        src.tick(net, net.now(), SimPhase::Measure);
+        net.step();
+        std::vector<CompletedPacket> done;
+        net.drainCompleted(done);
+        for (const CompletedPacket &p : done)
+            src.onPacketDelivered(p, net, net.now());
+    }
+    EXPECT_GT(src.model().requestsIssued(), 100u);
+    // Drain: stop issuing, let responses fly out.
+    Cycle guard = 0;
+    while (!(net.idle() && src.exhausted()) && guard++ < 20000) {
+        src.tick(net, net.now(), SimPhase::Drain);
+        net.step();
+        std::vector<CompletedPacket> done;
+        net.drainCompleted(done);
+        for (const CompletedPacket &p : done)
+            src.onPacketDelivered(p, net, net.now());
+    }
+    EXPECT_TRUE(net.idle());
+    EXPECT_TRUE(src.exhausted());
+}
+
+TEST(CmpModel, BurstsTargetTheSameBank)
+{
+    CMesh topo(4, 4, 4);
+    BenchmarkProfile b = findBenchmark("fma3d");
+    b.intensity = 0.02;
+    b.burstProb = 1.0;   // every miss starts a burst
+    b.repeatProb = 0.0;
+    CmpModel model(b, topo, 7);
+    std::vector<CmpMessage> out;
+    for (Cycle c = 0; c < 400; ++c)
+        model.tick(c, out, false);
+    // Within each core's request stream, bursts mean runs of identical
+    // destinations; overall repeat rate must be clearly above the
+    // 1-in-32 random-bank baseline.
+    std::map<NodeId, NodeId> last;
+    int repeats = 0;
+    int total = 0;
+    for (const CmpMessage &m : out) {
+        const auto it = last.find(m.src);
+        if (it != last.end()) {
+            ++total;
+            repeats += it->second == m.dst;
+        }
+        last[m.src] = m.dst;
+    }
+    ASSERT_GT(total, 50);
+    EXPECT_GT(static_cast<double>(repeats) / total, 0.3);
+}
+
+TEST(CmpModel, HotspotProfileConcentratesTraffic)
+{
+    CMesh topo(4, 4, 4);
+    const auto hot = generateCmpTrace(findBenchmark("jbb"), topo, 4000, 3);
+    const auto flat = generateCmpTrace(findBenchmark("fft"), topo, 4000, 3);
+    auto top_share = [](const std::vector<TraceRecord> &trace) {
+        std::map<NodeId, int> count;
+        int reqs = 0;
+        for (const TraceRecord &r : trace) {
+            if (cmpTagType(r.tag) == CmpMsgType::ReadReq ||
+                cmpTagType(r.tag) == CmpMsgType::WriteReq) {
+                ++count[r.dst];
+                ++reqs;
+            }
+        }
+        int best = 0;
+        for (const auto &[node, c] : count)
+            best = std::max(best, c);
+        return static_cast<double>(best) / reqs;
+    };
+    EXPECT_GT(top_share(hot), 2.0 * top_share(flat));
+}
+
+TEST(Benchmarks, SuiteIsComplete)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 11u);
+    EXPECT_EQ(findBenchmark("jbb").globalHotspot, true);
+    EXPECT_EQ(findBenchmark("fma3d").globalHotspot, false);
+    for (const BenchmarkProfile &b : benchmarkSuite()) {
+        EXPECT_GT(b.intensity, 0.0);
+        EXPECT_LE(b.intensity, 1.0);
+        EXPECT_GE(b.repeatProb, 0.0);
+        EXPECT_LT(b.repeatProb, 1.0);
+        EXPECT_GE(b.writeFraction, 0.0);
+        EXPECT_LE(b.writeFraction, 1.0);
+    }
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(findBenchmark("doom3"), testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+} // namespace
+} // namespace noc

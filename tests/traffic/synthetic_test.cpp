@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "network/network.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+TEST(Patterns, BitComplement)
+{
+    EXPECT_EQ(patternDestination(SyntheticPattern::BitComplement, 0, 64),
+              63);
+    EXPECT_EQ(patternDestination(SyntheticPattern::BitComplement, 21, 64),
+              42);
+}
+
+TEST(Patterns, TransposeSwapsHalves)
+{
+    // 64 nodes = 6 bits; transpose swaps the 3-bit halves.
+    EXPECT_EQ(patternDestination(SyntheticPattern::Transpose, 0b000001, 64),
+              0b001000);
+    EXPECT_EQ(patternDestination(SyntheticPattern::Transpose, 0b101011, 64),
+              0b011101);
+}
+
+TEST(Patterns, BitReverse)
+{
+    EXPECT_EQ(patternDestination(SyntheticPattern::BitReverse, 0b000001, 64),
+              0b100000);
+    EXPECT_EQ(patternDestination(SyntheticPattern::BitReverse, 0b110101, 64),
+              0b101011);
+}
+
+TEST(Patterns, Shuffle)
+{
+    EXPECT_EQ(patternDestination(SyntheticPattern::Shuffle, 0b100000, 64),
+              0b000001);
+    EXPECT_EQ(patternDestination(SyntheticPattern::Shuffle, 0b000011, 64),
+              0b000110);
+}
+
+TEST(Patterns, TornadoShiftsHalfwayMinusOne)
+{
+    // 64 nodes -> 8x8 grid, shift = 3 columns.
+    EXPECT_EQ(patternDestination(SyntheticPattern::Tornado, 0, 64), 3);
+    EXPECT_EQ(patternDestination(SyntheticPattern::Tornado, 7, 64), 2);
+    EXPECT_EQ(patternDestination(SyntheticPattern::Tornado, 8, 64), 11);
+}
+
+TEST(Patterns, NeighborIsOneHopEast)
+{
+    EXPECT_EQ(patternDestination(SyntheticPattern::Neighbor, 0, 64), 1);
+    EXPECT_EQ(patternDestination(SyntheticPattern::Neighbor, 7, 64), 0);
+    EXPECT_EQ(patternDestination(SyntheticPattern::Neighbor, 63, 64), 56);
+}
+
+TEST(PatternsDeath, SpatialPatternsNeedSquareGrid)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(patternDestination(SyntheticPattern::Tornado, 0, 48),
+                 "square");
+}
+
+TEST(Patterns, FixedPatternsAreBijections)
+{
+    for (const auto pattern :
+         {SyntheticPattern::BitComplement, SyntheticPattern::Transpose,
+          SyntheticPattern::BitReverse, SyntheticPattern::Shuffle,
+          SyntheticPattern::Tornado, SyntheticPattern::Neighbor}) {
+        std::set<NodeId> dsts;
+        for (NodeId s = 0; s < 64; ++s)
+            dsts.insert(patternDestination(pattern, s, 64));
+        EXPECT_EQ(dsts.size(), 64u) << toString(pattern);
+    }
+}
+
+TEST(SyntheticTraffic, RespectsInjectionRate)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    Network net(cfg);
+    const double rate = 0.2;   // flits/node/cycle
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom, 64, rate, 5,
+                             42);
+    const Cycle cycles = 5000;
+    for (Cycle c = 0; c < cycles; ++c) {
+        traffic.tick(net, net.now(), SimPhase::Measure);
+        net.step();
+    }
+    const NiStats ni = net.aggregateNiStats();
+    const double offered = static_cast<double>(ni.packetsInjected +
+                                               net.packetsOutstanding()) *
+        5.0 / (64.0 * static_cast<double>(cycles));
+    EXPECT_NEAR(offered, rate, 0.02);
+}
+
+TEST(SyntheticTraffic, NoSelfTraffic)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    Network net(cfg);
+    SyntheticTraffic traffic(SyntheticPattern::Hotspot, 64, 0.3, 2, 11);
+    for (Cycle c = 0; c < 500; ++c) {
+        traffic.tick(net, net.now(), SimPhase::Measure);
+        net.step();
+    }
+    while (!net.idle())
+        net.step();
+    std::vector<CompletedPacket> done;
+    net.drainCompleted(done);
+    ASSERT_FALSE(done.empty());
+    for (const CompletedPacket &p : done)
+        EXPECT_NE(p.src, p.dst);
+}
+
+TEST(SyntheticTraffic, DrainPhaseStopsInjection)
+{
+    SimConfig cfg;
+    Network net(cfg);
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom,
+                             cfg.numNodes(), 0.5, 5, 1);
+    for (Cycle c = 0; c < 100; ++c) {
+        traffic.tick(net, net.now(), SimPhase::Drain);
+        net.step();
+    }
+    EXPECT_EQ(net.aggregateNiStats().flitsInjected, 0u);
+    EXPECT_TRUE(traffic.exhausted());
+}
+
+TEST(SyntheticTraffic, WarmupPacketsAreUnmeasured)
+{
+    SimConfig cfg;
+    Network net(cfg);
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom,
+                             cfg.numNodes(), 0.3, 1, 2);
+    for (Cycle c = 0; c < 200; ++c) {
+        traffic.tick(net, net.now(), SimPhase::Warmup);
+        net.step();
+    }
+    while (!net.idle())
+        net.step();
+    std::vector<CompletedPacket> done;
+    net.drainCompleted(done);
+    ASSERT_FALSE(done.empty());
+    for (const CompletedPacket &p : done)
+        EXPECT_FALSE(p.measured);
+}
+
+TEST(SyntheticTrafficDeath, NonPowerOfTwoRejectedForBitPatterns)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(patternDestination(SyntheticPattern::BitComplement, 0, 48),
+                 "power-of-two");
+}
+
+} // namespace
+} // namespace noc

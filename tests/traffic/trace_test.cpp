@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "network/network.hpp"
+#include "traffic/trace.hpp"
+
+namespace noc {
+namespace {
+
+TEST(TraceIo, RoundTrip)
+{
+    const std::vector<TraceRecord> records = {
+        {0, 1, 2, 5, 7},
+        {3, 0, 63, 1, 0},
+        {3, 5, 9, 5, 12345},
+        {100, 62, 1, 1, 0xffffff},
+    };
+    std::stringstream ss;
+    writeTrace(ss, records);
+    const auto back = readTrace(ss);
+    EXPECT_EQ(back, records);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\n1 2 3 4 5\n# trailing\n");
+    const auto records = readTrace(ss);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].cycle, 1u);
+    EXPECT_EQ(records[0].src, 2);
+    EXPECT_EQ(records[0].dst, 3);
+    EXPECT_EQ(records[0].size, 4u);
+    EXPECT_EQ(records[0].tag, 5u);
+}
+
+TEST(TraceIoDeath, MalformedLineIsFatal)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::stringstream ss("1 2 bogus\n");
+    EXPECT_EXIT(readTrace(ss), testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(TraceReplay, InjectsAtRecordedCycles)
+{
+    SimConfig cfg;
+    Network net(cfg);
+    std::vector<TraceRecord> records = {
+        {5, 0, 17, 2, 0},
+        {5, 1, 20, 2, 0},
+        {40, 2, 33, 2, 0},
+    };
+    TraceReplaySource src(records);
+    EXPECT_FALSE(src.exhausted());
+    for (Cycle c = 0; c < 5; ++c) {
+        src.tick(net, net.now(), SimPhase::Measure);
+        net.step();
+    }
+    EXPECT_EQ(net.packetsOutstanding(), 0u);
+    src.tick(net, net.now(), SimPhase::Measure);   // now == 5
+    EXPECT_EQ(net.packetsOutstanding(), 2u);
+    while (net.now() < 40) {
+        net.step();
+        src.tick(net, net.now(), SimPhase::Measure);
+    }
+    EXPECT_EQ(src.injectedCount(), 3u);
+    EXPECT_TRUE(src.exhausted());
+    Cycle guard = 0;
+    while (!net.idle() && guard++ < 5000)
+        net.step();
+    EXPECT_TRUE(net.idle());
+}
+
+TEST(TraceReplay, DilationStretchesTime)
+{
+    SimConfig cfg;
+    Network net(cfg);
+    std::vector<TraceRecord> records = {{10, 0, 17, 1, 0}};
+    TraceReplaySource src(records, 3.0);
+    for (Cycle c = 0; c <= 29; ++c) {
+        src.tick(net, net.now(), SimPhase::Measure);
+        if (net.now() < 29)
+            EXPECT_EQ(src.injectedCount(), 0u);
+        net.step();
+    }
+    src.tick(net, net.now(), SimPhase::Measure);
+    EXPECT_EQ(src.injectedCount(), 1u);
+}
+
+TEST(TraceReplayDeath, UnsortedTraceRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::vector<TraceRecord> records = {{10, 0, 1, 1, 0}, {5, 0, 1, 1, 0}};
+    EXPECT_DEATH(TraceReplaySource src(records), "sorted");
+}
+
+} // namespace
+} // namespace noc
