@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_confidence.dir/ext_confidence.cpp.o"
+  "CMakeFiles/ext_confidence.dir/ext_confidence.cpp.o.d"
+  "ext_confidence"
+  "ext_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

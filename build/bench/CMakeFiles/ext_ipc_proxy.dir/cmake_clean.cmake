@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ipc_proxy.dir/ext_ipc_proxy.cpp.o"
+  "CMakeFiles/ext_ipc_proxy.dir/ext_ipc_proxy.cpp.o.d"
+  "ext_ipc_proxy"
+  "ext_ipc_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ipc_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_patterns.dir/ext_patterns.cpp.o"
+  "CMakeFiles/ext_patterns.dir/ext_patterns.cpp.o.d"
+  "ext_patterns"
+  "ext_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_torus.dir/ext_torus.cpp.o"
+  "CMakeFiles/ext_torus.dir/ext_torus.cpp.o.d"
+  "ext_torus"
+  "ext_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

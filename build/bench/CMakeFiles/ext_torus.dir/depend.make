@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_torus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_locality.dir/fig01_locality.cpp.o"
+  "CMakeFiles/fig01_locality.dir/fig01_locality.cpp.o.d"
+  "fig01_locality"
+  "fig01_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

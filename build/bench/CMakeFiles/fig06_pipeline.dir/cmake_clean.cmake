@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pipeline.dir/fig06_pipeline.cpp.o"
+  "CMakeFiles/fig06_pipeline.dir/fig06_pipeline.cpp.o.d"
+  "fig06_pipeline"
+  "fig06_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_overall.dir/fig08_overall.cpp.o"
+  "CMakeFiles/fig08_overall.dir/fig08_overall.cpp.o.d"
+  "fig08_overall"
+  "fig08_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

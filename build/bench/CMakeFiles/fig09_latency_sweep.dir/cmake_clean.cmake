@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_latency_sweep.dir/fig09_latency_sweep.cpp.o"
+  "CMakeFiles/fig09_latency_sweep.dir/fig09_latency_sweep.cpp.o.d"
+  "fig09_latency_sweep"
+  "fig09_latency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

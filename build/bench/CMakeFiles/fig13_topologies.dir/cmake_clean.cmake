@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_topologies.dir/fig13_topologies.cpp.o"
+  "CMakeFiles/fig13_topologies.dir/fig13_topologies.cpp.o.d"
+  "fig13_topologies"
+  "fig13_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_evc.dir/fig14_evc.cpp.o"
+  "CMakeFiles/fig14_evc.dir/fig14_evc.cpp.o.d"
+  "fig14_evc"
+  "fig14_evc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_evc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

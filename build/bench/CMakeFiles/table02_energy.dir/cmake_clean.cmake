@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_energy.dir/table02_energy.cpp.o"
+  "CMakeFiles/table02_energy.dir/table02_energy.cpp.o.d"
+  "table02_energy"
+  "table02_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctool.dir/noctool.cpp.o"
+  "CMakeFiles/noctool.dir/noctool.cpp.o.d"
+  "noctool"
+  "noctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/noc.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/noc.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "src/CMakeFiles/noc.dir/common/options.cpp.o" "gcc" "src/CMakeFiles/noc.dir/common/options.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/noc.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/noc.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/noc.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/noc.dir/common/stats.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/CMakeFiles/noc.dir/network/network.cpp.o" "gcc" "src/CMakeFiles/noc.dir/network/network.cpp.o.d"
+  "/root/repo/src/network/network_interface.cpp" "src/CMakeFiles/noc.dir/network/network_interface.cpp.o" "gcc" "src/CMakeFiles/noc.dir/network/network_interface.cpp.o.d"
+  "/root/repo/src/router/evc.cpp" "src/CMakeFiles/noc.dir/router/evc.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/evc.cpp.o.d"
+  "/root/repo/src/router/flit.cpp" "src/CMakeFiles/noc.dir/router/flit.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/flit.cpp.o.d"
+  "/root/repo/src/router/input_unit.cpp" "src/CMakeFiles/noc.dir/router/input_unit.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/input_unit.cpp.o.d"
+  "/root/repo/src/router/output_unit.cpp" "src/CMakeFiles/noc.dir/router/output_unit.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/output_unit.cpp.o.d"
+  "/root/repo/src/router/pseudo_circuit.cpp" "src/CMakeFiles/noc.dir/router/pseudo_circuit.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/pseudo_circuit.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/CMakeFiles/noc.dir/router/router.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/router.cpp.o.d"
+  "/root/repo/src/router/switch_allocator.cpp" "src/CMakeFiles/noc.dir/router/switch_allocator.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/switch_allocator.cpp.o.d"
+  "/root/repo/src/router/vc_allocator.cpp" "src/CMakeFiles/noc.dir/router/vc_allocator.cpp.o" "gcc" "src/CMakeFiles/noc.dir/router/vc_allocator.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/CMakeFiles/noc.dir/routing/dor.cpp.o" "gcc" "src/CMakeFiles/noc.dir/routing/dor.cpp.o.d"
+  "/root/repo/src/routing/o1turn.cpp" "src/CMakeFiles/noc.dir/routing/o1turn.cpp.o" "gcc" "src/CMakeFiles/noc.dir/routing/o1turn.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/CMakeFiles/noc.dir/routing/routing.cpp.o" "gcc" "src/CMakeFiles/noc.dir/routing/routing.cpp.o.d"
+  "/root/repo/src/routing/torus_dor.cpp" "src/CMakeFiles/noc.dir/routing/torus_dor.cpp.o" "gcc" "src/CMakeFiles/noc.dir/routing/torus_dor.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/CMakeFiles/noc.dir/sim/energy.cpp.o" "gcc" "src/CMakeFiles/noc.dir/sim/energy.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/noc.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/noc.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/locality.cpp" "src/CMakeFiles/noc.dir/sim/locality.cpp.o" "gcc" "src/CMakeFiles/noc.dir/sim/locality.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/noc.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/noc.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/noc.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/noc.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/topology/fbfly.cpp" "src/CMakeFiles/noc.dir/topology/fbfly.cpp.o" "gcc" "src/CMakeFiles/noc.dir/topology/fbfly.cpp.o.d"
+  "/root/repo/src/topology/mecs.cpp" "src/CMakeFiles/noc.dir/topology/mecs.cpp.o" "gcc" "src/CMakeFiles/noc.dir/topology/mecs.cpp.o.d"
+  "/root/repo/src/topology/mesh.cpp" "src/CMakeFiles/noc.dir/topology/mesh.cpp.o" "gcc" "src/CMakeFiles/noc.dir/topology/mesh.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/noc.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/noc.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/CMakeFiles/noc.dir/topology/torus.cpp.o" "gcc" "src/CMakeFiles/noc.dir/topology/torus.cpp.o.d"
+  "/root/repo/src/traffic/benchmarks.cpp" "src/CMakeFiles/noc.dir/traffic/benchmarks.cpp.o" "gcc" "src/CMakeFiles/noc.dir/traffic/benchmarks.cpp.o.d"
+  "/root/repo/src/traffic/cmp_model.cpp" "src/CMakeFiles/noc.dir/traffic/cmp_model.cpp.o" "gcc" "src/CMakeFiles/noc.dir/traffic/cmp_model.cpp.o.d"
+  "/root/repo/src/traffic/synthetic.cpp" "src/CMakeFiles/noc.dir/traffic/synthetic.cpp.o" "gcc" "src/CMakeFiles/noc.dir/traffic/synthetic.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/CMakeFiles/noc.dir/traffic/trace.cpp.o" "gcc" "src/CMakeFiles/noc.dir/traffic/trace.cpp.o.d"
+  "/root/repo/src/traffic/traffic.cpp" "src/CMakeFiles/noc.dir/traffic/traffic.cpp.o" "gcc" "src/CMakeFiles/noc.dir/traffic/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

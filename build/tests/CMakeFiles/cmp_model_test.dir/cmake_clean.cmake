@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_model_test.dir/traffic/cmp_model_test.cpp.o"
+  "CMakeFiles/cmp_model_test.dir/traffic/cmp_model_test.cpp.o.d"
+  "cmp_model_test"
+  "cmp_model_test.pdb"
+  "cmp_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_test.dir/network/credit_test.cpp.o"
+  "CMakeFiles/credit_test.dir/network/credit_test.cpp.o.d"
+  "credit_test"
+  "credit_test.pdb"
+  "credit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dor_test.dir/routing/dor_test.cpp.o"
+  "CMakeFiles/dor_test.dir/routing/dor_test.cpp.o.d"
+  "dor_test"
+  "dor_test.pdb"
+  "dor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_topology_test.dir/network/express_topology_test.cpp.o"
+  "CMakeFiles/express_topology_test.dir/network/express_topology_test.cpp.o.d"
+  "express_topology_test"
+  "express_topology_test.pdb"
+  "express_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

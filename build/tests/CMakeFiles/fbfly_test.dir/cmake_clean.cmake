@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbfly_test.dir/topology/fbfly_test.cpp.o"
+  "CMakeFiles/fbfly_test.dir/topology/fbfly_test.cpp.o.d"
+  "fbfly_test"
+  "fbfly_test.pdb"
+  "fbfly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_test.dir/router/flit_test.cpp.o"
+  "CMakeFiles/flit_test.dir/router/flit_test.cpp.o.d"
+  "flit_test"
+  "flit_test.pdb"
+  "flit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

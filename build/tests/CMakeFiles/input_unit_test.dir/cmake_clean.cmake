@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_unit_test.dir/router/input_unit_test.cpp.o"
+  "CMakeFiles/input_unit_test.dir/router/input_unit_test.cpp.o.d"
+  "input_unit_test"
+  "input_unit_test.pdb"
+  "input_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_test.dir/sim/locality_test.cpp.o"
+  "CMakeFiles/locality_test.dir/sim/locality_test.cpp.o.d"
+  "locality_test"
+  "locality_test.pdb"
+  "locality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecs_test.dir/topology/mecs_test.cpp.o"
+  "CMakeFiles/mecs_test.dir/topology/mecs_test.cpp.o.d"
+  "mecs_test"
+  "mecs_test.pdb"
+  "mecs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1turn_test.dir/routing/o1turn_test.cpp.o"
+  "CMakeFiles/o1turn_test.dir/routing/o1turn_test.cpp.o.d"
+  "o1turn_test"
+  "o1turn_test.pdb"
+  "o1turn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1turn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_unit_test.dir/router/output_unit_test.cpp.o"
+  "CMakeFiles/output_unit_test.dir/router/output_unit_test.cpp.o.d"
+  "output_unit_test"
+  "output_unit_test.pdb"
+  "output_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

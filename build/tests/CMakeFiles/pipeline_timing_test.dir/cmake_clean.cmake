@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_timing_test.dir/router/pipeline_timing_test.cpp.o"
+  "CMakeFiles/pipeline_timing_test.dir/router/pipeline_timing_test.cpp.o.d"
+  "pipeline_timing_test"
+  "pipeline_timing_test.pdb"
+  "pipeline_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_circuit_test.dir/router/pseudo_circuit_test.cpp.o"
+  "CMakeFiles/pseudo_circuit_test.dir/router/pseudo_circuit_test.cpp.o.d"
+  "pseudo_circuit_test"
+  "pseudo_circuit_test.pdb"
+  "pseudo_circuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

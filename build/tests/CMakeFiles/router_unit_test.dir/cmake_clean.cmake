@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_unit_test.dir/router/router_unit_test.cpp.o"
+  "CMakeFiles/router_unit_test.dir/router/router_unit_test.cpp.o.d"
+  "router_unit_test"
+  "router_unit_test.pdb"
+  "router_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starvation_test.dir/router/starvation_test.cpp.o"
+  "CMakeFiles/starvation_test.dir/router/starvation_test.cpp.o.d"
+  "starvation_test"
+  "starvation_test.pdb"
+  "starvation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starvation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_allocator_test.dir/router/switch_allocator_test.cpp.o"
+  "CMakeFiles/switch_allocator_test.dir/router/switch_allocator_test.cpp.o.d"
+  "switch_allocator_test"
+  "switch_allocator_test.pdb"
+  "switch_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_base_test.dir/topology/topology_base_test.cpp.o"
+  "CMakeFiles/topology_base_test.dir/topology/topology_base_test.cpp.o.d"
+  "topology_base_test"
+  "topology_base_test.pdb"
+  "topology_base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

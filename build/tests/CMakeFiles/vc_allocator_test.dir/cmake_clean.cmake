@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_allocator_test.dir/router/vc_allocator_test.cpp.o"
+  "CMakeFiles/vc_allocator_test.dir/router/vc_allocator_test.cpp.o.d"
+  "vc_allocator_test"
+  "vc_allocator_test.pdb"
+  "vc_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
