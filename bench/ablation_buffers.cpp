@@ -3,37 +3,61 @@
  * Ablation — sensitivity of the pseudo-circuit win to router buffering:
  * VC count x buffer depth, fma3d trace, Baseline vs Pseudo+S+B.
  *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); structured
+ * results via --json/--csv.
+ *
  * Fewer VCs concentrate flows (more circuit reuse per port) but raise
  * head-of-line blocking; deeper buffers cover the credit round trip.
  * The paper's design point (4 VCs x 4 flits) sits in the middle.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "sim/experiment.hpp"
 
 using namespace noc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
     const BenchmarkProfile &bench = findBenchmark("fma3d");
+    const int vc_counts[] = {2, 4, 8};
+    const int depths[] = {2, 4, 8};
+
+    // Per (vcs, depth) point: baseline then Pseudo+S+B.
+    std::vector<SweepJob> jobs;
+    for (const int vcs : vc_counts) {
+        for (const int depth : depths) {
+            SimConfig cfg = traceConfig();
+            cfg.numVcs = vcs;
+            cfg.bufferDepth = depth;
+            char point[32];
+            std::snprintf(point, sizeof(point), "%dx%d", vcs, depth);
+            jobs.push_back(benchmarkJob(
+                std::string("ablation_buffers:baseline:") + point, cfg,
+                bench));
+            SimConfig sb = cfg;
+            sb.scheme = Scheme::PseudoSB;
+            jobs.push_back(benchmarkJob(
+                std::string("ablation_buffers:sb:") + point, sb, bench));
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
 
     std::printf("Ablation: VC count x buffer depth (fma3d, XY + static "
                 "VA)\n\n");
     printHeader("vcs x depth", {"base-lat", "SB-lat", "reduction%",
                                 "reuse%"});
 
-    for (const int vcs : {2, 4, 8}) {
-        for (const int depth : {2, 4, 8}) {
-            SimConfig cfg = traceConfig();
-            cfg.numVcs = vcs;
-            cfg.bufferDepth = depth;
-            const SimResult baseline = runBenchmark(cfg, bench);
-            SimConfig sb = cfg;
-            sb.scheme = Scheme::PseudoSB;
-            const SimResult accel = runBenchmark(sb, bench);
-
+    std::size_t idx = 0;
+    for (const int vcs : vc_counts) {
+        for (const int depth : depths) {
+            const SimResult &baseline = outcomes[idx++].result;
+            const SimResult &accel = outcomes[idx++].result;
             char label[32];
             std::snprintf(label, sizeof(label), "%d x %d", vcs, depth);
             printRow(label,

@@ -4,43 +4,67 @@
  * which fixes a single input-port number per output). Depth-k histories
  * let speculation fall back to the k-th most recent terminated circuit
  * whose retained route still matches.
+ *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); structured
+ * results via --json/--csv.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "sim/experiment.hpp"
 
 using namespace noc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
+    const auto &suite = benchmarkSuite();
+    const int depths[] = {1, 2, 4};
+
+    // Per benchmark: baseline then the three history depths.
+    std::vector<SweepJob> jobs;
+    for (const BenchmarkProfile &b : suite) {
+        SimConfig base = traceConfig();
+        base.routing = RoutingKind::O1Turn;
+        base.vaPolicy = VaPolicy::Dynamic;
+        jobs.push_back(
+            benchmarkJob("ablation_history:baseline:" + b.name, base, b));
+        for (const int depth : depths) {
+            SimConfig cfg = traceConfig();
+            cfg.scheme = Scheme::PseudoSB;
+            cfg.pcHistoryDepth = depth;
+            jobs.push_back(benchmarkJob("ablation_history:d" +
+                                            std::to_string(depth) + ":" +
+                                            b.name,
+                                        cfg, b));
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
+
     std::printf("Ablation: speculation history depth (Pseudo+S+B, XY + "
                 "static VA)\n\n");
     printHeader("benchmark", {"d1-red%", "d2-red%", "d4-red%",
                               "d1-spec", "d4-spec"}, 14);
 
-    for (const BenchmarkProfile &b : benchmarkSuite()) {
-        SimConfig base = traceConfig();
-        base.routing = RoutingKind::O1Turn;
-        base.vaPolicy = VaPolicy::Dynamic;
-        const SimResult baseline = runBenchmark(base, b);
-
+    const std::size_t stride = 1 + std::size(depths);
+    for (std::size_t bi = 0; bi < suite.size(); ++bi) {
+        const SimResult &baseline = outcomes[bi * stride].result;
         std::vector<double> row;
         std::vector<double> specs;
-        for (const int depth : {1, 2, 4}) {
-            SimConfig cfg = traceConfig();
-            cfg.scheme = Scheme::PseudoSB;
-            cfg.pcHistoryDepth = depth;
-            const SimResult r = runBenchmark(cfg, b);
+        for (std::size_t di = 0; di < std::size(depths); ++di) {
+            const SimResult &r = outcomes[bi * stride + 1 + di].result;
             row.push_back(latencyReduction(baseline, r) * 100.0);
-            if (depth == 1 || depth == 4)
+            if (depths[di] == 1 || depths[di] == 4)
                 specs.push_back(
                     static_cast<double>(r.pcTotals.speculated));
         }
         row.push_back(specs[0]);
         row.push_back(specs[1]);
-        printRow(b.name, row, 14, 1);
+        printRow(suite[bi].name, row, 14, 1);
     }
     std::printf("\nexpectation: deeper histories add speculative "
                 "revivals but most of the win is already captured at the "

@@ -4,34 +4,52 @@
  * created by grants vs revived speculatively, termination causes, and
  * the marginal latency/reusability gain of Pseudo+S over Pseudo.
  *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); structured
+ * results via --json/--csv.
+ *
  * Paper reference (§6.A): "pseudo-circuit speculation has small
  * contribution in latency reduction due to limited prediction
  * capability" — but it visibly raises reusability (Fig 10 a vs b).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "sim/experiment.hpp"
 
 using namespace noc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
     const SimConfig base = traceConfig();
+    const auto &suite = benchmarkSuite();
+
+    // Per benchmark: Pseudo then Pseudo+S.
+    std::vector<SweepJob> jobs;
+    for (const BenchmarkProfile &b : suite) {
+        SimConfig p_cfg = base;
+        p_cfg.scheme = Scheme::Pseudo;
+        jobs.push_back(
+            benchmarkJob("ablation_speculation:p:" + b.name, p_cfg, b));
+        SimConfig ps_cfg = base;
+        ps_cfg.scheme = Scheme::PseudoS;
+        jobs.push_back(
+            benchmarkJob("ablation_speculation:ps:" + b.name, ps_cfg, b));
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
 
     std::printf("Ablation: speculation behaviour (XY + static VA)\n\n");
     printHeader("benchmark", {"reuse-P%", "reuse-PS%", "dLat%",
                               "spec/created%", "credTerm%"});
 
-    for (const BenchmarkProfile &b : benchmarkSuite()) {
-        SimConfig p_cfg = base;
-        p_cfg.scheme = Scheme::Pseudo;
-        const SimResult p = runBenchmark(p_cfg, b);
-
-        SimConfig ps_cfg = base;
-        ps_cfg.scheme = Scheme::PseudoS;
-        const SimResult ps = runBenchmark(ps_cfg, b);
+    std::size_t idx = 0;
+    for (const BenchmarkProfile &b : suite) {
+        const SimResult &p = outcomes[idx++].result;
+        const SimResult &ps = outcomes[idx++].result;
 
         const auto &pc = ps.pcTotals;
         const double created =

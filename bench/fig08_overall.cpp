@@ -9,6 +9,9 @@
  * (b) Pseudo-circuit reusability: fraction of switch traversals that
  *     reused a circuit.
  *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); structured
+ * results via --json/--csv.
+ *
  * Paper reference: ~16% average latency reduction for Pseudo+S+B;
  * speculation contributes a small additional gain over plain Pseudo;
  * jbb is the outlier that prefers O1TURN due to hotspot traffic.
@@ -22,43 +25,58 @@
 using namespace noc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
     const SimConfig base = traceConfig();
+    const auto &suite = benchmarkSuite();
+    const auto &schemes = pseudoSchemes();
+
+    // Per benchmark: baseline, then the four schemes.
+    std::vector<SweepJob> jobs;
+    for (const BenchmarkProfile &b : suite) {
+        SimConfig best_cfg = base;
+        best_cfg.routing = RoutingKind::O1Turn;
+        best_cfg.vaPolicy = VaPolicy::Dynamic;
+        jobs.push_back(benchmarkJob("fig08:baseline:" + b.name, best_cfg, b));
+        for (const Scheme scheme : schemes) {
+            SimConfig cfg = base;   // XY + static VA
+            cfg.scheme = scheme;
+            jobs.push_back(benchmarkJob(std::string("fig08:") +
+                                            toString(scheme) + ":" + b.name,
+                                        cfg, b));
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
 
     std::printf("Figure 8(a): network latency reduction vs best baseline "
                 "(O1TURN + dynamic VA)\n\n");
     printHeader("benchmark", {"Pseudo", "Pseudo+S", "Pseudo+B",
                               "Pseudo+S+B"});
 
-    std::vector<double> avg_red(4, 0.0);
-    std::vector<double> avg_reuse(4, 0.0);
+    const std::size_t stride = 1 + schemes.size();
+    std::vector<double> avg_red(schemes.size(), 0.0);
+    std::vector<double> avg_reuse(schemes.size(), 0.0);
     std::vector<std::vector<double>> reuse_rows;
     std::vector<std::string> names;
     int count = 0;
 
-    for (const BenchmarkProfile &b : benchmarkSuite()) {
-        SimConfig best_cfg = base;
-        best_cfg.routing = RoutingKind::O1Turn;
-        best_cfg.vaPolicy = VaPolicy::Dynamic;
-        const SimResult baseline = runBenchmark(best_cfg, b);
-
+    for (std::size_t bi = 0; bi < suite.size(); ++bi) {
+        const SimResult &baseline = outcomes[bi * stride].result;
         std::vector<double> reds;
         std::vector<double> reuses;
-        int idx = 0;
-        for (const Scheme scheme : pseudoSchemes()) {
-            SimConfig cfg = base;   // XY + static VA
-            cfg.scheme = scheme;
-            const SimResult r = runBenchmark(cfg, b);
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const SimResult &r = outcomes[bi * stride + 1 + si].result;
             reds.push_back(latencyReduction(baseline, r) * 100.0);
             reuses.push_back(r.reusability * 100.0);
-            avg_red[idx] += reds.back();
-            avg_reuse[idx] += reuses.back();
-            ++idx;
+            avg_red[si] += reds.back();
+            avg_reuse[si] += reuses.back();
         }
-        printRow(b.name, reds, 12, 1);
+        printRow(suite[bi].name, reds, 12, 1);
         reuse_rows.push_back(reuses);
-        names.push_back(b.name);
+        names.push_back(suite[bi].name);
         ++count;
     }
     for (double &v : avg_red)

@@ -6,6 +6,10 @@
  * d: Pseudo+S+B). All reductions are relative to the best baseline
  * (O1TURN + dynamic VA), as in the paper.
  *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); the stdout table
+ * is a formatting pass over the structured results, which can also be
+ * emitted via --json/--csv.
+ *
  * Paper reference: DOR with static VA achieves the highest reduction for
  * every scheme variant; jbb is the exception where O1TURN wins because
  * DOR cannot spread its hotspot traffic.
@@ -19,8 +23,9 @@
 using namespace noc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
     const SimConfig base = traceConfig();
     const struct
     {
@@ -37,45 +42,61 @@ main()
     };
     const char *subfig[] = {"(a) Pseudo", "(b) Pseudo+S", "(c) Pseudo+B",
                             "(d) Pseudo+S+B"};
+    const auto &suite = benchmarkSuite();
+    const std::size_t nbench = suite.size();
+    const std::size_t nconfig = std::size(configs);
 
-    std::printf("Figure 9: latency reduction (%%) vs best baseline "
-                "(O1TURN + dynamic VA)\n");
-
-    // Baselines once per benchmark.
-    std::vector<SimResult> baselines;
-    for (const BenchmarkProfile &b : benchmarkSuite()) {
+    // One flat batch: per-benchmark baselines first, then scheme x
+    // benchmark x config.
+    std::vector<SweepJob> jobs;
+    for (const BenchmarkProfile &b : suite) {
         SimConfig cfg = base;
         cfg.routing = RoutingKind::O1Turn;
         cfg.vaPolicy = VaPolicy::Dynamic;
-        baselines.push_back(runBenchmark(cfg, b));
+        jobs.push_back(benchmarkJob("fig09:baseline:" + b.name, cfg, b));
     }
-
-    int scheme_idx = 0;
     for (const Scheme scheme : pseudoSchemes()) {
-        std::printf("\n%s\n\n", subfig[scheme_idx++]);
-        printHeader("benchmark",
-                    {"StatVA-XY", "StatVA-YX", "StatVA-O1", "DynVA-XY",
-                     "DynVA-YX", "DynVA-O1"});
-        std::vector<double> avg(6, 0.0);
-        int bench_idx = 0;
-        for (const BenchmarkProfile &b : benchmarkSuite()) {
-            std::vector<double> row;
+        for (const BenchmarkProfile &b : suite) {
             for (const auto &c : configs) {
                 SimConfig cfg = base;
                 cfg.scheme = scheme;
                 cfg.routing = c.routing;
                 cfg.vaPolicy = c.va;
-                const SimResult r = runBenchmark(cfg, b);
-                row.push_back(
-                    latencyReduction(baselines[bench_idx], r) * 100.0);
+                jobs.push_back(benchmarkJob(std::string("fig09:") +
+                                                toString(scheme) + ":" +
+                                                b.name + ":" + c.label,
+                                            cfg, b));
+            }
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
+
+    std::printf("Figure 9: latency reduction (%%) vs best baseline "
+                "(O1TURN + dynamic VA)\n");
+
+    int scheme_idx = 0;
+    for (std::size_t s = 0; s < pseudoSchemes().size(); ++s) {
+        std::printf("\n%s\n\n", subfig[scheme_idx++]);
+        printHeader("benchmark",
+                    {"StatVA-XY", "StatVA-YX", "StatVA-O1", "DynVA-XY",
+                     "DynVA-YX", "DynVA-O1"});
+        std::vector<double> avg(nconfig, 0.0);
+        for (std::size_t bi = 0; bi < nbench; ++bi) {
+            const SimResult &baseline = outcomes[bi].result;
+            std::vector<double> row;
+            for (std::size_t ci = 0; ci < nconfig; ++ci) {
+                const SweepOutcome &o =
+                    outcomes[nbench + (s * nbench + bi) * nconfig + ci];
+                row.push_back(latencyReduction(baseline, o.result) * 100.0);
             }
             for (std::size_t i = 0; i < row.size(); ++i)
                 avg[i] += row[i];
-            printRow(b.name, row, 12, 1);
-            ++bench_idx;
+            printRow(suite[bi].name, row, 12, 1);
         }
         for (double &v : avg)
-            v /= bench_idx;
+            v /= static_cast<double>(nbench);
         printRow("average", avg, 12, 1);
     }
     std::printf("\npaper reference: static VA + DOR is the best scheme "

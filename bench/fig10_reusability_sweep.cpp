@@ -3,6 +3,9 @@
  * Figure 10 — Pseudo-circuit reusability across routing algorithms and
  * VC allocation policies, one sub-figure per scheme variant.
  *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); structured
+ * results via --json/--csv.
+ *
  * Paper reference: DOR with static VA maximises reusability (it pins
  * every flow to one output port and one VC per hop); routing and VA
  * policy matter more than raw application locality; YX-static shows
@@ -17,45 +20,63 @@
 using namespace noc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
     const SimConfig base = traceConfig();
     const struct
     {
         RoutingKind routing;
         VaPolicy va;
+        const char *label;
     } configs[] = {
-        {RoutingKind::XY, VaPolicy::Static},
-        {RoutingKind::YX, VaPolicy::Static},
-        {RoutingKind::O1Turn, VaPolicy::Static},
-        {RoutingKind::XY, VaPolicy::Dynamic},
-        {RoutingKind::YX, VaPolicy::Dynamic},
-        {RoutingKind::O1Turn, VaPolicy::Dynamic},
+        {RoutingKind::XY, VaPolicy::Static, "StatVA-XY"},
+        {RoutingKind::YX, VaPolicy::Static, "StatVA-YX"},
+        {RoutingKind::O1Turn, VaPolicy::Static, "StatVA-O1"},
+        {RoutingKind::XY, VaPolicy::Dynamic, "DynVA-XY"},
+        {RoutingKind::YX, VaPolicy::Dynamic, "DynVA-YX"},
+        {RoutingKind::O1Turn, VaPolicy::Dynamic, "DynVA-O1"},
     };
     const char *subfig[] = {"(a) Pseudo", "(b) Pseudo+S", "(c) Pseudo+B",
                             "(d) Pseudo+S+B"};
+    const auto &suite = benchmarkSuite();
+    const std::size_t nconfig = std::size(configs);
 
-    std::printf("Figure 10: pseudo-circuit reusability (%% of switch "
-                "traversals reusing a circuit)\n");
-
-    int scheme_idx = 0;
+    std::vector<SweepJob> jobs;
     for (const Scheme scheme : pseudoSchemes()) {
-        std::printf("\n%s\n\n", subfig[scheme_idx++]);
-        printHeader("benchmark",
-                    {"StatVA-XY", "StatVA-YX", "StatVA-O1", "DynVA-XY",
-                     "DynVA-YX", "DynVA-O1"});
-        std::vector<double> avg(6, 0.0);
-        int bench_count = 0;
-        for (const BenchmarkProfile &b : benchmarkSuite()) {
-            std::vector<double> row;
+        for (const BenchmarkProfile &b : suite) {
             for (const auto &c : configs) {
                 SimConfig cfg = base;
                 cfg.scheme = scheme;
                 cfg.routing = c.routing;
                 cfg.vaPolicy = c.va;
-                const SimResult r = runBenchmark(cfg, b);
-                row.push_back(r.reusability * 100.0);
+                jobs.push_back(benchmarkJob(std::string("fig10:") +
+                                                toString(scheme) + ":" +
+                                                b.name + ":" + c.label,
+                                            cfg, b));
             }
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
+
+    std::printf("Figure 10: pseudo-circuit reusability (%% of switch "
+                "traversals reusing a circuit)\n");
+
+    std::size_t idx = 0;
+    int scheme_idx = 0;
+    for (std::size_t s = 0; s < pseudoSchemes().size(); ++s) {
+        std::printf("\n%s\n\n", subfig[scheme_idx++]);
+        printHeader("benchmark",
+                    {"StatVA-XY", "StatVA-YX", "StatVA-O1", "DynVA-XY",
+                     "DynVA-YX", "DynVA-O1"});
+        std::vector<double> avg(nconfig, 0.0);
+        int bench_count = 0;
+        for (const BenchmarkProfile &b : suite) {
+            std::vector<double> row;
+            for (std::size_t ci = 0; ci < nconfig; ++ci)
+                row.push_back(outcomes[idx++].result.reusability * 100.0);
             for (std::size_t i = 0; i < row.size(); ++i)
                 avg[i] += row[i];
             printRow(b.name, row, 12, 1);

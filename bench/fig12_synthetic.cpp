@@ -5,6 +5,9 @@
  * (transpose), on an 8x8 mesh with XY routing and static VA, 5-flit
  * packets, baseline + all four pseudo-circuit schemes.
  *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); structured
+ * results via --json/--csv.
+ *
  * Paper reference: at low load UR and BP improve by ~11% and BC by ~6%;
  * the advantage shrinks towards saturation (contention breaks circuits);
  * BC saturates earlier than UR (longer average distance), BP earliest
@@ -39,12 +42,14 @@ synthWindows()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
     const SimConfig base = syntheticConfig();
     const SyntheticPattern patterns[] = {SyntheticPattern::UniformRandom,
                                          SyntheticPattern::BitComplement,
                                          SyntheticPattern::Transpose};
+    const char *pattern_name[] = {"UR", "BC", "BP"};
     const char *subfig[] = {"(a) uniform random (UR)",
                             "(b) bit complement (BC)",
                             "(c) bit permutation (BP)"};
@@ -54,11 +59,39 @@ main()
     const double loads[] = {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30,
                             0.35, 0.40};
 
+    // pattern x load x scheme, flattened in that order.
+    std::vector<SweepJob> jobs;
+    for (int f = 0; f < 3; ++f) {
+        for (const double load : loads) {
+            for (const Scheme scheme : schemes) {
+                SweepJob job;
+                char label[64];
+                std::snprintf(label, sizeof(label), "fig12:%s:%.2f:%s",
+                              pattern_name[f], load, toString(scheme));
+                job.label = label;
+                job.cfg = base;
+                job.cfg.scheme = scheme;
+                job.windows = synthWindows();
+                const SyntheticPattern pattern = patterns[f];
+                job.makeSource = [pattern, load](const SimConfig &c) {
+                    return std::make_unique<SyntheticTraffic>(
+                        pattern, c.numNodes(), load, 5,
+                        1234 + static_cast<int>(load * 1000));
+                };
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
+
     std::printf("Figure 12: average packet latency (cycles) vs offered "
                 "load (flits/node/cycle)\n8x8 mesh, XY + static VA, "
                 "5-flit packets; 'sat' marks saturation (latency blown "
                 "past 10x zero-load or drain failure)\n");
 
+    std::size_t idx = 0;
     for (int f = 0; f < 3; ++f) {
         std::printf("\n%s\n\n", subfig[f]);
         printHeader("load", {"Baseline", "Pseudo", "Pseudo+S", "Pseudo+B",
@@ -71,13 +104,7 @@ main()
             bool base_ok = false;
             bool sb_ok = false;
             for (std::size_t s = 0; s < schemes.size(); ++s) {
-                SimConfig cfg = base;
-                cfg.scheme = schemes[s];
-                auto src = std::make_unique<SyntheticTraffic>(
-                    patterns[f], cfg.numNodes(), load, 5,
-                    1234 + static_cast<int>(load * 1000));
-                const SimResult r =
-                    runSimulation(cfg, std::move(src), synthWindows());
+                const SimResult &r = outcomes[idx++].result;
                 if (zero_load[s] == 0.0)
                     zero_load[s] = r.avgTotalLatency;
                 const bool saturated = !r.drained ||

@@ -4,6 +4,9 @@
  * (fma3d trace, DOR + static VA): mesh, concentrated mesh, MECS and
  * flattened butterfly, all normalized to the baseline mesh.
  *
+ * Runs as one SweepRunner batch (--jobs N / NOC_JOBS); structured
+ * results via --json/--csv.
+ *
  * Paper reference: the scheme reduces *per-hop* delay so it helps on
  * every topology (up to ~10%, topology-independent), while the express
  * topologies reduce hop *count*; combining both yields the lowest
@@ -41,8 +44,9 @@ topoConfig(TopologyKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepCli cli = parseSweepCli(argc, argv);
     const BenchmarkProfile &bench = findBenchmark("fma3d");
     const TopologyKind topos[] = {TopologyKind::Mesh, TopologyKind::CMesh,
                                   TopologyKind::Mecs,
@@ -51,22 +55,35 @@ main()
                                          Scheme::PseudoS, Scheme::PseudoB,
                                          Scheme::PseudoSB};
 
+    std::vector<SweepJob> jobs;
+    for (const TopologyKind kind : topos) {
+        const SimConfig cfg = topoConfig(kind);
+        for (const Scheme scheme : schemes) {
+            SimConfig scfg = cfg;
+            scfg.scheme = scheme;
+            jobs.push_back(benchmarkJob(std::string("fig13:") +
+                                            toString(kind) + ":" +
+                                            toString(scheme),
+                                        scfg, bench));
+        }
+    }
+
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
+
     std::printf("Figure 13: fma3d latency normalized to the mesh "
                 "baseline (DOR-XY + static VA)\n\n");
     printHeader("topology", {"Baseline", "Pseudo", "Pseudo+S", "Pseudo+B",
                              "Pseudo+S+B", "avg hops"});
 
-    double mesh_baseline = 0.0;
+    // The mesh baseline is job 0 (Mesh is first, Baseline is first).
+    const double mesh_baseline = outcomes[0].result.avgNetLatency;
+    std::size_t idx = 0;
     for (const TopologyKind kind : topos) {
-        const SimConfig cfg = topoConfig(kind);
         std::vector<double> row;
         double hops = 0.0;
-        for (const Scheme scheme : schemes) {
-            SimConfig scfg = cfg;
-            scfg.scheme = scheme;
-            const SimResult r = runBenchmark(scfg, bench);
-            if (scheme == Scheme::Baseline && kind == TopologyKind::Mesh)
-                mesh_baseline = r.avgNetLatency;
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const SimResult &r = outcomes[idx++].result;
             row.push_back(r.avgNetLatency / mesh_baseline);
             hops = r.avgHops;
         }

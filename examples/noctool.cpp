@@ -10,8 +10,17 @@
  * shuffle|hotspot> with load=<flits/node/cycle> and packet=<flits>, or
  * benchmark=<name> to replay a CMP trace instead. Prints a summary and
  * the per-router hotspot; optionally appends a CSV row.
+ *
+ * Multi-run mode: scheme= and load= accept comma-separated lists; the
+ * cross product runs as one parallel batch on a SweepRunner
+ * (jobs=N or --jobs N threads, default all cores / NOC_JOBS) and prints
+ * a table instead of the single-run summary. json=<path> appends the
+ * structured results as JSON lines ("-" for stdout), csv=<path> as CSV
+ * rows (sweep-format columns, see resultCsvColumns()).
  */
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -47,19 +56,177 @@ patternFromName(const std::string &name)
     NOC_FATAL("unknown pattern: " + name);
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::vector<std::string>
+splitList(const std::string &csv)
 {
-    const Options opts = Options::parse(argc, argv);
-    const SimConfig cfg = configFromOptions(opts);
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end = comma == std::string::npos ? csv.size()
+                                                           : comma;
+        if (end > start)
+            items.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (items.empty())
+        NOC_FATAL("empty value list: '" + csv + "'");
+    return items;
+}
 
+SimWindows
+windowsFromOptions(const Options &opts)
+{
     SimWindows windows;
     windows.warmup = static_cast<Cycle>(opts.getInt("warmup", 2000));
     windows.measure = static_cast<Cycle>(opts.getInt("measure", 10000));
     windows.drainLimit =
         static_cast<Cycle>(opts.getInt("drain-limit", 60000));
+    return windows;
+}
+
+/** Accept `--jobs N` / `--jobs=N` sugar alongside the key=value style. */
+std::vector<std::string>
+normalizeArgs(int argc, char **argv)
+{
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc)
+            tokens.push_back(std::string("jobs=") + argv[++i]);
+        else if (arg.rfind("--jobs=", 0) == 0)
+            tokens.push_back("jobs=" + arg.substr(7));
+        else
+            tokens.push_back(arg);
+    }
+    return tokens;
+}
+
+int
+runMulti(const Options &opts, const SimConfig &base,
+         const SimWindows &windows, const std::vector<std::string> &schemes,
+         const std::vector<std::string> &loads)
+{
+    SweepCli cli;
+    cli.jobs = static_cast<int>(opts.getInt("jobs", 0));
+    cli.jsonPath = opts.getString("json", cli.jsonPath);
+    cli.csvPath = opts.getString("csv", "");
+
+    const bool traced = opts.has("benchmark");
+    const std::string bench_name = opts.getString("benchmark", "fma3d");
+    const std::string pattern_name = opts.getString("pattern", "uniform");
+    const int packet = static_cast<int>(opts.getInt("packet", 5));
+    for (const std::string &key : opts.unusedKeys())
+        NOC_WARN("unused option: " + key);
+
+    std::vector<SweepJob> jobs;
+    std::vector<std::string> row_labels;
+    for (const std::string &scheme_name : schemes) {
+        SimConfig cfg = base;
+        cfg.scheme = parseScheme(scheme_name);
+        cfg.validate();
+        if (traced) {
+            const BenchmarkProfile &bench = findBenchmark(bench_name);
+            SweepJob job;
+            job.label = "noctool:" + scheme_name + ":" + bench.name;
+            job.cfg = cfg;
+            job.windows = windows;
+            // Same trace the single-run path replays: regenerated for
+            // noctool's requested span, not the default-window cache.
+            job.makeSource = [bench, windows](const SimConfig &c) {
+                return std::make_unique<TraceReplaySource>(generateCmpTrace(
+                    bench, *makeTopology(c), windows.warmup + windows.measure,
+                    c.seed));
+            };
+            jobs.push_back(std::move(job));
+            row_labels.push_back(scheme_name + " " + bench.name);
+        } else {
+            for (const std::string &load_str : loads) {
+                const double load = std::strtod(load_str.c_str(), nullptr);
+                if (load <= 0.0)
+                    NOC_FATAL("bad load value: '" + load_str + "'");
+                const SyntheticPattern pattern =
+                    patternFromName(pattern_name);
+                SweepJob job;
+                job.label = "noctool:" + scheme_name + ":" + pattern_name +
+                            ":" + load_str;
+                job.cfg = cfg;
+                job.windows = windows;
+                job.makeSource = [pattern, load,
+                                  packet](const SimConfig &c) {
+                    return std::make_unique<SyntheticTraffic>(
+                        pattern, c.numNodes(), load, packet,
+                        c.seed * 77 + 5);
+                };
+                jobs.push_back(std::move(job));
+                row_labels.push_back(scheme_name + " @" + load_str);
+            }
+        }
+    }
+
+    std::printf("noctool sweep: %zu runs on %d threads\n\n", jobs.size(),
+                resolveJobCount(cli.jobs));
+    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    emitStructuredResults(cli, outcomes);
+
+    printHeader("run", {"total-lat", "net-lat", "p99", "thruput",
+                        "reuse%", "energy-nJ"},
+                12);
+    bool all_drained = true;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SweepOutcome &o = outcomes[i];
+        if (!o.ok) {
+            std::printf("%-16s  failed: %s\n", row_labels[i].c_str(),
+                        o.error.c_str());
+            all_drained = false;
+            continue;
+        }
+        printRow(row_labels[i],
+                 {o.result.avgTotalLatency, o.result.avgNetLatency,
+                  o.result.p99TotalLatency, o.result.throughput,
+                  o.result.reusability * 100.0,
+                  o.result.energy.totalPj() / 1000.0},
+                 12, 3);
+        all_drained = all_drained && o.result.drained;
+    }
+    return all_drained ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(normalizeArgs(argc, argv));
+
+    // Comma lists in scheme=/load= select the parallel multi-run mode.
+    const std::vector<std::string> schemes =
+        splitList(opts.getString("scheme", "baseline"));
+    const std::vector<std::string> loads =
+        splitList(opts.getString("load", "0.1"));
+    if (schemes.size() > 1 || loads.size() > 1) {
+        // Re-parse without scheme=/load= so configFromOptions sees only
+        // single-valued keys; the sweep applies the lists itself.
+        std::vector<std::string> single;
+        for (const std::string &tok : normalizeArgs(argc, argv)) {
+            if (tok.rfind("scheme=", 0) == 0 || tok.rfind("load=", 0) == 0)
+                continue;
+            single.push_back(tok);
+        }
+        const Options multi_opts = Options::parse(single);
+        const SimConfig base = configFromOptions(multi_opts);
+        return runMulti(multi_opts, base, windowsFromOptions(multi_opts),
+                        schemes, loads);
+    }
+
+    const SimWindows windows = windowsFromOptions(opts);
+    const SimConfig cfg = configFromOptions(opts);
+    const int jobs = static_cast<int>(opts.getInt("jobs", 1));
+    if (jobs > 1)
+        NOC_WARN("jobs=" + std::to_string(jobs) +
+                 " has no effect on a single run; use scheme=/load= lists");
 
     std::unique_ptr<TrafficSource> source;
     std::string workload;
@@ -83,6 +250,7 @@ main(int argc, char **argv)
     }
 
     const std::string csv_path = opts.getString("csv", "");
+    const std::string json_path = opts.getString("json", "");
     for (const std::string &key : opts.unusedKeys())
         NOC_WARN("unused option: " + key);
 
@@ -108,6 +276,17 @@ main(int argc, char **argv)
                          result.reusability,
                          result.energy.totalPj() / 1000.0});
         std::cout << "  csv row appended to     " << csv_path << "\n";
+    }
+    if (!json_path.empty()) {
+        SweepCli cli;
+        cli.jsonPath = json_path;
+        SweepOutcome one;
+        one.label = "noctool:" + workload;
+        one.cfg = cfg;
+        one.result = result;
+        one.ok = true;
+        emitStructuredResults(cli, {one});
+        std::cout << "  json line appended to   " << json_path << "\n";
     }
     return result.drained ? 0 : 2;
 }

@@ -1,0 +1,256 @@
+#include "common/result_sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/simulator.hpp"
+
+namespace noc {
+
+namespace {
+
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Appends `"key":value` pairs with fixed separators. */
+class JsonObject
+{
+  public:
+    void add(const char *key, const std::string &raw)
+    {
+        body_ += body_.empty() ? "" : ",";
+        body_ += '"';
+        body_ += key;
+        body_ += "\":";
+        body_ += raw;
+    }
+    void addString(const char *key, const std::string &s)
+    {
+        add(key, '"' + jsonEscape(s) + '"');
+    }
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    std::string body_;
+};
+
+void
+addConfigFields(JsonObject &obj, const SimConfig &cfg)
+{
+    obj.addString("scheme", toString(cfg.scheme));
+    obj.addString("routing", toString(cfg.routing));
+    obj.addString("va", toString(cfg.vaPolicy));
+    obj.addString("topology", toString(cfg.topology));
+    obj.add("width", std::to_string(cfg.meshWidth));
+    obj.add("height", std::to_string(cfg.meshHeight));
+    obj.add("concentration", std::to_string(cfg.concentration));
+    obj.add("vcs", std::to_string(cfg.numVcs));
+    obj.add("buffer_depth", std::to_string(cfg.bufferDepth));
+    obj.add("pc_history_depth", std::to_string(cfg.pcHistoryDepth));
+    obj.add("seed", fmtU64(cfg.seed));
+}
+
+void
+addResultFields(JsonObject &obj, const SimResult &r)
+{
+    obj.add("measured_packets", fmtU64(r.measuredPackets));
+    obj.add("avg_total_latency", fmtDouble(r.avgTotalLatency));
+    obj.add("avg_net_latency", fmtDouble(r.avgNetLatency));
+    obj.add("p99_total_latency", fmtDouble(r.p99TotalLatency));
+    obj.add("avg_hops", fmtDouble(r.avgHops));
+    obj.add("throughput", fmtDouble(r.throughput));
+    obj.add("avg_latency_addr", fmtDouble(r.avgLatencyAddrPkts));
+    obj.add("avg_latency_data", fmtDouble(r.avgLatencyDataPkts));
+    obj.add("reusability", fmtDouble(r.reusability));
+    obj.add("crossbar_locality", fmtDouble(r.crossbarLocality));
+    obj.add("e2e_locality", fmtDouble(r.endToEndLocality));
+    obj.add("energy_total_pj", fmtDouble(r.energy.totalPj()));
+    obj.add("energy_buffer_pj", fmtDouble(r.energy.bufferPj));
+    obj.add("energy_crossbar_pj", fmtDouble(r.energy.crossbarPj));
+    obj.add("energy_arbiter_pj", fmtDouble(r.energy.arbiterPj));
+    obj.add("pc_created", fmtU64(r.pcTotals.created));
+    obj.add("pc_speculated", fmtU64(r.pcTotals.speculated));
+    obj.add("pc_terminated_conflict", fmtU64(r.pcTotals.terminatedConflict));
+    obj.add("pc_terminated_credit", fmtU64(r.pcTotals.terminatedCredit));
+    obj.add("cycles_run", fmtU64(r.cyclesRun));
+    obj.add("drained", r.drained ? "true" : "false");
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeCsvRow(std::ostream &os, const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            os << ',';
+        os << csvEscape(fields[i]);
+    }
+    os << '\n';
+}
+
+std::vector<std::string>
+configCsvFields(const std::string &label, const SimConfig &cfg)
+{
+    return {label,
+            toString(cfg.scheme),
+            toString(cfg.routing),
+            toString(cfg.vaPolicy),
+            toString(cfg.topology),
+            std::to_string(cfg.meshWidth),
+            std::to_string(cfg.meshHeight),
+            std::to_string(cfg.concentration),
+            std::to_string(cfg.numVcs),
+            std::to_string(cfg.bufferDepth),
+            std::to_string(cfg.pcHistoryDepth),
+            fmtU64(cfg.seed)};
+}
+
+} // namespace
+
+std::string
+resultToJson(const std::string &label, const SimConfig &cfg,
+             const SimResult &result)
+{
+    JsonObject obj;
+    obj.addString("label", label);
+    obj.add("ok", "true");
+    addConfigFields(obj, cfg);
+    addResultFields(obj, result);
+    return obj.str();
+}
+
+std::string
+failureToJson(const std::string &label, const SimConfig &cfg,
+              const std::string &error)
+{
+    JsonObject obj;
+    obj.addString("label", label);
+    obj.add("ok", "false");
+    addConfigFields(obj, cfg);
+    obj.addString("error", error);
+    return obj.str();
+}
+
+const std::vector<std::string> &
+resultCsvColumns()
+{
+    static const std::vector<std::string> columns = {
+        "label", "scheme", "routing", "va", "topology", "width", "height",
+        "concentration", "vcs", "buffer_depth", "pc_history_depth", "seed",
+        "ok", "measured_packets", "avg_total_latency", "avg_net_latency",
+        "p99_total_latency", "avg_hops", "throughput", "avg_latency_addr",
+        "avg_latency_data", "reusability", "crossbar_locality",
+        "e2e_locality", "energy_total_pj", "cycles_run", "drained", "error"};
+    return columns;
+}
+
+void
+JsonLinesSink::write(const std::string &label, const SimConfig &cfg,
+                     const SimResult &result)
+{
+    os_ << resultToJson(label, cfg, result) << '\n';
+}
+
+void
+JsonLinesSink::writeFailure(const std::string &label, const SimConfig &cfg,
+                            const std::string &error)
+{
+    os_ << failureToJson(label, cfg, error) << '\n';
+}
+
+CsvSink::CsvSink(std::ostream &os, bool header) : os_(os)
+{
+    if (header)
+        writeCsvRow(os_, resultCsvColumns());
+}
+
+void
+CsvSink::write(const std::string &label, const SimConfig &cfg,
+               const SimResult &r)
+{
+    std::vector<std::string> fields = configCsvFields(label, cfg);
+    fields.push_back("1");
+    fields.push_back(fmtU64(r.measuredPackets));
+    fields.push_back(fmtDouble(r.avgTotalLatency));
+    fields.push_back(fmtDouble(r.avgNetLatency));
+    fields.push_back(fmtDouble(r.p99TotalLatency));
+    fields.push_back(fmtDouble(r.avgHops));
+    fields.push_back(fmtDouble(r.throughput));
+    fields.push_back(fmtDouble(r.avgLatencyAddrPkts));
+    fields.push_back(fmtDouble(r.avgLatencyDataPkts));
+    fields.push_back(fmtDouble(r.reusability));
+    fields.push_back(fmtDouble(r.crossbarLocality));
+    fields.push_back(fmtDouble(r.endToEndLocality));
+    fields.push_back(fmtDouble(r.energy.totalPj()));
+    fields.push_back(fmtU64(r.cyclesRun));
+    fields.push_back(r.drained ? "1" : "0");
+    fields.push_back("");
+    writeCsvRow(os_, fields);
+}
+
+void
+CsvSink::writeFailure(const std::string &label, const SimConfig &cfg,
+                      const std::string &error)
+{
+    std::vector<std::string> fields = configCsvFields(label, cfg);
+    fields.push_back("0");
+    for (std::size_t i = 0; i < 14; ++i)
+        fields.push_back("");
+    fields.push_back(error);
+    writeCsvRow(os_, fields);
+}
+
+} // namespace noc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Structured result writers: serialize one simulation run (label +
+ * configuration + SimResult) as a JSON line or a CSV row, so harness
+ * output can feed plotting / trajectory tooling instead of living only
+ * in stdout tables.
+ *
+ * Serialization is deterministic: fields are emitted in a fixed order
+ * and doubles are formatted with "%.17g" (round-trip exact), so two
+ * runs producing equal results produce byte-identical lines — the
+ * property the sweep-engine determinism check relies on.
+ */
+
+#ifndef NOC_COMMON_RESULT_SINK_HPP
+#define NOC_COMMON_RESULT_SINK_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace noc {
+
+struct SimResult;
+
+/** One JSON object, single line, no trailing newline. */
+std::string resultToJson(const std::string &label, const SimConfig &cfg,
+                         const SimResult &result);
+
+/** JSON line for a run that failed with `error` (ok:false). */
+std::string failureToJson(const std::string &label, const SimConfig &cfg,
+                          const std::string &error);
+
+/** Column names of the CSV emitted by CsvSink, in order. */
+const std::vector<std::string> &resultCsvColumns();
+
+/** Destination for structured per-run results. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    virtual void write(const std::string &label, const SimConfig &cfg,
+                       const SimResult &result) = 0;
+
+    /** A run that threw instead of producing a result. */
+    virtual void writeFailure(const std::string &label, const SimConfig &cfg,
+                              const std::string &error) = 0;
+};
+
+/** One JSON object per line (JSON Lines / ndjson). */
+class JsonLinesSink : public ResultSink
+{
+  public:
+    explicit JsonLinesSink(std::ostream &os) : os_(os) {}
+
+    void write(const std::string &label, const SimConfig &cfg,
+               const SimResult &result) override;
+    void writeFailure(const std::string &label, const SimConfig &cfg,
+                      const std::string &error) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** One row per run; see resultCsvColumns(). */
+class CsvSink : public ResultSink
+{
+  public:
+    /** @param header  write the column-name row first. */
+    explicit CsvSink(std::ostream &os, bool header = false);
+
+    void write(const std::string &label, const SimConfig &cfg,
+               const SimResult &result) override;
+    void writeFailure(const std::string &label, const SimConfig &cfg,
+                      const std::string &error) override;
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace noc
+
+#endif // NOC_COMMON_RESULT_SINK_HPP

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "network/network.hpp"
 #include "traffic/cmp_model.hpp"
@@ -57,21 +58,40 @@ traceWindows()
     return w;
 }
 
+namespace {
+
+/** One trace-cache slot: built exactly once, then immutable. std::map
+ *  nodes never move, so references into `trace` stay valid forever. */
+struct TraceCacheEntry
+{
+    std::once_flag once;
+    std::vector<TraceRecord> trace;
+};
+
+} // namespace
+
 const std::vector<TraceRecord> &
 benchmarkTrace(const SimConfig &cfg, const BenchmarkProfile &b)
 {
-    static std::map<std::string, std::vector<TraceRecord>> cache;
+    static std::mutex cacheMutex;
+    static std::map<std::string, TraceCacheEntry> cache;
+
     const auto topo = makeTopology(cfg);
-    const std::string key = b.name + "@" + topo->name();
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        const SimWindows w = traceWindows();
-        it = cache.emplace(key,
-                           generateCmpTrace(b, *topo, w.warmup + w.measure,
-                                            /*seed=*/0xbe9c0u + cfg.seed))
-                 .first;
+    const std::string key =
+        b.name + "@" + topo->name() + "#" + std::to_string(cfg.seed);
+    TraceCacheEntry *entry;
+    {
+        const std::lock_guard<std::mutex> lock(cacheMutex);
+        entry = &cache[key];
     }
-    return it->second;
+    // Build outside the map lock so unrelated keys generate in parallel;
+    // call_once makes concurrent requests for one key build-once.
+    std::call_once(entry->once, [&] {
+        const SimWindows w = traceWindows();
+        entry->trace = generateCmpTrace(b, *topo, w.warmup + w.measure,
+                                        /*seed=*/0xbe9c0u + cfg.seed);
+    });
+    return entry->trace;
 }
 
 SimResult
@@ -80,6 +100,20 @@ runBenchmark(const SimConfig &cfg, const BenchmarkProfile &b)
     auto source =
         std::make_unique<TraceReplaySource>(benchmarkTrace(cfg, b));
     return runSimulation(cfg, std::move(source), traceWindows());
+}
+
+SweepJob
+benchmarkJob(const std::string &label, const SimConfig &cfg,
+             const BenchmarkProfile &b)
+{
+    SweepJob job;
+    job.label = label;
+    job.cfg = cfg;
+    job.windows = traceWindows();
+    job.makeSource = [b](const SimConfig &c) {
+        return std::make_unique<TraceReplaySource>(benchmarkTrace(c, b));
+    };
+    return job;
 }
 
 double

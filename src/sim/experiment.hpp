@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "traffic/benchmarks.hpp"
 #include "traffic/trace.hpp"
 
@@ -28,14 +29,29 @@ SimConfig syntheticConfig();
 SimWindows traceWindows();
 
 /**
- * The cached CMP trace for (benchmark, topology of cfg). The trace spans
- * warmup+measure cycles of the default windows.
+ * The cached CMP trace for (benchmark, topology of cfg, cfg.seed). The
+ * trace spans warmup+measure cycles of the default windows.
+ *
+ * Thread-safety guarantee: safe to call concurrently from sweep worker
+ * threads. Each distinct key is generated exactly once (concurrent
+ * requests for the same key block until the first builder finishes) and
+ * the returned reference is to an immutable, never-moved vector that
+ * stays valid for the lifetime of the process — so every scheme, on
+ * every thread, replays the identical packet stream.
  */
 const std::vector<TraceRecord> &benchmarkTrace(const SimConfig &cfg,
                                                const BenchmarkProfile &b);
 
 /** Run one benchmark trace under one configuration. */
 SimResult runBenchmark(const SimConfig &cfg, const BenchmarkProfile &b);
+
+/**
+ * A SweepJob replaying benchmark `b` under `cfg` with the default trace
+ * windows — the parallel counterpart of runBenchmark(). The factory
+ * resolves the shared cached trace inside the worker thread.
+ */
+SweepJob benchmarkJob(const std::string &label, const SimConfig &cfg,
+                      const BenchmarkProfile &b);
 
 /** Latency reduction of `other` relative to `baseline` (positive=better,
  *  computed on network latency as in Figs 8/9). */

@@ -1,0 +1,170 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+int
+resolveJobCount(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("NOC_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(resolveJobCount(jobs)) {}
+
+namespace {
+
+SweepOutcome
+runOneJob(const SweepJob &job)
+{
+    SweepOutcome out;
+    out.label = job.label;
+    out.cfg = job.cfg;
+    try {
+        if (!job.makeSource)
+            throw std::runtime_error("job has no traffic factory");
+        out.result =
+            runSimulation(job.cfg, job.makeSource(job.cfg), job.windows);
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(jobs.size(),
+                                               static_cast<std::size_t>(jobs_)));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            outcomes[i] = runOneJob(jobs[i]);
+        return outcomes;
+    }
+
+    // Workers claim the next unstarted index; each outcome lands at its
+    // submission index, so ordering is independent of scheduling.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            outcomes[i] = runOneJob(jobs[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return outcomes;
+}
+
+std::vector<SweepOutcome>
+runSweep(const std::vector<SweepJob> &jobs, int threads)
+{
+    return SweepRunner(threads).run(jobs);
+}
+
+void
+writeOutcomes(ResultSink &sink, const std::vector<SweepOutcome> &outcomes)
+{
+    for (const SweepOutcome &o : outcomes) {
+        if (o.ok)
+            sink.write(o.label, o.cfg, o.result);
+        else
+            sink.writeFailure(o.label, o.cfg, o.error);
+    }
+}
+
+SweepCli
+parseSweepCli(int argc, char **argv)
+{
+    SweepCli cli;
+    if (const char *env = std::getenv("NOC_RESULTS"))
+        cli.jsonPath = env;
+
+    auto valueOf = [&](int &i, const std::string &arg,
+                       const std::string &name) -> std::string {
+        if (arg.size() > name.size() && arg[name.size()] == '=')
+            return arg.substr(name.size() + 1);
+        if (i + 1 >= argc)
+            NOC_FATAL(name + " requires a value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs", 0) == 0) {
+            const std::string v = valueOf(i, arg, "--jobs");
+            const long n = std::atol(v.c_str());
+            if (n <= 0)
+                NOC_FATAL("--jobs must be a positive integer, got: " + v);
+            cli.jobs = static_cast<int>(n);
+        } else if (arg.rfind("--json", 0) == 0) {
+            cli.jsonPath = valueOf(i, arg, "--json");
+        } else if (arg.rfind("--csv", 0) == 0) {
+            cli.csvPath = valueOf(i, arg, "--csv");
+        } else {
+            NOC_FATAL(std::string(argv[0]) + ": unknown argument '" + arg +
+                      "' (expected --jobs N, --json PATH, --csv PATH)");
+        }
+    }
+    return cli;
+}
+
+void
+emitStructuredResults(const SweepCli &cli,
+                      const std::vector<SweepOutcome> &outcomes)
+{
+    if (!cli.jsonPath.empty()) {
+        if (cli.jsonPath == "-") {
+            JsonLinesSink sink(std::cout);
+            writeOutcomes(sink, outcomes);
+        } else {
+            std::ofstream os(cli.jsonPath, std::ios::app);
+            if (!os)
+                NOC_FATAL("cannot open json results file: " + cli.jsonPath);
+            JsonLinesSink sink(os);
+            writeOutcomes(sink, outcomes);
+        }
+    }
+    if (!cli.csvPath.empty()) {
+        std::ofstream os(cli.csvPath, std::ios::app);
+        if (!os)
+            NOC_FATAL("cannot open csv results file: " + cli.csvPath);
+        CsvSink sink(os, /*header=*/os.tellp() == std::streampos(0));
+        writeOutcomes(sink, outcomes);
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parallel sweep engine: run many independent simulations on a
+ * std::thread pool and collect their results in submission order.
+ *
+ * Every figure harness is a batch of fully independent Simulator runs,
+ * so the experiment layer parallelises trivially — provided each job is
+ * self-contained. A SweepJob therefore carries its own SimConfig, its
+ * own SimWindows and a *factory* for its traffic source; the factory is
+ * invoked inside the worker thread so no TrafficSource (and no RNG
+ * state) is ever shared between jobs. As long as the factory is a pure
+ * function of the job (seeds derived from the job's config or captured
+ * constants — never from a shared mutable RNG), the results are
+ * bit-identical whatever the thread count: `--jobs 8` output equals
+ * `--jobs 1` output byte for byte.
+ *
+ * Failure isolation: a job whose factory or simulation throws yields a
+ * SweepOutcome with ok=false and the exception text; sibling jobs are
+ * unaffected and ordering is preserved.
+ */
+
+#ifndef NOC_SIM_SWEEP_HPP
+#define NOC_SIM_SWEEP_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result_sink.hpp"
+#include "sim/simulator.hpp"
+
+namespace noc {
+
+/** Builds one job's traffic source, inside the worker thread. */
+using TrafficFactory =
+    std::function<std::unique_ptr<TrafficSource>(const SimConfig &)>;
+
+/** One independent simulation in a sweep. */
+struct SweepJob
+{
+    std::string label;        ///< carried into the outcome / result sinks
+    SimConfig cfg;
+    TrafficFactory makeSource;
+    SimWindows windows;
+};
+
+/** What one job produced (result is default-constructed when !ok). */
+struct SweepOutcome
+{
+    std::string label;
+    SimConfig cfg;
+    SimResult result;
+    bool ok = false;
+    std::string error;        ///< exception text when !ok
+};
+
+/**
+ * Resolve a thread count: `requested` if > 0, else the NOC_JOBS
+ * environment variable, else std::thread::hardware_concurrency()
+ * (minimum 1).
+ */
+int resolveJobCount(int requested = 0);
+
+class SweepRunner
+{
+  public:
+    /** @param jobs  worker threads; <= 0 means resolveJobCount(). */
+    explicit SweepRunner(int jobs = 0);
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Run every job and return outcomes in submission order. Jobs are
+     * claimed work-stealing style but results land at their submission
+     * index, so ordering (and with deterministic factories, content) is
+     * independent of the thread count. With jobs() == 1 everything runs
+     * on the calling thread.
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs) const;
+
+  private:
+    int jobs_;
+};
+
+/** One-shot convenience over SweepRunner. */
+std::vector<SweepOutcome> runSweep(const std::vector<SweepJob> &jobs,
+                                   int threads = 0);
+
+/** Write every outcome (including failures) to a result sink. */
+void writeOutcomes(ResultSink &sink,
+                   const std::vector<SweepOutcome> &outcomes);
+
+/**
+ * Shared command-line surface of the sweep-driven harnesses:
+ *   --jobs N    worker threads (also: NOC_JOBS; default: all cores)
+ *   --json P    append structured results as JSON lines to P
+ *               (also: NOC_RESULTS; "-" writes to stdout)
+ *   --csv P     append structured results as CSV rows to P
+ * Unknown arguments fatal with a usage message naming the harness.
+ */
+struct SweepCli
+{
+    int jobs = 0;             ///< 0 = resolveJobCount() decides
+    std::string jsonPath;     ///< empty = no JSON output
+    std::string csvPath;      ///< empty = no CSV output
+};
+
+SweepCli parseSweepCli(int argc, char **argv);
+
+/**
+ * Emit outcomes to the sinks the CLI asked for (no-op when neither
+ * --json nor --csv / NOC_RESULTS is set). Files are appended to, so a
+ * series of harness runs accumulates one results trajectory.
+ */
+void emitStructuredResults(const SweepCli &cli,
+                           const std::vector<SweepOutcome> &outcomes);
+
+} // namespace noc
+
+#endif // NOC_SIM_SWEEP_HPP

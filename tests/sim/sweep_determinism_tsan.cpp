@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ThreadSanitizer race check for the parallel sweep engine, run in the
+ * default ctest pass against the TSan-instrumented `noc_tsan` library
+ * (plain main, no gtest, so every frame is instrumented).
+ *
+ * Exercises the two concurrency surfaces: worker threads running whole
+ * simulations side by side, and the build-once benchmark-trace cache
+ * hit by all workers at once. Exits non-zero on a determinism mismatch;
+ * TSan itself exits non-zero (default exitcode 66) on any reported
+ * race, which fails the ctest entry.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/result_sink.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/synthetic.hpp"
+
+using namespace noc;
+
+namespace {
+
+std::vector<SweepJob>
+buildJobs()
+{
+    // Small but real: two schemes x two loads on a 4x4 mesh, plus four
+    // trace-driven jobs that all resolve the same cached CMP trace.
+    std::vector<SweepJob> jobs;
+    const Scheme schemes[] = {Scheme::Baseline, Scheme::PseudoSB};
+    const double loads[] = {0.05, 0.10};
+    for (const Scheme scheme : schemes) {
+        for (const double load : loads) {
+            SweepJob job;
+            job.label = std::string(toString(scheme)) + "@" +
+                        std::to_string(load);
+            job.cfg.topology = TopologyKind::Mesh;
+            job.cfg.meshWidth = 4;
+            job.cfg.meshHeight = 4;
+            job.cfg.concentration = 1;
+            job.cfg.routing = RoutingKind::XY;
+            job.cfg.vaPolicy = VaPolicy::Static;
+            job.cfg.scheme = scheme;
+            job.windows.warmup = 100;
+            job.windows.measure = 400;
+            job.windows.drainLimit = 4000;
+            job.makeSource = [load](const SimConfig &c) {
+                return std::make_unique<SyntheticTraffic>(
+                    SyntheticPattern::UniformRandom, c.numNodes(), load, 5,
+                    /*seed=*/17);
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+    for (const Scheme scheme : schemes) {
+        SimConfig cfg = traceConfig();
+        cfg.scheme = scheme;
+        jobs.push_back(benchmarkJob(std::string("trace:") +
+                                        toString(scheme),
+                                    cfg, findBenchmark("fma3d")));
+        SimConfig o1 = cfg;
+        o1.routing = RoutingKind::O1Turn;
+        jobs.push_back(benchmarkJob(std::string("trace-o1:") +
+                                        toString(scheme),
+                                    o1, findBenchmark("fma3d")));
+    }
+    return jobs;
+}
+
+std::vector<std::string>
+serialize(const std::vector<SweepOutcome> &outcomes)
+{
+    std::vector<std::string> lines;
+    for (const SweepOutcome &o : outcomes) {
+        if (!o.ok) {
+            std::fprintf(stderr, "job failed: %s: %s\n", o.label.c_str(),
+                         o.error.c_str());
+            std::exit(1);
+        }
+        lines.push_back(resultToJson(o.label, o.cfg, o.result));
+    }
+    return lines;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Shorter CMP trace than the default windows: this runs under TSan's
+    // ~10x slowdown.
+    ::setenv("NOC_MEASURE", "2000", 1);
+
+    const std::vector<SweepJob> jobs = buildJobs();
+    const std::vector<std::string> serial =
+        serialize(SweepRunner(1).run(jobs));
+    const std::vector<std::string> parallel =
+        serialize(SweepRunner(4).run(jobs));
+
+    if (serial.size() != parallel.size()) {
+        std::fprintf(stderr, "outcome count mismatch: %zu vs %zu\n",
+                     serial.size(), parallel.size());
+        return 1;
+    }
+    int mismatches = 0;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (serial[i] != parallel[i]) {
+            std::fprintf(stderr, "determinism mismatch at job %zu:\n  %s\n  %s\n",
+                         i, serial[i].c_str(), parallel[i].c_str());
+            ++mismatches;
+        }
+    }
+    if (mismatches == 0)
+        std::printf("sweep determinism under TSan: %zu jobs identical "
+                    "serial vs 4 threads\n",
+                    serial.size());
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/result_sink.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+SimConfig
+smallConfig(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.concentration = 1;
+    cfg.routing = RoutingKind::XY;
+    cfg.vaPolicy = VaPolicy::Static;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+SimWindows
+smallWindows()
+{
+    SimWindows w;
+    w.warmup = 200;
+    w.measure = 800;
+    w.drainLimit = 8000;
+    return w;
+}
+
+/** The 3-scheme x 2-load batch used by the determinism tests. */
+std::vector<SweepJob>
+smallSweep()
+{
+    std::vector<SweepJob> jobs;
+    const Scheme schemes[] = {Scheme::Baseline, Scheme::Pseudo,
+                              Scheme::PseudoSB};
+    const double loads[] = {0.05, 0.10};
+    for (const Scheme scheme : schemes) {
+        for (const double load : loads) {
+            SweepJob job;
+            job.label = std::string(toString(scheme)) + "@" +
+                        std::to_string(load);
+            job.cfg = smallConfig(scheme);
+            job.windows = smallWindows();
+            job.makeSource = [load](const SimConfig &c) {
+                return std::make_unique<SyntheticTraffic>(
+                    SyntheticPattern::UniformRandom, c.numNodes(), load, 5,
+                    /*seed=*/991 + static_cast<std::uint64_t>(load * 100));
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+void
+expectSameResult(const SweepOutcome &a, const SweepOutcome &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.result.measuredPackets, b.result.measuredPackets);
+    EXPECT_EQ(a.result.avgTotalLatency, b.result.avgTotalLatency);
+    EXPECT_EQ(a.result.avgNetLatency, b.result.avgNetLatency);
+    EXPECT_EQ(a.result.p99TotalLatency, b.result.p99TotalLatency);
+    EXPECT_EQ(a.result.avgHops, b.result.avgHops);
+    EXPECT_EQ(a.result.throughput, b.result.throughput);
+    EXPECT_EQ(a.result.avgLatencyAddrPkts, b.result.avgLatencyAddrPkts);
+    EXPECT_EQ(a.result.avgLatencyDataPkts, b.result.avgLatencyDataPkts);
+    EXPECT_EQ(a.result.reusability, b.result.reusability);
+    EXPECT_EQ(a.result.crossbarLocality, b.result.crossbarLocality);
+    EXPECT_EQ(a.result.endToEndLocality, b.result.endToEndLocality);
+    EXPECT_EQ(a.result.energy.totalPj(), b.result.energy.totalPj());
+    EXPECT_EQ(a.result.pcTotals.created, b.result.pcTotals.created);
+    EXPECT_EQ(a.result.pcTotals.speculated, b.result.pcTotals.speculated);
+    EXPECT_EQ(a.result.cyclesRun, b.result.cyclesRun);
+    EXPECT_EQ(a.result.drained, b.result.drained);
+    // The serialized forms must agree byte for byte.
+    EXPECT_EQ(resultToJson(a.label, a.cfg, a.result),
+              resultToJson(b.label, b.cfg, b.result));
+}
+
+TEST(SweepRunner, ParallelResultsEqualSerial)
+{
+    const std::vector<SweepJob> jobs = smallSweep();
+    const std::vector<SweepOutcome> serial = SweepRunner(1).run(jobs);
+    const std::vector<SweepOutcome> parallel = SweepRunner(4).run(jobs);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label);
+        EXPECT_TRUE(serial[i].ok) << serial[i].error;
+        expectSameResult(serial[i], parallel[i]);
+    }
+}
+
+TEST(SweepRunner, ResultsArriveInSubmissionOrder)
+{
+    const std::vector<SweepJob> jobs = smallSweep();
+    const std::vector<SweepOutcome> outcomes = SweepRunner(3).run(jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(outcomes[i].label, jobs[i].label);
+}
+
+TEST(SweepRunner, JobFailureDoesNotCorruptSiblings)
+{
+    std::vector<SweepJob> jobs = smallSweep();
+    // Poison the middle job: its factory throws inside the worker.
+    const std::size_t bad = jobs.size() / 2;
+    jobs[bad].makeSource = [](const SimConfig &) ->
+        std::unique_ptr<TrafficSource> {
+        throw std::runtime_error("synthetic job failure");
+    };
+
+    const std::vector<SweepOutcome> reference =
+        SweepRunner(1).run(smallSweep());
+    const std::vector<SweepOutcome> outcomes = SweepRunner(4).run(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    EXPECT_FALSE(outcomes[bad].ok);
+    EXPECT_EQ(outcomes[bad].error, "synthetic job failure");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i == bad)
+            continue;
+        SCOPED_TRACE(jobs[i].label);
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        expectSameResult(reference[i], outcomes[i]);
+    }
+}
+
+TEST(SweepRunner, MissingFactoryIsAFailureNotACrash)
+{
+    SweepJob job;
+    job.label = "no-factory";
+    job.cfg = smallConfig(Scheme::Baseline);
+    job.windows = smallWindows();
+    const std::vector<SweepOutcome> outcomes = SweepRunner(2).run({job});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("traffic factory"), std::string::npos);
+}
+
+TEST(SweepRunner, ResolveJobCountPrecedence)
+{
+    EXPECT_EQ(resolveJobCount(3), 3);
+    ::setenv("NOC_JOBS", "7", 1);
+    EXPECT_EQ(resolveJobCount(0), 7);
+    EXPECT_EQ(resolveJobCount(2), 2);  // explicit beats environment
+    ::unsetenv("NOC_JOBS");
+    EXPECT_GE(resolveJobCount(0), 1);
+}
+
+TEST(SweepRunner, BenchmarkTraceIsSharedAcrossThreads)
+{
+    const SimConfig cfg = traceConfig();
+    const BenchmarkProfile &bench = findBenchmark("fma3d");
+    const std::vector<TraceRecord> *seen[4] = {};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&, t] {
+            seen[t] = &benchmarkTrace(cfg, bench);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    for (int t = 1; t < 4; ++t)
+        EXPECT_EQ(seen[0], seen[t])
+            << "trace cache must hand out one shared immutable trace";
+    EXPECT_FALSE(seen[0]->empty());
+}
+
+TEST(ResultSink, JsonLineIsStableAndEscaped)
+{
+    const std::vector<SweepOutcome> outcomes =
+        SweepRunner(1).run({smallSweep()[0]});
+    const SweepOutcome &o = outcomes[0];
+    const std::string a = resultToJson(o.label, o.cfg, o.result);
+    const std::string b = resultToJson(o.label, o.cfg, o.result);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.find('\n'), std::string::npos);
+    EXPECT_NE(a.find("\"label\":\"" + o.label + "\""), std::string::npos);
+    EXPECT_NE(a.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(a.find("\"avg_total_latency\":"), std::string::npos);
+
+    const std::string failure =
+        failureToJson("quote\"label", o.cfg, "line1\nline2");
+    EXPECT_NE(failure.find("quote\\\"label"), std::string::npos);
+    EXPECT_NE(failure.find("line1\\nline2"), std::string::npos);
+    EXPECT_NE(failure.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ResultSink, CsvRowsMatchColumnCount)
+{
+    const std::vector<SweepOutcome> outcomes =
+        SweepRunner(1).run({smallSweep()[0]});
+    std::ostringstream os;
+    CsvSink sink(os, /*header=*/true);
+    sink.write(outcomes[0].label, outcomes[0].cfg, outcomes[0].result);
+    sink.writeFailure("bad,label", outcomes[0].cfg, "boom");
+
+    std::istringstream is(os.str());
+    std::string line;
+    int rows = 0;
+    while (std::getline(is, line)) {
+        // Count unquoted commas: every row must have the same arity.
+        int commas = 0;
+        bool quoted = false;
+        for (const char c : line) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++commas;
+        }
+        EXPECT_EQ(static_cast<std::size_t>(commas) + 1,
+                  resultCsvColumns().size())
+            << line;
+        ++rows;
+    }
+    EXPECT_EQ(rows, 3);
+}
+
+} // namespace
+} // namespace noc
