@@ -9,6 +9,7 @@
 
 #include "network/network.hpp"
 #include "sim/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/cmp_model.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -39,6 +40,39 @@ BM_NetworkStep(benchmark::State &state, TopologyKind kind, Scheme scheme)
                             net.numRouters());
 }
 
+/**
+ * Instrumentation overhead pair: the same stepping loop with no sink
+ * attached vs. a full-rate RingBufferCollector. Compare the two
+ * telemetry_* results to see the recording cost; the pair reports, it
+ * does not gate — trace runs are expected to pay for what they record.
+ */
+void
+BM_TelemetryStep(benchmark::State &state, bool attach_sink)
+{
+    SimConfig cfg;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    cfg.concentration = 1;
+    cfg.scheme = Scheme::PseudoSB;
+    cfg.vaPolicy = VaPolicy::Static;
+    Network net(cfg);
+    TelemetryConfig tcfg;
+    tcfg.enabled = true;
+    RingBufferCollector collector(tcfg);
+    if (attach_sink)
+        net.setTelemetry(&collector);
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom,
+                             cfg.numNodes(), 0.15, 5, 7);
+    for (auto _ : state) {
+        traffic.tick(net, net.now(), SimPhase::Warmup);
+        net.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            net.numRouters());
+    state.counters["events"] = static_cast<double>(
+        collector.counters().recorded);
+}
+
 void
 BM_TraceGeneration(benchmark::State &state)
 {
@@ -66,3 +100,5 @@ BENCHMARK_CAPTURE(BM_NetworkStep, mecs4x4_pseudosb, TopologyKind::Mecs,
 BENCHMARK_CAPTURE(BM_NetworkStep, fbfly4x4_pseudosb, TopologyKind::FlatFly,
                   Scheme::PseudoSB);
 BENCHMARK(BM_TraceGeneration);
+BENCHMARK_CAPTURE(BM_TelemetryStep, telemetry_off, false);
+BENCHMARK_CAPTURE(BM_TelemetryStep, telemetry_on, true);

@@ -17,16 +17,29 @@
  * a table instead of the single-run summary. json=<path> appends the
  * structured results as JSON lines ("-" for stdout), csv=<path> as CSV
  * rows (sweep-format columns, see resultCsvColumns()).
+ *
+ * Telemetry: trace=<path> (sugar: --trace-out <path>) records events
+ * and writes a Chrome trace-event JSON loadable by chrome://tracing;
+ * trace-heatmap=<path> writes the per-router utilization/reuse heatmap
+ * as CSV ("-" prints the text table instead). trace-start=/trace-end=
+ * bound the sampling window in cycles and trace-classes= filters event
+ * classes (see telemetryMaskFromSpec). Both modes honour them; sweeps
+ * collect one trace per job and merge in submission order.
+ * `--version` prints the build-info banner and exits.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "common/build_info.hpp"
 #include "common/options.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/heatmap.hpp"
 #include "traffic/cmp_model.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -98,10 +111,85 @@ normalizeArgs(int argc, char **argv)
             tokens.push_back(std::string("jobs=") + argv[++i]);
         else if (arg.rfind("--jobs=", 0) == 0)
             tokens.push_back("jobs=" + arg.substr(7));
+        else if (arg == "--trace-out" && i + 1 < argc)
+            tokens.push_back(std::string("trace=") + argv[++i]);
+        else if (arg.rfind("--trace-out=", 0) == 0)
+            tokens.push_back("trace=" + arg.substr(12));
         else
             tokens.push_back(arg);
     }
     return tokens;
+}
+
+/** Shared telemetry keys of both run modes (single and sweep). */
+struct TraceCli
+{
+    std::string tracePath;    ///< Chrome trace JSON ("" = off)
+    std::string heatmapPath;  ///< heatmap CSV ("-" = text to stdout)
+    TelemetryConfig cfg;
+};
+
+TraceCli
+traceFromOptions(const Options &opts)
+{
+    TraceCli cli;
+    cli.tracePath = opts.getString("trace", "");
+    cli.heatmapPath = opts.getString("trace-heatmap", "");
+    cli.cfg.enabled = !cli.tracePath.empty() || !cli.heatmapPath.empty();
+    cli.cfg.startCycle =
+        static_cast<Cycle>(opts.getInt("trace-start", 0));
+    const long end = opts.getInt("trace-end", -1);
+    cli.cfg.endCycle = end < 0 ? kNeverCycle : static_cast<Cycle>(end);
+    cli.cfg.classMask =
+        telemetryMaskFromSpec(opts.getString("trace-classes", "all"));
+    if (!cli.cfg.enabled) {
+        // Window/class keys without a destination are almost certainly
+        // a typo'd invocation; the unusedKeys() warning covers them.
+        return cli;
+    }
+    if (!NOC_TELEMETRY_ENABLED)
+        NOC_FATAL("trace requested but telemetry was compiled out "
+                  "(reconfigure with -DNOC_TELEMETRY=ON)");
+    return cli;
+}
+
+void
+exportTraces(const TraceCli &cli, const std::vector<TelemetryTrace> &traces,
+             Cycle cycles)
+{
+    if (!cli.tracePath.empty()) {
+        std::ofstream os(cli.tracePath);
+        if (!os)
+            NOC_FATAL("cannot open trace file: " + cli.tracePath);
+        writeChromeTrace(os, traces);
+        std::uint64_t recorded = 0;
+        std::uint64_t dropped = 0;
+        for (const TelemetryTrace &t : traces) {
+            recorded += t.counters.recorded;
+            dropped += t.counters.dropped;
+        }
+        std::printf("  trace written to        %s (%llu events, %llu "
+                    "dropped)\n",
+                    cli.tracePath.c_str(),
+                    static_cast<unsigned long long>(recorded),
+                    static_cast<unsigned long long>(dropped));
+    }
+    if (!cli.heatmapPath.empty()) {
+        std::vector<TelemetryEvent> merged;
+        for (const TelemetryTrace &t : traces)
+            merged.insert(merged.end(), t.events.begin(), t.events.end());
+        const auto rows = computeHeatmap(merged, cycles);
+        if (cli.heatmapPath == "-") {
+            printHeatmap(std::cout, rows);
+        } else {
+            std::ofstream os(cli.heatmapPath);
+            if (!os)
+                NOC_FATAL("cannot open heatmap file: " + cli.heatmapPath);
+            writeHeatmapCsv(os, rows);
+            std::printf("  heatmap written to      %s\n",
+                        cli.heatmapPath.c_str());
+        }
+    }
 }
 
 int
@@ -113,6 +201,7 @@ runMulti(const Options &opts, const SimConfig &base,
     cli.jobs = static_cast<int>(opts.getInt("jobs", 0));
     cli.jsonPath = opts.getString("json", cli.jsonPath);
     cli.csvPath = opts.getString("csv", "");
+    const TraceCli trace_cli = traceFromOptions(opts);
 
     const bool traced = opts.has("benchmark");
     const std::string bench_name = opts.getString("benchmark", "fma3d");
@@ -166,6 +255,11 @@ runMulti(const Options &opts, const SimConfig &base,
         }
     }
 
+    if (trace_cli.cfg.enabled) {
+        for (SweepJob &job : jobs)
+            job.telemetry = trace_cli.cfg;
+    }
+
     std::printf("noctool sweep: %zu runs on %d threads\n\n", jobs.size(),
                 resolveJobCount(cli.jobs));
     const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
@@ -191,6 +285,16 @@ runMulti(const Options &opts, const SimConfig &base,
                  12, 3);
         all_drained = all_drained && o.result.drained;
     }
+
+    if (trace_cli.cfg.enabled) {
+        Cycle total_cycles = 0;
+        for (const SweepOutcome &o : outcomes) {
+            if (o.ok)
+                total_cycles += o.result.cyclesRun;
+        }
+        exportTraces(trace_cli, collectTelemetry(outcomes),
+                     total_cycles > 0 ? total_cycles : 1);
+    }
     return all_drained ? 0 : 2;
 }
 
@@ -199,6 +303,15 @@ runMulti(const Options &opts, const SimConfig &base,
 int
 main(int argc, char **argv)
 {
+    // Handled before Options::parse: parse() fatals on non-key=value
+    // tokens, and the banner must work with no other arguments.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::puts(buildInfoLine().c_str());
+            return 0;
+        }
+    }
+
     const Options opts = Options::parse(normalizeArgs(argc, argv));
 
     // Comma lists in scheme=/load= select the parallel multi-run mode.
@@ -251,10 +364,14 @@ main(int argc, char **argv)
 
     const std::string csv_path = opts.getString("csv", "");
     const std::string json_path = opts.getString("json", "");
+    const TraceCli trace_cli = traceFromOptions(opts);
     for (const std::string &key : opts.unusedKeys())
         NOC_WARN("unused option: " + key);
 
     Simulator sim(cfg, std::move(source));
+    RingBufferCollector collector(trace_cli.cfg);
+    if (trace_cli.cfg.enabled)
+        sim.setTelemetry(&collector);
     const SimResult result = sim.run(windows);
 
     printResult(std::cout, cfg.describe() + " [" + workload + "]", result);
@@ -287,6 +404,13 @@ main(int argc, char **argv)
         one.ok = true;
         emitStructuredResults(cli, {one});
         std::cout << "  json line appended to   " << json_path << "\n";
+    }
+    if (trace_cli.cfg.enabled) {
+        TelemetryTrace trace;
+        trace.label = "noctool:" + workload;
+        trace.events = collector.events();
+        trace.counters = collector.counters();
+        exportTraces(trace_cli, {trace}, result.cyclesRun);
     }
     return result.drained ? 0 : 2;
 }

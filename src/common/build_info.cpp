@@ -1,0 +1,45 @@
+#include "common/build_info.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+#ifndef NOC_GIT_SHA
+#define NOC_GIT_SHA "unknown"
+#endif
+#ifndef NOC_BUILD_TYPE
+#define NOC_BUILD_TYPE "unknown"
+#endif
+
+namespace noc {
+
+const char *
+gitSha()
+{
+    return NOC_GIT_SHA;
+}
+
+const char *
+buildType()
+{
+    return NOC_BUILD_TYPE;
+}
+
+bool
+telemetryCompiledIn()
+{
+    return NOC_TELEMETRY_ENABLED != 0;
+}
+
+std::string
+buildInfoLine()
+{
+    std::string line = "pseudocircuit-noc (";
+    line += NOC_GIT_SHA;
+    line += ", ";
+    line += NOC_BUILD_TYPE;
+    line += ", telemetry ";
+    line += telemetryCompiledIn() ? "on" : "off";
+    line += ")";
+    return line;
+}
+
+} // namespace noc

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Build provenance: git SHA, build type and compile-time feature flags,
+ * for the `noctool --version` banner and result-file headers. Values
+ * are baked into one translation unit at configure time (see
+ * src/CMakeLists.txt) so results can always be traced to a commit.
+ */
+
+#ifndef NOC_COMMON_BUILD_INFO_HPP
+#define NOC_COMMON_BUILD_INFO_HPP
+
+#include <string>
+
+namespace noc {
+
+/** Short git SHA of the configured checkout ("unknown" outside git). */
+const char *gitSha();
+
+/** CMAKE_BUILD_TYPE the library was compiled with. */
+const char *buildType();
+
+/** True when the telemetry layer is compiled in (NOC_TELEMETRY=ON). */
+bool telemetryCompiledIn();
+
+/** One-line banner: name, version, SHA, build type, telemetry state. */
+std::string buildInfoLine();
+
+} // namespace noc
+
+#endif // NOC_COMMON_BUILD_INFO_HPP

@@ -29,6 +29,7 @@ class StatAccumulator
     void reset();
 
     std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
     double sum() const { return sum_; }
     double min() const;
     double max() const;
@@ -59,6 +60,8 @@ class Histogram
     void reset();
 
     std::uint64_t totalCount() const { return total_; }
+    std::uint64_t count() const { return total_; }
+    bool empty() const { return total_ == 0; }
     std::uint64_t bucketCount(std::size_t idx) const { return buckets_[idx]; }
     std::uint64_t overflowCount() const { return overflow_; }
     std::size_t numBuckets() const { return buckets_.size(); }
@@ -70,6 +73,14 @@ class Histogram
      * the quantile falls into the overflow bucket.
      */
     double quantile(double q) const;
+
+    /**
+     * quantile() with the argument in percent (0..100): percentile(99)
+     * == quantile(0.99). Defined (0.0) on an empty histogram, like
+     * every other query here — empty() lets callers distinguish "no
+     * samples" from a measured zero.
+     */
+    double percentile(double p) const { return quantile(p / 100.0); }
 
   private:
     double bucketWidth_;

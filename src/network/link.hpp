@@ -13,6 +13,7 @@
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "router/flit.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace noc {
 
@@ -49,12 +50,32 @@ class EventRing
         NOC_ASSERT(horizon >= 1, "event horizon must be positive");
     }
 
+    /**
+     * Attach a telemetry sink: every flit placed on a wire emits a
+     * LinkTraverse event at its departure cycle, tagged with the
+     * destination router / input port and the wire delay in `arg`.
+     */
+    void setTelemetry(TelemetrySink *sink) { telem_ = sink; }
+
     void
     schedule(Cycle now, Cycle when, LinkEvent event)
     {
         NOC_ASSERT(when > now, "events must be scheduled in the future");
         NOC_ASSERT(when - now < buckets_.size(),
                    "event beyond the ring horizon");
+#if NOC_TELEMETRY_ENABLED
+        if (telem_ && event.kind == LinkEvent::Kind::FlitToRouter) {
+            TelemetryEvent ev;
+            ev.cycle = now;
+            ev.router = event.router;
+            ev.port = static_cast<std::int16_t>(event.inPort);
+            ev.vc = static_cast<std::int8_t>(event.flit.vc);
+            ev.cls = TelemetryEventClass::LinkTraverse;
+            ev.arg = static_cast<std::uint8_t>(
+                when - now > 255 ? 255 : when - now);
+            telem_->record(ev);
+        }
+#endif
         buckets_[when % buckets_.size()].push_back(std::move(event));
     }
 
@@ -77,6 +98,7 @@ class EventRing
 
   private:
     std::vector<std::vector<LinkEvent>> buckets_;
+    TelemetrySink *telem_ = nullptr;
 };
 
 } // namespace noc

@@ -259,6 +259,14 @@ Network::describeStall() const
 }
 
 void
+Network::setTelemetry(TelemetrySink *sink)
+{
+    for (auto &router : routers_)
+        router->setTelemetry(sink);
+    ring_.setTelemetry(sink);
+}
+
+void
 Network::drainCompleted(std::vector<CompletedPacket> &out)
 {
     for (auto &ni : nis_) {

@@ -69,6 +69,13 @@ class Network
     int numRouters() const { return static_cast<int>(routers_.size()); }
     int numNodes() const { return static_cast<int>(nis_.size()); }
 
+    /**
+     * Attach a telemetry sink to every router, the pseudo-circuit
+     * units, and the link fabric (nullptr detaches). The network never
+     * owns the sink; the caller keeps it alive across the run.
+     */
+    void setTelemetry(TelemetrySink *sink);
+
     /** Move every NI's completed packets into `out`. */
     void drainCompleted(std::vector<CompletedPacket> &out);
 

@@ -16,6 +16,8 @@ InputVc::enqueue(const Flit &flit, Cycle ready_at, int buffer_depth)
         startPacket(flit.route);
     }
     q_.push_back({flit, ready_at});
+    if (q_.size() > peak_)
+        peak_ = q_.size();
 }
 
 Flit

@@ -44,6 +44,8 @@ class InputVc
 
     bool empty() const { return q_.empty(); }
     std::size_t occupancy() const { return q_.size(); }
+    /** High-water mark of the FIFO over the whole run (heatmaps). */
+    std::size_t peakOccupancy() const { return peak_; }
     const BufferedFlit &front() const { return q_.front(); }
     bool frontReady(Cycle now) const
     {
@@ -74,6 +76,7 @@ class InputVc
 
   private:
     std::deque<BufferedFlit> q_;
+    std::size_t peak_ = 0;
     State state_ = State::Idle;
     RouteDecision route_;
     VcId outVc_ = kInvalidVc;

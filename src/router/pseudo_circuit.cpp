@@ -6,6 +6,25 @@
 
 namespace noc {
 
+namespace {
+
+/** Shorthand: lifecycle events share the (cycle, router, port) shape. */
+TelemetryEvent
+pcEvent(Cycle now, RouterId router, PortId in_port, VcId vc,
+        TelemetryEventClass cls, std::uint8_t arg = 0)
+{
+    TelemetryEvent ev;
+    ev.cycle = now;
+    ev.router = router;
+    ev.port = static_cast<std::int16_t>(in_port);
+    ev.vc = static_cast<std::int8_t>(vc);
+    ev.cls = cls;
+    ev.arg = arg;
+    return ev;
+}
+
+} // namespace
+
 PseudoCircuitUnit::PseudoCircuitUnit(int num_in_ports, int num_out_ports,
                                      int history_depth)
     : regs_(num_in_ports), history_(num_out_ports),
@@ -16,31 +35,50 @@ PseudoCircuitUnit::PseudoCircuitUnit(int num_in_ports, int num_out_ports,
 
 void
 PseudoCircuitUnit::onGrant(PortId in_port, VcId in_vc,
-                           const RouteDecision &route)
+                           const RouteDecision &route, Cycle now)
 {
     // Terminate any other circuit claiming the granted output port.
     for (PortId j = 0; j < static_cast<PortId>(regs_.size()); ++j) {
         if (j != in_port && regs_[j].valid &&
             regs_[j].route.outPort == route.outPort) {
-            invalidate(j, /*credit_cause=*/false);
+            invalidate(j, /*credit_cause=*/false, now);
         }
     }
     // Overwriting this input port's circuit terminates the old one.
     if (regs_[in_port].valid && !(regs_[in_port].route == route &&
                                   regs_[in_port].inVc == in_vc)) {
-        invalidate(in_port, /*credit_cause=*/false);
+        invalidate(in_port, /*credit_cause=*/false, now);
     }
     regs_[in_port].valid = true;
+    regs_[in_port].speculative = false;
     regs_[in_port].inVc = in_vc;
     regs_[in_port].route = route;
     ++stats_.created;
+    NOC_TELEM(telem_, pcEvent(now, router_, in_port, in_vc,
+                              TelemetryEventClass::PcCreate));
 }
 
 void
-PseudoCircuitUnit::terminateForCredit(PortId in_port)
+PseudoCircuitUnit::terminateForCredit(PortId in_port, Cycle now)
 {
     if (regs_[in_port].valid)
-        invalidate(in_port, /*credit_cause=*/true);
+        invalidate(in_port, /*credit_cause=*/true, now);
+}
+
+void
+PseudoCircuitUnit::noteReuse(PortId in_port, bool via_latch, Cycle now)
+{
+    Register &reg = regs_[in_port];
+    NOC_ASSERT(reg.valid, "reuse over an invalid pseudo-circuit");
+    NOC_TELEM(telem_, pcEvent(now, router_, in_port, reg.inVc,
+                              via_latch
+                                  ? TelemetryEventClass::PcReuseBuffer
+                                  : TelemetryEventClass::PcReuseSa));
+    if (reg.speculative) {
+        reg.speculative = false;
+        NOC_TELEM(telem_, pcEvent(now, router_, in_port, reg.inVc,
+                                  TelemetryEventClass::PcSpecHit));
+    }
 }
 
 PortId
@@ -59,21 +97,24 @@ PseudoCircuitUnit::speculationCandidate(PortId out_port) const
 }
 
 void
-PseudoCircuitUnit::revive(PortId in_port)
+PseudoCircuitUnit::revive(PortId in_port, Cycle now)
 {
     Register &reg = regs_[in_port];
     NOC_ASSERT(!reg.valid, "reviving a live pseudo-circuit");
     reg.valid = true;
+    reg.speculative = true;
     ++stats_.speculated;
+    NOC_TELEM(telem_, pcEvent(now, router_, in_port, reg.inVc,
+                              TelemetryEventClass::PcSpeculate));
 }
 
 PortId
-PseudoCircuitUnit::trySpeculate(PortId out_port)
+PseudoCircuitUnit::trySpeculate(PortId out_port, Cycle now)
 {
     const PortId in_port = speculationCandidate(out_port);
     if (in_port == kInvalidPort)
         return kInvalidPort;
-    revive(in_port);
+    revive(in_port, now);
     return in_port;
 }
 
@@ -88,11 +129,17 @@ PseudoCircuitUnit::outputBusy(PortId out_port) const
 }
 
 void
-PseudoCircuitUnit::invalidate(PortId in_port, bool credit_cause)
+PseudoCircuitUnit::invalidate(PortId in_port, bool credit_cause, Cycle now)
 {
     Register &reg = regs_[in_port];
     NOC_ASSERT(reg.valid, "invalidating an invalid pseudo-circuit");
     reg.valid = false;
+    if (reg.speculative) {
+        // Revived but never carried a flit before dying again.
+        reg.speculative = false;
+        NOC_TELEM(telem_, pcEvent(now, router_, in_port, reg.inVc,
+                                  TelemetryEventClass::PcSpecMiss));
+    }
     // History register at the output remembers who held it last (§4.A);
     // with depth > 1, older holders are kept as fallback candidates.
     auto &hist = history_[reg.route.outPort];
@@ -104,6 +151,13 @@ PseudoCircuitUnit::invalidate(PortId in_port, bool credit_cause)
         ++stats_.terminatedCredit;
     else
         ++stats_.terminatedConflict;
+    NOC_TELEM(telem_, pcEvent(now, router_, in_port, reg.inVc,
+                              TelemetryEventClass::PcTerminate,
+                              credit_cause
+                                  ? static_cast<std::uint8_t>(
+                                        TerminateReason::Credit)
+                                  : static_cast<std::uint8_t>(
+                                        TerminateReason::Conflict)));
 }
 
 } // namespace noc

@@ -18,6 +18,7 @@
 
 #include "common/types.hpp"
 #include "routing/routing.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace noc {
 
@@ -37,6 +38,7 @@ class PseudoCircuitUnit
     struct Register
     {
         bool valid = false;
+        bool speculative = false;  ///< revived and not yet reused
         VcId inVc = kInvalidVc;
         RouteDecision route;   ///< output port + drop of the connection
     };
@@ -54,17 +56,37 @@ class PseudoCircuitUnit
     const Register &at(PortId in_port) const { return regs_[in_port]; }
 
     /**
+     * Attach an event sink; lifecycle events (create / reuse /
+     * terminate / speculate and speculation hit/miss resolution) are
+     * reported with this router id. Pass nullptr to detach.
+     */
+    void attachTelemetry(TelemetrySink *sink, RouterId router)
+    {
+        telem_ = sink;
+        router_ = router;
+    }
+
+    /**
      * A switch-arbiter grant (inPort, inVc) -> route was made: create the
      * new pseudo-circuit and terminate every conflicting one (same input
      * port or same output port), recording termination history.
      */
-    void onGrant(PortId in_port, VcId in_vc, const RouteDecision &route);
+    void onGrant(PortId in_port, VcId in_vc, const RouteDecision &route,
+                 Cycle now = 0);
 
     /**
      * Terminate the circuit at `in_port` because its output ran out of
      * downstream credits (§3.C condition 2). No-op if already invalid.
      */
-    void terminateForCredit(PortId in_port);
+    void terminateForCredit(PortId in_port, Cycle now = 0);
+
+    /**
+     * The router moved a flit over the circuit at `in_port`: emit the
+     * matching reuse event (`via_latch` marks a buffer bypass through the arrival
+     * latch, otherwise an SA bypass from the buffer) and resolve a
+     * pending speculative revival as a hit.
+     */
+    void noteReuse(PortId in_port, bool via_latch, Cycle now);
 
     /**
      * The input port speculation would restore onto `out_port` right
@@ -75,14 +97,14 @@ class PseudoCircuitUnit
     PortId speculationCandidate(PortId out_port) const;
 
     /** Revive a previously terminated circuit (caller checked credit). */
-    void revive(PortId in_port);
+    void revive(PortId in_port, Cycle now = 0);
 
     /**
      * Speculative restoration (§4.A): candidate lookup + revival in one
      * step (no credit check — the router layer does that). Returns the
      * revived input port or kInvalidPort.
      */
-    PortId trySpeculate(PortId out_port);
+    PortId trySpeculate(PortId out_port, Cycle now = 0);
 
     /** True if some valid circuit drives `out_port`. */
     bool outputBusy(PortId out_port) const;
@@ -97,13 +119,15 @@ class PseudoCircuitUnit
     const PseudoCircuitStats &stats() const { return stats_; }
 
   private:
-    void invalidate(PortId in_port, bool credit_cause);
+    void invalidate(PortId in_port, bool credit_cause, Cycle now);
 
     std::vector<Register> regs_;     ///< [input port]
     /// [output port] -> recently terminated inputs, most recent first.
     std::vector<std::vector<PortId>> history_;
     int historyDepth_;
     PseudoCircuitStats stats_;
+    TelemetrySink *telem_ = nullptr;
+    RouterId router_ = kInvalidRouter;
 };
 
 } // namespace noc

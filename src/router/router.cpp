@@ -99,6 +99,7 @@ Router::deliverFlit(PortId in_port, const Flit &flit, Cycle now)
     InputVc &vc = inputs_[in_port].vc(flit.vc);
     vc.enqueue(flit, now + 1, cfg_.bufferDepth);   // BW occupies this cycle
     ++stats_.bufferWrites;
+    emitTelem(TelemetryEventClass::BufferWrite, now, in_port, flit.vc);
 }
 
 void
@@ -130,7 +131,6 @@ Router::independentVa(const Flit &head, const RouteDecision &route)
 bool
 Router::tryBufferBypass(PortId in_port, const Flit &flit, Cycle now)
 {
-    (void)now;
     const PseudoCircuitUnit::Register &reg = pc_.at(in_port);
     if (!reg.valid || reg.inVc != flit.vc)
         return false;
@@ -156,6 +156,7 @@ Router::tryBufferBypass(PortId in_port, const Flit &flit, Cycle now)
         op.allocate(reg.route.drop, w, in_port, flit.vc);
         vc.activate(w, /*express=*/false);
         ++stats_.vaGrants;
+        emitTelem(TelemetryEventClass::VaGrant, now, in_port, flit.vc);
     } else {
         if (vc.state() != InputVc::State::Active)
             return false;
@@ -164,7 +165,7 @@ Router::tryBufferBypass(PortId in_port, const Flit &flit, Cycle now)
         if (op.vc(reg.route.drop, vc.outVc()).credits <= 0) {
             // §4.B: output out of credit before the flit arrives — the
             // circuit is terminated and the latch turned off.
-            pc_.terminateForCredit(in_port);
+            pc_.terminateForCredit(in_port, now);
             return false;
         }
     }
@@ -231,6 +232,7 @@ Router::switchPhase(Cycle now)
         const VcId out_vc = vc.outVc();
         vc.noteBypassedFlit(flit);
         ++stats_.bufferBypasses;
+        pc_.noteReuse(in, /*via_latch=*/true, now);
         if (isHead(flit.type))
             ++stats_.headBufferBypasses;
         traverse(in, flit, route, out_vc, /*express_out=*/false,
@@ -264,6 +266,7 @@ Router::switchPhase(Cycle now)
                                                  in, reg.inVc);
             vc.activate(out_vc, /*express=*/false);
             ++stats_.vaGrants;
+            emitTelem(TelemetryEventClass::VaGrant, now, in, reg.inVc);
         } else if (vc.state() == InputVc::State::Active) {
             if (!(vc.route() == reg.route) || vc.outVcExpress())
                 continue;
@@ -273,7 +276,7 @@ Router::switchPhase(Cycle now)
                 // credit terminates it ("the circuit guarantees credit
                 // availability"); speculation may revive it once the
                 // congestion clears.
-                pc_.terminateForCredit(in);
+                pc_.terminateForCredit(in, now);
                 continue;
             }
             out_vc = vc.outVc();
@@ -284,6 +287,7 @@ Router::switchPhase(Cycle now)
         const RouteDecision route = vc.route();
         const Flit flit = vc.dequeue();
         ++stats_.saBypasses;
+        pc_.noteReuse(in, /*via_latch=*/false, now);
         if (isHead(flit.type))
             ++stats_.headSaBypasses;
         traverse(in, flit, route, out_vc, /*express_out=*/false,
@@ -329,8 +333,11 @@ Router::allocationPhase(Cycle now)
                 const int credits = vc.outVcExpress()
                     ? outputs_[r.outPort].expressVc(vc.outVc()).credits
                     : outputs_[r.outPort].vc(r.drop, vc.outVc()).credits;
-                if (credits <= 0)
-                    continue;   // SA arbitrates on credit availability
+                if (credits <= 0) {
+                    // SA arbitrates on credit availability
+                    emitTelem(TelemetryEventClass::CreditStall, now, in, v);
+                    continue;
+                }
                 reqs[in][v] = {true, r.outPort, false};
             } else if (vc.state() == InputVc::State::WaitingVa) {
                 // Head whose VA just failed: speculative request.
@@ -344,21 +351,22 @@ Router::allocationPhase(Cycle now)
             continue;
         }
         ++stats_.saGrants;
+        emitTelem(TelemetryEventClass::SaGrant, now, g.inPort, g.inVc);
         if (pcEnabled())
-            pc_.onGrant(g.inPort, g.inVc, inputs_[g.inPort].vc(g.inVc).route());
+            pc_.onGrant(g.inPort, g.inVc,
+                        inputs_[g.inPort].vc(g.inVc).route(), now);
         pendingGrants_.push_back(g);
     }
 
     if (pcEnabled())
-        creditTerminations();
+        creditTerminations(now);
     if (specEnabled())
-        speculate();
+        speculate(now);
 }
 
 void
 Router::doVa(PortId in_port, VcId in_vc, Cycle now)
 {
-    (void)now;
     InputVc &vc = inputs_[in_port].vc(in_vc);
     const Flit &head = vc.front().flit;
     NOC_ASSERT(isHead(head.type), "VA requested by a non-head flit");
@@ -386,6 +394,7 @@ Router::doVa(PortId in_port, VcId in_vc, Cycle now)
             s.ownerVc = in_vc;
             vc.activate(best, /*express=*/true);
             ++stats_.vaGrants;
+            emitTelem(TelemetryEventClass::VaGrant, now, in_port, in_vc);
             return;
         }
     }
@@ -397,6 +406,7 @@ Router::doVa(PortId in_port, VcId in_vc, Cycle now)
     op.allocate(route.drop, w, in_port, in_vc);
     vc.activate(w, /*express=*/false);
     ++stats_.vaGrants;
+    emitTelem(TelemetryEventClass::VaGrant, now, in_port, in_vc);
 }
 
 bool
@@ -433,7 +443,7 @@ Router::willUseCircuit(PortId in_port, VcId in_vc) const
 }
 
 void
-Router::creditTerminations()
+Router::creditTerminations(Cycle now)
 {
     // §3.C condition 2: a circuit towards a congested output (no credit
     // left on any VC of its drop) is torn down so backpressure can
@@ -451,12 +461,12 @@ Router::creditTerminations()
         const bool streaming = vc.state() == InputVc::State::Active &&
             vc.route() == reg.route && !vc.outVcExpress();
         if (!streaming && !op.anyCredit(reg.route.drop, 0, cfg_.numVcs))
-            pc_.terminateForCredit(in);
+            pc_.terminateForCredit(in, now);
     }
 }
 
 void
-Router::speculate()
+Router::speculate(Cycle now)
 {
     for (PortId o = 0; o < numOutputPorts(); ++o) {
         if (!outputs_[o].connected())
@@ -467,7 +477,7 @@ Router::speculate()
         // §4.A: never speculate towards a congested downstream router.
         if (!outputs_[o].anyCredit(pc_.at(in).route.drop, 0, cfg_.numVcs))
             continue;
-        pc_.revive(in);
+        pc_.revive(in, now);
     }
 }
 
@@ -475,10 +485,10 @@ void
 Router::traverse(PortId in_port, Flit flit, const RouteDecision &route,
                  VcId out_vc, bool express_out, bool from_buffer, Cycle now)
 {
-    (void)now;
     usedIn_[in_port] = true;
     usedOut_[route.outPort] = true;
     ++stats_.xbarTraversals;
+    emitTelem(TelemetryEventClass::SwitchTraverse, now, in_port, flit.vc);
     if (from_buffer)
         ++stats_.bufferReads;
     if (isHead(flit.type)) {
@@ -530,11 +540,12 @@ Router::traverse(PortId in_port, Flit flit, const RouteDecision &route,
 void
 Router::traverseExpress(PortId in_port, Flit flit, Cycle now)
 {
-    (void)now;
     usedIn_[in_port] = true;
     usedOut_[flit.route.outPort] = true;
     ++stats_.xbarTraversals;
+    emitTelem(TelemetryEventClass::SwitchTraverse, now, in_port, flit.vc);
     ++stats_.expressBypasses;
+    emitTelem(TelemetryEventClass::ExpressBypass, now, in_port, flit.vc);
     if (isHead(flit.type)) {
         ++stats_.headTraversals;
         noteLocality(in_port, flit.route.outPort);

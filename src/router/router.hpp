@@ -36,6 +36,7 @@
 #include "router/pseudo_circuit.hpp"
 #include "router/switch_allocator.hpp"
 #include "router/vc_allocator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace noc {
 
@@ -96,6 +97,7 @@ class Router
     RouterId id() const { return id_; }
     int numInputPorts() const { return static_cast<int>(inputs_.size()); }
     int numOutputPorts() const { return static_cast<int>(outputs_.size()); }
+    int numVcs() const { return cfg_.numVcs; }
 
     /** Arrival of a flit on an input port at cycle `now` (phase 1). */
     void deliverFlit(PortId in_port, const Flit &flit, Cycle now);
@@ -105,6 +107,18 @@ class Router
 
     /** One cycle of switch traversal + allocation (phase 2). */
     void step(Cycle now);
+
+    /**
+     * Attach a telemetry sink (nullptr detaches). Pipeline-stage and
+     * pseudo-circuit lifecycle events are emitted at the same points
+     * the RouterStats counters increment, so event counts reconcile
+     * exactly with the aggregate statistics.
+     */
+    void setTelemetry(TelemetrySink *sink)
+    {
+        telem_ = sink;
+        pc_.attachTelemetry(sink, id_);
+    }
 
     /** Flits/credits produced by the latest step(); caller clears. */
     std::vector<SentFlit> sentFlits;
@@ -161,12 +175,32 @@ class Router
 
     void doVa(PortId in_port, VcId in_vc, Cycle now);
 
+    /** Telemetry emit helper; no-op without an attached sink. */
+    void emitTelem(TelemetryEventClass cls, Cycle now, PortId port,
+                   VcId vc, std::uint8_t arg = 0) const
+    {
+#if NOC_TELEMETRY_ENABLED
+        if (telem_) {
+            TelemetryEvent ev;
+            ev.cycle = now;
+            ev.router = id_;
+            ev.port = static_cast<std::int16_t>(port);
+            ev.vc = static_cast<std::int8_t>(vc);
+            ev.cls = cls;
+            ev.arg = arg;
+            telem_->record(ev);
+        }
+#else
+        (void)cls; (void)now; (void)port; (void)vc; (void)arg;
+#endif
+    }
+
     /** True if this VC's front flit will traverse via the standing
      *  pseudo-circuit, so it must not request SA (§3.B). */
     bool willUseCircuit(PortId in_port, VcId in_vc) const;
 
-    void creditTerminations();
-    void speculate();
+    void creditTerminations(Cycle now);
+    void speculate(Cycle now);
 
     /**
      * Move one flit through the crossbar onto its output channel,
@@ -205,6 +239,7 @@ class Router
     std::vector<PortId> lastOutPort_;  ///< per input port, for locality
 
     RouterStats stats_;
+    TelemetrySink *telem_ = nullptr;
 };
 
 } // namespace noc

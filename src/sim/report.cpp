@@ -59,6 +59,13 @@ routerActivity(Network &net, Cycle cycles)
             : static_cast<double>(s.circuitReuses()) /
                 static_cast<double>(s.xbarTraversals);
         a.wastedGrants = s.wastedGrants;
+        Router &router = net.router(r);
+        for (PortId p = 0; p < router.numInputPorts(); ++p) {
+            for (VcId v = 0; v < router.numVcs(); ++v) {
+                a.peakVcOccupancy = std::max<std::uint64_t>(
+                    a.peakVcOccupancy, router.inputVc(p, v).peakOccupancy());
+            }
+        }
         out.push_back(a);
     }
     return out;

@@ -30,6 +30,8 @@ struct RouterActivity
     double crossbarUtil = 0.0;      ///< traversals / cycles
     double reuseRate = 0.0;         ///< circuit reuses / traversals
     std::uint64_t wastedGrants = 0;
+    /// Deepest any input-VC FIFO got over the run (congestion signal).
+    std::uint64_t peakVcOccupancy = 0;
 };
 
 /** Snapshot every router's counters, normalized over `cycles`. */

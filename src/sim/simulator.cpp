@@ -127,14 +127,18 @@ Simulator::run(const SimWindows &windows)
             static_cast<double>(result.niTotals.localityHits) /
             static_cast<double>(result.niTotals.localityPackets);
     }
+    if (telem_)
+        result.telemetry = telem_->counters();
     return result;
 }
 
 SimResult
 runSimulation(const SimConfig &cfg, std::unique_ptr<TrafficSource> source,
-              const SimWindows &windows)
+              const SimWindows &windows, TelemetrySink *telemetry)
 {
     Simulator sim(cfg, std::move(source));
+    if (telemetry)
+        sim.setTelemetry(telemetry);
     return sim.run(windows);
 }
 

@@ -13,6 +13,7 @@
 #include "common/stats.hpp"
 #include "network/network.hpp"
 #include "sim/energy.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/traffic.hpp"
 
 namespace noc {
@@ -68,6 +69,10 @@ struct SimResult
     PseudoCircuitStats pcTotals;
     NiStats niTotals;
 
+    /// Rolled-up telemetry event counts (all zero unless a sink was
+    /// attached for the run; exact even when the collector drops).
+    TelemetryCounters telemetry;
+
     Cycle cyclesRun = 0;
     bool drained = false;           ///< all packets delivered in time
 };
@@ -80,6 +85,17 @@ class Simulator
     /** Run warmup + measurement + drain; collect statistics. */
     SimResult run(const SimWindows &windows = {});
 
+    /**
+     * Attach a telemetry sink for the whole network before run();
+     * rolled-up counters land in SimResult::telemetry. The caller owns
+     * the sink and keeps it alive across run().
+     */
+    void setTelemetry(TelemetrySink *sink)
+    {
+        telem_ = sink;
+        net_.setTelemetry(sink);
+    }
+
     Network &network() { return net_; }
     TrafficSource &source() { return *source_; }
 
@@ -88,6 +104,7 @@ class Simulator
 
     Network net_;
     std::unique_ptr<TrafficSource> source_;
+    TelemetrySink *telem_ = nullptr;
     std::vector<CompletedPacket> completedScratch_;
 
     StatAccumulator totalLatency_;
@@ -102,10 +119,12 @@ class Simulator
     std::vector<SimSample> samples_;
 };
 
-/** Convenience: run one configuration with a traffic source factory. */
+/** Convenience: run one configuration with a traffic source factory;
+ *  `telemetry` (optional, caller-owned) collects events for the run. */
 SimResult runSimulation(const SimConfig &cfg,
                         std::unique_ptr<TrafficSource> source,
-                        const SimWindows &windows = {});
+                        const SimWindows &windows = {},
+                        TelemetrySink *telemetry = nullptr);
 
 } // namespace noc
 

@@ -40,8 +40,19 @@ runOneJob(const SweepJob &job)
     try {
         if (!job.makeSource)
             throw std::runtime_error("job has no traffic factory");
-        out.result =
-            runSimulation(job.cfg, job.makeSource(job.cfg), job.windows);
+        if (job.telemetry.enabled) {
+            RingBufferCollector collector(job.telemetry);
+            out.result = runSimulation(job.cfg, job.makeSource(job.cfg),
+                                       job.windows, &collector);
+            auto trace = std::make_shared<TelemetryTrace>();
+            trace->label = job.label;
+            trace->events = collector.events();
+            trace->counters = collector.counters();
+            out.trace = std::move(trace);
+        } else {
+            out.result =
+                runSimulation(job.cfg, job.makeSource(job.cfg), job.windows);
+        }
         out.ok = true;
     } catch (const std::exception &e) {
         out.error = e.what();
@@ -104,6 +115,17 @@ writeOutcomes(ResultSink &sink, const std::vector<SweepOutcome> &outcomes)
         else
             sink.writeFailure(o.label, o.cfg, o.error);
     }
+}
+
+std::vector<TelemetryTrace>
+collectTelemetry(const std::vector<SweepOutcome> &outcomes)
+{
+    std::vector<TelemetryTrace> traces;
+    for (const SweepOutcome &o : outcomes) {
+        if (o.trace)
+            traces.push_back(*o.trace);
+    }
+    return traces;
 }
 
 SweepCli

@@ -29,6 +29,7 @@
 
 #include "common/result_sink.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace noc {
 
@@ -43,6 +44,11 @@ struct SweepJob
     SimConfig cfg;
     TrafficFactory makeSource;
     SimWindows windows;
+    /// With telemetry.enabled, the worker attaches a per-job
+    /// RingBufferCollector and the outcome carries the trace. Each job
+    /// owns its collector, so recording stays lock-free; merging
+    /// happens after the join, in submission order.
+    TelemetryConfig telemetry;
 };
 
 /** What one job produced (result is default-constructed when !ok). */
@@ -53,6 +59,8 @@ struct SweepOutcome
     SimResult result;
     bool ok = false;
     std::string error;        ///< exception text when !ok
+    /// The job's collected events (null unless telemetry was enabled).
+    std::shared_ptr<const TelemetryTrace> trace;
 };
 
 /**
@@ -90,6 +98,15 @@ std::vector<SweepOutcome> runSweep(const std::vector<SweepJob> &jobs,
 /** Write every outcome (including failures) to a result sink. */
 void writeOutcomes(ResultSink &sink,
                    const std::vector<SweepOutcome> &outcomes);
+
+/**
+ * The telemetry traces of a sweep, in submission order (jobs without a
+ * trace are skipped). Because outcomes land at their submission index,
+ * the merged sequence is identical whatever the worker count — the
+ * property the telemetry determinism test asserts.
+ */
+std::vector<TelemetryTrace> collectTelemetry(
+    const std::vector<SweepOutcome> &outcomes);
 
 /**
  * Shared command-line surface of the sweep-driven harnesses:

@@ -1,0 +1,106 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace noc {
+
+namespace {
+
+/** Minimal JSON string escaping (labels may carry user text). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeMetadata(std::ostream &os, const char *kind, int pid, int tid,
+              const std::string &name, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":" << pid;
+    if (tid >= 0)
+        os << ",\"tid\":" << tid;
+    os << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TelemetryTrace> &traces)
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    int pid_base = 0;
+    for (const TelemetryTrace &trace : traces) {
+        // Sequential pid per router appearing in this trace.
+        std::map<RouterId, int> pids;
+        std::map<int, std::vector<PortId>> ports;  // pid -> seen ports
+        for (const TelemetryEvent &ev : trace.events) {
+            auto [it, inserted] =
+                pids.try_emplace(ev.router, pid_base +
+                                 static_cast<int>(pids.size()));
+            auto &seen = ports[it->second];
+            if (std::find(seen.begin(), seen.end(), ev.port) == seen.end())
+                seen.push_back(ev.port);
+        }
+        for (const auto &[router, pid] : pids) {
+            writeMetadata(os, "process_name", pid, -1,
+                          trace.label + ": router " + std::to_string(router),
+                          first);
+            for (const PortId port : ports[pid]) {
+                writeMetadata(os, "thread_name", pid,
+                              static_cast<int>(port) + 1,
+                              port < 0 ? "router"
+                                       : "port " + std::to_string(port),
+                              first);
+            }
+        }
+        for (const TelemetryEvent &ev : trace.events) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "{\"name\":\"" << toString(ev.cls)
+               << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ev.cycle
+               << ",\"pid\":" << pids.at(ev.router)
+               << ",\"tid\":" << static_cast<int>(ev.port) + 1
+               << ",\"args\":{\"vc\":" << static_cast<int>(ev.vc)
+               << ",\"arg\":" << static_cast<int>(ev.arg) << "}}";
+        }
+        pid_base += static_cast<int>(pids.size());
+    }
+    os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void
+writeChromeTrace(std::ostream &os, const TelemetryTrace &trace)
+{
+    writeChromeTrace(os, std::vector<TelemetryTrace>{trace});
+}
+
+} // namespace noc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter: serializes telemetry traces into
+ * the format loaded by chrome://tracing / Perfetto ("JSON Object
+ * Format": {"traceEvents": [...]}).
+ *
+ * Track mapping: one process per (trace, router) — pid values are
+ * assigned sequentially across the trace list and named via
+ * process_name metadata ("label: router N") — and one thread per input
+ * port within the router (tid = port + 1, port -1 maps to tid 0).
+ * Events are emitted as instant events ("ph":"i") with ts = cycle;
+ * within a track timestamps are monotonically non-decreasing because
+ * collectors record in simulation-cycle order.
+ */
+
+#ifndef NOC_TELEMETRY_CHROME_TRACE_HPP
+#define NOC_TELEMETRY_CHROME_TRACE_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace noc {
+
+/** Write one trace per process group; loadable by chrome://tracing. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TelemetryTrace> &traces);
+
+/** Single-run convenience. */
+void writeChromeTrace(std::ostream &os, const TelemetryTrace &trace);
+
+} // namespace noc
+
+#endif // NOC_TELEMETRY_CHROME_TRACE_HPP

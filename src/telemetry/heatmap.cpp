@@ -1,0 +1,152 @@
+#include "telemetry/heatmap.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "sim/report.hpp"
+
+namespace noc {
+
+std::vector<RouterHeat>
+computeHeatmap(const std::vector<TelemetryEvent> &events, Cycle cycles)
+{
+    std::map<RouterId, RouterHeat> by_router;
+    for (const TelemetryEvent &ev : events) {
+        RouterHeat &h = by_router[ev.router];
+        h.router = ev.router;
+        switch (ev.cls) {
+          case TelemetryEventClass::BufferWrite:
+            ++h.bufferWrites;
+            break;
+          case TelemetryEventClass::SwitchTraverse:
+            ++h.switchTraversals;
+            break;
+          case TelemetryEventClass::LinkTraverse:
+            ++h.linkTraversals;
+            break;
+          case TelemetryEventClass::PcCreate:
+            ++h.pcCreated;
+            break;
+          case TelemetryEventClass::PcReuseSa:
+          case TelemetryEventClass::PcReuseBuffer:
+            ++h.pcReuses;
+            break;
+          case TelemetryEventClass::PcTerminate:
+            ++h.pcTerminated;
+            break;
+          case TelemetryEventClass::CreditStall:
+            ++h.creditStalls;
+            break;
+          default:
+            break;
+        }
+    }
+    std::vector<RouterHeat> rows;
+    rows.reserve(by_router.size());
+    for (auto &[id, heat] : by_router) {
+        if (cycles > 0) {
+            heat.crossbarUtil = static_cast<double>(heat.switchTraversals) /
+                static_cast<double>(cycles);
+            heat.linkUtil = static_cast<double>(heat.linkTraversals) /
+                static_cast<double>(cycles);
+        }
+        if (heat.switchTraversals > 0) {
+            heat.reuseRate = static_cast<double>(heat.pcReuses) /
+                static_cast<double>(heat.switchTraversals);
+        }
+        rows.push_back(heat);
+    }
+    return rows;
+}
+
+namespace {
+
+RouterHeat
+totalsOf(const std::vector<RouterHeat> &rows)
+{
+    RouterHeat total;
+    double util = 0.0, link = 0.0;
+    for (const RouterHeat &h : rows) {
+        total.bufferWrites += h.bufferWrites;
+        total.switchTraversals += h.switchTraversals;
+        total.linkTraversals += h.linkTraversals;
+        total.pcCreated += h.pcCreated;
+        total.pcReuses += h.pcReuses;
+        total.pcTerminated += h.pcTerminated;
+        total.creditStalls += h.creditStalls;
+        util += h.crossbarUtil;
+        link += h.linkUtil;
+    }
+    if (!rows.empty()) {
+        total.crossbarUtil = util / static_cast<double>(rows.size());
+        total.linkUtil = link / static_cast<double>(rows.size());
+    }
+    if (total.switchTraversals > 0) {
+        total.reuseRate = static_cast<double>(total.pcReuses) /
+            static_cast<double>(total.switchTraversals);
+    }
+    return total;
+}
+
+void
+printRowOf(std::ostream &os, const std::string &label, const RouterHeat &h)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s %10llu %10llu %10llu %8llu %8llu %8llu %8llu"
+                  "  %6s %6s %6s\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(h.linkTraversals),
+                  static_cast<unsigned long long>(h.bufferWrites),
+                  static_cast<unsigned long long>(h.switchTraversals),
+                  static_cast<unsigned long long>(h.pcCreated),
+                  static_cast<unsigned long long>(h.pcReuses),
+                  static_cast<unsigned long long>(h.pcTerminated),
+                  static_cast<unsigned long long>(h.creditStalls),
+                  formatPercent(h.linkUtil).c_str(),
+                  formatPercent(h.crossbarUtil).c_str(),
+                  formatPercent(h.reuseRate).c_str());
+    os << buf;
+}
+
+} // namespace
+
+void
+printHeatmap(std::ostream &os, const std::vector<RouterHeat> &rows)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s %10s %10s %10s %8s %8s %8s %8s  %6s %6s %6s\n",
+                  "router", "lt", "bw", "st", "pc-new", "pc-use",
+                  "pc-end", "stalls", "link%", "xbar%", "reuse%");
+    os << buf;
+    for (const RouterHeat &h : rows)
+        printRowOf(os, "#" + std::to_string(h.router), h);
+    printRowOf(os, "total", totalsOf(rows));
+}
+
+void
+writeHeatmapCsv(std::ostream &os, const std::vector<RouterHeat> &rows)
+{
+    CsvWriter writer(os);
+    writer.writeRow({"router", "link_traversals", "buffer_writes",
+                     "switch_traversals", "pc_created", "pc_reuses",
+                     "pc_terminated", "credit_stalls", "link_util",
+                     "crossbar_util", "reuse_rate"});
+    for (const RouterHeat &h : rows) {
+        writer.writeRow(std::to_string(h.router),
+                        {static_cast<double>(h.linkTraversals),
+                         static_cast<double>(h.bufferWrites),
+                         static_cast<double>(h.switchTraversals),
+                         static_cast<double>(h.pcCreated),
+                         static_cast<double>(h.pcReuses),
+                         static_cast<double>(h.pcTerminated),
+                         static_cast<double>(h.creditStalls),
+                         h.linkUtil, h.crossbarUtil, h.reuseRate});
+    }
+}
+
+} // namespace noc

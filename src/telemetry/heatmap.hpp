@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-router utilization / circuit-reuse heatmap computed from a
+ * telemetry event stream: where circuits form, die and get reused,
+ * and which links carry the traffic. Exported as a fixed-width text
+ * table or CSV rows (through the CsvWriter used by the harnesses).
+ */
+
+#ifndef NOC_TELEMETRY_HEATMAP_HPP
+#define NOC_TELEMETRY_HEATMAP_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace noc {
+
+/** Aggregated activity of one router over the sampled window. */
+struct RouterHeat
+{
+    RouterId router = kInvalidRouter;
+    std::uint64_t bufferWrites = 0;
+    std::uint64_t switchTraversals = 0;
+    std::uint64_t linkTraversals = 0;   ///< flit arrivals on input links
+    std::uint64_t pcCreated = 0;
+    std::uint64_t pcReuses = 0;         ///< SA bypass + buffer bypass
+    std::uint64_t pcTerminated = 0;
+    std::uint64_t creditStalls = 0;
+    double crossbarUtil = 0.0;          ///< traversals / sampled cycles
+    double linkUtil = 0.0;              ///< link arrivals / sampled cycles
+    double reuseRate = 0.0;             ///< reuses / traversals
+};
+
+/**
+ * Roll an event stream up per router. `cycles` is the length of the
+ * sampled window (denominator of the utilization columns); pass the
+ * run's cyclesRun when the window was unbounded. Routers appear in
+ * ascending id order.
+ */
+std::vector<RouterHeat> computeHeatmap(
+    const std::vector<TelemetryEvent> &events, Cycle cycles);
+
+/** Fixed-width text table, one row per router plus a totals row. */
+void printHeatmap(std::ostream &os, const std::vector<RouterHeat> &rows);
+
+/** CSV with a header row; same columns as the text table. */
+void writeHeatmapCsv(std::ostream &os, const std::vector<RouterHeat> &rows);
+
+} // namespace noc
+
+#endif // NOC_TELEMETRY_HEATMAP_HPP

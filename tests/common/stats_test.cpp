@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/stats.hpp"
 
 namespace noc {
@@ -96,6 +98,47 @@ TEST(Histogram, QuantileEmpty)
 {
     Histogram h(1.0, 10);
     EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+// Regression: every query on an empty series must return a defined
+// value (0.0 / 0), never NaN or a read of uninitialized state, and
+// empty() must be the way to tell "no samples" from a measured zero.
+TEST(StatAccumulator, EmptyGuards)
+{
+    StatAccumulator acc;
+    EXPECT_TRUE(acc.empty());
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_FALSE(std::isnan(acc.mean()));
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.stddev(), 0.0);
+    acc.add(3.0);
+    EXPECT_FALSE(acc.empty());
+    acc.reset();
+    EXPECT_TRUE(acc.empty());
+}
+
+TEST(Histogram, EmptyGuards)
+{
+    Histogram h(2.0, 16);
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_FALSE(std::isnan(h.percentile(99.0)));
+    EXPECT_EQ(h.percentile(99.0), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    h.add(5.0);
+    EXPECT_FALSE(h.empty());
+    EXPECT_EQ(h.count(), h.totalCount());
+    h.reset();
+    EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, PercentileMatchesQuantile)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), h.quantile(0.5));
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), h.quantile(0.99));
 }
 
 TEST(FormatPercent, Formats)
