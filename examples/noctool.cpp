@@ -25,7 +25,17 @@
  * bound the sampling window in cycles and trace-classes= filters event
  * classes (see telemetryMaskFromSpec). Both modes honour them; sweeps
  * collect one trace per job and merge in submission order.
- * `--version` prints the build-info banner and exits.
+ *
+ * Run health: health=<converge|adaptive-warmup|guard|watchdog|flows|all>
+ * (comma list) enables the metrics layer — convergence verdicts,
+ * saturation early-exit, watchdog snapshots, per-flow latency
+ * histograms. "all" enables everything except adaptive-warmup, which
+ * shortens the warmup window and therefore changes results.
+ * health-sample=<cycles> sets the monitor sampling cadence,
+ * watchdog-every=<cycles> the snapshot interval, flow-out=<path> writes
+ * the flow-matrix CSV ("-" prints the top flows instead; single-run
+ * mode). --progress renders a live one-line sweep progress meter on
+ * stderr. `--version` prints the build-info banner and exits.
  */
 
 #include <cstdio>
@@ -36,7 +46,9 @@
 
 #include "common/build_info.hpp"
 #include "common/options.hpp"
+#include "metrics/watchdog.hpp"
 #include "sim/experiment.hpp"
+#include "sim/progress.hpp"
 #include "sim/report.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/heatmap.hpp"
@@ -89,6 +101,44 @@ splitList(const std::string &csv)
     return items;
 }
 
+RunHealthConfig
+healthFromOptions(const Options &opts)
+{
+    RunHealthConfig hc;
+    const std::string spec = opts.getString("health", "");
+    if (!spec.empty()) {
+        for (const std::string &item : splitList(spec)) {
+            if (item == "all") {
+                // Everything observational; adaptive-warmup changes the
+                // run itself, so it stays an explicit opt-in.
+                hc.convergence.enabled = true;
+                hc.saturation.enabled = true;
+                hc.watchdog.enabled = true;
+                hc.flows.enabled = true;
+            } else if (item == "converge") {
+                hc.convergence.enabled = true;
+            } else if (item == "adaptive-warmup") {
+                hc.convergence.enabled = true;
+                hc.convergence.adaptiveWarmup = true;
+            } else if (item == "guard") {
+                hc.saturation.enabled = true;
+            } else if (item == "watchdog") {
+                hc.watchdog.enabled = true;
+            } else if (item == "flows") {
+                hc.flows.enabled = true;
+            } else {
+                NOC_FATAL("unknown health monitor: '" + item +
+                          "' (expected converge, adaptive-warmup, guard, "
+                          "watchdog, flows or all)");
+            }
+        }
+    }
+    hc.sampleEvery = static_cast<Cycle>(opts.getInt("health-sample", 250));
+    hc.watchdog.interval =
+        static_cast<Cycle>(opts.getInt("watchdog-every", 1000));
+    return hc;
+}
+
 SimWindows
 windowsFromOptions(const Options &opts)
 {
@@ -97,6 +147,7 @@ windowsFromOptions(const Options &opts)
     windows.measure = static_cast<Cycle>(opts.getInt("measure", 10000));
     windows.drainLimit =
         static_cast<Cycle>(opts.getInt("drain-limit", 60000));
+    windows.health = healthFromOptions(opts);
     return windows;
 }
 
@@ -111,6 +162,8 @@ normalizeArgs(int argc, char **argv)
             tokens.push_back(std::string("jobs=") + argv[++i]);
         else if (arg.rfind("--jobs=", 0) == 0)
             tokens.push_back("jobs=" + arg.substr(7));
+        else if (arg == "--progress")
+            tokens.push_back("progress=1");
         else if (arg == "--trace-out" && i + 1 < argc)
             tokens.push_back(std::string("trace=") + argv[++i]);
         else if (arg.rfind("--trace-out=", 0) == 0)
@@ -201,6 +254,7 @@ runMulti(const Options &opts, const SimConfig &base,
     cli.jobs = static_cast<int>(opts.getInt("jobs", 0));
     cli.jsonPath = opts.getString("json", cli.jsonPath);
     cli.csvPath = opts.getString("csv", "");
+    cli.progress = opts.getBool("progress", false);
     const TraceCli trace_cli = traceFromOptions(opts);
 
     const bool traced = opts.has("benchmark");
@@ -262,7 +316,12 @@ runMulti(const Options &opts, const SimConfig &base,
 
     std::printf("noctool sweep: %zu runs on %d threads\n\n", jobs.size(),
                 resolveJobCount(cli.jobs));
-    const std::vector<SweepOutcome> outcomes = runSweep(jobs, cli.jobs);
+    SweepRunner runner(cli.jobs);
+    ProgressPrinter progress;
+    if (cli.progress)
+        runner.onProgress(progress.callback());
+    const std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    progress.finish();
     emitStructuredResults(cli, outcomes);
 
     printHeader("run", {"total-lat", "net-lat", "p99", "thruput",
@@ -284,6 +343,30 @@ runMulti(const Options &opts, const SimConfig &base,
                   o.result.energy.totalPj() / 1000.0},
                  12, 3);
         all_drained = all_drained && o.result.drained;
+    }
+
+    if (windows.health.any()) {
+        std::printf("\nrun health:\n");
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const SweepOutcome &o = outcomes[i];
+            if (!o.ok)
+                continue;
+            const RunHealth &h = o.result.health;
+            std::printf("  %-16s %s", row_labels[i].c_str(),
+                        toString(h.verdict));
+            if (h.verdict == RunVerdict::Saturated) {
+                std::printf(" (%s, stopped after %llu measured cycles)",
+                            h.saturationReason.c_str(),
+                            static_cast<unsigned long long>(h.measureUsed));
+            } else if (h.verdict == RunVerdict::Converged) {
+                std::printf(" (steady at cycle %llu, cov %.4f)",
+                            static_cast<unsigned long long>(h.steadyCycle),
+                            h.latencyCov);
+            } else if (h.verdict == RunVerdict::NotConverged) {
+                std::printf(" (cov %.4f)", h.latencyCov);
+            }
+            std::printf("\n");
+        }
     }
 
     if (trace_cli.cfg.enabled) {
@@ -364,6 +447,9 @@ main(int argc, char **argv)
 
     const std::string csv_path = opts.getString("csv", "");
     const std::string json_path = opts.getString("json", "");
+    const std::string flow_out = opts.getString("flow-out", "");
+    if (!flow_out.empty() && !windows.health.flows.enabled)
+        NOC_FATAL("flow-out needs health=flows (no flow data recorded)");
     const TraceCli trace_cli = traceFromOptions(opts);
     for (const std::string &key : opts.unusedKeys())
         NOC_WARN("unused option: " + key);
@@ -377,10 +463,63 @@ main(int argc, char **argv)
     printResult(std::cout, cfg.describe() + " [" + workload + "]", result);
     const auto activity =
         routerActivity(sim.network(), result.cyclesRun);
-    const RouterActivity &hot = hottest(activity);
-    std::cout << "  hottest router          #" << hot.router << " ("
-              << formatPercent(hot.crossbarUtil) << " crossbar util, "
-              << formatPercent(hot.reuseRate) << " reuse)\n";
+    const RouterActivity hot = hottest(activity);
+    if (hot.router != kInvalidRouter) {
+        std::cout << "  hottest router          #" << hot.router << " ("
+                  << formatPercent(hot.crossbarUtil) << " crossbar util, "
+                  << formatPercent(hot.reuseRate) << " reuse)\n";
+    }
+
+    if (windows.health.any()) {
+        const RunHealth &h = result.health;
+        std::cout << "  run verdict             " << toString(h.verdict);
+        if (h.verdict == RunVerdict::Saturated) {
+            std::cout << " (" << h.saturationReason << ", stopped after "
+                      << h.measureUsed << " measured cycles, peak backlog "
+                      << h.peakBacklog << ")";
+        } else if (h.verdict == RunVerdict::Converged) {
+            std::cout << " (steady at cycle " << h.steadyCycle << ", cov "
+                      << h.latencyCov << ")";
+        } else if (h.verdict == RunVerdict::NotConverged) {
+            std::cout << " (cov " << h.latencyCov << ")";
+        }
+        std::cout << "\n";
+        if (windows.health.convergence.adaptiveWarmup) {
+            std::cout << "  warmup used             " << h.warmupUsed
+                      << " of " << windows.warmup << " cycles\n";
+        }
+        if (windows.health.watchdog.enabled) {
+            const auto findings =
+                Watchdog::suspects(h.watchdog, windows.health.watchdog);
+            std::cout << "  watchdog                " << h.watchdog.size()
+                      << " snapshots, " << findings.size() << " findings\n";
+            for (const std::string &finding : findings)
+                std::cout << "    " << finding << "\n";
+        }
+        if (windows.health.flows.enabled) {
+            const auto flows = result.flows.sorted();
+            const FlowMatrix::Flow *top = result.flows.hottestFlow();
+            std::cout << "  flows                   " << flows.size()
+                      << " distinct";
+            if (top != nullptr) {
+                std::cout << "; hottest " << top->src << "->" << top->dst
+                          << " (" << top->count << " packets, avg "
+                          << top->avgLatency() << " cycles)";
+            }
+            std::cout << "\n";
+        }
+    }
+    if (!flow_out.empty()) {
+        if (flow_out == "-") {
+            printFlowTop(std::cout, result.flows, 10);
+        } else {
+            std::ofstream os(flow_out);
+            if (!os)
+                NOC_FATAL("cannot open flow file: " + flow_out);
+            writeFlowCsv(os, result.flows);
+            std::cout << "  flow matrix written to  " << flow_out << "\n";
+        }
+    }
 
     if (!csv_path.empty()) {
         std::ofstream csv(csv_path, std::ios::app);

@@ -113,6 +113,18 @@ addResultFields(JsonObject &obj, const SimResult &r)
     obj.add("pc_terminated_credit", fmtU64(r.pcTotals.terminatedCredit));
     obj.add("cycles_run", fmtU64(r.cyclesRun));
     obj.add("drained", r.drained ? "true" : "false");
+    // Run-health fields ride along only when monitoring produced a
+    // verdict, so records from health-off runs stay byte-identical to
+    // what they were before the metrics layer existed.
+    if (r.health.verdict != RunVerdict::None) {
+        obj.addString("verdict", toString(r.health.verdict));
+        obj.add("steady_cycle", fmtU64(r.health.steadyCycle));
+        obj.add("latency_cov", fmtDouble(r.health.latencyCov));
+        obj.add("warmup_used", fmtU64(r.health.warmupUsed));
+        obj.add("measure_used", fmtU64(r.health.measureUsed));
+        obj.add("peak_backlog", fmtU64(r.health.peakBacklog));
+        obj.addString("saturation_reason", r.health.saturationReason);
+    }
 }
 
 std::string
@@ -184,6 +196,60 @@ failureToJson(const std::string &label, const SimConfig &cfg,
     return obj.str();
 }
 
+std::string
+sampleToJson(const std::string &label, const SimSample &sample)
+{
+    JsonObject obj;
+    obj.addString("label", label);
+    obj.addString("record", "sample");
+    obj.add("cycle", fmtU64(sample.cycle));
+    obj.add("packets", fmtU64(sample.packets));
+    obj.add("avg_latency", fmtDouble(sample.avgLatency));
+    obj.add("throughput", fmtDouble(sample.throughput));
+    return obj.str();
+}
+
+std::string
+flowToJson(const std::string &label, const FlowMatrix::Flow &flow)
+{
+    JsonObject obj;
+    obj.addString("label", label);
+    obj.addString("record", "flow");
+    obj.add("src", std::to_string(flow.src));
+    obj.add("dst", std::to_string(flow.dst));
+    obj.add("count", fmtU64(flow.count));
+    obj.add("avg_latency", fmtDouble(flow.avgLatency()));
+    obj.add("min_latency", fmtDouble(flow.minLatency));
+    obj.add("max_latency", fmtDouble(flow.maxLatency));
+    std::string buckets = "[";
+    for (std::size_t i = 0; i < FlowMatrix::kLatencyBuckets; ++i) {
+        if (i)
+            buckets += ',';
+        buckets += fmtU64(flow.buckets[i]);
+    }
+    buckets += ']';
+    obj.add("buckets", buckets);
+    return obj.str();
+}
+
+std::string
+watchdogToJson(const std::string &label, const WatchdogSnapshot &snapshot)
+{
+    JsonObject obj;
+    obj.addString("label", label);
+    obj.addString("record", "watchdog");
+    obj.add("cycle", fmtU64(snapshot.cycle));
+    obj.add("outstanding", fmtU64(snapshot.outstanding));
+    obj.add("ni_queued", fmtU64(snapshot.niQueued));
+    obj.add("buffered_flits", fmtU64(snapshot.bufferedFlits));
+    obj.add("credits_free", fmtU64(snapshot.creditsFree));
+    obj.add("since_progress", fmtU64(snapshot.sinceProgress));
+    obj.add("oldest_age", fmtU64(snapshot.oldestAge));
+    obj.add("hot_router", std::to_string(snapshot.hotRouter));
+    obj.add("hot_occupancy", fmtU64(snapshot.hotOccupancy));
+    return obj.str();
+}
+
 const std::vector<std::string> &
 resultCsvColumns()
 {
@@ -193,7 +259,8 @@ resultCsvColumns()
         "ok", "measured_packets", "avg_total_latency", "avg_net_latency",
         "p99_total_latency", "avg_hops", "throughput", "avg_latency_addr",
         "avg_latency_data", "reusability", "crossbar_locality",
-        "e2e_locality", "energy_total_pj", "cycles_run", "drained", "error"};
+        "e2e_locality", "energy_total_pj", "cycles_run", "drained",
+        "verdict", "error"};
     return columns;
 }
 
@@ -209,6 +276,27 @@ JsonLinesSink::writeFailure(const std::string &label, const SimConfig &cfg,
                             const std::string &error)
 {
     os_ << failureToJson(label, cfg, error) << '\n';
+}
+
+void
+JsonLinesSink::writeSamples(const std::string &label, const SimResult &result)
+{
+    for (const SimSample &s : result.samples)
+        os_ << sampleToJson(label, s) << '\n';
+}
+
+void
+JsonLinesSink::writeFlows(const std::string &label, const SimResult &result)
+{
+    for (const FlowMatrix::Flow &f : result.flows.sorted())
+        os_ << flowToJson(label, f) << '\n';
+}
+
+void
+JsonLinesSink::writeWatchdog(const std::string &label, const SimResult &result)
+{
+    for (const WatchdogSnapshot &s : result.health.watchdog)
+        os_ << watchdogToJson(label, s) << '\n';
 }
 
 CsvSink::CsvSink(std::ostream &os, bool header) : os_(os)
@@ -237,6 +325,7 @@ CsvSink::write(const std::string &label, const SimConfig &cfg,
     fields.push_back(fmtDouble(r.energy.totalPj()));
     fields.push_back(fmtU64(r.cyclesRun));
     fields.push_back(r.drained ? "1" : "0");
+    fields.push_back(toString(r.health.verdict));
     fields.push_back("");
     writeCsvRow(os_, fields);
 }
@@ -247,7 +336,7 @@ CsvSink::writeFailure(const std::string &label, const SimConfig &cfg,
 {
     std::vector<std::string> fields = configCsvFields(label, cfg);
     fields.push_back("0");
-    for (std::size_t i = 0; i < 14; ++i)
+    for (std::size_t i = 0; i < 15; ++i)
         fields.push_back("");
     fields.push_back(error);
     writeCsvRow(os_, fields);

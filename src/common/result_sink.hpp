@@ -19,10 +19,13 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "metrics/flow_matrix.hpp"
 
 namespace noc {
 
 struct SimResult;
+struct SimSample;
+struct WatchdogSnapshot;
 
 /** One JSON object, single line, no trailing newline. */
 std::string resultToJson(const std::string &label, const SimConfig &cfg,
@@ -32,10 +35,26 @@ std::string resultToJson(const std::string &label, const SimConfig &cfg,
 std::string failureToJson(const std::string &label, const SimConfig &cfg,
                           const std::string &error);
 
+/** JSON line for one time-series point ("record":"sample"). */
+std::string sampleToJson(const std::string &label, const SimSample &sample);
+
+/** JSON line for one src->dst flow histogram ("record":"flow"). */
+std::string flowToJson(const std::string &label,
+                       const FlowMatrix::Flow &flow);
+
+/** JSON line for one watchdog snapshot ("record":"watchdog"). */
+std::string watchdogToJson(const std::string &label,
+                           const WatchdogSnapshot &snapshot);
+
 /** Column names of the CSV emitted by CsvSink, in order. */
 const std::vector<std::string> &resultCsvColumns();
 
-/** Destination for structured per-run results. */
+/**
+ * Destination for structured per-run results. Beyond the headline
+ * result record, a run may carry auxiliary record streams — time-series
+ * samples, per-flow latency histograms, watchdog snapshots. Sinks that
+ * cannot represent them (fixed-column CSV) inherit the no-op defaults.
+ */
 class ResultSink
 {
   public:
@@ -47,6 +66,30 @@ class ResultSink
     /** A run that threw instead of producing a result. */
     virtual void writeFailure(const std::string &label, const SimConfig &cfg,
                               const std::string &error) = 0;
+
+    /** The run's SimSample time series (no-op by default). */
+    virtual void writeSamples(const std::string &label,
+                              const SimResult &result)
+    {
+        (void)label;
+        (void)result;
+    }
+
+    /** The run's per-flow latency histograms (no-op by default). */
+    virtual void writeFlows(const std::string &label,
+                            const SimResult &result)
+    {
+        (void)label;
+        (void)result;
+    }
+
+    /** The run's watchdog snapshots (no-op by default). */
+    virtual void writeWatchdog(const std::string &label,
+                               const SimResult &result)
+    {
+        (void)label;
+        (void)result;
+    }
 };
 
 /** One JSON object per line (JSON Lines / ndjson). */
@@ -59,6 +102,12 @@ class JsonLinesSink : public ResultSink
                const SimResult &result) override;
     void writeFailure(const std::string &label, const SimConfig &cfg,
                       const std::string &error) override;
+    void writeSamples(const std::string &label,
+                      const SimResult &result) override;
+    void writeFlows(const std::string &label,
+                    const SimResult &result) override;
+    void writeWatchdog(const std::string &label,
+                       const SimResult &result) override;
 
   private:
     std::ostream &os_;

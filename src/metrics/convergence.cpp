@@ -1,0 +1,42 @@
+#include "metrics/convergence.hpp"
+
+#include <cmath>
+
+namespace noc {
+
+void
+ConvergenceMonitor::observe(Cycle cycle, std::uint64_t packets,
+                            double avgLatency)
+{
+    if (packets == 0)
+        return;
+
+    window_.push_back(avgLatency);
+    if (window_.size() > static_cast<std::size_t>(cfg_.window))
+        window_.pop_front();
+
+    if (window_.size() < 2) {
+        cov_ = 0.0;
+        return;
+    }
+    double sum = 0.0;
+    for (const double v : window_)
+        sum += v;
+    const double mean = sum / static_cast<double>(window_.size());
+    double sq = 0.0;
+    for (const double v : window_) {
+        const double d = v - mean;
+        sq += d * d;
+    }
+    const double stddev =
+        std::sqrt(sq / static_cast<double>(window_.size()));
+    cov_ = mean > 0.0 ? stddev / mean : 0.0;
+
+    if (steadyCycle_ == 0 &&
+        window_.size() == static_cast<std::size_t>(cfg_.window) &&
+        cov_ < cfg_.covThreshold) {
+        steadyCycle_ = cycle;
+    }
+}
+
+} // namespace noc

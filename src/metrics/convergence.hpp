@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Steady-state detection over the simulator's interval-sample stream.
+ *
+ * The monitor keeps the last `window` interval latency means and
+ * computes their coefficient of variation (stddev / mean). Once the
+ * window is full and the CoV drops below the threshold the run is
+ * declared steady; the first cycle at which that happened is latched.
+ * Empty intervals (no completions, e.g. at very low load) are skipped
+ * rather than treated as zero-latency samples, so sparse traffic can
+ * still converge.
+ */
+
+#ifndef NOC_METRICS_CONVERGENCE_HPP
+#define NOC_METRICS_CONVERGENCE_HPP
+
+#include <deque>
+
+#include "metrics/run_health.hpp"
+
+namespace noc {
+
+class ConvergenceMonitor
+{
+  public:
+    explicit ConvergenceMonitor(const ConvergenceConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Feed one interval sample. `packets` completions with mean latency
+     * `avgLatency` ended at `cycle`. Intervals with no completions are
+     * ignored.
+     */
+    void observe(Cycle cycle, std::uint64_t packets, double avgLatency);
+
+    /** True once the windowed CoV has dropped below the threshold. */
+    bool steady() const { return steadyCycle_ != 0; }
+
+    /** First cycle steady state was declared (0 = not yet). */
+    Cycle steadyCycle() const { return steadyCycle_; }
+
+    /** CoV of the current window (0 until the window has 2 samples). */
+    double cov() const { return cov_; }
+
+    /** Samples currently held (at most cfg.window). */
+    int windowFill() const { return static_cast<int>(window_.size()); }
+
+  private:
+    ConvergenceConfig cfg_;
+    std::deque<double> window_;
+    double cov_ = 0.0;
+    Cycle steadyCycle_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_METRICS_CONVERGENCE_HPP

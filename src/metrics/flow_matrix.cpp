@@ -1,0 +1,98 @@
+#include "metrics/flow_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace noc {
+
+int
+FlowMatrix::bucketOf(double latency)
+{
+    if (!(latency >= 1.0))
+        return 0;
+    const int b = static_cast<int>(std::log2(latency));
+    return std::min(b, kLatencyBuckets - 1);
+}
+
+void
+FlowMatrix::record(NodeId src, NodeId dst, double latency)
+{
+    Flow &f = cells_[key(src, dst)];
+    if (f.count == 0) {
+        f.src = src;
+        f.dst = dst;
+        f.minLatency = latency;
+        f.maxLatency = latency;
+    } else {
+        f.minLatency = std::min(f.minLatency, latency);
+        f.maxLatency = std::max(f.maxLatency, latency);
+    }
+    ++f.count;
+    f.sumLatency += latency;
+    ++f.buckets[static_cast<std::size_t>(bucketOf(latency))];
+    ++total_;
+}
+
+std::vector<FlowMatrix::Flow>
+FlowMatrix::sorted() const
+{
+    std::vector<Flow> out;
+    out.reserve(cells_.size());
+    for (const auto &[k, f] : cells_)
+        out.push_back(f);
+    std::sort(out.begin(), out.end(), [](const Flow &a, const Flow &b) {
+        return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    return out;
+}
+
+const FlowMatrix::Flow *
+FlowMatrix::hottestFlow() const
+{
+    const Flow *best = nullptr;
+    for (const auto &[k, f] : cells_) {
+        if (!best || f.count > best->count ||
+            (f.count == best->count &&
+             (f.src < best->src ||
+              (f.src == best->src && f.dst < best->dst)))) {
+            best = &f;
+        }
+    }
+    return best;
+}
+
+void
+writeFlowCsv(std::ostream &os, const FlowMatrix &flows)
+{
+    os << "src,dst,count,avg_latency,min_latency,max_latency";
+    for (int b = 0; b < FlowMatrix::kLatencyBuckets; ++b)
+        os << ",b" << b;
+    os << '\n';
+    for (const FlowMatrix::Flow &f : flows.sorted()) {
+        os << f.src << ',' << f.dst << ',' << f.count << ','
+           << f.avgLatency() << ',' << f.minLatency << ',' << f.maxLatency;
+        for (const std::uint64_t c : f.buckets)
+            os << ',' << c;
+        os << '\n';
+    }
+}
+
+void
+printFlowTop(std::ostream &os, const FlowMatrix &flows, int topN)
+{
+    std::vector<FlowMatrix::Flow> all = flows.sorted();
+    std::stable_sort(all.begin(), all.end(),
+                     [](const FlowMatrix::Flow &a, const FlowMatrix::Flow &b)
+                     { return a.count > b.count; });
+    if (all.size() > static_cast<std::size_t>(topN))
+        all.resize(static_cast<std::size_t>(topN));
+    os << "  busiest flows (src->dst: packets, avg/max latency)\n";
+    for (const FlowMatrix::Flow &f : all) {
+        os << "    " << f.src << "->" << f.dst << ": " << f.count
+           << " pkts, " << f.avgLatency() << " / " << f.maxLatency
+           << " cycles\n";
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-flow (source -> destination) latency statistics with fixed-memory
+ * logarithmic histograms.
+ *
+ * A flow cell carries count / sum / min / max plus kLatencyBuckets
+ * power-of-two latency buckets (bucket i counts latencies in
+ * [2^i, 2^(i+1)), with the last bucket absorbing everything larger), so
+ * memory per active flow is constant no matter how long the run is.
+ * Cells are created lazily — only pairs that actually exchanged
+ * measured packets cost anything. Exports are deterministic: flows are
+ * always emitted sorted by (src, dst).
+ */
+
+#ifndef NOC_METRICS_FLOW_MATRIX_HPP
+#define NOC_METRICS_FLOW_MATRIX_HPP
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace noc {
+
+class FlowMatrix
+{
+  public:
+    static constexpr int kLatencyBuckets = 20;
+
+    struct Flow
+    {
+        NodeId src = kInvalidNode;
+        NodeId dst = kInvalidNode;
+        std::uint64_t count = 0;
+        double sumLatency = 0.0;
+        double minLatency = 0.0;
+        double maxLatency = 0.0;
+        std::array<std::uint64_t, kLatencyBuckets> buckets{};
+
+        double avgLatency() const
+        {
+            return count == 0 ? 0.0
+                              : sumLatency / static_cast<double>(count);
+        }
+    };
+
+    /** Histogram bucket a latency value falls into. */
+    static int bucketOf(double latency);
+
+    void record(NodeId src, NodeId dst, double latency);
+
+    bool empty() const { return cells_.empty(); }
+    std::size_t numFlows() const { return cells_.size(); }
+    std::uint64_t totalPackets() const { return total_; }
+
+    /** All flows, sorted by (src, dst) — deterministic export order. */
+    std::vector<Flow> sorted() const;
+
+    /**
+     * The flow with the most packets (ties: lowest (src, dst));
+     * nullptr when no packet was ever recorded.
+     */
+    const Flow *hottestFlow() const;
+
+  private:
+    static std::uint64_t key(NodeId src, NodeId dst)
+    {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                << 32) |
+               static_cast<std::uint32_t>(dst);
+    }
+
+    std::unordered_map<std::uint64_t, Flow> cells_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * CSV export: header + one row per flow (src, dst, count, avg/min/max
+ * latency, then the kLatencyBuckets bucket counts b0..b19).
+ */
+void writeFlowCsv(std::ostream &os, const FlowMatrix &flows);
+
+/** Text summary of the `topN` busiest flows (hotspot-pair analysis). */
+void printFlowTop(std::ostream &os, const FlowMatrix &flows, int topN);
+
+} // namespace noc
+
+#endif // NOC_METRICS_FLOW_MATRIX_HPP

@@ -1,0 +1,33 @@
+#include "metrics/run_health.hpp"
+
+#include "common/log.hpp"
+
+namespace noc {
+
+const char *
+toString(RunVerdict verdict)
+{
+    switch (verdict) {
+      case RunVerdict::None: return "none";
+      case RunVerdict::Converged: return "converged";
+      case RunVerdict::NotConverged: return "not-converged";
+      case RunVerdict::Saturated: return "saturated";
+    }
+    NOC_FATAL("unknown run verdict");
+}
+
+RunVerdict
+parseRunVerdict(const std::string &name)
+{
+    if (name == "none")
+        return RunVerdict::None;
+    if (name == "converged")
+        return RunVerdict::Converged;
+    if (name == "not-converged")
+        return RunVerdict::NotConverged;
+    if (name == "saturated")
+        return RunVerdict::Saturated;
+    NOC_FATAL("unknown run verdict: " + name);
+}
+
+} // namespace noc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Run-health types: configuration knobs and the per-run verdict the
+ * metrics layer attaches to a SimResult.
+ *
+ * The fixed warmup/measure windows of a load–latency sweep are blind
+ * guesses: near saturation a point may not have converged when the
+ * window closes, and past saturation the run burns its full budget
+ * producing a meaningless number. The metrics layer answers the
+ * run-level question — is this simulation healthy, converged,
+ * saturated, or stuck — from the same interval sample stream the
+ * simulator already produces. Everything here is opt-in and strictly
+ * observational unless explicitly allowed to steer the run (adaptive
+ * warmup, saturation early-exit).
+ */
+
+#ifndef NOC_METRICS_RUN_HEALTH_HPP
+#define NOC_METRICS_RUN_HEALTH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace noc {
+
+/** What the run-health layer concluded about one simulation. */
+enum class RunVerdict {
+    None,          ///< monitoring was off
+    Converged,     ///< latency reached steady state inside the window
+    NotConverged,  ///< window closed before steady state
+    Saturated,     ///< offered load exceeds capacity; run was cut short
+};
+
+const char *toString(RunVerdict verdict);
+
+/** Inverse of toString(); NOC_FATALs on an unknown name. */
+RunVerdict parseRunVerdict(const std::string &name);
+
+/** Steady-state detection over the interval-sample stream. */
+struct ConvergenceConfig
+{
+    bool enabled = false;
+    /// Consecutive interval means the CoV is computed over.
+    int window = 8;
+    /// Coefficient of variation (stddev/mean) below which the windowed
+    /// latency is declared steady.
+    double covThreshold = 0.05;
+    /// End the warmup phase as soon as latency is steady instead of
+    /// burning the full configured warmup (changes results; opt-in).
+    bool adaptiveWarmup = false;
+};
+
+/** Runaway-latency / unbounded-backlog detection. */
+struct SaturationConfig
+{
+    bool enabled = false;
+    /// Consecutive strictly-growing sample intervals before declaring
+    /// saturation.
+    int patience = 4;
+    /// The monitored quantity must additionally have grown by this
+    /// factor across the patience span (guards against slow drift).
+    double growthFactor = 2.0;
+    /// Minimum outstanding-packet backlog before the backlog signal may
+    /// fire; 0 lets the simulator scale it to 4 packets per node.
+    std::uint64_t minBacklog = 0;
+    /// Deep-saturation escape: a backlog this many times past the floor
+    /// that is still strictly climbing fires without the growthFactor
+    /// test — a run that saturated during warmup grows from a baseline
+    /// too large to ever double inside one patience span.
+    double ceilingFactor = 16.0;
+};
+
+/** Periodic whole-network state snapshots. */
+struct WatchdogConfig
+{
+    bool enabled = false;
+    Cycle interval = 1000;       ///< cycles between snapshots
+    /// A buffered flit older than this marks its run as a starvation
+    /// suspect in the snapshot report.
+    Cycle starvationAge = 2000;
+};
+
+/** Per-flow (src -> dst) latency histogram collection. */
+struct FlowConfig
+{
+    bool enabled = false;
+};
+
+/** Everything the run-health layer can be asked to do for one run. */
+struct RunHealthConfig
+{
+    /// Interval-sample cadence used when SimWindows::sampleInterval is
+    /// 0 but a monitor needs the sample stream.
+    Cycle sampleEvery = 250;
+
+    ConvergenceConfig convergence;
+    SaturationConfig saturation;
+    WatchdogConfig watchdog;
+    FlowConfig flows;
+
+    /** Any monitor that consumes the interval-sample stream is on. */
+    bool needsSamples() const
+    {
+        return convergence.enabled || saturation.enabled;
+    }
+
+    bool any() const
+    {
+        return convergence.enabled || saturation.enabled ||
+               watchdog.enabled || flows.enabled;
+    }
+};
+
+/** One periodic network-state snapshot (see Watchdog). */
+struct WatchdogSnapshot
+{
+    Cycle cycle = 0;
+    std::uint64_t outstanding = 0;    ///< packets injected, not ejected
+    std::uint64_t niQueued = 0;       ///< packets waiting at the NIs
+    std::uint64_t bufferedFlits = 0;  ///< flits sitting in router VCs
+    std::uint64_t creditsFree = 0;    ///< credits across all output VCs
+    Cycle sinceProgress = 0;          ///< cycles since a flit moved
+    /// Age (cycles) of the oldest packet still queued or buffered;
+    /// 0 when the network holds nothing.
+    Cycle oldestAge = 0;
+    RouterId hotRouter = kInvalidRouter;  ///< deepest-buffered router
+    std::uint64_t hotOccupancy = 0;       ///< its buffered flit count
+};
+
+/** The run-health record attached to every SimResult. */
+struct RunHealth
+{
+    RunVerdict verdict = RunVerdict::None;
+    /// Cycle at which the measurement-phase latency was declared
+    /// steady; 0 when never (or when monitoring was off).
+    Cycle steadyCycle = 0;
+    /// Final coefficient of variation of the windowed latency means.
+    double latencyCov = 0.0;
+    Cycle warmupUsed = 0;    ///< < configured warmup under adaptiveWarmup
+    Cycle measureUsed = 0;   ///< < configured measure after an early exit
+    /// Highest outstanding-packet backlog seen at a sample boundary.
+    std::uint64_t peakBacklog = 0;
+    /// Why the saturation guard fired ("" when it did not).
+    std::string saturationReason;
+
+    std::vector<WatchdogSnapshot> watchdog;
+};
+
+} // namespace noc
+
+#endif // NOC_METRICS_RUN_HEALTH_HPP

@@ -1,0 +1,54 @@
+#include "metrics/saturation.hpp"
+
+namespace noc {
+
+template <typename T>
+bool
+SaturationGuard::runaway(const std::deque<T> &history, double floor) const
+{
+    if (history.size() < static_cast<std::size_t>(cfg_.patience) + 1)
+        return false;
+    for (std::size_t i = 1; i < history.size(); ++i) {
+        if (!(history[i] > history[i - 1]))
+            return false;
+    }
+    const double first = static_cast<double>(history.front());
+    const double last = static_cast<double>(history.back());
+    if (last < floor)
+        return false;
+    // Deep saturation: a run that went under during warmup climbs from
+    // a baseline too large to double within one patience span, so a
+    // strictly-growing series far past the floor counts on its own.
+    if (floor > 0.0 && last >= cfg_.ceilingFactor * floor)
+        return true;
+    return first > 0.0 && last >= cfg_.growthFactor * first;
+}
+
+void
+SaturationGuard::observe(Cycle cycle, double avgLatency,
+                         std::uint64_t backlog)
+{
+    if (saturated())
+        return;
+
+    // Empty intervals carry no latency information; a zero would break
+    // the monotone-growth test of an otherwise runaway series.
+    if (avgLatency > 0.0) {
+        latency_.push_back(avgLatency);
+        if (latency_.size() > static_cast<std::size_t>(cfg_.patience) + 1)
+            latency_.pop_front();
+    }
+    backlog_.push_back(backlog);
+    if (backlog_.size() > static_cast<std::size_t>(cfg_.patience) + 1)
+        backlog_.pop_front();
+
+    if (runaway(backlog_, static_cast<double>(cfg_.minBacklog))) {
+        triggerCycle_ = cycle;
+        reason_ = "backlog-growth";
+    } else if (runaway(latency_, 0.0)) {
+        triggerCycle_ = cycle;
+        reason_ = "latency-growth";
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Saturation detection: runaway latency growth or unbounded injection
+ * backlog across consecutive sample intervals.
+ *
+ * Past the saturation load of a network, completions lag injections
+ * forever: the outstanding-packet backlog grows without bound and the
+ * latency of whatever does complete keeps climbing. The guard watches
+ * both signals over the interval-sample stream and fires when either
+ * has grown strictly monotonically across `patience` consecutive
+ * intervals AND by at least `growthFactor` overall — the double
+ * condition keeps transient bursts and slow drift from tripping it.
+ * A deeply saturated run may complete almost nothing (empty latency
+ * samples), which is why the backlog signal exists: injections never
+ * stop, so the backlog curve is always available.
+ *
+ * On a trigger the simulator abandons the rest of the measurement
+ * window and the drain phase — the wall-clock win a fixed-window sweep
+ * wastes on every post-saturation point.
+ */
+
+#ifndef NOC_METRICS_SATURATION_HPP
+#define NOC_METRICS_SATURATION_HPP
+
+#include <deque>
+#include <string>
+
+#include "metrics/run_health.hpp"
+
+namespace noc {
+
+class SaturationGuard
+{
+  public:
+    explicit SaturationGuard(const SaturationConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Feed one interval sample: mean latency of the interval's
+     * completions (0 when none completed) and the outstanding-packet
+     * backlog at the interval boundary.
+     */
+    void observe(Cycle cycle, double avgLatency, std::uint64_t backlog);
+
+    bool saturated() const { return triggerCycle_ != 0; }
+    Cycle triggerCycle() const { return triggerCycle_; }
+
+    /** "latency-growth", "backlog-growth", or "" before a trigger. */
+    const std::string &reason() const { return reason_; }
+
+  private:
+    /** True when the last patience+1 values grow strictly and by the
+     *  configured overall factor. */
+    template <typename T>
+    bool runaway(const std::deque<T> &history, double floor) const;
+
+    SaturationConfig cfg_;
+    std::deque<double> latency_;
+    std::deque<std::uint64_t> backlog_;
+    Cycle triggerCycle_ = 0;
+    std::string reason_;
+};
+
+} // namespace noc
+
+#endif // NOC_METRICS_SATURATION_HPP

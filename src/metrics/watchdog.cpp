@@ -1,0 +1,56 @@
+#include "metrics/watchdog.hpp"
+
+#include <sstream>
+
+#include "network/network.hpp"
+
+namespace noc {
+
+void
+Watchdog::snapshot(const Network &net, Cycle now)
+{
+    const Network::Probe p = net.probe();
+    WatchdogSnapshot s;
+    s.cycle = now;
+    s.outstanding = net.packetsOutstanding();
+    s.niQueued = p.niQueuedPackets;
+    s.bufferedFlits = p.bufferedFlits;
+    s.creditsFree = p.creditsFree;
+    s.sinceProgress = net.cyclesSinceProgress();
+    s.oldestAge = p.oldestCreate == kNeverCycle ? 0 : now - p.oldestCreate;
+    s.hotRouter = p.hotRouter;
+    s.hotOccupancy = p.hotOccupancy;
+    snapshots_.push_back(s);
+}
+
+std::vector<std::string>
+Watchdog::suspects(const std::vector<WatchdogSnapshot> &snapshots,
+                   const WatchdogConfig &cfg)
+{
+    std::vector<std::string> findings;
+    for (const WatchdogSnapshot &s : snapshots) {
+        if (s.outstanding == 0)
+            continue;
+        std::ostringstream os;
+        if (s.sinceProgress > cfg.interval) {
+            os << "cycle " << s.cycle << ": stalled (" << s.sinceProgress
+               << " cycles without progress, " << s.outstanding
+               << " packets outstanding";
+        } else if (s.oldestAge > cfg.starvationAge) {
+            os << "cycle " << s.cycle << ": starvation suspect (oldest "
+               << "in-flight packet " << s.oldestAge << " cycles old, "
+               << s.bufferedFlits << " flits buffered";
+        } else {
+            continue;
+        }
+        if (s.hotRouter != kInvalidRouter) {
+            os << "; deepest router #" << s.hotRouter << " holds "
+               << s.hotOccupancy << " flits";
+        }
+        os << ")";
+        findings.push_back(os.str());
+    }
+    return findings;
+}
+
+} // namespace noc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Periodic network-state watchdog: every N cycles, snapshot where
+ * traffic is sitting (NI queues vs. router buffers), the remaining
+ * credit headroom, forward progress, and the age of the oldest
+ * in-flight packet — the raw material for diagnosing a stuck or
+ * starving run after the fact.
+ *
+ * The watchdog never steers the simulation; it only records. Snapshot
+ * analysis (`suspects`) flags starvation (a packet older than the
+ * configured age) and stalls (no forward progress with traffic
+ * outstanding), naming the deepest-buffered router as the suspect.
+ */
+
+#ifndef NOC_METRICS_WATCHDOG_HPP
+#define NOC_METRICS_WATCHDOG_HPP
+
+#include <string>
+#include <vector>
+
+#include "metrics/run_health.hpp"
+
+namespace noc {
+
+class Network;
+
+class Watchdog
+{
+  public:
+    explicit Watchdog(const WatchdogConfig &cfg) : cfg_(cfg) {}
+
+    bool enabled() const { return cfg_.enabled; }
+
+    /** True when a snapshot is due at `now` (every cfg.interval). */
+    bool due(Cycle now) const
+    {
+        return cfg_.enabled && cfg_.interval > 0 &&
+               now % cfg_.interval == 0;
+    }
+
+    /** Record one snapshot of `net` at cycle `now`. */
+    void snapshot(const Network &net, Cycle now);
+
+    const std::vector<WatchdogSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /** Move the recorded snapshots out (into a RunHealth). */
+    std::vector<WatchdogSnapshot> takeSnapshots()
+    {
+        return std::move(snapshots_);
+    }
+
+    /**
+     * Human-readable starvation/stall findings over a snapshot series:
+     * one line per offending snapshot, empty when the run looks
+     * healthy.
+     */
+    static std::vector<std::string> suspects(
+        const std::vector<WatchdogSnapshot> &snapshots,
+        const WatchdogConfig &cfg);
+
+  private:
+    WatchdogConfig cfg_;
+    std::vector<WatchdogSnapshot> snapshots_;
+};
+
+} // namespace noc
+
+#endif // NOC_METRICS_WATCHDOG_HPP

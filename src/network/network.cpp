@@ -1,5 +1,6 @@
 #include "network/network.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hpp"
@@ -256,6 +257,48 @@ Network::describeStall() const
        << busy_routers << " routers, " << cyclesSinceProgress()
        << " cycles since progress";
     return os.str();
+}
+
+Network::Probe
+Network::probe() const
+{
+    Probe p;
+    for (const auto &ni : nis_) {
+        p.niQueuedPackets += ni->queueDepth();
+        if (const auto oldest = ni->oldestCreateTime())
+            p.oldestCreate = std::min(p.oldestCreate, *oldest);
+    }
+    for (RouterId r = 0; r < static_cast<RouterId>(routers_.size()); ++r) {
+        const Router &router = *routers_[r];
+        std::uint64_t here = 0;
+        for (PortId port = 0; port < topo_->numInputPorts(r); ++port) {
+            for (VcId v = 0; v < cfg_.numVcs; ++v) {
+                const InputVc &vc = router.inputVc(port, v);
+                here += vc.occupancy();
+                if (!vc.empty()) {
+                    p.oldestCreate = std::min(p.oldestCreate,
+                                              vc.front().flit.createTime);
+                }
+            }
+        }
+        p.bufferedFlits += here;
+        if (here > p.hotOccupancy) {
+            p.hotOccupancy = here;
+            p.hotRouter = r;
+        }
+        for (PortId port = 0; port < router.numOutputPorts(); ++port) {
+            const OutputPort &out = router.outputPort(port);
+            if (!out.connected())
+                continue;
+            for (int d = 0; d < out.numDrops(); ++d) {
+                for (VcId v = 0; v < out.numVcs(); ++v) {
+                    p.creditsFree +=
+                        static_cast<std::uint64_t>(out.vc(d, v).credits);
+                }
+            }
+        }
+    }
+    return p;
 }
 
 void

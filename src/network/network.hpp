@@ -64,6 +64,26 @@ class Network
     /** One-line description of where outstanding packets are stuck. */
     std::string describeStall() const;
 
+    /**
+     * Cheap whole-network state probe for the run-health watchdog:
+     * where traffic is sitting (NI queues vs. router buffers), how much
+     * credit headroom remains, and how old the oldest in-flight packet
+     * is. O(routers x ports x VCs); intended for periodic sampling, not
+     * per-cycle use.
+     */
+    struct Probe
+    {
+        std::uint64_t niQueuedPackets = 0;
+        std::uint64_t bufferedFlits = 0;
+        std::uint64_t creditsFree = 0;
+        /// Earliest createTime among queued/buffered packets;
+        /// kNeverCycle when the network holds nothing.
+        Cycle oldestCreate = kNeverCycle;
+        RouterId hotRouter = kInvalidRouter;  ///< deepest-buffered router
+        std::uint64_t hotOccupancy = 0;
+    };
+    Probe probe() const;
+
     NetworkInterface &ni(NodeId n) { return *nis_[n]; }
     Router &router(RouterId r) { return *routers_[r]; }
     int numRouters() const { return static_cast<int>(routers_.size()); }

@@ -67,6 +67,16 @@ class NetworkInterface
         return queue_.size() + (current_ ? 1 : 0);
     }
 
+    /** Creation time of the oldest packet queued or mid-injection. */
+    std::optional<Cycle> oldestCreateTime() const
+    {
+        if (current_)
+            return current_->createTime;
+        if (!queue_.empty())
+            return queue_.front().createTime;
+        return std::nullopt;
+    }
+
     /**
      * One injection cycle: emit at most one flit. Returns the flit to put
      * on the terminal link, if any.

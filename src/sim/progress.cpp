@@ -1,0 +1,72 @@
+#include "sim/progress.hpp"
+
+#include <iostream>
+#include <sstream>
+
+namespace noc {
+
+ProgressPrinter::ProgressPrinter() : ProgressPrinter(std::cerr) {}
+
+ProgressPrinter::ProgressPrinter(std::ostream &os)
+    : os_(os), start_(std::chrono::steady_clock::now())
+{
+}
+
+SweepProgressFn
+ProgressPrinter::callback()
+{
+    // The runner serializes observer calls, so render() needs no lock.
+    return [this](const SweepProgressEvent &event) { render(event); };
+}
+
+void
+ProgressPrinter::render(const SweepProgressEvent &event)
+{
+    if (!event.ok)
+        ++failed_;
+    else if (event.verdict == RunVerdict::Saturated)
+        ++saturated_;
+    else
+        ++ok_;
+
+    std::ostringstream line;
+    line << '[' << event.completed << '/' << event.total << "] ok:" << ok_;
+    if (saturated_ > 0)
+        line << " sat:" << saturated_;
+    if (failed_ > 0)
+        line << " fail:" << failed_;
+
+    const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - start_).count();
+    if (event.completed < event.total && event.completed > 0) {
+        const auto eta = elapsed *
+            static_cast<long long>(event.total - event.completed) /
+            static_cast<long long>(event.completed);
+        line << " eta:" << eta << 's';
+    } else {
+        line << ' ' << elapsed << 's';
+    }
+
+    line << ' ' << event.label;
+    if (event.ok && event.verdict != RunVerdict::None)
+        line << " (" << toString(event.verdict) << ')';
+
+    std::string text = line.str();
+    const std::size_t width = text.size();
+    // Pad over the previous (possibly longer) line before rewriting.
+    if (width < lastWidth_)
+        text.append(lastWidth_ - width, ' ');
+    lastWidth_ = width;
+    os_ << '\r' << text << std::flush;
+}
+
+void
+ProgressPrinter::finish()
+{
+    if (lastWidth_ == 0)
+        return;
+    os_ << '\r' << std::string(lastWidth_, ' ') << '\r' << std::flush;
+    lastWidth_ = 0;
+}
+
+} // namespace noc

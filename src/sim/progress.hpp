@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Terminal progress line for sweeps: renders SweepProgressEvents as a
+ * single in-place line ("\r"-rewritten, stderr by default) with
+ * completion counts, a verdict tally, ETA, and the label that just
+ * finished. Results own stdout; the printer never writes there, so
+ * `harness --progress > results.txt` stays clean.
+ *
+ * Usage:
+ *     ProgressPrinter progress;
+ *     if (cli.progress)
+ *         runner.onProgress(progress.callback());
+ *     auto outcomes = runner.run(jobs);
+ *     progress.finish();   // clears the line; no-op if nothing rendered
+ */
+
+#ifndef NOC_SIM_PROGRESS_HPP
+#define NOC_SIM_PROGRESS_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+
+#include "sim/sweep.hpp"
+
+namespace noc {
+
+class ProgressPrinter
+{
+  public:
+    /** Renders to stderr. */
+    ProgressPrinter();
+    /** Renders to `os` (tests capture an ostringstream). */
+    explicit ProgressPrinter(std::ostream &os);
+
+    /** The observer to install via SweepRunner::onProgress. */
+    SweepProgressFn callback();
+
+    /**
+     * Erase the progress line so subsequent output starts on a clean
+     * row. Safe to call unconditionally and repeatedly.
+     */
+    void finish();
+
+    std::size_t okCount() const { return ok_; }
+    std::size_t failCount() const { return failed_; }
+    std::size_t saturatedCount() const { return saturated_; }
+
+  private:
+    void render(const SweepProgressEvent &event);
+
+    std::ostream &os_;
+    std::chrono::steady_clock::time_point start_;
+    std::size_t ok_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t saturated_ = 0;
+    std::size_t lastWidth_ = 0;
+};
+
+} // namespace noc
+
+#endif // NOC_SIM_PROGRESS_HPP

@@ -71,10 +71,11 @@ routerActivity(Network &net, Cycle cycles)
     return out;
 }
 
-const RouterActivity &
+RouterActivity
 hottest(const std::vector<RouterActivity> &activity)
 {
-    NOC_ASSERT(!activity.empty(), "no routers in activity snapshot");
+    if (activity.empty())
+        return {};
     return *std::max_element(activity.begin(), activity.end(),
                              [](const RouterActivity &a,
                                 const RouterActivity &b)

@@ -37,8 +37,12 @@ struct RouterActivity
 /** Snapshot every router's counters, normalized over `cycles`. */
 std::vector<RouterActivity> routerActivity(Network &net, Cycle cycles);
 
-/** The busiest router in the snapshot (hotspot detection). */
-const RouterActivity &hottest(const std::vector<RouterActivity> &activity);
+/**
+ * The busiest router in the snapshot (hotspot detection). An empty
+ * snapshot yields the default RouterActivity, recognisable by
+ * router == kInvalidRouter — callers print "n/a" instead of crashing.
+ */
+RouterActivity hottest(const std::vector<RouterActivity> &activity);
 
 /**
  * Minimal CSV writer: quotes fields containing commas/quotes/newlines,

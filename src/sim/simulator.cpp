@@ -1,6 +1,11 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
+#include "metrics/convergence.hpp"
+#include "metrics/saturation.hpp"
+#include "metrics/watchdog.hpp"
 
 namespace noc {
 
@@ -21,9 +26,10 @@ Simulator::stepOnce(SimPhase phase)
     net_.drainCompleted(completedScratch_);
     for (const CompletedPacket &p : completedScratch_) {
         source_->onPacketDelivered(p, net_, net_.now());
+        const auto total = static_cast<double>(p.ejectTime - p.createTime);
+        allPhaseInterval_.add(total);
         if (!p.measured)
             continue;
-        const auto total = static_cast<double>(p.ejectTime - p.createTime);
         const auto net_lat = static_cast<double>(p.ejectTime - p.injectTime);
         totalLatency_.add(total);
         netLatency_.add(net_lat);
@@ -33,38 +39,94 @@ Simulator::stepOnce(SimPhase phase)
         latencyHist_.add(total);
         measuredFlits_ += p.size;
         intervalFlits_ += p.size;
+        if (flowsEnabled_)
+            flows_.record(p.src, p.dst, total);
     }
 }
 
 SimResult
 Simulator::run(const SimWindows &windows)
 {
-    for (Cycle c = 0; c < windows.warmup; ++c)
+    const RunHealthConfig &hc = windows.health;
+    // The monitors consume the interval-sample stream; when the caller
+    // did not configure one, health monitoring brings its own cadence.
+    const Cycle sample_every = windows.sampleInterval > 0
+        ? windows.sampleInterval
+        : (hc.needsSamples() ? hc.sampleEvery : 0);
+    flowsEnabled_ = hc.flows.enabled;
+
+    SaturationConfig sat_cfg = hc.saturation;
+    if (sat_cfg.minBacklog == 0)
+        sat_cfg.minBacklog =
+            4ull * static_cast<std::uint64_t>(net_.numNodes());
+
+    ConvergenceMonitor warmup_monitor(hc.convergence);
+    ConvergenceMonitor monitor(hc.convergence);
+    SaturationGuard guard(sat_cfg);
+    Watchdog watchdog(hc.watchdog);
+    RunHealth health;
+
+    const bool adaptive = hc.convergence.enabled &&
+        hc.convergence.adaptiveWarmup && sample_every > 0;
+    for (Cycle c = 0; c < windows.warmup; ++c) {
         stepOnce(SimPhase::Warmup);
+        ++health.warmupUsed;
+        if (watchdog.due(net_.now()))
+            watchdog.snapshot(net_, net_.now());
+        if (adaptive && (c + 1) % sample_every == 0) {
+            // Warmup packets are unmeasured, so steady-state detection
+            // here runs on the all-completions interval accumulator.
+            warmup_monitor.observe(net_.now(), allPhaseInterval_.count(),
+                                   allPhaseInterval_.mean());
+            allPhaseInterval_.reset();
+            if (warmup_monitor.steady())
+                break;
+        }
+    }
+    allPhaseInterval_.reset();
 
     const RouterStats before = net_.aggregateRouterStats();
     for (Cycle c = 0; c < windows.measure; ++c) {
         stepOnce(SimPhase::Measure);
-        if (windows.sampleInterval > 0 &&
-            (c + 1) % windows.sampleInterval == 0) {
+        ++health.measureUsed;
+        if (watchdog.due(net_.now()))
+            watchdog.snapshot(net_, net_.now());
+        if (sample_every > 0 && (c + 1) % sample_every == 0) {
             SimSample sample;
             sample.cycle = net_.now();
             sample.packets = intervalLatency_.count();
             sample.avgLatency = intervalLatency_.mean();
             sample.throughput = static_cast<double>(intervalFlits_) /
-                (static_cast<double>(windows.sampleInterval) *
+                (static_cast<double>(sample_every) *
                  static_cast<double>(net_.numNodes()));
             samples_.push_back(sample);
             intervalLatency_.reset();
             intervalFlits_ = 0;
+
+            const std::uint64_t backlog = net_.packetsOutstanding();
+            health.peakBacklog = std::max(health.peakBacklog, backlog);
+            if (hc.convergence.enabled)
+                monitor.observe(sample.cycle, sample.packets,
+                                sample.avgLatency);
+            if (hc.saturation.enabled) {
+                guard.observe(sample.cycle, sample.avgLatency, backlog);
+                if (guard.saturated())
+                    break;
+            }
         }
     }
 
+    // A saturated network cannot drain: skip the measurement remainder
+    // and the whole drain phase — that wasted budget is the guard's
+    // sweep speedup.
     Cycle drained_cycles = 0;
-    while (!(net_.idle() && source_->exhausted()) &&
+    while (!guard.saturated() &&
+           !(net_.idle() && source_->exhausted()) &&
            drained_cycles < windows.drainLimit) {
         stepOnce(SimPhase::Drain);
         ++drained_cycles;
+        if (watchdog.due(net_.now()))
+            watchdog.snapshot(net_, net_.now());
         // Forward-progress watchdog: fail fast on a wedged network
         // instead of spinning to the drain limit.
         if (!net_.idle() && net_.cyclesSinceProgress() > 10000) {
@@ -87,8 +149,21 @@ Simulator::run(const SimWindows &windows)
     result.avgLatencyDataPkts = dataLatency_.mean();
     result.samples = samples_;
     result.throughput = static_cast<double>(measuredFlits_) /
-        (static_cast<double>(windows.measure) *
+        (static_cast<double>(health.measureUsed) *
          static_cast<double>(net_.numNodes()));
+
+    health.steadyCycle = monitor.steadyCycle();
+    health.latencyCov = monitor.cov();
+    if (guard.saturated()) {
+        health.verdict = RunVerdict::Saturated;
+        health.saturationReason = guard.reason();
+    } else if (hc.convergence.enabled) {
+        health.verdict = monitor.steady() ? RunVerdict::Converged
+                                          : RunVerdict::NotConverged;
+    }
+    health.watchdog = watchdog.takeSnapshots();
+    result.health = std::move(health);
+    result.flows = std::move(flows_);
 
     // Event deltas over the measurement + drain interval.
     RouterStats delta;

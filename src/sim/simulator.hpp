@@ -11,6 +11,8 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "metrics/flow_matrix.hpp"
+#include "metrics/run_health.hpp"
 #include "network/network.hpp"
 #include "sim/energy.hpp"
 #include "telemetry/telemetry.hpp"
@@ -27,6 +29,10 @@ struct SimWindows
     /// Emit a SimSample every N cycles of the measurement window
     /// (0 = off). Useful for convergence/saturation inspection.
     Cycle sampleInterval = 0;
+    /// Run-health monitoring (all off by default). With a monitor that
+    /// needs the sample stream enabled but sampleInterval == 0, samples
+    /// are taken every health.sampleEvery cycles instead.
+    RunHealthConfig health;
 };
 
 /** One time-series point over a sampling interval. */
@@ -73,6 +79,15 @@ struct SimResult
     /// attached for the run; exact even when the collector drops).
     TelemetryCounters telemetry;
 
+    /// Run-health record: verdict, steady-state cycle, saturation
+    /// early-exit data, watchdog snapshots (verdict == None and
+    /// everything empty unless SimWindows::health enabled monitors).
+    RunHealth health;
+
+    /// Per-flow (src -> dst) latency histograms over the measured
+    /// packets (empty unless SimWindows::health.flows.enabled).
+    FlowMatrix flows;
+
     Cycle cyclesRun = 0;
     bool drained = false;           ///< all packets delivered in time
 };
@@ -113,10 +128,15 @@ class Simulator
     StatAccumulator addrLatency_;
     StatAccumulator dataLatency_;
     StatAccumulator intervalLatency_;
+    /// Like intervalLatency_ but over *all* completions (warmup packets
+    /// included) — feeds adaptive-warmup convergence detection.
+    StatAccumulator allPhaseInterval_;
     Histogram latencyHist_{1.0, 4096};
     std::uint64_t measuredFlits_ = 0;
     std::uint64_t intervalFlits_ = 0;
     std::vector<SimSample> samples_;
+    FlowMatrix flows_;
+    bool flowsEnabled_ = false;
 };
 
 /** Convenience: run one configuration with a traffic source factory;

@@ -6,6 +6,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -71,12 +72,31 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     if (jobs.empty())
         return outcomes;
 
+    // Progress events fire in completion order, serialized under a
+    // mutex so the observer never races with itself.
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
+    auto report = [&](const SweepOutcome &out) {
+        if (!progress_)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        SweepProgressEvent event;
+        event.completed = ++completed;
+        event.total = jobs.size();
+        event.label = out.label;
+        event.ok = out.ok;
+        event.verdict = out.result.health.verdict;
+        progress_(event);
+    };
+
     const int workers =
         static_cast<int>(std::min<std::size_t>(jobs.size(),
                                                static_cast<std::size_t>(jobs_)));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
             outcomes[i] = runOneJob(jobs[i]);
+            report(outcomes[i]);
+        }
         return outcomes;
     }
 
@@ -89,6 +109,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             if (i >= jobs.size())
                 return;
             outcomes[i] = runOneJob(jobs[i]);
+            report(outcomes[i]);
         }
     };
     std::vector<std::thread> pool;
@@ -110,10 +131,14 @@ void
 writeOutcomes(ResultSink &sink, const std::vector<SweepOutcome> &outcomes)
 {
     for (const SweepOutcome &o : outcomes) {
-        if (o.ok)
+        if (o.ok) {
             sink.write(o.label, o.cfg, o.result);
-        else
+            sink.writeSamples(o.label, o.result);
+            sink.writeFlows(o.label, o.result);
+            sink.writeWatchdog(o.label, o.result);
+        } else {
             sink.writeFailure(o.label, o.cfg, o.error);
+        }
     }
 }
 
@@ -156,9 +181,12 @@ parseSweepCli(int argc, char **argv)
             cli.jsonPath = valueOf(i, arg, "--json");
         } else if (arg.rfind("--csv", 0) == 0) {
             cli.csvPath = valueOf(i, arg, "--csv");
+        } else if (arg == "--progress") {
+            cli.progress = true;
         } else {
             NOC_FATAL(std::string(argv[0]) + ": unknown argument '" + arg +
-                      "' (expected --jobs N, --json PATH, --csv PATH)");
+                      "' (expected --jobs N, --json PATH, --csv PATH, "
+                      "--progress)");
         }
     }
     return cli;

@@ -70,6 +70,24 @@ struct SweepOutcome
  */
 int resolveJobCount(int requested = 0);
 
+/** One job finished (delivered in completion order, serialized). */
+struct SweepProgressEvent
+{
+    std::size_t completed = 0;  ///< jobs finished so far, this one included
+    std::size_t total = 0;
+    std::string label;          ///< the job that just finished
+    bool ok = false;
+    RunVerdict verdict = RunVerdict::None;
+};
+
+/**
+ * Progress observer. Invoked under a runner-internal mutex, so the
+ * callback never races with itself — but it runs on worker threads and
+ * stalls job completion while it executes, so keep it cheap and never
+ * touch stdout (results own stdout; progress belongs on stderr).
+ */
+using SweepProgressFn = std::function<void(const SweepProgressEvent &)>;
+
 class SweepRunner
 {
   public:
@@ -77,6 +95,9 @@ class SweepRunner
     explicit SweepRunner(int jobs = 0);
 
     int jobs() const { return jobs_; }
+
+    /** Install a progress observer for subsequent run() calls. */
+    void onProgress(SweepProgressFn fn) { progress_ = std::move(fn); }
 
     /**
      * Run every job and return outcomes in submission order. Jobs are
@@ -89,6 +110,7 @@ class SweepRunner
 
   private:
     int jobs_;
+    SweepProgressFn progress_;
 };
 
 /** One-shot convenience over SweepRunner. */
@@ -114,6 +136,7 @@ std::vector<TelemetryTrace> collectTelemetry(
  *   --json P    append structured results as JSON lines to P
  *               (also: NOC_RESULTS; "-" writes to stdout)
  *   --csv P     append structured results as CSV rows to P
+ *   --progress  single updating progress line on stderr
  * Unknown arguments fatal with a usage message naming the harness.
  */
 struct SweepCli
@@ -121,6 +144,7 @@ struct SweepCli
     int jobs = 0;             ///< 0 = resolveJobCount() decides
     std::string jsonPath;     ///< empty = no JSON output
     std::string csvPath;      ///< empty = no CSV output
+    bool progress = false;    ///< live progress line (stderr)
 };
 
 SweepCli parseSweepCli(int argc, char **argv);

@@ -1,0 +1,530 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/result_sink.hpp"
+#include "metrics/convergence.hpp"
+#include "metrics/flow_matrix.hpp"
+#include "metrics/run_health.hpp"
+#include "metrics/saturation.hpp"
+#include "metrics/watchdog.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+SimWindows
+shortWindows()
+{
+    SimWindows w;
+    w.warmup = 500;
+    w.measure = 2000;
+    w.drainLimit = 20000;
+    return w;
+}
+
+SimResult
+runUniform(double load, const SimWindows &windows, std::uint64_t seed = 1)
+{
+    SimConfig cfg = syntheticConfig();
+    auto src = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::UniformRandom, cfg.numNodes(), load, 5, seed);
+    return runSimulation(cfg, std::move(src), windows);
+}
+
+// --- ConvergenceMonitor ---
+
+TEST(ConvergenceMonitor, SteadySeriesConverges)
+{
+    ConvergenceConfig cfg;
+    cfg.enabled = true;
+    cfg.window = 4;
+    cfg.covThreshold = 0.05;
+    ConvergenceMonitor mon(cfg);
+    for (int i = 1; i <= 4; ++i)
+        mon.observe(static_cast<Cycle>(i * 100), 10, 30.0 + 0.1 * i);
+    EXPECT_TRUE(mon.steady());
+    EXPECT_EQ(mon.steadyCycle(), 400u);
+    EXPECT_LT(mon.cov(), 0.05);
+}
+
+TEST(ConvergenceMonitor, NoisySeriesDoesNotConverge)
+{
+    ConvergenceConfig cfg;
+    cfg.enabled = true;
+    cfg.window = 4;
+    cfg.covThreshold = 0.05;
+    ConvergenceMonitor mon(cfg);
+    const double noisy[] = {10.0, 80.0, 15.0, 120.0, 12.0, 95.0};
+    Cycle c = 0;
+    for (const double lat : noisy)
+        mon.observe(c += 100, 10, lat);
+    EXPECT_FALSE(mon.steady());
+    EXPECT_GT(mon.cov(), 0.05);
+}
+
+TEST(ConvergenceMonitor, EmptyIntervalsAreSkipped)
+{
+    ConvergenceConfig cfg;
+    cfg.enabled = true;
+    cfg.window = 3;
+    ConvergenceMonitor mon(cfg);
+    mon.observe(100, 5, 20.0);
+    mon.observe(200, 0, 0.0);   // no completions: must not count
+    mon.observe(300, 0, 0.0);
+    EXPECT_EQ(mon.windowFill(), 1);
+    EXPECT_FALSE(mon.steady());
+    mon.observe(400, 5, 20.5);
+    mon.observe(500, 5, 20.2);
+    EXPECT_TRUE(mon.steady());
+}
+
+TEST(ConvergenceMonitor, SteadyCycleIsLatched)
+{
+    ConvergenceConfig cfg;
+    cfg.enabled = true;
+    cfg.window = 2;
+    ConvergenceMonitor mon(cfg);
+    mon.observe(100, 5, 50.0);
+    mon.observe(200, 5, 50.0);
+    ASSERT_TRUE(mon.steady());
+    // A later noisy stretch must not un-declare or move the cycle.
+    mon.observe(300, 5, 500.0);
+    mon.observe(400, 5, 5.0);
+    EXPECT_TRUE(mon.steady());
+    EXPECT_EQ(mon.steadyCycle(), 200u);
+}
+
+// --- SaturationGuard ---
+
+SaturationConfig
+guardConfig()
+{
+    SaturationConfig cfg;
+    cfg.enabled = true;
+    cfg.patience = 3;
+    cfg.growthFactor = 2.0;
+    cfg.minBacklog = 100;
+    return cfg;
+}
+
+TEST(SaturationGuard, RunawayLatencyTriggers)
+{
+    SaturationGuard guard(guardConfig());
+    double lat = 50.0;
+    Cycle c = 0;
+    for (int i = 0; i < 4 && !guard.saturated(); ++i) {
+        guard.observe(c += 100, lat, 10);
+        lat *= 1.5;   // 1.5^3 ≈ 3.4x overall — past the 2x factor
+    }
+    EXPECT_TRUE(guard.saturated());
+    EXPECT_EQ(guard.reason(), "latency-growth");
+    EXPECT_GT(guard.triggerCycle(), 0u);
+}
+
+TEST(SaturationGuard, StableLatencyNeverTriggers)
+{
+    SaturationGuard guard(guardConfig());
+    Cycle c = 0;
+    for (int i = 0; i < 20; ++i)
+        guard.observe(c += 100, 50.0 + (i % 3), 10);
+    EXPECT_FALSE(guard.saturated());
+    EXPECT_EQ(guard.reason(), "");
+}
+
+TEST(SaturationGuard, BacklogGrowthNeedsTheFloor)
+{
+    // Doubling backlog below minBacklog: growth alone is not enough.
+    SaturationGuard low(guardConfig());
+    Cycle c = 0;
+    std::uint64_t backlog = 5;
+    for (int i = 0; i < 4; ++i) {
+        low.observe(c += 100, 50.0, backlog);
+        backlog *= 2;   // 5..40, all under the floor of 100
+    }
+    EXPECT_FALSE(low.saturated());
+
+    SaturationGuard high(guardConfig());
+    c = 0;
+    backlog = 80;
+    for (int i = 0; i < 4 && !high.saturated(); ++i) {
+        high.observe(c += 100, 50.0, backlog);
+        backlog *= 2;
+    }
+    EXPECT_TRUE(high.saturated());
+    EXPECT_EQ(high.reason(), "backlog-growth");
+}
+
+TEST(SaturationGuard, DeepSaturationCeilingEscapesGrowthFactor)
+{
+    // A run that saturated during warmup: the backlog climbs strictly
+    // but from a baseline too large to double inside one window.
+    SaturationGuard guard(guardConfig());
+    Cycle c = 0;
+    std::uint64_t backlog = 10000;   // 100x the floor
+    for (int i = 0; i < 4 && !guard.saturated(); ++i)
+        guard.observe(c += 100, 0.0, backlog += 500);
+    EXPECT_TRUE(guard.saturated());
+    EXPECT_EQ(guard.reason(), "backlog-growth");
+}
+
+TEST(SaturationGuard, EmptyLatencyIntervalsDoNotBreakTheSeries)
+{
+    SaturationGuard guard(guardConfig());
+    double lat = 50.0;
+    Cycle c = 0;
+    for (int i = 0; i < 8 && !guard.saturated(); ++i) {
+        // Every other interval completes nothing.
+        guard.observe(c += 100, (i % 2 == 0) ? lat : 0.0, 10);
+        if (i % 2 == 0)
+            lat *= 1.6;
+    }
+    EXPECT_TRUE(guard.saturated());
+    EXPECT_EQ(guard.reason(), "latency-growth");
+}
+
+// --- FlowMatrix ---
+
+TEST(FlowMatrix, BucketBoundaries)
+{
+    EXPECT_EQ(FlowMatrix::bucketOf(0.5), 0);
+    EXPECT_EQ(FlowMatrix::bucketOf(1.0), 0);
+    EXPECT_EQ(FlowMatrix::bucketOf(1.9), 0);
+    EXPECT_EQ(FlowMatrix::bucketOf(2.0), 1);
+    EXPECT_EQ(FlowMatrix::bucketOf(3.9), 1);
+    EXPECT_EQ(FlowMatrix::bucketOf(4.0), 2);
+    EXPECT_EQ(FlowMatrix::bucketOf(1024.0), 10);
+    EXPECT_EQ(FlowMatrix::bucketOf(1e12), FlowMatrix::kLatencyBuckets - 1);
+}
+
+TEST(FlowMatrix, RecordsAndSorts)
+{
+    FlowMatrix m;
+    m.record(3, 1, 10.0);
+    m.record(0, 2, 20.0);
+    m.record(3, 1, 30.0);
+    m.record(0, 1, 5.0);
+
+    EXPECT_EQ(m.numFlows(), 3u);
+    EXPECT_EQ(m.totalPackets(), 4u);
+    const auto flows = m.sorted();
+    ASSERT_EQ(flows.size(), 3u);
+    EXPECT_EQ(flows[0].src, 0);
+    EXPECT_EQ(flows[0].dst, 1);
+    EXPECT_EQ(flows[1].src, 0);
+    EXPECT_EQ(flows[1].dst, 2);
+    EXPECT_EQ(flows[2].src, 3);
+    EXPECT_EQ(flows[2].dst, 1);
+    EXPECT_EQ(flows[2].count, 2u);
+    EXPECT_DOUBLE_EQ(flows[2].avgLatency(), 20.0);
+    EXPECT_DOUBLE_EQ(flows[2].minLatency, 10.0);
+    EXPECT_DOUBLE_EQ(flows[2].maxLatency, 30.0);
+}
+
+TEST(FlowMatrix, HottestFlowAndEmptySafety)
+{
+    FlowMatrix empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.hottestFlow(), nullptr);
+    EXPECT_TRUE(empty.sorted().empty());
+
+    FlowMatrix m;
+    m.record(1, 2, 10.0);
+    m.record(4, 5, 10.0);
+    m.record(4, 5, 12.0);
+    const FlowMatrix::Flow *hot = m.hottestFlow();
+    ASSERT_NE(hot, nullptr);
+    EXPECT_EQ(hot->src, 4);
+    EXPECT_EQ(hot->dst, 5);
+    EXPECT_EQ(hot->count, 2u);
+}
+
+TEST(FlowMatrix, CsvExportShape)
+{
+    FlowMatrix m;
+    m.record(1, 2, 10.0);
+    std::ostringstream os;
+    writeFlowCsv(os, m);
+    std::istringstream is(os.str());
+    std::string header, row, extra;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, row));
+    EXPECT_FALSE(std::getline(is, extra));
+    EXPECT_NE(header.find("src,dst,count"), std::string::npos);
+    EXPECT_NE(header.find("b19"), std::string::npos);
+    EXPECT_EQ(row.rfind("1,2,1,", 0), 0u);
+}
+
+// --- RunVerdict serialization ---
+
+TEST(RunVerdict, RoundTripsThroughStrings)
+{
+    for (const RunVerdict v :
+         {RunVerdict::None, RunVerdict::Converged, RunVerdict::NotConverged,
+          RunVerdict::Saturated}) {
+        EXPECT_EQ(parseRunVerdict(toString(v)), v);
+    }
+}
+
+// --- Simulator integration ---
+
+TEST(RunHealth, DisabledByDefault)
+{
+    const SimResult r = runUniform(0.1, shortWindows());
+    EXPECT_EQ(r.health.verdict, RunVerdict::None);
+    EXPECT_TRUE(r.samples.empty());
+    EXPECT_TRUE(r.flows.empty());
+    EXPECT_TRUE(r.health.watchdog.empty());
+}
+
+TEST(RunHealth, ModerateLoadConverges)
+{
+    SimWindows w = shortWindows();
+    w.measure = 6000;   // headroom: the CoV window is 8 samples of 250
+    w.health.convergence.enabled = true;
+    const SimResult r = runUniform(0.1, w);
+    EXPECT_EQ(r.health.verdict, RunVerdict::Converged);
+    EXPECT_GT(r.health.steadyCycle, w.warmup);
+    EXPECT_EQ(r.health.measureUsed, w.measure);
+    EXPECT_FALSE(r.samples.empty());
+}
+
+TEST(RunHealth, MonitoringIsObservational)
+{
+    // Core metrics with every observational monitor on must be
+    // bit-identical to the health-off run.
+    const SimResult off = runUniform(0.1, shortWindows());
+    SimWindows w = shortWindows();
+    w.health.convergence.enabled = true;
+    w.health.saturation.enabled = true;   // never fires at this load
+    w.health.watchdog.enabled = true;
+    w.health.watchdog.interval = 500;
+    w.health.flows.enabled = true;
+    const SimResult on = runUniform(0.1, w);
+
+    EXPECT_EQ(on.measuredPackets, off.measuredPackets);
+    EXPECT_EQ(on.avgTotalLatency, off.avgTotalLatency);
+    EXPECT_EQ(on.avgNetLatency, off.avgNetLatency);
+    EXPECT_EQ(on.throughput, off.throughput);
+    EXPECT_EQ(on.cyclesRun, off.cyclesRun);
+    EXPECT_EQ(on.drained, off.drained);
+
+    EXPECT_NE(on.health.verdict, RunVerdict::None);
+    EXPECT_NE(on.health.verdict, RunVerdict::Saturated);
+    EXPECT_FALSE(on.health.watchdog.empty());
+    EXPECT_FALSE(on.flows.empty());
+    EXPECT_EQ(on.flows.totalPackets(), on.measuredPackets);
+}
+
+TEST(RunHealth, SaturatedRunExitsEarly)
+{
+    SimWindows fixed = shortWindows();
+    const SimResult slow = runUniform(0.8, fixed);
+
+    SimWindows guarded = shortWindows();
+    guarded.health.saturation.enabled = true;
+    const SimResult fast = runUniform(0.8, guarded);
+
+    EXPECT_EQ(fast.health.verdict, RunVerdict::Saturated);
+    EXPECT_FALSE(fast.health.saturationReason.empty());
+    EXPECT_LT(fast.health.measureUsed, guarded.measure);
+    EXPECT_LT(fast.cyclesRun, slow.cyclesRun);
+    EXPECT_FALSE(fast.drained);
+    EXPECT_GT(fast.health.peakBacklog, 0u);
+}
+
+TEST(RunHealth, GuardDoesNotPerturbUnsaturatedRuns)
+{
+    const SimResult off = runUniform(0.1, shortWindows());
+    SimWindows w = shortWindows();
+    w.health.saturation.enabled = true;
+    const SimResult on = runUniform(0.1, w);
+    EXPECT_NE(on.health.verdict, RunVerdict::Saturated);
+    EXPECT_EQ(on.avgTotalLatency, off.avgTotalLatency);
+    EXPECT_EQ(on.measuredPackets, off.measuredPackets);
+    EXPECT_EQ(on.cyclesRun, off.cyclesRun);
+}
+
+TEST(RunHealth, AdaptiveWarmupEndsEarly)
+{
+    SimWindows w = shortWindows();
+    w.warmup = 10000;   // deliberately oversized
+    w.health.convergence.enabled = true;
+    w.health.convergence.adaptiveWarmup = true;
+    const SimResult r = runUniform(0.1, w);
+    EXPECT_LT(r.health.warmupUsed, w.warmup);
+    EXPECT_GE(r.health.warmupUsed,
+              static_cast<Cycle>(w.health.convergence.window) *
+                  w.health.sampleEvery);
+    EXPECT_GT(r.measuredPackets, 100u);
+}
+
+TEST(RunHealth, SampleCadenceIsExact)
+{
+    SimWindows w = shortWindows();
+    w.health.convergence.enabled = true;
+    w.health.sampleEvery = 250;
+    const SimResult r = runUniform(0.1, w);
+    // Samples cover exactly the measurement window — none from warmup,
+    // none from drain.
+    ASSERT_EQ(r.samples.size(), w.measure / 250);
+    EXPECT_GT(r.cyclesRun, w.warmup + w.measure);   // drain happened
+    for (const SimSample &s : r.samples) {
+        EXPECT_GT(s.cycle, w.warmup);
+        EXPECT_LE(s.cycle, w.warmup + w.measure);
+    }
+}
+
+TEST(RunHealth, ExplicitSampleIntervalWinsOverHealthCadence)
+{
+    SimWindows w = shortWindows();
+    w.sampleInterval = 500;
+    w.health.convergence.enabled = true;
+    w.health.sampleEvery = 250;   // must be ignored
+    const SimResult r = runUniform(0.1, w);
+    EXPECT_EQ(r.samples.size(), w.measure / 500);
+}
+
+TEST(RunHealth, WatchdogSnapshotsAreSane)
+{
+    SimWindows w = shortWindows();
+    w.health.watchdog.enabled = true;
+    w.health.watchdog.interval = 500;
+    const SimResult r = runUniform(0.1, w);
+    ASSERT_FALSE(r.health.watchdog.empty());
+    Cycle prev = 0;
+    for (const WatchdogSnapshot &s : r.health.watchdog) {
+        EXPECT_EQ(s.cycle % 500, 0u);
+        EXPECT_GT(s.cycle, prev);
+        prev = s.cycle;
+        // A healthy run makes continuous progress.
+        EXPECT_LT(s.sinceProgress, 500u);
+        if (s.bufferedFlits > 0) {
+            EXPECT_NE(s.hotRouter, kInvalidRouter);
+        }
+        if (s.outstanding > 0) {
+            EXPECT_GT(s.oldestAge, 0u);
+        }
+    }
+    const auto findings =
+        Watchdog::suspects(r.health.watchdog, w.health.watchdog);
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(RunHealth, WatchdogSuspectsFlagStallsAndStarvation)
+{
+    WatchdogConfig cfg;
+    cfg.enabled = true;
+    cfg.interval = 100;
+    cfg.starvationAge = 1000;
+
+    WatchdogSnapshot stalled;
+    stalled.cycle = 500;
+    stalled.outstanding = 4;
+    stalled.sinceProgress = 400;
+    stalled.hotRouter = 7;
+    stalled.hotOccupancy = 12;
+
+    WatchdogSnapshot starved;
+    starved.cycle = 600;
+    starved.outstanding = 2;
+    starved.sinceProgress = 10;
+    starved.oldestAge = 5000;
+
+    WatchdogSnapshot healthy;
+    healthy.cycle = 700;
+    healthy.outstanding = 2;
+    healthy.sinceProgress = 1;
+    healthy.oldestAge = 50;
+
+    const auto findings =
+        Watchdog::suspects({stalled, starved, healthy}, cfg);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_NE(findings[0].find("stalled"), std::string::npos);
+    EXPECT_NE(findings[0].find("router #7"), std::string::npos);
+    EXPECT_NE(findings[1].find("starvation"), std::string::npos);
+}
+
+// --- ResultSink round-trip ---
+
+TEST(RunHealthSink, JsonCarriesVerdictAndAuxiliaryRecords)
+{
+    SimWindows w = shortWindows();
+    w.health.convergence.enabled = true;
+    w.health.watchdog.enabled = true;
+    w.health.watchdog.interval = 500;
+    w.health.flows.enabled = true;
+    const SimResult r = runUniform(0.1, w);
+    const SimConfig cfg = syntheticConfig();
+
+    std::ostringstream os;
+    JsonLinesSink sink(os);
+    sink.write("t", cfg, r);
+    sink.writeSamples("t", r);
+    sink.writeFlows("t", r);
+    sink.writeWatchdog("t", r);
+
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    const std::string verdict_field =
+        "\"verdict\":\"" + std::string(toString(r.health.verdict)) + "\"";
+    EXPECT_NE(line.find(verdict_field), std::string::npos);
+    EXPECT_NE(line.find("\"steady_cycle\":"), std::string::npos);
+    EXPECT_NE(line.find("\"measure_used\":"), std::string::npos);
+
+    std::size_t samples = 0, flows = 0, watchdogs = 0;
+    while (std::getline(is, line)) {
+        if (line.find("\"record\":\"sample\"") != std::string::npos)
+            ++samples;
+        else if (line.find("\"record\":\"flow\"") != std::string::npos)
+            ++flows;
+        else if (line.find("\"record\":\"watchdog\"") != std::string::npos)
+            ++watchdogs;
+    }
+    EXPECT_EQ(samples, r.samples.size());
+    EXPECT_EQ(flows, r.flows.numFlows());
+    EXPECT_EQ(watchdogs, r.health.watchdog.size());
+}
+
+TEST(RunHealthSink, HealthOffJsonKeepsOldShape)
+{
+    const SimResult r = runUniform(0.1, shortWindows());
+    const std::string line = resultToJson("t", syntheticConfig(), r);
+    EXPECT_EQ(line.find("\"verdict\""), std::string::npos);
+    EXPECT_EQ(line.find("\"record\""), std::string::npos);
+}
+
+TEST(RunHealthSink, CsvRowMatchesColumnCount)
+{
+    SimWindows w = shortWindows();
+    w.health.convergence.enabled = true;
+    const SimResult r = runUniform(0.1, w);
+
+    std::ostringstream os;
+    CsvSink sink(os, /*header=*/true);
+    sink.write("ok-run", syntheticConfig(), r);
+    sink.writeFailure("bad-run", syntheticConfig(), "boom");
+
+    std::istringstream is(os.str());
+    std::string line;
+    const std::size_t columns = resultCsvColumns().size();
+    while (std::getline(is, line)) {
+        std::size_t commas = 0;
+        bool quoted = false;
+        for (const char c : line) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++commas;
+        }
+        EXPECT_EQ(commas + 1, columns) << line;
+    }
+    EXPECT_NE(os.str().find(",verdict,"), std::string::npos);
+    EXPECT_NE(os.str().find("converged"), std::string::npos);
+}
+
+} // namespace
+} // namespace noc

@@ -49,6 +49,15 @@ TEST(Report, PrintResultMentionsKeyFields)
     EXPECT_NE(out.find("drained"), std::string::npos);
 }
 
+TEST(Report, HottestOfEmptyActivityIsSentinel)
+{
+    // A zero-router activity vector (e.g. a run that never measured)
+    // must yield the sentinel, not crash.
+    const RouterActivity hot = hottest({});
+    EXPECT_EQ(hot.router, kInvalidRouter);
+    EXPECT_EQ(hot.traversals, 0u);
+}
+
 TEST(Report, RouterActivityAndHotspot)
 {
     SimConfig cfg;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "common/result_sink.hpp"
 #include "sim/experiment.hpp"
+#include "sim/progress.hpp"
 #include "sim/sweep.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -178,6 +180,103 @@ TEST(SweepRunner, BenchmarkTraceIsSharedAcrossThreads)
         EXPECT_EQ(seen[0], seen[t])
             << "trace cache must hand out one shared immutable trace";
     EXPECT_FALSE(seen[0]->empty());
+}
+
+TEST(SweepRunner, ProgressEventsCoverEveryJobOnce)
+{
+    const std::vector<SweepJob> jobs = smallSweep();
+    for (const int threads : {1, 4}) {
+        SCOPED_TRACE(threads);
+        std::vector<SweepProgressEvent> events;
+        SweepRunner runner(threads);
+        runner.onProgress([&](const SweepProgressEvent &e) {
+            events.push_back(e);   // runner serializes the callback
+        });
+        runner.run(jobs);
+
+        ASSERT_EQ(events.size(), jobs.size());
+        std::vector<std::string> labels;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            // completed counts up 1..N even when completion order is
+            // thread-dependent.
+            EXPECT_EQ(events[i].completed, i + 1);
+            EXPECT_EQ(events[i].total, jobs.size());
+            EXPECT_TRUE(events[i].ok);
+            labels.push_back(events[i].label);
+        }
+        std::sort(labels.begin(), labels.end());
+        std::vector<std::string> expected;
+        for (const SweepJob &j : jobs)
+            expected.push_back(j.label);
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(labels, expected);
+    }
+}
+
+TEST(SweepRunner, ProgressReportsFailuresAndVerdicts)
+{
+    std::vector<SweepJob> jobs = smallSweep();
+    jobs[0].makeSource = [](const SimConfig &) ->
+        std::unique_ptr<TrafficSource> {
+        throw std::runtime_error("poisoned");
+    };
+    jobs[1].windows.health.convergence.enabled = true;
+
+    std::size_t failures = 0, with_verdict = 0;
+    SweepRunner runner(2);
+    runner.onProgress([&](const SweepProgressEvent &e) {
+        if (!e.ok)
+            ++failures;
+        if (e.verdict != RunVerdict::None)
+            ++with_verdict;
+    });
+    runner.run(jobs);
+    EXPECT_EQ(failures, 1u);
+    EXPECT_EQ(with_verdict, 1u);
+}
+
+TEST(ProgressPrinter, RendersAndClearsOneLine)
+{
+    std::ostringstream os;
+    ProgressPrinter printer(os);
+    const SweepProgressFn fn = printer.callback();
+
+    SweepProgressEvent e;
+    e.total = 2;
+    e.completed = 1;
+    e.label = "first";
+    e.ok = true;
+    e.verdict = RunVerdict::Converged;
+    fn(e);
+    e.completed = 2;
+    e.label = "second";
+    e.ok = false;
+    e.verdict = RunVerdict::None;
+    fn(e);
+    printer.finish();
+
+    EXPECT_EQ(printer.okCount(), 1u);
+    EXPECT_EQ(printer.failCount(), 1u);
+    EXPECT_EQ(printer.saturatedCount(), 0u);
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("[1/2]"), std::string::npos);
+    EXPECT_NE(out.find("[2/2]"), std::string::npos);
+    EXPECT_NE(out.find("ok:1"), std::string::npos);
+    EXPECT_NE(out.find("fail:1"), std::string::npos);
+    EXPECT_NE(out.find('\r'), std::string::npos);
+    // Every render rewrites in place; nothing ever commits a newline.
+    EXPECT_EQ(out.find('\n'), std::string::npos);
+    // finish() blanks the line and returns the cursor to column 0.
+    EXPECT_EQ(out.back(), '\r');
+}
+
+TEST(ProgressPrinter, SilentWhenNothingRendered)
+{
+    std::ostringstream os;
+    ProgressPrinter printer(os);
+    printer.finish();
+    EXPECT_TRUE(os.str().empty());
 }
 
 TEST(ResultSink, JsonLineIsStableAndEscaped)
