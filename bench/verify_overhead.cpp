@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Invariant-checker overhead measurement: the same run (CMesh 4x4,
+ * Pseudo+S+B, transpose) timed three ways — checker absent, attached
+ * with a sparse full-state scan, and attached scanning every cycle —
+ * plus, for reference, the cost of the compiled-in-but-unattached hook
+ * sites themselves (which is what every normal run pays when the
+ * library is built with NOC_VERIFY=ON, the default).
+ *
+ * The interesting number is the "attached" multiple: it bounds how much
+ * slower CI gets when running the whole suite under NOC_VERIFY=all. The
+ * unattached run should be indistinguishable from a NOC_VERIFY=OFF
+ * build (one null-pointer test per hook site).
+ *
+ * NOC_MEASURE=<cycles> shortens the measurement window.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+#include "verify/verify.hpp"
+
+using namespace noc;
+
+namespace {
+
+SimWindows
+benchWindows()
+{
+    SimWindows w;
+    w.warmup = 2000;
+    w.measure = 20000;
+    w.drainLimit = 60000;
+    if (const char *env = std::getenv("NOC_MEASURE")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            w.measure = static_cast<Cycle>(v);
+    }
+    return w;
+}
+
+struct Timed
+{
+    double seconds = 0.0;
+    Cycle cycles = 0;
+    std::uint64_t checks = 0;
+};
+
+Timed
+timedRun(InvariantChecker *checker)
+{
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+    cfg.seed = 7;
+    auto src = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::Transpose, cfg.numNodes(), 0.15, 5,
+        cfg.seed * 77 + 5);
+    Simulator sim(cfg, std::move(src));
+    if (checker)
+        sim.setVerifier(checker);
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = sim.run(benchWindows());
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    Timed t;
+    t.seconds = elapsed.count();
+    t.cycles = result.cyclesRun;
+    if (checker)
+        t.checks = checker->checks();
+    return t;
+}
+
+void
+printRow(const char *label, const Timed &t, double base_seconds)
+{
+    std::printf("%-28s %8.3f s %10.0f cyc/s %12llu checks %7.2fx\n",
+                label, t.seconds,
+                static_cast<double>(t.cycles) / t.seconds,
+                static_cast<unsigned long long>(t.checks),
+                t.seconds / base_seconds);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Invariant checker overhead (CMesh 4x4, Pseudo+S+B, "
+                "transpose @0.15)\n");
+#if !NOC_VERIFY_ENABLED
+    std::printf("verify layer compiled out (NOC_VERIFY=OFF): only the "
+                "baseline run is available\n");
+    const Timed off = timedRun(nullptr);
+    printRow("no hooks (compiled out)", off, off.seconds);
+    return 0;
+#else
+    // Warm the caches so the first measured run is not penalised.
+    (void)timedRun(nullptr);
+
+    const Timed unattached = timedRun(nullptr);
+
+    VerifyConfig sparse_cfg;
+    sparse_cfg.scanEvery = 64;
+    InvariantChecker sparse(sparse_cfg);
+    const Timed sparse_run = timedRun(&sparse);
+
+    InvariantChecker full;   // scanEvery = 1: full state scan per cycle
+    const Timed full_run = timedRun(&full);
+
+    std::printf("\n%-28s %10s %14s %19s %8s\n", "configuration", "wall",
+                "speed", "checks", "multiple");
+    printRow("hooks unattached (default)", unattached, unattached.seconds);
+    printRow("attached, scan every 64", sparse_run, unattached.seconds);
+    printRow("attached, scan every cycle", full_run, unattached.seconds);
+
+    if (!sparse.clean() || !full.clean()) {
+        std::printf("\nUNEXPECTED VIOLATIONS:\n%s%s", sparse.report().c_str(),
+                    full.report().c_str());
+        return 1;
+    }
+    std::printf("\nboth checked runs: zero violations\n");
+    return 0;
+#endif
+}

@@ -54,32 +54,11 @@
 #include "telemetry/heatmap.hpp"
 #include "traffic/cmp_model.hpp"
 #include "traffic/synthetic.hpp"
+#include "verify/verify.hpp"
 
 using namespace noc;
 
 namespace {
-
-SyntheticPattern
-patternFromName(const std::string &name)
-{
-    if (name == "uniform")
-        return SyntheticPattern::UniformRandom;
-    if (name == "complement")
-        return SyntheticPattern::BitComplement;
-    if (name == "transpose")
-        return SyntheticPattern::Transpose;
-    if (name == "bitrev")
-        return SyntheticPattern::BitReverse;
-    if (name == "shuffle")
-        return SyntheticPattern::Shuffle;
-    if (name == "hotspot")
-        return SyntheticPattern::Hotspot;
-    if (name == "tornado")
-        return SyntheticPattern::Tornado;
-    if (name == "neighbor")
-        return SyntheticPattern::Neighbor;
-    NOC_FATAL("unknown pattern: " + name);
-}
 
 std::vector<std::string>
 splitList(const std::string &csv)
@@ -174,6 +153,31 @@ normalizeArgs(int argc, char **argv)
     return tokens;
 }
 
+/** Shared verification keys of both run modes (single and sweep). */
+struct VerifyCli
+{
+    bool enabled = false;
+    VerifyConfig cfg;
+};
+
+VerifyCli
+verifyFromOptions(const Options &opts)
+{
+    VerifyCli cli;
+    cli.cfg.scanEvery = static_cast<Cycle>(opts.getInt("verify-scan", 1));
+    cli.cfg.deadlockAfter =
+        static_cast<Cycle>(opts.getInt("verify-deadlock-after", 1500));
+    const std::string spec = opts.getString("verify", "");
+    if (spec.empty())
+        return cli;
+    cli.cfg.mask = verifyMaskFromSpec(spec);
+    cli.cfg.enabled = cli.enabled = cli.cfg.mask != 0;
+    if (cli.enabled && !NOC_VERIFY_ENABLED)
+        NOC_FATAL("verify requested but the invariant checker was "
+                  "compiled out (reconfigure with -DNOC_VERIFY=ON)");
+    return cli;
+}
+
 /** Shared telemetry keys of both run modes (single and sweep). */
 struct TraceCli
 {
@@ -256,6 +260,7 @@ runMulti(const Options &opts, const SimConfig &base,
     cli.csvPath = opts.getString("csv", "");
     cli.progress = opts.getBool("progress", false);
     const TraceCli trace_cli = traceFromOptions(opts);
+    const VerifyCli verify_cli = verifyFromOptions(opts);
 
     const bool traced = opts.has("benchmark");
     const std::string bench_name = opts.getString("benchmark", "fma3d");
@@ -291,7 +296,7 @@ runMulti(const Options &opts, const SimConfig &base,
                 if (load <= 0.0)
                     NOC_FATAL("bad load value: '" + load_str + "'");
                 const SyntheticPattern pattern =
-                    patternFromName(pattern_name);
+                    parseSyntheticPattern(pattern_name);
                 SweepJob job;
                 job.label = "noctool:" + scheme_name + ":" + pattern_name +
                             ":" + load_str;
@@ -312,6 +317,10 @@ runMulti(const Options &opts, const SimConfig &base,
     if (trace_cli.cfg.enabled) {
         for (SweepJob &job : jobs)
             job.telemetry = trace_cli.cfg;
+    }
+    if (verify_cli.enabled) {
+        for (SweepJob &job : jobs)
+            job.verify = verify_cli.cfg;
     }
 
     std::printf("noctool sweep: %zu runs on %d threads\n\n", jobs.size(),
@@ -378,6 +387,24 @@ runMulti(const Options &opts, const SimConfig &base,
         exportTraces(trace_cli, collectTelemetry(outcomes),
                      total_cycles > 0 ? total_cycles : 1);
     }
+
+    if (verify_cli.enabled) {
+        std::uint64_t checks = 0;
+        std::uint64_t violations = 0;
+        for (const SweepOutcome &o : outcomes) {
+            checks += o.verifyChecks;
+            violations += o.verifyViolations;
+            if (o.verifyViolations > 0) {
+                std::fprintf(stderr, "verify: %s:\n%s", o.label.c_str(),
+                             o.verifyReport.c_str());
+            }
+        }
+        std::printf("\nverify: %llu checks, %llu violations\n",
+                    static_cast<unsigned long long>(checks),
+                    static_cast<unsigned long long>(violations));
+        if (violations > 0)
+            return 3;
+    }
     return all_drained ? 0 : 2;
 }
 
@@ -440,8 +467,8 @@ main(int argc, char **argv)
         const int packet =
             static_cast<int>(opts.getInt("packet", 5));
         source = std::make_unique<SyntheticTraffic>(
-            patternFromName(pattern_name), cfg.numNodes(), load, packet,
-            cfg.seed * 77 + 5);
+            parseSyntheticPattern(pattern_name), cfg.numNodes(), load,
+            packet, cfg.seed * 77 + 5);
         workload = "pattern:" + pattern_name;
     }
 
@@ -451,6 +478,7 @@ main(int argc, char **argv)
     if (!flow_out.empty() && !windows.health.flows.enabled)
         NOC_FATAL("flow-out needs health=flows (no flow data recorded)");
     const TraceCli trace_cli = traceFromOptions(opts);
+    const VerifyCli verify_cli = verifyFromOptions(opts);
     for (const std::string &key : opts.unusedKeys())
         NOC_WARN("unused option: " + key);
 
@@ -458,6 +486,9 @@ main(int argc, char **argv)
     RingBufferCollector collector(trace_cli.cfg);
     if (trace_cli.cfg.enabled)
         sim.setTelemetry(&collector);
+    InvariantChecker checker(verify_cli.cfg);
+    if (verify_cli.enabled)
+        sim.setVerifier(&checker);
     const SimResult result = sim.run(windows);
 
     printResult(std::cout, cfg.describe() + " [" + workload + "]", result);
@@ -550,6 +581,15 @@ main(int argc, char **argv)
         trace.events = collector.events();
         trace.counters = collector.counters();
         exportTraces(trace_cli, {trace}, result.cyclesRun);
+    }
+    if (verify_cli.enabled) {
+        std::cout << "  verify                  " << checker.checks()
+                  << " checks, " << checker.violationCount()
+                  << " violations\n";
+        if (!checker.clean()) {
+            std::cerr << checker.report();
+            return 3;
+        }
     }
     return result.drained ? 0 : 2;
 }

@@ -95,6 +95,8 @@ SimConfig::validate() const
         if (routing != RoutingKind::XY && routing != RoutingKind::YX)
             NOC_FATAL("EVC requires dimension-order routing");
     }
+    if (dropCreditEvery < 0)
+        NOC_FATAL("drop-credit-every must be non-negative");
     if (topology != TopologyKind::Mesh && concentration < 1)
         NOC_FATAL("concentration must be positive");
     if (topology == TopologyKind::Torus) {

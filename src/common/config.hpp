@@ -85,6 +85,11 @@ struct SimConfig
     // --- misc ---
     std::uint64_t seed = 1;
 
+    /// Fault injection for verification testing only: every Nth credit
+    /// delivered to a router is silently dropped (0 disables). Left out
+    /// of describe() on purpose — it must never appear in results.
+    int dropCreditEvery = 0;
+
     /** Derived: total number of routers. */
     int numRouters() const { return meshWidth * meshHeight; }
 

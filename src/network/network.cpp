@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "topology/fbfly.hpp"
+#include "verify/verify.hpp"
 #include "topology/mecs.hpp"
 #include "topology/mesh.hpp"
 #include "topology/torus.hpp"
@@ -98,6 +99,7 @@ Network::injectPacket(const PacketDesc &packet)
 {
     nis_[packet.src]->inject(packet);
     ++outstanding_;
+    NOC_VCHK(verifier_, onPacketInjected(packet, now_));
 }
 
 void
@@ -110,6 +112,7 @@ Network::dispatch(const LinkEvent &ev)
         break;
       case LinkEvent::Kind::FlitToNi: {
         lastProgress_ = now_;
+        NOC_VCHK(verifier_, onFlitEjected(ev.node, ev.flit, now_));
         NetworkInterface &ni = *nis_[ev.node];
         const std::size_t before = ni.completed.size();
         ni.receiveFlit(ev.flit, now_);
@@ -130,10 +133,11 @@ Network::dispatch(const LinkEvent &ev)
         break;
       }
       case LinkEvent::Kind::CreditToRouter:
-        routers_[ev.router]->deliverCredit(ev.credit);
+        routers_[ev.router]->deliverCredit(ev.credit, now_);
         break;
       case LinkEvent::Kind::CreditToNi:
         nis_[ev.node]->addCredit(ev.vc);
+        NOC_VCHK(verifier_, onNiCredit(ev.node, ev.vc, now_));
         break;
     }
 }
@@ -162,6 +166,7 @@ Network::step()
     // Phase 2: NI injection.
     for (auto &ni : nis_) {
         if (auto flit = ni->step(now_)) {
+            NOC_VCHK(verifier_, onFlitInjected(ni->node(), *flit, now_));
             LinkEvent ev;
             ev.kind = LinkEvent::Kind::FlitToRouter;
             ev.router = topo_->nodeRouter(ni->node());
@@ -231,6 +236,7 @@ Network::step()
         router->sentCredits.clear();
     }
 
+    NOC_VCHK(verifier_, onCycleEnd(now_));
     ++now_;
 }
 
@@ -307,6 +313,16 @@ Network::setTelemetry(TelemetrySink *sink)
     for (auto &router : routers_)
         router->setTelemetry(sink);
     ring_.setTelemetry(sink);
+}
+
+void
+Network::setVerifier(InvariantChecker *chk)
+{
+    verifier_ = chk;
+    for (auto &router : routers_)
+        router->setVerifier(chk);
+    if (chk)
+        chk->attach(*this);
 }
 
 void

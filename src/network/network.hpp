@@ -27,6 +27,8 @@
 
 namespace noc {
 
+class InvariantChecker;
+
 /** Build the topology described by a configuration. */
 std::unique_ptr<Topology> makeTopology(const SimConfig &cfg);
 
@@ -85,7 +87,9 @@ class Network
     Probe probe() const;
 
     NetworkInterface &ni(NodeId n) { return *nis_[n]; }
+    const NetworkInterface &ni(NodeId n) const { return *nis_[n]; }
     Router &router(RouterId r) { return *routers_[r]; }
+    const Router &router(RouterId r) const { return *routers_[r]; }
     int numRouters() const { return static_cast<int>(routers_.size()); }
     int numNodes() const { return static_cast<int>(nis_.size()); }
 
@@ -95,6 +99,15 @@ class Network
      * owns the sink; the caller keeps it alive across the run.
      */
     void setTelemetry(TelemetrySink *sink);
+
+    /**
+     * Attach a runtime invariant checker to the network and every
+     * router (nullptr detaches); attaching also binds the checker's
+     * shadow ledgers to this network's topology. The caller keeps the
+     * checker alive across the run. Fatal when the verify layer was
+     * compiled out (-DNOC_VERIFY=OFF).
+     */
+    void setVerifier(InvariantChecker *chk);
 
     /** Move every NI's completed packets into `out`. */
     void drainCompleted(std::vector<CompletedPacket> &out);
@@ -116,6 +129,7 @@ class Network
     Cycle now_ = 0;
     std::uint64_t outstanding_ = 0;
     Cycle lastProgress_ = 0;
+    InvariantChecker *verifier_ = nullptr;
 
     /// EVC express-credit upstream map: [router][inPort] -> (source
     /// router two hops back, its output port); kInvalidRouter if none.

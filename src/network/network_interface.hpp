@@ -89,6 +89,9 @@ class NetworkInterface
     /** A credit came back for the router's terminal input port. */
     void addCredit(VcId vc);
 
+    /** Injection credits currently held for `vc` at the terminal port. */
+    int credits(VcId vc) const { return credits_[vc]; }
+
     /** Completed packets since the last drain (receiver side). */
     std::vector<CompletedPacket> completed;
 

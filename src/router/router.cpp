@@ -3,6 +3,7 @@
 #include "common/log.hpp"
 #include "routing/routing.hpp"
 #include "topology/topology.hpp"
+#include "verify/verify.hpp"
 
 namespace noc {
 
@@ -103,8 +104,13 @@ Router::deliverFlit(PortId in_port, const Flit &flit, Cycle now)
 }
 
 void
-Router::deliverCredit(const Credit &credit)
+Router::deliverCredit(const Credit &credit, Cycle now)
 {
+    if (cfg_.dropCreditEvery > 0 &&
+        ++creditsDelivered_ %
+                static_cast<std::uint64_t>(cfg_.dropCreditEvery) == 0)
+        return;   // fault injection: silently lose this credit
+
     OutputPort &op = outputs_[credit.outPort];
     if (credit.express) {
         ++op.expressVc(credit.vc).credits;
@@ -115,6 +121,8 @@ Router::deliverCredit(const Credit &credit)
         NOC_ASSERT(op.vc(credit.drop, credit.vc).credits <= cfg_.bufferDepth,
                    "credit overflow");
     }
+    NOC_VCHK(vchk_, onCreditReturned(id_, credit.outPort, credit.drop,
+                                     credit.vc, credit.express, now));
 }
 
 VcId
@@ -233,6 +241,8 @@ Router::switchPhase(Cycle now)
         vc.noteBypassedFlit(flit);
         ++stats_.bufferBypasses;
         pc_.noteReuse(in, /*via_latch=*/true, now);
+        NOC_VCHK(vchk_, onPcReuse(id_, in, flit.vc, route, flit,
+                                  /*via_latch=*/true, now));
         if (isHead(flit.type))
             ++stats_.headBufferBypasses;
         traverse(in, flit, route, out_vc, /*express_out=*/false,
@@ -288,6 +298,8 @@ Router::switchPhase(Cycle now)
         const Flit flit = vc.dequeue();
         ++stats_.saBypasses;
         pc_.noteReuse(in, /*via_latch=*/false, now);
+        NOC_VCHK(vchk_, onPcReuse(id_, in, reg.inVc, route, flit,
+                                  /*via_latch=*/false, now));
         if (isHead(flit.type))
             ++stats_.headSaBypasses;
         traverse(in, flit, route, out_vc, /*express_out=*/false,
@@ -355,6 +367,9 @@ Router::allocationPhase(Cycle now)
         if (pcEnabled())
             pc_.onGrant(g.inPort, g.inVc,
                         inputs_[g.inPort].vc(g.inVc).route(), now);
+        NOC_VCHK(vchk_, onSaGrant(id_, g.inPort, g.inVc,
+                                  inputs_[g.inPort].vc(g.inVc).route(),
+                                  now));
         pendingGrants_.push_back(g);
     }
 
@@ -506,6 +521,8 @@ Router::traverse(PortId in_port, Flit flit, const RouteDecision &route,
         OutputVcState &s = op.expressVc(out_vc);
         NOC_ASSERT(s.credits > 0, "express flit sent without credit");
         --s.credits;
+        NOC_VCHK(vchk_, onCreditTaken(id_, route.outPort, route.drop,
+                                      out_vc, /*express=*/true, now));
         if (isTail(flit.type)) {
             NOC_ASSERT(s.owned, "tail on an unowned express VC");
             s.owned = false;
@@ -520,6 +537,8 @@ Router::traverse(PortId in_port, Flit flit, const RouteDecision &route,
         sentFlits.push_back({route.outPort, route.drop, flit});
     } else {
         op.takeCredit(route.drop, out_vc);
+        NOC_VCHK(vchk_, onCreditTaken(id_, route.outPort, route.drop,
+                                      out_vc, /*express=*/false, now));
         if (isTail(flit.type))
             op.release(route.drop, out_vc);
         flit.vc = out_vc;

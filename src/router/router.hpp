@@ -42,6 +42,7 @@ namespace noc {
 
 class Topology;
 class RoutingAlgorithm;
+class InvariantChecker;
 
 /** Per-router event counters (drive energy, reusability and locality). */
 struct RouterStats
@@ -103,7 +104,7 @@ class Router
     void deliverFlit(PortId in_port, const Flit &flit, Cycle now);
 
     /** Arrival of a credit for one of this router's outputs (phase 1). */
-    void deliverCredit(const Credit &credit);
+    void deliverCredit(const Credit &credit, Cycle now);
 
     /** One cycle of switch traversal + allocation (phase 2). */
     void step(Cycle now);
@@ -119,6 +120,9 @@ class Router
         telem_ = sink;
         pc_.attachTelemetry(sink, id_);
     }
+
+    /** Attach an invariant checker (nullptr detaches). */
+    void setVerifier(InvariantChecker *chk) { vchk_ = chk; }
 
     /** Flits/credits produced by the latest step(); caller clears. */
     std::vector<SentFlit> sentFlits;
@@ -240,6 +244,8 @@ class Router
 
     RouterStats stats_;
     TelemetrySink *telem_ = nullptr;
+    InvariantChecker *vchk_ = nullptr;
+    std::uint64_t creditsDelivered_ = 0;  ///< drives dropCreditEvery
 };
 
 } // namespace noc

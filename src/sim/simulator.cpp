@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.hpp"
 #include "metrics/convergence.hpp"
@@ -14,6 +15,17 @@ Simulator::Simulator(const SimConfig &cfg,
     : net_(cfg), source_(std::move(source))
 {
     NOC_ASSERT(source_ != nullptr, "simulator needs a traffic source");
+#if NOC_VERIFY_ENABLED
+    if (const char *env = std::getenv("NOC_VERIFY")) {
+        VerifyConfig vcfg;
+        vcfg.mask = verifyMaskFromSpec(env);
+        if (vcfg.mask != 0) {
+            vcfg.failFast = true;
+            envVerifier_ = std::make_unique<InvariantChecker>(vcfg);
+            setVerifier(envVerifier_.get());
+        }
+    }
+#endif
 }
 
 void
@@ -134,6 +146,22 @@ Simulator::run(const SimWindows &windows)
                      net_.describeStall());
             break;
         }
+    }
+
+    if (verifier_ && !guard.saturated() && net_.idle() &&
+        source_->exhausted()) {
+        // The network reports idle as soon as the last flit ejects,
+        // while its ejection/upstream credits are still on the wire.
+        // Let them land before the exhaustive drained audit (bounded by
+        // the longest credit path; EVC credits travel two hops).
+        const SimConfig &cfg = net_.config();
+        const Cycle settle = 2 *
+            static_cast<Cycle>(std::max(cfg.linkLatency,
+                                        cfg.creditLatency)) *
+            static_cast<Cycle>(cfg.meshWidth + cfg.meshHeight) + 8;
+        for (Cycle c = 0; c < settle; ++c)
+            net_.step();
+        verifier_->checkDrained(net_.now());
     }
     const RouterStats after = net_.aggregateRouterStats();
 

@@ -17,6 +17,7 @@
 #include "sim/energy.hpp"
 #include "telemetry/telemetry.hpp"
 #include "traffic/traffic.hpp"
+#include "verify/verify.hpp"
 
 namespace noc {
 
@@ -111,6 +112,21 @@ class Simulator
         net_.setTelemetry(sink);
     }
 
+    /**
+     * Attach a runtime invariant checker before run(); the simulator
+     * lets in-flight credits settle after the drain phase and runs the
+     * checker's exhaustive drained audit. The caller owns the checker.
+     * Alternatively, setting the NOC_VERIFY environment variable to an
+     * invariant spec ("all", "credits,order", ...) makes every
+     * Simulator attach its own fail-fast checker — the switch that lets
+     * the whole test suite run under verification unchanged.
+     */
+    void setVerifier(InvariantChecker *chk)
+    {
+        verifier_ = chk;
+        net_.setVerifier(chk);
+    }
+
     Network &network() { return net_; }
     TrafficSource &source() { return *source_; }
 
@@ -120,6 +136,8 @@ class Simulator
     Network net_;
     std::unique_ptr<TrafficSource> source_;
     TelemetrySink *telem_ = nullptr;
+    InvariantChecker *verifier_ = nullptr;
+    std::unique_ptr<InvariantChecker> envVerifier_;  ///< NOC_VERIFY=...
     std::vector<CompletedPacket> completedScratch_;
 
     StatAccumulator totalLatency_;

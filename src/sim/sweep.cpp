@@ -41,18 +41,36 @@ runOneJob(const SweepJob &job)
     try {
         if (!job.makeSource)
             throw std::runtime_error("job has no traffic factory");
+#if !NOC_VERIFY_ENABLED
+        if (job.verify.enabled)
+            throw std::runtime_error(
+                "verify requested but the invariant checker was compiled "
+                "out (reconfigure with -DNOC_VERIFY=ON)");
+#endif
+        InvariantChecker checker(job.verify);
+        auto runOne = [&](TelemetrySink *sink) {
+            Simulator sim(job.cfg, job.makeSource(job.cfg));
+            if (sink)
+                sim.setTelemetry(sink);
+            if (job.verify.enabled)
+                sim.setVerifier(&checker);
+            return sim.run(job.windows);
+        };
         if (job.telemetry.enabled) {
             RingBufferCollector collector(job.telemetry);
-            out.result = runSimulation(job.cfg, job.makeSource(job.cfg),
-                                       job.windows, &collector);
+            out.result = runOne(&collector);
             auto trace = std::make_shared<TelemetryTrace>();
             trace->label = job.label;
             trace->events = collector.events();
             trace->counters = collector.counters();
             out.trace = std::move(trace);
         } else {
-            out.result =
-                runSimulation(job.cfg, job.makeSource(job.cfg), job.windows);
+            out.result = runOne(nullptr);
+        }
+        if (job.verify.enabled) {
+            out.verifyChecks = checker.checks();
+            out.verifyViolations = checker.violationCount();
+            out.verifyReport = checker.report();
         }
         out.ok = true;
     } catch (const std::exception &e) {

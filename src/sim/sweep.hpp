@@ -49,6 +49,10 @@ struct SweepJob
     /// owns its collector, so recording stays lock-free; merging
     /// happens after the join, in submission order.
     TelemetryConfig telemetry;
+    /// With verify.enabled, the worker attaches a per-job
+    /// InvariantChecker and the outcome carries its verdict. The
+    /// checker only observes, so results stay byte-identical.
+    VerifyConfig verify;
 };
 
 /** What one job produced (result is default-constructed when !ok). */
@@ -61,6 +65,10 @@ struct SweepOutcome
     std::string error;        ///< exception text when !ok
     /// The job's collected events (null unless telemetry was enabled).
     std::shared_ptr<const TelemetryTrace> trace;
+    /// Invariant-checker verdict (all zero/empty unless verify was on).
+    std::uint64_t verifyChecks = 0;
+    std::uint64_t verifyViolations = 0;
+    std::string verifyReport;
 };
 
 /**

@@ -23,6 +23,28 @@ toString(SyntheticPattern pattern)
     return "?";
 }
 
+SyntheticPattern
+parseSyntheticPattern(const std::string &name)
+{
+    if (name == "uniform")
+        return SyntheticPattern::UniformRandom;
+    if (name == "complement")
+        return SyntheticPattern::BitComplement;
+    if (name == "transpose")
+        return SyntheticPattern::Transpose;
+    if (name == "bitrev")
+        return SyntheticPattern::BitReverse;
+    if (name == "shuffle")
+        return SyntheticPattern::Shuffle;
+    if (name == "hotspot")
+        return SyntheticPattern::Hotspot;
+    if (name == "tornado")
+        return SyntheticPattern::Tornado;
+    if (name == "neighbor")
+        return SyntheticPattern::Neighbor;
+    NOC_FATAL("unknown pattern: " + name);
+}
+
 namespace {
 
 /** Side of the square node grid the spatial patterns assume. */

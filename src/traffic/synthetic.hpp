@@ -9,6 +9,7 @@
 #ifndef NOC_TRAFFIC_SYNTHETIC_HPP
 #define NOC_TRAFFIC_SYNTHETIC_HPP
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -28,6 +29,13 @@ enum class SyntheticPattern {
 };
 
 const char *toString(SyntheticPattern pattern);
+
+/**
+ * Parse the CLI names shared by noctool and the config fuzzer:
+ * uniform|complement|transpose|bitrev|shuffle|hotspot|tornado|neighbor
+ * (fatal on anything else).
+ */
+SyntheticPattern parseSyntheticPattern(const std::string &name);
 
 /**
  * Destination of `src` under a pattern over `num_nodes` endpoints.

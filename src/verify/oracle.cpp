@@ -1,0 +1,179 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+namespace {
+
+/** Wraps a source, recording every delivery the network reports. */
+class RecordingSource : public TrafficSource
+{
+  public:
+    RecordingSource(std::unique_ptr<TrafficSource> inner,
+                    std::vector<DeliveryRecord> &out)
+        : inner_(std::move(inner)), out_(out)
+    {
+    }
+
+    void tick(Network &net, Cycle now, SimPhase phase) override
+    {
+        inner_->tick(net, now, phase);
+    }
+
+    void onPacketDelivered(const CompletedPacket &p, Network &net,
+                           Cycle now) override
+    {
+        DeliveryRecord rec;
+        rec.id = p.id;
+        rec.src = p.src;
+        rec.dst = p.dst;
+        rec.size = p.size;
+        rec.createTime = p.createTime;
+        rec.ejectTime = p.ejectTime;
+        rec.hops = p.hops;
+        out_.push_back(rec);
+        inner_->onPacketDelivered(p, net, now);
+    }
+
+    bool exhausted() const override { return inner_->exhausted(); }
+
+  private:
+    std::unique_ptr<TrafficSource> inner_;
+    std::vector<DeliveryRecord> &out_;
+};
+
+/** `count` packets src -> dst, one every `gap` cycles, nothing else. */
+class IsolatedFlow : public TrafficSource
+{
+  public:
+    IsolatedFlow(NodeId src, NodeId dst, int count, Cycle gap, int size)
+        : src_(src), dst_(dst), count_(count), gap_(gap), size_(size)
+    {
+    }
+
+    void tick(Network &net, Cycle now, SimPhase phase) override
+    {
+        if (phase == SimPhase::Drain || sent_ >= count_ || now < nextAt_)
+            return;
+        PacketDesc packet;
+        packet.id = nextPacketId();
+        packet.src = src_;
+        packet.dst = dst_;
+        packet.size = static_cast<std::uint32_t>(size_);
+        packet.createTime = now;
+        packet.measured = true;
+        net.injectPacket(packet);
+        ++sent_;
+        nextAt_ = now + gap_;
+    }
+
+    bool exhausted() const override { return sent_ >= count_; }
+
+  private:
+    const NodeId src_;
+    const NodeId dst_;
+    const int count_;
+    const Cycle gap_;
+    const int size_;
+    int sent_ = 0;
+    Cycle nextAt_ = 0;
+};
+
+} // namespace
+
+OracleOutcome
+runChecked(const SimConfig &cfg, SyntheticPattern pattern, double load,
+           int packet_size, const SimWindows &windows,
+           const VerifyConfig &vcfg)
+{
+    OracleOutcome out;
+    // Seed derivation matches noctool's single-run path so a failing
+    // oracle configuration replays from the command line verbatim.
+    auto traffic = std::make_unique<SyntheticTraffic>(
+        pattern, cfg.numNodes(), load, packet_size, cfg.seed * 77 + 5);
+    Simulator sim(cfg, std::make_unique<RecordingSource>(
+                           std::move(traffic), out.deliveries));
+#if NOC_VERIFY_ENABLED
+    InvariantChecker checker(vcfg);
+    sim.setVerifier(&checker);
+#else
+    (void)vcfg;
+#endif
+    out.result = sim.run(windows);
+#if NOC_VERIFY_ENABLED
+    out.checks = checker.checks();
+    out.violations = checker.violationCount();
+    out.report = checker.report();
+#endif
+    std::sort(out.deliveries.begin(), out.deliveries.end(),
+              [](const DeliveryRecord &a, const DeliveryRecord &b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::string
+compareDeliveries(const std::vector<DeliveryRecord> &a,
+                  const std::vector<DeliveryRecord> &b)
+{
+    if (a.size() != b.size()) {
+        std::ostringstream os;
+        os << "delivery counts differ: " << a.size() << " vs " << b.size()
+           << " packets";
+        return os.str();
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const DeliveryRecord &x = a[i];
+        const DeliveryRecord &y = b[i];
+        if (x.id != y.id || x.src != y.src || x.dst != y.dst ||
+            x.size != y.size) {
+            std::ostringstream os;
+            os << "delivery " << i << " differs: packet " << x.id
+               << " (src " << x.src << " dst " << x.dst << " size "
+               << x.size << ") vs packet " << y.id << " (src " << y.src
+               << " dst " << y.dst << " size " << y.size << ")";
+            return os.str();
+        }
+    }
+    return "";
+}
+
+std::vector<Cycle>
+isolatedLatencies(const SimConfig &cfg, NodeId src, NodeId dst, int count,
+                  Cycle gap, int packet_size, const VerifyConfig &vcfg)
+{
+    std::vector<DeliveryRecord> deliveries;
+    Simulator sim(cfg, std::make_unique<RecordingSource>(
+                           std::make_unique<IsolatedFlow>(
+                               src, dst, count, gap, packet_size),
+                           deliveries));
+#if NOC_VERIFY_ENABLED
+    InvariantChecker checker(vcfg);
+    sim.setVerifier(&checker);
+#else
+    (void)vcfg;
+#endif
+    SimWindows windows;
+    windows.warmup = 0;
+    windows.measure = static_cast<Cycle>(count) * gap + 16;
+    const SimResult result = sim.run(windows);
+    NOC_ASSERT(result.drained, "isolated flow failed to drain");
+
+    std::sort(deliveries.begin(), deliveries.end(),
+              [](const DeliveryRecord &a, const DeliveryRecord &b) {
+                  return a.id < b.id;
+              });
+    std::vector<Cycle> latencies;
+    latencies.reserve(deliveries.size());
+    for (const DeliveryRecord &d : deliveries)
+        latencies.push_back(d.ejectTime - d.createTime);
+    return latencies;
+}
+
+} // namespace noc

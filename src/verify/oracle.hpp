@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Differential oracles over whole simulation runs.
+ *
+ * The pseudo-circuit schemes are pure switching optimisations: for the
+ * same seed and traffic they must deliver exactly the same packets as
+ * the baseline router — only the timing may change — and at low load a
+ * bypass scheme must never make an isolated packet slower. These
+ * helpers run a configuration under the invariant checker, record the
+ * full delivery multiset, and compare runs pairwise, so a refactor that
+ * silently drops, duplicates or misdelivers packets fails a test
+ * instead of shifting an average.
+ */
+
+#ifndef NOC_VERIFY_ORACLE_HPP
+#define NOC_VERIFY_ORACLE_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+#include "verify/verify.hpp"
+
+namespace noc {
+
+/** One delivered packet, as the destination NI completed it. */
+struct DeliveryRecord
+{
+    PacketId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint32_t size = 1;
+    Cycle createTime = 0;
+    Cycle ejectTime = 0;
+    std::uint16_t hops = 0;
+};
+
+/** Everything one checked oracle run produces. */
+struct OracleOutcome
+{
+    /// Every packet delivered during the run (warmup included), sorted
+    /// by packet id — injection order, which is scheme-independent.
+    std::vector<DeliveryRecord> deliveries;
+    SimResult result;
+    std::uint64_t checks = 0;
+    std::uint64_t violations = 0;
+    std::string report;   ///< violation report (empty when clean)
+};
+
+/**
+ * Run `cfg` under synthetic traffic with the invariant checker
+ * attached (when the verify layer is compiled in), recording every
+ * delivery. The traffic seed derivation matches noctool exactly, so an
+ * oracle failure is replayable from the command line.
+ */
+OracleOutcome runChecked(const SimConfig &cfg, SyntheticPattern pattern,
+                         double load, int packet_size,
+                         const SimWindows &windows = {},
+                         const VerifyConfig &vcfg = {});
+
+/**
+ * Compare two delivery multisets on identity (id, src, dst, size) —
+ * timing fields are expected to differ between schemes. Returns "" when
+ * identical, otherwise a one-line description of the first difference.
+ */
+std::string compareDeliveries(const std::vector<DeliveryRecord> &a,
+                              const std::vector<DeliveryRecord> &b);
+
+/**
+ * Total (create -> eject) latency of `count` isolated packets sent
+ * src -> dst, one every `gap` cycles with nothing else in the network —
+ * the paper's contention-free case. Used to assert that a bypass scheme
+ * never worsens per-packet latency at low load. Returned in injection
+ * order.
+ */
+std::vector<Cycle> isolatedLatencies(const SimConfig &cfg, NodeId src,
+                                     NodeId dst, int count, Cycle gap,
+                                     int packet_size,
+                                     const VerifyConfig &vcfg = {});
+
+} // namespace noc
+
+#endif // NOC_VERIFY_ORACLE_HPP

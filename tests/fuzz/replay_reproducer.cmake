@@ -1,0 +1,41 @@
+# End-to-end check of the fuzzer's failure workflow: plant a credit
+# leak, require the fuzzer to catch it, then feed its printed REPRODUCE
+# line back through noctool and require the replay to detect the same
+# bug (exit code 3 = invariant violations). Invoked by ctest as:
+#
+#   cmake -DFUZZER=<config_fuzzer> -DNOCTOOL=<noctool> \
+#         -P replay_reproducer.cmake
+
+if(NOT DEFINED FUZZER OR NOT DEFINED NOCTOOL)
+    message(FATAL_ERROR "replay_reproducer.cmake needs -DFUZZER, -DNOCTOOL")
+endif()
+
+execute_process(
+    COMMAND "${FUZZER}" seed=42 count=1 inject=credit-leak
+            expect-violation=1
+    OUTPUT_VARIABLE fuzz_out
+    ERROR_VARIABLE fuzz_err
+    RESULT_VARIABLE fuzz_rc)
+if(NOT fuzz_rc EQUAL 0)
+    message(FATAL_ERROR "fuzzer did not catch the planted credit leak "
+                        "(exit ${fuzz_rc}):\n${fuzz_out}${fuzz_err}")
+endif()
+
+string(REGEX MATCH "REPRODUCE: noctool ([^\n]*)" line "${fuzz_out}")
+if(NOT line)
+    message(FATAL_ERROR "fuzzer printed no REPRODUCE line:\n${fuzz_out}")
+endif()
+separate_arguments(replay_args UNIX_COMMAND "${CMAKE_MATCH_1}")
+
+execute_process(
+    COMMAND "${NOCTOOL}" ${replay_args}
+    OUTPUT_VARIABLE replay_out
+    ERROR_VARIABLE replay_err
+    RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 3)
+    message(FATAL_ERROR "reproducer line did not reproduce the "
+                        "violation: noctool exited ${replay_rc}, "
+                        "expected 3\nargs: ${CMAKE_MATCH_1}\n"
+                        "${replay_out}${replay_err}")
+endif()
+message(STATUS "reproducer replayed: noctool flagged the violation")

@@ -204,7 +204,7 @@ TEST(RouterUnit, StarvedCircuitTerminatesOnUse)
         c.drop = 0;
         c.vc = v;
         for (int k = 0; k < 4; ++k)
-            rig.router->deliverCredit(c);
+            rig.router->deliverCredit(c, 0);
     }
     rig.step(3);
     EXPECT_EQ(rig.router->sentFlits.size(), 1u);

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Exhaustive routing properties over every (src, dst) pair on a range
+ * of grid sizes: routes terminate at the right node, take only minimal
+ * paths, respect their turn restrictions, and every VC range handed to
+ * the allocator is valid. The per-algorithm unit tests sample a few
+ * pairs; these sweep the whole space, which is where corner cases
+ * (edges, equal coordinates, wrap datelines) live.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "routing/routing.hpp"
+#include "topology/mesh.hpp"
+#include "topology/torus.hpp"
+
+namespace noc {
+namespace {
+
+enum Move { MoveX, MoveY, MoveEject };
+
+/**
+ * Follow a route from src to dst recording the movement axis of every
+ * hop. Fails the test (and stops) on a disconnected port, an invalid
+ * drop or a loop. Returns the number of hops including ejection.
+ */
+template <typename Topo>
+int
+walk(const Topo &topo, const RoutingAlgorithm &routing, NodeId src,
+     NodeId dst, int cls, std::vector<Move> *moves = nullptr)
+{
+    RouterId r = topo.nodeRouter(src);
+    int hops = 0;
+    while (true) {
+        const RouteDecision d = routing.route(r, dst, cls);
+        EXPECT_GE(d.outPort, 0);
+        EXPECT_LT(d.outPort, topo.numOutputPorts(r));
+        const OutputChannel &chan = topo.output(r, d.outPort);
+        EXPECT_TRUE(chan.isConnected())
+            << "route uses a dead port at router " << r;
+        if (!chan.isConnected())
+            return hops;
+        ++hops;
+        if (chan.isTerminal()) {
+            EXPECT_EQ(chan.terminal, dst) << "misdelivery from " << src;
+            if (moves)
+                moves->push_back(MoveEject);
+            return hops;
+        }
+        EXPECT_GE(d.drop, 0);
+        EXPECT_LT(d.drop, static_cast<int>(chan.drops.size()));
+        const RouterId next = chan.drops[d.drop].router;
+        if (moves) {
+            moves->push_back(topo.yOf(next) == topo.yOf(r) ? MoveX
+                                                           : MoveY);
+        }
+        r = next;
+        EXPECT_LE(hops, 128) << "routing loop " << src << "->" << dst;
+        if (hops > 128)
+            return hops;
+    }
+}
+
+int
+meshDistance(const Topology &topo, NodeId src, NodeId dst)
+{
+    const RouterId a = topo.nodeRouter(src);
+    const RouterId b = topo.nodeRouter(dst);
+    return std::abs(topo.xOf(a) - topo.xOf(b)) +
+           std::abs(topo.yOf(a) - topo.yOf(b));
+}
+
+int
+torusDistance(const Torus &topo, NodeId src, NodeId dst)
+{
+    const RouterId a = topo.nodeRouter(src);
+    const RouterId b = topo.nodeRouter(dst);
+    const int dx = std::abs(topo.xOf(a) - topo.xOf(b));
+    const int dy = std::abs(topo.yOf(a) - topo.yOf(b));
+    return std::min(dx, topo.width() - dx) +
+           std::min(dy, topo.height() - dy);
+}
+
+/** X moves never follow Y moves (XY), or vice versa (YX). */
+void
+expectDimensionOrder(const std::vector<Move> &moves, bool x_first,
+                     NodeId src, NodeId dst)
+{
+    bool second_phase = false;
+    for (const Move m : moves) {
+        if (m == MoveEject)
+            break;
+        const bool is_first_dim = (m == MoveX) == x_first;
+        if (!is_first_dim)
+            second_phase = true;
+        else
+            EXPECT_FALSE(second_phase)
+                << (x_first ? "XY" : "YX") << " turn violation "
+                << src << "->" << dst;
+    }
+}
+
+TEST(RoutingProperty, MeshDorIsMinimalAndTurnRestricted)
+{
+    for (int w = 2; w <= 8; ++w) {
+        for (int h = 2; h <= 8; ++h) {
+            const Mesh topo(w, h, 1);
+            for (const bool x_first : {true, false}) {
+                const auto routing = makeRouting(
+                    x_first ? RoutingKind::XY : RoutingKind::YX, topo);
+                for (NodeId s = 0; s < topo.numNodes(); ++s) {
+                    for (NodeId d = 0; d < topo.numNodes(); ++d) {
+                        if (s == d)
+                            continue;
+                        std::vector<Move> moves;
+                        const int hops =
+                            walk(topo, *routing, s, d, 0, &moves);
+                        EXPECT_EQ(hops, meshDistance(topo, s, d) + 1)
+                            << w << "x" << h << " " << s << "->" << d;
+                        expectDimensionOrder(moves, x_first, s, d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(RoutingProperty, ConcentratedMeshDorIsMinimal)
+{
+    const CMesh topo(4, 4, 4);
+    const auto routing = makeRouting(RoutingKind::XY, topo);
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const int hops = walk(topo, *routing, s, d, 0);
+            EXPECT_EQ(hops, meshDistance(topo, s, d) + 1);
+        }
+    }
+}
+
+TEST(RoutingProperty, O1TurnClassesAreMinimalAndComplementary)
+{
+    for (const int side : {2, 4, 8}) {
+        const Mesh topo(side, side, 1);
+        const auto routing = makeRouting(RoutingKind::O1Turn, topo);
+        ASSERT_EQ(routing->numClasses(), 2);
+        for (NodeId s = 0; s < topo.numNodes(); ++s) {
+            for (NodeId d = 0; d < topo.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                for (const int cls : {0, 1}) {
+                    std::vector<Move> moves;
+                    const int hops =
+                        walk(topo, *routing, s, d, cls, &moves);
+                    EXPECT_EQ(hops, meshDistance(topo, s, d) + 1);
+                    expectDimensionOrder(moves, cls == 0, s, d);
+                }
+            }
+        }
+    }
+}
+
+TEST(RoutingProperty, O1TurnPartitionsTheVcSpace)
+{
+    const Mesh topo(4, 4, 1);
+    const auto routing = makeRouting(RoutingKind::O1Turn, topo);
+    for (const int num_vcs : {2, 3, 4, 8}) {
+        const auto [b0, c0] = routing->vcRange(0, num_vcs);
+        const auto [b1, c1] = routing->vcRange(1, num_vcs);
+        EXPECT_GE(c0, 1);
+        EXPECT_GE(c1, 1);
+        // Disjoint and jointly covering: no VC is shared between the
+        // two virtual networks (deadlock freedom) or wasted.
+        EXPECT_EQ(c0 + c1, num_vcs);
+        EXPECT_TRUE(b0 + c0 == b1 || b1 + c1 == b0);
+    }
+}
+
+TEST(RoutingProperty, TorusDorIsMinimalWithWraparound)
+{
+    for (const int side : {3, 4, 5, 8}) {
+        const Torus topo(side, side, 1);
+        for (const bool x_first : {true, false}) {
+            const auto routing = makeRouting(
+                x_first ? RoutingKind::XY : RoutingKind::YX, topo);
+            for (NodeId s = 0; s < topo.numNodes(); ++s) {
+                for (NodeId d = 0; d < topo.numNodes(); ++d) {
+                    if (s == d)
+                        continue;
+                    const int hops = walk(topo, *routing, s, d, 0);
+                    EXPECT_EQ(hops, torusDistance(topo, s, d) + 1)
+                        << side << "x" << side << " " << s << "->" << d;
+                }
+            }
+        }
+    }
+}
+
+TEST(RoutingProperty, VcRangesAreValidEverywhere)
+{
+    // Every (router, src, dst, class) must yield a usable VC window:
+    // the VC allocator indexes buffers straight from it.
+    const Torus torus(5, 5, 1);
+    const auto troute = makeRouting(RoutingKind::XY, torus);
+    const Mesh mesh(4, 4, 1);
+    const auto o1 = makeRouting(RoutingKind::O1Turn, mesh);
+    const int num_vcs = 4;
+    for (RouterId r = 0; r < torus.numRouters(); ++r) {
+        for (NodeId s = 0; s < torus.numNodes(); ++s) {
+            for (NodeId d = 0; d < torus.numNodes(); ++d) {
+                const auto [base, count] =
+                    troute->vcRangeAt(r, s, d, 0, num_vcs);
+                ASSERT_GE(base, 0);
+                ASSERT_GE(count, 1);
+                ASSERT_LE(base + count, num_vcs);
+            }
+        }
+    }
+    for (RouterId r = 0; r < mesh.numRouters(); ++r) {
+        for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+            for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+                for (const int cls : {0, 1}) {
+                    const auto [base, count] =
+                        o1->vcRangeAt(r, s, d, cls, num_vcs);
+                    ASSERT_GE(base, 0);
+                    ASSERT_GE(count, 1);
+                    ASSERT_LE(base + count, num_vcs);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace noc

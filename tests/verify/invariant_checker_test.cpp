@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+#include "verify/verify.hpp"
+
+namespace noc {
+namespace {
+
+SimWindows
+shortWindows()
+{
+    SimWindows w;
+    w.warmup = 500;
+    w.measure = 2000;
+    w.drainLimit = 20000;
+    return w;
+}
+
+TEST(WaitForGraph, EmptyGraphHasNoCycle)
+{
+    WaitForGraph g;
+    EXPECT_TRUE(g.findCycle().empty());
+}
+
+TEST(WaitForGraph, ChainHasNoCycle)
+{
+    WaitForGraph g;
+    const int a = g.addNode("a");
+    const int b = g.addNode("b");
+    const int c = g.addNode("c");
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    EXPECT_TRUE(g.findCycle().empty());
+    EXPECT_EQ(g.size(), 3);
+    EXPECT_EQ(g.label(b), "b");
+}
+
+TEST(WaitForGraph, DiamondHasNoCycle)
+{
+    // Two paths converging on one node: shared suffixes are not cycles.
+    WaitForGraph g;
+    const int a = g.addNode("a");
+    const int b = g.addNode("b");
+    const int c = g.addNode("c");
+    const int d = g.addNode("d");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    EXPECT_TRUE(g.findCycle().empty());
+}
+
+TEST(WaitForGraph, TriangleCycleIsRecovered)
+{
+    WaitForGraph g;
+    const int a = g.addNode("a");
+    const int b = g.addNode("b");
+    const int c = g.addNode("c");
+    g.addNode("off-cycle");
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.addEdge(c, a);
+    const std::vector<int> cycle = g.findCycle();
+    ASSERT_EQ(cycle.size(), 3u);
+    // The cycle is reported in edge order; every member is on it.
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const int from = cycle[i];
+        const int to = cycle[(i + 1) % cycle.size()];
+        EXPECT_TRUE((from == a && to == b) || (from == b && to == c) ||
+                    (from == c && to == a))
+            << "unexpected edge " << from << "->" << to;
+    }
+}
+
+TEST(WaitForGraph, SelfLoopIsACycle)
+{
+    WaitForGraph g;
+    const int a = g.addNode("a");
+    g.addEdge(a, a);
+    const std::vector<int> cycle = g.findCycle();
+    ASSERT_EQ(cycle.size(), 1u);
+    EXPECT_EQ(cycle[0], a);
+}
+
+TEST(VerifyMask, SpecParsing)
+{
+    EXPECT_EQ(verifyMaskFromSpec("all"), kAllInvariants);
+    EXPECT_EQ(verifyMaskFromSpec("off"), 0u);
+    EXPECT_EQ(verifyMaskFromSpec(""), 0u);
+    EXPECT_EQ(verifyMaskFromSpec("credits"),
+              static_cast<std::uint32_t>(Invariant::Credits));
+    EXPECT_EQ(verifyMaskFromSpec("state"),
+              static_cast<std::uint32_t>(Invariant::VcState));
+    EXPECT_EQ(verifyMaskFromSpec("pc"),
+              static_cast<std::uint32_t>(Invariant::Circuits));
+    EXPECT_EQ(verifyMaskFromSpec("order"),
+              static_cast<std::uint32_t>(Invariant::Ordering));
+    EXPECT_EQ(verifyMaskFromSpec("conserve"),
+              static_cast<std::uint32_t>(Invariant::Conserve));
+    EXPECT_EQ(verifyMaskFromSpec("deadlock"),
+              static_cast<std::uint32_t>(Invariant::Deadlock));
+    EXPECT_EQ(verifyMaskFromSpec("credits,deadlock"),
+              static_cast<std::uint32_t>(Invariant::Credits) |
+                  static_cast<std::uint32_t>(Invariant::Deadlock));
+}
+
+TEST(VerifyMask, InvariantNames)
+{
+    EXPECT_STREQ(toString(Invariant::Credits), "credits");
+    EXPECT_STREQ(toString(Invariant::Deadlock), "deadlock");
+}
+
+TEST(Violation, DescribeFormat)
+{
+    Violation v;
+    v.kind = Invariant::Credits;
+    v.cycle = 1234;
+    v.router = 5;
+    v.detail = "slot over-committed";
+    const std::string s = v.describe();
+    EXPECT_NE(s.find("1234"), std::string::npos);
+    EXPECT_NE(s.find("router 5"), std::string::npos);
+    EXPECT_NE(s.find("[credits]"), std::string::npos);
+    EXPECT_NE(s.find("slot over-committed"), std::string::npos);
+}
+
+/** Run `cfg` under uniform traffic with a checker attached. */
+void
+expectCleanRun(SimConfig cfg, double load = 0.1)
+{
+#if !NOC_VERIFY_ENABLED
+    (void)cfg;
+    (void)load;
+    GTEST_SKIP() << "invariant checker compiled out (NOC_VERIFY=OFF)";
+#else
+    cfg.seed = 11;
+    auto src = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::UniformRandom, cfg.numNodes(), load, 5,
+        cfg.seed * 77 + 5);
+    Simulator sim(cfg, std::move(src));
+    InvariantChecker checker;
+    sim.setVerifier(&checker);
+    const SimResult result = sim.run(shortWindows());
+    EXPECT_TRUE(result.drained);
+    EXPECT_TRUE(checker.attached());
+    EXPECT_GT(checker.checks(), 1000u);
+    EXPECT_TRUE(checker.clean()) << checker.report();
+    EXPECT_EQ(checker.report(), "");
+#endif
+}
+
+TEST(InvariantChecker, BaselineRunsClean) { expectCleanRun(traceConfig()); }
+
+TEST(InvariantChecker, PseudoRunsClean)
+{
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::Pseudo;
+    expectCleanRun(cfg);
+}
+
+TEST(InvariantChecker, PseudoSRunsClean)
+{
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoS;
+    expectCleanRun(cfg);
+}
+
+TEST(InvariantChecker, PseudoBRunsClean)
+{
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoB;
+    expectCleanRun(cfg);
+}
+
+TEST(InvariantChecker, PseudoSBRunsClean)
+{
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+    expectCleanRun(cfg);
+}
+
+TEST(InvariantChecker, EvcRunsClean)
+{
+    SimConfig cfg = syntheticConfig();
+    cfg.scheme = Scheme::Evc;
+    expectCleanRun(cfg);
+}
+
+TEST(InvariantChecker, TorusRunsClean)
+{
+    SimConfig cfg = syntheticConfig();
+    cfg.topology = TopologyKind::Torus;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    expectCleanRun(cfg);
+}
+
+TEST(InvariantChecker, O1TurnDynamicVaRunsClean)
+{
+    SimConfig cfg = syntheticConfig();
+    cfg.routing = RoutingKind::O1Turn;
+    cfg.vaPolicy = VaPolicy::Dynamic;
+    expectCleanRun(cfg);
+}
+
+TEST(InvariantChecker, ScanCadenceReducesChecksNotCoverage)
+{
+#if !NOC_VERIFY_ENABLED
+    GTEST_SKIP() << "invariant checker compiled out (NOC_VERIFY=OFF)";
+#else
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+    cfg.seed = 11;
+    auto run = [&](Cycle scan_every) {
+        auto src = std::make_unique<SyntheticTraffic>(
+            SyntheticPattern::Transpose, cfg.numNodes(), 0.1, 5,
+            cfg.seed * 77 + 5);
+        Simulator sim(cfg, std::move(src));
+        VerifyConfig vc;
+        vc.scanEvery = scan_every;
+        InvariantChecker checker(vc);
+        sim.setVerifier(&checker);
+        const SimResult r = sim.run(shortWindows());
+        EXPECT_TRUE(r.drained);
+        EXPECT_TRUE(checker.clean()) << checker.report();
+        return checker.checks();
+    };
+    const std::uint64_t every_cycle = run(1);
+    const std::uint64_t sparse = run(64);
+    EXPECT_GT(every_cycle, sparse);
+    EXPECT_GT(sparse, 0u);
+#endif
+}
+
+TEST(InvariantChecker, AttachedCheckerDoesNotPerturbResults)
+{
+#if !NOC_VERIFY_ENABLED
+    GTEST_SKIP() << "invariant checker compiled out (NOC_VERIFY=OFF)";
+#else
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+    cfg.seed = 11;
+    auto run = [&](bool verify) {
+        auto src = std::make_unique<SyntheticTraffic>(
+            SyntheticPattern::UniformRandom, cfg.numNodes(), 0.12, 5,
+            cfg.seed * 77 + 5);
+        Simulator sim(cfg, std::move(src));
+        InvariantChecker checker;
+        if (verify)
+            sim.setVerifier(&checker);
+        return sim.run(shortWindows());
+    };
+    const SimResult plain = run(false);
+    const SimResult checked = run(true);
+    EXPECT_EQ(plain.measuredPackets, checked.measuredPackets);
+    EXPECT_EQ(plain.avgTotalLatency, checked.avgTotalLatency);
+    EXPECT_EQ(plain.throughput, checked.throughput);
+    EXPECT_EQ(plain.reusability, checked.reusability);
+#endif
+}
+
+} // namespace
+} // namespace noc

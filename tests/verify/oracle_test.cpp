@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "verify/oracle.hpp"
+
+namespace noc {
+namespace {
+
+SimWindows
+shortWindows()
+{
+    SimWindows w;
+    w.warmup = 500;
+    w.measure = 2000;
+    w.drainLimit = 20000;
+    return w;
+}
+
+/** The schemes whose delivery multiset must match the baseline's. */
+const Scheme kPseudoSchemes[] = {Scheme::Pseudo, Scheme::PseudoS,
+                                 Scheme::PseudoB, Scheme::PseudoSB};
+
+TEST(Oracle, RunRecordsEveryDelivery)
+{
+    SimConfig cfg = traceConfig();
+    cfg.seed = 11;
+    const OracleOutcome out = runChecked(
+        cfg, SyntheticPattern::Transpose, 0.1, 5, shortWindows());
+    ASSERT_TRUE(out.result.drained);
+    EXPECT_GT(out.deliveries.size(), 100u);
+    EXPECT_EQ(out.violations, 0u) << out.report;
+    // Sorted by id; framing fields are sane.
+    for (std::size_t i = 1; i < out.deliveries.size(); ++i)
+        EXPECT_LT(out.deliveries[i - 1].id, out.deliveries[i].id);
+    for (const DeliveryRecord &d : out.deliveries) {
+        EXPECT_NE(d.src, d.dst);
+        EXPECT_EQ(d.size, 5u);
+        EXPECT_GE(d.ejectTime, d.createTime);
+    }
+}
+
+TEST(Oracle, SchemesDeliverIdenticalPacketMultiset)
+{
+    SimConfig cfg = traceConfig();
+    cfg.seed = 11;
+    const OracleOutcome base = runChecked(
+        cfg, SyntheticPattern::Transpose, 0.1, 5, shortWindows());
+    ASSERT_TRUE(base.result.drained);
+    EXPECT_EQ(base.violations, 0u) << base.report;
+
+    for (const Scheme scheme : kPseudoSchemes) {
+        SimConfig alt = cfg;
+        alt.scheme = scheme;
+        const OracleOutcome out = runChecked(
+            alt, SyntheticPattern::Transpose, 0.1, 5, shortWindows());
+        ASSERT_TRUE(out.result.drained) << toString(scheme);
+        EXPECT_EQ(out.violations, 0u) << out.report;
+        EXPECT_EQ(compareDeliveries(base.deliveries, out.deliveries), "")
+            << toString(scheme);
+    }
+}
+
+TEST(Oracle, MultisetIdentityHoldsUnderUniformTraffic)
+{
+    // The traffic source must draw the same random destinations whatever
+    // the router scheme does with the flits: scheme-independent RNG.
+    SimConfig cfg = traceConfig();
+    cfg.seed = 23;
+    const OracleOutcome base = runChecked(
+        cfg, SyntheticPattern::UniformRandom, 0.12, 5, shortWindows());
+    SimConfig alt = cfg;
+    alt.scheme = Scheme::PseudoSB;
+    const OracleOutcome fast = runChecked(
+        alt, SyntheticPattern::UniformRandom, 0.12, 5, shortWindows());
+    ASSERT_TRUE(base.result.drained);
+    ASSERT_TRUE(fast.result.drained);
+    EXPECT_EQ(compareDeliveries(base.deliveries, fast.deliveries), "");
+}
+
+TEST(Oracle, CompareDeliveriesFlagsDifferences)
+{
+    DeliveryRecord a;
+    a.id = 1;
+    a.src = 0;
+    a.dst = 3;
+    a.size = 5;
+    DeliveryRecord b = a;
+    EXPECT_EQ(compareDeliveries({a}, {b}), "");
+    // Timing differences are expected between schemes and ignored.
+    b.ejectTime = 99;
+    b.hops = 7;
+    EXPECT_EQ(compareDeliveries({a}, {b}), "");
+    b = a;
+    b.dst = 4;
+    EXPECT_NE(compareDeliveries({a}, {b}), "");
+    EXPECT_NE(compareDeliveries({a}, {}), "");
+    EXPECT_NE(compareDeliveries({a}, {a, b}), "");
+}
+
+TEST(Oracle, BypassNeverWorsensIsolatedLatency)
+{
+    // Paper §1: pseudo-circuits shorten the pipeline on a hit and fall
+    // back to the full pipeline on a miss — a packet alone in the
+    // network can only get faster.
+    SimConfig cfg = traceConfig();
+    cfg.seed = 11;
+    const NodeId src = 0;
+    const NodeId dst = static_cast<NodeId>(cfg.numNodes() - 1);
+    const std::vector<Cycle> base =
+        isolatedLatencies(cfg, src, dst, 6, 100, 5);
+    ASSERT_EQ(base.size(), 6u);
+    for (const Scheme scheme : kPseudoSchemes) {
+        SimConfig alt = cfg;
+        alt.scheme = scheme;
+        const std::vector<Cycle> fast =
+            isolatedLatencies(alt, src, dst, 6, 100, 5);
+        ASSERT_EQ(fast.size(), base.size()) << toString(scheme);
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            EXPECT_LE(fast[i], base[i])
+                << toString(scheme) << " packet " << i;
+        }
+    }
+}
+
+TEST(Oracle, RepeatedIsolatedPacketsReuseTheCircuit)
+{
+    // On a standing circuit the later packets are at least as fast as
+    // the first one, which had to establish it.
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+    cfg.seed = 11;
+    const std::vector<Cycle> lat = isolatedLatencies(
+        cfg, 0, static_cast<NodeId>(cfg.numNodes() - 1), 6, 100, 5);
+    ASSERT_EQ(lat.size(), 6u);
+    for (std::size_t i = 1; i < lat.size(); ++i)
+        EXPECT_LE(lat[i], lat[0]);
+}
+
+} // namespace
+} // namespace noc
