@@ -31,6 +31,18 @@
  * saturation early-exit, watchdog snapshots, per-flow latency
  * histograms. "all" enables everything except adaptive-warmup, which
  * shortens the warmup window and therefore changes results.
+ *
+ * Fault injection: fault=<plan> (see fault/fault_plan.hpp for the
+ * grammar, e.g. "flip-link:3>7@p0.001,kill-link:2>6@cycle5000") arms
+ * the fault controller; runs then print a degradation report (per-flow
+ * delivered/dropped/unroutable, offered vs achieved throughput).
+ *
+ * Crash-tolerant sweeps: journal=<path> appends one JSONL checkpoint
+ * per finished job; resume=1 (sugar: --resume) replays the journal and
+ * re-runs only uncovered jobs, reproducing the uninterrupted outputs
+ * byte-for-byte. SIGINT/SIGTERM cancel cleanly (exit 130) with all
+ * finished jobs journaled. job-deadline-ms=/job-retries=/job-backoff-ms=
+ * bound each job's wall-clock and retry transient failures.
  * health-sample=<cycles> sets the monitor sampling cadence,
  * watchdog-every=<cycles> the snapshot interval, flow-out=<path> writes
  * the flow-matrix CSV ("-" prints the top flows instead; single-run
@@ -38,6 +50,8 @@
  * stderr. `--version` prints the build-info banner and exits.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +62,7 @@
 #include "common/options.hpp"
 #include "metrics/watchdog.hpp"
 #include "sim/experiment.hpp"
+#include "sim/journal.hpp"
 #include "sim/progress.hpp"
 #include "sim/report.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -59,6 +74,19 @@
 using namespace noc;
 
 namespace {
+
+/**
+ * SIGINT/SIGTERM raise this flag; the sweep runner polls it, cancels
+ * running jobs cooperatively and skips unstarted ones. Completed jobs
+ * are already flushed to the journal, so nothing finished is lost.
+ */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop.store(true);
+}
 
 std::vector<std::string>
 splitList(const std::string &csv)
@@ -143,6 +171,8 @@ normalizeArgs(int argc, char **argv)
             tokens.push_back("jobs=" + arg.substr(7));
         else if (arg == "--progress")
             tokens.push_back("progress=1");
+        else if (arg == "--resume")
+            tokens.push_back("resume=1");
         else if (arg == "--trace-out" && i + 1 < argc)
             tokens.push_back(std::string("trace=") + argv[++i]);
         else if (arg.rfind("--trace-out=", 0) == 0)
@@ -249,6 +279,52 @@ exportTraces(const TraceCli &cli, const std::vector<TelemetryTrace> &traces,
     }
 }
 
+/**
+ * Replay-safe structured emission: every job's output was rendered
+ * exactly once (stored lines for journaled jobs, fresh renders for the
+ * rest), so writing the stored lines verbatim keeps a resumed sweep's
+ * files byte-identical to an uninterrupted run's.
+ */
+void
+emitJournaledResults(const SweepCli &cli,
+                     const std::vector<JournalEntry> &entries)
+{
+    if (!cli.jsonPath.empty()) {
+        auto writeAll = [&entries](std::ostream &os) {
+            for (const JournalEntry &e : entries) {
+                for (const std::string &line : e.jsonLines)
+                    os << line << '\n';
+            }
+        };
+        if (cli.jsonPath == "-") {
+            writeAll(std::cout);
+        } else {
+            std::ofstream os(cli.jsonPath, std::ios::app);
+            if (!os)
+                NOC_FATAL("cannot open json results file: " + cli.jsonPath);
+            writeAll(os);
+        }
+    }
+    if (!cli.csvPath.empty()) {
+        std::ofstream os(cli.csvPath, std::ios::app);
+        if (!os)
+            NOC_FATAL("cannot open csv results file: " + cli.csvPath);
+        if (os.tellp() == std::streampos(0)) {
+            const std::vector<std::string> &cols = resultCsvColumns();
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                if (i)
+                    os << ',';
+                os << cols[i];
+            }
+            os << '\n';
+        }
+        for (const JournalEntry &e : entries) {
+            for (const std::string &row : e.csvRows)
+                os << row << '\n';
+        }
+    }
+}
+
 int
 runMulti(const Options &opts, const SimConfig &base,
          const SimWindows &windows, const std::vector<std::string> &schemes,
@@ -261,6 +337,17 @@ runMulti(const Options &opts, const SimConfig &base,
     cli.progress = opts.getBool("progress", false);
     const TraceCli trace_cli = traceFromOptions(opts);
     const VerifyCli verify_cli = verifyFromOptions(opts);
+
+    // Crash tolerance: journal= checkpoints each finished job, resume=1
+    // replays the journal instead of re-running; per-job deadline/retry
+    // knobs absorb transient slowness on loaded machines.
+    const std::string journal_path = opts.getString("journal", "");
+    const bool resume = opts.getBool("resume", false);
+    if (resume && journal_path.empty())
+        NOC_FATAL("resume=1 needs journal=<path> to replay from");
+    const auto deadline_ms = opts.getInt("job-deadline-ms", 0);
+    const auto retries = opts.getInt("job-retries", 1);
+    const auto backoff_ms = opts.getInt("job-backoff-ms", 0);
 
     const bool traced = opts.has("benchmark");
     const std::string bench_name = opts.getString("benchmark", "fma3d");
@@ -322,16 +409,99 @@ runMulti(const Options &opts, const SimConfig &base,
         for (SweepJob &job : jobs)
             job.verify = verify_cli.cfg;
     }
+    for (SweepJob &job : jobs) {
+        job.deadlineMs = deadline_ms;
+        job.maxAttempts = static_cast<int>(retries);
+        job.backoffMs = backoff_ms;
+    }
+
+    // Partition against the resume journal: jobs it covers replay from
+    // their stored rendering, the rest run fresh.
+    std::map<std::uint64_t, JournalEntry> done;
+    if (resume)
+        done = SweepJournal::load(journal_path);
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    std::vector<JournalEntry> entries(jobs.size());
+    std::vector<char> replayed(jobs.size(), 0);
+    std::vector<SweepJob> fresh;
+    std::vector<std::size_t> fresh_at;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto it = done.find(journalKey(jobs[i]));
+        if (it != done.end()) {
+            entries[i] = it->second;
+            outcomes[i] = outcomeFromEntry(it->second, jobs[i]);
+            replayed[i] = 1;
+        } else {
+            fresh_at.push_back(i);
+            fresh.push_back(jobs[i]);
+        }
+    }
 
     std::printf("noctool sweep: %zu runs on %d threads\n\n", jobs.size(),
                 resolveJobCount(cli.jobs));
+    // Informational, and on stderr on purpose: a resumed sweep's stdout
+    // must stay byte-identical to an uninterrupted run's.
+    if (resume && fresh.size() != jobs.size()) {
+        std::fprintf(stderr, "resume: %zu of %zu runs replayed from %s\n",
+                     jobs.size() - fresh.size(), jobs.size(),
+                     journal_path.c_str());
+    }
+
     SweepRunner runner(cli.jobs);
+    runner.setStopFlag(&g_stop);
+    std::unique_ptr<SweepJournal> journal;
+    if (!journal_path.empty()) {
+        journal = std::make_unique<SweepJournal>(journal_path);
+        runner.onJobComplete(
+            [&journal, &fresh](std::size_t idx, const SweepOutcome &out) {
+                // An interrupted job must re-run on resume, so it never
+                // reaches the journal.
+                if (out.interrupted)
+                    return;
+                journal->append(makeJournalEntry(fresh[idx], out));
+            });
+    }
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
     ProgressPrinter progress;
     if (cli.progress)
         runner.onProgress(progress.callback());
-    const std::vector<SweepOutcome> outcomes = runner.run(jobs);
+    const std::vector<SweepOutcome> fresh_out = runner.run(fresh);
     progress.finish();
-    emitStructuredResults(cli, outcomes);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    for (std::size_t k = 0; k < fresh_at.size(); ++k)
+        outcomes[fresh_at[k]] = fresh_out[k];
+
+    bool stopped = g_stop.load();
+    for (const SweepOutcome &o : fresh_out)
+        stopped = stopped || o.interrupted;
+    if (stopped) {
+        std::size_t finished = jobs.size() - fresh.size();
+        for (const SweepOutcome &o : fresh_out) {
+            if (!o.interrupted)
+                ++finished;
+        }
+        std::string hint;
+        if (!journal_path.empty()) {
+            hint = ", journaled to " + journal_path +
+                   " (rerun with resume=1 to continue)";
+        }
+        std::fprintf(stderr,
+                     "noctool: interrupted with %zu of %zu runs finished%s\n",
+                     finished, jobs.size(), hint.c_str());
+        return 130;
+    }
+
+    if (resume) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (!replayed[i])
+                entries[i] = makeJournalEntry(jobs[i], outcomes[i]);
+        }
+        emitJournaledResults(cli, entries);
+    } else {
+        emitStructuredResults(cli, outcomes);
+    }
 
     printHeader("run", {"total-lat", "net-lat", "p99", "thruput",
                         "reuse%", "energy-nJ"},
@@ -375,6 +545,31 @@ runMulti(const Options &opts, const SimConfig &base,
                 std::printf(" (cov %.4f)", h.latencyCov);
             }
             std::printf("\n");
+        }
+    }
+
+    bool any_fault = false;
+    for (const SweepOutcome &o : outcomes)
+        any_fault = any_fault || (o.ok && o.result.fault.active);
+    if (any_fault) {
+        std::printf("\nfault degradation:\n");
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const SweepOutcome &o = outcomes[i];
+            if (!o.ok || !o.result.fault.active)
+                continue;
+            const FaultReport &f = o.result.fault;
+            std::printf("  %-16s delivered %llu/%llu pkts (%llu dropped, "
+                        "%llu unroutable), %llu retransmits, %llu links "
+                        "dead, achieved %.4f of %.4f flits/node/cycle\n",
+                        row_labels[i].c_str(),
+                        static_cast<unsigned long long>(f.packetsDelivered),
+                        static_cast<unsigned long long>(f.packetsOffered),
+                        static_cast<unsigned long long>(f.packetsDropped),
+                        static_cast<unsigned long long>(f.packetsUnroutable),
+                        static_cast<unsigned long long>(
+                            f.flitsRetransmitted),
+                        static_cast<unsigned long long>(f.linksKilled),
+                        f.achievedThroughput, f.offeredThroughput);
         }
     }
 
@@ -537,6 +732,29 @@ main(int argc, char **argv)
                           << " (" << top->count << " packets, avg "
                           << top->avgLatency() << " cycles)";
             }
+            std::cout << "\n";
+        }
+    }
+    if (result.fault.active) {
+        const FaultReport &f = result.fault;
+        std::cout << "  fault degradation       delivered "
+                  << f.packetsDelivered << "/" << f.packetsOffered
+                  << " pkts (" << f.packetsDropped << " dropped, "
+                  << f.packetsUnroutable << " unroutable), "
+                  << f.flitsRetransmitted << " retransmits, "
+                  << f.linksKilled << " links dead\n";
+        std::cout << "  fault throughput        achieved "
+                  << f.achievedThroughput << " of " << f.offeredThroughput
+                  << " offered flits/node/cycle\n";
+        for (const FaultReport::Flow &fl : f.flows) {
+            if (fl.dropped == 0 && fl.unroutable == 0)
+                continue;
+            std::cout << "    flow " << fl.src << "->" << fl.dst << ": "
+                      << fl.delivered << "/" << fl.offered << " delivered";
+            if (fl.dropped > 0)
+                std::cout << ", " << fl.dropped << " dropped";
+            if (fl.unroutable > 0)
+                std::cout << ", " << fl.unroutable << " unroutable";
             std::cout << "\n";
         }
     }

@@ -85,9 +85,19 @@ struct SimConfig
     // --- misc ---
     std::uint64_t seed = 1;
 
-    /// Fault injection for verification testing only: every Nth credit
-    /// delivered to a router is silently dropped (0 disables). Left out
-    /// of describe() on purpose — it must never appear in results.
+    /// Fault plan specification (see fault/fault_plan.hpp for the
+    /// grammar), e.g. "flip-link:3>7@p0.001,kill-link:2>6@cycle5000".
+    /// Empty = fault-free run (the common case: no controller is even
+    /// constructed). Left out of describe() on purpose — fault-free
+    /// output must stay byte-identical whether or not the fault layer
+    /// is compiled in.
+    std::string faultSpec;
+
+    /// Deprecated alias for `fault=drop-credit-every=N`: every Nth
+    /// credit delivered to a router is silently dropped (0 disables).
+    /// Kept so the PR 4 bug-injection configs keep working; the fault
+    /// layer absorbs it into the plan. Left out of describe() on
+    /// purpose — it must never appear in results.
     int dropCreditEvery = 0;
 
     /** Derived: total number of routers. */

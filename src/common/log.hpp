@@ -15,11 +15,15 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/stderr_sink.hpp"
+
 namespace noc {
 
 [[noreturn]] inline void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Deliberately raw: a panic may fire from anywhere (including while
+    // the stderr sink's mutex is held), so it must never lock.
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -27,14 +31,16 @@ panicImpl(const char *file, int line, const std::string &msg)
 [[noreturn]] inline void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    stderrLine("fatal: " + msg + " (" + file + ":" +
+               std::to_string(line) + ")\n");
     std::exit(1);
 }
 
 inline void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    stderrLine("warn: " + msg + " (" + file + ":" +
+               std::to_string(line) + ")\n");
 }
 
 } // namespace noc

@@ -206,6 +206,7 @@ configFromOptions(const Options &opts)
     cfg.evcNumExpressVcs = static_cast<int>(
         opts.getInt("evc-express", cfg.evcNumExpressVcs));
     cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    cfg.faultSpec = opts.getString("fault", "");
     cfg.dropCreditEvery =
         static_cast<int>(opts.getInt("drop-credit-every", 0));
     cfg.validate();

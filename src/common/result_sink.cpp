@@ -125,6 +125,28 @@ addResultFields(JsonObject &obj, const SimResult &r)
         obj.add("peak_backlog", fmtU64(r.health.peakBacklog));
         obj.addString("saturation_reason", r.health.saturationReason);
     }
+    // Same riding-along rule for the fault layer: these fields exist
+    // only when a fault plan was active, so fault-free records stay
+    // byte-identical to pre-fault-layer output.
+    if (r.fault.active) {
+        const FaultReport &f = r.fault;
+        obj.add("fault_flits_corrupted", fmtU64(f.flitsCorrupted));
+        obj.add("fault_flits_retransmitted", fmtU64(f.flitsRetransmitted));
+        obj.add("fault_nacks", fmtU64(f.nacksSent));
+        obj.add("fault_retry_timeouts", fmtU64(f.retryTimeouts));
+        obj.add("fault_circuit_teardowns", fmtU64(f.circuitTeardowns));
+        obj.add("fault_links_killed", fmtU64(f.linksKilled));
+        obj.add("fault_packets_offered", fmtU64(f.packetsOffered));
+        obj.add("fault_packets_delivered", fmtU64(f.packetsDelivered));
+        obj.add("fault_packets_dropped", fmtU64(f.packetsDropped));
+        obj.add("fault_packets_unroutable", fmtU64(f.packetsUnroutable));
+        obj.add("fault_offered_throughput", fmtDouble(f.offeredThroughput));
+        obj.add("fault_achieved_throughput",
+                fmtDouble(f.achievedThroughput));
+        obj.add("fault_credits_dropped", fmtU64(f.creditsDropped));
+        obj.add("fault_stall_cycles", fmtU64(f.stallCycles));
+        obj.add("pc_terminated_fault", fmtU64(r.pcTotals.terminatedFault));
+    }
 }
 
 std::string

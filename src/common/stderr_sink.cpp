@@ -1,0 +1,42 @@
+#include "common/stderr_sink.hpp"
+
+#include <cstdio>
+
+namespace noc {
+
+namespace {
+
+std::mutex g_stderrMutex;
+std::function<void()> g_erase;
+std::function<void()> g_redraw;
+
+} // namespace
+
+std::mutex &
+stderrMutex()
+{
+    return g_stderrMutex;
+}
+
+void
+stderrLine(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(g_stderrMutex);
+    if (g_erase)
+        g_erase();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+    if (g_redraw)
+        g_redraw();
+}
+
+void
+setStderrInPlaceLine(std::function<void()> erase,
+                     std::function<void()> redraw)
+{
+    std::lock_guard<std::mutex> lock(g_stderrMutex);
+    g_erase = std::move(erase);
+    g_redraw = std::move(redraw);
+}
+
+} // namespace noc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * One serialized sink for everything the process writes to stderr.
+ *
+ * Two producers share stderr: diagnostic lines (NOC_WARN / NOC_FATAL,
+ * emitted from any worker thread) and the sweep ProgressPrinter's
+ * in-place "\r"-rewritten status line. Unserialized, a warning fired
+ * mid-render lands in the middle of the progress line and the next
+ * rewrite smears both. This sink owns the interleaving:
+ *
+ *   - stderrLine() writes one complete line atomically, first erasing
+ *     any registered in-place line and redrawing it afterwards, so
+ *     diagnostics always appear on their own clean row above the
+ *     progress meter;
+ *   - the in-place line owner (ProgressPrinter) registers erase/redraw
+ *     hooks and takes stderrMutex() around its own writes.
+ *
+ * Everything is a no-op pass-through when no in-place line is
+ * registered — plain tools pay one uncontended mutex per warning.
+ */
+
+#ifndef NOC_COMMON_STDERR_SINK_HPP
+#define NOC_COMMON_STDERR_SINK_HPP
+
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace noc {
+
+/** The one mutex serializing all stderr writers in the process. */
+std::mutex &stderrMutex();
+
+/**
+ * Write `text` (should be newline-terminated) to stderr as one atomic
+ * block: under stderrMutex(), with the registered in-place line erased
+ * first and redrawn after.
+ */
+void stderrLine(const std::string &text);
+
+/**
+ * Register the in-place status line's erase/redraw hooks (both null to
+ * unregister). The hooks are invoked under stderrMutex() and must write
+ * directly without re-locking. One owner at a time — the latest
+ * registration wins.
+ */
+void setStderrInPlaceLine(std::function<void()> erase,
+                          std::function<void()> redraw);
+
+} // namespace noc
+
+#endif // NOC_COMMON_STDERR_SINK_HPP

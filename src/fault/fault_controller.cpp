@@ -1,0 +1,487 @@
+#include "fault/fault_controller.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "verify/verify.hpp"
+
+namespace noc {
+
+FaultController::FaultController(const FaultPlan &plan, const SimConfig &cfg,
+                                 const Topology &topo)
+    : plan_(plan), topo_(topo), linkLatency_(cfg.linkLatency),
+      creditLatency_(cfg.creditLatency),
+      retryTimeout_(plan.retryTimeout > 0
+                        ? plan.retryTimeout
+                        : 4 * static_cast<Cycle>(cfg.linkLatency +
+                                                 cfg.creditLatency) +
+                              8),
+      // Distinct stream from traffic generation: a fault plan must not
+      // perturb which packets the workload produces.
+      rng_(cfg.seed * 9157 + 311)
+{
+    if (cfg.scheme == Scheme::Evc &&
+        (plan_.hasLinkClauses() || !plan_.stalls.empty()))
+        NOC_FATAL("fault plan: link/stall clauses are not supported with "
+                  "scheme=evc (express bypass has no link-retry path)");
+    if (!plan_.kills.empty()) {
+        if (cfg.topology != TopologyKind::Mesh &&
+            cfg.topology != TopologyKind::CMesh)
+            NOC_FATAL("fault plan: kill-link requires topology=mesh|cmesh "
+                      "(rerouting fallback assumes a grid)");
+        if (cfg.routing != RoutingKind::XY && cfg.routing != RoutingKind::YX)
+            NOC_FATAL("fault plan: kill-link requires routing=xy|yx");
+    }
+
+    for (const FlipLinkClause &c : plan_.flips) {
+        LinkState &ls = linkFor(c.src, c.dst, "flip-link");
+        ls.flipProb = std::max(ls.flipProb, c.prob);
+    }
+    for (const KillLinkClause &c : plan_.kills) {
+        LinkState &ls = linkFor(c.src, c.dst, "kill-link");
+        ls.killAt = std::min(ls.killAt, c.atCycle);
+    }
+    for (const StallRouterClause &c : plan_.stalls) {
+        if (c.router < 0 || c.router >= topo_.numRouters())
+            NOC_FATAL("fault plan: stall-router target " +
+                      std::to_string(c.router) + " out of range");
+        stalls_.push_back(c);
+    }
+    creditCounters_.assign(static_cast<std::size_t>(topo_.numRouters()), 0);
+    report_.active = true;
+}
+
+FaultController::LinkState &
+FaultController::linkFor(const RouterId src, const RouterId dst,
+                         const char *clause)
+{
+    if (src < 0 || src >= topo_.numRouters() || dst < 0 ||
+        dst >= topo_.numRouters())
+        NOC_FATAL(std::string("fault plan: ") + clause + " router pair " +
+                  std::to_string(src) + ">" + std::to_string(dst) +
+                  " out of range");
+    // Resolve the first (outPort, drop) on `src` that reaches `dst`.
+    for (PortId p = 0; p < topo_.numOutputPorts(src); ++p) {
+        const OutputChannel &chan = topo_.output(src, p);
+        if (chan.isTerminal())
+            continue;
+        for (std::size_t d = 0; d < chan.drops.size(); ++d) {
+            if (chan.drops[d].router != dst)
+                continue;
+            const std::uint64_t key =
+                senderKey(src, p, static_cast<int>(d));
+            auto it = senderIdx_.find(key);
+            if (it != senderIdx_.end())
+                return links_[it->second];
+            LinkState ls;
+            ls.src = src;
+            ls.dst = dst;
+            ls.outPort = p;
+            ls.dropIdx = static_cast<int>(d);
+            ls.inPort = chan.drops[d].inPort;
+            ls.distance = chan.drops[d].distance;
+            links_.push_back(ls);
+            const int idx = static_cast<int>(links_.size()) - 1;
+            senderIdx_[key] = idx;
+            receiverIdx_[receiverKey(dst, ls.inPort)] = idx;
+            return links_[idx];
+        }
+    }
+    NOC_FATAL(std::string("fault plan: ") + clause + " names " +
+              std::to_string(src) + ">" + std::to_string(dst) +
+              " but the topology has no such link");
+}
+
+void
+FaultController::bindVerifier(InvariantChecker *chk)
+{
+    chk_ = chk;
+    if (!chk_)
+        return;
+    // Stall windows legitimately freeze forward progress; tell the
+    // deadlock probe up front. Dead-link waivers install as links die.
+    Cycle lastStallEnd = 0;
+    for (const StallRouterClause &c : stalls_)
+        lastStallEnd = std::max(lastStallEnd, c.to);
+    if (lastStallEnd > 0)
+        chk_->waiveProgressUntil(lastStallEnd);
+    for (const LinkState &ls : links_) {
+        if (ls.dead) {
+            chk_->waiveLink(ls.src, ls.outPort, ls.dropIdx);
+            chk_->waiveProgressUntil(kNeverCycle);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Stalls.
+// ----------------------------------------------------------------------
+
+bool
+FaultController::routerStalled(RouterId r, Cycle now) const
+{
+    for (const StallRouterClause &c : stalls_) {
+        if (c.router == r && now >= c.from && now <= c.to)
+            return true;
+    }
+    return false;
+}
+
+void
+FaultController::beginCycle(Cycle now)
+{
+    for (const StallRouterClause &c : stalls_) {
+        if (now >= c.from && now <= c.to)
+            ++report_.stallCycles;
+    }
+    for (LinkState &ls : links_) {
+        if (ls.dead || ls.retryBuf.empty())
+            continue;
+        if (now >= ls.retryBuf.front().sentAt + retryTimeout_)
+            resendWindow(ls, now, /*fromTimeout=*/true);
+    }
+}
+
+bool
+FaultController::captureArrival(const LinkEvent &ev, Cycle now)
+{
+    if (ev.kind == LinkEvent::Kind::CreditToRouter) {
+        if (!routerStalled(ev.router, now))
+            return false;
+        heldCredits_[ev.router].push_back(ev);
+        return true;
+    }
+    if (ev.kind != LinkEvent::Kind::FlitToRouter)
+        return false;
+    const auto key = std::make_pair(ev.router, ev.inPort);
+    const bool backlog = [&] {
+        auto it = heldFlits_.find(key);
+        if (it != heldFlits_.end() && !it->second.empty())
+            return true;
+        auto rel = lastFlitRelease_.find(key);
+        return rel != lastFlitRelease_.end() && rel->second == now;
+    }();
+    if (!routerStalled(ev.router, now) && !backlog)
+        return false;
+    heldFlits_[key].push_back(ev);
+    return true;
+}
+
+void
+FaultController::drainStallQueues(Cycle now, std::vector<LinkEvent> &out)
+{
+    for (auto &[router, credits] : heldCredits_) {
+        if (credits.empty() || routerStalled(router, now))
+            continue;
+        out.insert(out.end(), credits.begin(), credits.end());
+        credits.clear();
+    }
+    // One flit per port per cycle: the wire re-serialises its backlog.
+    for (auto &[key, flits] : heldFlits_) {
+        if (flits.empty() || routerStalled(key.first, now))
+            continue;
+        out.push_back(flits.front());
+        flits.pop_front();
+        lastFlitRelease_[key] = now;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Protected links: sender.
+// ----------------------------------------------------------------------
+
+bool
+FaultController::handleSend(RouterId r, PortId outPort, int dropIdx,
+                            const Flit &flit, Cycle now)
+{
+    auto it = senderIdx_.find(senderKey(r, outPort, dropIdx));
+    if (it == senderIdx_.end())
+        return false;
+    LinkState &ls = links_[it->second];
+    if (ls.dead) {
+        recordDropped(flit);
+        return true;
+    }
+    RetryEntry entry;
+    entry.flit = flit;
+    entry.flit.linkSeq = ls.nextSeq++;
+    transmit(ls, entry, now);
+    ls.retryBuf.push_back(entry);
+    NOC_ASSERT(ls.retryBuf.size() < 4096,
+               "link retry buffer runaway (ACKs not draining?)");
+    return true;
+}
+
+void
+FaultController::transmit(LinkState &ls, RetryEntry &entry, Cycle now)
+{
+    // The wire carries one flit per cycle: serialise departures so a
+    // retransmission burst cannot land two flits on one input port in
+    // the same cycle.
+    const Cycle depart = std::max(now + 1, ls.nextFreeTx);
+    ls.nextFreeTx = depart + 1;
+    entry.sentAt = depart;
+
+    Flit onWire = entry.flit;
+    onWire.corrupted = depart >= ls.killAt ||
+                       (ls.flipProb > 0.0 && rng_.nextBool(ls.flipProb));
+    if (onWire.corrupted)
+        ++report_.flitsCorrupted;
+
+    LinkEvent ev;
+    ev.kind = LinkEvent::Kind::FlitToRouter;
+    ev.router = ls.dst;
+    ev.inPort = ls.inPort;
+    ev.flit = onWire;
+    ring_->schedule(now, depart + linkLatency_ * ls.distance, ev);
+}
+
+void
+FaultController::resendWindow(LinkState &ls, Cycle now, bool fromTimeout)
+{
+    if (ls.retryBuf.empty())
+        return;
+    ++ls.retryCount;
+    if (ls.retryCount > plan_.retryLimit) {
+        killLink(ls, now);
+        return;
+    }
+    if (fromTimeout)
+        ++report_.retryTimeouts;
+    ls.lastResendAt = now;
+    for (RetryEntry &entry : ls.retryBuf) {
+        transmit(ls, entry, now);
+        ++report_.flitsRetransmitted;
+    }
+}
+
+void
+FaultController::killLink(LinkState &ls, Cycle now)
+{
+    ls.dead = true;
+    anyDead_ = true;
+    ++generation_;
+    reachDirty_ = true;
+    ++report_.linksKilled;
+    for (const RetryEntry &entry : ls.retryBuf)
+        recordDropped(entry.flit);
+    ls.retryBuf.clear();
+    if (chk_) {
+        // The dropped flits' credits never return: waive exactly this
+        // link's ledger, and permanently silence the progress probe —
+        // packets wedged behind the dead link are expected.
+        chk_->waiveLink(ls.src, ls.outPort, ls.dropIdx);
+        chk_->waiveProgressUntil(kNeverCycle);
+    }
+    (void)now;
+}
+
+void
+FaultController::recordDropped(const Flit &flit)
+{
+    if (!droppedPackets_.insert(flit.packet).second)
+        return;
+    ++report_.packetsDropped;
+    ++flows_[{flit.src, flit.dst}].dropped;
+}
+
+// ----------------------------------------------------------------------
+// Protected links: receiver + ACK channel.
+// ----------------------------------------------------------------------
+
+void
+FaultController::sendAck(const LinkState &ls, bool ok, std::uint32_t seq,
+                         Cycle now)
+{
+    LinkEvent ev;
+    ev.kind = LinkEvent::Kind::LinkAck;
+    ev.router = ls.src;
+    ev.ackLink = static_cast<int>(&ls - links_.data());
+    ev.ackSeq = seq;
+    ev.ackOk = ok;
+    ring_->schedule(now, now + 1 + creditLatency_ * ls.distance, ev);
+}
+
+bool
+FaultController::onReceive(RouterId r, PortId inPort, const Flit &flit,
+                           Cycle now)
+{
+    auto it = receiverIdx_.find(receiverKey(r, inPort));
+    if (it == receiverIdx_.end())
+        return true;
+    LinkState &ls = links_[it->second];
+    if (ls.dead)
+        return false;   // straggler on a declared-dead link
+    if (!flit.corrupted && flit.linkSeq == ls.expectedSeq) {
+        ++ls.expectedSeq;
+        ls.nackedAt = kNeverCycle;
+        sendAck(ls, /*ok=*/true, flit.linkSeq, now);
+        return true;
+    }
+    // CRC failure, a gap (go-back-N discards past the loss), or a
+    // duplicate from a resend overlap. NACK the expected sequence at
+    // most once per timeout window; the sender's timer covers the rest.
+    const bool fresh_gap =
+        ls.nackedAt == kNeverCycle || now >= ls.nackedAt + retryTimeout_;
+    if (static_cast<std::int32_t>(flit.linkSeq - ls.expectedSeq) >= 0 &&
+        fresh_gap) {
+        sendAck(ls, /*ok=*/false, ls.expectedSeq, now);
+        ls.nackedAt = now;
+        ++report_.nacksSent;
+    }
+    return false;
+}
+
+void
+FaultController::onAck(const LinkEvent &ev, Cycle now)
+{
+    LinkState &ls = links_[static_cast<std::size_t>(ev.ackLink)];
+    if (ls.dead)
+        return;
+    // Cumulative ACK of everything up to ackSeq (NACK acks the prefix
+    // below the requested sequence).
+    const std::uint32_t upto = ev.ackOk ? ev.ackSeq + 1 : ev.ackSeq;
+    bool progressed = false;
+    while (!ls.retryBuf.empty() &&
+           static_cast<std::int32_t>(upto -
+                                     ls.retryBuf.front().flit.linkSeq) > 0) {
+        ls.retryBuf.pop_front();
+        progressed = true;
+    }
+    if (progressed)
+        ls.retryCount = 0;
+    if (ev.ackOk)
+        return;
+    if (ls.retryBuf.empty())
+        return;  // stale NACK: everything it asked for is already acked
+    if (static_cast<std::int32_t>(ev.ackSeq -
+                                  ls.retryBuf.front().flit.linkSeq) < 0)
+        return;  // stale NACK from before a rewind
+    if (ls.lastResendAt != kNeverCycle && now < ls.lastResendAt + retryTimeout_)
+        return;  // a rewind is already in flight; don't double-count retries
+    resendWindow(ls, now, /*fromTimeout=*/false);
+}
+
+bool
+FaultController::linkDead(RouterId r, PortId outPort, int dropIdx) const
+{
+    auto it = senderIdx_.find(senderKey(r, outPort, dropIdx));
+    return it != senderIdx_.end() && links_[it->second].dead;
+}
+
+// ----------------------------------------------------------------------
+// Reachability / degradation accounting.
+// ----------------------------------------------------------------------
+
+void
+FaultController::rebuildReachability() const
+{
+    const int n = topo_.numRouters();
+    reach_.assign(static_cast<std::size_t>(n) * n, 0);
+    std::vector<RouterId> queue;
+    for (RouterId from = 0; from < n; ++from) {
+        queue.clear();
+        queue.push_back(from);
+        reach_[static_cast<std::size_t>(from) * n + from] = 1;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const RouterId r = queue[head];
+            for (PortId p = 0; p < topo_.numOutputPorts(r); ++p) {
+                const OutputChannel &chan = topo_.output(r, p);
+                if (chan.isTerminal())
+                    continue;
+                for (std::size_t d = 0; d < chan.drops.size(); ++d) {
+                    if (linkDead(r, p, static_cast<int>(d)))
+                        continue;
+                    const RouterId next = chan.drops[d].router;
+                    char &seen =
+                        reach_[static_cast<std::size_t>(from) * n + next];
+                    if (!seen) {
+                        seen = 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+    reachDirty_ = false;
+}
+
+bool
+FaultController::reachable(RouterId from, RouterId to) const
+{
+    if (!anyDead_)
+        return true;
+    if (reachDirty_ || reach_.empty())
+        rebuildReachability();
+    return reach_[static_cast<std::size_t>(from) * topo_.numRouters() + to] !=
+           0;
+}
+
+bool
+FaultController::routable(NodeId src, NodeId dst) const
+{
+    if (!anyDead_)
+        return true;
+    return reachable(topo_.nodeRouter(src), topo_.nodeRouter(dst));
+}
+
+bool
+FaultController::dropCredit(RouterId r)
+{
+    if (plan_.dropCreditEvery == 0)
+        return false;
+    if (++creditCounters_[r] % plan_.dropCreditEvery != 0)
+        return false;
+    ++report_.creditsDropped;
+    return true;
+}
+
+void
+FaultController::onOffered(const PacketDesc &p)
+{
+    ++report_.packetsOffered;
+    offeredFlits_ += p.size;
+    ++flows_[{p.src, p.dst}].offered;
+}
+
+void
+FaultController::onUnroutable(const PacketDesc &p)
+{
+    ++report_.packetsUnroutable;
+    ++flows_[{p.src, p.dst}].unroutable;
+}
+
+void
+FaultController::onDelivered(const Flit &flit)
+{
+    ++report_.packetsDelivered;
+    deliveredFlits_ += flit.packetSize;
+    ++flows_[{flit.src, flit.dst}].delivered;
+}
+
+FaultReport
+FaultController::report(Cycle cyclesRun, int numNodes) const
+{
+    FaultReport out = report_;
+    const double denom =
+        static_cast<double>(cyclesRun) * static_cast<double>(numNodes);
+    if (denom > 0.0) {
+        out.offeredThroughput = static_cast<double>(offeredFlits_) / denom;
+        out.achievedThroughput =
+            static_cast<double>(deliveredFlits_) / denom;
+    }
+    out.flows.reserve(flows_.size());
+    for (const auto &[key, counts] : flows_) {
+        FaultReport::Flow f;
+        f.src = key.first;
+        f.dst = key.second;
+        f.offered = counts.offered;
+        f.delivered = counts.delivered;
+        f.dropped = counts.dropped;
+        f.unroutable = counts.unroutable;
+        out.flows.push_back(f);
+    }
+    return out;
+}
+
+} // namespace noc

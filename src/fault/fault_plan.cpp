@@ -1,0 +1,156 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+namespace {
+
+/// Split `s` on `sep`, keeping empty pieces (they are syntax errors the
+/// clause parser reports with context).
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+}
+
+/// "<a>><b>" -> (a, b)
+bool
+parseLinkPair(const std::string &s, RouterId &a, RouterId &b)
+{
+    const std::size_t gt = s.find('>');
+    if (gt == std::string::npos)
+        return false;
+    std::uint64_t ua = 0;
+    std::uint64_t ub = 0;
+    if (!parseU64(s.substr(0, gt), ua) || !parseU64(s.substr(gt + 1), ub))
+        return false;
+    a = static_cast<RouterId>(ua);
+    b = static_cast<RouterId>(ub);
+    return true;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec, std::string *error)
+{
+    FaultPlan plan;
+    auto fail = [&](const std::string &msg) -> FaultPlan {
+        if (error) {
+            *error = msg;
+            return FaultPlan{};
+        }
+        NOC_FATAL("bad fault plan: " + msg);
+    };
+    if (error)
+        error->clear();
+    if (spec.empty())
+        return plan;
+
+    for (const std::string &clause : split(spec, ',')) {
+        if (clause.empty())
+            return fail("empty clause in '" + spec + "'");
+
+        if (clause.rfind("flip-link:", 0) == 0) {
+            const std::string body = clause.substr(10);
+            const std::size_t at = body.find("@p");
+            FlipLinkClause c;
+            if (at == std::string::npos ||
+                !parseLinkPair(body.substr(0, at), c.src, c.dst) ||
+                !parseDouble(body.substr(at + 2), c.prob))
+                return fail("expected flip-link:<a>><b>@p<prob>, got '" +
+                            clause + "'");
+            if (c.prob < 0.0 || c.prob > 1.0)
+                return fail("flip probability must be in [0,1], got '" +
+                            clause + "'");
+            plan.flips.push_back(c);
+        } else if (clause.rfind("kill-link:", 0) == 0) {
+            const std::string body = clause.substr(10);
+            const std::size_t at = body.find("@cycle");
+            KillLinkClause c;
+            std::uint64_t cyc = 0;
+            if (at == std::string::npos ||
+                !parseLinkPair(body.substr(0, at), c.src, c.dst) ||
+                !parseU64(body.substr(at + 6), cyc))
+                return fail("expected kill-link:<a>><b>@cycle<C>, got '" +
+                            clause + "'");
+            c.atCycle = cyc;
+            plan.kills.push_back(c);
+        } else if (clause.rfind("stall-router:", 0) == 0) {
+            const std::string body = clause.substr(13);
+            const std::size_t at = body.find('@');
+            const std::size_t dots =
+                at == std::string::npos ? std::string::npos
+                                        : body.find("..", at);
+            StallRouterClause c;
+            std::uint64_t r = 0;
+            std::uint64_t from = 0;
+            std::uint64_t to = 0;
+            if (at == std::string::npos || dots == std::string::npos ||
+                !parseU64(body.substr(0, at), r) ||
+                !parseU64(body.substr(at + 1, dots - at - 1), from) ||
+                !parseU64(body.substr(dots + 2), to))
+                return fail("expected stall-router:<r>@<from>..<to>, got '" +
+                            clause + "'");
+            c.router = static_cast<RouterId>(r);
+            c.from = from;
+            c.to = to;
+            if (c.to < c.from)
+                return fail("stall window ends before it starts in '" +
+                            clause + "'");
+            plan.stalls.push_back(c);
+        } else if (clause.rfind("drop-credit-every=", 0) == 0) {
+            if (!parseU64(clause.substr(18), plan.dropCreditEvery))
+                return fail("expected drop-credit-every=<N>, got '" + clause +
+                            "'");
+        } else if (clause.rfind("retry-timeout=", 0) == 0) {
+            std::uint64_t t = 0;
+            if (!parseU64(clause.substr(14), t))
+                return fail("expected retry-timeout=<N>, got '" + clause +
+                            "'");
+            plan.retryTimeout = t;
+        } else if (clause.rfind("retry-limit=", 0) == 0) {
+            std::uint64_t l = 0;
+            if (!parseU64(clause.substr(12), l) || l == 0)
+                return fail("expected retry-limit=<N> with N >= 1, got '" +
+                            clause + "'");
+            plan.retryLimit = static_cast<int>(l);
+        } else {
+            return fail("unknown clause '" + clause + "'");
+        }
+    }
+    return plan;
+}
+
+} // namespace noc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic fault plans: a small grammar describing which links
+ * corrupt, which die, which routers stall, and how aggressively the
+ * link-level retry protocol defends against it all.
+ *
+ * A plan is a comma-separated clause list parsed from the `fault=`
+ * config key, e.g.
+ *
+ *   fault=flip-link:3>7@p0.001,kill-link:2>6@cycle5000,
+ *         stall-router:4@2000..2200,drop-credit-every=50,
+ *         retry-timeout=32,retry-limit=8
+ *
+ * Clauses:
+ *   flip-link:<a>><b>@p<prob>      transient corruption: each flit placed
+ *                                  on the a->b link flips with prob <prob>
+ *   kill-link:<a>><b>@cycle<C>     permanent failure: from cycle C every
+ *                                  transmission on a->b corrupts, so the
+ *                                  sender's bounded retries exhaust and
+ *                                  the link is declared dead
+ *   stall-router:<r>@<f>..<t>      router r freezes for cycles [f, t]
+ *   drop-credit-every=<N>          every Nth credit delivered to any
+ *                                  router is silently dropped (absorbs
+ *                                  the PR 4 `dropCreditEvery` hook)
+ *   retry-timeout=<N>              cycles before an unacknowledged link
+ *                                  transmission is resent (0 = derive
+ *                                  from link/credit latencies)
+ *   retry-limit=<N>                consecutive failed retransmission
+ *                                  rounds before a link is declared dead
+ *
+ * Parsing is pure (no topology access); clause targets are resolved and
+ * validated against the concrete topology by the FaultController.
+ */
+
+#ifndef NOC_FAULT_FAULT_PLAN_HPP
+#define NOC_FAULT_FAULT_PLAN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace noc {
+
+/** Transient corruption on one directed router->router link. */
+struct FlipLinkClause
+{
+    RouterId src = kInvalidRouter;
+    RouterId dst = kInvalidRouter;
+    double prob = 0.0;
+};
+
+/** Permanent failure of one directed router->router link. */
+struct KillLinkClause
+{
+    RouterId src = kInvalidRouter;
+    RouterId dst = kInvalidRouter;
+    Cycle atCycle = 0;
+};
+
+/** A router frozen over an inclusive cycle window. */
+struct StallRouterClause
+{
+    RouterId router = kInvalidRouter;
+    Cycle from = 0;
+    Cycle to = 0;
+};
+
+/**
+ * A parsed fault plan. Value-semantic and cheap to copy; the runtime
+ * state machine lives in FaultController.
+ */
+struct FaultPlan
+{
+    std::vector<FlipLinkClause> flips;
+    std::vector<KillLinkClause> kills;
+    std::vector<StallRouterClause> stalls;
+    std::uint64_t dropCreditEvery = 0;
+    Cycle retryTimeout = 0;   ///< 0 = derive from latencies at bind time
+    int retryLimit = 8;
+
+    /** True when no clause was given (controller not needed). */
+    bool empty() const
+    {
+        return flips.empty() && kills.empty() && stalls.empty() &&
+               dropCreditEvery == 0;
+    }
+
+    /** Any clause that protects links with the retry protocol? */
+    bool hasLinkClauses() const { return !flips.empty() || !kills.empty(); }
+
+    /**
+     * Parse a clause list. On a syntax error: if `error` is non-null it
+     * receives a one-line message and an empty plan is returned;
+     * otherwise the error is fatal.
+     */
+    static FaultPlan parse(const std::string &spec,
+                           std::string *error = nullptr);
+};
+
+} // namespace noc
+
+#endif // NOC_FAULT_FAULT_PLAN_HPP

@@ -1,0 +1,98 @@
+#include "fault/fault_routing.hpp"
+
+namespace noc {
+
+FaultRouting::FaultRouting(std::unique_ptr<RoutingAlgorithm> base,
+                           const Topology &topo,
+                           const FaultController *faults)
+    : base_(std::move(base)), topo_(topo), faults_(faults)
+{
+}
+
+RouteDecision
+FaultRouting::route(RouterId r, NodeId dst, int cls) const
+{
+    const RouteDecision base = base_->route(r, dst, cls);
+    if (!faults_->anyLinkDead())
+        return base;
+    const OutputChannel &chan = topo_.output(r, base.outPort);
+    if (chan.isTerminal())
+        return base;
+    if (!faults_->linkDead(r, base.outPort, base.drop))
+        return base;
+    return detour(r, topo_.nodeRouter(dst), base);
+}
+
+RouteDecision
+FaultRouting::detour(RouterId r, RouterId dst_router, RouteDecision base) const
+{
+    if (faults_->rerouteGeneration() != cachedGeneration_) {
+        detours_.clear();
+        cachedGeneration_ = faults_->rerouteGeneration();
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(r) << 32) |
+                              static_cast<std::uint64_t>(dst_router);
+    auto cached = detours_.find(key);
+    if (cached != detours_.end())
+        return cached->second;
+
+    const int here = topo_.gridDistance(r, dst_router);
+    RouteDecision minimal = base;
+    RouteDecision misroute = base;
+    bool have_minimal = false;
+    bool have_misroute = false;
+    for (PortId p = 0; p < topo_.numOutputPorts(r); ++p) {
+        const OutputChannel &chan = topo_.output(r, p);
+        if (chan.isTerminal())
+            continue;
+        for (std::size_t d = 0; d < chan.drops.size(); ++d) {
+            const int di = static_cast<int>(d);
+            if (faults_->linkDead(r, p, di))
+                continue;
+            const RouterId next = chan.drops[d].router;
+            if (!faults_->reachable(next, dst_router))
+                continue;
+            if (!have_minimal && topo_.gridDistance(next, dst_router) < here) {
+                minimal = {p, di};
+                have_minimal = true;
+            }
+            if (!have_misroute) {
+                misroute = {p, di};
+                have_misroute = true;
+            }
+        }
+        if (have_minimal)
+            break;
+    }
+    const RouteDecision chosen =
+        have_minimal ? minimal : (have_misroute ? misroute : base);
+    detours_.emplace(key, chosen);
+    return chosen;
+}
+
+int
+FaultRouting::numClasses() const
+{
+    return base_->numClasses();
+}
+
+std::pair<VcId, int>
+FaultRouting::vcRange(int cls, int num_vcs) const
+{
+    return base_->vcRange(cls, num_vcs);
+}
+
+std::pair<VcId, int>
+FaultRouting::vcRangeAt(RouterId r, NodeId src, NodeId dst, int cls,
+                        int num_vcs) const
+{
+    return base_->vcRangeAt(r, src, dst, cls, num_vcs);
+}
+
+std::string
+FaultRouting::name() const
+{
+    return base_->name() + "+fault";
+}
+
+} // namespace noc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fault-aware routing fallback: a decorator over any RoutingAlgorithm
+ * that detours lookahead decisions around dead links.
+ *
+ * While no link has died, every call forwards to the base algorithm
+ * untouched (one flag test), so behaviour — and output — is identical
+ * to an unwrapped run. After a death, decisions whose output link is
+ * dead are replaced by the best alive alternative:
+ *
+ *   1. an alive link making minimal progress (Manhattan distance to the
+ *      destination router decreases) whose endpoint can still reach the
+ *      destination over alive links, lowest port number first;
+ *   2. failing that, any alive link whose endpoint can reach the
+ *      destination (a misroute);
+ *   3. failing that, the original dead decision — the network drops the
+ *      flit at the dead link and accounts it in the degradation report.
+ *
+ * Detours ignore the base algorithm's turn restrictions, so a faulted
+ * mesh is no longer provably deadlock-free; the fault layer waives the
+ * forward-progress probe accordingly and runs end via the drain limit
+ * instead of hanging. Decisions are memoised per (router, destination)
+ * and invalidated whenever another link dies.
+ */
+
+#ifndef NOC_FAULT_FAULT_ROUTING_HPP
+#define NOC_FAULT_FAULT_ROUTING_HPP
+
+#include <memory>
+#include <unordered_map>
+
+#include "fault/fault_controller.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+class FaultRouting : public RoutingAlgorithm
+{
+  public:
+    FaultRouting(std::unique_ptr<RoutingAlgorithm> base,
+                 const Topology &topo, const FaultController *faults);
+
+    RouteDecision route(RouterId r, NodeId dst, int cls) const override;
+    int numClasses() const override;
+    std::pair<VcId, int> vcRange(int cls, int num_vcs) const override;
+    std::pair<VcId, int> vcRangeAt(RouterId r, NodeId src, NodeId dst,
+                                   int cls, int num_vcs) const override;
+    std::string name() const override;
+
+  private:
+    RouteDecision detour(RouterId current, RouterId dst_router,
+                         RouteDecision base) const;
+
+    std::unique_ptr<RoutingAlgorithm> base_;
+    const Topology &topo_;
+    const FaultController *faults_;
+
+    mutable std::uint64_t cachedGeneration_ = 0;
+    mutable std::unordered_map<std::uint64_t, RouteDecision> detours_;
+};
+
+} // namespace noc
+
+#endif // NOC_FAULT_FAULT_ROUTING_HPP

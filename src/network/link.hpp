@@ -25,15 +25,21 @@ struct LinkEvent
         FlitToNi,
         CreditToRouter,
         CreditToNi,
+        LinkAck,        ///< fault layer: link-level ACK/NACK to the sender
     };
 
     Kind kind = Kind::FlitToRouter;
-    RouterId router = kInvalidRouter;  ///< FlitToRouter / CreditToRouter
+    RouterId router = kInvalidRouter;  ///< FlitToRouter / CreditToRouter / LinkAck
     PortId inPort = kInvalidPort;      ///< FlitToRouter
     NodeId node = kInvalidNode;        ///< *ToNi
     VcId vc = kInvalidVc;              ///< CreditToNi
     Flit flit;                         ///< flit events
     Credit credit;                     ///< CreditToRouter
+
+    // --- LinkAck only (fault layer) ---
+    int ackLink = -1;                  ///< protected-link index
+    std::uint32_t ackSeq = 0;          ///< cumulative ACK / requested NACK seq
+    bool ackOk = false;                ///< true = ACK, false = NACK
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "fault/fault_routing.hpp"
 #include "topology/fbfly.hpp"
 #include "verify/verify.hpp"
 #include "topology/mecs.hpp"
@@ -43,7 +44,13 @@ eventHorizon(const SimConfig &cfg)
     // (EVC). Add slack for the +1 cycle delivery offset.
     const int span = cfg.meshWidth + cfg.meshHeight;
     const int lat = std::max(cfg.linkLatency, cfg.creditLatency);
-    return lat * span + 4;
+    int horizon = lat * span + 4;
+    // A fault plan's retransmission bursts serialise onto the wire: a
+    // full retry window (bounded by the link's credit window) may run
+    // ahead of `now` before the wire delay even starts.
+    if (!cfg.faultSpec.empty())
+        horizon += cfg.numVcs * cfg.bufferDepth + 16;
+    return horizon;
 }
 
 } // namespace
@@ -52,7 +59,24 @@ Network::Network(const SimConfig &cfg)
     : cfg_(cfg), topo_(makeTopology(cfg)), ring_(eventHorizon(cfg))
 {
     cfg_.validate();
+
+    // The fault layer only exists when a plan is configured; fault-free
+    // runs never pay for it (all hooks below test `faults_` first).
+    FaultPlan plan;
+    if (!cfg_.faultSpec.empty())
+        plan = FaultPlan::parse(cfg_.faultSpec);
+    if (plan.dropCreditEvery == 0 && cfg_.dropCreditEvery > 0)
+        plan.dropCreditEvery =
+            static_cast<std::uint64_t>(cfg_.dropCreditEvery);
+    if (!plan.empty()) {
+        faults_ = std::make_unique<FaultController>(plan, cfg_, *topo_);
+        faults_->bindRing(&ring_);
+    }
+
     routing_ = makeRouting(cfg_.routing, *topo_);
+    if (faults_ && !faults_->plan().kills.empty())
+        routing_ = std::make_unique<FaultRouting>(std::move(routing_),
+                                                  *topo_, faults_.get());
 
     routers_.reserve(topo_->numRouters());
     for (RouterId r = 0; r < topo_->numRouters(); ++r)
@@ -97,6 +121,15 @@ Network::buildEvcCreditMap()
 void
 Network::injectPacket(const PacketDesc &packet)
 {
+    if (faults_) {
+        faults_->onOffered(packet);
+        if (!faults_->routable(packet.src, packet.dst)) {
+            // No alive path: refuse at the source instead of wedging a
+            // packet in the fabric. Accounted per flow in the report.
+            faults_->onUnroutable(packet);
+            return;
+        }
+    }
     nis_[packet.src]->inject(packet);
     ++outstanding_;
     NOC_VCHK(verifier_, onPacketInjected(packet, now_));
@@ -107,6 +140,15 @@ Network::dispatch(const LinkEvent &ev)
 {
     switch (ev.kind) {
       case LinkEvent::Kind::FlitToRouter:
+        if (faults_ && !faults_->onReceive(ev.router, ev.inPort, ev.flit,
+                                           now_)) {
+            // CRC/sequence check failed: the flit is discarded (the
+            // sender's retry buffer will re-deliver it) and the input
+            // port's pseudo-circuit can no longer be trusted.
+            if (routers_[ev.router]->faultTeardown(ev.inPort, now_))
+                faults_->noteCircuitTeardown();
+            break;
+        }
         routers_[ev.router]->deliverFlit(ev.inPort, ev.flit, now_);
         lastProgress_ = now_;
         break;
@@ -119,6 +161,8 @@ Network::dispatch(const LinkEvent &ev)
         if (ni.completed.size() != before) {
             NOC_ASSERT(outstanding_ > 0, "completion without injection");
             --outstanding_;
+            if (faults_)
+                faults_->onDelivered(ev.flit);
         }
         // The NI consumes the flit immediately; return the ejection-port
         // buffer slot to the router.
@@ -133,11 +177,17 @@ Network::dispatch(const LinkEvent &ev)
         break;
       }
       case LinkEvent::Kind::CreditToRouter:
+        if (faults_ && faults_->dropCredit(ev.router))
+            break;
         routers_[ev.router]->deliverCredit(ev.credit, now_);
         break;
       case LinkEvent::Kind::CreditToNi:
         nis_[ev.node]->addCredit(ev.vc);
         NOC_VCHK(verifier_, onNiCredit(ev.node, ev.vc, now_));
+        break;
+      case LinkEvent::Kind::LinkAck:
+        if (faults_)
+            faults_->onAck(ev, now_);
         break;
     }
 }
@@ -145,19 +195,38 @@ Network::dispatch(const LinkEvent &ev)
 void
 Network::step()
 {
+    // Phase 0 (fault layer only): retry timeouts, stall accounting, and
+    // release of deliveries held at the wires of a previously stalled
+    // router (credits in full, flits re-serialised one per port).
+    const bool stalls = faults_ && faults_->anyStalls();
+    if (faults_) {
+        faults_->beginCycle(now_);
+        if (stalls) {
+            faultPending_.clear();
+            faults_->drainStallQueues(now_, faultPending_);
+            for (const LinkEvent &ev : faultPending_)
+                dispatch(ev);
+        }
+    }
+
     // Phase 1: arrivals. Credits land before flits — a flit arriving in
     // the same cycle as a credit must see the updated counter, or e.g. a
     // buffer-bypass check would spuriously fail.
     auto &bucket = ring_.eventsAt(now_);
     for (const LinkEvent &ev : bucket) {
         if (ev.kind == LinkEvent::Kind::CreditToRouter ||
-            ev.kind == LinkEvent::Kind::CreditToNi) {
+            ev.kind == LinkEvent::Kind::CreditToNi ||
+            ev.kind == LinkEvent::Kind::LinkAck) {
+            if (stalls && faults_->captureArrival(ev, now_))
+                continue;
             dispatch(ev);
         }
     }
     for (const LinkEvent &ev : bucket) {
         if (ev.kind == LinkEvent::Kind::FlitToRouter ||
             ev.kind == LinkEvent::Kind::FlitToNi) {
+            if (stalls && faults_->captureArrival(ev, now_))
+                continue;
             dispatch(ev);
         }
     }
@@ -178,8 +247,10 @@ Network::step()
 
     // Phase 3: routers.
     for (auto &router : routers_) {
-        router->step(now_);
         const RouterId r = router->id();
+        if (stalls && faults_->routerStalled(r, now_))
+            continue;   // frozen: no allocation, traversal, or emission
+        router->step(now_);
 
         for (const Router::SentFlit &sf : router->sentFlits) {
             const OutputChannel &chan = topo_->output(r, sf.outPort);
@@ -190,6 +261,12 @@ Network::step()
                 ev.flit = sf.flit;
                 ring_.schedule(now_, now_ + 1 + cfg_.linkLatency, ev);
             } else {
+                // Protected links go through the retry machinery, which
+                // schedules (or drops) the transmission itself.
+                if (faults_ &&
+                    faults_->handleSend(r, sf.outPort, sf.drop, sf.flit,
+                                        now_))
+                    continue;
                 const Drop &drop = chan.drops[sf.drop];
                 ev.kind = LinkEvent::Kind::FlitToRouter;
                 ev.router = drop.router;
@@ -323,6 +400,8 @@ Network::setVerifier(InvariantChecker *chk)
         router->setVerifier(chk);
     if (chk)
         chk->attach(*this);
+    if (faults_)
+        faults_->bindVerifier(chk);
 }
 
 void
@@ -368,6 +447,7 @@ Network::aggregatePcStats() const
         total.created += s.created;
         total.terminatedConflict += s.terminatedConflict;
         total.terminatedCredit += s.terminatedCredit;
+        total.terminatedFault += s.terminatedFault;
         total.speculated += s.speculated;
     }
     return total;

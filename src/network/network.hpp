@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "fault/fault_controller.hpp"
 #include "network/link.hpp"
 #include "network/network_interface.hpp"
 #include "router/router.hpp"
@@ -112,6 +113,13 @@ class Network
     /** Move every NI's completed packets into `out`. */
     void drainCompleted(std::vector<CompletedPacket> &out);
 
+    /**
+     * The fault controller executing this run's fault plan; nullptr for
+     * fault-free configurations (the common case — every fault hook in
+     * the cycle loop is gated on this being non-null).
+     */
+    const FaultController *faults() const { return faults_.get(); }
+
     RouterStats aggregateRouterStats() const;
     PseudoCircuitStats aggregatePcStats() const;
     NiStats aggregateNiStats() const;
@@ -122,10 +130,12 @@ class Network
 
     SimConfig cfg_;
     std::unique_ptr<Topology> topo_;
+    std::unique_ptr<FaultController> faults_;
     std::unique_ptr<RoutingAlgorithm> routing_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
     EventRing ring_;
+    std::vector<LinkEvent> faultPending_;  ///< scratch: released stall holds
     Cycle now_ = 0;
     std::uint64_t outstanding_ = 0;
     Cycle lastProgress_ = 0;

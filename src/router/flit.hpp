@@ -65,6 +65,10 @@ struct Flit
 
     bool measured = true;         ///< counts toward statistics
 
+    // --- link-level retry protocol (fault layer; unused otherwise) ---
+    std::uint32_t linkSeq = 0;    ///< per-link sequence on protected links
+    bool corrupted = false;       ///< CRC would fail at the receiver
+
     std::string describe() const;
 };
 

@@ -41,13 +41,13 @@ PseudoCircuitUnit::onGrant(PortId in_port, VcId in_vc,
     for (PortId j = 0; j < static_cast<PortId>(regs_.size()); ++j) {
         if (j != in_port && regs_[j].valid &&
             regs_[j].route.outPort == route.outPort) {
-            invalidate(j, /*credit_cause=*/false, now);
+            invalidate(j, TerminateCause::Conflict, now);
         }
     }
     // Overwriting this input port's circuit terminates the old one.
     if (regs_[in_port].valid && !(regs_[in_port].route == route &&
                                   regs_[in_port].inVc == in_vc)) {
-        invalidate(in_port, /*credit_cause=*/false, now);
+        invalidate(in_port, TerminateCause::Conflict, now);
     }
     regs_[in_port].valid = true;
     regs_[in_port].speculative = false;
@@ -62,7 +62,16 @@ void
 PseudoCircuitUnit::terminateForCredit(PortId in_port, Cycle now)
 {
     if (regs_[in_port].valid)
-        invalidate(in_port, /*credit_cause=*/true, now);
+        invalidate(in_port, TerminateCause::Credit, now);
+}
+
+bool
+PseudoCircuitUnit::terminateForFault(PortId in_port, Cycle now)
+{
+    if (!regs_[in_port].valid)
+        return false;
+    invalidate(in_port, TerminateCause::Fault, now);
+    return true;
 }
 
 void
@@ -129,7 +138,7 @@ PseudoCircuitUnit::outputBusy(PortId out_port) const
 }
 
 void
-PseudoCircuitUnit::invalidate(PortId in_port, bool credit_cause, Cycle now)
+PseudoCircuitUnit::invalidate(PortId in_port, TerminateCause cause, Cycle now)
 {
     Register &reg = regs_[in_port];
     NOC_ASSERT(reg.valid, "invalidating an invalid pseudo-circuit");
@@ -147,17 +156,24 @@ PseudoCircuitUnit::invalidate(PortId in_port, bool credit_cause, Cycle now)
     hist.insert(hist.begin(), in_port);
     if (static_cast<int>(hist.size()) > historyDepth_)
         hist.resize(historyDepth_);
-    if (credit_cause)
-        ++stats_.terminatedCredit;
-    else
+    TerminateReason reason = TerminateReason::Conflict;
+    switch (cause) {
+    case TerminateCause::Conflict:
         ++stats_.terminatedConflict;
+        reason = TerminateReason::Conflict;
+        break;
+    case TerminateCause::Credit:
+        ++stats_.terminatedCredit;
+        reason = TerminateReason::Credit;
+        break;
+    case TerminateCause::Fault:
+        ++stats_.terminatedFault;
+        reason = TerminateReason::Fault;
+        break;
+    }
     NOC_TELEM(telem_, pcEvent(now, router_, in_port, reg.inVc,
                               TelemetryEventClass::PcTerminate,
-                              credit_cause
-                                  ? static_cast<std::uint8_t>(
-                                        TerminateReason::Credit)
-                                  : static_cast<std::uint8_t>(
-                                        TerminateReason::Conflict)));
+                              static_cast<std::uint8_t>(reason)));
 }
 
 } // namespace noc

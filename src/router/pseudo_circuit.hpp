@@ -28,6 +28,7 @@ struct PseudoCircuitStats
     std::uint64_t created = 0;        ///< circuits set up by SA grants
     std::uint64_t terminatedConflict = 0;
     std::uint64_t terminatedCredit = 0;
+    std::uint64_t terminatedFault = 0;  ///< torn down by a link CRC failure
     std::uint64_t speculated = 0;     ///< circuits revived speculatively
 };
 
@@ -81,6 +82,15 @@ class PseudoCircuitUnit
     void terminateForCredit(PortId in_port, Cycle now = 0);
 
     /**
+     * Terminate the circuit at `in_port` because the upstream link
+     * failed a CRC check (fault layer): the cached connection can no
+     * longer be trusted, so the retransmitted stream must rebuild it
+     * through the normal allocation path. No-op if already invalid.
+     * Returns true when a live circuit was actually torn down.
+     */
+    bool terminateForFault(PortId in_port, Cycle now = 0);
+
+    /**
      * The router moved a flit over the circuit at `in_port`: emit the
      * matching reuse event (`via_latch` marks a buffer bypass through the arrival
      * latch, otherwise an SA bypass from the buffer) and resolve a
@@ -119,7 +129,9 @@ class PseudoCircuitUnit
     const PseudoCircuitStats &stats() const { return stats_; }
 
   private:
-    void invalidate(PortId in_port, bool credit_cause, Cycle now);
+    enum class TerminateCause { Conflict, Credit, Fault };
+
+    void invalidate(PortId in_port, TerminateCause cause, Cycle now);
 
     std::vector<Register> regs_;     ///< [input port]
     /// [output port] -> recently terminated inputs, most recent first.

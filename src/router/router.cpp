@@ -106,11 +106,8 @@ Router::deliverFlit(PortId in_port, const Flit &flit, Cycle now)
 void
 Router::deliverCredit(const Credit &credit, Cycle now)
 {
-    if (cfg_.dropCreditEvery > 0 &&
-        ++creditsDelivered_ %
-                static_cast<std::uint64_t>(cfg_.dropCreditEvery) == 0)
-        return;   // fault injection: silently lose this credit
-
+    // Credit loss injection lives in the fault layer now: the network
+    // consults FaultController::dropCredit() before calling here.
     OutputPort &op = outputs_[credit.outPort];
     if (credit.express) {
         ++op.expressVc(credit.vc).credits;
@@ -123,6 +120,14 @@ Router::deliverCredit(const Credit &credit, Cycle now)
     }
     NOC_VCHK(vchk_, onCreditReturned(id_, credit.outPort, credit.drop,
                                      credit.vc, credit.express, now));
+}
+
+bool
+Router::faultTeardown(PortId in_port, Cycle now)
+{
+    if (!pcEnabled())
+        return false;
+    return pc_.terminateForFault(in_port, now);
 }
 
 VcId

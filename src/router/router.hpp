@@ -110,6 +110,15 @@ class Router
     void step(Cycle now);
 
     /**
+     * Fault layer: the link feeding `in_port` rejected a flit (CRC
+     * fail), so any pseudo-circuit cached at that input is stale and
+     * must be rebuilt by the retransmitted stream. Returns true when a
+     * live circuit was actually torn down (for teardown accounting);
+     * always false for schemes without pseudo-circuits.
+     */
+    bool faultTeardown(PortId in_port, Cycle now);
+
+    /**
      * Attach a telemetry sink (nullptr detaches). Pipeline-stage and
      * pseudo-circuit lifecycle events are emitted at the same points
      * the RouterStats counters increment, so event counts reconcile
@@ -245,7 +254,6 @@ class Router
     RouterStats stats_;
     TelemetrySink *telem_ = nullptr;
     InvariantChecker *vchk_ = nullptr;
-    std::uint64_t creditsDelivered_ = 0;  ///< drives dropCreditEvery
 };
 
 } // namespace noc

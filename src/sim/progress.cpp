@@ -3,20 +3,50 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/stderr_sink.hpp"
+
 namespace noc {
 
-ProgressPrinter::ProgressPrinter() : ProgressPrinter(std::cerr) {}
+ProgressPrinter::ProgressPrinter() : ProgressPrinter(std::cerr)
+{
+    // Only the real stderr line coordinates with the shared sink; a
+    // test-injected ostringstream never interleaves with warnings.
+    registered_ = true;
+    setStderrInPlaceLine([this] { eraseLine(); }, [this] { redrawLine(); });
+}
 
 ProgressPrinter::ProgressPrinter(std::ostream &os)
     : os_(os), start_(std::chrono::steady_clock::now())
 {
 }
 
+ProgressPrinter::~ProgressPrinter()
+{
+    finish();
+}
+
 SweepProgressFn
 ProgressPrinter::callback()
 {
-    // The runner serializes observer calls, so render() needs no lock.
+    // The runner serializes observer calls; render() itself takes the
+    // stderr mutex so warnings from other threads cannot interleave.
     return [this](const SweepProgressEvent &event) { render(event); };
+}
+
+void
+ProgressPrinter::eraseLine()
+{
+    if (lastWidth_ == 0)
+        return;
+    os_ << '\r' << std::string(lastWidth_, ' ') << '\r' << std::flush;
+}
+
+void
+ProgressPrinter::redrawLine()
+{
+    if (lastWidth_ == 0)
+        return;
+    os_ << '\r' << lastText_ << std::flush;
 }
 
 void
@@ -56,17 +86,29 @@ ProgressPrinter::render(const SweepProgressEvent &event)
     // Pad over the previous (possibly longer) line before rewriting.
     if (width < lastWidth_)
         text.append(lastWidth_ - width, ' ');
+
+    std::lock_guard<std::mutex> lock(stderrMutex());
     lastWidth_ = width;
+    lastText_ = text.substr(0, width);
     os_ << '\r' << text << std::flush;
 }
 
 void
 ProgressPrinter::finish()
 {
-    if (lastWidth_ == 0)
-        return;
-    os_ << '\r' << std::string(lastWidth_, ' ') << '\r' << std::flush;
-    lastWidth_ = 0;
+    {
+        std::lock_guard<std::mutex> lock(stderrMutex());
+        if (lastWidth_ > 0) {
+            os_ << '\r' << std::string(lastWidth_, ' ') << '\r'
+                << std::flush;
+            lastWidth_ = 0;
+            lastText_.clear();
+        }
+    }
+    if (registered_) {
+        registered_ = false;
+        setStderrInPlaceLine(nullptr, nullptr);
+    }
 }
 
 } // namespace noc

@@ -28,10 +28,15 @@ namespace noc {
 class ProgressPrinter
 {
   public:
-    /** Renders to stderr. */
+    /** Renders to stderr (registers with the shared stderr sink so
+     *  warnings erase/redraw the line instead of smearing it). */
     ProgressPrinter();
     /** Renders to `os` (tests capture an ostringstream). */
     explicit ProgressPrinter(std::ostream &os);
+    ~ProgressPrinter();
+
+    ProgressPrinter(const ProgressPrinter &) = delete;
+    ProgressPrinter &operator=(const ProgressPrinter &) = delete;
 
     /** The observer to install via SweepRunner::onProgress. */
     SweepProgressFn callback();
@@ -48,6 +53,8 @@ class ProgressPrinter
 
   private:
     void render(const SweepProgressEvent &event);
+    void eraseLine();   ///< caller holds stderrMutex()
+    void redrawLine();  ///< caller holds stderrMutex()
 
     std::ostream &os_;
     std::chrono::steady_clock::time_point start_;
@@ -55,6 +62,8 @@ class ProgressPrinter
     std::size_t failed_ = 0;
     std::size_t saturated_ = 0;
     std::size_t lastWidth_ = 0;
+    std::string lastText_;
+    bool registered_ = false;  ///< erase/redraw hooks installed (stderr)
 };
 
 } // namespace noc

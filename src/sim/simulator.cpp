@@ -78,9 +78,18 @@ Simulator::run(const SimWindows &windows)
     Watchdog watchdog(hc.watchdog);
     RunHealth health;
 
+    // Cooperative cancellation: cheap enough to poll every few thousand
+    // cycles without perturbing anything (the checker observes only).
+    constexpr Cycle kCancelMask = 4095;
+    auto cancelled = [&windows](Cycle c) {
+        return windows.cancel && (c & kCancelMask) == 0 && windows.cancel();
+    };
+
     const bool adaptive = hc.convergence.enabled &&
         hc.convergence.adaptiveWarmup && sample_every > 0;
     for (Cycle c = 0; c < windows.warmup; ++c) {
+        if (cancelled(c))
+            throw SimCancelled("cancelled during warmup");
         stepOnce(SimPhase::Warmup);
         ++health.warmupUsed;
         if (watchdog.due(net_.now()))
@@ -99,6 +108,8 @@ Simulator::run(const SimWindows &windows)
 
     const RouterStats before = net_.aggregateRouterStats();
     for (Cycle c = 0; c < windows.measure; ++c) {
+        if (cancelled(c))
+            throw SimCancelled("cancelled during measurement");
         stepOnce(SimPhase::Measure);
         ++health.measureUsed;
         if (watchdog.due(net_.now()))
@@ -132,13 +143,22 @@ Simulator::run(const SimWindows &windows)
     // and the whole drain phase — that wasted budget is the guard's
     // sweep speedup.
     Cycle drained_cycles = 0;
+    const FaultController *faults = net_.faults();
     while (!guard.saturated() &&
            !(net_.idle() && source_->exhausted()) &&
            drained_cycles < windows.drainLimit) {
+        if (cancelled(drained_cycles))
+            throw SimCancelled("cancelled during drain");
         stepOnce(SimPhase::Drain);
         ++drained_cycles;
         if (watchdog.due(net_.now()))
             watchdog.snapshot(net_, net_.now());
+        // A dead link wedges the packets routed onto it by design: end
+        // the drain quietly once nothing has moved for a while — the
+        // degradation report (not a stall warning) is the result.
+        if (faults != nullptr && faults->anyLinkDead() &&
+            net_.cyclesSinceProgress() > 4 * faults->retryTimeout() + 64)
+            break;
         // Forward-progress watchdog: fail fast on a wedged network
         // instead of spinning to the drain limit.
         if (!net_.idle() && net_.cyclesSinceProgress() > 10000) {
@@ -232,6 +252,8 @@ Simulator::run(const SimWindows &windows)
     }
     if (telem_)
         result.telemetry = telem_->counters();
+    if (faults != nullptr)
+        result.fault = faults->report(result.cyclesRun, net_.numNodes());
     return result;
 }
 

@@ -7,7 +7,9 @@
 #ifndef NOC_SIM_SIMULATOR_HPP
 #define NOC_SIM_SIMULATOR_HPP
 
+#include <functional>
 #include <memory>
+#include <stdexcept>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
@@ -34,6 +36,23 @@ struct SimWindows
     /// needs the sample stream enabled but sampleInterval == 0, samples
     /// are taken every health.sampleEvery cycles instead.
     RunHealthConfig health;
+    /// Cooperative cancellation: polled every few thousand cycles in
+    /// every phase; returning true aborts the run by throwing
+    /// SimCancelled. Used by the sweep layer's per-job deadline and the
+    /// SIGINT/SIGTERM stop flag. Null (the default) costs nothing.
+    std::function<bool()> cancel;
+};
+
+/**
+ * Thrown out of Simulator::run when SimWindows::cancel fires. Derives
+ * from std::runtime_error so generic catch sites (the sweep worker's
+ * failure isolation) still produce a labelled outcome.
+ */
+struct SimCancelled : std::runtime_error
+{
+    explicit SimCancelled(const std::string &why) : std::runtime_error(why)
+    {
+    }
 };
 
 /** One time-series point over a sampling interval. */
@@ -88,6 +107,10 @@ struct SimResult
     /// Per-flow (src -> dst) latency histograms over the measured
     /// packets (empty unless SimWindows::health.flows.enabled).
     FlowMatrix flows;
+
+    /// Degradation report of the fault plan (active == false — and no
+    /// output anywhere — for fault-free runs).
+    FaultReport fault;
 
     Cycle cyclesRun = 0;
     bool drained = false;           ///< all packets delivered in time

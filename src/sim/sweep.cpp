@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
@@ -32,8 +33,14 @@ SweepRunner::SweepRunner(int jobs) : jobs_(resolveJobCount(jobs)) {}
 
 namespace {
 
+bool
+stopRequested(const std::atomic<bool> *stop)
+{
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+}
+
 SweepOutcome
-runOneJob(const SweepJob &job)
+attemptOneJob(const SweepJob &job, const std::atomic<bool> *stop)
 {
     SweepOutcome out;
     out.label = job.label;
@@ -47,6 +54,27 @@ runOneJob(const SweepJob &job)
                 "verify requested but the invariant checker was compiled "
                 "out (reconfigure with -DNOC_VERIFY=ON)");
 #endif
+        // Compose the attempt's cancel predicate: the caller's stop
+        // flag, the per-attempt deadline, then whatever the job itself
+        // installed.
+        SimWindows windows = job.windows;
+        const auto started = std::chrono::steady_clock::now();
+        const std::function<bool()> inner = windows.cancel;
+        const std::int64_t deadline_ms = job.deadlineMs;
+        windows.cancel = [stop, started, deadline_ms, inner] {
+            if (stopRequested(stop))
+                return true;
+            if (deadline_ms > 0) {
+                const auto elapsed =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+                if (elapsed > deadline_ms)
+                    return true;
+            }
+            return inner && inner();
+        };
+
         InvariantChecker checker(job.verify);
         auto runOne = [&](TelemetrySink *sink) {
             Simulator sim(job.cfg, job.makeSource(job.cfg));
@@ -54,7 +82,7 @@ runOneJob(const SweepJob &job)
                 sim.setTelemetry(sink);
             if (job.verify.enabled)
                 sim.setVerifier(&checker);
-            return sim.run(job.windows);
+            return sim.run(windows);
         };
         if (job.telemetry.enabled) {
             RingBufferCollector collector(job.telemetry);
@@ -73,10 +101,45 @@ runOneJob(const SweepJob &job)
             out.verifyReport = checker.report();
         }
         out.ok = true;
+    } catch (const SimCancelled &e) {
+        if (stopRequested(stop)) {
+            out.interrupted = true;
+            out.error = "interrupted";
+        } else {
+            out.error = "deadline of " + std::to_string(job.deadlineMs) +
+                        "ms exceeded (" + e.what() + ")";
+        }
     } catch (const std::exception &e) {
         out.error = e.what();
     } catch (...) {
         out.error = "unknown exception";
+    }
+    return out;
+}
+
+SweepOutcome
+runOneJob(const SweepJob &job, const std::atomic<bool> *stop)
+{
+    const int max_attempts = std::max(1, job.maxAttempts);
+    SweepOutcome out;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        out = attemptOneJob(job, stop);
+        out.attempts = attempt;
+        if (out.ok || out.interrupted || attempt == max_attempts)
+            break;
+        // Linear backoff before the retry, abandoned promptly when the
+        // stop flag fires mid-wait.
+        std::int64_t wait_ms = job.backoffMs * attempt;
+        while (wait_ms > 0 && !stopRequested(stop)) {
+            const std::int64_t slice = std::min<std::int64_t>(wait_ms, 50);
+            std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+            wait_ms -= slice;
+        }
+        if (stopRequested(stop)) {
+            out.interrupted = true;
+            out.error = "interrupted";
+            break;
+        }
     }
     return out;
 }
@@ -90,21 +153,40 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     if (jobs.empty())
         return outcomes;
 
-    // Progress events fire in completion order, serialized under a
-    // mutex so the observer never races with itself.
+    // Progress and completion events fire in completion order,
+    // serialized under one mutex so the observers never race with
+    // themselves (the journal's append relies on this).
     std::mutex progress_mutex;
     std::size_t completed = 0;
-    auto report = [&](const SweepOutcome &out) {
-        if (!progress_)
+    std::vector<char> ran(jobs.size(), 0);
+    auto report = [&](std::size_t i, const SweepOutcome &out) {
+        ran[i] = 1;
+        if (!progress_ && !complete_)
             return;
         std::lock_guard<std::mutex> lock(progress_mutex);
-        SweepProgressEvent event;
-        event.completed = ++completed;
-        event.total = jobs.size();
-        event.label = out.label;
-        event.ok = out.ok;
-        event.verdict = out.result.health.verdict;
-        progress_(event);
+        if (progress_) {
+            SweepProgressEvent event;
+            event.completed = ++completed;
+            event.total = jobs.size();
+            event.label = out.label;
+            event.ok = out.ok;
+            event.verdict = out.result.health.verdict;
+            progress_(event);
+        }
+        if (complete_)
+            complete_(i, out);
+    };
+    // Jobs never claimed (stop flag fired first) still need a labelled
+    // outcome so the caller can tell "skipped" from "ran and failed".
+    auto fillSkipped = [&] {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (ran[i])
+                continue;
+            outcomes[i].label = jobs[i].label;
+            outcomes[i].cfg = jobs[i].cfg;
+            outcomes[i].interrupted = true;
+            outcomes[i].error = "interrupted";
+        }
     };
 
     const int workers =
@@ -112,9 +194,12 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                                                static_cast<std::size_t>(jobs_)));
     if (workers <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            outcomes[i] = runOneJob(jobs[i]);
-            report(outcomes[i]);
+            if (stopRequested(stop_))
+                break;
+            outcomes[i] = runOneJob(jobs[i], stop_);
+            report(i, outcomes[i]);
         }
+        fillSkipped();
         return outcomes;
     }
 
@@ -123,11 +208,13 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
         for (;;) {
+            if (stopRequested(stop_))
+                return;
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
-            outcomes[i] = runOneJob(jobs[i]);
-            report(outcomes[i]);
+            outcomes[i] = runOneJob(jobs[i], stop_);
+            report(i, outcomes[i]);
         }
     };
     std::vector<std::thread> pool;
@@ -136,6 +223,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+    fillSkipped();
     return outcomes;
 }
 

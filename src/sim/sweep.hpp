@@ -22,6 +22,8 @@
 #ifndef NOC_SIM_SWEEP_HPP
 #define NOC_SIM_SWEEP_HPP
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -53,6 +55,18 @@ struct SweepJob
     /// InvariantChecker and the outcome carries its verdict. The
     /// checker only observes, so results stay byte-identical.
     VerifyConfig verify;
+
+    // --- resilience knobs (all off by default: one attempt, no limit) ---
+    /// Wall-clock budget per attempt in milliseconds (0 = unlimited).
+    /// An attempt past its deadline is cancelled cooperatively and
+    /// counts as a failure (retried if attempts remain).
+    std::int64_t deadlineMs = 0;
+    /// Attempts per job (>= 1). Retries cover transient failures
+    /// (deadline blown on a loaded machine); a deterministic throw
+    /// fails every attempt and reports the last error.
+    int maxAttempts = 1;
+    /// Base pause before retry k is backoffMs * k (linear backoff).
+    std::int64_t backoffMs = 0;
 };
 
 /** What one job produced (result is default-constructed when !ok). */
@@ -69,6 +83,11 @@ struct SweepOutcome
     std::uint64_t verifyChecks = 0;
     std::uint64_t verifyViolations = 0;
     std::string verifyReport;
+    /// The run was cut short by the stop flag (SIGINT/SIGTERM) — not a
+    /// job failure; a resumed sweep should re-run it.
+    bool interrupted = false;
+    /// Attempts consumed (0 only when the job never started).
+    int attempts = 0;
 };
 
 /**
@@ -96,6 +115,16 @@ struct SweepProgressEvent
  */
 using SweepProgressFn = std::function<void(const SweepProgressEvent &)>;
 
+/**
+ * Completion observer: fires once per job as it finishes (completion
+ * order, with the job's submission index), serialized under the same
+ * mutex as progress events. This is the checkpoint hook — a journal
+ * appends the outcome here so a killed sweep can resume. Jobs skipped
+ * by the stop flag never fire it.
+ */
+using SweepCompleteFn =
+    std::function<void(std::size_t index, const SweepOutcome &outcome)>;
+
 class SweepRunner
 {
   public:
@@ -106,6 +135,17 @@ class SweepRunner
 
     /** Install a progress observer for subsequent run() calls. */
     void onProgress(SweepProgressFn fn) { progress_ = std::move(fn); }
+
+    /** Install a per-job completion observer (checkpointing hook). */
+    void onJobComplete(SweepCompleteFn fn) { complete_ = std::move(fn); }
+
+    /**
+     * Install a caller-owned stop flag (nullptr detaches). Once it
+     * turns true — typically from a SIGINT/SIGTERM handler — running
+     * jobs cancel cooperatively and unstarted jobs are skipped; both
+     * come back with interrupted=true and error "interrupted".
+     */
+    void setStopFlag(const std::atomic<bool> *stop) { stop_ = stop; }
 
     /**
      * Run every job and return outcomes in submission order. Jobs are
@@ -119,6 +159,8 @@ class SweepRunner
   private:
     int jobs_;
     SweepProgressFn progress_;
+    SweepCompleteFn complete_;
+    const std::atomic<bool> *stop_ = nullptr;
 };
 
 /** One-shot convenience over SweepRunner. */

@@ -81,7 +81,7 @@ enum class TelemetryEventClass : std::uint8_t {
 };
 
 /// TelemetryEvent::arg values for PcTerminate.
-enum class TerminateReason : std::uint8_t { Conflict = 0, Credit = 1 };
+enum class TerminateReason : std::uint8_t { Conflict = 0, Credit = 1, Fault = 2 };
 
 inline constexpr int kNumTelemetryClasses = 14;
 

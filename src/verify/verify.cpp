@@ -411,12 +411,34 @@ InvariantChecker::onCycleEnd(Cycle now)
         if (on(Invariant::Conserve))
             scanConservation(now);
     }
-    if (on(Invariant::Deadlock) && !net_->idle() &&
+    // Fault waiver: a stall window (or a dead link, until = forever)
+    // legitimately halts progress; give deadlockAfter slack past it.
+    const bool progress_waived =
+        now < progressWaivedUntil_ ||
+        now - progressWaivedUntil_ < cfg_.deadlockAfter;
+    if (on(Invariant::Deadlock) && !progress_waived && !net_->idle() &&
         net_->cyclesSinceProgress() >= cfg_.deadlockAfter &&
         now >= lastDeadlockProbe_ + cfg_.deadlockAfter) {
         lastDeadlockProbe_ = now;
         probeDeadlock(now);
     }
+}
+
+void
+InvariantChecker::waiveLink(RouterId r, PortId out_port, int drop)
+{
+    const std::tuple<RouterId, PortId, int> key{r, out_port, drop};
+    for (const auto &w : waivedLinks_) {
+        if (w == key)
+            return;
+    }
+    waivedLinks_.push_back(key);
+}
+
+void
+InvariantChecker::waiveProgressUntil(Cycle until)
+{
+    progressWaivedUntil_ = std::max(progressWaivedUntil_, until);
 }
 
 void
@@ -799,6 +821,14 @@ InvariantChecker::checkDrained(Cycle now)
     }
 
     if (on(Invariant::Credits)) {
+        const auto link_waived = [this](RouterId r, PortId p, int d) {
+            const std::tuple<RouterId, PortId, int> key{r, p, d};
+            for (const auto &w : waivedLinks_) {
+                if (w == key)
+                    return true;
+            }
+            return false;
+        };
         for (RouterId r = 0; r < net_->numRouters(); ++r) {
             const Router &router = net_->router(r);
             for (PortId p = 0; p < router.numOutputPorts(); ++p) {
@@ -806,6 +836,10 @@ InvariantChecker::checkDrained(Cycle now)
                 if (!op.connected())
                     continue;
                 for (int d = 0; d < op.numDrops(); ++d) {
+                    // Dead link: its dropped flits never return their
+                    // credits; the leak is expected and waived by name.
+                    if (link_waived(r, p, d))
+                        continue;
                     for (VcId v = 0; v < num_vcs; ++v) {
                         const int out = linkOut_[r][p][
                             static_cast<std::size_t>(d * num_vcs + v)];

@@ -191,6 +191,24 @@ class InvariantChecker
     /** End of the network cycle `now`: scans + deadlock probe. */
     void onCycleEnd(Cycle now);
 
+    // --- fault waivers (installed by the FaultController) ---
+
+    /**
+     * Waive the credit ledger of one directed link slot set: a dead
+     * link's dropped flits never return their credits, so the drained
+     * audit skips every (drop, vc) slot of `out_port`'s `drop` at
+     * router `r`. Per-cycle ledger checks for other links stay on.
+     */
+    void waiveLink(RouterId r, PortId out_port, int drop);
+
+    /**
+     * Suppress the forward-progress (deadlock) probe while now is
+     * before `until` plus the configured deadlockAfter slack. Used for
+     * stall windows (bounded) and dead links (kNeverCycle: packets
+     * legitimately stop draining).
+     */
+    void waiveProgressUntil(Cycle until);
+
     /**
      * Exhaustive audit of the fully drained network: no packet in
      * flight, every ledger zero, every credit home, every input VC
@@ -254,6 +272,11 @@ class InvariantChecker
     std::uint64_t deliveredPackets_ = 0;
 
     Cycle lastDeadlockProbe_ = 0;
+
+    /// Fault waivers: dead-link slot sets excluded from the drained
+    /// credit audit, and the progress-probe suppression horizon.
+    std::vector<std::tuple<RouterId, PortId, int>> waivedLinks_;
+    Cycle progressWaivedUntil_ = 0;
 
     std::uint64_t checks_ = 0;
     std::uint64_t violationCount_ = 0;

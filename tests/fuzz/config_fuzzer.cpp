@@ -30,6 +30,7 @@
 #include "common/options.hpp"
 #include "common/rng.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "telemetry/telemetry.hpp"
 #include "traffic/synthetic.hpp"
 #include "verify/verify.hpp"
@@ -47,6 +48,13 @@ struct FuzzCase
     std::string pattern = "uniform";
     SimWindows windows;
     TelemetryConfig telemetry;         ///< observational; not in tokens
+    /// Route the run through a one-job SweepRunner with these
+    /// resilience knobs instead of a bare Simulator (samples the sweep
+    /// retry/deadline machinery; knobs generous enough never to fire).
+    bool viaSweep = false;
+    long deadlineMs = 0;
+    int maxAttempts = 1;
+    long backoffMs = 0;
 };
 
 template <typename T>
@@ -116,19 +124,24 @@ sampleCase(Rng &rng, std::uint64_t case_seed, const std::string &inject)
     std::vector<std::string> routings = {"xy", "yx"};
     if (mesh_family && scheme != "evc")
         routings.push_back("o1turn");
-    add(fc, "routing", pick(rng, routings));
+    const std::string routing = pick(rng, routings);
+    add(fc, "routing", routing);
     add(fc, "va", rng.nextBool(0.5) ? "static" : "dynamic");
     add(fc, "seed", static_cast<long>(case_seed));
 
     static const std::vector<std::string> patterns = {
         "uniform", "complement", "transpose", "bitrev",
         "shuffle", "hotspot",    "tornado",   "neighbor"};
+    const bool injecting = !inject.empty();
     fc.pattern = pick(rng, patterns);
+    // Tornado degenerates to zero traffic on 2-wide grids, which would
+    // make a planted bug uncatchable by construction.
+    while (injecting && fc.pattern == "tornado")
+        fc.pattern = pick(rng, patterns);
     add(fc, "pattern", fc.pattern);
 
     fc.load = 0.02 + 0.02 * static_cast<double>(rng.nextBelow(9));
     fc.packetSize = static_cast<int>(rng.nextRange(1, 8));
-    const bool injecting = !inject.empty();
     if (injecting) {
         // Keep the catch deterministic: enough traffic that credits
         // are actually dropped within the window.
@@ -154,6 +167,92 @@ sampleCase(Rng &rng, std::uint64_t case_seed, const std::string &inject)
     const std::string &health = pick(rng, health_specs);
     if (!health.empty())
         add(fc, "health", health);
+
+    // Fault plans ride on grid topologies (adjacent router pairs are
+    // trivially enumerable there) and never mix with a planted bug —
+    // dropped credits are exactly what inject=credit-leak plants, and
+    // the fuzzer must keep "clean run" and "expected catch" separable.
+    // (EVC's express bypass has no link-retry path, so the controller
+    // rejects link/stall clauses there.)
+    const bool on_grid =
+        mesh_family || std::string(grid.topology) == "torus";
+    if (!injecting && on_grid && scheme != "evc" && rng.nextBool(0.35)) {
+        const int rw = grid.width;
+        const int rh = grid.height;
+        auto adjacentPair = [&rng, rw, rh](long &src, long &dst) {
+            const long r = static_cast<long>(rng.nextBelow(
+                static_cast<std::uint64_t>(rw) *
+                static_cast<std::uint64_t>(rh)));
+            const long x = r % rw;
+            const long y = r / rw;
+            if (x + 1 < rw && (y + 1 >= rh || rng.nextBool(0.5))) {
+                src = r;
+                dst = r + 1;
+            } else if (y + 1 < rh) {
+                src = r;
+                dst = r + rw;
+            } else {
+                src = 0;
+                dst = 1;
+            }
+        };
+        std::string plan;
+        const int flips = 1 + (rng.nextBool(0.3) ? 1 : 0);
+        static const std::vector<std::string> probs = {"0.001", "0.005",
+                                                       "0.01", "0.02"};
+        for (int f = 0; f < flips; ++f) {
+            long src = 0;
+            long dst = 1;
+            adjacentPair(src, dst);
+            if (!plan.empty())
+                plan += ",";
+            plan += "flip-link:" + std::to_string(src) + ">" +
+                    std::to_string(dst) + "@p" + pick(rng, probs);
+        }
+        // Fault-aware rerouting is only provably loop-free over the
+        // deterministic DOR algorithms on a grid (no wraparound), and
+        // the controller enforces both.
+        if (mesh_family && (routing == "xy" || routing == "yx") &&
+            rng.nextBool(0.2)) {
+            long src = 0;
+            long dst = 1;
+            adjacentPair(src, dst);
+            const long at = static_cast<long>(
+                fc.windows.warmup + rng.nextBelow(fc.windows.measure));
+            plan += ",kill-link:" + std::to_string(src) + ">" +
+                    std::to_string(dst) + "@cycle" + std::to_string(at);
+        }
+        if (rng.nextBool(0.25)) {
+            const long r = static_cast<long>(rng.nextBelow(
+                static_cast<std::uint64_t>(rw) *
+                static_cast<std::uint64_t>(rh)));
+            const long from = static_cast<long>(
+                fc.windows.warmup + rng.nextBelow(fc.windows.measure / 2));
+            const long to = from + static_cast<long>(rng.nextRange(20, 200));
+            plan += ",stall-router:" + std::to_string(r) + "@" +
+                    std::to_string(from) + ".." + std::to_string(to);
+        }
+        if (rng.nextBool(0.3))
+            plan += ",retry-timeout=" +
+                    std::to_string(rng.nextRange(16, 64));
+        if (rng.nextBool(0.2))
+            plan += ",retry-limit=" + std::to_string(rng.nextRange(4, 12));
+        add(fc, "fault", plan);
+    }
+
+    // Sweep resilience knobs: run the same case through a one-job
+    // SweepRunner with a deadline far above any sampled window and an
+    // occasional retry budget, so the attempt/deadline machinery fuzzes
+    // along without ever changing a clean run's verdict.
+    if (rng.nextBool(0.25)) {
+        fc.viaSweep = true;
+        fc.deadlineMs = 60000;
+        fc.maxAttempts = static_cast<int>(rng.nextRange(1, 3));
+        fc.backoffMs = 1;
+        add(fc, "job-deadline-ms", fc.deadlineMs);
+        add(fc, "job-retries", fc.maxAttempts);
+        add(fc, "job-backoff-ms", fc.backoffMs);
+    }
 
     fc.telemetry.enabled = rng.nextBool(0.3);
     fc.telemetry.capacity = std::size_t{1} << 14;
@@ -215,6 +314,43 @@ runCase(const FuzzCase &fc)
         }
     }
 
+    CaseResult out;
+    if (fc.viaSweep) {
+        // Same case through the sweep layer, exercising the per-job
+        // deadline/retry machinery around the identical simulation.
+        SweepJob job;
+        job.label = "fuzz";
+        job.cfg = cfg;
+        job.windows = windows;
+        job.telemetry = fc.telemetry;
+        job.verify.enabled = true;
+        job.verify.mask = verifyMaskFromSpec("all");
+        job.deadlineMs = fc.deadlineMs;
+        job.maxAttempts = fc.maxAttempts;
+        job.backoffMs = fc.backoffMs;
+        const double load = fc.load;
+        const int packet = fc.packetSize;
+        const std::string pattern = fc.pattern;
+        job.makeSource = [load, packet, pattern](const SimConfig &c) {
+            return std::make_unique<SyntheticTraffic>(
+                parseSyntheticPattern(pattern), c.numNodes(), load, packet,
+                c.seed * 77 + 5);
+        };
+        const std::vector<SweepOutcome> outcomes = runSweep({job}, 1);
+        out.checks = outcomes[0].verifyChecks;
+        out.violations = outcomes[0].verifyViolations;
+        out.report = outcomes[0].verifyReport;
+        if (!outcomes[0].ok) {
+            // A clean config must never fail at the sweep layer either;
+            // surface it through the violation path so the REPRODUCE
+            // line gets printed.
+            out.violations += 1;
+            out.report += "sweep job failed: " + outcomes[0].error + "\n";
+        }
+        out.drained = outcomes[0].result.drained;
+        return out;
+    }
+
     auto source = std::make_unique<SyntheticTraffic>(
         parseSyntheticPattern(fc.pattern), cfg.numNodes(), fc.load,
         fc.packetSize, cfg.seed * 77 + 5);
@@ -226,7 +362,6 @@ runCase(const FuzzCase &fc)
     sim.setVerifier(&checker);
     const SimResult result = sim.run(windows);
 
-    CaseResult out;
     out.checks = checker.checks();
     out.violations = checker.violationCount();
     out.report = checker.report();
