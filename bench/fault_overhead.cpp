@@ -60,6 +60,11 @@ timedRun(const std::string &plan)
     cfg.scheme = Scheme::PseudoSB;
     cfg.seed = 7;
     cfg.faultSpec = plan;
+    // Any fault plan disqualifies the specialized router kernels, so
+    // pin every run to the generic core: the ratios below must isolate
+    // the fault layer, not the kernel choice (bench/kernel_speedup.cpp
+    // measures that).
+    cfg.kernel = KernelChoice::Generic;
     auto src = std::make_unique<SyntheticTraffic>(
         SyntheticPattern::Transpose, cfg.numNodes(), 0.15, 5,
         cfg.seed * 77 + 5);

@@ -54,6 +54,16 @@ toString(TopologyKind topology)
     return "?";
 }
 
+const char *
+toString(KernelChoice kernel)
+{
+    switch (kernel) {
+      case KernelChoice::Auto:    return "auto";
+      case KernelChoice::Generic: return "generic";
+    }
+    return "?";
+}
+
 int
 SimConfig::numNodes() const
 {

@@ -45,10 +45,23 @@ enum class TopologyKind {
     Torus,        ///< 2D torus with dateline VCs (extension)
 };
 
+/**
+ * Simulation-kernel selection (src/sim/kernel.hpp). `Auto` picks a
+ * template-specialized router core when the (scheme × routing ×
+ * topology) combination has one compiled in; `Generic` forces the
+ * runtime-dispatched path. Both produce identical results — the knob
+ * exists so CI exercises both and benches can measure the ratio.
+ */
+enum class KernelChoice {
+    Auto,         ///< specialized kernel when available, else generic
+    Generic,      ///< always the runtime-dispatched core
+};
+
 const char *toString(Scheme scheme);
 const char *toString(RoutingKind routing);
 const char *toString(VaPolicy policy);
 const char *toString(TopologyKind topology);
+const char *toString(KernelChoice kernel);
 
 /**
  * Full configuration of one simulation run. Defaults follow the paper's
@@ -99,6 +112,12 @@ struct SimConfig
     /// layer absorbs it into the plan. Left out of describe() on
     /// purpose — it must never appear in results.
     int dropCreditEvery = 0;
+
+    /// Simulation-core selection. Purely an execution-speed knob: both
+    /// kernels produce byte-identical results (enforced by the parity
+    /// suite), so this is left out of describe() on purpose — goldens
+    /// and result streams must not depend on it.
+    KernelChoice kernel = KernelChoice::Auto;
 
     /** Derived: total number of routers. */
     int numRouters() const { return meshWidth * meshHeight; }

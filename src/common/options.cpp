@@ -175,6 +175,17 @@ parseTopology(const std::string &name)
     NOC_FATAL("unknown topology: " + name);
 }
 
+KernelChoice
+parseKernel(const std::string &name)
+{
+    const std::string n = lowered(name);
+    if (n == "auto")
+        return KernelChoice::Auto;
+    if (n == "generic")
+        return KernelChoice::Generic;
+    NOC_FATAL("unknown kernel: " + name + " (want auto|generic)");
+}
+
 SimConfig
 configFromOptions(const Options &opts)
 {
@@ -209,6 +220,7 @@ configFromOptions(const Options &opts)
     cfg.faultSpec = opts.getString("fault", "");
     cfg.dropCreditEvery =
         static_cast<int>(opts.getInt("drop-credit-every", 0));
+    cfg.kernel = parseKernel(opts.getString("kernel", "auto"));
     cfg.validate();
     return cfg;
 }

@@ -53,6 +53,7 @@ Scheme parseScheme(const std::string &name);
 RoutingKind parseRouting(const std::string &name);
 VaPolicy parseVaPolicy(const std::string &name);
 TopologyKind parseTopology(const std::string &name);
+KernelChoice parseKernel(const std::string &name);
 
 /**
  * Build a SimConfig from options. Recognised keys: topology, width,

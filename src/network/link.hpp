@@ -8,6 +8,7 @@
 #ifndef NOC_NETWORK_LINK_HPP
 #define NOC_NETWORK_LINK_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "common/log.hpp"
@@ -46,14 +47,24 @@ struct LinkEvent
  * Calendar queue over a bounded delay horizon. schedule() places events
  * at absolute cycles within `horizon` cycles of the present; eventsAt()
  * hands out (and recycles) the bucket for the current cycle.
+ *
+ * Storage is a single slot pool threaded into per-bucket FIFO lists.
+ * Slots freed when a cycle's events are handed out go onto a free list
+ * and are reused by later schedule() calls, so once the pool has grown
+ * to the peak number of in-flight events the ring allocates nothing —
+ * the old vector-of-vectors kept a separate high-water allocation per
+ * bucket and re-grew after every quiet spell.
  */
 class EventRing
 {
   public:
     explicit EventRing(int horizon)
-        : buckets_(static_cast<std::size_t>(horizon) + 2)
+        : head_(static_cast<std::size_t>(horizon) + 2, kNil),
+          tail_(static_cast<std::size_t>(horizon) + 2, kNil)
     {
         NOC_ASSERT(horizon >= 1, "event horizon must be positive");
+        pool_.reserve(head_.size() * 4);
+        scratch_.reserve(64);
     }
 
     /**
@@ -67,7 +78,7 @@ class EventRing
     schedule(Cycle now, Cycle when, LinkEvent event)
     {
         NOC_ASSERT(when > now, "events must be scheduled in the future");
-        NOC_ASSERT(when - now < buckets_.size(),
+        NOC_ASSERT(when - now < head_.size(),
                    "event beyond the ring horizon");
 #if NOC_TELEMETRY_ENABLED
         if (telem_ && event.kind == LinkEvent::Kind::FlitToRouter) {
@@ -82,28 +93,115 @@ class EventRing
             telem_->record(ev);
         }
 #endif
-        buckets_[when % buckets_.size()].push_back(std::move(event));
+        const std::int32_t slot = acquireSlot();
+        pool_[static_cast<std::size_t>(slot)].ev = std::move(event);
+        const std::size_t b = when % head_.size();
+        if (tail_[b] == kNil)
+            head_[b] = slot;
+        else
+            pool_[static_cast<std::size_t>(tail_[b])].next = slot;
+        tail_[b] = slot;
     }
 
-    /** Bucket for cycle `now`; caller must process then clear() it. */
+    /**
+     * Zero-copy iteration over cycle `now`'s events in scheduling
+     * order, without consuming them; pair with releaseAt(now) once all
+     * passes are done. `fn` may call schedule() (events land at future
+     * cycles, never in this bucket), so iteration is index-based — the
+     * pool may grow mid-walk.
+     */
+    template <typename Fn>
+    void
+    forEachAt(Cycle now, Fn &&fn)
+    {
+        const std::size_t b = now % head_.size();
+        for (std::int32_t s = head_[b]; s != kNil;
+             s = pool_[static_cast<std::size_t>(s)].next)
+            fn(static_cast<const LinkEvent &>(
+                pool_[static_cast<std::size_t>(s)].ev));
+    }
+
+    /** Recycle cycle `now`'s slots after forEachAt() passes. */
+    void
+    releaseAt(Cycle now)
+    {
+        const std::size_t b = now % head_.size();
+        for (std::int32_t s = head_[b]; s != kNil;) {
+            Slot &slot = pool_[static_cast<std::size_t>(s)];
+            const std::int32_t next = slot.next;
+            slot.next = freeHead_;
+            freeHead_ = s;
+            s = next;
+        }
+        head_[b] = tail_[b] = kNil;
+    }
+
+    /**
+     * Events for cycle `now`, in scheduling order; caller must process
+     * then clear() the vector. The underlying slots are recycled the
+     * moment the bucket is drained; the returned vector is scratch
+     * storage that stays stable for repeated calls at the same cycle.
+     */
     std::vector<LinkEvent> &
     eventsAt(Cycle now)
     {
-        return buckets_[now % buckets_.size()];
+        if (!scratchValid_ || scratchCycle_ != now) {
+            scratch_.clear();
+            const std::size_t b = now % head_.size();
+            for (std::int32_t s = head_[b]; s != kNil;) {
+                Slot &slot = pool_[static_cast<std::size_t>(s)];
+                scratch_.push_back(std::move(slot.ev));
+                const std::int32_t next = slot.next;
+                slot.next = freeHead_;
+                freeHead_ = s;
+                s = next;
+            }
+            head_[b] = tail_[b] = kNil;
+            scratchCycle_ = now;
+            scratchValid_ = true;
+        }
+        return scratch_;
     }
 
     bool
     empty() const
     {
-        for (const auto &bucket : buckets_) {
-            if (!bucket.empty())
+        for (const std::int32_t h : head_) {
+            if (h != kNil)
                 return false;
         }
-        return true;
+        return scratch_.empty();
     }
 
   private:
-    std::vector<std::vector<LinkEvent>> buckets_;
+    static constexpr std::int32_t kNil = -1;
+
+    struct Slot
+    {
+        LinkEvent ev;
+        std::int32_t next = kNil;
+    };
+
+    std::int32_t
+    acquireSlot()
+    {
+        if (freeHead_ != kNil) {
+            const std::int32_t slot = freeHead_;
+            freeHead_ = pool_[static_cast<std::size_t>(slot)].next;
+            pool_[static_cast<std::size_t>(slot)].next = kNil;
+            return slot;
+        }
+        pool_.emplace_back();
+        return static_cast<std::int32_t>(pool_.size() - 1);
+    }
+
+    std::vector<Slot> pool_;
+    std::vector<std::int32_t> head_;   ///< per-bucket FIFO head
+    std::vector<std::int32_t> tail_;   ///< per-bucket FIFO tail
+    std::int32_t freeHead_ = kNil;     ///< recycled-slot list
+    std::vector<LinkEvent> scratch_;   ///< drained bucket handed to caller
+    Cycle scratchCycle_ = 0;
+    bool scratchValid_ = false;
     TelemetrySink *telem_ = nullptr;
 };
 

@@ -212,25 +212,24 @@ Network::step()
     // Phase 1: arrivals. Credits land before flits — a flit arriving in
     // the same cycle as a credit must see the updated counter, or e.g. a
     // buffer-bypass check would spuriously fail.
-    auto &bucket = ring_.eventsAt(now_);
-    for (const LinkEvent &ev : bucket) {
+    ring_.forEachAt(now_, [&](const LinkEvent &ev) {
         if (ev.kind == LinkEvent::Kind::CreditToRouter ||
             ev.kind == LinkEvent::Kind::CreditToNi ||
             ev.kind == LinkEvent::Kind::LinkAck) {
             if (stalls && faults_->captureArrival(ev, now_))
-                continue;
+                return;
             dispatch(ev);
         }
-    }
-    for (const LinkEvent &ev : bucket) {
+    });
+    ring_.forEachAt(now_, [&](const LinkEvent &ev) {
         if (ev.kind == LinkEvent::Kind::FlitToRouter ||
             ev.kind == LinkEvent::Kind::FlitToNi) {
             if (stalls && faults_->captureArrival(ev, now_))
-                continue;
+                return;
             dispatch(ev);
         }
-    }
-    bucket.clear();
+    });
+    ring_.releaseAt(now_);
 
     // Phase 2: NI injection.
     for (auto &ni : nis_) {

@@ -95,6 +95,21 @@ class Network
     int numNodes() const { return static_cast<int>(nis_.size()); }
 
     /**
+     * Name of the router simulation kernel this network runs on (every
+     * router in a network shares one kernel; see router/kernels.hpp).
+     */
+    const std::string &kernelName() const
+    {
+        return routers_.front()->kernelName();
+    }
+
+    /** True when a specialized (devirtualized) kernel was selected. */
+    bool kernelSpecialized() const
+    {
+        return routers_.front()->kernelSpecialized();
+    }
+
+    /**
      * Attach a telemetry sink to every router, the pseudo-circuit
      * units, and the link fabric (nullptr detaches). The network never
      * owns the sink; the caller keeps it alive across the run.

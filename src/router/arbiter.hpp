@@ -7,11 +7,19 @@
 #ifndef NOC_ROUTER_ARBITER_HPP
 #define NOC_ROUTER_ARBITER_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "common/log.hpp"
 
 namespace noc {
+
+/** Index of the lowest set bit; undefined for 0. */
+inline int
+lowestSetBit(std::uint64_t mask)
+{
+    return __builtin_ctzll(mask);
+}
 
 /**
  * Rotating-priority arbiter over `size` requesters. grant() scans from
@@ -48,6 +56,27 @@ class RoundRobinArbiter
             }
         }
         return -1;
+    }
+
+    /**
+     * Mask form of grant(): bit i set ⇔ requester i is requesting.
+     * Identical winner and priority update to the vector form — the
+     * rotating scan "first set index after last_, wrapping" is "lowest
+     * set bit above last_, else lowest set bit overall". Requires
+     * size ≤ 64.
+     */
+    int
+    grantMask(std::uint64_t requests)
+    {
+        if (requests == 0)
+            return -1;
+        std::uint64_t above = last_ + 1 >= 64
+                                  ? 0
+                                  : requests >> (last_ + 1) << (last_ + 1);
+        const int idx =
+            above != 0 ? lowestSetBit(above) : lowestSetBit(requests);
+        last_ = idx;
+        return idx;
     }
 
     /** Peek without rotating priority (for diagnostics/tests). */

@@ -5,33 +5,6 @@
 namespace noc {
 
 void
-InputVc::enqueue(const Flit &flit, Cycle ready_at, int buffer_depth)
-{
-    NOC_ASSERT(static_cast<int>(q_.size()) < buffer_depth,
-               "buffer overflow — credit flow control is broken");
-    // If the VC was drained/idle and a head arrives, a new packet starts.
-    if (q_.empty() && state_ == State::Idle) {
-        NOC_ASSERT(isHead(flit.type),
-                   "body flit arrived at an idle, empty VC");
-        startPacket(flit.route);
-    }
-    q_.push_back({flit, ready_at});
-    if (q_.size() > peak_)
-        peak_ = q_.size();
-}
-
-Flit
-InputVc::dequeue()
-{
-    NOC_ASSERT(!q_.empty(), "dequeue from empty VC");
-    const Flit flit = q_.front().flit;
-    q_.pop_front();
-    if (isTail(flit.type))
-        finishPacket();
-    return flit;
-}
-
-void
 InputVc::activate(VcId out_vc, bool express)
 {
     NOC_ASSERT(state_ == State::WaitingVa, "activate without pending VA");
@@ -57,6 +30,7 @@ InputVc::startPacket(const RouteDecision &route)
     route_ = route;
     outVc_ = kInvalidVc;
     outVcExpress_ = false;
+    vaFailStamp_ = kNoVaFail;
 }
 
 void

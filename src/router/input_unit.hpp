@@ -7,25 +7,25 @@
  * transitions happen when heads arrive at an empty VC and when tails
  * depart). With buffer bypassing, flits may flow through a VC without ever
  * being enqueued; the state machine still tracks the in-flight packet.
+ *
+ * Flit storage is a FlitRing (vc_state.hpp). Routers bind every VC's
+ * ring to arena-backed slots at construction; standalone InputVcs own
+ * their storage.
  */
 
 #ifndef NOC_ROUTER_INPUT_UNIT_HPP
 #define NOC_ROUTER_INPUT_UNIT_HPP
 
-#include <deque>
+#include <cstdint>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "router/flit.hpp"
+#include "router/vc_state.hpp"
 
 namespace noc {
-
-/** A buffered flit plus the first cycle it may leave the buffer. */
-struct BufferedFlit
-{
-    Flit flit;
-    Cycle ready = 0;   ///< buffer write occupies the arrival cycle
-};
 
 class InputVc
 {
@@ -52,11 +52,51 @@ class InputVc
         return !q_.empty() && q_.front().ready <= now;
     }
 
-    /** Buffer write; caller must have verified space via credits. */
-    void enqueue(const Flit &flit, Cycle ready_at, int buffer_depth);
+    /** Bind flit storage to an external (arena) slice; see FlitRing. */
+    void bindStorage(BufferedFlit *slots, int capacity)
+    {
+        q_.bind(slots, capacity);
+    }
+
+    /** Buffer write; caller must have verified space via credits.
+     *  Inline: one call per flit-hop on the simulation hot path. */
+    void
+    enqueue(const Flit &flit, Cycle ready_at, int buffer_depth)
+    {
+        NOC_ASSERT(static_cast<int>(q_.size()) < buffer_depth,
+                   "buffer overflow — credit flow control is broken");
+        // If the VC was drained/idle and a head arrives, a new packet
+        // starts.
+        if (q_.empty() && state_ == State::Idle) {
+            NOC_ASSERT(isHead(flit.type),
+                       "body flit arrived at an idle, empty VC");
+            startPacket(flit.route);
+        }
+        q_.push({flit, ready_at});
+        if (q_.size() > peak_)
+            peak_ = q_.size();
+    }
 
     /** Pop the front flit (switch traversal of a buffered flit). */
-    Flit dequeue();
+    Flit
+    dequeue()
+    {
+        NOC_ASSERT(!q_.empty(), "dequeue from empty VC");
+        const Flit flit = q_.front().flit;
+        q_.pop();
+        if (isTail(flit.type))
+            finishPacket();
+        return flit;
+    }
+
+    /**
+     * VA-failure memo: the output port's version() at the head's last
+     * failed allocation attempt. While the port version is unchanged a
+     * retry is guaranteed to fail again (only release/addCredit can flip
+     * the outcome, and both bump the version), so the allocator skips it.
+     */
+    std::uint64_t vaFailStamp() const { return vaFailStamp_; }
+    void setVaFailStamp(std::uint64_t stamp) { vaFailStamp_ = stamp; }
 
     /** Head got its output VC. */
     void activate(VcId out_vc, bool express);
@@ -75,19 +115,39 @@ class InputVc
     void finishPacket();
 
   private:
-    std::deque<BufferedFlit> q_;
+    /** Sentinel: no failed-VA memo (ports start at version 0). */
+    static constexpr std::uint64_t kNoVaFail = ~std::uint64_t{0};
+
+    FlitRing q_;
     std::size_t peak_ = 0;
     State state_ = State::Idle;
     RouteDecision route_;
     VcId outVc_ = kInvalidVc;
     bool outVcExpress_ = false;
+    std::uint64_t vaFailStamp_ = kNoVaFail;
 };
 
 /** One router input port: VCs plus single-cycle bypass latches. */
 class InputPort
 {
   public:
-    InputPort(int num_vcs) : vcs_(num_vcs) {}
+    /** Standalone port: VCs own (and grow) their flit storage. */
+    explicit InputPort(int num_vcs) : vcs_(num_vcs) {}
+
+    /**
+     * Router port: every VC is bound to `buffer_depth` contiguous
+     * arena slots, so the steady-state cycle loop never allocates.
+     */
+    InputPort(int num_vcs, int buffer_depth, Arena &arena) : vcs_(num_vcs)
+    {
+        BufferedFlit *slots =
+            arena.allocate<BufferedFlit>(static_cast<std::size_t>(num_vcs) *
+                                         static_cast<std::size_t>(buffer_depth));
+        for (int v = 0; v < num_vcs; ++v)
+            vcs_[v].bindStorage(slots + static_cast<std::size_t>(v) *
+                                            buffer_depth,
+                                buffer_depth);
+    }
 
     InputVc &vc(VcId v) { return vcs_[v]; }
     const InputVc &vc(VcId v) const { return vcs_[v]; }

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Kernel instantiations for dimension-order routing on Mesh/CMesh
+ * (one FastPolicy instantiation per pseudo-circuit scheme).
+ */
+
+#include "router/kernels.hpp"
+#include "router/router_pipeline.hpp"
+#include "routing/policies.hpp"
+
+namespace noc {
+
+const RouterOps *
+meshDorKernel(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return &routerOpsFor<FastPolicy<Scheme::Baseline, MeshDorRoute>>();
+      case Scheme::Pseudo:
+        return &routerOpsFor<FastPolicy<Scheme::Pseudo, MeshDorRoute>>();
+      case Scheme::PseudoS:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoS, MeshDorRoute>>();
+      case Scheme::PseudoB:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoB, MeshDorRoute>>();
+      case Scheme::PseudoSB:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoSB, MeshDorRoute>>();
+      case Scheme::Evc:
+        break;   // EVC always runs generic
+    }
+    return nullptr;
+}
+
+} // namespace noc

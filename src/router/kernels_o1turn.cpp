@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Kernel instantiations for O1TURN routing on Mesh/CMesh
+ * (one FastPolicy instantiation per pseudo-circuit scheme).
+ */
+
+#include "router/kernels.hpp"
+#include "router/router_pipeline.hpp"
+#include "routing/policies.hpp"
+
+namespace noc {
+
+const RouterOps *
+o1turnKernel(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return &routerOpsFor<FastPolicy<Scheme::Baseline, O1TurnRoute>>();
+      case Scheme::Pseudo:
+        return &routerOpsFor<FastPolicy<Scheme::Pseudo, O1TurnRoute>>();
+      case Scheme::PseudoS:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoS, O1TurnRoute>>();
+      case Scheme::PseudoB:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoB, O1TurnRoute>>();
+      case Scheme::PseudoSB:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoSB, O1TurnRoute>>();
+      case Scheme::Evc:
+        break;   // EVC requires DOR and always runs generic
+    }
+    return nullptr;
+}
+
+} // namespace noc

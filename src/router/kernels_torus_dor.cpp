@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Kernel instantiations for dateline dimension-order routing on the
+ * torus (one FastPolicy instantiation per pseudo-circuit scheme).
+ */
+
+#include "router/kernels.hpp"
+#include "router/router_pipeline.hpp"
+#include "routing/policies.hpp"
+
+namespace noc {
+
+const RouterOps *
+torusDorKernel(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:
+        return &routerOpsFor<FastPolicy<Scheme::Baseline, TorusDorRoute>>();
+      case Scheme::Pseudo:
+        return &routerOpsFor<FastPolicy<Scheme::Pseudo, TorusDorRoute>>();
+      case Scheme::PseudoS:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoS, TorusDorRoute>>();
+      case Scheme::PseudoB:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoB, TorusDorRoute>>();
+      case Scheme::PseudoSB:
+        return &routerOpsFor<FastPolicy<Scheme::PseudoSB, TorusDorRoute>>();
+      case Scheme::Evc:
+        break;   // EVC requires a mesh-family topology
+    }
+    return nullptr;
+}
+
+} // namespace noc

@@ -1,7 +1,5 @@
 #include "router/output_unit.hpp"
 
-#include "common/log.hpp"
-
 namespace noc {
 
 OutputPort::OutputPort(int num_drops, int num_vcs, int buffer_depth)
@@ -10,54 +8,6 @@ OutputPort::OutputPort(int num_drops, int num_vcs, int buffer_depth)
     vcs_.resize(static_cast<std::size_t>(num_drops) * num_vcs);
     for (auto &vc : vcs_)
         vc.credits = buffer_depth;
-}
-
-OutputVcState &
-OutputPort::vc(int drop, VcId v)
-{
-    NOC_ASSERT(drop >= 0 && drop < numDrops_, "drop index out of range");
-    NOC_ASSERT(v >= 0 && v < numVcs_, "output VC out of range");
-    return vcs_[static_cast<std::size_t>(drop) * numVcs_ + v];
-}
-
-const OutputVcState &
-OutputPort::vc(int drop, VcId v) const
-{
-    return const_cast<OutputPort *>(this)->vc(drop, v);
-}
-
-void
-OutputPort::allocate(int drop, VcId v, PortId owner_port, VcId owner_vc)
-{
-    OutputVcState &s = vc(drop, v);
-    NOC_ASSERT(!s.owned, "double allocation of an output VC");
-    s.owned = true;
-    s.ownerPort = owner_port;
-    s.ownerVc = owner_vc;
-}
-
-void
-OutputPort::release(int drop, VcId v)
-{
-    OutputVcState &s = vc(drop, v);
-    NOC_ASSERT(s.owned, "releasing a free output VC");
-    s.owned = false;
-    s.ownerPort = kInvalidPort;
-    s.ownerVc = kInvalidVc;
-}
-
-void
-OutputPort::addCredit(int drop, VcId v)
-{
-    ++vc(drop, v).credits;
-}
-
-void
-OutputPort::takeCredit(int drop, VcId v)
-{
-    OutputVcState &s = vc(drop, v);
-    NOC_ASSERT(s.credits > 0, "flit sent without a credit");
-    --s.credits;
 }
 
 bool
@@ -88,21 +38,6 @@ OutputPort::initExpress(VcId base, int count, int buffer_depth)
     expressVcs_.assign(count, {});
     for (auto &vc : expressVcs_)
         vc.credits = buffer_depth;
-}
-
-OutputVcState &
-OutputPort::expressVc(VcId v)
-{
-    NOC_ASSERT(hasExpress(), "no express state on this port");
-    const auto idx = static_cast<std::size_t>(v - expressBase_);
-    NOC_ASSERT(idx < expressVcs_.size(), "express VC out of range");
-    return expressVcs_[idx];
-}
-
-const OutputVcState &
-OutputPort::expressVc(VcId v) const
-{
-    return const_cast<OutputPort *>(this)->expressVc(v);
 }
 
 } // namespace noc

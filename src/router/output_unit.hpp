@@ -6,13 +6,19 @@
  * so credits and ownership are tracked per drop. Point-to-point channels
  * have exactly one drop. For EVC, express VCs of the router *two* hops
  * downstream are additionally tracked per direction channel.
+ *
+ * The accessors are defined inline: credit reads sit on the switch
+ * allocator's per-cycle request-collection path, where an out-of-line
+ * call per occupied VC is measurable.
  */
 
 #ifndef NOC_ROUTER_OUTPUT_UNIT_HPP
 #define NOC_ROUTER_OUTPUT_UNIT_HPP
 
+#include <cstdint>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace noc {
@@ -40,17 +46,66 @@ class OutputPort
     int numDrops() const { return numDrops_; }
     int numVcs() const { return numVcs_; }
 
-    OutputVcState &vc(int drop, VcId v);
-    const OutputVcState &vc(int drop, VcId v) const;
+    OutputVcState &
+    vc(int drop, VcId v)
+    {
+        NOC_ASSERT(drop >= 0 && drop < numDrops_, "drop index out of range");
+        NOC_ASSERT(v >= 0 && v < numVcs_, "output VC out of range");
+        return vcs_[static_cast<std::size_t>(drop) * numVcs_ + v];
+    }
 
-    void allocate(int drop, VcId v, PortId owner_port, VcId owner_vc);
-    void release(int drop, VcId v);
+    const OutputVcState &
+    vc(int drop, VcId v) const
+    {
+        return const_cast<OutputPort *>(this)->vc(drop, v);
+    }
+
+    void
+    allocate(int drop, VcId v, PortId owner_port, VcId owner_vc)
+    {
+        OutputVcState &s = vc(drop, v);
+        NOC_ASSERT(!s.owned, "double allocation of an output VC");
+        s.owned = true;
+        s.ownerPort = owner_port;
+        s.ownerVc = owner_vc;
+    }
+
+    void
+    release(int drop, VcId v)
+    {
+        OutputVcState &s = vc(drop, v);
+        NOC_ASSERT(s.owned, "releasing a free output VC");
+        s.owned = false;
+        s.ownerPort = kInvalidPort;
+        s.ownerVc = kInvalidVc;
+        ++version_;
+    }
 
     /** Credit returned from the drop's router. */
-    void addCredit(int drop, VcId v);
+    void
+    addCredit(int drop, VcId v)
+    {
+        ++vc(drop, v).credits;
+        ++version_;
+    }
+
+    /**
+     * Monotonic stamp of mutations that can turn a failed VC allocation
+     * into a successful one (release / addCredit). A head that failed VA
+     * against this port need not retry until the stamp moves; allocate()
+     * and takeCredit() only shrink the free-credited set, so they don't
+     * bump it.
+     */
+    std::uint64_t version() const { return version_; }
 
     /** Consume one credit when a flit departs. */
-    void takeCredit(int drop, VcId v);
+    void
+    takeCredit(int drop, VcId v)
+    {
+        OutputVcState &s = vc(drop, v);
+        NOC_ASSERT(s.credits > 0, "flit sent without a credit");
+        --s.credits;
+    }
 
     /** True if any VC in [base, base+count) at `drop` has a credit. */
     bool anyCredit(int drop, VcId base, int count) const;
@@ -63,12 +118,26 @@ class OutputPort
     /** Enable express tracking for `count` VCs starting at `base`. */
     void initExpress(VcId base, int count, int buffer_depth);
     bool hasExpress() const { return !expressVcs_.empty(); }
-    OutputVcState &expressVc(VcId v);
-    const OutputVcState &expressVc(VcId v) const;
+
+    OutputVcState &
+    expressVc(VcId v)
+    {
+        NOC_ASSERT(hasExpress(), "no express state on this port");
+        const auto idx = static_cast<std::size_t>(v - expressBase_);
+        NOC_ASSERT(idx < expressVcs_.size(), "express VC out of range");
+        return expressVcs_[idx];
+    }
+
+    const OutputVcState &
+    expressVc(VcId v) const
+    {
+        return const_cast<OutputPort *>(this)->expressVc(v);
+    }
 
   private:
     int numDrops_;
     int numVcs_;
+    std::uint64_t version_ = 0;
     std::vector<OutputVcState> vcs_;        ///< [drop * numVcs + vc]
     VcId expressBase_ = kInvalidVc;
     std::vector<OutputVcState> expressVcs_; ///< [vc - expressBase]

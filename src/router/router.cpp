@@ -1,15 +1,33 @@
 #include "router/router.hpp"
 
 #include "common/log.hpp"
+#include "router/kernels.hpp"
+#include "router/router_pipeline.hpp"
 #include "routing/routing.hpp"
 #include "topology/topology.hpp"
 #include "verify/verify.hpp"
 
 namespace noc {
 
+namespace {
+
+/** Kernel selection at construction: a specialized kernel when the
+ *  factory has one for this configuration, else the generic one. */
+const RouterOps &
+chooseOps(const SimConfig &cfg, const RoutingAlgorithm &routing,
+          int num_in, int num_out)
+{
+    const RouterOps *ops = selectRouterOps(cfg, routing, num_in, num_out);
+    return ops != nullptr ? *ops : routerOpsFor<GenericPolicy>();
+}
+
+} // namespace
+
 Router::Router(const SimConfig &cfg, const Topology &topo,
                const RoutingAlgorithm &routing, RouterId id)
     : cfg_(cfg), topo_(topo), routing_(routing), id_(id),
+      ops_(&chooseOps(cfg, routing, topo.numInputPorts(id),
+                      topo.numOutputPorts(id))),
       pc_(topo.numInputPorts(id), topo.numOutputPorts(id),
           cfg.pcHistoryDepth),
       va_(cfg.vaPolicy),
@@ -20,7 +38,7 @@ Router::Router(const SimConfig &cfg, const Topology &topo,
 
     inputs_.reserve(num_in);
     for (int p = 0; p < num_in; ++p)
-        inputs_.emplace_back(cfg.numVcs);
+        inputs_.emplace_back(cfg.numVcs, cfg.bufferDepth, arena_);
 
     outputs_.reserve(num_out);
     for (int p = 0; p < num_out; ++p) {
@@ -51,15 +69,6 @@ Router::Router(const SimConfig &cfg, const Topology &topo,
     lastOutPort_.assign(num_in, kInvalidPort);
 }
 
-std::pair<VcId, int>
-Router::vaRange(const Flit &head) const
-{
-    if (evcEnabled())
-        return {0, evc_.numNormal()};
-    return routing_.vcRangeAt(id_, head.src, head.dst, head.cls,
-                              cfg_.numVcs);
-}
-
 bool
 Router::pendingUsesInput(PortId in_port) const
 {
@@ -78,29 +87,6 @@ Router::pendingUsesOutput(PortId out_port) const
             return true;
     }
     return false;
-}
-
-void
-Router::deliverFlit(PortId in_port, const Flit &flit, Cycle now)
-{
-    ++stats_.flitsArrived;
-    NOC_ASSERT(flit.vc >= 0 && flit.vc < cfg_.numVcs, "flit VC out of range");
-
-    if (evcEnabled() && flit.evcHopsLeft > 0) {
-        // Express flits pass through the latch this very cycle (§7.B).
-        NOC_ASSERT(!expressLatch_[in_port].has_value(),
-                   "two flits on one input port in one cycle");
-        expressLatch_[in_port] = flit;
-        return;
-    }
-
-    if (bbEnabled() && tryBufferBypass(in_port, flit, now))
-        return;
-
-    InputVc &vc = inputs_[in_port].vc(flit.vc);
-    vc.enqueue(flit, now + 1, cfg_.bufferDepth);   // BW occupies this cycle
-    ++stats_.bufferWrites;
-    emitTelem(TelemetryEventClass::BufferWrite, now, in_port, flit.vc);
 }
 
 void
@@ -128,338 +114,6 @@ Router::faultTeardown(PortId in_port, Cycle now)
     if (!pcEnabled())
         return false;
     return pc_.terminateForFault(in_port, now);
-}
-
-VcId
-Router::independentVa(const Flit &head, const RouteDecision &route)
-{
-    const auto [base, count] = vaRange(head);
-    OutputPort &op = outputs_[route.outPort];
-    const VcId w = va_.choose(op, route.drop, base, count, head.dst);
-    if (w == kInvalidVc || op.vc(route.drop, w).credits <= 0)
-        return kInvalidVc;
-    return w;
-}
-
-bool
-Router::tryBufferBypass(PortId in_port, const Flit &flit, Cycle now)
-{
-    const PseudoCircuitUnit::Register &reg = pc_.at(in_port);
-    if (!reg.valid || reg.inVc != flit.vc)
-        return false;
-    InputVc &vc = inputs_[in_port].vc(flit.vc);
-    if (!vc.empty())
-        return false;
-    NOC_ASSERT(!bypassLatch_[in_port].has_value(),
-               "bypass latch already holds a flit");
-    // A switch grant scheduled for this cycle claims the crossbar port.
-    if (pendingUsesInput(in_port) || pendingUsesOutput(reg.route.outPort))
-        return false;
-
-    OutputPort &op = outputs_[reg.route.outPort];
-    if (isHead(flit.type)) {
-        if (vc.state() != InputVc::State::Idle)
-            return false;
-        if (!(flit.route == reg.route))
-            return false;
-        const VcId w = independentVa(flit, reg.route);
-        if (w == kInvalidVc)
-            return false;
-        vc.startPacket(flit.route);
-        op.allocate(reg.route.drop, w, in_port, flit.vc);
-        vc.activate(w, /*express=*/false);
-        ++stats_.vaGrants;
-        emitTelem(TelemetryEventClass::VaGrant, now, in_port, flit.vc);
-    } else {
-        if (vc.state() != InputVc::State::Active)
-            return false;
-        if (!(vc.route() == reg.route) || vc.outVcExpress())
-            return false;
-        if (op.vc(reg.route.drop, vc.outVc()).credits <= 0) {
-            // §4.B: output out of credit before the flit arrives — the
-            // circuit is terminated and the latch turned off.
-            pc_.terminateForCredit(in_port, now);
-            return false;
-        }
-    }
-    bypassLatch_[in_port] = flit;
-    return true;
-}
-
-void
-Router::step(Cycle now)
-{
-    switchPhase(now);
-    allocationPhase(now);
-}
-
-void
-Router::switchPhase(Cycle now)
-{
-    usedIn_.assign(usedIn_.size(), false);
-    usedOut_.assign(usedOut_.size(), false);
-
-    // 1. EVC express latches — highest priority, preempting local grants.
-    for (PortId in = 0; in < numInputPorts(); ++in) {
-        if (!expressLatch_[in].has_value())
-            continue;
-        Flit flit = *expressLatch_[in];
-        expressLatch_[in].reset();
-        NOC_ASSERT(!usedIn_[in] && !usedOut_[flit.route.outPort],
-                   "express flits collided in the crossbar");
-        traverseExpress(in, flit, now);
-    }
-
-    // 2. Switch grants from last cycle's allocation.
-    for (const SaGrant &g : pendingGrants_) {
-        if (usedIn_[g.inPort] || usedOut_[g.outPort]) {
-            ++stats_.wastedGrants;   // preempted by an express flit
-            continue;
-        }
-        InputVc &vc = inputs_[g.inPort].vc(g.inVc);
-        NOC_ASSERT(vc.state() == InputVc::State::Active,
-                   "switch grant for an inactive VC");
-        NOC_ASSERT(vc.frontReady(now), "switch grant for an absent flit");
-        const RouteDecision route = vc.route();
-        NOC_ASSERT(route.outPort == g.outPort, "grant/route mismatch");
-        const VcId out_vc = vc.outVc();
-        const bool express_out = vc.outVcExpress();
-        const Flit flit = vc.dequeue();
-        traverse(g.inPort, flit, route, out_vc, express_out,
-                 /*from_buffer=*/true, now);
-    }
-    pendingGrants_.clear();
-
-    // 3. Buffer-bypass latches (validated at arrival this cycle).
-    for (PortId in = 0; in < numInputPorts(); ++in) {
-        if (!bypassLatch_[in].has_value())
-            continue;
-        Flit flit = *bypassLatch_[in];
-        bypassLatch_[in].reset();
-        InputVc &vc = inputs_[in].vc(flit.vc);
-        NOC_ASSERT(vc.state() == InputVc::State::Active,
-                   "latched flit on an inactive VC");
-        const RouteDecision route = vc.route();
-        NOC_ASSERT(!usedIn_[in] && !usedOut_[route.outPort],
-                   "bypass latch lost its crossbar slot");
-        const VcId out_vc = vc.outVc();
-        vc.noteBypassedFlit(flit);
-        ++stats_.bufferBypasses;
-        pc_.noteReuse(in, /*via_latch=*/true, now);
-        NOC_VCHK(vchk_, onPcReuse(id_, in, flit.vc, route, flit,
-                                  /*via_latch=*/true, now));
-        if (isHead(flit.type))
-            ++stats_.headBufferBypasses;
-        traverse(in, flit, route, out_vc, /*express_out=*/false,
-                 /*from_buffer=*/false, now);
-    }
-
-    // 4. Pseudo-circuit reuse straight from the buffers (SA bypass, §3.B).
-    if (!pcEnabled())
-        return;
-    for (PortId in = 0; in < numInputPorts(); ++in) {
-        const PseudoCircuitUnit::Register &reg = pc_.at(in);
-        if (!reg.valid)
-            continue;
-        if (usedIn_[in] || usedOut_[reg.route.outPort])
-            continue;
-        InputVc &vc = inputs_[in].vc(reg.inVc);
-        if (!vc.frontReady(now))
-            continue;
-        const Flit &front = vc.front().flit;
-
-        VcId out_vc = kInvalidVc;
-        if (vc.state() == InputVc::State::WaitingVa) {
-            // Head reusing the circuit; VA runs independently (§3.B).
-            NOC_ASSERT(isHead(front.type), "WaitingVa without a head");
-            if (!(front.route == reg.route))
-                continue;
-            out_vc = independentVa(front, reg.route);
-            if (out_vc == kInvalidVc)
-                continue;
-            outputs_[reg.route.outPort].allocate(reg.route.drop, out_vc,
-                                                 in, reg.inVc);
-            vc.activate(out_vc, /*express=*/false);
-            ++stats_.vaGrants;
-            emitTelem(TelemetryEventClass::VaGrant, now, in, reg.inVc);
-        } else if (vc.state() == InputVc::State::Active) {
-            if (!(vc.route() == reg.route) || vc.outVcExpress())
-                continue;
-            if (outputs_[reg.route.outPort]
-                    .vc(reg.route.drop, vc.outVc()).credits <= 0) {
-                // §3.C: a flit attempting a circuit whose output has no
-                // credit terminates it ("the circuit guarantees credit
-                // availability"); speculation may revive it once the
-                // congestion clears.
-                pc_.terminateForCredit(in, now);
-                continue;
-            }
-            out_vc = vc.outVc();
-        } else {
-            continue;
-        }
-
-        const RouteDecision route = vc.route();
-        const Flit flit = vc.dequeue();
-        ++stats_.saBypasses;
-        pc_.noteReuse(in, /*via_latch=*/false, now);
-        NOC_VCHK(vchk_, onPcReuse(id_, in, reg.inVc, route, flit,
-                                  /*via_latch=*/false, now));
-        if (isHead(flit.type))
-            ++stats_.headSaBypasses;
-        traverse(in, flit, route, out_vc, /*express_out=*/false,
-                 /*from_buffer=*/true, now);
-    }
-}
-
-void
-Router::allocationPhase(Cycle now)
-{
-    const int num_in = numInputPorts();
-    const int num_vcs = cfg_.numVcs;
-    const int total = num_in * num_vcs;
-
-    // --- VA, in rotating (in, vc) order for fairness ---
-    vaRotate_ = total > 0 ? (vaRotate_ + 1) % total : 0;
-    for (int k = 0; k < total; ++k) {
-        const int idx = (vaRotate_ + k) % total;
-        const PortId in = idx / num_vcs;
-        const VcId v = idx % num_vcs;
-        InputVc &vc = inputs_[in].vc(v);
-        if (vc.state() == InputVc::State::WaitingVa && vc.frontReady(now))
-            doVa(in, v, now);
-    }
-
-    // --- speculative SA ---
-    std::vector<std::vector<SaRequest>> reqs(
-        num_in, std::vector<SaRequest>(num_vcs));
-    for (PortId in = 0; in < num_in; ++in) {
-        for (VcId v = 0; v < num_vcs; ++v) {
-            const InputVc &vc = inputs_[in].vc(v);
-            if (!vc.frontReady(now))
-                continue;
-            // Flits that will ride the standing pseudo-circuit do not
-            // request SA at all (§3.B: "the following flits coming to
-            // the same VC can bypass SA until the circuit is
-            // terminated") — which also frees the allocator for other
-            // VCs at this input port.
-            if (willUseCircuit(in, v))
-                continue;
-            if (vc.state() == InputVc::State::Active) {
-                const RouteDecision &r = vc.route();
-                const int credits = vc.outVcExpress()
-                    ? outputs_[r.outPort].expressVc(vc.outVc()).credits
-                    : outputs_[r.outPort].vc(r.drop, vc.outVc()).credits;
-                if (credits <= 0) {
-                    // SA arbitrates on credit availability
-                    emitTelem(TelemetryEventClass::CreditStall, now, in, v);
-                    continue;
-                }
-                reqs[in][v] = {true, r.outPort, false};
-            } else if (vc.state() == InputVc::State::WaitingVa) {
-                // Head whose VA just failed: speculative request.
-                reqs[in][v] = {true, vc.route().outPort, true};
-            }
-        }
-    }
-    for (const SaGrant &g : sa_.allocate(reqs)) {
-        if (g.speculative) {
-            ++stats_.wastedGrants;   // VA failed: crossbar slot wasted
-            continue;
-        }
-        ++stats_.saGrants;
-        emitTelem(TelemetryEventClass::SaGrant, now, g.inPort, g.inVc);
-        if (pcEnabled())
-            pc_.onGrant(g.inPort, g.inVc,
-                        inputs_[g.inPort].vc(g.inVc).route(), now);
-        NOC_VCHK(vchk_, onSaGrant(id_, g.inPort, g.inVc,
-                                  inputs_[g.inPort].vc(g.inVc).route(),
-                                  now));
-        pendingGrants_.push_back(g);
-    }
-
-    if (pcEnabled())
-        creditTerminations(now);
-    if (specEnabled())
-        speculate(now);
-}
-
-void
-Router::doVa(PortId in_port, VcId in_vc, Cycle now)
-{
-    InputVc &vc = inputs_[in_port].vc(in_vc);
-    const Flit &head = vc.front().flit;
-    NOC_ASSERT(isHead(head.type), "VA requested by a non-head flit");
-    const RouteDecision &route = vc.route();
-    OutputPort &op = outputs_[route.outPort];
-    NOC_ASSERT(op.connected(), "VA towards an unconnected output");
-
-    // EVC: express VCs are preferred whenever the packet still travels at
-    // least lmax hops in this dimension.
-    if (evcEnabled() && op.hasExpress() &&
-        evc_.eligible(id_, head.dst, route)) {
-        VcId best = kInvalidVc;
-        int best_credits = -1;
-        for (VcId w = evc_.expressBase(); w < cfg_.numVcs; ++w) {
-            const OutputVcState &s = op.expressVc(w);
-            if (!s.owned && s.credits > best_credits) {
-                best = w;
-                best_credits = s.credits;
-            }
-        }
-        if (best != kInvalidVc) {
-            OutputVcState &s = op.expressVc(best);
-            s.owned = true;
-            s.ownerPort = in_port;
-            s.ownerVc = in_vc;
-            vc.activate(best, /*express=*/true);
-            ++stats_.vaGrants;
-            emitTelem(TelemetryEventClass::VaGrant, now, in_port, in_vc);
-            return;
-        }
-    }
-
-    const auto [base, count] = vaRange(head);
-    const VcId w = va_.choose(op, route.drop, base, count, head.dst);
-    if (w == kInvalidVc)
-        return;
-    op.allocate(route.drop, w, in_port, in_vc);
-    vc.activate(w, /*express=*/false);
-    ++stats_.vaGrants;
-    emitTelem(TelemetryEventClass::VaGrant, now, in_port, in_vc);
-}
-
-bool
-Router::willUseCircuit(PortId in_port, VcId in_vc) const
-{
-    if (!pcEnabled())
-        return false;
-    const PseudoCircuitUnit::Register &reg = pc_.at(in_port);
-    if (!reg.valid || reg.inVc != in_vc)
-        return false;
-    const InputVc &vc = inputs_[in_port].vc(in_vc);
-    if (vc.state() == InputVc::State::Active) {
-        return vc.route() == reg.route && !vc.outVcExpress() &&
-            outputs_[reg.route.outPort]
-                    .vc(reg.route.drop, vc.outVc()).credits > 0;
-    }
-    if (vc.state() == InputVc::State::WaitingVa) {
-        if (!(vc.front().flit.route == reg.route))
-            return false;
-        // The head can take the circuit only if its independent VA can
-        // succeed right now; otherwise fall back to the normal pipeline.
-        const auto [base, count] = vaRange(vc.front().flit);
-        if (cfg_.vaPolicy == VaPolicy::Static) {
-            const VcId w =
-                VcAllocator::staticVc(base, count, vc.front().flit.dst);
-            const OutputVcState &s =
-                outputs_[reg.route.outPort].vc(reg.route.drop, w);
-            return !s.owned && s.credits > 0;
-        }
-        return outputs_[reg.route.outPort].anyFreeCreditedVc(
-            reg.route.drop, base, count);
-    }
-    return false;
 }
 
 void
@@ -499,66 +153,6 @@ Router::speculate(Cycle now)
             continue;
         pc_.revive(in, now);
     }
-}
-
-void
-Router::traverse(PortId in_port, Flit flit, const RouteDecision &route,
-                 VcId out_vc, bool express_out, bool from_buffer, Cycle now)
-{
-    usedIn_[in_port] = true;
-    usedOut_[route.outPort] = true;
-    ++stats_.xbarTraversals;
-    emitTelem(TelemetryEventClass::SwitchTraverse, now, in_port, flit.vc);
-    if (from_buffer)
-        ++stats_.bufferReads;
-    if (isHead(flit.type)) {
-        ++stats_.headTraversals;
-        noteLocality(in_port, route.outPort);
-    }
-
-    OutputPort &op = outputs_[route.outPort];
-    NOC_ASSERT(op.connected(), "switch traversal to unconnected output");
-    const OutputChannel &chan = topo_.output(id_, route.outPort);
-    const VcId in_vc = flit.vc;
-
-    if (express_out) {
-        // EVC source: consume an express credit of the two-hop sink.
-        OutputVcState &s = op.expressVc(out_vc);
-        NOC_ASSERT(s.credits > 0, "express flit sent without credit");
-        --s.credits;
-        NOC_VCHK(vchk_, onCreditTaken(id_, route.outPort, route.drop,
-                                      out_vc, /*express=*/true, now));
-        if (isTail(flit.type)) {
-            NOC_ASSERT(s.owned, "tail on an unowned express VC");
-            s.owned = false;
-            s.ownerPort = kInvalidPort;
-            s.ownerVc = kInvalidVc;
-        }
-        flit.vc = out_vc;
-        flit.evcHopsLeft = 1;
-        ++flit.hops;
-        const RouterId next = chan.drops[route.drop].router;
-        flit.route = routing_.route(next, flit.dst, flit.cls);
-        sentFlits.push_back({route.outPort, route.drop, flit});
-    } else {
-        op.takeCredit(route.drop, out_vc);
-        NOC_VCHK(vchk_, onCreditTaken(id_, route.outPort, route.drop,
-                                      out_vc, /*express=*/false, now));
-        if (isTail(flit.type))
-            op.release(route.drop, out_vc);
-        flit.vc = out_vc;
-        ++flit.hops;
-        if (!chan.isTerminal()) {
-            const RouterId next = chan.drops[route.drop].router;
-            flit.route = routing_.route(next, flit.dst, flit.cls);
-        }
-        sentFlits.push_back({route.outPort, route.drop, flit});
-    }
-
-    // Return the freed slot upstream (NI or router).
-    const bool express_credit = evcEnabled() &&
-        evc_.isExpressVc(in_vc) && !topo_.input(id_, in_port).isTerminal();
-    sentCredits.push_back({in_port, in_vc, express_credit});
 }
 
 void

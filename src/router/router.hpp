@@ -18,6 +18,18 @@
  *      followed by the allocation phase (VA, speculative SA,
  *      pseudo-circuit creation/termination/speculation).
  * Outputs accumulate in sentFlits/sentCredits for the caller to drain.
+ *
+ * Execution-kernel structure: the pipeline methods are member function
+ * templates over a *policy* type (router_pipeline.hpp) that decides, at
+ * compile time where possible, which scheme features are live and how
+ * routing is invoked. One policy — GenericPolicy — resolves everything
+ * at runtime exactly like the historical code; the FastPolicy family
+ * folds the scheme to constants, devirtualizes routing, and iterates
+ * VC occupancy as bit masks. A per-configuration RouterOps function
+ * table, selected once at construction (router/kernels.hpp), binds the
+ * public deliverFlit()/step() entry points to one instantiation. All
+ * router *state* is shared between kernels — introspection (verify,
+ * probes, telemetry) works identically whichever kernel runs.
  */
 
 #ifndef NOC_ROUTER_ROUTER_HPP
@@ -25,8 +37,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "router/evc.hpp"
@@ -43,6 +58,20 @@ namespace noc {
 class Topology;
 class RoutingAlgorithm;
 class InvariantChecker;
+class Router;
+
+/**
+ * One simulation kernel: the entry points of a router pipeline bound to
+ * a policy instantiation. Instances are function-local statics created
+ * by routerOpsFor<Policy>() (router_pipeline.hpp) and live forever.
+ */
+struct RouterOps
+{
+    std::string name;   ///< e.g. "generic", "mesh-dor/pseudo-sb"
+    bool specialized = false;
+    void (*deliverFlit)(Router &, PortId, const Flit &, Cycle) = nullptr;
+    void (*step)(Router &, Cycle) = nullptr;
+};
 
 /** Per-router event counters (drive energy, reusability and locality). */
 struct RouterStats
@@ -100,14 +129,23 @@ class Router
     int numOutputPorts() const { return static_cast<int>(outputs_.size()); }
     int numVcs() const { return cfg_.numVcs; }
 
+    /** Name of the kernel this router executes ("generic" or a
+     *  specialization label); fixed at construction. */
+    const std::string &kernelName() const { return ops_->name; }
+    /** True when a template-specialized kernel was selected. */
+    bool kernelSpecialized() const { return ops_->specialized; }
+
     /** Arrival of a flit on an input port at cycle `now` (phase 1). */
-    void deliverFlit(PortId in_port, const Flit &flit, Cycle now);
+    void deliverFlit(PortId in_port, const Flit &flit, Cycle now)
+    {
+        ops_->deliverFlit(*this, in_port, flit, now);
+    }
 
     /** Arrival of a credit for one of this router's outputs (phase 1). */
     void deliverCredit(const Credit &credit, Cycle now);
 
     /** One cycle of switch traversal + allocation (phase 2). */
-    void step(Cycle now);
+    void step(Cycle now) { ops_->step(*this, now); }
 
     /**
      * Fault layer: the link feeding `in_port` rejected a flit (CRC
@@ -148,7 +186,11 @@ class Router
     OutputPort &outputPortForTest(PortId p) { return outputs_[p]; }
 
   private:
-    // --- scheme predicates ---
+    friend struct GenericPolicy;
+    template <Scheme S, typename RP> friend struct FastPolicy;
+    template <typename P> friend const RouterOps &routerOpsFor();
+
+    // --- scheme predicates (runtime forms; policies may fold them) ---
     bool pcEnabled() const
     {
         return cfg_.scheme == Scheme::Pseudo ||
@@ -168,25 +210,68 @@ class Router
     }
     bool evcEnabled() const { return cfg_.scheme == Scheme::Evc; }
 
-    /** VC range this head flit may be allocated into at this router
-     *  (position-dependent for torus dateline classes). */
-    std::pair<VcId, int> vaRange(const Flit &head) const;
-
     bool pendingUsesInput(PortId in_port) const;
     bool pendingUsesOutput(PortId out_port) const;
 
+    // --- templated pipeline (definitions in router_pipeline.hpp) ---
+
+    /** VC range this head flit may be allocated into at this router
+     *  (position-dependent for torus dateline classes). */
+    template <typename P> std::pair<VcId, int> vaRangeT(const Flit &head)
+        const;
+
+    template <typename P> void deliverFlitT(PortId in_port,
+                                            const Flit &flit, Cycle now);
+
     /** Try to capture an arriving flit in the buffer-bypass latch. */
-    bool tryBufferBypass(PortId in_port, const Flit &flit, Cycle now);
+    template <typename P> bool tryBufferBypassT(PortId in_port,
+                                                const Flit &flit,
+                                                Cycle now);
 
     /** Head-flit VA performed outside the allocation phase (§3.B: "VA is
      *  performed independently"); returns the granted VC or kInvalidVc. */
-    VcId independentVa(const Flit &head, const RouteDecision &route);
+    template <typename P> VcId independentVaT(const Flit &head,
+                                              const RouteDecision &route);
 
-    // --- step() phases ---
-    void switchPhase(Cycle now);
-    void allocationPhase(Cycle now);
+    template <typename P> void stepT(Cycle now);
+    template <typename P> void switchPhaseT(Cycle now);
+    template <typename P> void allocationPhaseT(Cycle now);
 
-    void doVa(PortId in_port, VcId in_vc, Cycle now);
+    template <typename P> void doVaT(PortId in_port, VcId in_vc,
+                                     Cycle now);
+
+    /** True if this VC's front flit will traverse via the standing
+     *  pseudo-circuit, so it must not request SA (§3.B). */
+    template <typename P> bool willUseCircuitT(PortId in_port,
+                                               VcId in_vc) const;
+
+    /**
+     * Move one flit through the crossbar onto its output channel,
+     * handling credits, ownership release, lookahead routing and stats.
+     * `from_buffer` distinguishes buffered flits (buffer-read energy,
+     * upstream credit) from latched ones (credit only).
+     */
+    template <typename P> void traverseT(PortId in_port, Flit flit,
+                                         const RouteDecision &route,
+                                         VcId out_vc, bool express_out,
+                                         bool from_buffer, Cycle now);
+
+    /** Dequeue the front flit of a VC, maintaining the occupancy mask
+     *  for mask-iterating kernels. */
+    template <typename P> Flit dequeueTrackedT(PortId in_port, VcId in_vc);
+
+    /** Non-speculative SA grant bookkeeping shared by both SA stages. */
+    template <typename P> void processSaGrantT(const SaGrant &g,
+                                               Cycle now);
+
+    // --- non-templated pieces (policy-independent) ---
+
+    /** EVC: move an express flit through the intermediate-hop latch. */
+    void traverseExpress(PortId in_port, Flit flit, Cycle now);
+
+    void creditTerminations(Cycle now);
+    void speculate(Cycle now);
+    void noteLocality(PortId in_port, PortId out_port);
 
     /** Telemetry emit helper; no-op without an attached sink. */
     void emitTelem(TelemetryEventClass cls, Cycle now, PortId port,
@@ -208,32 +293,16 @@ class Router
 #endif
     }
 
-    /** True if this VC's front flit will traverse via the standing
-     *  pseudo-circuit, so it must not request SA (§3.B). */
-    bool willUseCircuit(PortId in_port, VcId in_vc) const;
-
-    void creditTerminations(Cycle now);
-    void speculate(Cycle now);
-
-    /**
-     * Move one flit through the crossbar onto its output channel,
-     * handling credits, ownership release, lookahead routing and stats.
-     * `from_buffer` distinguishes buffered flits (buffer-read energy,
-     * upstream credit) from latched ones (credit only).
-     */
-    void traverse(PortId in_port, Flit flit, const RouteDecision &route,
-                  VcId out_vc, bool express_out, bool from_buffer,
-                  Cycle now);
-
-    /** EVC: move an express flit through the intermediate-hop latch. */
-    void traverseExpress(PortId in_port, Flit flit, Cycle now);
-
-    void noteLocality(PortId in_port, PortId out_port);
-
     const SimConfig cfg_;
     const Topology &topo_;
     const RoutingAlgorithm &routing_;
     const RouterId id_;
+    const RouterOps *ops_;
+
+    /// Backs every VC's flit-slot storage (one contiguous
+    /// [port][vc][slot] block); must outlive inputs_, hence declared
+    /// before it.
+    Arena arena_;
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;
@@ -248,6 +317,11 @@ class Router
     std::vector<bool> usedIn_;
     std::vector<bool> usedOut_;
     int vaRotate_ = 0;
+
+    /// Bit (in_port * numVcs + vc) set ⇔ that VC's FIFO is non-empty.
+    /// Maintained (and meaningful) only under mask-iterating kernels,
+    /// which require numInputPorts * numVcs ≤ 64.
+    std::uint64_t occMask_ = 0;
 
     std::vector<PortId> lastOutPort_;  ///< per input port, for locality
 

@@ -1,0 +1,752 @@
+/**
+ * @file
+ * Policy types and member-template definitions of the router pipeline.
+ *
+ * This header is the single source of truth for the router's cycle
+ * behaviour. It is included only by the translation units that
+ * instantiate kernels (router.cpp for the generic kernel, the
+ * router/kernels_*.cpp files for the specialized ones); everything else
+ * uses router.hpp.
+ *
+ * Two policy families:
+ *
+ *  - GenericPolicy resolves every decision at runtime: scheme
+ *    predicates read the config, routing goes through the virtual
+ *    RoutingAlgorithm interface, and the allocation loops iterate all
+ *    (port, vc) pairs. This reproduces the historical router behaviour
+ *    exactly and handles every configuration (EVC, MECS, FBFLY, fault
+ *    plans, any port/VC count).
+ *
+ *  - FastPolicy<Scheme, RoutePolicy> folds the scheme to compile-time
+ *    constants (dead feature code is removed by `if constexpr` /
+ *    constant propagation), devirtualizes routing through an inlined
+ *    route policy (routing/policies.hpp), and walks VC occupancy and
+ *    switch-allocation candidates as bit masks. Requires
+ *    numInputPorts * numVcs ≤ 64, numVcs ≤ 16, numOutputPorts ≤ 64,
+ *    no EVC, no fault layer (enforced by the kernel factory,
+ *    router/kernels.hpp).
+ *
+ * Parity contract: for any sequence of deliverFlit/deliverCredit/step
+ * calls, every policy produces identical router state, stats,
+ * telemetry events (same order), verifier callbacks and sent
+ * flits/credits. The mask loops visit candidates in provably the same
+ * order as the generic loops (see the comments at each loop), and the
+ * mask arbiter entry points drive the same rotating-priority state as
+ * the vector forms.
+ */
+
+#ifndef NOC_ROUTER_ROUTER_PIPELINE_HPP
+#define NOC_ROUTER_ROUTER_PIPELINE_HPP
+
+#include <string>
+
+#include "common/log.hpp"
+#include "router/router.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+#include "verify/verify.hpp"
+
+namespace noc {
+
+/** Kernel-label fragment for a scheme. */
+inline const char *
+schemeSlug(Scheme s)
+{
+    switch (s) {
+      case Scheme::Baseline: return "baseline";
+      case Scheme::Pseudo:   return "pseudo";
+      case Scheme::PseudoS:  return "pseudo-s";
+      case Scheme::PseudoB:  return "pseudo-b";
+      case Scheme::PseudoSB: return "pseudo-sb";
+      case Scheme::Evc:      return "evc";
+    }
+    return "?";
+}
+
+/** The runtime-dispatched kernel policy (see file comment). */
+struct GenericPolicy
+{
+    static constexpr bool kMasks = false;
+    static constexpr bool kEvcPossible = true;
+    static constexpr bool kSpecialized = false;
+
+    static bool pc(const Router &r) { return r.pcEnabled(); }
+    static bool spec(const Router &r) { return r.specEnabled(); }
+    static bool bb(const Router &r) { return r.bbEnabled(); }
+    static bool evc(const Router &r) { return r.evcEnabled(); }
+
+    static RouteDecision
+    route(const Router &r, RouterId at, NodeId dst, int cls)
+    {
+        return r.routing_.route(at, dst, cls);
+    }
+
+    static std::pair<VcId, int>
+    vcRangeAt(const Router &r, NodeId src, NodeId dst, int cls)
+    {
+        return r.routing_.vcRangeAt(r.id_, src, dst, cls, r.cfg_.numVcs);
+    }
+
+    static std::string kernelName() { return "generic"; }
+};
+
+/** A compile-time-specialized kernel policy (see file comment). */
+template <Scheme S, typename RP>
+struct FastPolicy
+{
+    static constexpr bool kMasks = true;
+    static constexpr bool kEvcPossible = false;
+    static constexpr bool kSpecialized = true;
+
+    static constexpr bool
+    pc(const Router &)
+    {
+        return S == Scheme::Pseudo || S == Scheme::PseudoS ||
+               S == Scheme::PseudoB || S == Scheme::PseudoSB;
+    }
+    static constexpr bool
+    spec(const Router &)
+    {
+        return S == Scheme::PseudoS || S == Scheme::PseudoSB;
+    }
+    static constexpr bool
+    bb(const Router &)
+    {
+        return S == Scheme::PseudoB || S == Scheme::PseudoSB;
+    }
+    static constexpr bool evc(const Router &) { return false; }
+
+    /** The concrete routing object; exact dynamic type was verified by
+     *  the kernel factory with typeid before this policy was chosen. */
+    static const typename RP::Algo &
+    algo(const Router &r)
+    {
+        return static_cast<const typename RP::Algo &>(r.routing_);
+    }
+
+    static RouteDecision
+    route(const Router &r, RouterId at, NodeId dst, int cls)
+    {
+        return RP::route(algo(r), at, dst, cls);
+    }
+
+    static std::pair<VcId, int>
+    vcRangeAt(const Router &r, NodeId src, NodeId dst, int cls)
+    {
+        return RP::vcRangeAt(algo(r), r.id_, src, dst, cls, r.cfg_.numVcs);
+    }
+
+    static std::string
+    kernelName()
+    {
+        return std::string(RP::kName) + "/" + schemeSlug(S);
+    }
+};
+
+/** The function table binding Router's entry points to one policy. */
+template <typename P>
+const RouterOps &
+routerOpsFor()
+{
+    static const RouterOps ops{
+        P::kernelName(),
+        P::kSpecialized,
+        [](Router &r, PortId in_port, const Flit &flit, Cycle now) {
+            r.template deliverFlitT<P>(in_port, flit, now);
+        },
+        [](Router &r, Cycle now) { r.template stepT<P>(now); },
+    };
+    return ops;
+}
+
+// ---------------------------------------------------------------------
+// Pipeline member templates
+// ---------------------------------------------------------------------
+
+template <typename P>
+std::pair<VcId, int>
+Router::vaRangeT(const Flit &head) const
+{
+    if (P::evc(*this))
+        return {0, evc_.numNormal()};
+    return P::vcRangeAt(*this, head.src, head.dst, head.cls);
+}
+
+template <typename P>
+void
+Router::deliverFlitT(PortId in_port, const Flit &flit, Cycle now)
+{
+    ++stats_.flitsArrived;
+    NOC_ASSERT(flit.vc >= 0 && flit.vc < cfg_.numVcs, "flit VC out of range");
+
+    if (P::evc(*this) && flit.evcHopsLeft > 0) {
+        // Express flits pass through the latch this very cycle (§7.B).
+        NOC_ASSERT(!expressLatch_[in_port].has_value(),
+                   "two flits on one input port in one cycle");
+        expressLatch_[in_port] = flit;
+        return;
+    }
+
+    if (P::bb(*this) && tryBufferBypassT<P>(in_port, flit, now))
+        return;
+
+    InputVc &vc = inputs_[in_port].vc(flit.vc);
+    vc.enqueue(flit, now + 1, cfg_.bufferDepth);   // BW occupies this cycle
+    if constexpr (P::kMasks)
+        occMask_ |= 1ull << (in_port * cfg_.numVcs + flit.vc);
+    ++stats_.bufferWrites;
+    emitTelem(TelemetryEventClass::BufferWrite, now, in_port, flit.vc);
+}
+
+template <typename P>
+VcId
+Router::independentVaT(const Flit &head, const RouteDecision &route)
+{
+    const auto [base, count] = vaRangeT<P>(head);
+    OutputPort &op = outputs_[route.outPort];
+    const VcId w = va_.choose(op, route.drop, base, count, head.dst);
+    if (w == kInvalidVc || op.vc(route.drop, w).credits <= 0)
+        return kInvalidVc;
+    return w;
+}
+
+template <typename P>
+bool
+Router::tryBufferBypassT(PortId in_port, const Flit &flit, Cycle now)
+{
+    const PseudoCircuitUnit::Register &reg = pc_.at(in_port);
+    if (!reg.valid || reg.inVc != flit.vc)
+        return false;
+    InputVc &vc = inputs_[in_port].vc(flit.vc);
+    if (!vc.empty())
+        return false;
+    NOC_ASSERT(!bypassLatch_[in_port].has_value(),
+               "bypass latch already holds a flit");
+    // A switch grant scheduled for this cycle claims the crossbar port.
+    if (pendingUsesInput(in_port) || pendingUsesOutput(reg.route.outPort))
+        return false;
+
+    OutputPort &op = outputs_[reg.route.outPort];
+    if (isHead(flit.type)) {
+        if (vc.state() != InputVc::State::Idle)
+            return false;
+        if (!(flit.route == reg.route))
+            return false;
+        const VcId w = independentVaT<P>(flit, reg.route);
+        if (w == kInvalidVc)
+            return false;
+        vc.startPacket(flit.route);
+        op.allocate(reg.route.drop, w, in_port, flit.vc);
+        vc.activate(w, /*express=*/false);
+        ++stats_.vaGrants;
+        emitTelem(TelemetryEventClass::VaGrant, now, in_port, flit.vc);
+    } else {
+        if (vc.state() != InputVc::State::Active)
+            return false;
+        if (!(vc.route() == reg.route) || vc.outVcExpress())
+            return false;
+        if (op.vc(reg.route.drop, vc.outVc()).credits <= 0) {
+            // §4.B: output out of credit before the flit arrives — the
+            // circuit is terminated and the latch turned off.
+            pc_.terminateForCredit(in_port, now);
+            return false;
+        }
+    }
+    bypassLatch_[in_port] = flit;
+    return true;
+}
+
+template <typename P>
+Flit
+Router::dequeueTrackedT(PortId in_port, VcId in_vc)
+{
+    InputVc &vc = inputs_[in_port].vc(in_vc);
+    const Flit flit = vc.dequeue();
+    if constexpr (P::kMasks) {
+        if (vc.empty())
+            occMask_ &= ~(1ull << (in_port * cfg_.numVcs + in_vc));
+    }
+    return flit;
+}
+
+template <typename P>
+void
+Router::stepT(Cycle now)
+{
+    switchPhaseT<P>(now);
+    allocationPhaseT<P>(now);
+}
+
+template <typename P>
+void
+Router::switchPhaseT(Cycle now)
+{
+    usedIn_.assign(usedIn_.size(), false);
+    usedOut_.assign(usedOut_.size(), false);
+
+    // 1. EVC express latches — highest priority, preempting local grants.
+    if constexpr (P::kEvcPossible) {
+        for (PortId in = 0; in < numInputPorts(); ++in) {
+            if (!expressLatch_[in].has_value())
+                continue;
+            Flit flit = *expressLatch_[in];
+            expressLatch_[in].reset();
+            NOC_ASSERT(!usedIn_[in] && !usedOut_[flit.route.outPort],
+                       "express flits collided in the crossbar");
+            traverseExpress(in, flit, now);
+        }
+    }
+
+    // 2. Switch grants from last cycle's allocation.
+    for (const SaGrant &g : pendingGrants_) {
+        if (usedIn_[g.inPort] || usedOut_[g.outPort]) {
+            ++stats_.wastedGrants;   // preempted by an express flit
+            continue;
+        }
+        InputVc &vc = inputs_[g.inPort].vc(g.inVc);
+        NOC_ASSERT(vc.state() == InputVc::State::Active,
+                   "switch grant for an inactive VC");
+        NOC_ASSERT(vc.frontReady(now), "switch grant for an absent flit");
+        const RouteDecision route = vc.route();
+        NOC_ASSERT(route.outPort == g.outPort, "grant/route mismatch");
+        const VcId out_vc = vc.outVc();
+        const bool express_out = vc.outVcExpress();
+        const Flit flit = dequeueTrackedT<P>(g.inPort, g.inVc);
+        traverseT<P>(g.inPort, flit, route, out_vc, express_out,
+                     /*from_buffer=*/true, now);
+    }
+    pendingGrants_.clear();
+
+    // 3. Buffer-bypass latches (validated at arrival this cycle).
+    for (PortId in = 0; in < numInputPorts(); ++in) {
+        if (!bypassLatch_[in].has_value())
+            continue;
+        Flit flit = *bypassLatch_[in];
+        bypassLatch_[in].reset();
+        InputVc &vc = inputs_[in].vc(flit.vc);
+        NOC_ASSERT(vc.state() == InputVc::State::Active,
+                   "latched flit on an inactive VC");
+        const RouteDecision route = vc.route();
+        NOC_ASSERT(!usedIn_[in] && !usedOut_[route.outPort],
+                   "bypass latch lost its crossbar slot");
+        const VcId out_vc = vc.outVc();
+        vc.noteBypassedFlit(flit);
+        ++stats_.bufferBypasses;
+        pc_.noteReuse(in, /*via_latch=*/true, now);
+        NOC_VCHK(vchk_, onPcReuse(id_, in, flit.vc, route, flit,
+                                  /*via_latch=*/true, now));
+        if (isHead(flit.type))
+            ++stats_.headBufferBypasses;
+        traverseT<P>(in, flit, route, out_vc, /*express_out=*/false,
+                     /*from_buffer=*/false, now);
+    }
+
+    // 4. Pseudo-circuit reuse straight from the buffers (SA bypass, §3.B).
+    if (!P::pc(*this))
+        return;
+    for (PortId in = 0; in < numInputPorts(); ++in) {
+        const PseudoCircuitUnit::Register &reg = pc_.at(in);
+        if (!reg.valid)
+            continue;
+        if (usedIn_[in] || usedOut_[reg.route.outPort])
+            continue;
+        InputVc &vc = inputs_[in].vc(reg.inVc);
+        if (!vc.frontReady(now))
+            continue;
+        const Flit &front = vc.front().flit;
+
+        VcId out_vc = kInvalidVc;
+        if (vc.state() == InputVc::State::WaitingVa) {
+            // Head reusing the circuit; VA runs independently (§3.B).
+            NOC_ASSERT(isHead(front.type), "WaitingVa without a head");
+            if (!(front.route == reg.route))
+                continue;
+            out_vc = independentVaT<P>(front, reg.route);
+            if (out_vc == kInvalidVc)
+                continue;
+            outputs_[reg.route.outPort].allocate(reg.route.drop, out_vc,
+                                                 in, reg.inVc);
+            vc.activate(out_vc, /*express=*/false);
+            ++stats_.vaGrants;
+            emitTelem(TelemetryEventClass::VaGrant, now, in, reg.inVc);
+        } else if (vc.state() == InputVc::State::Active) {
+            if (!(vc.route() == reg.route) || vc.outVcExpress())
+                continue;
+            if (outputs_[reg.route.outPort]
+                    .vc(reg.route.drop, vc.outVc()).credits <= 0) {
+                // §3.C: a flit attempting a circuit whose output has no
+                // credit terminates it ("the circuit guarantees credit
+                // availability"); speculation may revive it once the
+                // congestion clears.
+                pc_.terminateForCredit(in, now);
+                continue;
+            }
+            out_vc = vc.outVc();
+        } else {
+            continue;
+        }
+
+        const RouteDecision route = vc.route();
+        const Flit flit = dequeueTrackedT<P>(in, reg.inVc);
+        ++stats_.saBypasses;
+        pc_.noteReuse(in, /*via_latch=*/false, now);
+        NOC_VCHK(vchk_, onPcReuse(id_, in, reg.inVc, route, flit,
+                                  /*via_latch=*/false, now));
+        if (isHead(flit.type))
+            ++stats_.headSaBypasses;
+        traverseT<P>(in, flit, route, out_vc, /*express_out=*/false,
+                     /*from_buffer=*/true, now);
+    }
+}
+
+template <typename P>
+void
+Router::processSaGrantT(const SaGrant &g, Cycle now)
+{
+    if (g.speculative) {
+        ++stats_.wastedGrants;   // VA failed: crossbar slot wasted
+        return;
+    }
+    ++stats_.saGrants;
+    emitTelem(TelemetryEventClass::SaGrant, now, g.inPort, g.inVc);
+    if (P::pc(*this))
+        pc_.onGrant(g.inPort, g.inVc,
+                    inputs_[g.inPort].vc(g.inVc).route(), now);
+    NOC_VCHK(vchk_, onSaGrant(id_, g.inPort, g.inVc,
+                              inputs_[g.inPort].vc(g.inVc).route(),
+                              now));
+    pendingGrants_.push_back(g);
+}
+
+template <typename P>
+void
+Router::allocationPhaseT(Cycle now)
+{
+    const int num_in = numInputPorts();
+    const int num_vcs = cfg_.numVcs;
+    const int total = num_in * num_vcs;
+
+    // --- VA, in rotating (in, vc) order for fairness ---
+    vaRotate_ = total > 0 ? (vaRotate_ + 1) % total : 0;
+    if constexpr (P::kMasks) {
+        // Same visitation as the generic "(vaRotate_ + k) % total" loop:
+        // occupied indices ≥ vaRotate_ ascending, then the wrapped ones
+        // < vaRotate_ ascending. Empty VCs cannot pass the frontReady
+        // check, so skipping them is invisible. Bits are decoded per
+        // input port (sub-mask shift per port, ctz per bit) instead of
+        // dividing every set bit by num_vcs — an integer division per
+        // occupied VC is the single hottest instruction of the phase.
+        std::uint64_t m = occMask_ >> vaRotate_ << vaRotate_;
+        for (int pass = 0; pass < 2; ++pass) {
+            int base = 0;
+            for (PortId in = 0; in < num_in; ++in, base += num_vcs) {
+                const std::uint64_t above = m >> base;
+                if (above == 0)
+                    break;   // no occupied VC at this port or any later one
+                std::uint64_t sub = above & ((1ull << num_vcs) - 1);
+                while (sub != 0) {
+                    const VcId v = lowestSetBit(sub);
+                    sub &= sub - 1;
+                    InputVc &vc = inputs_[in].vc(v);
+                    if (vc.state() == InputVc::State::WaitingVa &&
+                        vc.frontReady(now))
+                        doVaT<P>(in, v, now);
+                }
+            }
+            m = occMask_ & ((1ull << vaRotate_) - 1);
+        }
+    } else {
+        for (int k = 0; k < total; ++k) {
+            const int idx = (vaRotate_ + k) % total;
+            const PortId in = idx / num_vcs;
+            const VcId v = idx % num_vcs;
+            InputVc &vc = inputs_[in].vc(v);
+            if (vc.state() == InputVc::State::WaitingVa &&
+                vc.frontReady(now))
+                doVaT<P>(in, v, now);
+        }
+    }
+
+    // --- speculative SA ---
+    if constexpr (P::kMasks) {
+        // Request collection in ascending (in, vc) order — identical to
+        // the generic double loop over the same candidates (VCs with an
+        // empty FIFO never pass frontReady and have no side effects).
+        std::uint64_t req_mask = 0;
+        std::uint64_t spec_mask = 0;
+        PortId req_out[64];
+        int req_base = 0;
+        for (PortId in = 0; in < num_in; ++in, req_base += num_vcs) {
+            const std::uint64_t above = occMask_ >> req_base;
+            if (above == 0)
+                break;   // no occupied VC at this port or any later one
+            std::uint64_t sub = above & ((1ull << num_vcs) - 1);
+            while (sub != 0) {
+                const VcId v = lowestSetBit(sub);
+                sub &= sub - 1;
+                const int idx = req_base + v;
+                const InputVc &vc = inputs_[in].vc(v);
+                if (!vc.frontReady(now))
+                    continue;
+                if (willUseCircuitT<P>(in, v))
+                    continue;
+                if (vc.state() == InputVc::State::Active) {
+                    const RouteDecision &r = vc.route();
+                    const int credits = vc.outVcExpress()
+                        ? outputs_[r.outPort].expressVc(vc.outVc()).credits
+                        : outputs_[r.outPort].vc(r.drop, vc.outVc()).credits;
+                    if (credits <= 0) {
+                        // SA arbitrates on credit availability
+                        emitTelem(TelemetryEventClass::CreditStall, now, in,
+                                  v);
+                        continue;
+                    }
+                    req_mask |= 1ull << idx;
+                    req_out[idx] = r.outPort;
+                } else if (vc.state() == InputVc::State::WaitingVa) {
+                    // Head whose VA just failed: speculative request.
+                    req_mask |= 1ull << idx;
+                    spec_mask |= 1ull << idx;
+                    req_out[idx] = vc.route().outPort;
+                }
+            }
+        }
+
+        // Stage 1: one winning VC per input port. Inputs with no
+        // requests are skipped — an all-false grant() round does not
+        // rotate the arbiter either.
+        const int num_out = numOutputPorts();
+        std::uint64_t out_cand[64];
+        std::uint64_t out_nonspec[64];
+        for (int o = 0; o < num_out; ++o) {
+            out_cand[o] = 0;
+            out_nonspec[o] = 0;
+        }
+        VcId win_vc[64];
+        for (PortId in = 0; in < num_in; ++in) {
+            const std::uint32_t vcm = static_cast<std::uint32_t>(
+                (req_mask >> (in * num_vcs)) & ((1u << num_vcs) - 1u));
+            if (vcm == 0)
+                continue;
+            const int wv = sa_.grantInputVcs(in, vcm);
+            const int idx = in * num_vcs + wv;
+            win_vc[in] = wv;
+            const PortId o = req_out[idx];
+            out_cand[o] |= 1ull << in;
+            if ((spec_mask >> idx & 1) == 0)
+                out_nonspec[o] |= 1ull << in;
+        }
+
+        // Stage 2: one winning input per output port; non-speculative
+        // requests have priority over speculative ones. Grants are
+        // processed in ascending output order, exactly like iterating
+        // the vector SwitchAllocator::allocate() returns.
+        for (PortId o = 0; o < num_out; ++o) {
+            const std::uint64_t cand = out_cand[o];
+            if (cand == 0)
+                continue;
+            const std::uint64_t elig =
+                out_nonspec[o] != 0 ? out_nonspec[o] : cand;
+            const int wi = sa_.grantOutputInput(o, elig);
+            const int idx = wi * num_vcs + win_vc[wi];
+            processSaGrantT<P>({wi, win_vc[wi], o,
+                                (spec_mask >> idx & 1) != 0},
+                               now);
+        }
+    } else {
+        std::vector<std::vector<SaRequest>> reqs(
+            num_in, std::vector<SaRequest>(num_vcs));
+        for (PortId in = 0; in < num_in; ++in) {
+            for (VcId v = 0; v < num_vcs; ++v) {
+                const InputVc &vc = inputs_[in].vc(v);
+                if (!vc.frontReady(now))
+                    continue;
+                // Flits that will ride the standing pseudo-circuit do
+                // not request SA at all (§3.B: "the following flits
+                // coming to the same VC can bypass SA until the circuit
+                // is terminated") — which also frees the allocator for
+                // other VCs at this input port.
+                if (willUseCircuitT<P>(in, v))
+                    continue;
+                if (vc.state() == InputVc::State::Active) {
+                    const RouteDecision &r = vc.route();
+                    const int credits = vc.outVcExpress()
+                        ? outputs_[r.outPort].expressVc(vc.outVc()).credits
+                        : outputs_[r.outPort].vc(r.drop, vc.outVc()).credits;
+                    if (credits <= 0) {
+                        // SA arbitrates on credit availability
+                        emitTelem(TelemetryEventClass::CreditStall, now,
+                                  in, v);
+                        continue;
+                    }
+                    reqs[in][v] = {true, r.outPort, false};
+                } else if (vc.state() == InputVc::State::WaitingVa) {
+                    // Head whose VA just failed: speculative request.
+                    reqs[in][v] = {true, vc.route().outPort, true};
+                }
+            }
+        }
+        for (const SaGrant &g : sa_.allocate(reqs))
+            processSaGrantT<P>(g, now);
+    }
+
+    if (P::pc(*this))
+        creditTerminations(now);
+    if (P::spec(*this))
+        speculate(now);
+}
+
+template <typename P>
+void
+Router::doVaT(PortId in_port, VcId in_vc, Cycle now)
+{
+    InputVc &vc = inputs_[in_port].vc(in_vc);
+    const Flit &head = vc.front().flit;
+    NOC_ASSERT(isHead(head.type), "VA requested by a non-head flit");
+    const RouteDecision &route = vc.route();
+    OutputPort &op = outputs_[route.outPort];
+    NOC_ASSERT(op.connected(), "VA towards an unconnected output");
+
+    // EVC: express VCs are preferred whenever the packet still travels at
+    // least lmax hops in this dimension.
+    if (P::evc(*this) && op.hasExpress() &&
+        evc_.eligible(id_, head.dst, route)) {
+        VcId best = kInvalidVc;
+        int best_credits = -1;
+        for (VcId w = evc_.expressBase(); w < cfg_.numVcs; ++w) {
+            const OutputVcState &s = op.expressVc(w);
+            if (!s.owned && s.credits > best_credits) {
+                best = w;
+                best_credits = s.credits;
+            }
+        }
+        if (best != kInvalidVc) {
+            OutputVcState &s = op.expressVc(best);
+            s.owned = true;
+            s.ownerPort = in_port;
+            s.ownerVc = in_vc;
+            vc.activate(best, /*express=*/true);
+            ++stats_.vaGrants;
+            emitTelem(TelemetryEventClass::VaGrant, now, in_port, in_vc);
+            return;
+        }
+    }
+
+    // Failed-VA memo: while the target port's version is unchanged since
+    // this head last failed, choose() would fail again — skip it. This is
+    // behaviour-preserving (not just faster): the memo is set only on
+    // failure, and every mutation that can flip failure to success bumps
+    // the port version.
+    if (vc.vaFailStamp() == op.version())
+        return;
+    const auto [base, count] = vaRangeT<P>(head);
+    const VcId w = va_.choose(op, route.drop, base, count, head.dst);
+    if (w == kInvalidVc) {
+        vc.setVaFailStamp(op.version());
+        return;
+    }
+    op.allocate(route.drop, w, in_port, in_vc);
+    vc.activate(w, /*express=*/false);
+    ++stats_.vaGrants;
+    emitTelem(TelemetryEventClass::VaGrant, now, in_port, in_vc);
+}
+
+template <typename P>
+bool
+Router::willUseCircuitT(PortId in_port, VcId in_vc) const
+{
+    if (!P::pc(*this))
+        return false;
+    const PseudoCircuitUnit::Register &reg = pc_.at(in_port);
+    if (!reg.valid || reg.inVc != in_vc)
+        return false;
+    const InputVc &vc = inputs_[in_port].vc(in_vc);
+    if (vc.state() == InputVc::State::Active) {
+        return vc.route() == reg.route && !vc.outVcExpress() &&
+            outputs_[reg.route.outPort]
+                    .vc(reg.route.drop, vc.outVc()).credits > 0;
+    }
+    if (vc.state() == InputVc::State::WaitingVa) {
+        if (!(vc.front().flit.route == reg.route))
+            return false;
+        // The head can take the circuit only if its independent VA can
+        // succeed right now; otherwise fall back to the normal pipeline.
+        const auto [base, count] = vaRangeT<P>(vc.front().flit);
+        if (cfg_.vaPolicy == VaPolicy::Static) {
+            const VcId w =
+                VcAllocator::staticVc(base, count, vc.front().flit.dst);
+            const OutputVcState &s =
+                outputs_[reg.route.outPort].vc(reg.route.drop, w);
+            return !s.owned && s.credits > 0;
+        }
+        return outputs_[reg.route.outPort].anyFreeCreditedVc(
+            reg.route.drop, base, count);
+    }
+    return false;
+}
+
+template <typename P>
+void
+Router::traverseT(PortId in_port, Flit flit, const RouteDecision &route,
+                  VcId out_vc, bool express_out, bool from_buffer,
+                  Cycle now)
+{
+    usedIn_[in_port] = true;
+    usedOut_[route.outPort] = true;
+    ++stats_.xbarTraversals;
+    emitTelem(TelemetryEventClass::SwitchTraverse, now, in_port, flit.vc);
+    if (from_buffer)
+        ++stats_.bufferReads;
+    if (isHead(flit.type)) {
+        ++stats_.headTraversals;
+        noteLocality(in_port, route.outPort);
+    }
+
+    OutputPort &op = outputs_[route.outPort];
+    NOC_ASSERT(op.connected(), "switch traversal to unconnected output");
+    const OutputChannel &chan = topo_.output(id_, route.outPort);
+    const VcId in_vc = flit.vc;
+
+    if (express_out) {
+        // EVC source: consume an express credit of the two-hop sink.
+        OutputVcState &s = op.expressVc(out_vc);
+        NOC_ASSERT(s.credits > 0, "express flit sent without credit");
+        --s.credits;
+        NOC_VCHK(vchk_, onCreditTaken(id_, route.outPort, route.drop,
+                                      out_vc, /*express=*/true, now));
+        if (isTail(flit.type)) {
+            NOC_ASSERT(s.owned, "tail on an unowned express VC");
+            s.owned = false;
+            s.ownerPort = kInvalidPort;
+            s.ownerVc = kInvalidVc;
+        }
+        flit.vc = out_vc;
+        flit.evcHopsLeft = 1;
+        ++flit.hops;
+        const RouterId next = chan.drops[route.drop].router;
+        flit.route = P::route(*this, next, flit.dst, flit.cls);
+        sentFlits.push_back({route.outPort, route.drop, flit});
+    } else {
+        op.takeCredit(route.drop, out_vc);
+        NOC_VCHK(vchk_, onCreditTaken(id_, route.outPort, route.drop,
+                                      out_vc, /*express=*/false, now));
+        if (isTail(flit.type))
+            op.release(route.drop, out_vc);
+        flit.vc = out_vc;
+        ++flit.hops;
+        if (!chan.isTerminal()) {
+            const RouterId next = chan.drops[route.drop].router;
+            flit.route = P::route(*this, next, flit.dst, flit.cls);
+        }
+        sentFlits.push_back({route.outPort, route.drop, flit});
+    }
+
+    // Return the freed slot upstream (NI or router).
+    const bool express_credit = P::evc(*this) &&
+        evc_.isExpressVc(in_vc) && !topo_.input(id_, in_port).isTerminal();
+    sentCredits.push_back({in_port, in_vc, express_credit});
+}
+
+} // namespace noc
+
+#endif // NOC_ROUTER_ROUTER_PIPELINE_HPP

@@ -49,6 +49,23 @@ class SwitchAllocator
     std::vector<SaGrant>
     allocate(const std::vector<std::vector<SaRequest>> &requests);
 
+    /**
+     * Mask-iteration stage entry points for the specialized kernels.
+     * They drive the *same* rotating arbiters as allocate(), with
+     * identical winner selection and priority updates, so a run making
+     * the same requests through either interface sees the same grants.
+     * Callers must skip zero masks (an all-false grant() round does not
+     * rotate priority either).
+     */
+    int grantInputVcs(PortId in, std::uint32_t vc_mask)
+    {
+        return inputArbs_[in].grantMask(vc_mask);
+    }
+    int grantOutputInput(PortId out, std::uint64_t in_mask)
+    {
+        return outputArbs_[out].grantMask(in_mask);
+    }
+
   private:
     int numVcs_;
     std::vector<RoundRobinArbiter> inputArbs_;   ///< per input, over VCs

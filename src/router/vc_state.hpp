@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Data-oriented VC flit storage.
+ *
+ * A FlitRing is a fixed-capacity circular FIFO of BufferedFlit slots.
+ * In a router, every VC's ring is bound to a contiguous slice of one
+ * arena block sized `bufferDepth` at construction — the whole input
+ * side of a router is then one flat `[port][vc][slot]` array, and the
+ * cycle loop never touches the heap. Credit flow control guarantees a
+ * bound ring can never overflow (the enqueue-side assert fires first
+ * if it somehow does).
+ *
+ * Default-constructed rings (unit tests, ad-hoc use) own their storage
+ * and grow geometrically on demand instead; behaviour is otherwise
+ * identical to the old `std::deque` backing.
+ */
+
+#ifndef NOC_ROUTER_VC_STATE_HPP
+#define NOC_ROUTER_VC_STATE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace noc {
+
+/** A buffered flit plus the first cycle it may leave the buffer. */
+struct BufferedFlit
+{
+    Flit flit;
+    Cycle ready = 0;   ///< buffer write occupies the arrival cycle
+};
+
+class FlitRing
+{
+  public:
+    FlitRing() = default;
+
+    /**
+     * Bind to externally-owned storage (arena slice). Must be called
+     * before any push; the ring never grows past `capacity`.
+     */
+    void
+    bind(BufferedFlit *slots, int capacity)
+    {
+        NOC_ASSERT(size_ == 0, "rebinding a non-empty flit ring");
+        slots_ = slots;
+        cap_ = capacity;
+        head_ = 0;
+        external_ = true;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return static_cast<std::size_t>(size_); }
+
+    const BufferedFlit &
+    front() const
+    {
+        NOC_ASSERT(size_ > 0, "front of empty flit ring");
+        return slots_[head_];
+    }
+
+    void
+    push(const BufferedFlit &bf)
+    {
+        if (size_ == cap_) {
+            NOC_ASSERT(!external_,
+                       "bound flit ring overflow — credit flow control "
+                       "is broken");
+            grow();
+        }
+        int tail = head_ + size_;
+        if (tail >= cap_)
+            tail -= cap_;
+        slots_[tail] = bf;
+        ++size_;
+    }
+
+    void
+    pop()
+    {
+        NOC_ASSERT(size_ > 0, "pop from empty flit ring");
+        ++head_;
+        if (head_ == cap_)
+            head_ = 0;
+        --size_;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const int next = cap_ < 4 ? 4 : cap_ * 2;
+        std::vector<BufferedFlit> fresh(static_cast<std::size_t>(next));
+        for (int i = 0; i < size_; ++i)
+            fresh[i] = slots_[(head_ + i) % (cap_ == 0 ? 1 : cap_)];
+        own_.swap(fresh);
+        slots_ = own_.data();
+        cap_ = next;
+        head_ = 0;
+    }
+
+    std::vector<BufferedFlit> own_;   ///< backing store when self-owned
+    BufferedFlit *slots_ = nullptr;
+    int cap_ = 0;
+    int head_ = 0;
+    int size_ = 0;
+    bool external_ = false;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTER_VC_STATE_HPP

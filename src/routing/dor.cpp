@@ -16,26 +16,7 @@ RouteDecision
 MeshDor::route(RouterId r, NodeId dst, int cls) const
 {
     (void)cls;
-    const RouterId dst_router = mesh_.nodeRouter(dst);
-    if (dst_router == r)
-        return {mesh_.nodePort(dst), 0};
-
-    const int dx = mesh_.xOf(dst_router) - mesh_.xOf(r);
-    const int dy = mesh_.yOf(dst_router) - mesh_.yOf(r);
-
-    Mesh::Direction dir;
-    if (xFirst_) {
-        if (dx != 0)
-            dir = dx > 0 ? Mesh::East : Mesh::West;
-        else
-            dir = dy > 0 ? Mesh::South : Mesh::North;
-    } else {
-        if (dy != 0)
-            dir = dy > 0 ? Mesh::South : Mesh::North;
-        else
-            dir = dx > 0 ? Mesh::East : Mesh::West;
-    }
-    return {mesh_.dirPort(dir), 0};
+    return decide(r, dst);
 }
 
 std::string

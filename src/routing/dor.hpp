@@ -7,10 +7,10 @@
 #define NOC_ROUTING_DOR_HPP
 
 #include "routing/routing.hpp"
+#include "topology/mesh.hpp"
 
 namespace noc {
 
-class Mesh;
 class FlattenedButterfly;
 class Mecs;
 
@@ -22,6 +22,36 @@ class MeshDor : public RoutingAlgorithm
 
     RouteDecision route(RouterId r, NodeId dst, int cls) const override;
     std::string name() const override;
+
+    /**
+     * The route computation itself, inlinable (the virtual route() is a
+     * thin wrapper). Specialized kernels call this through a policy
+     * struct so the hot path pays no virtual dispatch.
+     */
+    RouteDecision
+    decide(RouterId r, NodeId dst) const
+    {
+        const RouterId dst_router = mesh_.nodeRouter(dst);
+        if (dst_router == r)
+            return {mesh_.nodePort(dst), 0};
+
+        const int dx = mesh_.xOf(dst_router) - mesh_.xOf(r);
+        const int dy = mesh_.yOf(dst_router) - mesh_.yOf(r);
+
+        Mesh::Direction dir;
+        if (xFirst_) {
+            if (dx != 0)
+                dir = dx > 0 ? Mesh::East : Mesh::West;
+            else
+                dir = dy > 0 ? Mesh::South : Mesh::North;
+        } else {
+            if (dy != 0)
+                dir = dy > 0 ? Mesh::South : Mesh::North;
+            else
+                dir = dx > 0 ? Mesh::East : Mesh::West;
+        }
+        return {mesh_.dirPort(dir), 0};
+    }
 
   private:
     const Mesh &mesh_;

@@ -13,17 +13,14 @@ RouteDecision
 O1TurnRouting::route(RouterId r, NodeId dst, int cls) const
 {
     NOC_ASSERT(cls == 0 || cls == 1, "O1TURN has exactly two classes");
-    return cls == 0 ? xy_.route(r, dst, 0) : yx_.route(r, dst, 0);
+    return decide(r, dst, cls);
 }
 
 std::pair<VcId, int>
 O1TurnRouting::vcRange(int cls, int num_vcs) const
 {
     NOC_ASSERT(num_vcs >= 2, "O1TURN needs at least two VCs");
-    const int half = num_vcs / 2;
-    if (cls == 0)
-        return {0, half};
-    return {half, num_vcs - half};
+    return splitRange(cls, num_vcs);
 }
 
 } // namespace noc

@@ -24,6 +24,23 @@ class O1TurnRouting : public RoutingAlgorithm
     std::pair<VcId, int> vcRange(int cls, int num_vcs) const override;
     std::string name() const override { return "O1TURN"; }
 
+    /** Inlinable route computation (see MeshDor::decide). */
+    RouteDecision
+    decide(RouterId r, NodeId dst, int cls) const
+    {
+        return cls == 0 ? xy_.decide(r, dst) : yx_.decide(r, dst);
+    }
+
+    /** Inlinable VC partition: lower half XY, upper half YX. */
+    static std::pair<VcId, int>
+    splitRange(int cls, int num_vcs)
+    {
+        const int half = num_vcs / 2;
+        if (cls == 0)
+            return {0, half};
+        return {half, num_vcs - half};
+    }
+
   private:
     MeshDor xy_;
     MeshDor yx_;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Inlinable routing policies for the specialized router kernels.
+ *
+ * Each policy is a stateless adapter over one concrete RoutingAlgorithm
+ * subclass: it static_casts the router's `RoutingAlgorithm` reference
+ * to the concrete type (the kernel factory has verified the dynamic
+ * type with typeid before selecting a specialized kernel, so the cast
+ * is exact) and calls the class's non-virtual `decide()` / range
+ * helpers. The route math itself lives in the routing headers — the
+ * policies add no behaviour, only a devirtualized call path.
+ *
+ * Policies also carry the kernel-name fragment used in kernel labels
+ * ("mesh-dor/pseudo-sb" etc.).
+ */
+
+#ifndef NOC_ROUTING_POLICIES_HPP
+#define NOC_ROUTING_POLICIES_HPP
+
+#include <utility>
+
+#include "routing/dor.hpp"
+#include "routing/o1turn.hpp"
+#include "routing/torus_dor.hpp"
+
+namespace noc {
+
+/** XY/YX dimension-order routing on Mesh and CMesh. */
+struct MeshDorRoute
+{
+    using Algo = MeshDor;
+    static constexpr const char *kName = "mesh-dor";
+
+    static RouteDecision
+    route(const Algo &a, RouterId r, NodeId dst, int cls)
+    {
+        (void)cls;
+        return a.decide(r, dst);
+    }
+
+    /** MeshDor uses the whole VC space for its single class. */
+    static std::pair<VcId, int>
+    vcRangeAt(const Algo &a, RouterId r, NodeId src, NodeId dst, int cls,
+              int num_vcs)
+    {
+        (void)a; (void)r; (void)src; (void)dst; (void)cls;
+        return {0, num_vcs};
+    }
+};
+
+/** O1TURN on Mesh/CMesh: two classes, VC space split in half. */
+struct O1TurnRoute
+{
+    using Algo = O1TurnRouting;
+    static constexpr const char *kName = "o1turn";
+
+    static RouteDecision
+    route(const Algo &a, RouterId r, NodeId dst, int cls)
+    {
+        return a.decide(r, dst, cls);
+    }
+
+    static std::pair<VcId, int>
+    vcRangeAt(const Algo &a, RouterId r, NodeId src, NodeId dst, int cls,
+              int num_vcs)
+    {
+        (void)a; (void)r; (void)src; (void)dst;
+        return O1TurnRouting::splitRange(cls, num_vcs);
+    }
+};
+
+/** Minimal DOR on the torus with dateline VC classes. */
+struct TorusDorRoute
+{
+    using Algo = TorusDor;
+    static constexpr const char *kName = "torus-dor";
+
+    static RouteDecision
+    route(const Algo &a, RouterId r, NodeId dst, int cls)
+    {
+        (void)cls;
+        return a.decide(r, dst);
+    }
+
+    static std::pair<VcId, int>
+    vcRangeAt(const Algo &a, RouterId r, NodeId src, NodeId dst, int cls,
+              int num_vcs)
+    {
+        (void)cls;
+        return a.datelineRange(r, src, dst, num_vcs);
+    }
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTING_POLICIES_HPP

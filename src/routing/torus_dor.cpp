@@ -37,20 +37,7 @@ RouteDecision
 TorusDor::route(RouterId r, NodeId dst, int cls) const
 {
     (void)cls;
-    const RouterId dst_router = torus_.nodeRouter(dst);
-    if (dst_router == r)
-        return {torus_.nodePort(dst), 0};
-
-    const int dx_step =
-        minimalStep(torus_.xOf(r), torus_.xOf(dst_router), torus_.width());
-    const int dy_step = minimalStep(torus_.yOf(r), torus_.yOf(dst_router),
-                                    torus_.height());
-    Torus::Direction dir;
-    if (xFirst_ ? dx_step != 0 : (dx_step != 0 && dy_step == 0))
-        dir = dx_step > 0 ? Torus::East : Torus::West;
-    else
-        dir = dy_step > 0 ? Torus::South : Torus::North;
-    return {torus_.dirPort(dir), 0};
+    return decide(r, dst);
 }
 
 std::pair<VcId, int>
@@ -59,43 +46,7 @@ TorusDor::vcRangeAt(RouterId r, NodeId src, NodeId dst, int cls,
 {
     (void)cls;
     NOC_ASSERT(num_vcs >= 2, "torus datelines need at least two VCs");
-    const RouterId src_router = torus_.nodeRouter(src);
-    const RouterId dst_router = torus_.nodeRouter(dst);
-
-    // The range applies to the channel the router at `r` is about to
-    // allocate — the input VC of the *next* router — so the crossing
-    // test is evaluated at the downstream position. That puts the wrap
-    // link itself in the crossed class, which is what actually breaks
-    // the ring cycle (the dateline sits on the wrap link).
-    //
-    // Which dimension is being corrected? With X-first order the X
-    // phase lasts while the column is wrong; afterwards the Y rule
-    // applies. Ejection channels (r == destination) are sinks; they use
-    // the uncrossed class.
-    bool crossed = false;
-    const bool x_phase = xFirst_
-        ? torus_.xOf(r) != torus_.xOf(dst_router)
-        : torus_.yOf(r) == torus_.yOf(dst_router) &&
-            torus_.xOf(r) != torus_.xOf(dst_router);
-    if (x_phase) {
-        const int dir = minimalStep(torus_.xOf(src_router),
-                                    torus_.xOf(dst_router), torus_.width());
-        const int next =
-            (torus_.xOf(r) + dir + torus_.width()) % torus_.width();
-        crossed = crossedDateline(torus_.xOf(src_router), next, dir);
-    } else if (torus_.yOf(r) != torus_.yOf(dst_router)) {
-        const int dir = minimalStep(torus_.yOf(src_router),
-                                    torus_.yOf(dst_router),
-                                    torus_.height());
-        const int next =
-            (torus_.yOf(r) + dir + torus_.height()) % torus_.height();
-        crossed = crossedDateline(torus_.yOf(src_router), next, dir);
-    }
-
-    const int lower = (num_vcs + 1) / 2;
-    if (crossed)
-        return {lower, num_vcs - lower};
-    return {0, lower};
+    return datelineRange(r, src, dst, num_vcs);
 }
 
 std::string

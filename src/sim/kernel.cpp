@@ -1,0 +1,34 @@
+#include "sim/kernel.hpp"
+
+#include "network/network.hpp"
+#include "router/kernels.hpp"
+#include "router/router_pipeline.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+KernelInfo
+resolveKernel(const SimConfig &cfg)
+{
+    const std::unique_ptr<Topology> topo = makeTopology(cfg);
+    const std::unique_ptr<RoutingAlgorithm> routing =
+        makeRouting(cfg.routing, *topo);
+    // Network wraps `routing` in a FaultRouting adapter when the fault
+    // plan kills links; no need to replay that here — a non-empty
+    // faultSpec already disqualifies specialization inside the factory.
+
+    const RouterOps *common = nullptr;
+    for (RouterId r = 0; r < topo->numRouters(); ++r) {
+        const RouterOps *ops = selectRouterOps(
+            cfg, *routing, topo->numInputPorts(r), topo->numOutputPorts(r));
+        if (ops == nullptr || (common != nullptr && ops != common))
+            return {routerOpsFor<GenericPolicy>().name, false};
+        common = ops;
+    }
+    if (common == nullptr)  // zero-router topologies cannot exist, but
+        return {routerOpsFor<GenericPolicy>().name, false};
+    return {common->name, common->specialized};
+}
+
+} // namespace noc

@@ -3,7 +3,9 @@
  * Seeded configuration fuzzer: sample random but valid simulator
  * configurations (topology, VC/buffer sizing, scheme, routing, traffic,
  * health monitors, telemetry), run each for a short window with every
- * invariant enabled, and demand zero violations. On a failure it prints
+ * invariant enabled, and demand zero violations. Clean direct runs are
+ * additionally replayed with kernel=generic and must produce exactly
+ * the statistics of the auto-resolved (possibly specialized) kernel. On a failure it prints
  * a single REPRODUCE line whose tokens are exactly the noctool keys of
  * the failing run, so the bug is replayable from the command line:
  *
@@ -276,6 +278,7 @@ struct CaseResult
     std::uint64_t violations = 0;
     std::string report;
     bool drained = false;
+    SimResult result;
 };
 
 CaseResult
@@ -348,6 +351,7 @@ runCase(const FuzzCase &fc)
             out.report += "sweep job failed: " + outcomes[0].error + "\n";
         }
         out.drained = outcomes[0].result.drained;
+        out.result = outcomes[0].result;
         return out;
     }
 
@@ -366,6 +370,53 @@ runCase(const FuzzCase &fc)
     out.violations = checker.violationCount();
     out.report = checker.report();
     out.drained = result.drained;
+    out.result = result;
+    return out;
+}
+
+/**
+ * Kernel differential: replay the same case with the router kernel
+ * forced to the generic path and demand the exact statistics the
+ * auto-resolved (possibly specialized) run produced. Specialization is
+ * a pure execution-strategy change, so any drift — one packet, one
+ * cycle, one crossbar traversal — is a kernel bug.
+ */
+std::string
+compareKernelRuns(const SimResult &a, const SimResult &g)
+{
+    auto diff = [](const char *what, std::uint64_t x, std::uint64_t y) {
+        return std::string(what) + ": auto=" + std::to_string(x) +
+               " generic=" + std::to_string(y) + "\n";
+    };
+    std::string out;
+    if (a.measuredPackets != g.measuredPackets)
+        out += diff("measuredPackets", a.measuredPackets,
+                    g.measuredPackets);
+    if (a.cyclesRun != g.cyclesRun)
+        out += diff("cyclesRun", a.cyclesRun, g.cyclesRun);
+    if (a.avgTotalLatency != g.avgTotalLatency)
+        out += "avgTotalLatency differs\n";
+    if (a.avgNetLatency != g.avgNetLatency)
+        out += "avgNetLatency differs\n";
+    if (a.throughput != g.throughput)
+        out += "throughput differs\n";
+    if (a.routerTotals.xbarTraversals != g.routerTotals.xbarTraversals)
+        out += diff("xbarTraversals", a.routerTotals.xbarTraversals,
+                    g.routerTotals.xbarTraversals);
+    if (a.routerTotals.saBypasses != g.routerTotals.saBypasses)
+        out += diff("saBypasses", a.routerTotals.saBypasses,
+                    g.routerTotals.saBypasses);
+    if (a.routerTotals.bufferBypasses != g.routerTotals.bufferBypasses)
+        out += diff("bufferBypasses", a.routerTotals.bufferBypasses,
+                    g.routerTotals.bufferBypasses);
+    if (a.routerTotals.vaGrants != g.routerTotals.vaGrants)
+        out += diff("vaGrants", a.routerTotals.vaGrants,
+                    g.routerTotals.vaGrants);
+    if (a.pcTotals.created != g.pcTotals.created)
+        out += diff("pcCreated", a.pcTotals.created, g.pcTotals.created);
+    if (a.niTotals.packetsReceived != g.niTotals.packetsReceived)
+        out += diff("packetsReceived", a.niTotals.packetsReceived,
+                    g.niTotals.packetsReceived);
     return out;
 }
 
@@ -436,6 +487,25 @@ main(int argc, char **argv)
                         i, res.report.c_str(), reproducer(fc).c_str());
             exit_code = 1;
             break;
+        }
+        // Kernel differential on clean direct runs: force the generic
+        // core on the identical config and require exact statistical
+        // agreement with the auto-resolved run.
+        if (inject.empty() && !fc.viaSweep && res.violations == 0) {
+            FuzzCase generic = fc;
+            add(generic, "kernel", "generic");
+            const CaseResult gres = runCase(generic);
+            total_checks += gres.checks;
+            const std::string drift =
+                compareKernelRuns(res.result, gres.result);
+            if (gres.violations > 0 || !drift.empty()) {
+                std::printf("config_fuzzer: kernel parity drift (config "
+                            "%ld)\n%s%s%s\n",
+                            i, gres.report.c_str(), drift.c_str(),
+                            reproducer(generic).c_str());
+                exit_code = 1;
+                break;
+            }
         }
         if (expect_violation && res.violations == 0) {
             std::printf("config_fuzzer: planted %s was NOT caught "
