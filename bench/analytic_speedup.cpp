@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Hybrid-fidelity speedup measurement: a fig09-style latency-vs-load
+ * sweep (five pseudo-circuit schemes x a load ladder on the paper
+ * platform) run twice — once all-detailed, once hybrid (analytic
+ * screen + cycle-accurate frontier) — comparing wall-clock time,
+ * detailed points saved and the realized frontier prediction error,
+ * and asserting the hybrid sweep reproduces what the detailed sweep
+ * actually says: the per-load scheme ranking and each curve's
+ * saturation-knee location, with <= 1/5 of the points cycle-accurate.
+ *
+ * Structured results via the shared sweep CLI (--json/--csv appends
+ * one line per point, both fidelities); NOC_MEASURE=<cycles> shortens
+ * the measurement window.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytic/hybrid.hpp"
+#include "analytic/model_sweep.hpp"
+#include "sim/experiment.hpp"
+#include "traffic/synthetic.hpp"
+
+using namespace noc;
+
+namespace {
+
+const std::vector<double> kLoads = {0.05, 0.10, 0.15, 0.20, 0.25};
+
+SimWindows
+benchWindows()
+{
+    SimWindows w;
+    w.warmup = 1000;
+    w.measure = 8000;
+    w.drainLimit = 40000;
+    if (const char *env = std::getenv("NOC_MEASURE")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            w.measure = static_cast<Cycle>(v);
+    }
+    return w;
+}
+
+std::vector<SweepJob>
+sweepJobs(const std::vector<Scheme> &schemes)
+{
+    std::vector<SweepJob> jobs;
+    for (const Scheme scheme : schemes) {
+        for (const double load : kLoads) {
+            SweepJob job;
+            job.label = std::string("aspeed:") + toString(scheme) + ":" +
+                        std::to_string(load);
+            job.cfg.topology = TopologyKind::CMesh;
+            job.cfg.meshWidth = 4;
+            job.cfg.meshHeight = 4;
+            job.cfg.concentration = 4;
+            job.cfg.scheme = scheme;
+            job.cfg.seed = 7;
+            job.windows = benchWindows();
+            job.analytic.valid = true;
+            job.analytic.pattern = SyntheticPattern::UniformRandom;
+            job.analytic.load = load;
+            job.analytic.packetSize = 5;
+            job.makeSource = [load](const SimConfig &c) {
+                return std::make_unique<SyntheticTraffic>(
+                    SyntheticPattern::UniformRandom, c.numNodes(), load,
+                    5, c.seed * 77 + 5);
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+/**
+ * Knee index of one scheme's curve: the first load whose point failed
+ * to drain (detailed) / predicted saturated (analytic), or grew past
+ * kKneeFactor x the lowest-load latency.
+ */
+int
+kneeIndex(const std::vector<const SweepOutcome *> &curve)
+{
+    const double base = curve.front()->result.avgNetLatency;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (!curve[i]->result.drained ||
+            curve[i]->result.avgNetLatency >= kKneeFactor * base)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(curve.size());
+}
+
+/** Scheme order (indices into `schemes`) by net latency at one load. */
+std::vector<int>
+rankingAtLoad(const std::vector<SweepOutcome> &outcomes,
+              std::size_t numSchemes, std::size_t loadIdx)
+{
+    std::vector<int> order(numSchemes);
+    for (std::size_t s = 0; s < numSchemes; ++s)
+        order[s] = static_cast<int>(s);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return outcomes[a * kLoads.size() + loadIdx].result.avgNetLatency <
+               outcomes[b * kLoads.size() + loadIdx].result.avgNetLatency;
+    });
+    return order;
+}
+
+double
+timedSweep(const SweepRunner &runner, const std::vector<SweepJob> &jobs,
+           ModelKind kind, std::vector<SweepOutcome> &out)
+{
+    ModelSweepOptions options;
+    options.kind = kind;
+    const auto start = std::chrono::steady_clock::now();
+    out = runModelSweep(runner, jobs, options);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SweepCli cli = parseSweepCli(argc, argv);
+    const std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Pseudo,
+                                         Scheme::PseudoS, Scheme::PseudoB,
+                                         Scheme::PseudoSB};
+    const std::vector<SweepJob> jobs = sweepJobs(schemes);
+    SweepRunner runner(cli.jobs);
+
+    std::printf("analytic speedup: 4x4 CMesh, uniform random, %zu schemes "
+                "x %zu loads, all-detailed vs hybrid\n\n",
+                schemes.size(), kLoads.size());
+
+    std::vector<SweepOutcome> detailed;
+    std::vector<SweepOutcome> hybrid;
+    const double detailedSec =
+        timedSweep(runner, jobs, ModelKind::Detailed, detailed);
+    const double hybridSec =
+        timedSweep(runner, jobs, ModelKind::Hybrid, hybrid);
+
+    for (const auto *outcomes : {&detailed, &hybrid})
+        for (const SweepOutcome &out : *outcomes)
+            if (!out.ok) {
+                std::printf("FAIL: %s: %s\n", out.label.c_str(),
+                            out.error.c_str());
+                return 2;
+            }
+
+    // Bookkeeping: which hybrid points were measured, and how far off
+    // the analytic screen was where we can check it.
+    int measured = 0;
+    double maxFrontierError = 0.0;
+    for (const SweepOutcome &out : hybrid) {
+        if (out.result.model.tag == "frontier") {
+            ++measured;
+            maxFrontierError =
+                std::max(maxFrontierError, out.result.model.relErrorNet);
+        }
+    }
+    const int total = static_cast<int>(jobs.size());
+    const int budget = std::max(1, total / 5);
+
+    // Fidelity agreement, part 1: each curve's saturation knee.
+    bool kneesAgree = true;
+    int minDetKnee = static_cast<int>(kLoads.size());
+    printHeader("scheme", {"det-knee", "hyb-knee", "measured"});
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        std::vector<const SweepOutcome *> detCurve;
+        std::vector<const SweepOutcome *> hybCurve;
+        int schemeMeasured = 0;
+        for (std::size_t l = 0; l < kLoads.size(); ++l) {
+            detCurve.push_back(&detailed[s * kLoads.size() + l]);
+            hybCurve.push_back(&hybrid[s * kLoads.size() + l]);
+            if (hybCurve.back()->result.model.tag == "frontier")
+                ++schemeMeasured;
+        }
+        const int detKnee = kneeIndex(detCurve);
+        const int hybKnee = kneeIndex(hybCurve);
+        if (detKnee != hybKnee)
+            kneesAgree = false;
+        minDetKnee = std::min(minDetKnee, detKnee);
+        printRow(toString(schemes[s]),
+                 {static_cast<double>(detKnee),
+                  static_cast<double>(hybKnee),
+                  static_cast<double>(schemeMeasured)},
+                 10, 0);
+    }
+
+    // Part 2: per-load scheme ranking, below every detailed knee only —
+    // past saturation latencies are drain-limit noise and the paper's
+    // curves end there too.
+    bool rankingsAgree = true;
+    for (int l = 0; l < minDetKnee; ++l) {
+        if (rankingAtLoad(detailed, schemes.size(),
+                          static_cast<std::size_t>(l)) !=
+            rankingAtLoad(hybrid, schemes.size(),
+                          static_cast<std::size_t>(l))) {
+            std::printf("ranking differs at load %.2f\n", kLoads[l]);
+            rankingsAgree = false;
+        }
+    }
+
+    emitStructuredResults(cli, detailed);
+    emitStructuredResults(cli, hybrid);
+
+    std::printf("\ndetailed sweep      %8.2f s  (%d points)\n",
+                detailedSec, total);
+    std::printf("hybrid sweep        %8.2f s  (%d cycle-accurate, "
+                "%d saved)\n",
+                hybridSec, measured, total - measured);
+    std::printf("wall-clock ratio    %8.2fx\n",
+                hybridSec > 0.0 ? detailedSec / hybridSec : 0.0);
+    std::printf("max frontier error  %8.1f%%\n", maxFrontierError * 100.0);
+
+    if (measured > budget) {
+        std::printf("FAIL: hybrid used %d detailed points, budget %d\n",
+                    measured, budget);
+        return 2;
+    }
+    if (!rankingsAgree || !kneesAgree) {
+        std::printf("FAIL: hybrid does not reproduce the detailed "
+                    "sweep's %s\n",
+                    rankingsAgree ? "knee locations" : "scheme ranking");
+        return 2;
+    }
+    std::printf("hybrid reproduces detailed ranking and knees with "
+                "%d/%d cycle-accurate points\n",
+                measured, total);
+    return 0;
+}

@@ -37,6 +37,17 @@
  * the fault controller; runs then print a degradation report (per-flow
  * delivered/dropped/unroutable, offered vs achieved throughput).
  *
+ * Model fidelity: model=<detailed|analytic|hybrid> picks how synthetic
+ * workload points are answered — cycle-accurately (default), from the
+ * analytical network model (src/analytic/), or hybrid (analytic
+ * pre-screen, cycle-accurate only on the saturation-knee/crossover
+ * frontier, <= 1/5 of the points). calibration=<path> loads fitted
+ * model coefficients (JSON); calibrate=<path> fits them from detailed
+ * runs of the current platform over the load= list and writes the
+ * file. Modelled records in json= output carry a "model" tag and the
+ * predicted-vs-measured error on frontier points; detailed-only output
+ * is byte-identical with the model layer off.
+ *
  * Crash-tolerant sweeps: journal=<path> appends one JSONL checkpoint
  * per finished job; resume=1 (sugar: --resume) replays the journal and
  * re-runs only uncovered jobs, reproducing the uninterrupted outputs
@@ -58,6 +69,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "analytic/calibration.hpp"
+#include "analytic/model_sweep.hpp"
 #include "common/build_info.hpp"
 #include "common/options.hpp"
 #include "metrics/watchdog.hpp"
@@ -353,6 +366,35 @@ runMulti(const Options &opts, const SimConfig &base,
     const std::string bench_name = opts.getString("benchmark", "fma3d");
     const std::string pattern_name = opts.getString("pattern", "uniform");
     const int packet = static_cast<int>(opts.getInt("packet", 5));
+
+    // Model fidelity: detailed (default) changes nothing; analytic and
+    // hybrid route the batch through runModelSweep. Modelled sweeps are
+    // incompatible with trace-driven workloads (nothing to model) and
+    // with journaling (journal entries record simulated runs; analytic
+    // answers are instant, so there is nothing worth checkpointing).
+    const ModelKind model =
+        parseModelKind(opts.getString("model", "detailed"));
+    Calibration calibration = Calibration::defaults();
+    const std::string cal_path = opts.getString("calibration", "");
+    if (!cal_path.empty()) {
+        const auto loaded = Calibration::load(cal_path);
+        if (!loaded)
+            NOC_FATAL("cannot load calibration file: " + cal_path);
+        calibration = *loaded;
+    }
+    if (model != ModelKind::Detailed) {
+        if (traced)
+            NOC_FATAL("model=" + std::string(toString(model)) +
+                      " needs a synthetic workload (benchmark= replays "
+                      "a trace, which only the detailed simulator runs)");
+        if (!journal_path.empty() || resume)
+            NOC_FATAL("model=" + std::string(toString(model)) +
+                      " does not support journal=/resume=");
+        if (model == ModelKind::Analytic &&
+            (trace_cli.cfg.enabled || verify_cli.enabled))
+            NOC_FATAL("model=analytic runs no simulation, so trace=/"
+                      "verify= have nothing to observe");
+    }
     for (const std::string &key : opts.unusedKeys())
         NOC_WARN("unused option: " + key);
 
@@ -395,6 +437,12 @@ runMulti(const Options &opts, const SimConfig &base,
                         pattern, c.numNodes(), load, packet,
                         c.seed * 77 + 5);
                 };
+                // Workload sidecar so model-driven sweeps can reason
+                // about the point; inert under model=detailed.
+                job.analytic.valid = true;
+                job.analytic.pattern = pattern;
+                job.analytic.load = load;
+                job.analytic.packetSize = packet;
                 jobs.push_back(std::move(job));
                 row_labels.push_back(scheme_name + " @" + load_str);
             }
@@ -466,7 +514,15 @@ runMulti(const Options &opts, const SimConfig &base,
     ProgressPrinter progress;
     if (cli.progress)
         runner.onProgress(progress.callback());
-    const std::vector<SweepOutcome> fresh_out = runner.run(fresh);
+    std::vector<SweepOutcome> fresh_out;
+    if (model == ModelKind::Detailed) {
+        fresh_out = runner.run(fresh);
+    } else {
+        ModelSweepOptions mopts;
+        mopts.kind = model;
+        mopts.calibration = calibration;
+        fresh_out = runModelSweep(runner, fresh, mopts);
+    }
     progress.finish();
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
@@ -501,6 +557,28 @@ runMulti(const Options &opts, const SimConfig &base,
         emitJournaledResults(cli, entries);
     } else {
         emitStructuredResults(cli, outcomes);
+    }
+
+    // Fidelity summary, only when a model was in play — the default
+    // detailed path must stay byte-identical to pre-model output.
+    if (model != ModelKind::Detailed) {
+        std::size_t modelled = 0;
+        double max_err = 0.0;
+        bool any_frontier = false;
+        for (const SweepOutcome &o : outcomes) {
+            if (o.ok && o.result.model.tag == "analytic")
+                ++modelled;
+            if (o.ok && o.result.model.tag == "frontier") {
+                max_err = std::max(max_err, o.result.model.relErrorNet);
+                any_frontier = true;
+            }
+        }
+        std::printf("model: %s — %zu of %zu runs cycle-accurate",
+                    toString(model), outcomes.size() - modelled,
+                    outcomes.size());
+        if (any_frontier)
+            std::printf(", max frontier error %.1f%%", max_err * 100.0);
+        std::printf("\n\n");
     }
 
     printHeader("run", {"total-lat", "net-lat", "p99", "thruput",
@@ -619,6 +697,58 @@ main(int argc, char **argv)
 
     const Options opts = Options::parse(normalizeArgs(argc, argv));
 
+    // Calibration fitting mode: calibrate=<path> runs the detailed
+    // grid (scheme= list x load= list on the current platform), fits
+    // the analytical model's coefficients and writes them as JSON for
+    // later model=/calibration= runs.
+    if (opts.has("calibrate")) {
+        const std::string out_path = opts.getString("calibrate", "");
+        std::vector<std::string> single;
+        for (const std::string &tok : normalizeArgs(argc, argv)) {
+            if (tok.rfind("scheme=", 0) == 0 ||
+                tok.rfind("load=", 0) == 0 ||
+                tok.rfind("calibrate=", 0) == 0)
+                continue;
+            single.push_back(tok);
+        }
+        const Options copts = Options::parse(single);
+        CalibrationSpec spec;
+        spec.base = configFromOptions(copts);
+        spec.windows = windowsFromOptions(copts);
+        spec.pattern =
+            parseSyntheticPattern(copts.getString("pattern", "uniform"));
+        spec.packetSize = static_cast<int>(copts.getInt("packet", 5));
+        if (opts.has("load")) {
+            spec.loads.clear();
+            for (const std::string &l :
+                 splitList(opts.getString("load", ""))) {
+                const double load = std::strtod(l.c_str(), nullptr);
+                if (load <= 0.0)
+                    NOC_FATAL("bad load value: '" + l + "'");
+                spec.loads.push_back(load);
+            }
+        }
+        if (opts.has("scheme")) {
+            spec.schemes.clear();
+            for (const std::string &s :
+                 splitList(opts.getString("scheme", "")))
+                spec.schemes.push_back(parseScheme(s));
+        }
+        const Calibration cal = calibrate(spec);
+        cal.save(out_path);
+        std::printf("calibration written to %s\n", out_path.c_str());
+        std::printf("  fit: %d points, mean error %.2f%%, max error "
+                    "%.2f%%\n",
+                    cal.fitPoints, cal.fitMeanError * 100.0,
+                    cal.fitMaxError * 100.0);
+        if (cal.fitPoints == 0 || cal.fitMaxError > cal.errorBound) {
+            std::printf("  warning: fit does not meet the %.0f%% error "
+                        "bound on this platform\n",
+                        cal.errorBound * 100.0);
+        }
+        return 0;
+    }
+
     // Comma lists in scheme=/load= select the parallel multi-run mode.
     const std::vector<std::string> schemes =
         splitList(opts.getString("scheme", "baseline"));
@@ -645,6 +775,80 @@ main(int argc, char **argv)
     if (jobs > 1)
         NOC_WARN("jobs=" + std::to_string(jobs) +
                  " has no effect on a single run; use scheme=/load= lists");
+
+    // Single-point model queries: model=analytic answers from the
+    // analytical model alone (microseconds, no simulation); hybrid
+    // needs a sweep to have a frontier to plan.
+    const ModelKind model =
+        parseModelKind(opts.getString("model", "detailed"));
+    Calibration calibration = Calibration::defaults();
+    const std::string cal_path = opts.getString("calibration", "");
+    if (!cal_path.empty()) {
+        const auto loaded = Calibration::load(cal_path);
+        if (!loaded)
+            NOC_FATAL("cannot load calibration file: " + cal_path);
+        calibration = *loaded;
+    }
+    if (model == ModelKind::Hybrid)
+        NOC_FATAL("model=hybrid needs a sweep "
+                  "(give scheme= or load= comma lists)");
+    if (model == ModelKind::Analytic) {
+        if (opts.has("benchmark"))
+            NOC_FATAL("model=analytic needs a synthetic workload "
+                      "(benchmark= replays a trace)");
+        const std::string pattern_name =
+            opts.getString("pattern", "uniform");
+        const double load = opts.getDouble("load", 0.1);
+        const int packet = static_cast<int>(opts.getInt("packet", 5));
+        const std::string json_path = opts.getString("json", "");
+        for (const std::string &key : opts.unusedKeys())
+            NOC_WARN("unused option: " + key);
+
+        AnalyticNetworkModel backend(calibration);
+        SweepJob job;
+        job.label = "noctool:pattern:" + pattern_name;
+        job.cfg = cfg;
+        job.analytic.valid = true;
+        job.analytic.pattern = parseSyntheticPattern(pattern_name);
+        job.analytic.load = load;
+        job.analytic.packetSize = packet;
+        const SweepOutcome one = analyticOutcome(job, backend);
+        if (!one.ok)
+            NOC_FATAL("analytic model: " + one.error);
+        ModelRequest req;
+        req.cfg = cfg;
+        req.pattern = job.analytic.pattern;
+        req.load = load;
+        req.packetSize = packet;
+        const ModelEstimate est = backend.estimate(req);
+        std::cout << cfg.describe() << " [pattern:" << pattern_name
+                  << "] (analytic model)\n";
+        std::printf("  predicted net latency   %.3f cycles "
+                    "(zero-load %.3f + serialization %.3f + "
+                    "contention %.3f)\n",
+                    est.netLatency, est.zeroLoad, est.serialization,
+                    est.contention);
+        std::printf("  predicted total latency %.3f cycles "
+                    "(+%.3f source wait)\n",
+                    est.totalLatency, est.sourceWait);
+        std::printf("  mean hops               %.4f routers\n", est.hops);
+        std::printf("  predicted throughput    %.4f flits/node/cycle\n",
+                    est.throughput);
+        std::printf("  predicted reuse         %.1f%%\n",
+                    est.reusability * 100.0);
+        std::printf("  busiest channel load    %.4f%s\n",
+                    est.maxChannelLoad,
+                    est.saturated ? " (saturated)" : "");
+        if (!json_path.empty()) {
+            SweepCli cli;
+            cli.jsonPath = json_path;
+            emitStructuredResults(cli, {one});
+            if (json_path != "-")
+                std::cout << "  json line appended to   " << json_path
+                          << "\n";
+        }
+        return est.saturated ? 2 : 0;
+    }
 
     std::unique_ptr<TrafficSource> source;
     std::string workload;

@@ -1,0 +1,127 @@
+#include "analytic/analytic_model.hpp"
+
+#include <algorithm>
+
+#include "analytic/flow_map.hpp"
+#include "common/log.hpp"
+
+namespace noc {
+
+double
+md1Wait(double rho, double serviceCycles)
+{
+    if (rho <= 0.0 || serviceCycles <= 0.0)
+        return 0.0;
+    rho = std::min(rho, kMd1RhoCap);
+    return rho * serviceCycles / (2.0 * (1.0 - rho));
+}
+
+double
+serializationCycles(int packetSize, int bufferDepth, int linkLatency,
+                    int creditLatency)
+{
+    if (packetSize <= 1)
+        return 0.0;
+    // A credit issued at switch traversal returns after the flit's link
+    // hop, the downstream pipeline stage, the credit's trip back and
+    // its processing: 2 * (link + credit) + 2 cycles. Buffers at least
+    // that deep keep body flits back-to-back.
+    const double creditRt = 2.0 * (linkLatency + creditLatency) + 2.0;
+    const double spacing = std::max(1.0, creditRt / bufferDepth);
+    return (packetSize - 1) * spacing;
+}
+
+double
+zeroLoadLatency(double meanRouterHops, double routerCycles, int linkLatency)
+{
+    return 2.0 + meanRouterHops * (routerCycles + linkLatency);
+}
+
+int
+bypassSaving(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline: return 0;
+      case Scheme::Pseudo:   return 1;  // SA stage bypassed on a hit
+      case Scheme::PseudoS:  return 1;
+      case Scheme::PseudoB:  return 2;  // SA + buffer write bypassed
+      case Scheme::PseudoSB: return 2;
+      case Scheme::Evc:      return 0;  // different mechanism entirely
+    }
+    return 0;
+}
+
+double
+effectivePipelineCycles(Scheme scheme, double reuse, const Calibration &cal)
+{
+    const double alpha = cal.forScheme(scheme).bypassAlpha;
+    const double hit = std::clamp(alpha * reuse, 0.0, 1.0);
+    return 3.0 - hit * bypassSaving(scheme);
+}
+
+AnalyticNetworkModel::AnalyticNetworkModel(Calibration cal)
+    : cal_(std::move(cal))
+{
+}
+
+AnalyticNetworkModel::~AnalyticNetworkModel() = default;
+
+const TrafficFlowMap &
+AnalyticNetworkModel::flowMap(const SimConfig &cfg, SyntheticPattern pattern)
+{
+    // Routes depend only on the network shape, the routing algorithm
+    // and the pattern — scheme/load/VC knobs reuse the same map.
+    std::string key = std::string(toString(cfg.topology)) + "/" +
+                      std::to_string(cfg.meshWidth) + "x" +
+                      std::to_string(cfg.meshHeight) + "c" +
+                      std::to_string(cfg.concentration) + "/" +
+                      toString(cfg.routing) + "/" + toString(pattern);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+        it = cache_
+                 .emplace(std::move(key),
+                          std::make_unique<TrafficFlowMap>(cfg, pattern))
+                 .first;
+    return *it->second;
+}
+
+ModelEstimate
+AnalyticNetworkModel::estimate(const ModelRequest &req)
+{
+    ModelEstimate est;
+    const TrafficFlowMap &fm = flowMap(req.cfg, req.pattern);
+    if (fm.flows().empty())
+        return est;   // pattern injects nothing on this platform
+
+    const double reuse = fm.reuseProbability();
+    const double routerCycles =
+        effectivePipelineCycles(req.cfg.scheme, reuse, cal_);
+
+    est.hops = fm.meanRouterHops();
+    est.zeroLoad =
+        zeroLoadLatency(est.hops, routerCycles, req.cfg.linkLatency);
+    est.serialization =
+        serializationCycles(req.packetSize, req.cfg.bufferDepth,
+                            req.cfg.linkLatency, req.cfg.creditLatency);
+    est.contention = cal_.forScheme(req.cfg.scheme).contentionScale *
+                     fm.pathContention(req.load, req.packetSize);
+    est.netLatency = est.zeroLoad + est.serialization + est.contention;
+
+    est.sourceWait =
+        md1Wait(req.load * fm.maxInjectionWeight(), req.packetSize);
+    est.totalLatency = est.netLatency + est.sourceWait;
+
+    est.maxChannelLoad = req.load * fm.maxChannelWeight();
+    est.saturated = est.maxChannelLoad >= cal_.rhoSat;
+    est.throughput = std::min(req.load, fm.loadAtUtilization(1.0)) *
+                     fm.acceptedFraction();
+    est.reusability =
+        bypassSaving(req.cfg.scheme) > 0
+            ? std::clamp(cal_.forScheme(req.cfg.scheme).bypassAlpha * reuse,
+                         0.0, 1.0)
+            : 0.0;
+    est.ok = true;
+    return est;
+}
+
+} // namespace noc

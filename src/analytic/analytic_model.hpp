@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The analytical latency model (closed form).
+ *
+ * Mean network latency of a packet is modelled as three additive
+ * terms, each anchored to a measured property of the cycle-accurate
+ * router (tests/router/pipeline_timing_test.cpp):
+ *
+ *   zero-load      2 + H * (R + L)
+ *                  H = mean routers traversed (from the flow map),
+ *                  L = link latency, R = effective per-router pipeline
+ *                  depth: 3 for the speculative baseline, shortened by
+ *                  the scheme's bypass saving (1 cycle for SA bypass,
+ *                  2 for buffer bypass) weighted by the predicted hit
+ *                  rate. The constant 2 is the injection/ejection
+ *                  overhead outside the per-hop pipeline.
+ *
+ *   serialization  (P - 1) * max(1, ceil-free creditRT / depth)
+ *                  body flits follow the head 1/cycle when buffers
+ *                  cover the credit round trip, else the credit loop
+ *                  throttles them (shallow-buffer regime of the
+ *                  timing tests).
+ *
+ *   contention     per-channel M/D/1 waits summed along the packet's
+ *                  path, scaled by the calibrated per-scheme factor.
+ *
+ * Total latency adds an M/D/1 source-queue term for the NI.
+ */
+
+#ifndef NOC_ANALYTIC_ANALYTIC_MODEL_HPP
+#define NOC_ANALYTIC_ANALYTIC_MODEL_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analytic/calibration.hpp"
+#include "analytic/network_model.hpp"
+
+namespace noc {
+
+class TrafficFlowMap;
+
+/**
+ * M/D/1 mean waiting time: rho * service / (2 * (1 - rho)).
+ * Clamped: non-positive utilization waits 0; utilization at or past
+ * kMd1RhoCap returns the capped (large but finite) wait, so saturated
+ * inputs yield finite predictions instead of infinities.
+ */
+double md1Wait(double rho, double serviceCycles);
+
+/** Utilization cap for md1Wait (finite-output guarantee). */
+inline constexpr double kMd1RhoCap = 0.995;
+
+/**
+ * Body-flit serialization cycles of a P-flit packet: (P - 1) per-flit
+ * spacing, where the spacing is 1 cycle when the VC buffer covers the
+ * credit round trip 2 * (linkLatency + creditLatency) + 2, else the
+ * round trip divided by the buffer depth.
+ */
+double serializationCycles(int packetSize, int bufferDepth,
+                           int linkLatency, int creditLatency);
+
+/**
+ * Head-flit zero-load latency over `meanRouterHops` routers of
+ * effective pipeline depth `routerCycles` and `linkLatency`-cycle
+ * links (the 18 = 2 + 4*(3+1) identity of the timing tests).
+ */
+double zeroLoadLatency(double meanRouterHops, double routerCycles,
+                       int linkLatency);
+
+/** Pipeline cycles a bypass hit saves under a scheme (0 for
+ *  baseline/EVC, 1 for SA bypass, 2 for buffer bypass). */
+int bypassSaving(Scheme scheme);
+
+/**
+ * Effective per-router pipeline depth of `scheme` when the predicted
+ * circuit-reuse probability is `reuse`: 3 - hit * saving with
+ * hit = clamp(alpha * reuse, 0, 1).
+ */
+double effectivePipelineCycles(Scheme scheme, double reuse,
+                               const Calibration &cal);
+
+/**
+ * The analytical backend. Flow maps are memoized per (topology x
+ * routing x pattern) shape, so sweeping load or scheme over one
+ * platform routes the flows once.
+ */
+class AnalyticNetworkModel : public NetworkModel
+{
+  public:
+    explicit AnalyticNetworkModel(Calibration cal = Calibration::defaults());
+    ~AnalyticNetworkModel() override;   // out of line: TrafficFlowMap opaque
+
+    ModelEstimate estimate(const ModelRequest &req) override;
+    std::string name() const override { return "analytic"; }
+
+    const Calibration &calibration() const { return cal_; }
+
+  private:
+    const TrafficFlowMap &flowMap(const SimConfig &cfg,
+                                  SyntheticPattern pattern);
+
+    Calibration cal_;
+    std::map<std::string, std::unique_ptr<TrafficFlowMap>> cache_;
+};
+
+} // namespace noc
+
+#endif // NOC_ANALYTIC_ANALYTIC_MODEL_HPP

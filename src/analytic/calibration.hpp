@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Calibration of the analytical model against detailed runs.
+ *
+ * The analytic latency formula has two free coefficients per scheme:
+ *
+ *  - bypassAlpha: how much of the flow map's raw reuse probability the
+ *    scheme converts into actual pipeline bypasses. The reuse
+ *    probability is a static property of the traffic; schemes differ
+ *    in how well they exploit it (speculation recovers misses,
+ *    buffer bypassing needs an empty buffer, EVC ignores it).
+ *  - contentionScale: how strongly the M/D/1 path-wait term maps onto
+ *    measured queueing delay (absorbs VC multiplexing, credit stalls
+ *    and burstiness the independent-queue assumption misses).
+ *
+ * calibrate() fits both from a small grid of detailed runs (one
+ * platform, all schemes, a handful of pre-saturation loads), records
+ * the residual fit error, and the result persists as JSON so sweeps
+ * and CI reuse it without re-running the detailed points. defaults()
+ * carries coefficients fitted on the paper platform (4x4 CMesh,
+ * uniform random, XY) — good enough for screening; recalibrate when
+ * targeting a different platform.
+ */
+
+#ifndef NOC_ANALYTIC_CALIBRATION_HPP
+#define NOC_ANALYTIC_CALIBRATION_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+
+/** Fitted coefficients of one scheme. */
+struct SchemeCoefficients
+{
+    double bypassAlpha = 0.0;     ///< reuse -> bypass-hit conversion
+    double contentionScale = 1.0; ///< M/D/1 wait -> measured queueing
+};
+
+/** The analytical model's fitted state. */
+struct Calibration
+{
+    /// Channel utilization treated as saturated. Points past this are
+    /// screened as "saturated" and excluded from error accounting. The
+    /// M/D/1 term tracks the simulator well up to ~0.8 utilization of
+    /// the busiest channel; past that, burstiness it cannot see takes
+    /// over and the knee belongs to the detailed simulator.
+    double rhoSat = 0.8;
+    /// Guaranteed relative error bound on mean net latency for
+    /// pre-saturation points of the calibrated family; the accuracy
+    /// oracle enforces it.
+    double errorBound = 0.10;
+
+    /// Residuals of the last fit (0 when never fitted).
+    double fitMeanError = 0.0;
+    double fitMaxError = 0.0;
+    int fitPoints = 0;
+
+    /// Indexed by static_cast<int>(Scheme).
+    std::vector<SchemeCoefficients> schemes;
+
+    Calibration();
+
+    const SchemeCoefficients &forScheme(Scheme s) const;
+    SchemeCoefficients &forScheme(Scheme s);
+
+    /** Coefficients fitted on the paper platform (see file header). */
+    static Calibration defaults();
+
+    /** Serialize to a stable, human-readable JSON object. */
+    std::string toJson() const;
+
+    /** Parse toJson() output; nullopt on malformed input. */
+    static std::optional<Calibration> fromJson(const std::string &text);
+
+    /** Write toJson() to `path` (fatal on I/O failure). */
+    void save(const std::string &path) const;
+
+    /** Load a calibration file; nullopt if unreadable/malformed. */
+    static std::optional<Calibration> load(const std::string &path);
+};
+
+/** The detailed sample grid a calibration fits against. */
+struct CalibrationSpec
+{
+    SimConfig base;                   ///< platform; scheme is overridden
+    SyntheticPattern pattern = SyntheticPattern::UniformRandom;
+    std::vector<double> loads = {0.05, 0.10, 0.15, 0.20};
+    int packetSize = 5;
+    SimWindows windows;
+    std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Pseudo,
+                                   Scheme::PseudoS, Scheme::PseudoB,
+                                   Scheme::PseudoSB};
+};
+
+/**
+ * Fit a Calibration from detailed runs over the spec's grid:
+ * bypassAlpha from the lowest-load point (where contention is
+ * negligible and the measured latency pins the effective pipeline
+ * depth), contentionScale by least squares over the remaining
+ * pre-saturation points. Residual errors land in fit{Mean,Max}Error.
+ */
+Calibration calibrate(const CalibrationSpec &spec);
+
+} // namespace noc
+
+#endif // NOC_ANALYTIC_CALIBRATION_HPP

@@ -1,0 +1,189 @@
+#include "analytic/flow_map.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analytic/analytic_model.hpp"
+#include "common/log.hpp"
+#include "network/network.hpp"
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+std::vector<std::pair<NodeId, double>>
+patternWeights(SyntheticPattern pattern, NodeId src, int num_nodes)
+{
+    std::vector<std::pair<NodeId, double>> w;
+    switch (pattern) {
+      case SyntheticPattern::UniformRandom: {
+        // Redraw-on-self: every other node equally likely.
+        const double p = 1.0 / (num_nodes - 1);
+        for (NodeId dst = 0; dst < num_nodes; ++dst)
+            if (dst != src)
+                w.emplace_back(dst, p);
+        return w;
+      }
+      case SyntheticPattern::Hotspot: {
+        // Mirrors SyntheticTraffic::destination(): a coin first picks
+        // the hotspot branch (uniform over the K hot nodes, falling
+        // back to uniform traffic when the draw lands on the source),
+        // otherwise uniform-excluding-self.
+        std::vector<NodeId> hot;
+        for (int i = 0; i < 4 && i < num_nodes; ++i)
+            hot.push_back(
+                static_cast<NodeId>((i * num_nodes) / 4 + num_nodes / 8));
+        double uniformShare = 0.5;
+        std::map<NodeId, double> acc;
+        for (NodeId h : hot) {
+            if (h == src)
+                uniformShare += 0.5 / hot.size();
+            else
+                acc[h] += 0.5 / hot.size();
+        }
+        const double p = uniformShare / (num_nodes - 1);
+        for (NodeId dst = 0; dst < num_nodes; ++dst)
+            if (dst != src)
+                acc[dst] += p;
+        for (const auto &[dst, weight] : acc)
+            w.emplace_back(dst, weight);
+        return w;
+      }
+      default: {
+        // Fixed destination function; self-traffic injects nothing.
+        const NodeId dst = patternDestination(pattern, src, num_nodes);
+        if (dst != src)
+            w.emplace_back(dst, 1.0);
+        return w;
+      }
+    }
+}
+
+TrafficFlowMap::TrafficFlowMap(const SimConfig &cfg,
+                               SyntheticPattern pattern)
+{
+    const auto topo = makeTopology(cfg);
+    const auto routing = makeRouting(cfg.routing, *topo);
+    const int numNodes = topo->numNodes();
+    const int numClasses = routing->numClasses();
+
+    // Global channel ids: one per (router, output port), terminal
+    // ejection channels included.
+    std::vector<int> channelBase(topo->numRouters() + 1, 0);
+    for (RouterId r = 0; r < topo->numRouters(); ++r)
+        channelBase[r + 1] = channelBase[r] + topo->numOutputPorts(r);
+    channelWeight_.assign(channelBase.back(), 0.0);
+
+    // Per-(router, input port) arrival accounting for the reuse
+    // probability: fIn = total arrival weight, fInOut = per-output
+    // split. Input-port ids are dense per router, so flat tables work.
+    std::vector<int> inBase(topo->numRouters() + 1, 0);
+    for (RouterId r = 0; r < topo->numRouters(); ++r)
+        inBase[r + 1] = inBase[r] + topo->numInputPorts(r);
+    std::vector<double> fIn(inBase.back(), 0.0);
+    std::map<std::pair<int, int>, double> fInOut;  // (inIdx, channel)
+
+    double totalWeight = 0.0;
+    double totalHops = 0.0;
+    double totalInjected = 0.0;
+    for (NodeId src = 0; src < numNodes; ++src) {
+        double injected = 0.0;
+        for (const auto &[dst, w] : patternWeights(pattern, src, numNodes)) {
+            injected += w;
+            for (int cls = 0; cls < numClasses; ++cls) {
+                FlowPath flow;
+                flow.src = src;
+                flow.dst = dst;
+                flow.weight = w / numClasses;
+
+                RouterId r = topo->nodeRouter(src);
+                PortId inPort = topo->nodePort(src);
+                // Any cycle-free path visits every router at most once;
+                // the cap turns a routing livelock into a fatal error
+                // instead of an endless walk.
+                const int cap = topo->numRouters() + 2;
+                for (int step = 0; step < cap; ++step) {
+                    const RouteDecision dec = routing->route(r, dst, cls);
+                    const OutputChannel &out = topo->output(r, dec.outPort);
+                    const int channel = channelBase[r] + dec.outPort;
+                    flow.channels.push_back(channel);
+                    channelWeight_[channel] += flow.weight;
+                    ++flow.routerHops;
+
+                    const int inIdx = inBase[r] + inPort;
+                    fIn[inIdx] += flow.weight;
+                    fInOut[{inIdx, channel}] += flow.weight;
+
+                    if (out.isTerminal()) {
+                        NOC_ASSERT(out.terminal == dst,
+                                   "flow ejected at the wrong terminal");
+                        r = kInvalidRouter;
+                        break;
+                    }
+                    NOC_ASSERT(dec.drop >= 0 &&
+                                   dec.drop < static_cast<int>(
+                                                  out.drops.size()),
+                               "route picked an invalid drop");
+                    const Drop &drop = out.drops[dec.drop];
+                    r = drop.router;
+                    inPort = drop.inPort;
+                }
+                NOC_ASSERT(r == kInvalidRouter,
+                           "flow walk did not reach its destination");
+
+                totalWeight += flow.weight;
+                totalHops += flow.weight * flow.routerHops;
+                flows_.push_back(std::move(flow));
+            }
+        }
+        maxInjectionWeight_ = std::max(maxInjectionWeight_, injected);
+        totalInjected += injected;
+    }
+
+    acceptedFraction_ = numNodes > 0 ? totalInjected / numNodes : 0.0;
+    meanRouterHops_ = totalWeight > 0.0 ? totalHops / totalWeight : 0.0;
+    maxChannelWeight_ =
+        channelWeight_.empty()
+            ? 0.0
+            : *std::max_element(channelWeight_.begin(), channelWeight_.end());
+
+    // Reuse probability: chance the next head flit on the same input
+    // port wants the same output, averaged over all arrivals.
+    if (totalHops > 0.0) {
+        double hits = 0.0;
+        for (const auto &[key, f] : fInOut)
+            hits += f * f / fIn[key.first];
+        reuseProbability_ = hits / totalHops;
+    }
+}
+
+double
+TrafficFlowMap::pathContention(double load, double serviceCycles) const
+{
+    double total = 0.0;
+    double weight = 0.0;
+    for (const FlowPath &flow : flows_) {
+        double wait = 0.0;
+        for (int channel : flow.channels)
+            wait += md1Wait(load * channelWeight_[channel], serviceCycles);
+        total += flow.weight * wait;
+        weight += flow.weight;
+    }
+    return weight > 0.0 ? total / weight : 0.0;
+}
+
+double
+TrafficFlowMap::loadAtUtilization(double rho) const
+{
+    if (maxChannelWeight_ <= 0.0)
+        return 1.0;
+    return std::min(1.0, rho / maxChannelWeight_);
+}
+
+bool
+TrafficFlowMap::saturated(double load, double rhoSat) const
+{
+    return load * maxChannelWeight_ >= rhoSat;
+}
+
+} // namespace noc

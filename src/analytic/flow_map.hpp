@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Traffic flow map: the topology-and-routing-exact substrate of the
+ * analytical network model.
+ *
+ * Instead of closed-form hop formulas per (topology × routing) pair,
+ * the flow map routes every (src, dst) flow of a synthetic pattern
+ * through the *real* Topology and RoutingAlgorithm objects — the same
+ * lookahead route() calls the cycle-accurate router makes — and
+ * accumulates three things the latency model needs:
+ *
+ *  - the mean number of routers a delivered packet traverses (the
+ *    SimResult::avgHops semantics: routers, not links),
+ *  - the per-output-channel traffic weight (flit utilization per unit
+ *    of offered load), which feeds the M/D/1 contention term and the
+ *    saturation estimate, and
+ *  - the circuit-reuse probability: the chance that two consecutive
+ *    packets arriving on the same router input port leave through the
+ *    same output — exactly the match condition of a pseudo-circuit
+ *    register (paper §3), and therefore the input of the per-scheme
+ *    bypass factors.
+ *
+ * Because paths come from the real objects, every topology and routing
+ * the simulator supports (mesh/cmesh/torus/fbfly/mecs, DOR/O1TURN,
+ * multidrop channels) is covered for free, and the hop counts agree
+ * with the simulator by construction. O1TURN's per-packet class choice
+ * is modelled as an even split over its routing classes, matching the
+ * uniform class draw in NetworkInterface.
+ */
+
+#ifndef NOC_ANALYTIC_FLOW_MAP_HPP
+#define NOC_ANALYTIC_FLOW_MAP_HPP
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+
+/** One directed flow of the pattern, with its routed path. */
+struct FlowPath
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    double weight = 0.0;      ///< packets per source packet (sums to <= 1)
+    int routerHops = 0;       ///< routers traversed (>= 1)
+    /// Indices into TrafficFlowMap::channelWeight for every output
+    /// channel the path crosses (terminal ejection included).
+    std::vector<int> channels;
+};
+
+/**
+ * The routed image of one (config, pattern) pair. Weights are per
+ * offered packet: multiplying channelWeight by the injection load in
+ * flits/node/cycle yields that channel's flit utilization.
+ */
+class TrafficFlowMap
+{
+  public:
+    TrafficFlowMap(const SimConfig &cfg, SyntheticPattern pattern);
+
+    /** Mean routers traversed per delivered packet (cf. avgHops). */
+    double meanRouterHops() const { return meanRouterHops_; }
+
+    /**
+     * Probability that two consecutive head flits arriving on the same
+     * input port request the same output channel — the pseudo-circuit
+     * register hit chance under random packet interleaving.
+     */
+    double reuseProbability() const { return reuseProbability_; }
+
+    /** Largest per-channel traffic weight (flits/cycle at load 1). */
+    double maxChannelWeight() const { return maxChannelWeight_; }
+
+    /** Largest per-node injection weight (<= 1; < 1 when the pattern
+     *  drops self-traffic). */
+    double maxInjectionWeight() const { return maxInjectionWeight_; }
+
+    /** Fraction of offered packets that actually enter the network
+     *  (fixed patterns with dst == src inject nothing). */
+    double acceptedFraction() const { return acceptedFraction_; }
+
+    const std::vector<FlowPath> &flows() const { return flows_; }
+    const std::vector<double> &channelWeights() const
+    {
+        return channelWeight_;
+    }
+
+    /**
+     * Mean per-packet waiting time across the pattern's paths when each
+     * crossed channel is an M/D/1 queue with utilization
+     * `load * channelWeight` and service time `serviceCycles`.
+     * Saturated channels contribute a large finite wait (see
+     * md1Wait()); use saturated() to detect the regime change.
+     */
+    double pathContention(double load, double serviceCycles) const;
+
+    /** Offered load (flits/node/cycle) at which the busiest channel
+     *  reaches utilization `rho`. */
+    double loadAtUtilization(double rho) const;
+
+    /** True when any channel utilization reaches `rhoSat` at `load`. */
+    bool saturated(double load, double rhoSat) const;
+
+  private:
+    std::vector<FlowPath> flows_;
+    std::vector<double> channelWeight_;   ///< indexed by channel id
+    double meanRouterHops_ = 0.0;
+    double reuseProbability_ = 0.0;
+    double maxChannelWeight_ = 0.0;
+    double maxInjectionWeight_ = 0.0;
+    double acceptedFraction_ = 0.0;
+};
+
+/**
+ * Destination weights of `src` under a pattern: (dst, probability)
+ * pairs summing to <= 1 (self-traffic excluded — a fixed pattern whose
+ * destination equals the source injects nothing, and the random
+ * patterns redraw). Mirrors SyntheticTraffic::destination().
+ */
+std::vector<std::pair<NodeId, double>> patternWeights(
+    SyntheticPattern pattern, NodeId src, int num_nodes);
+
+} // namespace noc
+
+#endif // NOC_ANALYTIC_FLOW_MAP_HPP

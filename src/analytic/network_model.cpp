@@ -1,0 +1,73 @@
+#include "analytic/network_model.hpp"
+
+#include "analytic/analytic_model.hpp"
+#include "analytic/calibration.hpp"
+#include "common/log.hpp"
+
+namespace noc {
+
+const char *
+toString(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Detailed: return "detailed";
+      case ModelKind::Analytic: return "analytic";
+      case ModelKind::Hybrid:   return "hybrid";
+    }
+    return "?";
+}
+
+ModelKind
+parseModelKind(const std::string &name)
+{
+    if (name == "detailed")
+        return ModelKind::Detailed;
+    if (name == "analytic")
+        return ModelKind::Analytic;
+    if (name == "hybrid")
+        return ModelKind::Hybrid;
+    NOC_FATAL("unknown model: " + name +
+              " (expected detailed|analytic|hybrid)");
+}
+
+ModelEstimate
+DetailedNetworkModel::estimate(const ModelRequest &req)
+{
+    ModelEstimate est;
+    try {
+        // Same traffic seed derivation as noctool's single-run path, so
+        // a detailed estimate reproduces the CLI's numbers exactly.
+        auto source = std::make_unique<SyntheticTraffic>(
+            req.pattern, req.cfg.numNodes(), req.load, req.packetSize,
+            req.cfg.seed * 77 + 5);
+        const SimResult r =
+            runSimulation(req.cfg, std::move(source), req.windows);
+        est.ok = true;
+        est.saturated = !r.drained;
+        est.netLatency = r.avgNetLatency;
+        est.totalLatency = r.avgTotalLatency;
+        est.hops = r.avgHops;
+        est.throughput = r.throughput;
+        est.reusability = r.reusability;
+    } catch (const std::exception &) {
+        est.ok = false;
+    }
+    return est;
+}
+
+std::unique_ptr<NetworkModel>
+makeNetworkModel(ModelKind kind, const Calibration &cal)
+{
+    switch (kind) {
+      case ModelKind::Detailed:
+        return std::make_unique<DetailedNetworkModel>();
+      case ModelKind::Analytic:
+        return std::make_unique<AnalyticNetworkModel>(cal);
+      case ModelKind::Hybrid:
+        break;
+    }
+    NOC_FATAL("hybrid is a sweep policy, not a backend "
+              "(see analytic/hybrid.hpp)");
+}
+
+} // namespace noc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The NetworkModel abstraction: one interface, two fidelities.
+ *
+ * A NetworkModel answers "what latency/throughput does configuration X
+ * see under pattern P at load l?" — the question every figure sweep
+ * asks per point. The detailed backend answers it with the
+ * cycle-accurate simulator (exact, slow); the analytical backend with
+ * closed-form queueing formulas over the routed flow map (approximate,
+ * ~10^4× faster). Both sit behind this interface so sweep drivers,
+ * the calibration pipeline and the accuracy oracle can switch fidelity
+ * per point — the pattern Sniper uses for its pluggable network models
+ * (NetworkModelEMeshHopCounter vs the detailed queue model).
+ */
+
+#ifndef NOC_ANALYTIC_NETWORK_MODEL_HPP
+#define NOC_ANALYTIC_NETWORK_MODEL_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+
+struct Calibration;
+
+/** Fidelity selection for a sweep (noctool `model=`). */
+enum class ModelKind {
+    Detailed,   ///< every point cycle-accurate (the default)
+    Analytic,   ///< every point from the analytical model
+    Hybrid,     ///< analytic pre-screen, detailed on the frontier
+};
+
+const char *toString(ModelKind kind);
+
+/** Parse detailed|analytic|hybrid (fatal on anything else). */
+ModelKind parseModelKind(const std::string &name);
+
+/** One latency question: a config under a synthetic workload point. */
+struct ModelRequest
+{
+    SimConfig cfg;
+    SyntheticPattern pattern = SyntheticPattern::UniformRandom;
+    double load = 0.1;        ///< offered flits/node/cycle
+    int packetSize = 5;       ///< flits per packet (paper: 5)
+    SimWindows windows;       ///< used by the detailed backend only
+};
+
+/** A model's answer. Every field is finite; saturated answers clamp. */
+struct ModelEstimate
+{
+    bool ok = false;
+    bool saturated = false;   ///< past the predicted saturation load
+    double netLatency = 0.0;  ///< mean injection -> ejection, cycles
+    double totalLatency = 0.0;///< mean creation -> ejection, cycles
+    double hops = 0.0;        ///< mean routers traversed
+    double throughput = 0.0;  ///< accepted flits/node/cycle
+    double reusability = 0.0; ///< predicted pseudo-circuit hit rate
+
+    // Analytic-only decomposition (zero from the detailed backend).
+    double zeroLoad = 0.0;       ///< pipeline + wire term
+    double serialization = 0.0;  ///< multi-flit / credit-stall term
+    double contention = 0.0;     ///< M/D/1 path-queueing term
+    double sourceWait = 0.0;     ///< NI source-queue term
+    double maxChannelLoad = 0.0; ///< utilization of the busiest channel
+};
+
+class NetworkModel
+{
+  public:
+    virtual ~NetworkModel() = default;
+
+    /** Answer one latency question. Never throws for a valid config:
+     *  failures come back as ok = false. */
+    virtual ModelEstimate estimate(const ModelRequest &req) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * The cycle-accurate backend: adapts Simulator + SyntheticTraffic to
+ * the model interface. Seeds the traffic exactly like noctool
+ * (cfg.seed * 77 + 5), so an estimate() equals a noctool run point.
+ */
+class DetailedNetworkModel : public NetworkModel
+{
+  public:
+    ModelEstimate estimate(const ModelRequest &req) override;
+    std::string name() const override { return "detailed"; }
+};
+
+/**
+ * Build a backend. `Hybrid` is a sweep-planning policy, not a backend,
+ * and is rejected here (see analytic/hybrid.hpp).
+ */
+std::unique_ptr<NetworkModel> makeNetworkModel(ModelKind kind,
+                                               const Calibration &cal);
+
+} // namespace noc
+
+#endif // NOC_ANALYTIC_NETWORK_MODEL_HPP

@@ -147,6 +147,21 @@ addResultFields(JsonObject &obj, const SimResult &r)
         obj.add("fault_stall_cycles", fmtU64(f.stallCycles));
         obj.add("pc_terminated_fault", fmtU64(r.pcTotals.terminatedFault));
     }
+    // And for the model layer: provenance fields exist only when the
+    // record came out of an analytic or hybrid sweep, so detailed-only
+    // streams stay byte-identical to pre-model output. The CSV schema
+    // is deliberately untouched — its column set is fixed.
+    if (r.model.active) {
+        obj.addString("model", r.model.tag);
+        obj.add("predicted_net_latency",
+                fmtDouble(r.model.predictedNetLatency));
+        obj.add("predicted_total_latency",
+                fmtDouble(r.model.predictedTotalLatency));
+        obj.add("predicted_saturated",
+                r.model.predictedSaturated ? "true" : "false");
+        if (r.model.tag == "frontier")
+            obj.add("model_rel_error_net", fmtDouble(r.model.relErrorNet));
+    }
 }
 
 std::string

@@ -64,6 +64,25 @@ struct SimSample
     double throughput = 0.0;    ///< flits/node/cycle, this interval
 };
 
+/**
+ * How a result relates to the network-model layer (src/analytic/).
+ * Inactive — and absent from every sink — for plain detailed runs, so
+ * model-off output stays byte-identical to pre-model releases.
+ */
+struct ModelAnnotation
+{
+    bool active = false;
+    /// "analytic": the numbers are model predictions, no simulation
+    /// ran. "frontier": a cycle-accurate run a hybrid sweep selected;
+    /// the predicted_* fields carry the model's screen of the point.
+    std::string tag;
+    double predictedNetLatency = 0.0;
+    double predictedTotalLatency = 0.0;
+    /// Frontier only: |predicted - measured| / measured net latency.
+    double relErrorNet = 0.0;
+    bool predictedSaturated = false;
+};
+
 /** Everything one run produces. */
 struct SimResult
 {
@@ -111,6 +130,10 @@ struct SimResult
     /// Degradation report of the fault plan (active == false — and no
     /// output anywhere — for fault-free runs).
     FaultReport fault;
+
+    /// Network-model provenance (active == false — and no output
+    /// anywhere — for plain detailed runs).
+    ModelAnnotation model;
 
     Cycle cyclesRun = 0;
     bool drained = false;           ///< all packets delivered in time

@@ -32,12 +32,28 @@
 #include "common/result_sink.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
+#include "traffic/synthetic.hpp"
 
 namespace noc {
 
 /** Builds one job's traffic source, inside the worker thread. */
 using TrafficFactory =
     std::function<std::unique_ptr<TrafficSource>(const SimConfig &)>;
+
+/**
+ * Sidecar description of a job's workload for the model layer
+ * (src/analytic/). The TrafficFactory is opaque, so jobs that want to
+ * be analytically modellable (synthetic workloads only) also carry the
+ * pattern/load/size triple the factory was built from. Invalid (the
+ * default) means "detailed fidelity only" — e.g. trace-driven jobs.
+ */
+struct AnalyticSpec
+{
+    bool valid = false;
+    SyntheticPattern pattern = SyntheticPattern::UniformRandom;
+    double load = 0.0;        ///< offered flits/node/cycle
+    int packetSize = 5;
+};
 
 /** One independent simulation in a sweep. */
 struct SweepJob
@@ -55,6 +71,9 @@ struct SweepJob
     /// InvariantChecker and the outcome carries its verdict. The
     /// checker only observes, so results stay byte-identical.
     VerifyConfig verify;
+    /// Workload sidecar for model-driven sweeps (see AnalyticSpec).
+    /// Ignored by SweepRunner itself — only runModelSweep reads it.
+    AnalyticSpec analytic;
 
     // --- resilience knobs (all off by default: one attempt, no limit) ---
     /// Wall-clock budget per attempt in milliseconds (0 = unlimited).

@@ -1,0 +1,85 @@
+#include "verify/model_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/analytic_model.hpp"
+
+namespace noc {
+
+AccuracyReport
+analyticAccuracyOracle(const std::vector<AccuracyPoint> &sample,
+                       const Calibration &cal, const SimWindows &windows)
+{
+    AccuracyReport report;
+    report.bound = cal.errorBound;
+    report.points = sample;
+
+    DetailedNetworkModel detailed;
+    AnalyticNetworkModel analytic(cal);
+    double errSum = 0.0;
+    for (AccuracyPoint &p : report.points) {
+        ModelRequest req;
+        req.cfg = p.cfg;
+        req.pattern = p.pattern;
+        req.load = p.load;
+        req.packetSize = p.packetSize;
+        req.windows = windows;
+
+        const ModelEstimate prediction = analytic.estimate(req);
+        if (!prediction.ok || prediction.saturated) {
+            p.skipped = true;
+            continue;
+        }
+        const ModelEstimate truth = detailed.estimate(req);
+        if (!truth.ok || truth.saturated || truth.netLatency <= 0.0) {
+            p.skipped = true;
+            continue;
+        }
+        p.detailedNet = truth.netLatency;
+        p.analyticNet = prediction.netLatency;
+        p.relError =
+            std::abs(prediction.netLatency - truth.netLatency) /
+            truth.netLatency;
+        errSum += p.relError;
+        ++report.scored;
+        if (p.relError > report.maxError) {
+            report.maxError = p.relError;
+            report.worst = p.cfg.describe() + " load=" +
+                           std::to_string(p.load) + " pattern=" +
+                           toString(p.pattern);
+        }
+    }
+    if (report.scored > 0)
+        report.meanError = errSum / report.scored;
+    report.pass = report.scored > 0 && report.maxError <= report.bound;
+    return report;
+}
+
+std::vector<AccuracyPoint>
+paperAccuracySample()
+{
+    // fig08/fig09 operating points below saturation: the paper platform
+    // swept over all five schemes at three pre-saturation loads.
+    std::vector<AccuracyPoint> sample;
+    for (const Scheme scheme :
+         {Scheme::Baseline, Scheme::Pseudo, Scheme::PseudoS,
+          Scheme::PseudoB, Scheme::PseudoSB}) {
+        for (const double load : {0.05, 0.10, 0.15}) {
+            AccuracyPoint p;
+            p.cfg.topology = TopologyKind::CMesh;
+            p.cfg.meshWidth = 4;
+            p.cfg.meshHeight = 4;
+            p.cfg.concentration = 4;
+            p.cfg.scheme = scheme;
+            p.cfg.seed = 7;
+            p.pattern = SyntheticPattern::UniformRandom;
+            p.load = load;
+            p.packetSize = 5;
+            sample.push_back(p);
+        }
+    }
+    return sample;
+}
+
+} // namespace noc

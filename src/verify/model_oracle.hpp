@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic-vs-detailed accuracy oracle.
+ *
+ * The analytical model ships with a contract: on pre-saturation points
+ * of the calibrated configuration family, its mean net latency is
+ * within Calibration::errorBound of the cycle-accurate simulator. This
+ * oracle *enforces* that contract the same way the PR 4 oracles
+ * enforce delivery equivalence — run both backends over a sample of
+ * configurations, compare, and fail loudly with the offending point.
+ * It backs the AnalyticAccuracy ctest suite and the CI
+ * `analytic-accuracy` job.
+ */
+
+#ifndef NOC_VERIFY_MODEL_ORACLE_HPP
+#define NOC_VERIFY_MODEL_ORACLE_HPP
+
+#include <string>
+#include <vector>
+
+#include "analytic/calibration.hpp"
+#include "analytic/network_model.hpp"
+
+namespace noc {
+
+/** One compared point of the accuracy sample. */
+struct AccuracyPoint
+{
+    SimConfig cfg;
+    SyntheticPattern pattern = SyntheticPattern::UniformRandom;
+    double load = 0.0;
+    int packetSize = 5;
+
+    bool skipped = false;       ///< saturated (either side) — not scored
+    double detailedNet = 0.0;   ///< measured mean net latency
+    double analyticNet = 0.0;   ///< predicted mean net latency
+    double relError = 0.0;      ///< |analytic - detailed| / detailed
+};
+
+/** The oracle's verdict over one sample. */
+struct AccuracyReport
+{
+    std::vector<AccuracyPoint> points;
+    int scored = 0;             ///< points that entered the error stats
+    double meanError = 0.0;
+    double maxError = 0.0;
+    double bound = 0.0;         ///< the enforced Calibration::errorBound
+    bool pass = false;          ///< every scored point within bound
+    std::string worst;          ///< describe() of the worst point
+};
+
+/**
+ * Run `cfg`-family points under both backends and score the analytic
+ * error. Points saturated under either backend are recorded but not
+ * scored — the contract is pre-saturation only. Pass requires every
+ * scored relative error <= cal.errorBound and at least one scored
+ * point (an all-saturated sample cannot claim accuracy).
+ */
+AccuracyReport analyticAccuracyOracle(const std::vector<AccuracyPoint> &sample,
+                                      const Calibration &cal,
+                                      const SimWindows &windows = {});
+
+/**
+ * The fixed sample CI and ctest use: the paper platform (4x4 CMesh,
+ * XY, 5-flit packets) under uniform random at pre-saturation loads,
+ * all five pseudo-circuit schemes — the fig08/fig09 operating points.
+ */
+std::vector<AccuracyPoint> paperAccuracySample();
+
+} // namespace noc
+
+#endif // NOC_VERIFY_MODEL_ORACLE_HPP

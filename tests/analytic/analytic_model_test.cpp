@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Closed-form pieces of the analytical model against hand-computed
+ * values: the M/D/1 waiting term, the serialization term, zero-load
+ * latency, per-scheme bypass savings, and flow-map hop counts on
+ * topologies small enough to route by hand.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/analytic_model.hpp"
+#include "analytic/calibration.hpp"
+#include "analytic/flow_map.hpp"
+#include "common/config.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+
+using namespace noc;
+
+namespace {
+
+SimConfig
+meshConfig(int w, int h)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = w;
+    cfg.meshHeight = h;
+    cfg.concentration = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Md1Wait, HandValues)
+{
+    // W = rho * S / (2 * (1 - rho)).
+    EXPECT_DOUBLE_EQ(md1Wait(0.5, 5.0), 2.5);
+    EXPECT_DOUBLE_EQ(md1Wait(0.5, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(md1Wait(0.8, 5.0), 0.8 * 5.0 / (2.0 * 0.2));
+}
+
+TEST(Md1Wait, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(md1Wait(0.0, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(md1Wait(-0.3, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(md1Wait(0.4, 0.0), 0.0);
+    // Past the cap the wait is large but finite.
+    const double atCap =
+        kMd1RhoCap * 5.0 / (2.0 * (1.0 - kMd1RhoCap));
+    EXPECT_DOUBLE_EQ(md1Wait(1.0, 5.0), atCap);
+    EXPECT_DOUBLE_EQ(md1Wait(7.0, 5.0), atCap);
+}
+
+TEST(Md1Wait, MonotoneInLoad)
+{
+    double prev = -1.0;
+    for (double rho = 0.05; rho < 1.0; rho += 0.05) {
+        const double w = md1Wait(rho, 5.0);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(Serialization, HandValues)
+{
+    // Credit round trip at link = credit = 1 is 2*(1+1)+2 = 6 cycles;
+    // a depth-4 buffer spaces body flits 1.5 cycles apart, depth >= 6
+    // streams them back to back.
+    EXPECT_DOUBLE_EQ(serializationCycles(5, 4, 1, 1), 6.0);
+    EXPECT_DOUBLE_EQ(serializationCycles(5, 8, 1, 1), 4.0);
+    EXPECT_DOUBLE_EQ(serializationCycles(5, 2, 1, 1), 12.0);
+    // Single-flit packets have nothing to serialize.
+    EXPECT_DOUBLE_EQ(serializationCycles(1, 4, 1, 1), 0.0);
+}
+
+TEST(ZeroLoad, MatchesVerifiedPipelineTiming)
+{
+    // The pipeline timing test pins a 4-hop baseline path at 18 cycles
+    // = 2 + 4 * (3 + 1); a full pseudo-circuit hit shortens the router
+    // to 2 cycles (14 total), speculative buffer bypass to 1 (10).
+    EXPECT_DOUBLE_EQ(zeroLoadLatency(4.0, 3.0, 1), 18.0);
+    EXPECT_DOUBLE_EQ(zeroLoadLatency(4.0, 2.0, 1), 14.0);
+    EXPECT_DOUBLE_EQ(zeroLoadLatency(4.0, 1.0, 1), 10.0);
+}
+
+TEST(BypassSaving, PerScheme)
+{
+    EXPECT_EQ(bypassSaving(Scheme::Baseline), 0);
+    EXPECT_EQ(bypassSaving(Scheme::Pseudo), 1);
+    EXPECT_EQ(bypassSaving(Scheme::PseudoS), 1);
+    EXPECT_EQ(bypassSaving(Scheme::PseudoB), 2);
+    EXPECT_EQ(bypassSaving(Scheme::PseudoSB), 2);
+    EXPECT_EQ(bypassSaving(Scheme::Evc), 0);
+}
+
+TEST(EffectivePipeline, HitRateShortensRouters)
+{
+    Calibration cal = Calibration::defaults();
+    cal.forScheme(Scheme::PseudoSB).bypassAlpha = 1.0;
+    cal.forScheme(Scheme::Pseudo).bypassAlpha = 1.0;
+    // 50% reuse: SA+buffer bypass saves 2 cycles on half the hops.
+    EXPECT_DOUBLE_EQ(effectivePipelineCycles(Scheme::PseudoSB, 0.5, cal),
+                     2.0);
+    EXPECT_DOUBLE_EQ(effectivePipelineCycles(Scheme::Pseudo, 0.5, cal),
+                     2.5);
+    // Baseline never shortens, whatever the reuse.
+    EXPECT_DOUBLE_EQ(effectivePipelineCycles(Scheme::Baseline, 1.0, cal),
+                     3.0);
+}
+
+TEST(FlowMap, MeshTransposeHops)
+{
+    // 4x4 mesh, transpose: (x, y) -> (y, x) under XY takes
+    // 2 * |x - y| + 1 routers; the four diagonal nodes inject nothing.
+    // Mean over the 12 active flows: (6*3 + 4*5 + 2*7) / 12 = 13/3.
+    const TrafficFlowMap fm(meshConfig(4, 4),
+                            SyntheticPattern::Transpose);
+    EXPECT_EQ(fm.flows().size(), 12u);
+    EXPECT_DOUBLE_EQ(fm.meanRouterHops(), 13.0 / 3.0);
+    EXPECT_DOUBLE_EQ(fm.acceptedFraction(), 12.0 / 16.0);
+    // Deterministic per flow, but flows share input ports at the turn
+    // routers, so interleaving breaks some circuits: reuse < 1.
+    EXPECT_DOUBLE_EQ(fm.reuseProbability(), 34.0 / 39.0);
+}
+
+TEST(FlowMap, MeshNeighborHops)
+{
+    // Neighbor sends (x, y) -> ((x+1) mod 4, y). Twelve flows go one
+    // hop east (2 routers); the four x=3 flows travel back across the
+    // row (4 routers). Mean = (12*2 + 4*4) / 16 = 2.5.
+    const TrafficFlowMap fm(meshConfig(4, 4), SyntheticPattern::Neighbor);
+    EXPECT_EQ(fm.flows().size(), 16u);
+    EXPECT_DOUBLE_EQ(fm.meanRouterHops(), 2.5);
+    EXPECT_DOUBLE_EQ(fm.acceptedFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(fm.maxInjectionWeight(), 1.0);
+    // Every input port carries exactly one flow, so the previous
+    // circuit always matches.
+    EXPECT_DOUBLE_EQ(fm.reuseProbability(), 1.0);
+}
+
+TEST(FlowMap, TorusNeighborHops)
+{
+    // On the torus the x=3 -> x=0 step wraps: every flow is exactly
+    // one link, i.e. 2 routers.
+    SimConfig cfg = meshConfig(4, 4);
+    cfg.topology = TopologyKind::Torus;
+    const TrafficFlowMap fm(cfg, SyntheticPattern::Neighbor);
+    EXPECT_DOUBLE_EQ(fm.meanRouterHops(), 2.0);
+}
+
+TEST(FlowMap, MeshNeighborContention)
+{
+    // Under neighbor every crossed channel carries exactly one flow
+    // (weight 1), so each queue sees utilization = load and the mean
+    // wait is hops-per-flow-weighted: (12*2 + 4*4)/16 = 2.5 channels
+    // per packet, each waiting md1Wait(load, S).
+    const TrafficFlowMap fm(meshConfig(4, 4), SyntheticPattern::Neighbor);
+    EXPECT_DOUBLE_EQ(fm.maxChannelWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(fm.pathContention(0.4, 5.0),
+                     2.5 * md1Wait(0.4, 5.0));
+    EXPECT_DOUBLE_EQ(fm.loadAtUtilization(1.0), 1.0);
+    EXPECT_FALSE(fm.saturated(0.5, 0.8));
+    EXPECT_TRUE(fm.saturated(0.8, 0.8));
+}
+
+TEST(FlowMap, O1TurnMatchesDorHopsWithLowerPeak)
+{
+    // O1TURN splits each flow over the XY and YX classes: minimal
+    // routing either way, so hop counts are unchanged, but transpose
+    // traffic spreads over twice the channels and the busiest one
+    // carries less.
+    SimConfig xy = meshConfig(4, 4);
+    SimConfig o1 = meshConfig(4, 4);
+    o1.routing = RoutingKind::O1Turn;
+    const TrafficFlowMap fmXy(xy, SyntheticPattern::Transpose);
+    const TrafficFlowMap fmO1(o1, SyntheticPattern::Transpose);
+    EXPECT_DOUBLE_EQ(fmO1.meanRouterHops(), fmXy.meanRouterHops());
+    EXPECT_LT(fmO1.maxChannelWeight(), fmXy.maxChannelWeight());
+    // Two classes, 12 active flows each.
+    EXPECT_EQ(fmO1.flows().size(), 24u);
+}
+
+TEST(FlowMap, CmeshHopsAgreeWithSimulator)
+{
+    // Paper platform: hop counts come from the same Topology/Routing
+    // objects the simulator uses, so the flow-map mean must match the
+    // measured avgHops up to sampling noise.
+    SimConfig cfg;
+    cfg.topology = TopologyKind::CMesh;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.concentration = 4;
+    cfg.seed = 7;
+    const TrafficFlowMap fm(cfg, SyntheticPattern::UniformRandom);
+
+    auto source = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::UniformRandom, cfg.numNodes(), 0.05, 5,
+        cfg.seed * 77 + 5);
+    Simulator sim(cfg, std::move(source));
+    SimWindows windows;
+    windows.warmup = 500;
+    windows.measure = 2000;
+    const SimResult r = sim.run(windows);
+    ASSERT_TRUE(r.drained);
+    EXPECT_NEAR(fm.meanRouterHops(), r.avgHops, 0.02 * r.avgHops);
+}
+
+TEST(FlowMap, UniformWeightsSumToOne)
+{
+    const auto w =
+        patternWeights(SyntheticPattern::UniformRandom, 3, 16);
+    EXPECT_EQ(w.size(), 15u);
+    double sum = 0.0;
+    for (const auto &[dst, p] : w) {
+        EXPECT_NE(dst, 3);
+        EXPECT_DOUBLE_EQ(p, 1.0 / 15.0);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FlowMap, HotspotWeightsSumToOne)
+{
+    for (NodeId src = 0; src < 16; ++src) {
+        double sum = 0.0;
+        for (const auto &[dst, p] :
+             patternWeights(SyntheticPattern::Hotspot, src, 16)) {
+            EXPECT_NE(dst, src);
+            EXPECT_GT(p, 0.0);
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}

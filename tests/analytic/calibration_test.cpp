@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Calibration persistence: stable JSON round-trips, shipped defaults,
+ * and rejection of malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analytic/analytic_model.hpp"
+#include "analytic/calibration.hpp"
+
+using namespace noc;
+
+TEST(Calibration, DefaultsCoverEveryScheme)
+{
+    const Calibration cal = Calibration::defaults();
+    EXPECT_EQ(cal.schemes.size(),
+              static_cast<std::size_t>(Scheme::Evc) + 1);
+    EXPECT_DOUBLE_EQ(cal.rhoSat, 0.8);
+    EXPECT_DOUBLE_EQ(cal.errorBound, 0.10);
+    // Schemes without a bypass path carry no alpha.
+    EXPECT_DOUBLE_EQ(cal.forScheme(Scheme::Baseline).bypassAlpha, 0.0);
+    EXPECT_DOUBLE_EQ(cal.forScheme(Scheme::Evc).bypassAlpha, 0.0);
+    // Every pseudo-circuit scheme does.
+    EXPECT_GT(cal.forScheme(Scheme::Pseudo).bypassAlpha, 0.0);
+    EXPECT_GT(cal.forScheme(Scheme::PseudoS).bypassAlpha, 0.0);
+    EXPECT_GT(cal.forScheme(Scheme::PseudoB).bypassAlpha, 0.0);
+    EXPECT_GT(cal.forScheme(Scheme::PseudoSB).bypassAlpha, 0.0);
+}
+
+TEST(Calibration, JsonRoundTripIsExact)
+{
+    Calibration cal = Calibration::defaults();
+    cal.rhoSat = 0.75;
+    cal.errorBound = 0.07;
+    cal.fitMeanError = 0.0123456789;
+    cal.fitMaxError = 0.0456789;
+    cal.fitPoints = 15;
+    cal.forScheme(Scheme::Pseudo) = {0.123456789012345, 1.9876543210987};
+
+    const auto back = Calibration::fromJson(cal.toJson());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_DOUBLE_EQ(back->rhoSat, cal.rhoSat);
+    EXPECT_DOUBLE_EQ(back->errorBound, cal.errorBound);
+    EXPECT_DOUBLE_EQ(back->fitMeanError, cal.fitMeanError);
+    EXPECT_DOUBLE_EQ(back->fitMaxError, cal.fitMaxError);
+    EXPECT_EQ(back->fitPoints, cal.fitPoints);
+    for (int i = 0; i <= static_cast<int>(Scheme::Evc); ++i) {
+        const Scheme s = static_cast<Scheme>(i);
+        EXPECT_DOUBLE_EQ(back->forScheme(s).bypassAlpha,
+                         cal.forScheme(s).bypassAlpha);
+        EXPECT_DOUBLE_EQ(back->forScheme(s).contentionScale,
+                         cal.forScheme(s).contentionScale);
+    }
+}
+
+TEST(Calibration, RejectsMalformedJson)
+{
+    EXPECT_FALSE(Calibration::fromJson("").has_value());
+    EXPECT_FALSE(Calibration::fromJson("{}").has_value());
+    EXPECT_FALSE(Calibration::fromJson("not json at all").has_value());
+    // A negative coefficient is out of the model's domain (negate a
+    // scheme whose alpha is nonzero — baseline's is legitimately 0).
+    std::string json = Calibration::defaults().toJson();
+    const std::string key = "\"pseudo\":{\"bypass_alpha\":";
+    const std::size_t pos = json.find(key);
+    ASSERT_NE(pos, std::string::npos);
+    json.insert(pos + key.size(), "-");
+    EXPECT_FALSE(Calibration::fromJson(json).has_value());
+    // Dropping a scheme object breaks the per-scheme table.
+    std::string missing = Calibration::defaults().toJson();
+    const std::size_t evc = missing.find("\"evc\"");
+    ASSERT_NE(evc, std::string::npos);
+    missing.erase(evc);
+    EXPECT_FALSE(Calibration::fromJson(missing).has_value());
+}
+
+TEST(Calibration, SaveLoadRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "noc_calibration_test.json";
+    Calibration cal = Calibration::defaults();
+    cal.fitPoints = 7;
+    cal.save(path);
+    const auto back = Calibration::load(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->fitPoints, 7);
+    EXPECT_DOUBLE_EQ(back->forScheme(Scheme::PseudoSB).contentionScale,
+                     cal.forScheme(Scheme::PseudoSB).contentionScale);
+}
+
+TEST(Calibration, LoadMissingFileIsNullopt)
+{
+    EXPECT_FALSE(
+        Calibration::load("/nonexistent/dir/cal.json").has_value());
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hybrid sweep planner: the detailed budget is never exceeded, the
+ * budget goes to the saturation knee first, and plans are
+ * deterministic functions of their input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/analytic_model.hpp"
+#include "analytic/calibration.hpp"
+#include "analytic/hybrid.hpp"
+
+using namespace noc;
+
+namespace {
+
+SimConfig
+paperConfig(Scheme scheme)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::CMesh;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.concentration = 4;
+    cfg.scheme = scheme;
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::vector<HybridPoint>
+loadLadder(const std::vector<Scheme> &schemes,
+           const std::vector<double> &loads)
+{
+    std::vector<HybridPoint> points;
+    for (const Scheme s : schemes)
+        for (const double load : loads) {
+            HybridPoint p;
+            p.cfg = paperConfig(s);
+            p.load = load;
+            points.push_back(p);
+        }
+    return points;
+}
+
+} // namespace
+
+TEST(HybridPlan, RespectsDetailedBudget)
+{
+    AnalyticNetworkModel model(Calibration::defaults());
+    const auto points =
+        loadLadder({Scheme::Baseline, Scheme::PseudoSB},
+                   {0.05, 0.10, 0.15, 0.20, 0.25});
+    const HybridPlan plan = planHybridSweep(points, model);
+    ASSERT_EQ(plan.detailed.size(), points.size());
+    ASSERT_EQ(plan.estimates.size(), points.size());
+    // <= 1/5 of the points cycle-accurate: 10 points -> at most 2.
+    EXPECT_LE(plan.detailedCount(), 2);
+    EXPECT_GE(plan.detailedCount(), 1);
+}
+
+TEST(HybridPlan, BudgetGoesToTheKnee)
+{
+    AnalyticNetworkModel model(Calibration::defaults());
+    const auto points =
+        loadLadder({Scheme::Baseline, Scheme::PseudoSB},
+                   {0.05, 0.10, 0.15, 0.20, 0.25});
+    const HybridPlan plan = planHybridSweep(points, model);
+    // On the paper platform the busiest channel saturates at load
+    // 0.20; each curve's knee is its load-0.20 point (indices 3, 8).
+    EXPECT_TRUE(plan.detailed[3]);
+    EXPECT_TRUE(plan.detailed[8]);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i != 3 && i != 8) {
+            EXPECT_FALSE(plan.detailed[i]) << "point " << i;
+        }
+    }
+}
+
+TEST(HybridPlan, SinglePointStillRunsDetailed)
+{
+    AnalyticNetworkModel model(Calibration::defaults());
+    const auto points = loadLadder({Scheme::Baseline}, {0.10});
+    const HybridPlan plan = planHybridSweep(points, model);
+    EXPECT_EQ(plan.detailedCount(), 1);
+}
+
+TEST(HybridPlan, Deterministic)
+{
+    AnalyticNetworkModel model(Calibration::defaults());
+    const auto points = loadLadder(
+        {Scheme::Baseline, Scheme::Pseudo, Scheme::PseudoSB},
+        {0.05, 0.10, 0.15, 0.20});
+    const HybridPlan a = planHybridSweep(points, model);
+    const HybridPlan b = planHybridSweep(points, model);
+    ASSERT_EQ(a.detailed.size(), b.detailed.size());
+    for (std::size_t i = 0; i < a.detailed.size(); ++i)
+        EXPECT_EQ(a.detailed[i], b.detailed[i]) << "point " << i;
+}
+
+TEST(HybridPlan, EveryEstimateIsFinite)
+{
+    AnalyticNetworkModel model(Calibration::defaults());
+    const auto points = loadLadder(
+        {Scheme::Baseline, Scheme::PseudoSB}, {0.05, 0.15, 0.30, 0.60});
+    const HybridPlan plan = planHybridSweep(points, model);
+    for (const ModelEstimate &est : plan.estimates) {
+        ASSERT_TRUE(est.ok);
+        EXPECT_TRUE(std::isfinite(est.netLatency));
+        EXPECT_GE(est.netLatency, 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The AnalyticAccuracy suite: the shipped calibration's error contract
+ * — analytic mean net latency within Calibration::errorBound of the
+ * cycle-accurate simulator on pre-saturation points of the paper
+ * platform — enforced by running both backends over the fixed
+ * fig08/fig09 sample. This is the ctest (and CI `analytic-accuracy`
+ * job) teeth behind the bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/calibration.hpp"
+#include "verify/model_oracle.hpp"
+
+using namespace noc;
+
+TEST(AnalyticAccuracy, PaperSampleWithinCalibratedBound)
+{
+    const Calibration cal = Calibration::defaults();
+    SimWindows windows;
+    windows.warmup = 1000;
+    windows.measure = 8000;
+    const AccuracyReport report =
+        analyticAccuracyOracle(paperAccuracySample(), cal, windows);
+
+    ASSERT_GT(report.scored, 0) << "all sample points saturated";
+    EXPECT_DOUBLE_EQ(report.bound, cal.errorBound);
+    EXPECT_TRUE(report.pass)
+        << "max error " << report.maxError * 100.0 << "% > bound "
+        << report.bound * 100.0 << "% at " << report.worst;
+    EXPECT_LE(report.maxError, cal.errorBound);
+    EXPECT_LE(report.meanError, report.maxError);
+
+    // Every scored point carries both measurements.
+    for (const AccuracyPoint &p : report.points) {
+        if (p.skipped)
+            continue;
+        EXPECT_GT(p.detailedNet, 0.0);
+        EXPECT_GT(p.analyticNet, 0.0);
+    }
+}
+
+TEST(AnalyticAccuracy, SampleCoversAllFiveSchemes)
+{
+    const auto sample = paperAccuracySample();
+    bool seen[static_cast<int>(Scheme::Evc) + 1] = {};
+    for (const AccuracyPoint &p : sample) {
+        seen[static_cast<int>(p.cfg.scheme)] = true;
+        EXPECT_EQ(p.cfg.topology, TopologyKind::CMesh);
+        EXPECT_GT(p.load, 0.0);
+    }
+    EXPECT_TRUE(seen[static_cast<int>(Scheme::Baseline)]);
+    EXPECT_TRUE(seen[static_cast<int>(Scheme::Pseudo)]);
+    EXPECT_TRUE(seen[static_cast<int>(Scheme::PseudoS)]);
+    EXPECT_TRUE(seen[static_cast<int>(Scheme::PseudoB)]);
+    EXPECT_TRUE(seen[static_cast<int>(Scheme::PseudoSB)]);
+}
+
+TEST(AnalyticAccuracy, SaturatedPointsAreSkippedNotScored)
+{
+    // A sample consisting only of a deeply saturated point cannot
+    // claim accuracy: the oracle must refuse to pass.
+    std::vector<AccuracyPoint> sample = paperAccuracySample();
+    sample.resize(1);
+    sample[0].load = 0.9;   // far past the knee
+    SimWindows windows;
+    windows.warmup = 200;
+    windows.measure = 500;
+    const AccuracyReport report =
+        analyticAccuracyOracle(sample, Calibration::defaults(), windows);
+    EXPECT_EQ(report.scored, 0);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.points.size(), 1u);
+    EXPECT_TRUE(report.points[0].skipped);
+}

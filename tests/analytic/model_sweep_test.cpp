@@ -1,0 +1,129 @@
+/**
+ * @file
+ * runModelSweep: detailed mode is a pure passthrough to the runner,
+ * analytic mode answers every job from the model with the "analytic"
+ * annotation, and hybrid mode spends its budget on the frontier and
+ * annotates those measured points with the prediction error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analytic/calibration.hpp"
+#include "analytic/model_sweep.hpp"
+#include "router/router_pipeline.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/synthetic.hpp"
+
+using namespace noc;
+
+namespace {
+
+SweepJob
+paperJob(Scheme scheme, double load)
+{
+    SweepJob job;
+    job.label = "test:" + std::string(schemeSlug(scheme)) + ":" +
+                std::to_string(load);
+    job.cfg.topology = TopologyKind::CMesh;
+    job.cfg.meshWidth = 4;
+    job.cfg.meshHeight = 4;
+    job.cfg.concentration = 4;
+    job.cfg.scheme = scheme;
+    job.cfg.seed = 7;
+    job.windows.warmup = 200;
+    job.windows.measure = 800;
+    job.analytic.valid = true;
+    job.analytic.pattern = SyntheticPattern::UniformRandom;
+    job.analytic.load = load;
+    job.analytic.packetSize = 5;
+    job.makeSource = [load](const SimConfig &c) {
+        return std::make_unique<SyntheticTraffic>(
+            SyntheticPattern::UniformRandom, c.numNodes(), load, 5,
+            c.seed * 77 + 5);
+    };
+    return job;
+}
+
+} // namespace
+
+TEST(ModelSweep, AnalyticAnswersEveryJob)
+{
+    SweepRunner runner(1);
+    ModelSweepOptions options;
+    options.kind = ModelKind::Analytic;
+    const std::vector<SweepJob> jobs = {paperJob(Scheme::Baseline, 0.05),
+                                        paperJob(Scheme::PseudoSB, 0.05)};
+    const auto outcomes = runModelSweep(runner, jobs, options);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const SweepOutcome &out : outcomes) {
+        ASSERT_TRUE(out.ok) << out.error;
+        EXPECT_TRUE(out.result.model.active);
+        EXPECT_EQ(out.result.model.tag, "analytic");
+        EXPECT_GT(out.result.avgNetLatency, 0.0);
+        EXPECT_DOUBLE_EQ(out.result.model.predictedNetLatency,
+                         out.result.avgNetLatency);
+        EXPECT_TRUE(out.result.drained);
+    }
+    // Bypass scheme predicts below baseline at the same point.
+    EXPECT_LT(outcomes[1].result.avgNetLatency,
+              outcomes[0].result.avgNetLatency);
+}
+
+TEST(ModelSweep, AnalyticNeedsAWorkloadSpec)
+{
+    SweepRunner runner(1);
+    ModelSweepOptions options;
+    options.kind = ModelKind::Analytic;
+    SweepJob job = paperJob(Scheme::Baseline, 0.05);
+    job.analytic.valid = false;
+    const auto outcomes = runModelSweep(runner, {job}, options);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_FALSE(outcomes[0].error.empty());
+}
+
+TEST(ModelSweep, DetailedModeDoesNotAnnotate)
+{
+    SweepRunner runner(1);
+    ModelSweepOptions options;
+    options.kind = ModelKind::Detailed;
+    const auto outcomes =
+        runModelSweep(runner, {paperJob(Scheme::Baseline, 0.05)}, options);
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_FALSE(outcomes[0].result.model.active);
+    EXPECT_GT(outcomes[0].result.measuredPackets, 0u);
+}
+
+TEST(ModelSweep, HybridRunsOnlyTheFrontier)
+{
+    SweepRunner runner(1);
+    ModelSweepOptions options;
+    options.kind = ModelKind::Hybrid;
+    std::vector<SweepJob> jobs;
+    for (const double load : {0.05, 0.10, 0.15, 0.20, 0.25})
+        jobs.push_back(paperJob(Scheme::Baseline, load));
+    const auto outcomes = runModelSweep(runner, jobs, options);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+
+    int measured = 0;
+    for (const SweepOutcome &out : outcomes) {
+        ASSERT_TRUE(out.ok) << out.error;
+        ASSERT_TRUE(out.result.model.active);
+        if (out.result.model.tag == "frontier") {
+            ++measured;
+            // A measured frontier point has real packets and a
+            // recorded prediction error.
+            EXPECT_GT(out.result.measuredPackets, 0u);
+            EXPECT_GE(out.result.model.relErrorNet, 0.0);
+        } else {
+            EXPECT_EQ(out.result.model.tag, "analytic");
+            EXPECT_EQ(out.result.measuredPackets, 0u);
+        }
+    }
+    // 5 points -> budget of 1, spent on the knee (load 0.20).
+    EXPECT_EQ(measured, 1);
+    EXPECT_EQ(outcomes[3].result.model.tag, "frontier");
+}

@@ -23,12 +23,17 @@
  * was missed), 77 verify layer compiled out (ctest skip).
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analytic/analytic_model.hpp"
+#include "analytic/calibration.hpp"
+#include "analytic/hybrid.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
 #include "sim/simulator.hpp"
@@ -375,6 +380,76 @@ runCase(const FuzzCase &fc)
 }
 
 /**
+ * Analytic-model screen: every valid configuration must get a sane
+ * answer from the analytical model — finite, non-negative latency
+ * components (the model may decline patterns that inject nothing) —
+ * and the hybrid planner over a load ladder of the same platform must
+ * stay within its detailed budget. Returns a description of the first
+ * problem, empty when clean.
+ */
+std::string
+checkModelPredictions(const FuzzCase &fc)
+{
+    const Options opts = Options::parse(fc.tokens);
+    const SimConfig cfg = configFromOptions(opts);
+    AnalyticNetworkModel model(Calibration::defaults());
+
+    ModelRequest req;
+    req.cfg = cfg;
+    req.pattern = parseSyntheticPattern(fc.pattern);
+    req.load = fc.load;
+    req.packetSize = fc.packetSize;
+    const ModelEstimate est = model.estimate(req);
+    if (!est.ok)
+        return "";   // pattern injects nothing on this platform
+
+    std::string out;
+    auto demand = [&out](const char *what, double v) {
+        if (!std::isfinite(v) || v < 0.0)
+            out += std::string(what) + "=" + std::to_string(v) + " ";
+    };
+    demand("netLatency", est.netLatency);
+    demand("totalLatency", est.totalLatency);
+    demand("zeroLoad", est.zeroLoad);
+    demand("serialization", est.serialization);
+    demand("contention", est.contention);
+    demand("sourceWait", est.sourceWait);
+    demand("hops", est.hops);
+    demand("throughput", est.throughput);
+    demand("maxChannelLoad", est.maxChannelLoad);
+    if (!std::isfinite(est.reusability) || est.reusability < 0.0 ||
+        est.reusability > 1.0)
+        out += "reusability=" + std::to_string(est.reusability) + " ";
+    if (est.totalLatency < est.netLatency)
+        out += "totalLatency < netLatency ";
+    if (est.netLatency < est.zeroLoad)
+        out += "netLatency < zeroLoad ";
+
+    // Hybrid plan over a load ladder around the sampled point.
+    std::vector<HybridPoint> ladder;
+    for (int step = 1; step <= 5; ++step) {
+        HybridPoint p;
+        p.cfg = cfg;
+        p.pattern = req.pattern;
+        p.load = fc.load * step;
+        p.packetSize = fc.packetSize;
+        ladder.push_back(p);
+    }
+    const HybridPlan plan = planHybridSweep(ladder, model);
+    const int budget =
+        std::max(1, static_cast<int>(ladder.size() * 0.2));
+    if (plan.detailedCount() > budget)
+        out += "hybrid plan over budget: " +
+               std::to_string(plan.detailedCount()) + " > " +
+               std::to_string(budget) + " ";
+    for (const ModelEstimate &e : plan.estimates)
+        if (e.ok && (!std::isfinite(e.netLatency) || e.netLatency < 0.0))
+            out += "plan estimate netLatency=" +
+                   std::to_string(e.netLatency) + " ";
+    return out;
+}
+
+/**
  * Kernel differential: replay the same case with the router kernel
  * forced to the generic path and demand the exact statistics the
  * auto-resolved (possibly specialized) run produced. Specialization is
@@ -503,6 +578,21 @@ main(int argc, char **argv)
                             "%ld)\n%s%s%s\n",
                             i, gres.report.c_str(), drift.c_str(),
                             reproducer(generic).c_str());
+                exit_code = 1;
+                break;
+            }
+        }
+        // Analytic-model screen on every third clean case: the model
+        // must never crash or emit a non-finite / negative prediction,
+        // and the hybrid planner must respect its detailed budget.
+        // (Index-gated, not rng-gated, so the sampled config stream is
+        // identical with and without the screen.)
+        if (inject.empty() && res.violations == 0 && i % 3 == 0) {
+            const std::string bad = checkModelPredictions(fc);
+            if (!bad.empty()) {
+                std::printf("config_fuzzer: analytic model misbehaved "
+                            "(config %ld): %s\n%s model=analytic\n",
+                            i, bad.c_str(), reproducer(fc).c_str());
                 exit_code = 1;
                 break;
             }
