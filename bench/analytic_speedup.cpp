@@ -24,6 +24,7 @@
 
 #include "analytic/hybrid.hpp"
 #include "analytic/model_sweep.hpp"
+#include "bench_main.hpp"
 #include "sim/experiment.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -220,6 +221,24 @@ main(int argc, char **argv)
     std::printf("wall-clock ratio    %8.2fx\n",
                 hybridSec > 0.0 ? detailedSec / hybridSec : 0.0);
     std::printf("max frontier error  %8.1f%%\n", maxFrontierError * 100.0);
+
+    BenchReport report("analytic_speedup");
+    for (const SweepJob &job : jobs)
+        report.configHash(job.cfg);
+    report.metric("detailed_s", detailedSec, "s", "wall");
+    report.metric("hybrid_s", hybridSec, "s", "wall");
+    report.metric("wall_ratio",
+                  hybridSec > 0.0 ? detailedSec / hybridSec : 0.0,
+                  "ratio", "wall");
+    report.metric("measured_points", static_cast<double>(measured),
+                  "points", "counter");
+    report.metric("total_points", static_cast<double>(total), "points",
+                  "counter");
+    report.metric("max_frontier_error", maxFrontierError, "ratio", "stat");
+    report.metric("knees_agree", kneesAgree ? 1.0 : 0.0, "bool", "counter");
+    report.metric("rankings_agree", rankingsAgree ? 1.0 : 0.0, "bool",
+                  "counter");
+    report.write();
 
     if (measured > budget) {
         std::printf("FAIL: hybrid used %d detailed points, budget %d\n",

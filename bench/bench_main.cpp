@@ -1,0 +1,63 @@
+#include "bench_main.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+
+namespace noc {
+
+BenchReport::BenchReport(const std::string &bench)
+    : record_(makeBenchRecord(bench))
+{
+}
+
+void
+BenchReport::metric(const std::string &name, double value,
+                    const std::string &unit, const std::string &kind)
+{
+    BenchMetric m;
+    m.name = name;
+    m.value = value;
+    m.unit = unit;
+    m.kind = kind;
+    record_.metrics.push_back(std::move(m));
+}
+
+void
+BenchReport::configHash(const SimConfig &cfg)
+{
+    record_.configHash = record_.configHash.empty()
+                             ? benchConfigHash(cfg)
+                             : benchConfigHash(record_.configHash, cfg);
+}
+
+void
+BenchReport::phases(const ProfileReport &report)
+{
+    record_.phases = report.phases;
+}
+
+std::string
+BenchReport::write() const
+{
+    const char *dir = std::getenv("NOC_BENCH_OUT");
+    if (!dir || !*dir)
+        return "";
+    const std::string problem = validateBenchRecord(record_);
+    if (!problem.empty())
+        NOC_FATAL("bench '" + record_.bench +
+                  "' produced a malformed record: " + problem);
+    const std::string path =
+        std::string(dir) + "/BENCH_" + record_.bench + ".json";
+    std::ofstream os(path);
+    if (!os)
+        NOC_FATAL("cannot open bench record file: " + path);
+    os << record_.toJson();
+    if (!os)
+        NOC_FATAL("failed writing bench record file: " + path);
+    return path;
+}
+
+} // namespace noc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared driver for the perf benches: collect named metrics while the
+ * harness prints its usual human-readable output, then (optionally)
+ * drop one machine-readable `BENCH_<name>.json` BenchRecord.
+ *
+ * Emission is opt-in via the NOC_BENCH_OUT environment variable: when
+ * it names a directory, write() serializes the record there; when it
+ * is unset, write() is a no-op, so default stdout output — and every
+ * golden that captures it — stays byte-identical.
+ *
+ * Usage (one report per harness):
+ *
+ *     BenchReport report("kernel_speedup");
+ *     report.configHash(cfg);                         // per config
+ *     report.metric("speedup", 3.2, "ratio", "wall"); // per metric
+ *     report.phases(profiler.report());               // optional
+ *     report.write();                                 // before exit
+ */
+
+#ifndef NOC_BENCH_BENCH_MAIN_HPP
+#define NOC_BENCH_BENCH_MAIN_HPP
+
+#include <string>
+
+#include "profile/bench_record.hpp"
+#include "profile/profile.hpp"
+
+namespace noc {
+
+struct SimConfig;
+
+class BenchReport
+{
+  public:
+    /** @param bench  harness name; the file becomes BENCH_<bench>.json */
+    explicit BenchReport(const std::string &bench);
+
+    /** Record one metric (kind: "counter" | "stat" | "wall"). */
+    void metric(const std::string &name, double value,
+                const std::string &unit, const std::string &kind);
+
+    /** Fold a measured configuration into the record's config hash. */
+    void configHash(const SimConfig &cfg);
+
+    /** Attach a profiler's phase breakdown (replaces any previous). */
+    void phases(const ProfileReport &report);
+
+    /** The record as assembled so far (provenance pre-filled). */
+    const BenchRecord &record() const { return record_; }
+
+    /**
+     * Serialize to $NOC_BENCH_OUT/BENCH_<bench>.json when NOC_BENCH_OUT
+     * is set (fatal if the record is malformed or the file cannot be
+     * written — a bench that silently drops its record is worse than
+     * one that fails). Returns the path written, or "" when emission
+     * is off.
+     */
+    std::string write() const;
+
+  private:
+    BenchRecord record_;
+};
+
+} // namespace noc
+
+#endif // NOC_BENCH_BENCH_MAIN_HPP

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_main.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/synthetic.hpp"
@@ -112,6 +113,33 @@ main()
     printRow("no plan (no controller)", none, none.seconds);
     printRow("armed, p=0 (hooks only)", armed, none.seconds);
     printRow("flip-link p=0.01 (retrying)", active, none.seconds);
+
+    BenchReport report("fault_overhead");
+    {
+        SimConfig cfg = traceConfig();
+        cfg.scheme = Scheme::PseudoSB;
+        cfg.seed = 7;
+        cfg.kernel = KernelChoice::Generic;
+        report.configHash(cfg);
+    }
+    report.metric("none_s", none.seconds, "s", "wall");
+    report.metric("armed_s", armed.seconds, "s", "wall");
+    report.metric("active_s", active.seconds, "s", "wall");
+    report.metric("armed_multiple",
+                  none.seconds > 0.0 ? armed.seconds / none.seconds : 0.0,
+                  "ratio", "wall");
+    report.metric("active_multiple",
+                  none.seconds > 0.0 ? active.seconds / none.seconds : 0.0,
+                  "ratio", "wall");
+    report.metric("cycles", static_cast<double>(none.cycles), "cycles",
+                  "counter");
+    report.metric("active_retransmits",
+                  static_cast<double>(active.retransmits), "flits",
+                  "counter");
+    report.metric("all_drained",
+                  none.drained && armed.drained && active.drained ? 1.0 : 0.0,
+                  "bool", "counter");
+    report.write();
 
     if (!none.drained || !armed.drained || !active.drained) {
         std::printf("\nUNEXPECTED: a run failed to drain\n");

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "sim/experiment.hpp"
 #include "sim/progress.hpp"
 #include "traffic/synthetic.hpp"
@@ -140,5 +141,26 @@ main(int argc, char **argv)
                 fixed_s > 0.0 ? (1.0 - guard_s / fixed_s) * 100.0 : 0.0);
     std::printf("latency agreement: %zu/%zu unsaturated points within "
                 "1%% of fixed windows\n", agree, pre_saturation);
+
+    BenchReport report("guard_speedup");
+    report.configHash(syntheticConfig());
+    report.metric("fixed_s", fixed_s, "s", "wall");
+    report.metric("guard_s", guard_s, "s", "wall");
+    report.metric("guard_speedup",
+                  guard_s > 0.0 ? fixed_s / guard_s : 0.0, "ratio", "wall");
+    std::uint64_t fixed_cycles = 0, guard_cycles = 0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        fixed_cycles += fixed[i].result.cyclesRun;
+        guard_cycles += guarded[i].result.cyclesRun;
+    }
+    report.metric("fixed_cycles", static_cast<double>(fixed_cycles),
+                  "cycles", "counter");
+    report.metric("guard_cycles", static_cast<double>(guard_cycles),
+                  "cycles", "counter");
+    report.metric("agree_points", static_cast<double>(agree),
+                  "points", "counter");
+    report.metric("pre_saturation_points",
+                  static_cast<double>(pre_saturation), "points", "counter");
+    report.write();
     return agree == pre_saturation ? 0 : 2;
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "sim/experiment.hpp"
 #include "sim/kernel.hpp"
 #include "traffic/synthetic.hpp"
@@ -125,6 +126,7 @@ main(int argc, char **argv)
                 "generic vs auto kernel per fig08 point\n\n");
     printHeader("point", {"generic-s", "auto-s", "speedup", "Mfh/s"});
 
+    BenchReport report("kernel_speedup");
     std::vector<SweepOutcome> outcomes;
     bool stats_match = true;
     double best = 0.0;
@@ -166,10 +168,42 @@ main(int argc, char **argv)
                  {gen.seconds, fast.seconds, speedup,
                   flitHopsPerSec(fast) / 1e6},
                  11, 2);
+
+        report.configHash(cfg);
+        report.metric(point + ":generic_s", gen.seconds, "s", "wall");
+        report.metric(point + ":auto_s", fast.seconds, "s", "wall");
+        report.metric(point + ":speedup", speedup, "ratio", "wall");
+        report.metric(point + ":flit_hops",
+                      static_cast<double>(
+                          fast.result.routerTotals.xbarTraversals +
+                          fast.result.routerTotals.expressBypasses),
+                      "flits", "counter");
+        report.metric(point + ":avg_net_latency",
+                      fast.result.avgNetLatency, "cycles", "stat");
     }
     emitStructuredResults(cli, outcomes);
 
     std::printf("\nbest speedup: %.2fx at %s\n", best, best_label.c_str());
+    report.metric("best_speedup", best, "ratio", "wall");
+    report.metric("stats_match", stats_match ? 1.0 : 0.0, "bool", "counter");
+#if NOC_PROFILE_ENABLED
+    {
+        // One extra profiled run of the headline point, outside the
+        // timed comparisons, so the record carries a phase breakdown
+        // without perturbing the speedup numbers.
+        SimConfig cfg = syntheticConfig();
+        cfg.scheme = Scheme::PseudoSB;
+        PhaseProfiler prof;
+        auto src = std::make_unique<SyntheticTraffic>(
+            SyntheticPattern::UniformRandom, cfg.numNodes(), 0.02,
+            /*packetSize=*/5, cfg.seed * 77 + 5);
+        Simulator sim(cfg, std::move(src));
+        sim.setProfiler(&prof);
+        (void)sim.run(benchWindows());
+        report.phases(prof.report());
+    }
+#endif
+    report.write();
     if (!stats_match) {
         std::printf("FAIL: kernel paths disagree on statistics\n");
         return 2;

@@ -3,11 +3,22 @@
  * google-benchmark microbenchmarks of the simulator itself: cycles/sec
  * for the main platforms and schemes, and the cost of trace generation.
  * These guard against performance regressions in the router hot path.
+ *
+ * Custom main: the suite runs through a capturing console reporter so
+ * that, with NOC_BENCH_OUT set, the per-benchmark times also land in a
+ * machine-readable BENCH_micro_router_bench.json record (the profiler
+ * overhead pair's ratio included).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_main.hpp"
 #include "network/network.hpp"
+#include "profile/profile.hpp"
 #include "sim/experiment.hpp"
 #include "telemetry/telemetry.hpp"
 #include "traffic/cmp_model.hpp"
@@ -87,6 +98,42 @@ BM_TelemetryStep(benchmark::State &state, bool attach_sink)
         collector.counters().recorded);
 }
 
+/**
+ * Profiler overhead pair: the same stepping loop with no profiler vs.
+ * an attached PhaseProfiler (default sampling config). The ratio
+ * between the two is the attach cost the acceptance bar holds at <=5%;
+ * the record carries it as `profiler_overhead`.
+ */
+void
+BM_ProfilerStep(benchmark::State &state, bool attach_prof)
+{
+    SimConfig cfg;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    cfg.concentration = 1;
+    cfg.scheme = Scheme::PseudoSB;
+    cfg.vaPolicy = VaPolicy::Static;
+    Network net(cfg);
+#if NOC_PROFILE_ENABLED
+    PhaseProfiler prof;
+    if (attach_prof)
+        net.setProfiler(&prof);
+#else
+    (void)attach_prof;
+#endif
+    SyntheticTraffic traffic(SyntheticPattern::UniformRandom,
+                             cfg.numNodes(), 0.15, 5, 7);
+    for (auto _ : state) {
+        traffic.tick(net, net.now(), SimPhase::Warmup);
+        net.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            net.numRouters());
+#if NOC_PROFILE_ENABLED
+    state.counters["prof_cycles"] = static_cast<double>(prof.cycles());
+#endif
+}
+
 void
 BM_TraceGeneration(benchmark::State &state)
 {
@@ -98,6 +145,49 @@ BM_TraceGeneration(benchmark::State &state)
         benchmark::DoNotOptimize(trace.data());
     }
 }
+
+/** One captured per-benchmark measurement (no aggregates). */
+struct CapturedRun
+{
+    std::string name;          ///< suffix after "BM_Xxx/" when present
+    double nsPerIter = 0.0;
+    double itemsPerSec = 0.0;  ///< 0 when the bench sets no items
+};
+
+/**
+ * Console reporter that additionally captures every iteration run so
+ * main() can fold the numbers into the BenchRecord. Output through the
+ * base class is unchanged.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    bool ReportContext(const Context &context) override
+    {
+        return benchmark::ConsoleReporter::ReportContext(context);
+    }
+
+    void ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            CapturedRun cap;
+            const std::string full = run.benchmark_name();
+            const std::size_t slash = full.find('/');
+            cap.name = slash == std::string::npos ? full
+                                                  : full.substr(slash + 1);
+            cap.nsPerIter = run.GetAdjustedRealTime();
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                cap.itemsPerSec = it->second;
+            runs.push_back(std::move(cap));
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    std::vector<CapturedRun> runs;
+};
 
 } // namespace
 
@@ -142,3 +232,50 @@ BENCHMARK_CAPTURE(BM_NetworkStep, kernel_mesh8x8_pseudosb_o1turn_generic,
 BENCHMARK(BM_TraceGeneration);
 BENCHMARK_CAPTURE(BM_TelemetryStep, telemetry_off, false);
 BENCHMARK_CAPTURE(BM_TelemetryStep, telemetry_on, true);
+BENCHMARK_CAPTURE(BM_ProfilerStep, profiler_off, false);
+#if NOC_PROFILE_ENABLED
+BENCHMARK_CAPTURE(BM_ProfilerStep, profiler_on, true);
+#endif
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    BenchReport report("micro_router_bench");
+    {
+        // The stepping benches share this platform; hash it once.
+        SimConfig cfg;
+        cfg.meshWidth = 8;
+        cfg.meshHeight = 8;
+        cfg.concentration = 1;
+        cfg.scheme = Scheme::PseudoSB;
+        cfg.vaPolicy = VaPolicy::Static;
+        report.configHash(cfg);
+    }
+    double prof_off = 0.0, prof_on = 0.0;
+    for (const CapturedRun &run : reporter.runs) {
+        report.metric(run.name + ":ns_per_iter", run.nsPerIter, "ns",
+                      "wall");
+        if (run.itemsPerSec > 0.0)
+            report.metric(run.name + ":items_per_s", run.itemsPerSec,
+                          "items/s", "wall");
+        if (run.name == "profiler_off")
+            prof_off = run.nsPerIter;
+        else if (run.name == "profiler_on")
+            prof_on = run.nsPerIter;
+    }
+    if (prof_off > 0.0 && prof_on > 0.0) {
+        const double overhead = prof_on / prof_off - 1.0;
+        report.metric("profiler_overhead", overhead, "ratio", "wall");
+        std::printf("profiler attach overhead: %.1f%% (target <= 5%%)\n",
+                    overhead * 100.0);
+    }
+    report.write();
+    return 0;
+}

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench_main.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/synthetic.hpp"
@@ -92,11 +93,22 @@ main()
 {
     std::printf("Invariant checker overhead (CMesh 4x4, Pseudo+S+B, "
                 "transpose @0.15)\n");
+    BenchReport report("verify_overhead");
+    {
+        SimConfig cfg = traceConfig();
+        cfg.scheme = Scheme::PseudoSB;
+        cfg.seed = 7;
+        report.configHash(cfg);
+    }
 #if !NOC_VERIFY_ENABLED
     std::printf("verify layer compiled out (NOC_VERIFY=OFF): only the "
                 "baseline run is available\n");
     const Timed off = timedRun(nullptr);
     printRow("no hooks (compiled out)", off, off.seconds);
+    report.metric("unattached_s", off.seconds, "s", "wall");
+    report.metric("cycles", static_cast<double>(off.cycles), "cycles",
+                  "counter");
+    report.write();
     return 0;
 #else
     // Warm the caches so the first measured run is not penalised.
@@ -117,6 +129,25 @@ main()
     printRow("hooks unattached (default)", unattached, unattached.seconds);
     printRow("attached, scan every 64", sparse_run, unattached.seconds);
     printRow("attached, scan every cycle", full_run, unattached.seconds);
+
+    report.metric("unattached_s", unattached.seconds, "s", "wall");
+    report.metric("sparse_s", sparse_run.seconds, "s", "wall");
+    report.metric("full_s", full_run.seconds, "s", "wall");
+    report.metric("sparse_multiple",
+                  unattached.seconds > 0.0
+                      ? sparse_run.seconds / unattached.seconds : 0.0,
+                  "ratio", "wall");
+    report.metric("full_multiple",
+                  unattached.seconds > 0.0
+                      ? full_run.seconds / unattached.seconds : 0.0,
+                  "ratio", "wall");
+    report.metric("cycles", static_cast<double>(unattached.cycles),
+                  "cycles", "counter");
+    report.metric("sparse_checks", static_cast<double>(sparse_run.checks),
+                  "checks", "counter");
+    report.metric("full_checks", static_cast<double>(full_run.checks),
+                  "checks", "counter");
+    report.write();
 
     if (!sparse.clean() || !full.clean()) {
         std::printf("\nUNEXPECTED VIOLATIONS:\n%s%s", sparse.report().c_str(),

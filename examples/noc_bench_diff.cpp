@@ -1,0 +1,184 @@
+/**
+ * @file
+ * noc-bench-diff: compare two BENCH_*.json performance records — or
+ * two directories of them — and emit a regression verdict for CI.
+ *
+ *     noc-bench-diff baseline.json current.json
+ *     noc-bench-diff bench/baseline/ bench-out/
+ *
+ * Per-metric policy follows the metric's declared kind (see
+ * src/profile/bench_record.hpp): counters must match exactly, stats
+ * get a relative tolerance, wall-clock metrics only warn. Thresholds
+ * are adjustable:
+ *
+ *     --counter-rel X   counter tolerance (default 0: exact)
+ *     --stat-rel X      stat tolerance (default 0.05)
+ *     --wall-rel X      wall warn threshold (default 0.10)
+ *
+ * Directory mode pairs records by file name; a baseline record with no
+ * current counterpart is a regression (a bench silently vanishing is
+ * exactly what this tool exists to catch), an extra current record is
+ * informational.
+ *
+ * Exit status: 0 clean (warnings allowed), 2 regression, 1 bad usage
+ * or unreadable/malformed input.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "profile/bench_diff.hpp"
+#include "profile/bench_record.hpp"
+
+using namespace noc;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options
+{
+    DiffThresholds thresholds;
+    std::string baseline;
+    std::string current;
+};
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &why)
+{
+    std::fprintf(stderr,
+                 "%s: %s\nusage: %s [--counter-rel X] [--stat-rel X] "
+                 "[--wall-rel X] BASELINE CURRENT\n"
+                 "  BASELINE and CURRENT are both BENCH_*.json files or "
+                 "both directories of them\n",
+                 argv0, why.c_str(), argv0);
+    std::exit(1);
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto relValue = [&](const char *name) {
+            if (i + 1 >= argc)
+                usage(argv[0], std::string(name) + " requires a value");
+            const double v = std::atof(argv[++i]);
+            if (v < 0.0)
+                usage(argv[0], std::string(name) + " must be >= 0");
+            return v;
+        };
+        if (arg == "--counter-rel")
+            opt.thresholds.counterRel = relValue("--counter-rel");
+        else if (arg == "--stat-rel")
+            opt.thresholds.statRel = relValue("--stat-rel");
+        else if (arg == "--wall-rel")
+            opt.thresholds.wallRel = relValue("--wall-rel");
+        else if (!arg.empty() && arg[0] == '-')
+            usage(argv[0], "unknown option '" + arg + "'");
+        else
+            positional.push_back(arg);
+    }
+    if (positional.size() != 2)
+        usage(argv[0], "expected exactly two paths");
+    opt.baseline = positional[0];
+    opt.current = positional[1];
+    return opt;
+}
+
+/** Load one record or die with exit 1. */
+BenchRecord
+loadOrDie(const std::string &path)
+{
+    std::string error;
+    const auto rec = loadBenchRecord(path, &error);
+    if (!rec) {
+        std::fprintf(stderr, "noc-bench-diff: %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(1);
+    }
+    return *rec;
+}
+
+/** BENCH_*.json file names inside a directory, sorted. */
+std::vector<std::string>
+benchFiles(const std::string &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+/** Diff one baseline/current record pair; true when it regressed. */
+bool
+diffPair(const std::string &basePath, const std::string &curPath,
+         const DiffThresholds &thresholds)
+{
+    const BenchRecord base = loadOrDie(basePath);
+    const BenchRecord cur = loadOrDie(curPath);
+    const BenchDiff diff = diffBenchRecords(base, cur, thresholds);
+    std::fputs(formatBenchDiff(diff).c_str(), stdout);
+    return diff.regressed();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+
+    const bool baseDir = fs::is_directory(opt.baseline);
+    const bool curDir = fs::is_directory(opt.current);
+    if (baseDir != curDir)
+        usage(argv[0], "BASELINE and CURRENT must both be files or both "
+                       "be directories");
+
+    bool regressed = false;
+    if (!baseDir) {
+        regressed = diffPair(opt.baseline, opt.current, opt.thresholds);
+    } else {
+        const std::vector<std::string> baseNames = benchFiles(opt.baseline);
+        const std::vector<std::string> curNames = benchFiles(opt.current);
+        if (baseNames.empty())
+            usage(argv[0], "no BENCH_*.json records in " + opt.baseline);
+        bool first = true;
+        for (const std::string &name : baseNames) {
+            if (!first)
+                std::printf("\n");
+            first = false;
+            const std::string curPath = opt.current + "/" + name;
+            if (!fs::exists(curPath)) {
+                std::printf("%s: missing from %s: REGRESSION\n",
+                            name.c_str(), opt.current.c_str());
+                regressed = true;
+                continue;
+            }
+            regressed |= diffPair(opt.baseline + "/" + name, curPath,
+                                  opt.thresholds);
+        }
+        for (const std::string &name : curNames) {
+            if (std::find(baseNames.begin(), baseNames.end(), name) ==
+                baseNames.end())
+                std::printf("\n%s: new record (no baseline yet)\n",
+                            name.c_str());
+        }
+    }
+
+    std::printf("\noverall: %s\n", regressed ? "REGRESSION" : "ok");
+    return regressed ? 2 : 0;
+}

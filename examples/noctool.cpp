@@ -48,6 +48,19 @@
  * predicted-vs-measured error on frontier points; detailed-only output
  * is byte-identical with the model layer off.
  *
+ * Self-profiling: profile=<phases|counters|mem> (comma list) attaches
+ * the phase profiler to the run. Single runs print a decomposed
+ * profile — wall-clock per simulator phase (route/VA/SA/ST, link
+ * traversal, credit return, hook overhead), hardware counters
+ * (instructions, cycles, cache/branch misses; gracefully skipped where
+ * perf_event_open is denied) and memory footprint (RSS high-water,
+ * arena totals). profile-every=<cycles> sets the router-phase sampling
+ * period (default 64). Sweeps gain per-job wall/queue seconds in the
+ * json= output (the only result difference; profile-off output stays
+ * byte-identical). With trace= also set, single runs export the
+ * profiler's sampled phase spans into the Chrome trace as duration
+ * events. Fatal when the library was built with -DNOC_PROFILE=OFF.
+ *
  * Crash-tolerant sweeps: journal=<path> appends one JSONL checkpoint
  * per finished job; resume=1 (sugar: --resume) replays the journal and
  * re-runs only uncovered jobs, reproducing the uninterrupted outputs
@@ -62,12 +75,14 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analytic/calibration.hpp"
 #include "analytic/model_sweep.hpp"
@@ -77,6 +92,8 @@
 #include "sim/experiment.hpp"
 #include "sim/journal.hpp"
 #include "sim/progress.hpp"
+#include "profile/perf_counters.hpp"
+#include "profile/profile.hpp"
 #include "sim/report.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/heatmap.hpp"
@@ -253,15 +270,52 @@ traceFromOptions(const Options &opts)
     return cli;
 }
 
+/** Shared profiling keys of both run modes (single and sweep). */
+struct ProfileCli
+{
+    bool enabled = false;
+    bool counters = false;       ///< hardware counters requested
+    PhaseProfiler::Config cfg;   ///< memory/spans/fineEvery knobs
+};
+
+ProfileCli
+profileFromOptions(const Options &opts)
+{
+    ProfileCli cli;
+    cli.cfg.fineEvery =
+        static_cast<Cycle>(opts.getInt("profile-every", 64));
+    const std::string spec = opts.getString("profile", "");
+    if (spec.empty())
+        return cli;
+    for (const std::string &item : splitList(spec)) {
+        if (item == "phases") {
+            cli.enabled = true;
+        } else if (item == "counters") {
+            cli.enabled = true;
+            cli.counters = true;
+        } else if (item == "mem") {
+            cli.enabled = true;
+            cli.cfg.memory = true;
+        } else {
+            NOC_FATAL("unknown profile mode: '" + item +
+                      "' (expected phases, counters or mem)");
+        }
+    }
+    if (!NOC_PROFILE_ENABLED)
+        NOC_FATAL("profile requested but the profiling layer was compiled "
+                  "out (reconfigure with -DNOC_PROFILE=ON)");
+    return cli;
+}
+
 void
 exportTraces(const TraceCli &cli, const std::vector<TelemetryTrace> &traces,
-             Cycle cycles)
+             Cycle cycles, const std::vector<ProfSpan> &profSpans = {})
 {
     if (!cli.tracePath.empty()) {
         std::ofstream os(cli.tracePath);
         if (!os)
             NOC_FATAL("cannot open trace file: " + cli.tracePath);
-        writeChromeTrace(os, traces);
+        writeChromeTrace(os, traces, profSpans);
         std::uint64_t recorded = 0;
         std::uint64_t dropped = 0;
         for (const TelemetryTrace &t : traces) {
@@ -350,6 +404,7 @@ runMulti(const Options &opts, const SimConfig &base,
     cli.progress = opts.getBool("progress", false);
     const TraceCli trace_cli = traceFromOptions(opts);
     const VerifyCli verify_cli = verifyFromOptions(opts);
+    const ProfileCli profile_cli = profileFromOptions(opts);
 
     // Crash tolerance: journal= checkpoints each finished job, resume=1
     // replays the journal instead of re-running; per-job deadline/retry
@@ -456,6 +511,12 @@ runMulti(const Options &opts, const SimConfig &base,
     if (verify_cli.enabled) {
         for (SweepJob &job : jobs)
             job.verify = verify_cli.cfg;
+    }
+    if (profile_cli.enabled) {
+        // Sweeps get the per-job timing annotation (wall/queue seconds
+        // in the json= output); the phase breakdown is single-run only.
+        for (SweepJob &job : jobs)
+            job.profile = true;
     }
     for (SweepJob &job : jobs) {
         job.deadlineMs = deadline_ms;
@@ -878,6 +939,11 @@ main(int argc, char **argv)
         NOC_FATAL("flow-out needs health=flows (no flow data recorded)");
     const TraceCli trace_cli = traceFromOptions(opts);
     const VerifyCli verify_cli = verifyFromOptions(opts);
+    ProfileCli profile_cli = profileFromOptions(opts);
+    // With a Chrome trace also requested, record the sampled phase
+    // spans so they ride along as duration events.
+    profile_cli.cfg.spans =
+        profile_cli.enabled && !trace_cli.tracePath.empty();
     for (const std::string &key : opts.unusedKeys())
         NOC_WARN("unused option: " + key);
 
@@ -888,7 +954,25 @@ main(int argc, char **argv)
     InvariantChecker checker(verify_cli.cfg);
     if (verify_cli.enabled)
         sim.setVerifier(&checker);
-    const SimResult result = sim.run(windows);
+    PhaseProfiler profiler(profile_cli.cfg);
+    std::unique_ptr<PerfCounters> counters;
+    if (profile_cli.enabled)
+        sim.setProfiler(&profiler);
+    if (profile_cli.counters)
+        counters = std::make_unique<PerfCounters>();
+    const auto run_start = std::chrono::steady_clock::now();
+    if (counters)
+        counters->start();
+    SimResult result = sim.run(windows);
+    const PerfCounterValues counter_values =
+        counters ? counters->stop() : PerfCounterValues{};
+    if (profile_cli.enabled) {
+        result.profile.active = true;
+        result.profile.jobWallSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          run_start)
+                .count();
+    }
 
     printResult(std::cout, cfg.describe() + " [" + workload + "]", result);
     const auto activity =
@@ -962,6 +1046,31 @@ main(int argc, char **argv)
             std::cout << "\n";
         }
     }
+    if (profile_cli.enabled) {
+        std::printf("\n%s",
+                    formatProfileReport(profiler.report()).c_str());
+        std::printf("  run wall clock          %.3f s\n",
+                    result.profile.jobWallSeconds);
+        if (counters) {
+            if (counter_values.valid) {
+                std::printf(
+                    "  hw counters             %llu instructions, %llu "
+                    "cycles (IPC %.2f), %llu cache misses, %llu branch "
+                    "misses\n",
+                    static_cast<unsigned long long>(
+                        counter_values.instructions),
+                    static_cast<unsigned long long>(counter_values.cycles),
+                    counter_values.ipc(),
+                    static_cast<unsigned long long>(
+                        counter_values.cacheMisses),
+                    static_cast<unsigned long long>(
+                        counter_values.branchMisses));
+            } else {
+                std::printf("  hw counters             unavailable "
+                            "(perf_event_open denied)\n");
+            }
+        }
+    }
     if (!flow_out.empty()) {
         if (flow_out == "-") {
             printFlowTop(std::cout, result.flows, 10);
@@ -1002,7 +1111,8 @@ main(int argc, char **argv)
         trace.label = "noctool:" + workload;
         trace.events = collector.events();
         trace.counters = collector.counters();
-        exportTraces(trace_cli, {trace}, result.cyclesRun);
+        exportTraces(trace_cli, {trace}, result.cyclesRun,
+                     profiler.spans());
     }
     if (verify_cli.enabled) {
         std::cout << "  verify                  " << checker.checks()

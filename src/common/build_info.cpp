@@ -1,12 +1,20 @@
 #include "common/build_info.hpp"
 
+#include "profile/profile.hpp"
 #include "telemetry/telemetry.hpp"
+#include "verify/verify.hpp"
 
 #ifndef NOC_GIT_SHA
 #define NOC_GIT_SHA "unknown"
 #endif
 #ifndef NOC_BUILD_TYPE
 #define NOC_BUILD_TYPE "unknown"
+#endif
+#ifndef NOC_SANITIZE_NAME
+#define NOC_SANITIZE_NAME ""
+#endif
+#ifndef NOC_COMPILER_ID
+#define NOC_COMPILER_ID "unknown"
 #endif
 
 namespace noc {
@@ -23,10 +31,48 @@ buildType()
     return NOC_BUILD_TYPE;
 }
 
+const char *
+sanitizerName()
+{
+    return NOC_SANITIZE_NAME;
+}
+
+const char *
+compilerId()
+{
+    return NOC_COMPILER_ID;
+}
+
 bool
 telemetryCompiledIn()
 {
     return NOC_TELEMETRY_ENABLED != 0;
+}
+
+bool
+verifyCompiledIn()
+{
+    return NOC_VERIFY_ENABLED != 0;
+}
+
+bool
+profileCompiledIn()
+{
+    return NOC_PROFILE_ENABLED != 0;
+}
+
+std::string
+featureMatrix()
+{
+    std::string m = "telemetry=";
+    m += telemetryCompiledIn() ? "on" : "off";
+    m += " verify=";
+    m += verifyCompiledIn() ? "on" : "off";
+    m += " profile=";
+    m += profileCompiledIn() ? "on" : "off";
+    m += " sanitize=";
+    m += NOC_SANITIZE_NAME[0] ? NOC_SANITIZE_NAME : "none";
+    return m;
 }
 
 std::string
@@ -36,8 +82,10 @@ buildInfoLine()
     line += NOC_GIT_SHA;
     line += ", ";
     line += NOC_BUILD_TYPE;
-    line += ", telemetry ";
-    line += telemetryCompiledIn() ? "on" : "off";
+    line += ", ";
+    line += NOC_COMPILER_ID;
+    line += ", ";
+    line += featureMatrix();
     line += ")";
     return line;
 }

@@ -1,9 +1,10 @@
 /**
  * @file
  * Build provenance: git SHA, build type and compile-time feature flags,
- * for the `noctool --version` banner and result-file headers. Values
- * are baked into one translation unit at configure time (see
- * src/CMakeLists.txt) so results can always be traced to a commit.
+ * for the `noctool --version` banner, BenchRecord headers and result-
+ * file headers. Values are baked into one translation unit at
+ * configure time (see src/CMakeLists.txt) so results can always be
+ * traced to a commit and an exact build flavour.
  */
 
 #ifndef NOC_COMMON_BUILD_INFO_HPP
@@ -19,10 +20,28 @@ const char *gitSha();
 /** CMAKE_BUILD_TYPE the library was compiled with. */
 const char *buildType();
 
+/** NOC_SANITIZE value the library was compiled with ("" = none). */
+const char *sanitizerName();
+
+/** Compiler id and version, e.g. "GNU-13.2.0". */
+const char *compilerId();
+
 /** True when the telemetry layer is compiled in (NOC_TELEMETRY=ON). */
 bool telemetryCompiledIn();
 
-/** One-line banner: name, version, SHA, build type, telemetry state. */
+/** True when the invariant checker is compiled in (NOC_VERIFY=ON). */
+bool verifyCompiledIn();
+
+/** True when the phase profiler is compiled in (NOC_PROFILE=ON). */
+bool profileCompiledIn();
+
+/**
+ * The compile-time feature matrix as a compact string:
+ * "telemetry=on verify=on profile=on sanitize=none".
+ */
+std::string featureMatrix();
+
+/** One-line banner: name, SHA, build type, compiler, feature matrix. */
 std::string buildInfoLine();
 
 } // namespace noc

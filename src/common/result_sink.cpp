@@ -162,6 +162,13 @@ addResultFields(JsonObject &obj, const SimResult &r)
         if (r.model.tag == "frontier")
             obj.add("model_rel_error_net", fmtDouble(r.model.relErrorNet));
     }
+    // And for the profiling layer: per-job timing fields exist only
+    // when a profiled sweep stamped the result, so profile-off streams
+    // stay byte-identical to prior output. CSV columns likewise fixed.
+    if (r.profile.active) {
+        obj.add("job_wall_s", fmtDouble(r.profile.jobWallSeconds));
+        obj.add("job_queue_s", fmtDouble(r.profile.jobQueueSeconds));
+    }
 }
 
 std::string

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "fault/fault_routing.hpp"
+#include "profile/profile.hpp"
 #include "topology/fbfly.hpp"
 #include "verify/verify.hpp"
 #include "topology/mecs.hpp"
@@ -195,11 +196,17 @@ Network::dispatch(const LinkEvent &ev)
 void
 Network::step()
 {
+#if NOC_PROFILE_ENABLED
+    if (prof_)
+        prof_->beginCycle(now_);
+#endif
+
     // Phase 0 (fault layer only): retry timeouts, stall accounting, and
     // release of deliveries held at the wires of a previously stalled
     // router (credits in full, flits re-serialised one per port).
     const bool stalls = faults_ && faults_->anyStalls();
     if (faults_) {
+        NOC_PROF_SCOPE(prof_, FaultHook);
         faults_->beginCycle(now_);
         if (stalls) {
             faultPending_.clear();
@@ -212,39 +219,67 @@ Network::step()
     // Phase 1: arrivals. Credits land before flits — a flit arriving in
     // the same cycle as a credit must see the updated counter, or e.g. a
     // buffer-bypass check would spuriously fail.
-    ring_.forEachAt(now_, [&](const LinkEvent &ev) {
-        if (ev.kind == LinkEvent::Kind::CreditToRouter ||
-            ev.kind == LinkEvent::Kind::CreditToNi ||
-            ev.kind == LinkEvent::Kind::LinkAck) {
-            if (stalls && faults_->captureArrival(ev, now_))
-                return;
-            dispatch(ev);
-        }
-    });
-    ring_.forEachAt(now_, [&](const LinkEvent &ev) {
-        if (ev.kind == LinkEvent::Kind::FlitToRouter ||
-            ev.kind == LinkEvent::Kind::FlitToNi) {
-            if (stalls && faults_->captureArrival(ev, now_))
-                return;
-            dispatch(ev);
-        }
-    });
-    ring_.releaseAt(now_);
+    {
+        NOC_PROF_SCOPE(prof_, CreditReturn);
+        ring_.forEachAt(now_, [&](const LinkEvent &ev) {
+            if (ev.kind == LinkEvent::Kind::CreditToRouter ||
+                ev.kind == LinkEvent::Kind::CreditToNi ||
+                ev.kind == LinkEvent::Kind::LinkAck) {
+                if (stalls && faults_->captureArrival(ev, now_))
+                    return;
+                dispatch(ev);
+            }
+        });
+    }
+    {
+        NOC_PROF_SCOPE(prof_, LinkTraverse);
+        ring_.forEachAt(now_, [&](const LinkEvent &ev) {
+            if (ev.kind == LinkEvent::Kind::FlitToRouter ||
+                ev.kind == LinkEvent::Kind::FlitToNi) {
+                if (stalls && faults_->captureArrival(ev, now_))
+                    return;
+                dispatch(ev);
+            }
+        });
+        ring_.releaseAt(now_);
+    }
 
     // Phase 2: NI injection.
-    for (auto &ni : nis_) {
-        if (auto flit = ni->step(now_)) {
-            NOC_VCHK(verifier_, onFlitInjected(ni->node(), *flit, now_));
-            LinkEvent ev;
-            ev.kind = LinkEvent::Kind::FlitToRouter;
-            ev.router = topo_->nodeRouter(ni->node());
-            ev.inPort = topo_->nodePort(ni->node());
-            ev.flit = *flit;
-            ring_.schedule(now_, now_ + 1 + cfg_.linkLatency, ev);
+    {
+        NOC_PROF_SCOPE(prof_, NiInject);
+        for (auto &ni : nis_) {
+            if (auto flit = ni->step(now_)) {
+                NOC_VCHK(verifier_, onFlitInjected(ni->node(), *flit, now_));
+                LinkEvent ev;
+                ev.kind = LinkEvent::Kind::FlitToRouter;
+                ev.router = topo_->nodeRouter(ni->node());
+                ev.inPort = topo_->nodePort(ni->node());
+                ev.flit = *flit;
+                ring_.schedule(now_, now_ + 1 + cfg_.linkLatency, ev);
+            }
         }
     }
 
     // Phase 3: routers.
+    {
+        NOC_PROF_SCOPE(prof_, RouterStep);
+        stepRouters(stalls);
+    }
+
+    {
+        NOC_PROF_SCOPE(prof_, VerifyHook);
+        NOC_VCHK(verifier_, onCycleEnd(now_));
+    }
+#if NOC_PROFILE_ENABLED
+    if (prof_)
+        prof_->noteCycle();
+#endif
+    ++now_;
+}
+
+void
+Network::stepRouters(bool stalls)
+{
     for (auto &router : routers_) {
         const RouterId r = router->id();
         if (stalls && faults_->routerStalled(r, now_))
@@ -311,9 +346,6 @@ Network::step()
         }
         router->sentCredits.clear();
     }
-
-    NOC_VCHK(verifier_, onCycleEnd(now_));
-    ++now_;
 }
 
 std::string
@@ -401,6 +433,25 @@ Network::setVerifier(InvariantChecker *chk)
         chk->attach(*this);
     if (faults_)
         faults_->bindVerifier(chk);
+}
+
+void
+Network::setProfiler(PhaseProfiler *prof)
+{
+#if NOC_PROFILE_ENABLED
+    prof_ = prof;
+    for (auto &router : routers_)
+        router->setProfiler(prof);
+    if (prof && prof->config().memory) {
+        for (const auto &router : routers_)
+            prof->noteArena(router->arenaBytes(), router->arenaChunks());
+    }
+#else
+    if (prof)
+        NOC_FATAL("profiler requested but the profiling layer was compiled "
+                  "out (reconfigure with -DNOC_PROFILE=ON)");
+    (void)prof;
+#endif
 }
 
 void

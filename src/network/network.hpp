@@ -29,6 +29,7 @@
 namespace noc {
 
 class InvariantChecker;
+class PhaseProfiler;
 
 /** Build the topology described by a configuration. */
 std::unique_ptr<Topology> makeTopology(const SimConfig &cfg);
@@ -125,6 +126,14 @@ class Network
      */
     void setVerifier(InvariantChecker *chk);
 
+    /**
+     * Attach a phase profiler to the cycle loop and every router
+     * (nullptr detaches). The caller keeps the profiler alive across
+     * the run. Fatal when the profiling layer was compiled out
+     * (-DNOC_PROFILE=OFF).
+     */
+    void setProfiler(PhaseProfiler *prof);
+
     /** Move every NI's completed packets into `out`. */
     void drainCompleted(std::vector<CompletedPacket> &out);
 
@@ -141,6 +150,7 @@ class Network
 
   private:
     void dispatch(const LinkEvent &event);
+    void stepRouters(bool stalls);
     void buildEvcCreditMap();
 
     SimConfig cfg_;
@@ -155,6 +165,7 @@ class Network
     std::uint64_t outstanding_ = 0;
     Cycle lastProgress_ = 0;
     InvariantChecker *verifier_ = nullptr;
+    PhaseProfiler *prof_ = nullptr;
 
     /// EVC express-credit upstream map: [router][inPort] -> (source
     /// router two hops back, its output port); kInvalidRouter if none.

@@ -1,0 +1,158 @@
+#include "profile/bench_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace noc {
+
+namespace {
+
+DiffVerdict
+worse(DiffVerdict a, DiffVerdict b)
+{
+    // Severity order: Fail > Removed(=Fail)/Warn/Added > Ok. Added is
+    // informational; Removed escalates to Fail in diffBenchRecords.
+    auto rank = [](DiffVerdict v) {
+        switch (v) {
+        case DiffVerdict::Fail: return 3;
+        case DiffVerdict::Warn: return 2;
+        case DiffVerdict::Added: return 1;
+        case DiffVerdict::Removed: return 3;
+        case DiffVerdict::Ok: return 0;
+        }
+        return 0;
+    };
+    return rank(a) >= rank(b) ? a : b;
+}
+
+double
+relChange(double base, double cur)
+{
+    const double denom = std::fabs(base) > 1e-12 ? std::fabs(base) : 1e-12;
+    return (cur - base) / denom;
+}
+
+} // namespace
+
+const char *
+toString(DiffVerdict v)
+{
+    switch (v) {
+    case DiffVerdict::Ok: return "ok";
+    case DiffVerdict::Warn: return "WARN";
+    case DiffVerdict::Fail: return "FAIL";
+    case DiffVerdict::Added: return "added";
+    case DiffVerdict::Removed: return "REMOVED";
+    }
+    return "?";
+}
+
+BenchDiff
+diffBenchRecords(const BenchRecord &baseline, const BenchRecord &current,
+                 const DiffThresholds &thresholds)
+{
+    BenchDiff diff;
+    diff.bench = current.bench.empty() ? baseline.bench : current.bench;
+
+    if (baseline.bench != current.bench)
+        diff.notes.push_back("bench name differs: baseline '" +
+                             baseline.bench + "' vs current '" +
+                             current.bench + "'");
+    auto featStr = [](const BenchFeatures &f) {
+        return std::string("telemetry=") + (f.telemetry ? "on" : "off") +
+               " verify=" + (f.verify ? "on" : "off") +
+               " profile=" + (f.profile ? "on" : "off") +
+               " sanitize=" + f.sanitize;
+    };
+    if (featStr(baseline.features) != featStr(current.features))
+        diff.notes.push_back("feature matrix differs (" +
+                             featStr(baseline.features) + " vs " +
+                             featStr(current.features) +
+                             "): wall-clock comparison is unreliable");
+    if (!baseline.configHash.empty() && !current.configHash.empty() &&
+        baseline.configHash != current.configHash)
+        diff.notes.push_back("config hash differs: the records measured "
+                             "different configurations");
+
+    for (const BenchMetric &base : baseline.metrics) {
+        MetricDiff m;
+        m.name = base.name;
+        m.kind = base.kind;
+        m.baseline = base.value;
+        const BenchMetric *cur = current.find(base.name);
+        if (!cur) {
+            m.verdict = DiffVerdict::Removed;
+            diff.metrics.push_back(std::move(m));
+            diff.worst = worse(diff.worst, DiffVerdict::Fail);
+            continue;
+        }
+        m.current = cur->value;
+        m.rel = relChange(base.value, cur->value);
+        if (base.kind == "wall") {
+            // Only *slower* wall numbers are interesting, and even
+            // those never gate: CI machines differ.
+            m.verdict = m.rel > thresholds.wallRel ? DiffVerdict::Warn
+                                                   : DiffVerdict::Ok;
+        } else {
+            const double limit = base.kind == "counter"
+                ? thresholds.counterRel
+                : thresholds.statRel;
+            m.verdict = std::fabs(m.rel) > limit ? DiffVerdict::Fail
+                                                 : DiffVerdict::Ok;
+        }
+        diff.worst = worse(diff.worst, m.verdict);
+        diff.metrics.push_back(std::move(m));
+    }
+    for (const BenchMetric &cur : current.metrics) {
+        if (baseline.find(cur.name))
+            continue;
+        MetricDiff m;
+        m.name = cur.name;
+        m.kind = cur.kind;
+        m.current = cur.value;
+        m.verdict = DiffVerdict::Added;
+        diff.worst = worse(diff.worst, DiffVerdict::Added);
+        diff.metrics.push_back(std::move(m));
+    }
+    return diff;
+}
+
+std::string
+formatBenchDiff(const BenchDiff &diff)
+{
+    std::string out = "bench " + diff.bench + ":\n";
+    char buf[192];
+    for (const std::string &note : diff.notes)
+        out += "  note: " + note + "\n";
+    for (const MetricDiff &m : diff.metrics) {
+        switch (m.verdict) {
+        case DiffVerdict::Added:
+            std::snprintf(buf, sizeof(buf),
+                          "  %-8s %-28s %-7s %.6g (new metric)\n",
+                          toString(m.verdict), m.name.c_str(),
+                          m.kind.c_str(), m.current);
+            break;
+        case DiffVerdict::Removed:
+            std::snprintf(buf, sizeof(buf),
+                          "  %-8s %-28s %-7s was %.6g, gone\n",
+                          toString(m.verdict), m.name.c_str(),
+                          m.kind.c_str(), m.baseline);
+            break;
+        default:
+            std::snprintf(buf, sizeof(buf),
+                          "  %-8s %-28s %-7s %.6g -> %.6g (%+.1f%%)\n",
+                          toString(m.verdict), m.name.c_str(),
+                          m.kind.c_str(), m.baseline, m.current,
+                          m.rel * 100.0);
+            break;
+        }
+        out += buf;
+    }
+    out += "  verdict: ";
+    out += toString(diff.worst == DiffVerdict::Added ? DiffVerdict::Ok
+                                                     : diff.worst);
+    out += "\n";
+    return out;
+}
+
+} // namespace noc

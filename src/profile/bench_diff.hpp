@@ -1,0 +1,77 @@
+/**
+ * @file
+ * BenchRecord regression diffing: compare a current BENCH_*.json
+ * against a committed baseline, metric by metric, and produce a CI
+ * verdict. The policy follows each metric's declared kind (see
+ * bench_record.hpp): counters must match exactly, stats get a small
+ * relative tolerance, wall-clock metrics only warn — a slower CI
+ * runner is not a regression, a changed flit count is.
+ */
+
+#ifndef NOC_PROFILE_BENCH_DIFF_HPP
+#define NOC_PROFILE_BENCH_DIFF_HPP
+
+#include <string>
+#include <vector>
+
+#include "profile/bench_record.hpp"
+
+namespace noc {
+
+/** Per-kind relative thresholds (|cur - base| / max(|base|, eps)). */
+struct DiffThresholds
+{
+    double counterRel = 0.0;   ///< counters: any drift fails
+    double statRel = 0.05;     ///< stats: 5% either direction fails
+    double wallRel = 0.10;     ///< wall: >10% slower warns (never fails)
+};
+
+enum class DiffVerdict : std::uint8_t {
+    Ok,       ///< within threshold
+    Warn,     ///< wall-clock drift past threshold
+    Fail,     ///< counter/stat drift past threshold
+    Added,    ///< metric only in the current record
+    Removed,  ///< metric only in the baseline
+};
+
+const char *toString(DiffVerdict v);
+
+/** One metric's comparison. */
+struct MetricDiff
+{
+    std::string name;
+    std::string kind;
+    double baseline = 0.0;
+    double current = 0.0;
+    double rel = 0.0;   ///< signed relative change vs baseline
+    DiffVerdict verdict = DiffVerdict::Ok;
+};
+
+/** One record pair's comparison. */
+struct BenchDiff
+{
+    std::string bench;
+    std::vector<MetricDiff> metrics;
+    std::vector<std::string> notes;   ///< provenance mismatches etc.
+    DiffVerdict worst = DiffVerdict::Ok;
+
+    bool regressed() const { return worst == DiffVerdict::Fail; }
+};
+
+/**
+ * Compare `current` against `baseline`. Added/removed metrics are
+ * reported (removed fails — a silently dropped metric hides exactly
+ * the regressions this tool exists to catch); provenance mismatches
+ * (feature matrix, config hash) become warning notes since they make
+ * wall-clock comparison meaningless but counters still must agree.
+ */
+BenchDiff diffBenchRecords(const BenchRecord &baseline,
+                           const BenchRecord &current,
+                           const DiffThresholds &thresholds = {});
+
+/** Human-readable rendering of one diff (one line per metric). */
+std::string formatBenchDiff(const BenchDiff &diff);
+
+} // namespace noc
+
+#endif // NOC_PROFILE_BENCH_DIFF_HPP

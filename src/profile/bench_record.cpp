@@ -1,0 +1,335 @@
+#include "profile/bench_record.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/build_info.hpp"
+#include "common/config.hpp"
+
+namespace noc {
+
+namespace {
+
+/** "%.17g": round-trip exact, matching the result-sink contract. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+fnv1a(const std::string &s, std::uint64_t h)
+{
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hashToHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+// ---- Narrow parser for the documents toJson() writes ----------------
+
+/** Value of `"key": "..."` after `from`; npos-safe, no unescaping of
+ *  anything but the characters jsonEscape() produces. */
+std::optional<std::string>
+findString(const std::string &text, const std::string &key,
+           std::size_t from = 0)
+{
+    const std::string needle = "\"" + key + "\": \"";
+    const std::size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return std::nullopt;
+    std::string out;
+    for (std::size_t i = at + needle.size(); i < text.size(); ++i) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+            const char n = text[++i];
+            out += n == 'n' ? '\n' : n == 't' ? '\t' : n;
+        } else if (text[i] == '"') {
+            return out;
+        } else {
+            out += text[i];
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<double>
+findDouble(const std::string &text, const std::string &key,
+           std::size_t from = 0)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return std::nullopt;
+    const char *start = text.c_str() + at + needle.size();
+    char *end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start)
+        return std::nullopt;
+    return v;
+}
+
+std::optional<bool>
+findBool(const std::string &text, const std::string &key,
+         std::size_t from = 0)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return std::nullopt;
+    return text.compare(at + needle.size(), 4, "true") == 0;
+}
+
+/** The `[...]` substring of one top-level array key ("" if absent). */
+std::string
+arraySlice(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": [";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t open = at + needle.size() - 1;
+    const std::size_t close = text.find(']', open);
+    if (close == std::string::npos)
+        return "";
+    return text.substr(open, close - open + 1);
+}
+
+/** Each `{...}` object inside an array slice (objects are flat). */
+std::vector<std::string>
+arrayObjects(const std::string &slice)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t open = slice.find('{', pos);
+        if (open == std::string::npos)
+            break;
+        const std::size_t close = slice.find('}', open);
+        if (close == std::string::npos)
+            break;
+        out.push_back(slice.substr(open, close - open + 1));
+        pos = close + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+BenchRecord::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"" << jsonEscape(schema) << "\",\n";
+    os << "  \"bench\": \"" << jsonEscape(bench) << "\",\n";
+    os << "  \"git_sha\": \"" << jsonEscape(gitSha) << "\",\n";
+    os << "  \"build_type\": \"" << jsonEscape(buildType) << "\",\n";
+    os << "  \"compiler\": \"" << jsonEscape(compiler) << "\",\n";
+    os << "  \"features\": {\"telemetry\": "
+       << (features.telemetry ? "true" : "false")
+       << ", \"verify\": " << (features.verify ? "true" : "false")
+       << ", \"profile\": " << (features.profile ? "true" : "false")
+       << ", \"sanitize\": \"" << jsonEscape(features.sanitize)
+       << "\"},\n";
+    os << "  \"config_hash\": \"" << jsonEscape(configHash) << "\",\n";
+    os << "  \"metrics\": [";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const BenchMetric &m = metrics[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"name\": \"" << jsonEscape(m.name) << "\", \"value\": "
+           << fmtDouble(m.value) << ", \"unit\": \"" << jsonEscape(m.unit)
+           << "\", \"kind\": \"" << jsonEscape(m.kind) << "\"}";
+    }
+    os << (metrics.empty() ? "]" : "\n  ]") << ",\n";
+    os << "  \"phases\": [";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const PhaseCost &p = phases[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"name\": \"" << jsonEscape(p.name) << "\", \"ns\": "
+           << fmtDouble(p.ns) << ", \"calls\": " << p.calls << "}";
+    }
+    os << (phases.empty() ? "]" : "\n  ]") << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+const BenchMetric *
+BenchRecord::find(const std::string &name) const
+{
+    for (const BenchMetric &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+std::string
+benchConfigHash(const SimConfig &cfg)
+{
+    return hashToHex(fnv1a(cfg.describe(), 0xcbf29ce484222325ULL));
+}
+
+std::string
+benchConfigHash(const std::string &prev, const SimConfig &cfg)
+{
+    const std::uint64_t seed =
+        prev.empty() ? 0xcbf29ce484222325ULL
+                     : std::strtoull(prev.c_str(), nullptr, 16);
+    return hashToHex(fnv1a(cfg.describe(), seed));
+}
+
+BenchRecord
+makeBenchRecord(const std::string &bench)
+{
+    BenchRecord rec;
+    rec.bench = bench;
+    rec.gitSha = gitSha();
+    rec.buildType = buildType();
+    rec.compiler = compilerId();
+    rec.features.telemetry = telemetryCompiledIn();
+    rec.features.verify = verifyCompiledIn();
+    rec.features.profile = profileCompiledIn();
+    const char *san = sanitizerName();
+    rec.features.sanitize = san[0] ? san : "none";
+    return rec;
+}
+
+std::optional<BenchRecord>
+benchRecordFromJson(const std::string &text)
+{
+    BenchRecord rec;
+    const auto schema = findString(text, "schema");
+    const auto bench = findString(text, "bench");
+    if (!schema || !bench)
+        return std::nullopt;
+    rec.schema = *schema;
+    rec.bench = *bench;
+    rec.gitSha = findString(text, "git_sha").value_or("");
+    rec.buildType = findString(text, "build_type").value_or("");
+    rec.compiler = findString(text, "compiler").value_or("");
+    rec.features.telemetry = findBool(text, "telemetry").value_or(false);
+    rec.features.verify = findBool(text, "verify").value_or(false);
+    rec.features.profile = findBool(text, "profile").value_or(false);
+    rec.features.sanitize = findString(text, "sanitize").value_or("none");
+    rec.configHash = findString(text, "config_hash").value_or("");
+
+    for (const std::string &obj : arrayObjects(arraySlice(text, "metrics"))) {
+        BenchMetric m;
+        const auto name = findString(obj, "name");
+        const auto value = findDouble(obj, "value");
+        if (!name || !value)
+            return std::nullopt;
+        m.name = *name;
+        m.value = *value;
+        m.unit = findString(obj, "unit").value_or("");
+        m.kind = findString(obj, "kind").value_or("");
+        rec.metrics.push_back(std::move(m));
+    }
+    for (const std::string &obj : arrayObjects(arraySlice(text, "phases"))) {
+        PhaseCost p;
+        const auto name = findString(obj, "name");
+        const auto ns = findDouble(obj, "ns");
+        if (!name || !ns)
+            return std::nullopt;
+        p.name = *name;
+        p.ns = *ns;
+        p.calls = static_cast<std::uint64_t>(
+            findDouble(obj, "calls").value_or(0.0));
+        rec.phases.push_back(std::move(p));
+    }
+    return rec;
+}
+
+std::string
+validateBenchRecord(const BenchRecord &record)
+{
+    if (record.schema != kBenchRecordSchema)
+        return "unexpected schema tag '" + record.schema + "' (want " +
+               kBenchRecordSchema + ")";
+    if (record.bench.empty())
+        return "missing bench name";
+    if (record.gitSha.empty())
+        return "missing git_sha provenance";
+    if (record.compiler.empty())
+        return "missing compiler provenance";
+    if (record.metrics.empty())
+        return "record carries no metrics";
+    std::set<std::string> seen;
+    for (const BenchMetric &m : record.metrics) {
+        if (m.name.empty())
+            return "metric with empty name";
+        if (!seen.insert(m.name).second)
+            return "duplicate metric '" + m.name + "'";
+        if (m.unit.empty())
+            return "metric '" + m.name + "' has no unit";
+        if (m.kind != "counter" && m.kind != "stat" && m.kind != "wall")
+            return "metric '" + m.name + "' has kind '" + m.kind +
+                   "' (want counter|stat|wall)";
+        if (!std::isfinite(m.value))
+            return "metric '" + m.name + "' is not finite";
+    }
+    for (const PhaseCost &p : record.phases)
+        if (p.name.empty() || p.ns < 0.0)
+            return "malformed phase entry";
+    return "";
+}
+
+std::optional<BenchRecord>
+loadBenchRecord(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto rec = benchRecordFromJson(ss.str());
+    if (!rec) {
+        if (error)
+            *error = path + ": not a bench record";
+        return std::nullopt;
+    }
+    const std::string problem = validateBenchRecord(*rec);
+    if (!problem.empty()) {
+        if (error)
+            *error = path + ": " + problem;
+        return std::nullopt;
+    }
+    return rec;
+}
+
+} // namespace noc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * BenchRecord: the one machine-readable schema every perf bench emits
+ * (`BENCH_<name>.json`), so the repo's performance trajectory is a set
+ * of diffable data points instead of scrollback. A record carries the
+ * metric values with units and a regression *kind*, the profiler phase
+ * breakdown when one was attached, a hash of the measured
+ * configuration, and full build provenance (git SHA + compile-time
+ * feature matrix) so any two records can be compared knowingly.
+ *
+ * Metric kinds drive noc-bench-diff's regression policy:
+ *   - "counter": deterministic simulation counts (flits, bypasses,
+ *     checks). Exactly reproducible given the same seeds/windows; any
+ *     drift is a behaviour change and fails the diff.
+ *   - "stat": derived simulation statistics (latency, throughput).
+ *     Deterministic too, but compared with a small tolerance so
+ *     baselines survive benign FP-ordering changes.
+ *   - "wall": wall-clock-derived (seconds, speedups, rates). Machine-
+ *     dependent; regressions only warn by default.
+ *
+ * Serialization is deterministic (fixed field order, "%.17g" doubles),
+ * matching the result-sink contract. The parser is deliberately
+ * narrow: it reads exactly the JSON toJson() writes (same idiom as
+ * analytic/calibration.cpp), not arbitrary JSON.
+ */
+
+#ifndef NOC_PROFILE_BENCH_RECORD_HPP
+#define NOC_PROFILE_BENCH_RECORD_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace noc {
+
+struct SimConfig;
+
+inline constexpr const char *kBenchRecordSchema = "noc-bench-record-v1";
+
+/** One measured value. */
+struct BenchMetric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit;   ///< "s", "ratio", "flits", "cycles/s", ...
+    std::string kind;   ///< "counter" | "stat" | "wall"
+};
+
+/** Compile-time feature matrix snapshot (from build_info). */
+struct BenchFeatures
+{
+    bool telemetry = false;
+    bool verify = false;
+    bool profile = false;
+    std::string sanitize = "none";
+};
+
+/** One bench run's machine-readable record. */
+struct BenchRecord
+{
+    std::string schema = kBenchRecordSchema;
+    std::string bench;        ///< harness name ("kernel_speedup", ...)
+    std::string gitSha;
+    std::string buildType;
+    std::string compiler;
+    BenchFeatures features;
+    std::string configHash;   ///< FNV-1a of the measured SimConfig(s)
+    std::vector<BenchMetric> metrics;
+    std::vector<PhaseCost> phases;   ///< profiler breakdown, may be empty
+
+    /** Pretty multi-line JSON document (trailing newline included). */
+    std::string toJson() const;
+
+    /** Look up one metric by name. */
+    const BenchMetric *find(const std::string &name) const;
+};
+
+/** FNV-1a 64 over a config's describe() string, as 16 hex digits. */
+std::string benchConfigHash(const SimConfig &cfg);
+
+/** Fold another config into an existing hash (multi-config benches). */
+std::string benchConfigHash(const std::string &prev, const SimConfig &cfg);
+
+/** A BenchRecord pre-filled with this build's provenance. */
+BenchRecord makeBenchRecord(const std::string &bench);
+
+/**
+ * Parse a document produced by BenchRecord::toJson(). Empty optional
+ * on malformed input.
+ */
+std::optional<BenchRecord> benchRecordFromJson(const std::string &text);
+
+/**
+ * Schema validation: "" when the record is well-formed, otherwise a
+ * one-line description of the first problem (bad schema tag, missing
+ * provenance, empty/duplicate/ill-kinded metrics).
+ */
+std::string validateBenchRecord(const BenchRecord &record);
+
+/** Load and validate one BENCH_*.json file; empty on any failure,
+ *  with the reason in *error when provided. */
+std::optional<BenchRecord> loadBenchRecord(const std::string &path,
+                                           std::string *error = nullptr);
+
+} // namespace noc
+
+#endif // NOC_PROFILE_BENCH_RECORD_HPP

@@ -1,0 +1,126 @@
+#include "profile/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <cstring>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace noc {
+
+#if defined(__linux__)
+
+namespace {
+
+int
+openEvent(std::uint32_t type, std::uint64_t config, int groupFd,
+          std::uint64_t *idOut)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = groupFd < 0 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+    const int fd = static_cast<int>(syscall(SYS_perf_event_open, &attr, 0,
+                                            -1, groupFd, 0));
+    if (fd >= 0 && idOut)
+        ioctl(fd, PERF_EVENT_IOC_ID, idOut);
+    return fd;
+}
+
+} // namespace
+
+PerfCounters::PerfCounters()
+{
+    static const std::uint64_t kConfigs[4] = {
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CPU_CYCLES,
+        PERF_COUNT_HW_CACHE_MISSES,
+        PERF_COUNT_HW_BRANCH_MISSES,
+    };
+    for (int i = 0; i < 4; ++i) {
+        fds_[i] = openEvent(PERF_TYPE_HARDWARE, kConfigs[i], leaderFd_,
+                            &ids_[i]);
+        if (fds_[i] < 0) {
+            // All-or-nothing: a partial group would skew ratios.
+            for (int j = 0; j < i; ++j) {
+                close(fds_[j]);
+                fds_[j] = -1;
+            }
+            leaderFd_ = -1;
+            return;
+        }
+        if (i == 0)
+            leaderFd_ = fds_[0];
+    }
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int i = 0; i < 4; ++i)
+        if (fds_[i] >= 0)
+            close(fds_[i]);
+}
+
+void
+PerfCounters::start()
+{
+    if (leaderFd_ < 0)
+        return;
+    ioctl(leaderFd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leaderFd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterValues
+PerfCounters::stop()
+{
+    PerfCounterValues v;
+    if (leaderFd_ < 0)
+        return v;
+    ioctl(leaderFd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+    // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
+    //   u64 nr; { u64 value; u64 id; } values[nr];
+    std::uint64_t buf[1 + 2 * 4] = {};
+    const ssize_t n = read(leaderFd_, buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(sizeof(std::uint64_t)))
+        return v;
+    const std::uint64_t nr = buf[0];
+    std::uint64_t *out[4] = {&v.instructions, &v.cycles, &v.cacheMisses,
+                             &v.branchMisses};
+    for (std::uint64_t e = 0; e < nr && e < 4; ++e) {
+        const std::uint64_t value = buf[1 + 2 * e];
+        const std::uint64_t id = buf[2 + 2 * e];
+        for (int i = 0; i < 4; ++i)
+            if (ids_[i] == id)
+                *out[i] = value;
+    }
+    v.valid = true;
+    return v;
+}
+
+#else // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+
+void
+PerfCounters::start()
+{
+}
+
+PerfCounterValues
+PerfCounters::stop()
+{
+    return {};
+}
+
+#endif
+
+} // namespace noc

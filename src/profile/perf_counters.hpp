@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Optional hardware performance counters via perf_event_open: one
+ * group of {instructions, cycles, cache-misses, branch-misses} read
+ * around a measured region. Containers and non-Linux hosts routinely
+ * deny the syscall, so everything degrades gracefully: available()
+ * returns false and readings come back zeroed-but-invalid.
+ */
+
+#ifndef NOC_PROFILE_PERF_COUNTERS_HPP
+#define NOC_PROFILE_PERF_COUNTERS_HPP
+
+#include <cstdint>
+
+namespace noc {
+
+/** One hardware-counter reading (deltas over a start()/stop() pair). */
+struct PerfCounterValues
+{
+    bool valid = false;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branchMisses = 0;
+
+    double ipc() const
+    {
+        return cycles > 0
+            ? static_cast<double>(instructions) / static_cast<double>(cycles)
+            : 0.0;
+    }
+};
+
+/**
+ * A perf event group bound to the calling thread. Construction opens
+ * the group; if the kernel refuses (permissions, seccomp, non-Linux
+ * build) the object stays inert and every reading is invalid.
+ */
+class PerfCounters
+{
+  public:
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters &) = delete;
+    PerfCounters &operator=(const PerfCounters &) = delete;
+
+    /** True when the counter group opened and can be read. */
+    bool available() const { return leaderFd_ >= 0; }
+
+    /** Reset and enable the group (start of the measured region). */
+    void start();
+
+    /** Disable and read the group; invalid when unavailable. */
+    PerfCounterValues stop();
+
+  private:
+    int leaderFd_ = -1;
+    int fds_[4] = {-1, -1, -1, -1};
+    std::uint64_t ids_[4] = {0, 0, 0, 0};
+};
+
+} // namespace noc
+
+#endif // NOC_PROFILE_PERF_COUNTERS_HPP

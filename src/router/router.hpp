@@ -51,6 +51,7 @@
 #include "router/pseudo_circuit.hpp"
 #include "router/switch_allocator.hpp"
 #include "router/vc_allocator.hpp"
+#include "profile/profile.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace noc {
@@ -171,6 +172,15 @@ class Router
     /** Attach an invariant checker (nullptr detaches). */
     void setVerifier(InvariantChecker *chk) { vchk_ = chk; }
 
+    /** Attach a phase profiler (nullptr detaches). The fine per-phase
+     *  scopes inside the pipeline run only on the profiler's sampling
+     *  cycles (PhaseProfiler::fine()). */
+    void setProfiler(PhaseProfiler *prof) { prof_ = prof; }
+
+    /** Bytes the per-router arena has allocated (VC flit storage). */
+    std::uint64_t arenaBytes() const { return arena_.bytesAllocated(); }
+    std::uint64_t arenaChunks() const { return arena_.numChunks(); }
+
     /** Flits/credits produced by the latest step(); caller clears. */
     std::vector<SentFlit> sentFlits;
     std::vector<SentCredit> sentCredits;
@@ -236,6 +246,8 @@ class Router
     template <typename P> void stepT(Cycle now);
     template <typename P> void switchPhaseT(Cycle now);
     template <typename P> void allocationPhaseT(Cycle now);
+    template <typename P> void vaPhaseT(Cycle now);
+    template <typename P> void saPhaseT(Cycle now);
 
     template <typename P> void doVaT(PortId in_port, VcId in_vc,
                                      Cycle now);
@@ -328,6 +340,8 @@ class Router
     RouterStats stats_;
     TelemetrySink *telem_ = nullptr;
     InvariantChecker *vchk_ = nullptr;
+    PhaseProfiler *prof_ = nullptr;      ///< attached profiler (may be null)
+    PhaseProfiler *fineProf_ = nullptr;  ///< non-null on sampling cycles only
 };
 
 } // namespace noc

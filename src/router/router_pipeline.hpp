@@ -273,7 +273,15 @@ template <typename P>
 void
 Router::stepT(Cycle now)
 {
-    switchPhaseT<P>(now);
+#if NOC_PROFILE_ENABLED
+    // Latch the fine profiler once per step: null on non-sampled cycles,
+    // so every scope below degrades to a single pointer test.
+    fineProf_ = prof_ ? prof_->fine() : nullptr;
+#endif
+    {
+        NOC_PROF_SCOPE(fineProf_, SwitchTraversal);
+        switchPhaseT<P>(now);
+    }
     allocationPhaseT<P>(now);
 }
 
@@ -422,6 +430,20 @@ template <typename P>
 void
 Router::allocationPhaseT(Cycle now)
 {
+    {
+        NOC_PROF_SCOPE(fineProf_, VcAlloc);
+        vaPhaseT<P>(now);
+    }
+    NOC_PROF_SCOPE(fineProf_, SwitchAlloc);
+    saPhaseT<P>(now);
+}
+
+/** The VA half of the allocation phase (split out so the profiler can
+ *  scope VA and SA separately). */
+template <typename P>
+void
+Router::vaPhaseT(Cycle now)
+{
     const int num_in = numInputPorts();
     const int num_vcs = cfg_.numVcs;
     const int total = num_in * num_vcs;
@@ -466,6 +488,16 @@ Router::allocationPhaseT(Cycle now)
                 doVaT<P>(in, v, now);
         }
     }
+}
+
+/** The SA half of the allocation phase: speculative switch allocation,
+ *  then circuit credit-terminations and speculation. */
+template <typename P>
+void
+Router::saPhaseT(Cycle now)
+{
+    const int num_in = numInputPorts();
+    const int num_vcs = cfg_.numVcs;
 
     // --- speculative SA ---
     if constexpr (P::kMasks) {
@@ -724,7 +756,10 @@ Router::traverseT(PortId in_port, Flit flit, const RouteDecision &route,
         flit.evcHopsLeft = 1;
         ++flit.hops;
         const RouterId next = chan.drops[route.drop].router;
-        flit.route = P::route(*this, next, flit.dst, flit.cls);
+        {
+            NOC_PROF_SCOPE(fineProf_, RouteCompute);
+            flit.route = P::route(*this, next, flit.dst, flit.cls);
+        }
         sentFlits.push_back({route.outPort, route.drop, flit});
     } else {
         op.takeCredit(route.drop, out_vc);
@@ -736,6 +771,7 @@ Router::traverseT(PortId in_port, Flit flit, const RouteDecision &route,
         ++flit.hops;
         if (!chan.isTerminal()) {
             const RouterId next = chan.drops[route.drop].router;
+            NOC_PROF_SCOPE(fineProf_, RouteCompute);
             flit.route = P::route(*this, next, flit.dst, flit.cls);
         }
         sentFlits.push_back({route.outPort, route.drop, flit});

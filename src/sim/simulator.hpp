@@ -83,6 +83,18 @@ struct ModelAnnotation
     bool predictedSaturated = false;
 };
 
+/**
+ * How a result relates to the phase-profiling layer (src/profile/).
+ * Inactive — and absent from every sink — unless a profiler rode the
+ * run, so profile-off output stays byte-identical to prior releases.
+ */
+struct ProfileAnnotation
+{
+    bool active = false;
+    double jobWallSeconds = 0.0;    ///< wall time of this run/attempt
+    double jobQueueSeconds = 0.0;   ///< sweep: claim delay behind other jobs
+};
+
 /** Everything one run produces. */
 struct SimResult
 {
@@ -135,6 +147,10 @@ struct SimResult
     /// anywhere — for plain detailed runs).
     ModelAnnotation model;
 
+    /// Self-profiling annotation (active == false — and no output
+    /// anywhere — unless profiling was requested for the run).
+    ProfileAnnotation profile;
+
     Cycle cyclesRun = 0;
     bool drained = false;           ///< all packets delivered in time
 };
@@ -173,6 +189,18 @@ class Simulator
         net_.setVerifier(chk);
     }
 
+    /**
+     * Attach a phase profiler before run(); phase costs accumulate in
+     * the profiler across the whole run (read them back with
+     * PhaseProfiler::report()). The caller owns the profiler. Fatal
+     * when the profiling layer was compiled out (-DNOC_PROFILE=OFF).
+     */
+    void setProfiler(PhaseProfiler *prof)
+    {
+        prof_ = prof;
+        net_.setProfiler(prof);
+    }
+
     Network &network() { return net_; }
     TrafficSource &source() { return *source_; }
 
@@ -183,6 +211,7 @@ class Simulator
     std::unique_ptr<TrafficSource> source_;
     TelemetrySink *telem_ = nullptr;
     InvariantChecker *verifier_ = nullptr;
+    PhaseProfiler *prof_ = nullptr;
     std::unique_ptr<InvariantChecker> envVerifier_;  ///< NOC_VERIFY=...
     std::vector<CompletedPacket> completedScratch_;
 

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "profile/profile.hpp"
 
 namespace noc {
 
@@ -40,7 +41,8 @@ stopRequested(const std::atomic<bool> *stop)
 }
 
 SweepOutcome
-attemptOneJob(const SweepJob &job, const std::atomic<bool> *stop)
+attemptOneJob(const SweepJob &job, const std::atomic<bool> *stop,
+              std::chrono::steady_clock::time_point runnerStart)
 {
     SweepOutcome out;
     out.label = job.label;
@@ -53,6 +55,12 @@ attemptOneJob(const SweepJob &job, const std::atomic<bool> *stop)
             throw std::runtime_error(
                 "verify requested but the invariant checker was compiled "
                 "out (reconfigure with -DNOC_VERIFY=ON)");
+#endif
+#if !NOC_PROFILE_ENABLED
+        if (job.profile)
+            throw std::runtime_error(
+                "profile requested but the profiling layer was compiled "
+                "out (reconfigure with -DNOC_PROFILE=ON)");
 #endif
         // Compose the attempt's cancel predicate: the caller's stop
         // flag, the per-attempt deadline, then whatever the job itself
@@ -100,6 +108,18 @@ attemptOneJob(const SweepJob &job, const std::atomic<bool> *stop)
             out.verifyViolations = checker.violationCount();
             out.verifyReport = checker.report();
         }
+        if (job.profile) {
+            // Per-job timing ride-along: how long the attempt ran and
+            // how long the job sat in the queue behind other jobs.
+            const std::chrono::duration<double> wall =
+                std::chrono::steady_clock::now() - started;
+            const std::chrono::duration<double> queued =
+                started - runnerStart;
+            out.result.profile.active = true;
+            out.result.profile.jobWallSeconds = wall.count();
+            out.result.profile.jobQueueSeconds =
+                queued.count() > 0.0 ? queued.count() : 0.0;
+        }
         out.ok = true;
     } catch (const SimCancelled &e) {
         if (stopRequested(stop)) {
@@ -118,12 +138,13 @@ attemptOneJob(const SweepJob &job, const std::atomic<bool> *stop)
 }
 
 SweepOutcome
-runOneJob(const SweepJob &job, const std::atomic<bool> *stop)
+runOneJob(const SweepJob &job, const std::atomic<bool> *stop,
+          std::chrono::steady_clock::time_point runnerStart)
 {
     const int max_attempts = std::max(1, job.maxAttempts);
     SweepOutcome out;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-        out = attemptOneJob(job, stop);
+        out = attemptOneJob(job, stop, runnerStart);
         out.attempts = attempt;
         if (out.ok || out.interrupted || attempt == max_attempts)
             break;
@@ -189,6 +210,10 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         }
     };
 
+    // Anchor for the profile annotation's queue time: a job's wait is
+    // measured from here to the moment a worker claims it.
+    const auto runner_start = std::chrono::steady_clock::now();
+
     const int workers =
         static_cast<int>(std::min<std::size_t>(jobs.size(),
                                                static_cast<std::size_t>(jobs_)));
@@ -196,7 +221,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             if (stopRequested(stop_))
                 break;
-            outcomes[i] = runOneJob(jobs[i], stop_);
+            outcomes[i] = runOneJob(jobs[i], stop_, runner_start);
             report(i, outcomes[i]);
         }
         fillSkipped();
@@ -213,7 +238,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
-            outcomes[i] = runOneJob(jobs[i], stop_);
+            outcomes[i] = runOneJob(jobs[i], stop_, runner_start);
             report(i, outcomes[i]);
         }
     };

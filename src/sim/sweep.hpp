@@ -74,6 +74,11 @@ struct SweepJob
     /// Workload sidecar for model-driven sweeps (see AnalyticSpec).
     /// Ignored by SweepRunner itself — only runModelSweep reads it.
     AnalyticSpec analytic;
+    /// With profile set, the worker stamps the outcome's result with a
+    /// ProfileAnnotation (per-job wall/queue seconds) — the only result
+    /// difference, so profile-off sweeps stay byte-identical. Fatal
+    /// when the profiling layer was compiled out.
+    bool profile = false;
 
     // --- resilience knobs (all off by default: one attempt, no limit) ---
     /// Wall-clock budget per attempt in milliseconds (0 = unlimited).

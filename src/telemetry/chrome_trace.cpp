@@ -54,6 +54,13 @@ writeMetadata(std::ostream &os, const char *kind, int pid, int tid,
 void
 writeChromeTrace(std::ostream &os, const std::vector<TelemetryTrace> &traces)
 {
+    writeChromeTrace(os, traces, std::vector<ProfSpan>{});
+}
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TelemetryTrace> &traces,
+                 const std::vector<ProfSpan> &profSpans)
+{
     os << "{\"traceEvents\":[\n";
     bool first = true;
     int pid_base = 0;
@@ -93,6 +100,59 @@ writeChromeTrace(std::ostream &os, const std::vector<TelemetryTrace> &traces)
                << ",\"arg\":" << static_cast<int>(ev.arg) << "}}";
         }
         pid_base += static_cast<int>(pids.size());
+    }
+
+    if (!profSpans.empty()) {
+        // One extra process for the profiler: cycle phases on tid 1,
+        // the sampled per-router phases on tid 2. Within one sampled
+        // cycle the spans are stacked proportionally inside [cycle,
+        // cycle+0.95] so the breakdown reads at the simulation
+        // timescale; real nanoseconds ride in args.
+        const int prof_pid = pid_base;
+        writeMetadata(os, "process_name", prof_pid, -1, "phase profiler",
+                      first);
+        writeMetadata(os, "thread_name", prof_pid, 1, "cycle phases",
+                      first);
+        writeMetadata(os, "thread_name", prof_pid, 2,
+                      "router phases (sampled)", first);
+        std::size_t i = 0;
+        while (i < profSpans.size()) {
+            std::size_t end = i;
+            double cycle_ticks = 0.0;
+            while (end < profSpans.size() &&
+                   profSpans[end].cycle == profSpans[i].cycle) {
+                if (profSpans[end].phase < ProfPhase::SwitchTraversal)
+                    cycle_ticks +=
+                        static_cast<double>(profSpans[end].ticks);
+                ++end;
+            }
+            const double scale =
+                cycle_ticks > 0.0 ? 0.95 / cycle_ticks : 0.0;
+            double ts_cycle = static_cast<double>(profSpans[i].cycle);
+            double ts_fine = ts_cycle;
+            for (; i < end; ++i) {
+                const ProfSpan &span = profSpans[i];
+                const bool fine =
+                    span.phase >= ProfPhase::SwitchTraversal;
+                const double dur =
+                    static_cast<double>(span.ticks) * scale;
+                double &ts = fine ? ts_fine : ts_cycle;
+                if (!first)
+                    os << ",\n";
+                first = false;
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.6f", ts);
+                os << "{\"name\":\"" << toString(span.phase)
+                   << "\",\"ph\":\"X\",\"ts\":" << buf;
+                std::snprintf(buf, sizeof(buf), "%.6f", dur);
+                os << ",\"dur\":" << buf << ",\"pid\":" << prof_pid
+                   << ",\"tid\":" << (fine ? 2 : 1);
+                std::snprintf(buf, sizeof(buf), "%.1f",
+                              profTicksToNs(span.ticks));
+                os << ",\"args\":{\"ns\":" << buf << "}}";
+                ts += dur;
+            }
+        }
     }
     os << "\n],\"displayTimeUnit\":\"ns\"}\n";
 }

@@ -11,6 +11,14 @@
  * Events are emitted as instant events ("ph":"i") with ts = cycle;
  * within a track timestamps are monotonically non-decreasing because
  * collectors record in simulation-cycle order.
+ *
+ * Profiler spans (optional): a run that carried a span-recording
+ * PhaseProfiler can additionally export its phase spans as duration
+ * events ("ph":"X") on one extra "phase profiler" process — cycle
+ * phases on one thread, the sampled router phases on another. Within a
+ * sampled cycle the spans are stacked proportionally inside [cycle,
+ * cycle+0.95] so the phase mix is visible at the simulation timescale;
+ * args carry the real nanoseconds.
  */
 
 #ifndef NOC_TELEMETRY_CHROME_TRACE_HPP
@@ -19,6 +27,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "profile/profile.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace noc {
@@ -29,6 +38,11 @@ void writeChromeTrace(std::ostream &os,
 
 /** Single-run convenience. */
 void writeChromeTrace(std::ostream &os, const TelemetryTrace &trace);
+
+/** As above, plus profiler phase spans as duration events. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TelemetryTrace> &traces,
+                      const std::vector<ProfSpan> &profSpans);
 
 } // namespace noc
 

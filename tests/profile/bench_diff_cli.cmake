@@ -1,0 +1,94 @@
+# CLI contract test for noc-bench-diff: an identical baseline/current
+# pair must exit 0, an injected 20% counter regression must exit 2, and
+# directory mode must catch a vanished record. Driven from ctest with
+#   -DDIFF=<noc-bench-diff> -DWORK=<scratch dir>
+#
+# The fixtures are written here (not committed) so the test is
+# self-contained and the records stay trivially readable.
+
+if(NOT DEFINED DIFF OR NOT DEFINED WORK)
+    message(FATAL_ERROR "usage: cmake -DDIFF=... -DWORK=... -P bench_diff_cli.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}/baseline" "${WORK}/current")
+
+# One record template; @VALUE@ is the counter under test.
+set(RECORD [=[{
+  "schema": "noc-bench-record-v1",
+  "bench": "cli_fixture",
+  "git_sha": "fixture",
+  "build_type": "Release",
+  "compiler": "GNU 0.0",
+  "features": {"telemetry": true, "verify": true, "profile": true, "sanitize": "none"},
+  "config_hash": "00000000deadbeef",
+  "metrics": [
+    {"name": "flit_hops", "value": @VALUE@, "unit": "flits", "kind": "counter"},
+    {"name": "sim_wall", "value": 0.5, "unit": "s", "kind": "wall"}
+  ],
+  "phases": []
+}
+]=])
+
+set(VALUE 10000)
+string(CONFIGURE "${RECORD}" BASE_DOC @ONLY)
+set(VALUE 12000)   # +20%: unmistakable counter regression
+string(CONFIGURE "${RECORD}" REGRESSED_DOC @ONLY)
+
+file(WRITE "${WORK}/baseline/BENCH_cli_fixture.json" "${BASE_DOC}")
+file(WRITE "${WORK}/current/BENCH_cli_fixture.json" "${BASE_DOC}")
+file(WRITE "${WORK}/regressed.json" "${REGRESSED_DOC}")
+
+# 1. Identical file pair: clean exit, "ok" verdict.
+execute_process(
+    COMMAND "${DIFF}" "${WORK}/baseline/BENCH_cli_fixture.json"
+                      "${WORK}/current/BENCH_cli_fixture.json"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "identical pair exited ${rc} (want 0):\n${out}${err}")
+endif()
+if(NOT out MATCHES "overall: ok")
+    message(FATAL_ERROR "identical pair did not report ok:\n${out}")
+endif()
+
+# 2. Injected counter regression: exit 2 and a FAIL line.
+execute_process(
+    COMMAND "${DIFF}" "${WORK}/baseline/BENCH_cli_fixture.json"
+                      "${WORK}/regressed.json"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "regressed pair exited ${rc} (want 2):\n${out}${err}")
+endif()
+if(NOT out MATCHES "FAIL +flit_hops" OR NOT out MATCHES "overall: REGRESSION")
+    message(FATAL_ERROR "regression not flagged:\n${out}")
+endif()
+
+# 3. Directory mode with a vanished record: regression.
+execute_process(
+    COMMAND "${DIFF}" "${WORK}/baseline" "${WORK}/current"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "identical directories exited ${rc} (want 0):\n${out}${err}")
+endif()
+file(REMOVE "${WORK}/current/BENCH_cli_fixture.json")
+execute_process(
+    COMMAND "${DIFF}" "${WORK}/baseline" "${WORK}/current"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "missing record exited ${rc} (want 2):\n${out}${err}")
+endif()
+if(NOT out MATCHES "missing from")
+    message(FATAL_ERROR "missing record not reported:\n${out}")
+endif()
+
+# 4. Malformed input: usage/load error, not a crash or a pass.
+file(WRITE "${WORK}/garbage.json" "not a record\n")
+execute_process(
+    COMMAND "${DIFF}" "${WORK}/baseline/BENCH_cli_fixture.json"
+                      "${WORK}/garbage.json"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "garbage input exited ${rc} (want 1):\n${out}${err}")
+endif()
+
+message(STATUS "noc-bench-diff CLI contract holds")

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "profile/bench_diff.hpp"
+
+namespace noc {
+namespace {
+
+BenchRecord
+baseRecord()
+{
+    BenchRecord rec;
+    rec.bench = "diff_test";
+    rec.gitSha = "abc123";
+    rec.compiler = "GNU 12";
+    rec.configHash = "00000000deadbeef";
+    rec.metrics.push_back({"flit_hops", 10000.0, "flits", "counter"});
+    rec.metrics.push_back({"avg_latency", 20.0, "cycles", "stat"});
+    rec.metrics.push_back({"sim_wall", 1.0, "s", "wall"});
+    return rec;
+}
+
+const MetricDiff *
+findDiff(const BenchDiff &diff, const std::string &name)
+{
+    for (const MetricDiff &m : diff.metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+TEST(BenchDiff, IdenticalRecordsAreClean)
+{
+    const BenchRecord rec = baseRecord();
+    const BenchDiff diff = diffBenchRecords(rec, rec);
+    EXPECT_EQ(DiffVerdict::Ok, diff.worst);
+    EXPECT_FALSE(diff.regressed());
+    EXPECT_TRUE(diff.notes.empty());
+    ASSERT_EQ(3u, diff.metrics.size());
+    for (const MetricDiff &m : diff.metrics) {
+        EXPECT_EQ(DiffVerdict::Ok, m.verdict) << m.name;
+        EXPECT_DOUBLE_EQ(0.0, m.rel) << m.name;
+    }
+}
+
+TEST(BenchDiff, AnyCounterDriftFails)
+{
+    const BenchRecord base = baseRecord();
+    BenchRecord cur = base;
+    cur.metrics[0].value = 10001.0;   // one flit off
+    const BenchDiff diff = diffBenchRecords(base, cur);
+    EXPECT_TRUE(diff.regressed());
+    ASSERT_NE(nullptr, findDiff(diff, "flit_hops"));
+    EXPECT_EQ(DiffVerdict::Fail, findDiff(diff, "flit_hops")->verdict);
+    // Counters fail in either direction: fewer flits is still a change.
+    cur.metrics[0].value = 9999.0;
+    EXPECT_TRUE(diffBenchRecords(base, cur).regressed());
+}
+
+TEST(BenchDiff, StatsGetToleranceWallOnlyWarns)
+{
+    const BenchRecord base = baseRecord();
+
+    BenchRecord cur = base;
+    cur.metrics[1].value = 20.8;   // +4%: inside the 5% default
+    EXPECT_EQ(DiffVerdict::Ok,
+              findDiff(diffBenchRecords(base, cur), "avg_latency")->verdict);
+    cur.metrics[1].value = 21.2;   // +6%: past it
+    {
+        const BenchDiff diff = diffBenchRecords(base, cur);
+        EXPECT_EQ(DiffVerdict::Fail,
+                  findDiff(diff, "avg_latency")->verdict);
+        EXPECT_TRUE(diff.regressed());
+    }
+    cur.metrics[1].value = 18.8;   // -6%: tolerance is two-sided
+    EXPECT_TRUE(diffBenchRecords(base, cur).regressed());
+
+    cur = base;
+    cur.metrics[2].value = 1.25;   // 25% slower wall clock
+    {
+        const BenchDiff diff = diffBenchRecords(base, cur);
+        EXPECT_EQ(DiffVerdict::Warn, findDiff(diff, "sim_wall")->verdict);
+        EXPECT_EQ(DiffVerdict::Warn, diff.worst);
+        EXPECT_FALSE(diff.regressed()) << "wall drift never gates CI";
+    }
+    cur.metrics[2].value = 0.5;   // faster is never even a warning
+    EXPECT_EQ(DiffVerdict::Ok,
+              findDiff(diffBenchRecords(base, cur), "sim_wall")->verdict);
+}
+
+TEST(BenchDiff, ThresholdsAreAdjustable)
+{
+    const BenchRecord base = baseRecord();
+    BenchRecord cur = base;
+    cur.metrics[0].value = 10050.0;   // +0.5%
+    cur.metrics[1].value = 22.0;      // +10%
+    cur.metrics[2].value = 1.25;      // +25%
+
+    DiffThresholds loose;
+    loose.counterRel = 0.01;
+    loose.statRel = 0.15;
+    loose.wallRel = 0.50;
+    const BenchDiff diff = diffBenchRecords(base, cur, loose);
+    EXPECT_EQ(DiffVerdict::Ok, diff.worst);
+
+    DiffThresholds strict;
+    strict.statRel = 0.01;
+    EXPECT_TRUE(diffBenchRecords(base, cur, strict).regressed());
+}
+
+TEST(BenchDiff, RemovedMetricFailsAddedIsInformational)
+{
+    const BenchRecord base = baseRecord();
+    BenchRecord cur = base;
+    cur.metrics.erase(cur.metrics.begin());   // flit_hops vanished
+    {
+        const BenchDiff diff = diffBenchRecords(base, cur);
+        EXPECT_TRUE(diff.regressed())
+            << "a silently dropped metric is a regression";
+        EXPECT_EQ(DiffVerdict::Removed,
+                  findDiff(diff, "flit_hops")->verdict);
+    }
+
+    cur = base;
+    cur.metrics.push_back({"new_counter", 5.0, "events", "counter"});
+    {
+        const BenchDiff diff = diffBenchRecords(base, cur);
+        EXPECT_FALSE(diff.regressed());
+        EXPECT_EQ(DiffVerdict::Added,
+                  findDiff(diff, "new_counter")->verdict);
+        // A diff whose worst verdict is Added still renders "ok".
+        EXPECT_NE(std::string::npos,
+                  formatBenchDiff(diff).find("verdict: ok"));
+    }
+}
+
+TEST(BenchDiff, ProvenanceMismatchesBecomeNotes)
+{
+    const BenchRecord base = baseRecord();
+
+    BenchRecord cur = base;
+    cur.features.verify = !base.features.verify;
+    {
+        const BenchDiff diff = diffBenchRecords(base, cur);
+        ASSERT_EQ(1u, diff.notes.size());
+        EXPECT_NE(std::string::npos,
+                  diff.notes[0].find("feature matrix"));
+        EXPECT_FALSE(diff.regressed())
+            << "notes inform, matching metrics still pass";
+    }
+
+    cur = base;
+    cur.configHash = "1111111111111111";
+    {
+        const BenchDiff diff = diffBenchRecords(base, cur);
+        ASSERT_EQ(1u, diff.notes.size());
+        EXPECT_NE(std::string::npos, diff.notes[0].find("config hash"));
+    }
+
+    cur = base;
+    cur.bench = "renamed";
+    EXPECT_FALSE(diffBenchRecords(base, cur).notes.empty());
+}
+
+TEST(BenchDiff, FormatRendersOneLinePerMetric)
+{
+    const BenchRecord base = baseRecord();
+    BenchRecord cur = base;
+    cur.metrics[0].value = 12000.0;   // +20% counter regression
+    const BenchDiff diff = diffBenchRecords(base, cur);
+    const std::string text = formatBenchDiff(diff);
+    EXPECT_NE(std::string::npos, text.find("bench diff_test:"));
+    EXPECT_NE(std::string::npos, text.find("FAIL"));
+    EXPECT_NE(std::string::npos, text.find("flit_hops"));
+    EXPECT_NE(std::string::npos, text.find("+20.0%"));
+    EXPECT_NE(std::string::npos, text.find("verdict: FAIL"));
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "profile/bench_record.hpp"
+
+namespace noc {
+namespace {
+
+BenchRecord
+sampleRecord()
+{
+    BenchRecord rec = makeBenchRecord("unit_test");
+    rec.configHash = "00000000deadbeef";
+    rec.metrics.push_back({"flit_hops", 12345.0, "flits", "counter"});
+    rec.metrics.push_back({"avg_latency", 23.75, "cycles", "stat"});
+    rec.metrics.push_back({"sim_wall", 0.125, "s", "wall"});
+    rec.phases.push_back({"router-step", 1.5e6, 1000});
+    rec.phases.push_back({"st", 12000.0, 160});
+    return rec;
+}
+
+TEST(BenchRecord, MakeFillsBuildProvenance)
+{
+    const BenchRecord rec = makeBenchRecord("provenance");
+    EXPECT_EQ(kBenchRecordSchema, rec.schema);
+    EXPECT_EQ("provenance", rec.bench);
+    EXPECT_FALSE(rec.gitSha.empty());
+    EXPECT_FALSE(rec.compiler.empty());
+    EXPECT_FALSE(rec.buildType.empty());
+    EXPECT_FALSE(rec.features.sanitize.empty());
+    // The feature matrix must reflect this very build.
+    EXPECT_EQ(NOC_PROFILE_ENABLED == 1, rec.features.profile);
+}
+
+TEST(BenchRecord, JsonRoundTripPreservesEveryField)
+{
+    const BenchRecord rec = sampleRecord();
+    const std::string json = rec.toJson();
+    EXPECT_EQ('\n', json.back()) << "document ends with a newline";
+
+    const auto back = benchRecordFromJson(json);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(rec.schema, back->schema);
+    EXPECT_EQ(rec.bench, back->bench);
+    EXPECT_EQ(rec.gitSha, back->gitSha);
+    EXPECT_EQ(rec.buildType, back->buildType);
+    EXPECT_EQ(rec.compiler, back->compiler);
+    EXPECT_EQ(rec.features.telemetry, back->features.telemetry);
+    EXPECT_EQ(rec.features.verify, back->features.verify);
+    EXPECT_EQ(rec.features.profile, back->features.profile);
+    EXPECT_EQ(rec.features.sanitize, back->features.sanitize);
+    EXPECT_EQ(rec.configHash, back->configHash);
+    ASSERT_EQ(rec.metrics.size(), back->metrics.size());
+    for (std::size_t i = 0; i < rec.metrics.size(); ++i) {
+        EXPECT_EQ(rec.metrics[i].name, back->metrics[i].name);
+        EXPECT_DOUBLE_EQ(rec.metrics[i].value, back->metrics[i].value);
+        EXPECT_EQ(rec.metrics[i].unit, back->metrics[i].unit);
+        EXPECT_EQ(rec.metrics[i].kind, back->metrics[i].kind);
+    }
+    ASSERT_EQ(rec.phases.size(), back->phases.size());
+    for (std::size_t i = 0; i < rec.phases.size(); ++i) {
+        EXPECT_EQ(rec.phases[i].name, back->phases[i].name);
+        EXPECT_DOUBLE_EQ(rec.phases[i].ns, back->phases[i].ns);
+        EXPECT_EQ(rec.phases[i].calls, back->phases[i].calls);
+    }
+}
+
+TEST(BenchRecord, SerializationIsDeterministic)
+{
+    const BenchRecord rec = sampleRecord();
+    EXPECT_EQ(rec.toJson(), rec.toJson());
+    // %.17g doubles round-trip exactly even for awkward values.
+    BenchRecord odd = rec;
+    odd.metrics[1].value = 1.0 / 3.0;
+    const auto back = benchRecordFromJson(odd.toJson());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_DOUBLE_EQ(1.0 / 3.0, back->metrics[1].value);
+}
+
+TEST(BenchRecord, FindLooksUpByName)
+{
+    const BenchRecord rec = sampleRecord();
+    ASSERT_NE(nullptr, rec.find("avg_latency"));
+    EXPECT_DOUBLE_EQ(23.75, rec.find("avg_latency")->value);
+    EXPECT_EQ(nullptr, rec.find("no_such_metric"));
+}
+
+TEST(BenchRecord, ParserRejectsNonRecords)
+{
+    EXPECT_FALSE(benchRecordFromJson("").has_value());
+    EXPECT_FALSE(benchRecordFromJson("{\"totally\": \"unrelated\"}")
+                     .has_value());
+}
+
+TEST(ValidateBenchRecord, AcceptsWellFormedFlagsEachDefect)
+{
+    EXPECT_EQ("", validateBenchRecord(sampleRecord()));
+
+    BenchRecord bad = sampleRecord();
+    bad.schema = "noc-bench-record-v0";
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("schema"));
+
+    bad = sampleRecord();
+    bad.bench.clear();
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("bench name"));
+
+    bad = sampleRecord();
+    bad.gitSha.clear();
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("git_sha"));
+
+    bad = sampleRecord();
+    bad.metrics.clear();
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("no metrics"));
+
+    bad = sampleRecord();
+    bad.metrics.push_back(bad.metrics[0]);
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("duplicate"));
+
+    bad = sampleRecord();
+    bad.metrics[0].kind = "gauge";
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("kind"));
+
+    bad = sampleRecord();
+    bad.metrics[0].unit.clear();
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("unit"));
+
+    bad = sampleRecord();
+    bad.metrics[0].value = 1.0 / 0.0;
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("finite"));
+
+    bad = sampleRecord();
+    bad.phases[0].ns = -1.0;
+    EXPECT_NE(std::string::npos,
+              validateBenchRecord(bad).find("phase"));
+}
+
+TEST(BenchConfigHash, StableAndConfigSensitive)
+{
+    SimConfig a;
+    a.topology = TopologyKind::Mesh;
+    a.meshWidth = 4;
+    a.meshHeight = 4;
+    a.scheme = Scheme::Baseline;
+    SimConfig b = a;
+    b.scheme = Scheme::PseudoSB;
+
+    const std::string ha = benchConfigHash(a);
+    EXPECT_EQ(16u, ha.size());
+    for (const char c : ha)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << ha;
+    EXPECT_EQ(ha, benchConfigHash(a)) << "hash is a pure function";
+    EXPECT_NE(ha, benchConfigHash(b));
+
+    // Chaining folds further configs in, and order matters.
+    const std::string chained = benchConfigHash(ha, b);
+    EXPECT_NE(chained, ha);
+    EXPECT_NE(chained, benchConfigHash(b));
+    EXPECT_EQ(chained, benchConfigHash(benchConfigHash(a), b));
+    EXPECT_NE(chained, benchConfigHash(benchConfigHash(b), a));
+}
+
+TEST(LoadBenchRecord, LoadsValidatesAndReportsFailures)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string good_path = dir + "/BENCH_load_test.json";
+    {
+        std::ofstream out(good_path);
+        out << sampleRecord().toJson();
+    }
+    std::string error;
+    const auto rec = loadBenchRecord(good_path, &error);
+    ASSERT_TRUE(rec.has_value()) << error;
+    EXPECT_EQ("unit_test", rec->bench);
+
+    EXPECT_FALSE(loadBenchRecord(dir + "/nope.json", &error).has_value());
+    EXPECT_NE(std::string::npos, error.find("cannot open"));
+
+    const std::string junk_path = dir + "/BENCH_junk.json";
+    {
+        std::ofstream out(junk_path);
+        out << "not json at all\n";
+    }
+    EXPECT_FALSE(loadBenchRecord(junk_path, &error).has_value());
+    EXPECT_NE(std::string::npos, error.find("not a bench record"));
+
+    // Parsable but schema-invalid: validation runs on load too.
+    BenchRecord invalid = sampleRecord();
+    invalid.metrics[0].kind = "gauge";
+    const std::string invalid_path = dir + "/BENCH_invalid.json";
+    {
+        std::ofstream out(invalid_path);
+        out << invalid.toJson();
+    }
+    EXPECT_FALSE(loadBenchRecord(invalid_path, &error).has_value());
+    EXPECT_NE(std::string::npos, error.find("kind"));
+
+    std::remove(good_path.c_str());
+    std::remove(junk_path.c_str());
+    std::remove(invalid_path.c_str());
+}
+
+} // namespace
+} // namespace noc

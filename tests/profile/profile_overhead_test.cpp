@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "profile/profile.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+/**
+ * Guard on the profiler's attach cost: the same simulation with and
+ * without a PhaseProfiler attached. The acceptance target is <= 5%
+ * (measured by bench/micro_router_bench on quiet hardware); this test
+ * runs inside a loaded ctest schedule, so it only guards against the
+ * profiler becoming *pathologically* expensive — a 2x wall-clock
+ * blowup would mean a scope landed inside a per-flit loop instead of
+ * the per-cycle/sampled tiers.
+ */
+
+#if NOC_PROFILE_ENABLED
+
+double
+runOnce(bool attach)
+{
+    SimConfig cfg;
+    cfg.topology = TopologyKind::Mesh;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.concentration = 1;
+    cfg.routing = RoutingKind::XY;
+    cfg.vaPolicy = VaPolicy::Static;
+    cfg.scheme = Scheme::PseudoSB;
+
+    Simulator sim(cfg, std::make_unique<SyntheticTraffic>(
+                           SyntheticPattern::UniformRandom, cfg.numNodes(),
+                           0.15, 5, /*seed=*/4242));
+    PhaseProfiler prof;
+    if (attach)
+        sim.setProfiler(&prof);
+    SimWindows w;
+    w.warmup = 200;
+    w.measure = 3000;
+
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = sim.run(w);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_GT(result.cyclesRun, 0u);
+    if (attach) {
+        EXPECT_EQ(result.cyclesRun, prof.cycles());
+    }
+    return wall.count();
+}
+
+TEST(ProfilerOverhead, AttachedRunStaysNearDetachedRun)
+{
+    // Warm both paths once (page faults, tick calibration), then take
+    // the best of three so scheduler noise lands on the slow samples.
+    (void)runOnce(false);
+    (void)runOnce(true);
+    double detached = runOnce(false);
+    double attached = runOnce(true);
+    for (int i = 0; i < 2; ++i) {
+        detached = std::min(detached, runOnce(false));
+        attached = std::min(attached, runOnce(true));
+    }
+    EXPECT_LT(attached, detached * 2.0)
+        << "attached " << attached << "s vs detached " << detached
+        << "s: profiler scopes are far too hot";
+}
+
+#else
+
+TEST(ProfilerOverhead, SkippedWhenCompiledOut)
+{
+    GTEST_SKIP() << "profiling layer compiled out (-DNOC_PROFILE=OFF)";
+}
+
+#endif // NOC_PROFILE_ENABLED
+
+} // namespace
+} // namespace noc
