@@ -61,6 +61,14 @@
  * profiler's sampled phase spans into the Chrome trace as duration
  * events. Fatal when the library was built with -DNOC_PROFILE=OFF.
  *
+ * Execution strategy: kernel=<auto|generic> picks the router core
+ * (auto substitutes a specialized kernel when the platform has one);
+ * shards=<auto|N> partitions one run across N row-band threads
+ * (auto shards networks of 256+ routers; the NOC_SHARDS environment
+ * variable applies either to every run that doesn't set the key).
+ * Both are behaviorally invisible: results are bit-identical to the
+ * generic, serial path.
+ *
  * Crash-tolerant sweeps: journal=<path> appends one JSONL checkpoint
  * per finished job; resume=1 (sugar: --resume) replays the journal and
  * re-runs only uncovered jobs, reproducing the uninterrupted outputs

@@ -107,6 +107,8 @@ SimConfig::validate() const
     }
     if (dropCreditEvery < 0)
         NOC_FATAL("drop-credit-every must be non-negative");
+    if (shards < 0)
+        NOC_FATAL("shards must be non-negative (0 = auto)");
     if (topology != TopologyKind::Mesh && concentration < 1)
         NOC_FATAL("concentration must be positive");
     if (topology == TopologyKind::Torus) {

@@ -119,6 +119,16 @@ struct SimConfig
     /// and result streams must not depend on it.
     KernelChoice kernel = KernelChoice::Auto;
 
+    /// Intra-run spatial sharding (sim/shard.hpp): 1 = serial (the
+    /// default; also consults the NOC_SHARDS env override), 0 = auto
+    /// (shard large networks across hardware threads), N >= 2 = exactly
+    /// N row-band shards (clamped to the row count). Like `kernel`,
+    /// purely an execution-speed knob — sharded runs are bit-identical
+    /// to serial (enforced by tests/sim/shard_parity_test.cpp) — so it
+    /// is left out of describe() on purpose: goldens and result streams
+    /// must not depend on the thread count.
+    int shards = 1;
+
     /** Derived: total number of routers. */
     int numRouters() const { return meshWidth * meshHeight; }
 

@@ -186,6 +186,20 @@ parseKernel(const std::string &name)
     NOC_FATAL("unknown kernel: " + name + " (want auto|generic)");
 }
 
+int
+parseShards(const std::string &name)
+{
+    const std::string n = lowered(name);
+    if (n == "auto")
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(n.c_str(), &end, 10);
+    if (n.empty() || end == nullptr || *end != '\0' || v < 0)
+        NOC_FATAL("unknown shards value: " + name +
+                  " (want auto|0|1|N)");
+    return static_cast<int>(v);
+}
+
 SimConfig
 configFromOptions(const Options &opts)
 {
@@ -221,6 +235,7 @@ configFromOptions(const Options &opts)
     cfg.dropCreditEvery =
         static_cast<int>(opts.getInt("drop-credit-every", 0));
     cfg.kernel = parseKernel(opts.getString("kernel", "auto"));
+    cfg.shards = parseShards(opts.getString("shards", "1"));
     cfg.validate();
     return cfg;
 }

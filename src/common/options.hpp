@@ -55,6 +55,9 @@ VaPolicy parseVaPolicy(const std::string &name);
 TopologyKind parseTopology(const std::string &name);
 KernelChoice parseKernel(const std::string &name);
 
+/** Parse "auto" (-> 0) or a non-negative shard count; fatal otherwise. */
+int parseShards(const std::string &name);
+
 /**
  * Build a SimConfig from options. Recognised keys: topology, width,
  * height, concentration, vcs, buffers, link-latency, credit-latency,

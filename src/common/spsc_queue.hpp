@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-capacity single-producer / single-consumer ring queue.
+ *
+ * The sharded stepping path (sim/shard.hpp, network/network.cpp) moves
+ * boundary flits and credits between shards through these queues: each
+ * shard thread is the sole producer of its outgoing queue, and the main
+ * thread is the sole consumer, draining every queue at the window
+ * barrier. Capacity is computed up front from the topology's boundary
+ * cut, so the hot loop never allocates; overflow is a simulator bug and
+ * panics rather than blocking.
+ */
+
+#ifndef NOC_COMMON_SPSC_QUEUE_HPP
+#define NOC_COMMON_SPSC_QUEUE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+template <typename T>
+class SpscQueue
+{
+  public:
+    /** Capacity is rounded up to a power of two (minimum 2). */
+    explicit SpscQueue(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Producer side. Panics when full — capacity is a proven bound. */
+    void
+    push(const T &value)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        NOC_ASSERT(tail - head < slots_.size(),
+                   "SPSC queue overflow: cross-shard capacity bound "
+                   "violated");
+        slots_[tail & (slots_.size() - 1)] = value;
+        tail_.store(tail + 1, std::memory_order_release);
+    }
+
+    /** Consumer side: pop into `out`; false when empty. */
+    bool
+    pop(T &out)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;
+        out = slots_[head & (slots_.size() - 1)];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::vector<T> slots_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace noc
+
+#endif // NOC_COMMON_SPSC_QUEUE_HPP

@@ -104,6 +104,28 @@ class EventRing
     }
 
     /**
+     * Place an event directly into cycle `when`'s bucket, bypassing the
+     * future-only assertion and telemetry of schedule(). Used once per
+     * run by the sharded stepping path (network.cpp, endSharded) to
+     * hand its pending calendars back to the serial ring — including
+     * events due exactly at `now`, which schedule() would reject. The
+     * caller guarantees `when` is within the horizon of the current
+     * cycle.
+     */
+    void
+    insertAt(Cycle when, LinkEvent event)
+    {
+        const std::int32_t slot = acquireSlot();
+        pool_[static_cast<std::size_t>(slot)].ev = std::move(event);
+        const std::size_t b = when % head_.size();
+        if (tail_[b] == kNil)
+            head_[b] = slot;
+        else
+            pool_[static_cast<std::size_t>(tail_[b])].next = slot;
+        tail_[b] = slot;
+    }
+
+    /**
      * Zero-copy iteration over cycle `now`'s events in scheduling
      * order, without consuming them; pair with releaseAt(now) once all
      * passes are done. `fn` may call schedule() (events land at future

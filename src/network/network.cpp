@@ -4,8 +4,14 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "common/spsc_queue.hpp"
 #include "fault/fault_routing.hpp"
 #include "profile/profile.hpp"
+// Layering exception: network/ sits below sim/, but the partitioned
+// stepping path shares the ShardPlan definition with its driver
+// (sim/shard.hpp) instead of duplicating the struct. Nothing else from
+// sim/ is visible here.
+#include "sim/shard.hpp"
 #include "topology/fbfly.hpp"
 #include "verify/verify.hpp"
 #include "topology/mecs.hpp"
@@ -55,6 +61,67 @@ eventHorizon(const SimConfig &cfg)
 }
 
 } // namespace
+
+/**
+ * Per-run state of the partitioned stepping path (see the sharded
+ * section at the bottom of this file and docs/architecture.md §16).
+ * One PerShard per row band; each is written only by its owning shard
+ * thread between barriers, except the SPSC queue whose consumer is the
+ * main thread at the barrier.
+ */
+class ShardRuntime
+{
+  public:
+    /// A scheduled delivery tagged with its creation cycle and creator
+    /// rank (NI = node id, router = numNodes + router id) so arrival
+    /// buckets can be replayed in exactly the serial event order.
+    struct Event
+    {
+        LinkEvent ev;
+        Cycle sched = 0;
+        std::int32_t rank = 0;
+    };
+
+    /// A cross-shard Event plus its absolute delivery cycle.
+    struct Msg
+    {
+        Event se;
+        Cycle when = 0;
+    };
+
+    /// One packet recorded during staging, replayed at `cycle`.
+    struct Staged
+    {
+        Cycle cycle = 0;
+        PacketDesc pkt;
+    };
+
+    struct PerShard
+    {
+        /// Calendar of pending local deliveries, indexed when % size.
+        std::vector<std::vector<Event>> buckets;
+        /// Outgoing boundary events; drained by the main thread at the
+        /// window barrier.
+        std::unique_ptr<SpscQueue<Msg>> out;
+        std::vector<Staged> staged;     ///< window's staged injections
+        std::size_t stagedIdx = 0;      ///< next staged entry to replay
+        std::vector<CompletedPacket> completed;
+        std::int64_t outstandingDelta = 0;
+        Cycle lastProgress = 0;
+        bool progressed = false;
+        std::vector<Event> flitScratch; ///< per-cycle flit sort buffer
+    };
+
+    ShardPlan plan;
+    std::size_t horizon = 1;  ///< calendar size, mirrors the event ring
+    bool staging = false;
+    Cycle stageCycle = 0;
+    /// unique_ptr per shard: stable addresses, no false sharing between
+    /// neighbouring PerShard blocks when the vector reallocates.
+    std::vector<std::unique_ptr<PerShard>> shards;
+};
+
+Network::~Network() = default;
 
 Network::Network(const SimConfig &cfg)
     : cfg_(cfg), topo_(makeTopology(cfg)), ring_(eventHorizon(cfg))
@@ -122,6 +189,17 @@ Network::buildEvcCreditMap()
 void
 Network::injectPacket(const PacketDesc &packet)
 {
+    if (shard_ && shard_->staging) {
+        // Staging (sharded runs): record against the staged cycle on the
+        // owning shard; the shard thread replays it — NI queue append,
+        // outstanding count, verifier hook — at exactly that cycle, in
+        // the order the source generated it.
+        const int s =
+            shard_->plan.shardOfNode[static_cast<std::size_t>(packet.src)];
+        shard_->shards[static_cast<std::size_t>(s)]->staged.push_back(
+            {shard_->stageCycle, packet});
+        return;
+    }
     if (faults_) {
         faults_->onOffered(packet);
         if (!faults_->routable(packet.src, packet.dst)) {
@@ -516,6 +594,416 @@ Network::aggregateNiStats() const
         total.localityHits += s.localityHits;
     }
     return total;
+}
+
+// ===================== Sharded stepping path =====================
+//
+// Determinism argument, in brief (docs/architecture.md §16 has the full
+// version): within one cycle no router touches another — every emission
+// is scheduled >= 1 + latency cycles ahead — so the only cross-shard
+// state is the event calendar itself. Each shard keeps its own calendar;
+// boundary events travel through SPSC queues and are folded in at the
+// window barrier, before any cycle that could observe them (the window
+// never exceeds the minimum cross-shard flight time). Arrival buckets
+// replay in the serial event order: credits first (they commute — pure
+// counter increments; the serial loop already dispatches them in a
+// separate pass), then flits sorted by (creation cycle, creator rank),
+// which reconstructs the serial ring's FIFO insertion order because
+// events with equal keys share one creator and one path and therefore
+// arrive already in creation order.
+
+void
+Network::beginSharded(const ShardPlan &plan)
+{
+    NOC_ASSERT(!shard_, "already in sharded mode");
+    NOC_ASSERT(!faults_, "sharded stepping excludes fault plans (v1)");
+    NOC_ASSERT(now_ == 0, "sharded runs start at cycle 0");
+    NOC_ASSERT(ring_.empty(), "sharded runs start on an empty ring");
+    NOC_ASSERT(plan.numShards >= 1 &&
+                   plan.shardOfRouter.size() == routers_.size() &&
+                   plan.shardOfNode.size() == nis_.size(),
+               "shard plan does not match this network");
+
+    shard_ = std::make_unique<ShardRuntime>();
+    shard_->plan = plan;
+    // Mirror the serial ring's bucket count so every schedulable delta
+    // fits; the +2 matches EventRing's own slack.
+    shard_->horizon = static_cast<std::size_t>(eventHorizon(cfg_)) + 2;
+
+    for (int s = 0; s < plan.numShards; ++s) {
+        auto sh = std::make_unique<ShardRuntime::PerShard>();
+        sh->buckets.resize(shard_->horizon);
+
+        // Queue capacity from the boundary cut: per cycle, each
+        // cross-shard drop delivers at most one flit, and each
+        // cross-shard credit path (including the EVC two-hop express
+        // return) at most one credit per VC. Scaled by the window plus
+        // slack so the bound is safely loose; overflow panics.
+        std::size_t cross = 0;
+        for (RouterId r = plan.routerBegin[s]; r < plan.routerEnd[s];
+             ++r) {
+            for (PortId p = 0; p < topo_->numOutputPorts(r); ++p) {
+                const OutputChannel &chan = topo_->output(r, p);
+                if (chan.isTerminal())
+                    continue;
+                for (const Drop &d : chan.drops) {
+                    if (plan.shardOfRouter[static_cast<std::size_t>(
+                            d.router)] != s)
+                        ++cross;
+                }
+            }
+            for (PortId p = 0; p < topo_->numInputPorts(r); ++p) {
+                const InputSource &src = topo_->input(r, p);
+                if (src.isTerminal())
+                    continue;
+                if (plan.shardOfRouter[static_cast<std::size_t>(
+                        src.router)] != s)
+                    cross += static_cast<std::size_t>(cfg_.numVcs);
+                if (!evcUpstream_.empty()) {
+                    const auto [up, up_port] = evcUpstream_[r][p];
+                    (void)up_port;
+                    if (up != kInvalidRouter &&
+                        plan.shardOfRouter[static_cast<std::size_t>(
+                            up)] != s)
+                        cross += static_cast<std::size_t>(cfg_.numVcs);
+                }
+            }
+        }
+        const std::size_t cap =
+            cross * (static_cast<std::size_t>(plan.window) + 2) + 64;
+        sh->out = std::make_unique<SpscQueue<ShardRuntime::Msg>>(cap);
+        shard_->shards.push_back(std::move(sh));
+    }
+
+    if (verifier_)
+        verifier_->setConcurrent(true);
+}
+
+void
+Network::shardStaging(bool on)
+{
+    NOC_ASSERT(shard_, "staging outside sharded mode");
+    shard_->staging = on;
+}
+
+void
+Network::shardStageCycle(Cycle cycle)
+{
+    NOC_ASSERT(shard_, "staging outside sharded mode");
+    shard_->stageCycle = cycle;
+}
+
+void
+Network::takeShardCompletions(std::vector<CompletedPacket> &out)
+{
+    NOC_ASSERT(shard_, "takeShardCompletions outside sharded mode");
+    for (auto &sh : shard_->shards) {
+        out.insert(out.end(), sh->completed.begin(), sh->completed.end());
+        sh->completed.clear();
+    }
+}
+
+void
+Network::shardAdvance(int shard, Cycle from, Cycle to)
+{
+    NOC_ASSERT(to - from <= shard_->plan.window,
+               "span exceeds the lookahead window");
+    for (Cycle c = from; c < to; ++c)
+        shardStepCycle(shard, c);
+}
+
+void
+Network::shardStepCycle(int s, Cycle c)
+{
+    ShardRuntime::PerShard &sh =
+        *shard_->shards[static_cast<std::size_t>(s)];
+    const ShardPlan &plan = shard_->plan;
+
+    // Staged injections for this cycle first — the serial loop ticks the
+    // source before stepping the network. The staged list was appended
+    // in serial tick order (cycle-major, node-ascending), so a linear
+    // replay reproduces it, including per-NI RNG consumption order.
+    while (sh.stagedIdx < sh.staged.size() &&
+           sh.staged[sh.stagedIdx].cycle == c) {
+        const PacketDesc &pkt = sh.staged[sh.stagedIdx].pkt;
+        nis_[static_cast<std::size_t>(pkt.src)]->inject(pkt);
+        ++sh.outstandingDelta;
+        NOC_VCHK(verifier_, onPacketInjected(pkt, c));
+        ++sh.stagedIdx;
+    }
+
+    // Phase 1: arrivals. Credits land before flits (same pass split as
+    // step()); flits replay in the serial event order.
+    auto &bucket = sh.buckets[c % shard_->horizon];
+    for (const ShardRuntime::Event &se : bucket) {
+        if (se.ev.kind == LinkEvent::Kind::CreditToRouter ||
+            se.ev.kind == LinkEvent::Kind::CreditToNi)
+            shardDispatch(s, c, se.ev);
+    }
+    sh.flitScratch.clear();
+    for (const ShardRuntime::Event &se : bucket) {
+        if (se.ev.kind == LinkEvent::Kind::FlitToRouter ||
+            se.ev.kind == LinkEvent::Kind::FlitToNi)
+            sh.flitScratch.push_back(se);
+    }
+    std::stable_sort(
+        sh.flitScratch.begin(), sh.flitScratch.end(),
+        [](const ShardRuntime::Event &a, const ShardRuntime::Event &b) {
+            return a.sched != b.sched ? a.sched < b.sched
+                                      : a.rank < b.rank;
+        });
+    for (const ShardRuntime::Event &se : sh.flitScratch)
+        shardDispatch(s, c, se.ev);
+    bucket.clear();
+
+    // Phase 2: NI injection (rank = node id, matching serial NI order).
+    for (NodeId n = plan.nodeBegin[s]; n < plan.nodeEnd[s]; ++n) {
+        NetworkInterface &ni = *nis_[static_cast<std::size_t>(n)];
+        if (auto flit = ni.step(c)) {
+            NOC_VCHK(verifier_, onFlitInjected(n, *flit, c));
+            LinkEvent ev;
+            ev.kind = LinkEvent::Kind::FlitToRouter;
+            ev.router = topo_->nodeRouter(n);
+            ev.inPort = topo_->nodePort(n);
+            ev.flit = *flit;
+            shardSchedule(s, c, c + 1 + cfg_.linkLatency, ev, n);
+        }
+    }
+
+    // Phase 3: routers (rank = numNodes + router id; sentFlits order is
+    // preserved by the stable sort above for same-rank events).
+    for (RouterId r = plan.routerBegin[s]; r < plan.routerEnd[s]; ++r) {
+        Router &router = *routers_[static_cast<std::size_t>(r)];
+        router.step(c);
+        const std::int32_t rank =
+            static_cast<std::int32_t>(nis_.size()) + r;
+
+        for (const Router::SentFlit &sf : router.sentFlits) {
+            const OutputChannel &chan = topo_->output(r, sf.outPort);
+            LinkEvent ev;
+            if (chan.isTerminal()) {
+                ev.kind = LinkEvent::Kind::FlitToNi;
+                ev.node = chan.terminal;
+                ev.flit = sf.flit;
+                shardSchedule(s, c, c + 1 + cfg_.linkLatency, ev, rank);
+            } else {
+                const Drop &drop = chan.drops[static_cast<std::size_t>(
+                    sf.drop)];
+                ev.kind = LinkEvent::Kind::FlitToRouter;
+                ev.router = drop.router;
+                ev.inPort = drop.inPort;
+                ev.flit = sf.flit;
+                shardSchedule(s, c,
+                              c + 1 + cfg_.linkLatency * drop.distance,
+                              ev, rank);
+            }
+        }
+        router.sentFlits.clear();
+
+        for (const Router::SentCredit &sc : router.sentCredits) {
+            const InputSource &src = topo_->input(r, sc.inPort);
+            LinkEvent ev;
+            if (src.isTerminal()) {
+                ev.kind = LinkEvent::Kind::CreditToNi;
+                ev.node = src.terminal;
+                ev.vc = sc.vc;
+                shardSchedule(s, c, c + 1 + cfg_.creditLatency, ev, rank);
+            } else if (sc.express) {
+                const auto [up_router, up_port] =
+                    evcUpstream_[static_cast<std::size_t>(r)][
+                        static_cast<std::size_t>(sc.inPort)];
+                NOC_ASSERT(up_router != kInvalidRouter,
+                           "express credit with no two-hop upstream");
+                ev.kind = LinkEvent::Kind::CreditToRouter;
+                ev.router = up_router;
+                ev.credit.outPort = up_port;
+                ev.credit.drop = 0;
+                ev.credit.vc = sc.vc;
+                ev.credit.express = true;
+                shardSchedule(s, c, c + 1 + cfg_.creditLatency * 2, ev,
+                              rank);
+            } else {
+                ev.kind = LinkEvent::Kind::CreditToRouter;
+                ev.router = src.router;
+                ev.credit.outPort = src.outPort;
+                ev.credit.drop = src.dropIndex;
+                ev.credit.vc = sc.vc;
+                ev.credit.express = false;
+                shardSchedule(s, c,
+                              c + 1 + cfg_.creditLatency * src.distance,
+                              ev, rank);
+            }
+        }
+        router.sentCredits.clear();
+    }
+}
+
+void
+Network::shardDispatch(int s, Cycle c, const LinkEvent &ev)
+{
+    ShardRuntime::PerShard &sh =
+        *shard_->shards[static_cast<std::size_t>(s)];
+    switch (ev.kind) {
+      case LinkEvent::Kind::FlitToRouter:
+        routers_[static_cast<std::size_t>(ev.router)]->deliverFlit(
+            ev.inPort, ev.flit, c);
+        sh.lastProgress = c;
+        sh.progressed = true;
+        break;
+      case LinkEvent::Kind::FlitToNi: {
+        sh.lastProgress = c;
+        sh.progressed = true;
+        NOC_VCHK(verifier_, onFlitEjected(ev.node, ev.flit, c));
+        NetworkInterface &ni = *nis_[static_cast<std::size_t>(ev.node)];
+        ni.receiveFlit(ev.flit, c);
+        if (!ni.completed.empty()) {
+            // Completions move to the shard immediately (nothing runs
+            // drainCompleted mid-window); the Simulator merges them in
+            // ejection order at the barrier.
+            for (const CompletedPacket &p : ni.completed) {
+                --sh.outstandingDelta;
+                sh.completed.push_back(p);
+            }
+            ni.completed.clear();
+        }
+        LinkEvent credit;
+        credit.kind = LinkEvent::Kind::CreditToRouter;
+        credit.router = topo_->nodeRouter(ev.node);
+        credit.credit.outPort = topo_->nodePort(ev.node);
+        credit.credit.drop = 0;
+        credit.credit.vc = ev.flit.vc;
+        credit.credit.express = false;
+        shardSchedule(s, c, c + 1 + cfg_.creditLatency, credit, 0);
+        break;
+      }
+      case LinkEvent::Kind::CreditToRouter:
+        routers_[static_cast<std::size_t>(ev.router)]->deliverCredit(
+            ev.credit, c);
+        break;
+      case LinkEvent::Kind::CreditToNi:
+        nis_[static_cast<std::size_t>(ev.node)]->addCredit(ev.vc);
+        NOC_VCHK(verifier_, onNiCredit(ev.node, ev.vc, c));
+        break;
+      case LinkEvent::Kind::LinkAck:
+        NOC_PANIC("LinkAck on the sharded path (faults run serial)");
+    }
+}
+
+void
+Network::shardSchedule(int s, Cycle now, Cycle when, const LinkEvent &ev,
+                       std::int32_t rank)
+{
+    const ShardPlan &plan = shard_->plan;
+    int target = s;
+    if (ev.kind == LinkEvent::Kind::FlitToRouter ||
+        ev.kind == LinkEvent::Kind::CreditToRouter)
+        target = plan.shardOfRouter[static_cast<std::size_t>(ev.router)];
+    // *ToNi events always stay local: terminal channels connect a
+    // router to its own nodes, and nodes live with their router.
+
+    const ShardRuntime::Event se{ev, now, rank};
+    if (target == s) {
+        NOC_ASSERT(when > now && when - now < shard_->horizon,
+                   "sharded event beyond the calendar horizon");
+        shard_->shards[static_cast<std::size_t>(s)]
+            ->buckets[when % shard_->horizon]
+            .push_back(se);
+    } else {
+        shard_->shards[static_cast<std::size_t>(s)]->out->push(
+            {se, when});
+    }
+}
+
+void
+Network::shardDrainQueues(Cycle up_to)
+{
+    const ShardPlan &plan = shard_->plan;
+    for (int s = 0; s < plan.numShards; ++s) {
+        ShardRuntime::Msg m;
+        while (shard_->shards[static_cast<std::size_t>(s)]->out->pop(m)) {
+            NOC_ASSERT(m.when >= up_to &&
+                           m.when - up_to < shard_->horizon,
+                       "cross-shard event outside the lookahead bound");
+            const int target = plan.shardOfRouter[static_cast<std::size_t>(
+                m.se.ev.router)];
+            shard_->shards[static_cast<std::size_t>(target)]
+                ->buckets[m.when % shard_->horizon]
+                .push_back(m.se);
+        }
+    }
+}
+
+void
+Network::shardBarrier(Cycle up_to)
+{
+    NOC_ASSERT(shard_, "shardBarrier outside sharded mode");
+    NOC_ASSERT(up_to > now_, "barrier must advance time");
+    shardDrainQueues(up_to);
+
+    for (auto &shp : shard_->shards) {
+        ShardRuntime::PerShard &sh = *shp;
+        if (sh.outstandingDelta != 0) {
+            outstanding_ = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(outstanding_) +
+                sh.outstandingDelta);
+            sh.outstandingDelta = 0;
+        }
+        if (sh.progressed) {
+            lastProgress_ = std::max(lastProgress_, sh.lastProgress);
+            sh.progressed = false;
+        }
+    }
+
+    // One end-of-cycle verifier scan per window, against
+    // barrier-consistent state, timed as the serial scan of the
+    // window's last cycle would be.
+    now_ = up_to - 1;
+    NOC_VCHK(verifier_, onCycleEnd(now_));
+    now_ = up_to;
+}
+
+void
+Network::endSharded()
+{
+    NOC_ASSERT(shard_, "endSharded outside sharded mode");
+    shardDrainQueues(now_);
+
+    // Hand every pending calendar event back to the serial ring in the
+    // order a serial run would hold it: per cycle, credits first (the
+    // serial loop dispatches them in a separate pass anyway and they
+    // commute), then flits by (creation cycle, creator rank).
+    const ShardPlan &plan = shard_->plan;
+    std::vector<ShardRuntime::Event> flits;
+    for (std::size_t off = 0; off < shard_->horizon; ++off) {
+        const Cycle t = now_ + off;
+        const std::size_t b = t % shard_->horizon;
+        flits.clear();
+        for (int s = 0; s < plan.numShards; ++s) {
+            auto &bucket =
+                shard_->shards[static_cast<std::size_t>(s)]->buckets[b];
+            for (const ShardRuntime::Event &se : bucket) {
+                if (se.ev.kind == LinkEvent::Kind::CreditToRouter ||
+                    se.ev.kind == LinkEvent::Kind::CreditToNi)
+                    ring_.insertAt(t, se.ev);
+                else
+                    flits.push_back(se);
+            }
+            bucket.clear();
+        }
+        std::stable_sort(
+            flits.begin(), flits.end(),
+            [](const ShardRuntime::Event &a,
+               const ShardRuntime::Event &b) {
+                return a.sched != b.sched ? a.sched < b.sched
+                                          : a.rank < b.rank;
+            });
+        for (const ShardRuntime::Event &se : flits)
+            ring_.insertAt(t, se.ev);
+    }
+
+    if (verifier_)
+        verifier_->setConcurrent(false);
+    shard_.reset();
 }
 
 } // namespace noc

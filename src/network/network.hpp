@@ -30,6 +30,8 @@ namespace noc {
 
 class InvariantChecker;
 class PhaseProfiler;
+struct ShardPlan;
+class ShardRuntime;
 
 /** Build the topology described by a configuration. */
 std::unique_ptr<Topology> makeTopology(const SimConfig &cfg);
@@ -38,6 +40,7 @@ class Network
 {
   public:
     explicit Network(const SimConfig &cfg);
+    ~Network();  ///< out-of-line: ShardRuntime is defined in network.cpp
 
     const SimConfig &config() const { return cfg_; }
     const Topology &topology() const { return *topo_; }
@@ -148,10 +151,74 @@ class Network
     PseudoCircuitStats aggregatePcStats() const;
     NiStats aggregateNiStats() const;
 
+    // ----- Sharded stepping (sim/shard.hpp drives this; see
+    // docs/architecture.md §16). The partitioned path replaces step()
+    // for a whole run: beginSharded() installs the runtime, shard
+    // threads call shardAdvance() for disjoint router/NI bands, the
+    // main thread calls shardBarrier() between lookahead windows, and
+    // endSharded() collapses pending events back into the serial ring
+    // so drain/settle can finish on the ordinary step() path. -----
+
+    /** True between beginSharded() and endSharded(). */
+    bool sharded() const { return shard_ != nullptr; }
+
+    /**
+     * Enter sharded mode. Requires a fault-free network at cycle 0 with
+     * an empty event ring. The plan must partition this network's
+     * routers into contiguous row bands (makeShardPlan).
+     */
+    void beginSharded(const ShardPlan &plan);
+
+    /**
+     * Advance one shard's routers and NIs over [from, to). Called
+     * concurrently, one thread per shard; `to - from` must not exceed
+     * the plan's lookahead window, so no event produced by another
+     * shard during the same span can arrive before `to`.
+     */
+    void shardAdvance(int shard, Cycle from, Cycle to);
+
+    /**
+     * Window barrier (main thread, all shard threads parked): route
+     * cross-shard events from the SPSC queues into the target shards'
+     * calendars, fold per-shard progress/outstanding deltas into the
+     * global counters, advance now() to `up_to`, and run the verifier's
+     * end-of-cycle scan for cycle `up_to - 1`.
+     */
+    void shardBarrier(Cycle up_to);
+
+    /**
+     * Leave sharded mode: hand every pending calendar event back to the
+     * serial event ring (credits first, then flits in deterministic
+     * order, exactly as a serial run would hold them) and tear down the
+     * shard runtime. The network then continues on step().
+     */
+    void endSharded();
+
+    /**
+     * Staging mode (main thread, shard threads parked): while on,
+     * injectPacket() records packets against shardStageCycle()'s cycle
+     * on the owning shard instead of touching NIs, so a whole window of
+     * open-loop traffic can be generated up front and replayed by the
+     * shard threads in serial order.
+     */
+    void shardStaging(bool on);
+    void shardStageCycle(Cycle cycle);
+
+    /**
+     * Move completions collected by shardAdvance() into `out` (shard
+     * order, unsorted — the Simulator sorts by ejection cycle).
+     */
+    void takeShardCompletions(std::vector<CompletedPacket> &out);
+
   private:
     void dispatch(const LinkEvent &event);
     void stepRouters(bool stalls);
     void buildEvcCreditMap();
+    void shardStepCycle(int shard, Cycle cycle);
+    void shardDispatch(int shard, Cycle cycle, const LinkEvent &ev);
+    void shardSchedule(int shard, Cycle cycle, Cycle when,
+                       const LinkEvent &ev, std::int32_t rank);
+    void shardDrainQueues(Cycle up_to);
 
     SimConfig cfg_;
     std::unique_ptr<Topology> topo_;
@@ -166,6 +233,7 @@ class Network
     Cycle lastProgress_ = 0;
     InvariantChecker *verifier_ = nullptr;
     PhaseProfiler *prof_ = nullptr;
+    std::unique_ptr<ShardRuntime> shard_;  ///< non-null in sharded mode
 
     /// EVC express-credit upstream map: [router][inPort] -> (source
     /// router two hops back, its output port); kInvalidRouter if none.

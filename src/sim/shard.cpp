@@ -1,0 +1,168 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hpp"
+#include "network/network.hpp"
+#include "topology/topology.hpp"
+
+namespace noc {
+
+Cycle
+shardLookahead(const SimConfig &cfg)
+{
+    // Every emission is scheduled at now + 1 + latency * distance with
+    // distance >= 1, so the shortest possible cross-shard flight time
+    // bounds the window from below.
+    return 1 + static_cast<Cycle>(
+                   std::min(cfg.linkLatency, cfg.creditLatency));
+}
+
+ShardPlan
+makeShardPlan(const SimConfig &cfg, const Topology &topo, int num_shards)
+{
+    const int rows = topo.height();
+    const int shards = std::clamp(num_shards, 1, rows);
+
+    ShardPlan plan;
+    plan.numShards = shards;
+    plan.window = shardLookahead(cfg);
+    plan.routerBegin.resize(shards);
+    plan.routerEnd.resize(shards);
+    plan.nodeBegin.resize(shards);
+    plan.nodeEnd.resize(shards);
+    plan.shardOfRouter.resize(topo.numRouters());
+    plan.shardOfNode.resize(topo.numNodes());
+
+    const int conc = topo.concentration();
+    for (int s = 0; s < shards; ++s) {
+        // Row bands [s*rows/shards, (s+1)*rows/shards): contiguous and
+        // within one row of equal height.
+        const int row_begin = s * rows / shards;
+        const int row_end = (s + 1) * rows / shards;
+        plan.routerBegin[s] = topo.routerAt(0, row_begin);
+        plan.routerEnd[s] = row_end < rows
+                                ? topo.routerAt(0, row_end)
+                                : static_cast<RouterId>(topo.numRouters());
+        plan.nodeBegin[s] = plan.routerBegin[s] * conc;
+        plan.nodeEnd[s] = plan.routerEnd[s] * conc;
+        for (RouterId r = plan.routerBegin[s]; r < plan.routerEnd[s]; ++r)
+            plan.shardOfRouter[static_cast<std::size_t>(r)] = s;
+        for (NodeId n = plan.nodeBegin[s]; n < plan.nodeEnd[s]; ++n)
+            plan.shardOfNode[static_cast<std::size_t>(n)] = s;
+    }
+    return plan;
+}
+
+int
+resolveShardCount(const SimConfig &cfg)
+{
+    int requested = cfg.shards;
+    // The env override only applies to the default so explicit test and
+    // sweep configurations keep meaning what they say; the golden env
+    // neutralizes it (NOC_SHARDS=) to keep default-path output pinned.
+    if (requested == 1) {
+        if (const char *env = std::getenv("NOC_SHARDS")) {
+            const std::string spec(env);
+            if (spec == "auto") {
+                requested = 0;
+            } else if (!spec.empty()) {
+                const long v = std::atol(spec.c_str());
+                if (v >= 0)
+                    requested = static_cast<int>(v);
+            }
+        }
+    }
+    if (requested == 1)
+        return 1;
+
+    const int rows = cfg.meshHeight;
+    int shards;
+    if (requested == 0) {
+        // Auto: sharding only pays once the per-cycle work dwarfs the
+        // window barrier. Below ~256 routers the serial loop wins.
+        if (cfg.numRouters() < 256)
+            return 1;
+        const unsigned hw = std::thread::hardware_concurrency();
+        shards = std::min(static_cast<int>(hw > 0 ? hw : 1),
+                          std::min(rows, cfg.numRouters() / 64));
+    } else {
+        shards = requested;
+    }
+    return std::clamp(shards, 1, rows);
+}
+
+int
+composeWorkerCap(int workers, int max_shards, int hardware_threads)
+{
+    if (workers < 1)
+        workers = 1;
+    if (max_shards <= 1)
+        return workers;
+    const int hw = hardware_threads > 0 ? hardware_threads : 1;
+    return std::max(1, std::min(workers, hw / max_shards));
+}
+
+ShardExecutor::ShardExecutor(Network &net, const ShardPlan &plan)
+    : net_(net), numShards_(plan.numShards)
+{
+    NOC_ASSERT(numShards_ >= 1, "executor needs at least one shard");
+    threads_.reserve(static_cast<std::size_t>(numShards_));
+    for (int s = 0; s < numShards_; ++s)
+        threads_.emplace_back([this, s] { workerLoop(s); });
+}
+
+ShardExecutor::~ShardExecutor()
+{
+    quit_.store(true);
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ShardExecutor::workerLoop(int shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        while (epoch_.load(std::memory_order_acquire) == seen) {
+            if (quit_.load(std::memory_order_acquire))
+                return;
+            std::this_thread::yield();
+        }
+        seen = epoch_.load(std::memory_order_acquire);
+        try {
+            net_.shardAdvance(shard, from_, to_);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ShardExecutor::runWindow(Cycle from, Cycle to)
+{
+    // done_ is quiescent here: the previous runWindow returned only
+    // after every worker bumped it, and workers touch nothing between
+    // epochs. The release bump of epoch_ publishes [from_, to_).
+    from_ = from;
+    to_ = to;
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    while (done_.load(std::memory_order_acquire) < numShards_)
+        std::this_thread::yield();
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        err = error_;
+        error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace noc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Sharded intra-run parallelism: spatial partitioning of one simulation
+ * across threads (ROADMAP item 3).
+ *
+ * The network is cut into contiguous row bands, one shard per band.
+ * Within one cycle no router communicates with another — every emission
+ * is scheduled at least `1 + latency` cycles into the future — so each
+ * shard can advance independently through a conservative lookahead
+ * window of W = 1 + min(linkLatency, creditLatency) cycles: the
+ * earliest cycle a flit or credit created inside window [T, T+W) can
+ * arrive at another shard is T+W, the start of the next window.
+ * Boundary events cross through fixed-capacity SPSC queues drained at
+ * the window barrier, and every flit carries its creation cycle and a
+ * creator rank so arrival buckets replay in exactly the serial event
+ * order — stats, delivery streams, and RNG consumption are independent
+ * of the thread count (pinned by tests/sim/shard_parity_test.cpp).
+ *
+ * This header owns the partitioner (ShardPlan), the shards=auto|N
+ * resolution, and the thread team (ShardExecutor); the partitioned
+ * stepping path itself lives in network/network.cpp, the window
+ * orchestration in sim/simulator.cpp.
+ */
+
+#ifndef NOC_SIM_SHARD_HPP
+#define NOC_SIM_SHARD_HPP
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace noc {
+
+class Network;
+class Topology;
+
+/**
+ * A spatial partition of one topology into contiguous row bands.
+ * Router ids are row-major and node ids are router-major, so each
+ * shard covers a contiguous id range on both tables.
+ */
+struct ShardPlan
+{
+    int numShards = 1;
+    /// Conservative lookahead: 1 + min(linkLatency, creditLatency).
+    /// Any window length <= this is exact; the executor uses exactly it.
+    Cycle window = 1;
+
+    std::vector<RouterId> routerBegin;  ///< [shard] first router id
+    std::vector<RouterId> routerEnd;    ///< [shard] one past the last
+    std::vector<NodeId> nodeBegin;      ///< [shard] first node id
+    std::vector<NodeId> nodeEnd;        ///< [shard] one past the last
+    std::vector<int> shardOfRouter;     ///< [router] owning shard
+    std::vector<int> shardOfNode;       ///< [node] owning shard
+};
+
+/** The conservative lookahead window for a configuration. */
+Cycle shardLookahead(const SimConfig &cfg);
+
+/**
+ * Partition `topo` into `num_shards` row bands (clamped to the number
+ * of rows, minimum 1). Band heights differ by at most one row.
+ */
+ShardPlan makeShardPlan(const SimConfig &cfg, const Topology &topo,
+                        int num_shards);
+
+/**
+ * Resolve cfg.shards to a concrete shard count:
+ *  - 1 (the default) consults the NOC_SHARDS environment variable
+ *    ("auto" or a count), so a whole test suite can be forced onto the
+ *    sharded path without touching configs; explicit settings win.
+ *  - 0 (auto) picks 1 for networks under 256 routers (the serial loop
+ *    is faster than any barrier), else min(hardware threads, rows,
+ *    routers / 64).
+ *  - N >= 2 is honoured as given.
+ * The result is clamped to the row count; 1 means "run serial".
+ */
+int resolveShardCount(const SimConfig &cfg);
+
+/**
+ * Persistent thread team advancing every shard of a network through
+ * lookahead windows. Workers spin-wait on an epoch counter (sequentially
+ * consistent handshakes only — the TSan twin runs this path clean), so
+ * per-window dispatch costs no condition-variable round trip; runWindow
+ * blocks the caller until every shard reaches the barrier.
+ *
+ * The executor only drives Network::shardAdvance; staging traffic,
+ * draining the boundary queues, and merging per-shard deltas stay with
+ * the caller (Simulator::runSharded / Network::shardBarrier).
+ */
+class ShardExecutor
+{
+  public:
+    ShardExecutor(Network &net, const ShardPlan &plan);
+    ~ShardExecutor();
+
+    ShardExecutor(const ShardExecutor &) = delete;
+    ShardExecutor &operator=(const ShardExecutor &) = delete;
+
+    /**
+     * Advance every shard through cycles [from, to), then return.
+     * Rethrows (on the calling thread) anything a worker threw.
+     */
+    void runWindow(Cycle from, Cycle to);
+
+  private:
+    void workerLoop(int shard);
+
+    Network &net_;
+    const int numShards_;
+    std::vector<std::thread> threads_;
+
+    // Window handshake: main publishes [from_, to_) then bumps epoch_;
+    // each worker advances its shard once per epoch and bumps done_.
+    Cycle from_ = 0;
+    Cycle to_ = 0;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<int> done_{0};
+    std::atomic<bool> quit_{false};
+
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+};
+
+/**
+ * Worker cap for composing the sweep thread pool with intra-run shard
+ * threads: with every job potentially running `max_shards` threads of
+ * its own, the pool must shrink so jobs x shards stays at or under the
+ * hardware thread count (minimum one worker). Pure so the oversubscription
+ * rule is unit-testable (tests/sim/shard_compose_test.cpp).
+ */
+int composeWorkerCap(int workers, int max_shards, int hardware_threads);
+
+} // namespace noc
+
+#endif // NOC_SIM_SHARD_HPP

@@ -7,6 +7,7 @@
 #include "metrics/convergence.hpp"
 #include "metrics/saturation.hpp"
 #include "metrics/watchdog.hpp"
+#include "sim/shard.hpp"
 
 namespace noc {
 
@@ -29,6 +30,26 @@ Simulator::Simulator(const SimConfig &cfg,
 }
 
 void
+Simulator::accumulateCompletion(const CompletedPacket &p)
+{
+    const auto total = static_cast<double>(p.ejectTime - p.createTime);
+    allPhaseInterval_.add(total);
+    if (!p.measured)
+        return;
+    const auto net_lat = static_cast<double>(p.ejectTime - p.injectTime);
+    totalLatency_.add(total);
+    netLatency_.add(net_lat);
+    hopCount_.add(static_cast<double>(p.hops));
+    (p.size == 1 ? addrLatency_ : dataLatency_).add(total);
+    intervalLatency_.add(total);
+    latencyHist_.add(total);
+    measuredFlits_ += p.size;
+    intervalFlits_ += p.size;
+    if (flowsEnabled_)
+        flows_.record(p.src, p.dst, total);
+}
+
+void
 Simulator::stepOnce(SimPhase phase)
 {
     source_->tick(net_, net_.now(), phase);
@@ -38,21 +59,7 @@ Simulator::stepOnce(SimPhase phase)
     net_.drainCompleted(completedScratch_);
     for (const CompletedPacket &p : completedScratch_) {
         source_->onPacketDelivered(p, net_, net_.now());
-        const auto total = static_cast<double>(p.ejectTime - p.createTime);
-        allPhaseInterval_.add(total);
-        if (!p.measured)
-            continue;
-        const auto net_lat = static_cast<double>(p.ejectTime - p.injectTime);
-        totalLatency_.add(total);
-        netLatency_.add(net_lat);
-        hopCount_.add(static_cast<double>(p.hops));
-        (p.size == 1 ? addrLatency_ : dataLatency_).add(total);
-        intervalLatency_.add(total);
-        latencyHist_.add(total);
-        measuredFlits_ += p.size;
-        intervalFlits_ += p.size;
-        if (flowsEnabled_)
-            flows_.record(p.src, p.dst, total);
+        accumulateCompletion(p);
     }
 }
 
@@ -60,6 +67,23 @@ SimResult
 Simulator::run(const SimWindows &windows)
 {
     const RunHealthConfig &hc = windows.health;
+
+    // Sharded intra-run parallelism (sim/shard.hpp): taken only when
+    // the run is eligible — a fresh network, an open-loop source, and
+    // none of the serial-only riders (fault plans, telemetry, the
+    // profiler, health monitors, interval samples). Everything the
+    // sharded path produces is bit-identical to the serial loop
+    // (tests/sim/shard_parity_test.cpp), so eligibility only gates
+    // features the v1 path does not carry, never results.
+    {
+        const SimConfig &cfg = net_.config();
+        const int shards = resolveShardCount(cfg);
+        if (shards > 1 && net_.now() == 0 && source_->openLoop() &&
+            cfg.faultSpec.empty() && cfg.dropCreditEvery == 0 &&
+            telem_ == nullptr && prof_ == nullptr &&
+            windows.sampleInterval == 0 && !hc.any())
+            return runSharded(windows, shards);
+    }
     // The monitors consume the interval-sample stream; when the caller
     // did not configure one, health monitoring brings its own cadence.
     const Cycle sample_every = windows.sampleInterval > 0
@@ -183,6 +207,23 @@ Simulator::run(const SimWindows &windows)
             net_.step();
         verifier_->checkDrained(net_.now());
     }
+
+    health.steadyCycle = monitor.steadyCycle();
+    health.latencyCov = monitor.cov();
+    if (guard.saturated()) {
+        health.verdict = RunVerdict::Saturated;
+        health.saturationReason = guard.reason();
+    } else if (hc.convergence.enabled) {
+        health.verdict = monitor.steady() ? RunVerdict::Converged
+                                          : RunVerdict::NotConverged;
+    }
+    health.watchdog = watchdog.takeSnapshots();
+    return assembleResult(before, std::move(health));
+}
+
+SimResult
+Simulator::assembleResult(const RouterStats &before, RunHealth &&health)
+{
     const RouterStats after = net_.aggregateRouterStats();
 
     SimResult result;
@@ -199,17 +240,6 @@ Simulator::run(const SimWindows &windows)
     result.throughput = static_cast<double>(measuredFlits_) /
         (static_cast<double>(health.measureUsed) *
          static_cast<double>(net_.numNodes()));
-
-    health.steadyCycle = monitor.steadyCycle();
-    health.latencyCov = monitor.cov();
-    if (guard.saturated()) {
-        health.verdict = RunVerdict::Saturated;
-        health.saturationReason = guard.reason();
-    } else if (hc.convergence.enabled) {
-        health.verdict = monitor.steady() ? RunVerdict::Converged
-                                          : RunVerdict::NotConverged;
-    }
-    health.watchdog = watchdog.takeSnapshots();
     result.health = std::move(health);
     result.flows = std::move(flows_);
 
@@ -252,8 +282,146 @@ Simulator::run(const SimWindows &windows)
     }
     if (telem_)
         result.telemetry = telem_->counters();
-    if (faults != nullptr)
+    if (const FaultController *faults = net_.faults())
         result.fault = faults->report(result.cyclesRun, net_.numNodes());
+    return result;
+}
+
+SimResult
+Simulator::runSharded(const SimWindows &windows, int num_shards)
+{
+    const ShardPlan plan =
+        makeShardPlan(net_.config(), net_.topology(), num_shards);
+    NOC_ASSERT(plan.numShards >= 2, "sharded run needs >= 2 shards");
+
+    RunHealth health;
+    const Cycle window = plan.window;
+
+    // Stage one span of injections on this thread: the source consumes
+    // its RNG in exactly the serial order (cycle-major, node order) and
+    // the network records each packet against its cycle for the owning
+    // shard thread to replay.
+    auto stage = [&](Cycle from, Cycle to, SimPhase phase) {
+        net_.shardStaging(true);
+        for (Cycle c = from; c < to; ++c) {
+            net_.shardStageCycle(c);
+            source_->tick(net_, c, phase);
+        }
+        net_.shardStaging(false);
+    };
+
+    // Merge the window's completions across shards back into the serial
+    // delivery order: at most one packet completes per NI per cycle, so
+    // (ejectTime, dst) keys are unique and reproduce the serial
+    // cycle-major, node-ascending drain — which keeps the double
+    // additions in the accumulators in the serial order, bit for bit.
+    auto merge_completions = [&] {
+        completedScratch_.clear();
+        net_.takeShardCompletions(completedScratch_);
+        std::sort(completedScratch_.begin(), completedScratch_.end(),
+                  [](const CompletedPacket &a, const CompletedPacket &b) {
+                      return a.ejectTime != b.ejectTime
+                                 ? a.ejectTime < b.ejectTime
+                                 : a.dst < b.dst;
+                  });
+        for (const CompletedPacket &p : completedScratch_) {
+            // The serial loop reports a delivery the cycle after the
+            // flit ejected (now has already advanced past it).
+            source_->onPacketDelivered(p, net_, p.ejectTime + 1);
+            accumulateCompletion(p);
+        }
+    };
+
+    constexpr Cycle kCancelMask = 4095;
+    auto cancelled = [&windows](Cycle c) {
+        return windows.cancel && (c & kCancelMask) == 0 && windows.cancel();
+    };
+
+    net_.beginSharded(plan);
+    RouterStats before;
+    Cycle drained_cycles = 0;
+    {
+        // Unwind order matters on the cancellation path: the executor
+        // (declared second) joins its threads first, then the guard
+        // collapses the network back to serial.
+        struct ShardedGuard
+        {
+            Network &net;
+            ~ShardedGuard()
+            {
+                if (net.sharded())
+                    net.endSharded();
+            }
+        } shard_guard{net_};
+        ShardExecutor exec(net_, plan);
+
+        Cycle now = 0;
+        while (now < windows.warmup) {
+            if (cancelled(now))
+                throw SimCancelled("cancelled during warmup");
+            const Cycle to = std::min(now + window, windows.warmup);
+            stage(now, to, SimPhase::Warmup);
+            exec.runWindow(now, to);
+            net_.shardBarrier(to);
+            merge_completions();
+            now = to;
+        }
+        health.warmupUsed = windows.warmup;
+        allPhaseInterval_.reset();
+
+        before = net_.aggregateRouterStats();
+        const Cycle measure_end = windows.warmup + windows.measure;
+        while (now < measure_end) {
+            if (cancelled(now))
+                throw SimCancelled("cancelled during measurement");
+            const Cycle to = std::min(now + window, measure_end);
+            stage(now, to, SimPhase::Measure);
+            exec.runWindow(now, to);
+            net_.shardBarrier(to);
+            merge_completions();
+            now = to;
+        }
+        health.measureUsed = windows.measure;
+
+        // Drain advances one cycle per window: the serial loop decides
+        // to stop (idle, stall, limit) against every cycle's state, and
+        // overshooting by even one cycle would drift the allocator-side
+        // stats, so the sharded path must make the same per-cycle
+        // decisions.
+        while (!(net_.idle() && source_->exhausted()) &&
+               drained_cycles < windows.drainLimit) {
+            if (cancelled(drained_cycles))
+                throw SimCancelled("cancelled during drain");
+            stage(now, now + 1, SimPhase::Drain);
+            exec.runWindow(now, now + 1);
+            net_.shardBarrier(now + 1);
+            merge_completions();
+            ++now;
+            ++drained_cycles;
+            if (!net_.idle() && net_.cyclesSinceProgress() > 10000) {
+                NOC_WARN("network stalled during drain: " +
+                         net_.describeStall());
+                break;
+            }
+        }
+    }   // executor joins, then the network collapses to serial
+
+    if (verifier_ && net_.idle() && source_->exhausted()) {
+        // Identical settle + drained audit as the serial path; only
+        // commuting credits are still in flight, and the network is
+        // back on the ordinary step() loop.
+        const SimConfig &cfg = net_.config();
+        const Cycle settle = 2 *
+            static_cast<Cycle>(std::max(cfg.linkLatency,
+                                        cfg.creditLatency)) *
+            static_cast<Cycle>(cfg.meshWidth + cfg.meshHeight) + 8;
+        for (Cycle c = 0; c < settle; ++c)
+            net_.step();
+        verifier_->checkDrained(net_.now());
+    }
+
+    SimResult result = assembleResult(before, std::move(health));
+    result.shardsUsed = plan.numShards;
     return result;
 }
 

@@ -153,6 +153,12 @@ struct SimResult
 
     Cycle cyclesRun = 0;
     bool drained = false;           ///< all packets delivered in time
+
+    /// Shard count the run actually executed with (1 = the serial
+    /// path). Execution provenance like the kernel name: never
+    /// serialized, so sharded output stays byte-identical to serial —
+    /// parity tests read it to prove the partitioned path really ran.
+    int shardsUsed = 1;
 };
 
 class Simulator
@@ -206,6 +212,18 @@ class Simulator
 
   private:
     void stepOnce(SimPhase phase);
+    /** One delivered packet into the latency/throughput accumulators. */
+    void accumulateCompletion(const CompletedPacket &p);
+    /** Shared result-assembly tail of the serial and sharded paths. */
+    SimResult assembleResult(const RouterStats &before, RunHealth &&health);
+    /**
+     * The partitioned run (sim/shard.hpp): same phases as run(), but
+     * cycles advance in lookahead windows with one thread per shard.
+     * Only taken for eligible runs — open-loop source, no faults, no
+     * telemetry/profiler/health monitors, no samples — everything else
+     * falls back to the serial loop. Bit-exact with the serial path.
+     */
+    SimResult runSharded(const SimWindows &windows, int num_shards);
 
     Network net_;
     std::unique_ptr<TrafficSource> source_;

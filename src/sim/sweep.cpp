@@ -13,6 +13,7 @@
 
 #include "common/log.hpp"
 #include "profile/profile.hpp"
+#include "sim/shard.hpp"
 
 namespace noc {
 
@@ -214,9 +215,19 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     // measured from here to the moment a worker claims it.
     const auto runner_start = std::chrono::steady_clock::now();
 
-    const int workers =
-        static_cast<int>(std::min<std::size_t>(jobs.size(),
-                                               static_cast<std::size_t>(jobs_)));
+    // Compose the pool with intra-run sharding: a job that resolves to
+    // N shard threads multiplies the run's footprint, so the pool
+    // shrinks to keep jobs x shards within the hardware thread count
+    // (tests/sim/shard_compose_test.cpp pins the rule).
+    int max_shards = 1;
+    for (const SweepJob &job : jobs)
+        max_shards = std::max(max_shards, resolveShardCount(job.cfg));
+
+    const int workers = composeWorkerCap(
+        static_cast<int>(std::min<std::size_t>(
+            jobs.size(), static_cast<std::size_t>(jobs_))),
+        max_shards,
+        static_cast<int>(std::thread::hardware_concurrency()));
     if (workers <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             if (stopRequested(stop_))

@@ -59,6 +59,9 @@ class SyntheticTraffic : public TrafficSource
 
     void tick(Network &net, Cycle now, SimPhase phase) override;
 
+    /// Bernoulli injection reads only (now, phase) and the private RNG.
+    bool openLoop() const override { return true; }
+
   private:
     NodeId destination(NodeId src);
 

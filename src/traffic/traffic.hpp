@@ -51,6 +51,16 @@ class TrafficSource
      */
     virtual bool exhausted() const { return true; }
 
+    /**
+     * True when tick() depends only on (now, phase) — never on network
+     * state or past deliveries — so injections for a span of cycles can
+     * be generated up front. The sharded stepping path (sim/shard.hpp)
+     * requires this: it stages a whole lookahead window of injections
+     * on the main thread before the shard threads advance. Closed-loop
+     * sources must keep the default (false) and run serial.
+     */
+    virtual bool openLoop() const { return false; }
+
     /** Next unique packet id. */
     PacketId nextPacketId() { return ++lastPacketId_; }
 

@@ -43,6 +43,8 @@ class RecordingSource : public TrafficSource
 
     bool exhausted() const override { return inner_->exhausted(); }
 
+    bool openLoop() const override { return inner_->openLoop(); }
+
   private:
     std::unique_ptr<TrafficSource> inner_;
     std::vector<DeliveryRecord> &out_;

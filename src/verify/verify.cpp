@@ -200,6 +200,7 @@ InvariantChecker::linkSlot(RouterId r, PortId out_port, int drop, VcId vc)
 void
 InvariantChecker::onPacketInjected(const PacketDesc &packet, Cycle now)
 {
+    const auto lock = maybeLock();
     ++injectedPackets_;
     if (on(Invariant::Conserve)) {
         expect(inflight_.count(packet.id) == 0, Invariant::Conserve, now,
@@ -225,6 +226,7 @@ InvariantChecker::onPacketInjected(const PacketDesc &packet, Cycle now)
 void
 InvariantChecker::onFlitInjected(NodeId node, const Flit &flit, Cycle now)
 {
+    const auto lock = maybeLock();
     ++niOut_[node][flit.vc];
     if (on(Invariant::Credits)) {
         expect(niOut_[node][flit.vc] <= net_->config().bufferDepth,
@@ -261,6 +263,7 @@ InvariantChecker::onFlitInjected(NodeId node, const Flit &flit, Cycle now)
 void
 InvariantChecker::onFlitEjected(NodeId node, const Flit &flit, Cycle now)
 {
+    const auto lock = maybeLock();
     const auto it = inflight_.find(flit.packet);
     if (!expect(it != inflight_.end(), Invariant::Conserve, now,
                 kInvalidRouter,
@@ -301,6 +304,7 @@ void
 InvariantChecker::onCreditTaken(RouterId r, PortId out_port, int drop,
                                 VcId vc, bool express, Cycle now)
 {
+    const auto lock = maybeLock();
     int &slot = express ? expressOut_[{r, out_port, vc}]
                         : linkSlot(r, out_port, drop, vc);
     ++slot;
@@ -319,6 +323,7 @@ void
 InvariantChecker::onCreditReturned(RouterId r, PortId out_port, int drop,
                                    VcId vc, bool express, Cycle now)
 {
+    const auto lock = maybeLock();
     int &slot = express ? expressOut_[{r, out_port, vc}]
                         : linkSlot(r, out_port, drop, vc);
     --slot;
@@ -334,6 +339,7 @@ InvariantChecker::onCreditReturned(RouterId r, PortId out_port, int drop,
 void
 InvariantChecker::onNiCredit(NodeId node, VcId vc, Cycle now)
 {
+    const auto lock = maybeLock();
     --niOut_[node][vc];
     if (on(Invariant::Credits)) {
         expect(niOut_[node][vc] >= 0, Invariant::Credits, now,
@@ -349,6 +355,7 @@ InvariantChecker::onSaGrant(RouterId r, PortId in_port, VcId in_vc,
 {
     if (!on(Invariant::Circuits))
         return;
+    const auto lock = maybeLock();
     const SimConfig &cfg = net_->config();
     const bool has_pc = cfg.scheme == Scheme::Pseudo ||
         cfg.scheme == Scheme::PseudoS || cfg.scheme == Scheme::PseudoB ||
@@ -383,6 +390,7 @@ InvariantChecker::onPcReuse(RouterId r, PortId in_port, VcId in_vc,
 {
     if (!on(Invariant::Circuits))
         return;
+    const auto lock = maybeLock();
     const PseudoCircuitUnit::Register &reg =
         net_->router(r).pcUnit().at(in_port);
     const char *path = via_latch ? "buffer bypass" : "SA bypass";
@@ -404,6 +412,7 @@ InvariantChecker::onPcReuse(RouterId r, PortId in_port, VcId in_vc,
 void
 InvariantChecker::onCycleEnd(Cycle now)
 {
+    const auto lock = maybeLock();
     if (cfg_.scanEvery > 0 && now % cfg_.scanEvery == 0) {
         if (on(Invariant::Credits) || on(Invariant::VcState) ||
             on(Invariant::Circuits))

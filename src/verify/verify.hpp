@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -165,6 +166,17 @@ class InvariantChecker
 
     const VerifyConfig &config() const { return cfg_; }
 
+    /**
+     * Concurrent mode (sharded runs): hook bodies serialise on an
+     * internal mutex so shard threads can feed the ledgers from
+     * disjoint routers. The ledger updates are order-insensitive within
+     * a cycle (counter arithmetic keyed by slot), so the interleaving
+     * does not change what a scan observes at a window barrier. Off by
+     * default — serial runs pay nothing. Network::beginSharded turns it
+     * on, endSharded off.
+     */
+    void setConcurrent(bool on) { concurrent_ = on; }
+
     // --- hot-path hooks (call through NOC_VCHK) ---
 
     /** A packet was handed to its source NI. */
@@ -244,6 +256,13 @@ class InvariantChecker
         return (cfg_.mask & static_cast<std::uint32_t>(inv)) != 0;
     }
 
+    /** Engaged lock in concurrent mode, a no-op otherwise. */
+    std::unique_lock<std::mutex> maybeLock()
+    {
+        return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                           : std::unique_lock<std::mutex>();
+    }
+
     /** Count a check; record/panic on failure. Returns `ok`. */
     bool expect(bool ok, Invariant kind, Cycle now, RouterId router,
                 const std::string &detail);
@@ -258,6 +277,8 @@ class InvariantChecker
 
     VerifyConfig cfg_;
     const Network *net_ = nullptr;
+    std::mutex mu_;              ///< guards ledgers in concurrent mode
+    bool concurrent_ = false;
 
     // Shadow ledgers: flits sent minus credits returned, per slot.
     /// [router][outPort][drop * numVcs + vc]

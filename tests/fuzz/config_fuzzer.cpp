@@ -4,8 +4,9 @@
  * configurations (topology, VC/buffer sizing, scheme, routing, traffic,
  * health monitors, telemetry), run each for a short window with every
  * invariant enabled, and demand zero violations. Clean direct runs are
- * additionally replayed with kernel=generic and must produce exactly
- * the statistics of the auto-resolved (possibly specialized) kernel. On a failure it prints
+ * additionally replayed with kernel=generic and with shards=2, and each
+ * replay must produce exactly the statistics of the original run —
+ * specialization and sharding are pure execution-strategy changes. On a failure it prints
  * a single REPRODUCE line whose tokens are exactly the noctool keys of
  * the failing run, so the bug is replayable from the command line:
  *
@@ -457,11 +458,13 @@ checkModelPredictions(const FuzzCase &fc)
  * cycle, one crossbar traversal — is a kernel bug.
  */
 std::string
-compareKernelRuns(const SimResult &a, const SimResult &g)
+compareRuns(const SimResult &a, const SimResult &g, const char *a_name,
+            const char *g_name)
 {
-    auto diff = [](const char *what, std::uint64_t x, std::uint64_t y) {
-        return std::string(what) + ": auto=" + std::to_string(x) +
-               " generic=" + std::to_string(y) + "\n";
+    auto diff = [a_name, g_name](const char *what, std::uint64_t x,
+                                 std::uint64_t y) {
+        return std::string(what) + ": " + a_name + "=" + std::to_string(x) +
+               " " + g_name + "=" + std::to_string(y) + "\n";
     };
     std::string out;
     if (a.measuredPackets != g.measuredPackets)
@@ -572,12 +575,34 @@ main(int argc, char **argv)
             const CaseResult gres = runCase(generic);
             total_checks += gres.checks;
             const std::string drift =
-                compareKernelRuns(res.result, gres.result);
+                compareRuns(res.result, gres.result, "auto", "generic");
             if (gres.violations > 0 || !drift.empty()) {
                 std::printf("config_fuzzer: kernel parity drift (config "
                             "%ld)\n%s%s%s\n",
                             i, gres.report.c_str(), drift.c_str(),
                             reproducer(generic).c_str());
+                exit_code = 1;
+                break;
+            }
+        }
+        // Shard differential on the same clean direct runs: replay the
+        // identical config with shards=2 and require exact statistical
+        // agreement with the serial run. Ineligible cases (fault plans,
+        // one-row grids) fall back to the serial path inside the replay
+        // and compare trivially, so the sampled config stream is
+        // identical with and without the screen.
+        if (inject.empty() && !fc.viaSweep && res.violations == 0) {
+            FuzzCase sharded = fc;
+            add(sharded, "shards", "2");
+            const CaseResult sres = runCase(sharded);
+            total_checks += sres.checks;
+            const std::string drift =
+                compareRuns(res.result, sres.result, "serial", "sharded");
+            if (sres.violations > 0 || !drift.empty()) {
+                std::printf("config_fuzzer: shard parity drift (config "
+                            "%ld)\n%s%s%s\n",
+                            i, sres.report.c_str(), drift.c_str(),
+                            reproducer(sharded).c_str());
                 exit_code = 1;
                 break;
             }

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Composition of the sweep thread pool with intra-run shard threads.
+ *
+ * A sweep job that itself resolves to N shard threads multiplies the
+ * run's thread footprint; before composeWorkerCap the pool sized itself
+ * by job count alone, so jobs x shards could oversubscribe the machine
+ * several times over. These tests pin the cap rule and prove sharded
+ * jobs run under the sweep engine with serial-identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/shard.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace noc {
+namespace {
+
+TEST(ComposeWorkerCap, SerialJobsPassThrough)
+{
+    // max_shards <= 1: sharding is inactive, the pool keeps its size.
+    EXPECT_EQ(composeWorkerCap(8, 1, 4), 8);
+    EXPECT_EQ(composeWorkerCap(8, 0, 4), 8);
+    EXPECT_EQ(composeWorkerCap(1, 1, 64), 1);
+}
+
+TEST(ComposeWorkerCap, ShardedJobsShrinkThePool)
+{
+    // jobs x shards stays within the hardware thread count.
+    EXPECT_EQ(composeWorkerCap(16, 4, 16), 4);
+    EXPECT_EQ(composeWorkerCap(16, 8, 16), 2);
+    EXPECT_EQ(composeWorkerCap(16, 2, 8), 4);
+    // Never grows the pool past the requested worker count.
+    EXPECT_EQ(composeWorkerCap(2, 2, 64), 2);
+}
+
+TEST(ComposeWorkerCap, AlwaysAtLeastOneWorker)
+{
+    // Even when one sharded job already saturates the machine the sweep
+    // must make progress.
+    EXPECT_EQ(composeWorkerCap(8, 16, 4), 1);
+    EXPECT_EQ(composeWorkerCap(8, 4, 1), 1);
+    EXPECT_EQ(composeWorkerCap(0, 1, 4), 1);
+    EXPECT_EQ(composeWorkerCap(-3, 4, 16), 1);
+}
+
+/** Sharded jobs under the sweep engine match a serial-config sweep. */
+TEST(ShardCompose, SweepWithShardedJobsMatchesSerial)
+{
+    auto buildJobs = [](int shards) {
+        std::vector<SweepJob> jobs;
+        for (const Scheme scheme : {Scheme::Baseline, Scheme::PseudoSB}) {
+            SweepJob job;
+            job.label = toString(scheme);
+            job.cfg.topology = TopologyKind::Mesh;
+            job.cfg.meshWidth = 8;
+            job.cfg.meshHeight = 8;
+            job.cfg.concentration = 1;
+            job.cfg.numVcs = 4;
+            job.cfg.bufferDepth = 4;
+            job.cfg.routing = RoutingKind::XY;
+            job.cfg.vaPolicy = VaPolicy::Static;
+            job.cfg.scheme = scheme;
+            job.cfg.seed = 13;
+            job.cfg.shards = shards;
+            job.windows.warmup = 200;
+            job.windows.measure = 800;
+            job.windows.drainLimit = 8000;
+            job.makeSource = [](const SimConfig &c) {
+                return std::make_unique<SyntheticTraffic>(
+                    SyntheticPattern::UniformRandom, c.numNodes(),
+                    /*load=*/0.05, /*packetSize=*/5, /*seed=*/17);
+            };
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+
+    const std::vector<SweepOutcome> serial =
+        SweepRunner(2).run(buildJobs(1));
+    const std::vector<SweepOutcome> sharded =
+        SweepRunner(2).run(buildJobs(4));
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(sharded[i].ok) << sharded[i].error;
+        EXPECT_EQ(serial[i].result.shardsUsed, 1);
+        EXPECT_EQ(sharded[i].result.shardsUsed, 4);
+        const SimResult &r = serial[i].result;
+        const SimResult &f = sharded[i].result;
+        EXPECT_EQ(r.measuredPackets, f.measuredPackets);
+        EXPECT_EQ(r.cyclesRun, f.cyclesRun);
+        EXPECT_EQ(r.avgTotalLatency, f.avgTotalLatency);
+        EXPECT_EQ(r.avgNetLatency, f.avgNetLatency);
+        EXPECT_EQ(r.throughput, f.throughput);
+        EXPECT_EQ(r.routerTotals.flitsArrived, f.routerTotals.flitsArrived);
+        EXPECT_EQ(r.routerTotals.saGrants, f.routerTotals.saGrants);
+        EXPECT_EQ(r.pcTotals.created, f.pcTotals.created);
+    }
+}
+
+} // namespace
+} // namespace noc
