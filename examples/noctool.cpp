@@ -37,6 +37,16 @@
  * the fault controller; runs then print a degradation report (per-flow
  * delivered/dropped/unroutable, offered vs achieved throughput).
  *
+ * Topology churn: churn=<plan> (see fault/churn_plan.hpp for the
+ * grammar, e.g. "period:1>2@up300/down80,random@mttf800/mttr150" or
+ * "trace:contacts.trace") schedules links and routers to leave and
+ * rejoin mid-run. Down links are lossless — flits wait in the link
+ * retry buffer and resume at revival — so churn runs stay green under
+ * the full invariant mask; the degradation report gains transition
+ * counts and in-flight accounting. routing=adaptive picks XY vs YX per
+ * packet from local backlog (UGAL-style) and composes with churn's
+ * fault-aware detours.
+ *
  * Model fidelity: model=<detailed|analytic|hybrid> picks how synthetic
  * workload points are answered — cycle-accurately (default), from the
  * analytical network model (src/analytic/), or hybrid (analytic
@@ -1042,6 +1052,20 @@ main(int argc, char **argv)
         std::cout << "  fault throughput        achieved "
                   << f.achievedThroughput << " of " << f.offeredThroughput
                   << " offered flits/node/cycle\n";
+        if (f.packetsInFlight > 0) {
+            std::cout << "  fault in flight         " << f.packetsInFlight
+                      << " pkts offered but unsettled at report time\n";
+        }
+        if (f.churn) {
+            std::cout << "  churn transitions       links "
+                      << f.linkDownEvents << " down / " << f.linkUpEvents
+                      << " up, routers " << f.routerDownEvents
+                      << " down / " << f.routerUpEvents << " up\n";
+            std::cout << "  churn deferrals         " << f.flitsDeferred
+                      << " flits deferred, " << f.flitsResumed
+                      << " resumed, " << f.churnTeardowns
+                      << " circuits flushed\n";
+        }
         for (const FaultReport::Flow &fl : f.flows) {
             if (fl.dropped == 0 && fl.unroutable == 0)
                 continue;

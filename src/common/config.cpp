@@ -24,9 +24,10 @@ const char *
 toString(RoutingKind routing)
 {
     switch (routing) {
-      case RoutingKind::XY:     return "XY";
-      case RoutingKind::YX:     return "YX";
-      case RoutingKind::O1Turn: return "O1TURN";
+      case RoutingKind::XY:       return "XY";
+      case RoutingKind::YX:       return "YX";
+      case RoutingKind::O1Turn:   return "O1TURN";
+      case RoutingKind::Adaptive: return "Adaptive";
     }
     return "?";
 }
@@ -97,6 +98,8 @@ SimConfig::validate() const
         NOC_FATAL("link and credit latency must be at least one cycle");
     if (routing == RoutingKind::O1Turn && numVcs < 2)
         NOC_FATAL("O1TURN needs >= 2 VCs (two virtual networks)");
+    if (routing == RoutingKind::Adaptive && numVcs < 2)
+        NOC_FATAL("adaptive routing needs >= 2 VCs (two virtual networks)");
     if (scheme == Scheme::Evc) {
         if (evcNumExpressVcs < 1 || evcNumExpressVcs >= numVcs)
             NOC_FATAL("EVC needs 1..numVcs-1 express VCs");
@@ -118,6 +121,8 @@ SimConfig::validate() const
             NOC_FATAL("torus dateline classes need >= 2 VCs");
         if (routing == RoutingKind::O1Turn)
             NOC_FATAL("O1TURN is not defined on the torus");
+        if (routing == RoutingKind::Adaptive)
+            NOC_FATAL("adaptive routing is not defined on the torus");
         if (scheme == Scheme::Evc)
             NOC_FATAL("EVC requires a mesh-family topology");
     }

@@ -28,6 +28,7 @@ enum class RoutingKind {
     XY,           ///< dimension-order, X first
     YX,           ///< dimension-order, Y first
     O1Turn,       ///< random choice of XY/YX per packet, VC-partitioned
+    Adaptive,     ///< UGAL-style backlog-driven XY/YX choice per packet
 };
 
 /** VC allocation policies (§5). */
@@ -105,6 +106,13 @@ struct SimConfig
     /// output must stay byte-identical whether or not the fault layer
     /// is compiled in.
     std::string faultSpec;
+
+    /// Topology churn plan specification (see fault/churn_plan.hpp for
+    /// the grammar), e.g. "period:1>2@up300/down80,random@mttf800/
+    /// mttr150/links4". Empty = static topology. Like faultSpec, left
+    /// out of describe() on purpose — churn-off output must stay
+    /// byte-identical to the existing goldens.
+    std::string churnSpec;
 
     /// Deprecated alias for `fault=drop-credit-every=N`: every Nth
     /// credit delivered to a router is silently dropped (0 disables).

@@ -144,6 +144,8 @@ parseRouting(const std::string &name)
         return RoutingKind::YX;
     if (n == "o1turn" || n == "o1")
         return RoutingKind::O1Turn;
+    if (n == "adaptive" || n == "ugal")
+        return RoutingKind::Adaptive;
     NOC_FATAL("unknown routing: " + name);
 }
 
@@ -232,6 +234,7 @@ configFromOptions(const Options &opts)
         opts.getInt("evc-express", cfg.evcNumExpressVcs));
     cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
     cfg.faultSpec = opts.getString("fault", "");
+    cfg.churnSpec = opts.getString("churn", "");
     cfg.dropCreditEvery =
         static_cast<int>(opts.getInt("drop-credit-every", 0));
     cfg.kernel = parseKernel(opts.getString("kernel", "auto"));

@@ -146,6 +146,19 @@ addResultFields(JsonObject &obj, const SimResult &r)
         obj.add("fault_credits_dropped", fmtU64(f.creditsDropped));
         obj.add("fault_stall_cycles", fmtU64(f.stallCycles));
         obj.add("pc_terminated_fault", fmtU64(r.pcTotals.terminatedFault));
+        obj.add("fault_packets_in_flight", fmtU64(f.packetsInFlight));
+        // Churn fields ride along only under a churn= plan, so plain
+        // fault-plan records stay byte-identical to pre-churn output.
+        if (f.churn) {
+            obj.add("churn_link_down_events", fmtU64(f.linkDownEvents));
+            obj.add("churn_link_up_events", fmtU64(f.linkUpEvents));
+            obj.add("churn_router_down_events",
+                    fmtU64(f.routerDownEvents));
+            obj.add("churn_router_up_events", fmtU64(f.routerUpEvents));
+            obj.add("churn_flits_deferred", fmtU64(f.flitsDeferred));
+            obj.add("churn_flits_resumed", fmtU64(f.flitsResumed));
+            obj.add("churn_circuit_teardowns", fmtU64(f.churnTeardowns));
+        }
     }
     // And for the model layer: provenance fields exist only when the
     // record came out of an analytic or hybrid sweep, so detailed-only

@@ -1,0 +1,300 @@
+#include "fault/churn_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace noc {
+
+namespace {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+/// "<a>><b>" -> (a, b)
+bool
+parseLinkPair(const std::string &s, RouterId &a, RouterId &b)
+{
+    const std::size_t gt = s.find('>');
+    if (gt == std::string::npos)
+        return false;
+    std::uint64_t ua = 0;
+    std::uint64_t ub = 0;
+    if (!parseU64(s.substr(0, gt), ua) || !parseU64(s.substr(gt + 1), ub))
+        return false;
+    a = static_cast<RouterId>(ua);
+    b = static_cast<RouterId>(ub);
+    return true;
+}
+
+/// "up<U>/down<D>[/phase<P>]" -> (up, down, phase); up and down >= 1.
+bool
+parseUpDown(const std::string &s, Cycle &up, Cycle &down, Cycle &phase)
+{
+    const std::vector<std::string> parts = split(s, '/');
+    if (parts.size() < 2 || parts.size() > 3)
+        return false;
+    std::uint64_t u = 0;
+    std::uint64_t d = 0;
+    std::uint64_t p = 0;
+    if (parts[0].rfind("up", 0) != 0 || !parseU64(parts[0].substr(2), u))
+        return false;
+    if (parts[1].rfind("down", 0) != 0 || !parseU64(parts[1].substr(4), d))
+        return false;
+    if (parts.size() == 3) {
+        if (parts[2].rfind("phase", 0) != 0 ||
+            !parseU64(parts[2].substr(5), p))
+            return false;
+    }
+    if (u == 0 || d == 0)
+        return false;
+    up = u;
+    down = d;
+    phase = p;
+    return true;
+}
+
+std::string
+entityName(const ChurnTraceEvent &ev)
+{
+    if (ev.isRouter)
+        return "router " + std::to_string(ev.src);
+    return "link " + std::to_string(ev.src) + ">" + std::to_string(ev.dst);
+}
+
+} // namespace
+
+bool
+ChurnPlan::hasLinkClauses() const
+{
+    if (!periods.empty() || !windows.empty() || !randoms.empty())
+        return true;
+    return std::any_of(traceEvents.begin(), traceEvents.end(),
+                       [](const ChurnTraceEvent &e) { return !e.isRouter; });
+}
+
+bool
+ChurnPlan::hasRouterClauses() const
+{
+    if (!routerPeriods.empty())
+        return true;
+    return std::any_of(traceEvents.begin(), traceEvents.end(),
+                       [](const ChurnTraceEvent &e) { return e.isRouter; });
+}
+
+ChurnPlan
+ChurnPlan::parse(const std::string &spec, std::string *error)
+{
+    ChurnPlan plan;
+    auto fail = [&](const std::string &msg) -> ChurnPlan {
+        if (error) {
+            *error = msg;
+            return ChurnPlan{};
+        }
+        NOC_FATAL("bad churn plan: " + msg);
+    };
+    if (error)
+        error->clear();
+    if (spec.empty())
+        return plan;
+
+    for (const std::string &clause : split(spec, ',')) {
+        if (clause.empty())
+            return fail("empty clause in '" + spec + "'");
+
+        if (clause.rfind("period:", 0) == 0) {
+            const std::string body = clause.substr(7);
+            const std::size_t at = body.find('@');
+            ChurnPeriodClause c;
+            if (at == std::string::npos ||
+                !parseLinkPair(body.substr(0, at), c.src, c.dst) ||
+                !parseUpDown(body.substr(at + 1), c.up, c.down, c.phase))
+                return fail("expected period:<a>><b>@up<U>/down<D>"
+                            "[/phase<P>] with U,D >= 1, got '" +
+                            clause + "'");
+            for (const ChurnPeriodClause &prev : plan.periods) {
+                if (prev.src == c.src && prev.dst == c.dst)
+                    return fail("duplicate period clause for link " +
+                                std::to_string(c.src) + ">" +
+                                std::to_string(c.dst));
+            }
+            plan.periods.push_back(c);
+        } else if (clause.rfind("window:", 0) == 0) {
+            const std::string body = clause.substr(7);
+            const std::size_t at = body.find('@');
+            const std::size_t dots =
+                at == std::string::npos ? std::string::npos
+                                        : body.find("..", at);
+            ChurnWindowClause c;
+            std::uint64_t from = 0;
+            std::uint64_t to = 0;
+            if (at == std::string::npos || dots == std::string::npos ||
+                !parseLinkPair(body.substr(0, at), c.src, c.dst) ||
+                !parseU64(body.substr(at + 1, dots - at - 1), from) ||
+                !parseU64(body.substr(dots + 2), to))
+                return fail("expected window:<a>><b>@<from>..<to>, got '" +
+                            clause + "'");
+            c.from = from;
+            c.to = to;
+            if (c.to < c.from)
+                return fail("churn window ends before it starts in '" +
+                            clause + "'");
+            for (const ChurnWindowClause &prev : plan.windows) {
+                if (prev.src == c.src && prev.dst == c.dst &&
+                    c.from <= prev.to && prev.from <= c.to)
+                    return fail("overlapping churn windows for link " +
+                                std::to_string(c.src) + ">" +
+                                std::to_string(c.dst) + " (cycle " +
+                                std::to_string(std::max(c.from, prev.from)) +
+                                ")");
+            }
+            plan.windows.push_back(c);
+        } else if (clause.rfind("router-period:", 0) == 0) {
+            const std::string body = clause.substr(14);
+            const std::size_t at = body.find('@');
+            RouterPeriodClause c;
+            std::uint64_t r = 0;
+            if (at == std::string::npos ||
+                !parseU64(body.substr(0, at), r) ||
+                !parseUpDown(body.substr(at + 1), c.up, c.down, c.phase))
+                return fail("expected router-period:<r>@up<U>/down<D>"
+                            "[/phase<P>] with U,D >= 1, got '" +
+                            clause + "'");
+            c.router = static_cast<RouterId>(r);
+            for (const RouterPeriodClause &prev : plan.routerPeriods) {
+                if (prev.router == c.router)
+                    return fail("duplicate router-period clause for "
+                                "router " + std::to_string(c.router));
+            }
+            plan.routerPeriods.push_back(c);
+        } else if (clause.rfind("random@", 0) == 0) {
+            const std::vector<std::string> parts =
+                split(clause.substr(7), '/');
+            RandomChurnClause c;
+            std::uint64_t f = 0;
+            std::uint64_t r = 0;
+            std::uint64_t n = 2;
+            bool ok = parts.size() >= 2 && parts.size() <= 3 &&
+                parts[0].rfind("mttf", 0) == 0 &&
+                parseU64(parts[0].substr(4), f) &&
+                parts[1].rfind("mttr", 0) == 0 &&
+                parseU64(parts[1].substr(4), r);
+            if (ok && parts.size() == 3)
+                ok = parts[2].rfind("links", 0) == 0 &&
+                     parseU64(parts[2].substr(5), n);
+            if (!ok || f == 0 || r == 0 || n == 0)
+                return fail("expected random@mttf<F>/mttr<R>[/links<N>] "
+                            "with F,R,N >= 1, got '" + clause + "'");
+            c.mttf = f;
+            c.mttr = r;
+            c.links = static_cast<int>(n);
+            plan.randoms.push_back(c);
+        } else if (clause.rfind("trace:", 0) == 0) {
+            const std::string path = clause.substr(6);
+            std::ifstream in(path);
+            if (!in)
+                return fail("cannot open churn trace '" + path + "'");
+            std::string line;
+            std::size_t lineno = 0;
+            std::vector<ChurnTraceEvent> events;
+            while (std::getline(in, line)) {
+                ++lineno;
+                const std::size_t hash = line.find('#');
+                if (hash != std::string::npos)
+                    line.resize(hash);
+                std::istringstream is(line);
+                std::string cyc;
+                std::string kind;
+                std::string target;
+                std::string state;
+                if (!(is >> cyc))
+                    continue;   // blank / comment-only line
+                ChurnTraceEvent ev;
+                std::uint64_t c = 0;
+                std::string extra;
+                if (!(is >> kind >> target >> state) || (is >> extra) ||
+                    !parseU64(cyc, c))
+                    return fail("churn trace '" + path + "' line " +
+                                std::to_string(lineno) +
+                                ": expected '<cycle> link <a>><b> down|up'"
+                                " or '<cycle> router <r> down|up'");
+                ev.cycle = c;
+                if (kind == "link") {
+                    if (!parseLinkPair(target, ev.src, ev.dst))
+                        return fail("churn trace '" + path + "' line " +
+                                    std::to_string(lineno) +
+                                    ": bad link '" + target + "'");
+                } else if (kind == "router") {
+                    std::uint64_t r = 0;
+                    if (!parseU64(target, r))
+                        return fail("churn trace '" + path + "' line " +
+                                    std::to_string(lineno) +
+                                    ": bad router '" + target + "'");
+                    ev.isRouter = true;
+                    ev.src = static_cast<RouterId>(r);
+                } else {
+                    return fail("churn trace '" + path + "' line " +
+                                std::to_string(lineno) +
+                                ": unknown entity kind '" + kind + "'");
+                }
+                if (state == "up")
+                    ev.up = true;
+                else if (state == "down")
+                    ev.up = false;
+                else
+                    return fail("churn trace '" + path + "' line " +
+                                std::to_string(lineno) +
+                                ": expected down|up, got '" + state + "'");
+                events.push_back(ev);
+            }
+            plan.traceEvents.insert(plan.traceEvents.end(), events.begin(),
+                                    events.end());
+        } else {
+            return fail("unknown clause '" + clause + "'");
+        }
+    }
+    // Reject conflicting duplicates (across all trace files): two events
+    // for the same (cycle, entity) have no defined order.
+    for (std::size_t i = 0; i < plan.traceEvents.size(); ++i) {
+        for (std::size_t j = i + 1; j < plan.traceEvents.size(); ++j) {
+            const ChurnTraceEvent &a = plan.traceEvents[i];
+            const ChurnTraceEvent &b = plan.traceEvents[j];
+            if (a.cycle == b.cycle && a.isRouter == b.isRouter &&
+                a.src == b.src && (a.isRouter || a.dst == b.dst))
+                return fail("churn trace: duplicate events for " +
+                            entityName(a) + " at cycle " +
+                            std::to_string(a.cycle));
+        }
+    }
+    std::stable_sort(plan.traceEvents.begin(), plan.traceEvents.end(),
+                     [](const ChurnTraceEvent &a, const ChurnTraceEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return plan;
+}
+
+} // namespace noc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Time-varying topology churn plans: a small grammar describing when
+ * links and routers leave and rejoin the network mid-run.
+ *
+ * A plan is a comma-separated clause list parsed from the `churn=`
+ * config key, e.g.
+ *
+ *   churn=period:1>2@up300/down80/phase500,window:2>6@500..700,
+ *         router-period:5@up600/down100,random@mttf800/mttr150/links4,
+ *         trace:/path/to/contacts.trace
+ *
+ * Clauses:
+ *   period:<a>><b>@up<U>/down<D>[/phase<P>]
+ *       the a->b link repeats an availability cycle: up for U cycles,
+ *       then down for D, first going down at cycle P+U (P defaults 0)
+ *   window:<a>><b>@<f>..<t>
+ *       one-shot outage: the a->b link is down for cycles [f, t] and
+ *       revives at t+1
+ *   router-period:<r>@up<U>/down<D>[/phase<P>]
+ *       router r repeats the same availability cycle; a down router
+ *       freezes exactly like a stall-router fault window
+ *   random@mttf<F>/mttr<R>[/links<N>]
+ *       seeded random churn over N deterministically chosen links
+ *       (default 2): each alternates up/down with durations drawn
+ *       uniformly from [1, 2*mean-1] (mean F up, mean R down) from a
+ *       dedicated RNG stream, so the same seed replays the same churn
+ *   trace:<path>
+ *       replay an availability trace file. Lines are
+ *           <cycle> link <a>><b> down|up
+ *           <cycle> router <r> down|up
+ *       with '#' comments and blank lines ignored. Two events for the
+ *       same (cycle, entity) are rejected as a conflict.
+ *
+ * Unlike `fault=` kill-link, churn outages are *lossless*: a down link
+ * is unplugged, not corrupted — flits routed onto it wait in the link's
+ * go-back-N retry buffer and resume in order at revival, so credit and
+ * packet conservation hold under the full invariant mask throughout.
+ *
+ * Parsing is pure except for trace-file loading; clause targets are
+ * resolved and validated against the concrete topology by the
+ * FaultController.
+ */
+
+#ifndef NOC_FAULT_CHURN_PLAN_HPP
+#define NOC_FAULT_CHURN_PLAN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace noc {
+
+/** Periodic availability of one directed router->router link. */
+struct ChurnPeriodClause
+{
+    RouterId src = kInvalidRouter;
+    RouterId dst = kInvalidRouter;
+    Cycle up = 0;
+    Cycle down = 0;
+    Cycle phase = 0;
+};
+
+/** One-shot outage of one directed link over an inclusive window. */
+struct ChurnWindowClause
+{
+    RouterId src = kInvalidRouter;
+    RouterId dst = kInvalidRouter;
+    Cycle from = 0;
+    Cycle to = 0;
+};
+
+/** Periodic availability of a whole router. */
+struct RouterPeriodClause
+{
+    RouterId router = kInvalidRouter;
+    Cycle up = 0;
+    Cycle down = 0;
+    Cycle phase = 0;
+};
+
+/** Seeded random churn over N deterministically chosen links. */
+struct RandomChurnClause
+{
+    Cycle mttf = 0;   ///< mean cycles between failures (up duration)
+    Cycle mttr = 0;   ///< mean cycles to repair (down duration)
+    int links = 2;
+};
+
+/** One replayed availability transition from a trace file. */
+struct ChurnTraceEvent
+{
+    Cycle cycle = 0;
+    bool isRouter = false;
+    RouterId src = kInvalidRouter;   ///< router id when isRouter
+    RouterId dst = kInvalidRouter;
+    bool up = false;                 ///< false = goes down
+};
+
+/**
+ * A parsed churn plan. Value-semantic; the transition engine lives in
+ * FaultController.
+ */
+struct ChurnPlan
+{
+    std::vector<ChurnPeriodClause> periods;
+    std::vector<ChurnWindowClause> windows;
+    std::vector<RouterPeriodClause> routerPeriods;
+    std::vector<RandomChurnClause> randoms;
+    /// Trace events sorted by cycle (stable: file order within a cycle).
+    std::vector<ChurnTraceEvent> traceEvents;
+
+    /** True when no clause was given. */
+    bool empty() const
+    {
+        return periods.empty() && windows.empty() &&
+               routerPeriods.empty() && randoms.empty() &&
+               traceEvents.empty();
+    }
+
+    /** Any clause that can take a link down? */
+    bool hasLinkClauses() const;
+
+    /** Any clause that can take a whole router down? */
+    bool hasRouterClauses() const;
+
+    /**
+     * Parse a clause list (loading any trace files). On an error: if
+     * `error` is non-null it receives a one-line message and an empty
+     * plan is returned; otherwise the error is fatal.
+     */
+    static ChurnPlan parse(const std::string &spec,
+                           std::string *error = nullptr);
+};
+
+} // namespace noc
+
+#endif // NOC_FAULT_CHURN_PLAN_HPP

@@ -7,8 +7,8 @@
 
 namespace noc {
 
-FaultController::FaultController(const FaultPlan &plan, const SimConfig &cfg,
-                                 const Topology &topo)
+FaultController::FaultController(const FaultPlan &plan, const ChurnPlan &churn,
+                                 const SimConfig &cfg, const Topology &topo)
     : plan_(plan), topo_(topo), linkLatency_(cfg.linkLatency),
       creditLatency_(cfg.creditLatency),
       retryTimeout_(plan.retryTimeout > 0
@@ -18,19 +18,44 @@ FaultController::FaultController(const FaultPlan &plan, const SimConfig &cfg,
                               8),
       // Distinct stream from traffic generation: a fault plan must not
       // perturb which packets the workload produces.
-      rng_(cfg.seed * 9157 + 311)
+      rng_(cfg.seed * 9157 + 311),
+      // A third stream for random churn: the same seed replays the same
+      // availability schedule regardless of corruption rolls.
+      churnRng_(cfg.seed * 7919 + 1543)
 {
     if (cfg.scheme == Scheme::Evc &&
         (plan_.hasLinkClauses() || !plan_.stalls.empty()))
         NOC_FATAL("fault plan: link/stall clauses are not supported with "
                   "scheme=evc (express bypass has no link-retry path)");
+    if (cfg.scheme == Scheme::Evc && !churn.empty())
+        NOC_FATAL("churn plan: topology churn is not supported with "
+                  "scheme=evc (express bypass has no link-retry path)");
+    const bool grid_routing = cfg.routing == RoutingKind::XY ||
+                              cfg.routing == RoutingKind::YX ||
+                              cfg.routing == RoutingKind::Adaptive;
     if (!plan_.kills.empty()) {
         if (cfg.topology != TopologyKind::Mesh &&
             cfg.topology != TopologyKind::CMesh)
             NOC_FATAL("fault plan: kill-link requires topology=mesh|cmesh "
                       "(rerouting fallback assumes a grid)");
+        // Detours bend a packet off its dimension order, which is only
+        // provably deadlock-free when every packet in a VC partition
+        // follows one deterministic DOR function. Adaptive's two
+        // partitions are each DOR, but a detour inside one reintroduces
+        // the forbidden turns — so kills stay DOR-only while churn
+        // (which waits outages out instead of detouring) composes with
+        // adaptive below.
         if (cfg.routing != RoutingKind::XY && cfg.routing != RoutingKind::YX)
             NOC_FATAL("fault plan: kill-link requires routing=xy|yx");
+    }
+    if (churn.hasLinkClauses()) {
+        if (cfg.topology != TopologyKind::Mesh &&
+            cfg.topology != TopologyKind::CMesh)
+            NOC_FATAL("churn plan: link churn requires topology=mesh|cmesh "
+                      "(availability-aware rerouting assumes a grid)");
+        if (!grid_routing)
+            NOC_FATAL("churn plan: link churn requires "
+                      "routing=xy|yx|adaptive");
     }
 
     for (const FlipLinkClause &c : plan_.flips) {
@@ -47,8 +72,103 @@ FaultController::FaultController(const FaultPlan &plan, const SimConfig &cfg,
                       std::to_string(c.router) + " out of range");
         stalls_.push_back(c);
     }
+
+    // ------------------------------------------------------------------
+    // Churn clause resolution. Registering a link via linkFor makes it
+    // *protected*, which is output-transparent while nothing fires: an
+    // uncontended protected transmission departs at now+1 exactly like
+    // an unprotected one, and its ACK events are inert bookkeeping.
+    // ------------------------------------------------------------------
+    for (const ChurnPeriodClause &c : churn.periods) {
+        LinkState &ls = linkFor(c.src, c.dst, "churn period");
+        LinkGen g;
+        g.link = static_cast<int>(&ls - links_.data());
+        g.upDur = c.up;
+        g.downDur = c.down;
+        g.nextDownAt = c.phase + c.up;
+        linkGens_.push_back(g);
+    }
+    for (const ChurnWindowClause &c : churn.windows) {
+        LinkState &ls = linkFor(c.src, c.dst, "churn window");
+        WindowGen w;
+        w.link = static_cast<int>(&ls - links_.data());
+        w.from = c.from;
+        w.to = c.to;
+        windowGens_.push_back(w);
+    }
+    for (const RouterPeriodClause &c : churn.routerPeriods) {
+        if (c.router < 0 || c.router >= topo_.numRouters())
+            NOC_FATAL("churn plan: router-period target " +
+                      std::to_string(c.router) + " out of range");
+        RouterGen g;
+        g.router = c.router;
+        g.upDur = c.up;
+        g.downDur = c.down;
+        g.nextDownAt = c.phase + c.up;
+        routerGens_.push_back(g);
+    }
+    for (const RandomChurnClause &c : churn.randoms) {
+        // Canonical enumeration of every router->router link, then N
+        // distinct picks from the dedicated stream (linear probe on
+        // collision): the same seed always churns the same links.
+        std::vector<std::pair<RouterId, RouterId>> candidates;
+        for (RouterId r = 0; r < topo_.numRouters(); ++r) {
+            for (PortId p = 0; p < topo_.numOutputPorts(r); ++p) {
+                const OutputChannel &chan = topo_.output(r, p);
+                if (chan.isTerminal())
+                    continue;
+                for (const auto &drop : chan.drops)
+                    candidates.emplace_back(r, drop.router);
+            }
+        }
+        if (candidates.empty())
+            NOC_FATAL("churn plan: random churn needs router-to-router "
+                      "links in the topology");
+        const std::size_t want =
+            std::min<std::size_t>(static_cast<std::size_t>(c.links),
+                                  candidates.size());
+        std::vector<char> used(candidates.size(), 0);
+        for (std::size_t k = 0; k < want; ++k) {
+            std::size_t i = static_cast<std::size_t>(
+                churnRng_.nextBelow(candidates.size()));
+            while (used[i])
+                i = (i + 1) % candidates.size();
+            used[i] = 1;
+            LinkState &ls = linkFor(candidates[i].first,
+                                    candidates[i].second, "churn random");
+            LinkGen g;
+            g.link = static_cast<int>(&ls - links_.data());
+            g.mttf = c.mttf;
+            g.mttr = c.mttr;
+            g.nextDownAt = 1 + churnRng_.nextBelow(2 * c.mttf - 1);
+            linkGens_.push_back(g);
+        }
+    }
+    traceEvents_ = churn.traceEvents;
+    for (const ChurnTraceEvent &e : traceEvents_) {
+        if (e.isRouter) {
+            if (e.src < 0 || e.src >= topo_.numRouters())
+                NOC_FATAL("churn plan: trace router " +
+                          std::to_string(e.src) + " out of range");
+            churnRouters_ = true;
+        } else {
+            LinkState &ls = linkFor(e.src, e.dst, "churn trace");
+            churnLinks_.push_back(static_cast<int>(&ls - links_.data()));
+        }
+    }
+    churnRouters_ = churnRouters_ || !routerGens_.empty();
+    for (const LinkGen &g : linkGens_)
+        churnLinks_.push_back(g.link);
+    for (const WindowGen &w : windowGens_)
+        churnLinks_.push_back(w.link);
+    std::sort(churnLinks_.begin(), churnLinks_.end());
+    churnLinks_.erase(std::unique(churnLinks_.begin(), churnLinks_.end()),
+                      churnLinks_.end());
+    churnLinkClauses_ = !churnLinks_.empty();
+
     creditCounters_.assign(static_cast<std::size_t>(topo_.numRouters()), 0);
     report_.active = true;
+    report_.churn = !churn.empty();
 }
 
 FaultController::LinkState &
@@ -110,6 +230,14 @@ FaultController::bindVerifier(InvariantChecker *chk)
             chk_->waiveLink(ls.src, ls.outPort, ls.dropIdx);
             chk_->waiveProgressUntil(kNeverCycle);
         }
+        // Down links leak no credits (flits wait in the retry buffer),
+        // so only the progress probe is waived — until the revival
+        // drains, or forever when no revival is scheduled.
+        if (ls.down) {
+            chk_->waiveProgressUntil(ls.upAt == kNeverCycle
+                                         ? kNeverCycle
+                                         : ls.upAt + retryTimeout_);
+        }
     }
 }
 
@@ -130,16 +258,247 @@ FaultController::routerStalled(RouterId r, Cycle now) const
 void
 FaultController::beginCycle(Cycle now)
 {
+    // Churn first so a window appended this cycle is counted below and
+    // a revival this cycle escapes the retry-timeout scan cleanly.
+    if (report_.churn)
+        stepChurn(now);
     for (const StallRouterClause &c : stalls_) {
         if (now >= c.from && now <= c.to)
             ++report_.stallCycles;
     }
     for (LinkState &ls : links_) {
-        if (ls.dead || ls.retryBuf.empty())
+        if (ls.dead || ls.down || ls.retryBuf.empty())
             continue;
         if (now >= ls.retryBuf.front().sentAt + retryTimeout_)
             resendWindow(ls, now, /*fromTimeout=*/true);
     }
+}
+
+// ----------------------------------------------------------------------
+// Churn engine.
+// ----------------------------------------------------------------------
+
+void
+FaultController::stepChurn(Cycle now)
+{
+    // Revivals before new outages: a link whose down window ends the
+    // same cycle another clause re-downs it transitions cleanly (one up
+    // event, one down event) instead of merging.
+    for (const int idx : churnLinks_) {
+        LinkState &ls = links_[static_cast<std::size_t>(idx)];
+        if (ls.down && now >= ls.upAt)
+            linkChurnUp(ls, now);
+    }
+    for (auto it = routerUpAt_.begin(); it != routerUpAt_.end();) {
+        if (*it <= now) {
+            ++report_.routerUpEvents;
+            it = routerUpAt_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    for (WindowGen &w : windowGens_) {
+        if (!w.fired && now >= w.from) {
+            w.fired = true;
+            linkChurnDown(links_[static_cast<std::size_t>(w.link)], now,
+                          w.to + 1);
+        }
+    }
+    for (LinkGen &g : linkGens_) {
+        if (now < g.nextDownAt)
+            continue;
+        Cycle down_dur;
+        Cycle next_up;
+        if (g.mttf > 0) {
+            down_dur = 1 + churnRng_.nextBelow(2 * g.mttr - 1);
+            next_up = 1 + churnRng_.nextBelow(2 * g.mttf - 1);
+        } else {
+            down_dur = g.downDur;
+            next_up = g.upDur;
+        }
+        linkChurnDown(links_[static_cast<std::size_t>(g.link)], now,
+                      now + down_dur);
+        g.nextDownAt = now + down_dur + next_up;
+    }
+    for (RouterGen &g : routerGens_) {
+        if (now < g.nextDownAt)
+            continue;
+        routerChurnDown(g.router, now, now + g.downDur);
+        g.nextDownAt = now + g.downDur + g.upDur;
+    }
+
+    const auto link_index = [&](RouterId src, RouterId dst) {
+        for (std::size_t i = 0; i < links_.size(); ++i) {
+            if (links_[i].src == src && links_[i].dst == dst)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+    while (traceCursor_ < traceEvents_.size() &&
+           traceEvents_[traceCursor_].cycle <= now) {
+        const ChurnTraceEvent &e = traceEvents_[traceCursor_];
+        if (e.isRouter) {
+            // The matching up event (consumed via routerUpAt_ when its
+            // cycle arrives) sizes the stall window; no up in the trace
+            // means the router never comes back.
+            if (!e.up) {
+                Cycle up_cycle = kNeverCycle;
+                for (std::size_t j = traceCursor_ + 1;
+                     j < traceEvents_.size(); ++j) {
+                    const ChurnTraceEvent &f = traceEvents_[j];
+                    if (f.isRouter && f.src == e.src && f.up) {
+                        up_cycle = f.cycle;
+                        break;
+                    }
+                }
+                routerChurnDown(e.src, now, up_cycle);
+            }
+        } else {
+            const int idx = link_index(e.src, e.dst);
+            NOC_ASSERT(idx >= 0, "churn trace link not registered");
+            LinkState &ls = links_[static_cast<std::size_t>(idx)];
+            if (!e.up) {
+                Cycle up_at = kNeverCycle;
+                for (std::size_t j = traceCursor_ + 1;
+                     j < traceEvents_.size(); ++j) {
+                    const ChurnTraceEvent &f = traceEvents_[j];
+                    if (!f.isRouter && f.src == e.src && f.dst == e.dst &&
+                        f.up) {
+                        up_at = f.cycle;
+                        break;
+                    }
+                }
+                linkChurnDown(ls, now, up_at);
+            } else {
+                // Usually already revived by the scan above (the down
+                // event recorded this cycle as upAt); a lone up event
+                // is a no-op.
+                linkChurnUp(ls, now);
+            }
+        }
+        ++traceCursor_;
+    }
+}
+
+void
+FaultController::linkChurnDown(LinkState &ls, Cycle now, Cycle upAt)
+{
+    if (ls.dead)
+        return;   // permanently dead outranks churn
+    if (ls.down) {
+        // Overlapping outages merge: extend to the later revival.
+        const Cycle merged = std::max(ls.upAt, upAt);
+        if (merged != ls.upAt) {
+            if (ls.upAt != kNeverCycle && merged == kNeverCycle)
+                --downWithRevival_;
+            ls.upAt = merged;
+            if (chk_)
+                chk_->waiveProgressUntil(merged == kNeverCycle
+                                             ? kNeverCycle
+                                             : merged + retryTimeout_);
+        }
+        return;
+    }
+    ls.down = true;
+    ls.upAt = upAt;
+    ++downLinks_;
+    ++report_.linkDownEvents;
+    if (upAt != kNeverCycle)
+        ++downWithRevival_;
+    // Epoch boundary: invalidate route memos, recompute reachability
+    // over available links, flush pseudo-circuits at both endpoints.
+    ++generation_;
+    reachDirty_ = true;
+    queueTeardowns(ls);
+    if (chk_) {
+        // Nothing is dropped and no credit leaks — only forward
+        // progress legitimately pauses, until the post-revival resend
+        // settles (or forever when no revival is scheduled).
+        chk_->waiveProgressUntil(upAt == kNeverCycle
+                                     ? kNeverCycle
+                                     : upAt + retryTimeout_);
+    }
+    (void)now;
+}
+
+void
+FaultController::linkChurnUp(LinkState &ls, Cycle now)
+{
+    if (!ls.down)
+        return;
+    ls.down = false;
+    if (ls.upAt != kNeverCycle)
+        --downWithRevival_;
+    ls.upAt = kNeverCycle;
+    --downLinks_;
+    ++report_.linkUpEvents;
+    ++generation_;
+    reachDirty_ = true;
+    queueTeardowns(ls);
+    // The outage was no fault of the protocol: deferred flits resume in
+    // sequence order with a fresh retry budget.
+    ls.retryCount = 0;
+    if (!ls.retryBuf.empty())
+        resumeLink(ls, now);
+}
+
+void
+FaultController::resumeLink(LinkState &ls, Cycle now)
+{
+    for (RetryEntry &entry : ls.retryBuf) {
+        transmit(ls, entry, now);
+        ++report_.flitsResumed;
+    }
+}
+
+void
+FaultController::queueTeardowns(const LinkState &ls)
+{
+    // Cached routes at either endpoint may predate the transition; the
+    // retransmitted / re-routed stream rebuilds circuits through the
+    // normal allocation path.
+    for (const RouterId r : {ls.src, ls.dst}) {
+        for (PortId p = 0; p < topo_.numInputPorts(r); ++p)
+            pendingTeardowns_.push_back({r, p});
+    }
+}
+
+void
+FaultController::routerChurnDown(RouterId r, Cycle now, Cycle upCycle)
+{
+    StallRouterClause c;
+    c.router = r;
+    c.from = now;
+    c.to = upCycle == kNeverCycle ? kNeverCycle : upCycle - 1;
+    stalls_.push_back(c);
+    ++report_.routerDownEvents;
+    if (upCycle != kNeverCycle)
+        routerUpAt_.push_back(upCycle);
+    if (chk_)
+        chk_->waiveProgressUntil(c.to);
+}
+
+bool
+FaultController::takeTeardowns(std::vector<TeardownRequest> &out)
+{
+    if (pendingTeardowns_.empty())
+        return false;
+    out.clear();
+    out.swap(pendingTeardowns_);
+    return true;
+}
+
+bool
+FaultController::revivalPending(Cycle now) const
+{
+    if (downWithRevival_ > 0)
+        return true;
+    for (const StallRouterClause &c : stalls_) {
+        if (c.to != kNeverCycle && now >= c.from && now <= c.to)
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -215,6 +574,14 @@ FaultController::handleSend(RouterId r, PortId outPort, int dropIdx,
 void
 FaultController::transmit(LinkState &ls, RetryEntry &entry, Cycle now)
 {
+    // A down link is unplugged: nothing reaches the wire. The entry
+    // waits in the retry buffer (bounded by the credit window) and
+    // resumeLink() puts it on the wire at revival.
+    if (ls.down) {
+        entry.sentAt = now;
+        ++report_.flitsDeferred;
+        return;
+    }
     // The wire carries one flit per cycle: serialise departures so a
     // retransmission burst cannot land two flits on one input port in
     // the same cycle.
@@ -240,6 +607,10 @@ void
 FaultController::resendWindow(LinkState &ls, Cycle now, bool fromTimeout)
 {
     if (ls.retryBuf.empty())
+        return;
+    // No retries while unplugged: the outage is not the protocol's
+    // fault, and counting it against retryLimit would kill the link.
+    if (ls.down)
         return;
     ++ls.retryCount;
     if (ls.retryCount > plan_.retryLimit) {
@@ -369,6 +740,16 @@ FaultController::linkDead(RouterId r, PortId outPort, int dropIdx) const
     return it != senderIdx_.end() && links_[it->second].dead;
 }
 
+bool
+FaultController::linkUnavailable(RouterId r, PortId outPort, int dropIdx) const
+{
+    auto it = senderIdx_.find(senderKey(r, outPort, dropIdx));
+    if (it == senderIdx_.end())
+        return false;
+    const LinkState &ls = links_[it->second];
+    return ls.dead || ls.down;
+}
+
 // ----------------------------------------------------------------------
 // Reachability / degradation accounting.
 // ----------------------------------------------------------------------
@@ -390,7 +771,7 @@ FaultController::rebuildReachability() const
                 if (chan.isTerminal())
                     continue;
                 for (std::size_t d = 0; d < chan.drops.size(); ++d) {
-                    if (linkDead(r, p, static_cast<int>(d)))
+                    if (linkUnavailable(r, p, static_cast<int>(d)))
                         continue;
                     const RouterId next = chan.drops[d].router;
                     char &seen =
@@ -409,7 +790,7 @@ FaultController::rebuildReachability() const
 bool
 FaultController::reachable(RouterId from, RouterId to) const
 {
-    if (!anyDead_)
+    if (!anyUnavailable())
         return true;
     if (reachDirty_ || reach_.empty())
         rebuildReachability();
@@ -420,7 +801,7 @@ FaultController::reachable(RouterId from, RouterId to) const
 bool
 FaultController::routable(NodeId src, NodeId dst) const
 {
-    if (!anyDead_)
+    if (!anyUnavailable())
         return true;
     return reachable(topo_.nodeRouter(src), topo_.nodeRouter(dst));
 }
@@ -479,6 +860,10 @@ FaultController::report(Cycle cyclesRun, int numNodes) const
         f.delivered = counts.delivered;
         f.dropped = counts.dropped;
         f.unroutable = counts.unroutable;
+        const std::uint64_t settled =
+            counts.delivered + counts.dropped + counts.unroutable;
+        f.inFlight = counts.offered > settled ? counts.offered - settled : 0;
+        out.packetsInFlight += f.inFlight;
         out.flows.push_back(f);
     }
     return out;

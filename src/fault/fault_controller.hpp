@@ -36,10 +36,30 @@
  *     `dropCreditEvery` hook: every Nth credit delivered to any router
  *     vanishes.
  *
+ *  4. Topology churn (churn_plan.hpp). Scheduled availability
+ *     transitions take links and routers down and bring them back.
+ *     A *down* link is unplugged, not corrupted: transmissions
+ *     initiated while it is down are deferred in the link's go-back-N
+ *     retry buffer (bounded by the credit window) and resume in
+ *     sequence order at revival, so — unlike a dead link — nothing is
+ *     lost and credit/packet conservation hold under the full
+ *     invariant mask; only the forward-progress probe is waived until
+ *     the scheduled revival. A down *router* reuses the stall
+ *     machinery through dynamically appended windows. Every
+ *     transition is an epoch boundary: the reroute generation bumps
+ *     (invalidating FaultRouting's detour memo), reachability is
+ *     recomputed over *available* (alive and up) links, and the
+ *     pseudo-circuit registers at both endpoint routers are queued for
+ *     teardown (drained by Network::step) because their cached routes
+ *     predate the transition. Packets whose destination is temporarily
+ *     unreachable are refused at injection and accounted unroutable —
+ *     graceful degradation, not a wedge.
+ *
  * Everything is deterministic: corruption rolls come from one seeded
- * Rng, all iteration is over ordered containers, and a fault-free
- * configuration never constructs a controller at all (every hook in the
- * network is gated on a null check).
+ * Rng, random churn from a second dedicated stream, all iteration is
+ * over ordered containers, and a fault-free configuration never
+ * constructs a controller at all (every hook in the network is gated on
+ * a null check).
  */
 
 #ifndef NOC_FAULT_FAULT_CONTROLLER_HPP
@@ -55,6 +75,7 @@
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/churn_plan.hpp"
 #include "fault/fault_plan.hpp"
 #include "network/link.hpp"
 #include "router/flit.hpp"
@@ -89,6 +110,22 @@ struct FaultReport
     std::uint64_t creditsDropped = 0;
     std::uint64_t stallCycles = 0;       ///< router-cycles spent frozen
 
+    /// Offered but neither delivered, dropped, nor refused when the
+    /// report was assembled — packets still in the fabric (or held in a
+    /// down link's retry buffer). Closes the accounting: offered ==
+    /// delivered + dropped + unroutable + in-flight, always.
+    std::uint64_t packetsInFlight = 0;
+
+    // Topology churn (churn= plans).
+    bool churn = false;                  ///< a churn plan is active
+    std::uint64_t linkDownEvents = 0;
+    std::uint64_t linkUpEvents = 0;
+    std::uint64_t routerDownEvents = 0;
+    std::uint64_t routerUpEvents = 0;
+    std::uint64_t flitsDeferred = 0;     ///< held because the link was down
+    std::uint64_t flitsResumed = 0;      ///< deferred flits sent at revival
+    std::uint64_t churnTeardowns = 0;    ///< pseudo-circuits torn by transitions
+
     /** Per-flow delivery accounting (packets), sorted by (src, dst). */
     struct Flow
     {
@@ -98,21 +135,30 @@ struct FaultReport
         std::uint64_t delivered = 0;
         std::uint64_t dropped = 0;
         std::uint64_t unroutable = 0;
+        std::uint64_t inFlight = 0;      ///< offered − the other three
     };
     std::vector<Flow> flows;
+};
+
+/** One input-port pseudo-circuit register to tear down (epoch flush). */
+struct TeardownRequest
+{
+    RouterId router = kInvalidRouter;
+    PortId inPort = kInvalidPort;
 };
 
 class FaultController
 {
   public:
     /**
-     * Resolve a plan against a concrete topology. Fatal on impossible
-     * targets (no such link/router) or unsupported combinations
-     * (link/stall clauses under scheme=evc; kill-link outside
-     * mesh/cmesh + dimension-order routing).
+     * Resolve a fault plan and a churn plan (either may be empty)
+     * against a concrete topology. Fatal on impossible targets (no
+     * such link/router) or unsupported combinations (link/stall/churn
+     * clauses under scheme=evc; kill-link or link churn outside
+     * mesh/cmesh + xy/yx/adaptive routing).
      */
-    FaultController(const FaultPlan &plan, const SimConfig &cfg,
-                    const Topology &topo);
+    FaultController(const FaultPlan &plan, const ChurnPlan &churn,
+                    const SimConfig &cfg, const Topology &topo);
 
     /** The network's event ring; must be set before the first cycle. */
     void bindRing(EventRing *ring) { ring_ = ring; }
@@ -145,10 +191,20 @@ class FaultController
      */
     bool captureArrival(const LinkEvent &ev, Cycle now);
 
-    /** Cheap gate: any stall clause in the plan at all? */
-    bool anyStalls() const { return !stalls_.empty(); }
+    /**
+     * Cheap gate: any stall clause, or any router churn that may
+     * append stall windows mid-run? Pre-arms the arrival-capture path.
+     */
+    bool anyStalls() const { return !stalls_.empty() || churnRouters_; }
 
     bool routerStalled(RouterId r, Cycle now) const;
+
+    /**
+     * Pseudo-circuit registers whose cached routes predate an
+     * availability transition this cycle. True = `out` was filled (and
+     * the pending list cleared); the caller tears each one down.
+     */
+    bool takeTeardowns(std::vector<TeardownRequest> &out);
 
     // ------------------------------------------------------------------
     // Protected-link send/receive (called by Network).
@@ -176,13 +232,47 @@ class FaultController
     /** Count a pseudo-circuit torn down by a rejected arrival. */
     void noteCircuitTeardown() { ++report_.circuitTeardowns; }
 
+    /** Count a pseudo-circuit torn down by an availability transition. */
+    void noteChurnTeardown() { ++report_.churnTeardowns; }
+
     bool anyLinkDead() const { return anyDead_; }
     bool linkDead(RouterId r, PortId outPort, int dropIdx) const;
 
-    /** Bumped on every link death; invalidates route caches. */
+    /**
+     * Any link currently *unavailable* — dead (permanent) or down
+     * (churn, revivable)? The cheap gate for the availability-aware
+     * routing and reachability paths below.
+     */
+    bool anyUnavailable() const { return anyDead_ || downLinks_ > 0; }
+
+    /** Dead or currently down. */
+    bool linkUnavailable(RouterId r, PortId outPort, int dropIdx) const;
+
+    /**
+     * Does this plan ever need detour routing? True only when links can
+     * die permanently (kill-link): a dead link loses flits, so packets
+     * must be steered around it. Churn outages deliberately do NOT
+     * reroute — a down link is lossless (flits wait in its retry buffer
+     * and resume at revival), and bending packets off their dimension
+     * order mid-outage would reintroduce deadlock cycles the DOR VC
+     * partitions exclude. Decides whether Network wraps the routing
+     * algorithm in FaultRouting.
+     */
+    bool needsReroute() const { return !plan_.kills.empty(); }
+
+    /**
+     * Is any currently-unavailable resource scheduled to come back —
+     * a down link with a known revival cycle, or a router inside a
+     * stall window? While true, the drain loop must keep stepping
+     * (deferred flits resume at revival) rather than declaring the
+     * network quiescent.
+     */
+    bool revivalPending(Cycle now) const;
+
+    /** Bumped on every availability transition; invalidates route caches. */
     std::uint64_t rerouteGeneration() const { return generation_; }
 
-    /** Router-level reachability over alive links. */
+    /** Router-level reachability over available links. */
     bool reachable(RouterId from, RouterId to) const;
 
     // ------------------------------------------------------------------
@@ -232,6 +322,10 @@ class FaultController
         Cycle killAt = kNeverCycle;
         bool dead = false;
 
+        // Churn: down = unplugged (transmissions deferred, not lost).
+        bool down = false;
+        Cycle upAt = kNeverCycle;   ///< scheduled revival (kNeverCycle: none)
+
         // Sender.
         std::uint32_t nextSeq = 0;
         std::deque<RetryEntry> retryBuf;
@@ -252,6 +346,35 @@ class FaultController
         std::uint64_t unroutable = 0;
     };
 
+    /** Periodic or random (MTTF/MTTR) down generator for one link. */
+    struct LinkGen
+    {
+        int link = -1;              ///< index into links_
+        Cycle upDur = 0;            ///< fixed up duration (periodic)
+        Cycle downDur = 0;          ///< fixed down duration (periodic)
+        Cycle mttf = 0;             ///< nonzero: random; durations drawn
+        Cycle mttr = 0;
+        Cycle nextDownAt = 0;
+    };
+
+    /** One-shot down window for one link. */
+    struct WindowGen
+    {
+        int link = -1;
+        Cycle from = 0;
+        Cycle to = 0;
+        bool fired = false;
+    };
+
+    /** Periodic stall-window generator for one router. */
+    struct RouterGen
+    {
+        RouterId router = kInvalidRouter;
+        Cycle upDur = 0;
+        Cycle downDur = 0;
+        Cycle nextDownAt = 0;
+    };
+
     LinkState &linkFor(const RouterId src, const RouterId dst,
                        const char *clause);
     void transmit(LinkState &ls, RetryEntry &entry, Cycle now);
@@ -260,6 +383,14 @@ class FaultController
     void recordDropped(const Flit &flit);
     void sendAck(const LinkState &ls, bool ok, std::uint32_t seq, Cycle now);
     void rebuildReachability() const;
+
+    // Churn engine (beginCycle helpers).
+    void stepChurn(Cycle now);
+    void linkChurnDown(LinkState &ls, Cycle now, Cycle upAt);
+    void linkChurnUp(LinkState &ls, Cycle now);
+    void resumeLink(LinkState &ls, Cycle now);
+    void queueTeardowns(const LinkState &ls);
+    void routerChurnDown(RouterId r, Cycle now, Cycle upCycle);
 
     static std::uint64_t senderKey(RouterId r, PortId p, int d)
     {
@@ -305,6 +436,23 @@ class FaultController
     std::unordered_set<PacketId> droppedPackets_;
     std::uint64_t offeredFlits_ = 0;
     std::uint64_t deliveredFlits_ = 0;
+
+    // ------------------------------------------------------------------
+    // Churn state.
+    // ------------------------------------------------------------------
+    Rng churnRng_;                       ///< dedicated stream (random clauses)
+    std::vector<LinkGen> linkGens_;
+    std::vector<WindowGen> windowGens_;
+    std::vector<RouterGen> routerGens_;
+    std::vector<ChurnTraceEvent> traceEvents_;   ///< sorted by cycle
+    std::size_t traceCursor_ = 0;
+    std::vector<int> churnLinks_;        ///< links_ indices with churn clauses
+    std::vector<Cycle> routerUpAt_;      ///< pending router revivals (sorted-ish)
+    std::vector<TeardownRequest> pendingTeardowns_;
+    int downLinks_ = 0;                  ///< links currently down
+    int downWithRevival_ = 0;            ///< down links with a finite upAt
+    bool churnRouters_ = false;          ///< any router churn clause/trace
+    bool churnLinkClauses_ = false;      ///< any link churn clause/trace
 };
 
 } // namespace noc

@@ -1,5 +1,6 @@
 #include "fault/fault_plan.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/log.hpp"
@@ -94,6 +95,15 @@ FaultPlan::parse(const std::string &spec, std::string *error)
             if (c.prob < 0.0 || c.prob > 1.0)
                 return fail("flip probability must be in [0,1], got '" +
                             clause + "'");
+            // Duplicate clauses on one link used to merge silently
+            // (max probability wins); that hides plan typos, so they
+            // are now a hard error.
+            for (const FlipLinkClause &prev : plan.flips) {
+                if (prev.src == c.src && prev.dst == c.dst)
+                    return fail("duplicate flip-link clause for link " +
+                                std::to_string(c.src) + ">" +
+                                std::to_string(c.dst));
+            }
             plan.flips.push_back(c);
         } else if (clause.rfind("kill-link:", 0) == 0) {
             const std::string body = clause.substr(10);
@@ -106,6 +116,17 @@ FaultPlan::parse(const std::string &spec, std::string *error)
                 return fail("expected kill-link:<a>><b>@cycle<C>, got '" +
                             clause + "'");
             c.atCycle = cyc;
+            // Two kill events for the same (cycle, link) are a
+            // conflict, not a merge; different cycles still combine
+            // (the earliest one wins at resolution time).
+            for (const KillLinkClause &prev : plan.kills) {
+                if (prev.src == c.src && prev.dst == c.dst &&
+                    prev.atCycle == c.atCycle)
+                    return fail("duplicate kill-link event for link " +
+                                std::to_string(c.src) + ">" +
+                                std::to_string(c.dst) + " at cycle " +
+                                std::to_string(c.atCycle));
+            }
             plan.kills.push_back(c);
         } else if (clause.rfind("stall-router:", 0) == 0) {
             const std::string body = clause.substr(13);
@@ -129,6 +150,17 @@ FaultPlan::parse(const std::string &spec, std::string *error)
             if (c.to < c.from)
                 return fail("stall window ends before it starts in '" +
                             clause + "'");
+            // Overlapping windows on one router double-count stall
+            // cycles and have no meaningful combined semantics.
+            for (const StallRouterClause &prev : plan.stalls) {
+                if (prev.router == c.router && c.from <= prev.to &&
+                    prev.from <= c.to)
+                    return fail("overlapping stall windows for router " +
+                                std::to_string(c.router) + " (cycle " +
+                                std::to_string(std::max(c.from,
+                                                        prev.from)) +
+                                ")");
+            }
             plan.stalls.push_back(c);
         } else if (clause.rfind("drop-credit-every=", 0) == 0) {
             if (!parseU64(clause.substr(18), plan.dropCreditEvery))

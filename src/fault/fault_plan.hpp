@@ -30,6 +30,11 @@
  *
  * Parsing is pure (no topology access); clause targets are resolved and
  * validated against the concrete topology by the FaultController.
+ *
+ * Conflicting duplicates are parse errors rather than silent merges:
+ * two flip-link clauses on one link, two kill-link events for the same
+ * (cycle, link), or overlapping stall windows on one router all reject
+ * the whole plan with a one-line message naming the clash.
  */
 
 #ifndef NOC_FAULT_FAULT_PLAN_HPP

@@ -13,11 +13,15 @@ RouteDecision
 FaultRouting::route(RouterId r, NodeId dst, int cls) const
 {
     const RouteDecision base = base_->route(r, dst, cls);
-    if (!faults_->anyLinkDead())
+    if (!faults_->anyUnavailable())
         return base;
     const OutputChannel &chan = topo_.output(r, base.outPort);
     if (chan.isTerminal())
         return base;
+    // Detour only around *dead* links (kill-link): they lose flits. A
+    // churn-down link keeps the base route — its retry buffer holds the
+    // flits losslessly until revival, and bending packets off dimension
+    // order for a transient outage would reintroduce deadlock turns.
     if (!faults_->linkDead(r, base.outPort, base.drop))
         return base;
     return detour(r, topo_.nodeRouter(dst), base);
@@ -47,7 +51,7 @@ FaultRouting::detour(RouterId r, RouterId dst_router, RouteDecision base) const
             continue;
         for (std::size_t d = 0; d < chan.drops.size(); ++d) {
             const int di = static_cast<int>(d);
-            if (faults_->linkDead(r, p, di))
+            if (faults_->linkUnavailable(r, p, di))
                 continue;
             const RouterId next = chan.drops[d].router;
             if (!faults_->reachable(next, dst_router))
@@ -87,6 +91,16 @@ FaultRouting::vcRangeAt(RouterId r, NodeId src, NodeId dst, int cls,
                         int num_vcs) const
 {
     return base_->vcRangeAt(r, src, dst, cls, num_vcs);
+}
+
+int
+FaultRouting::chooseClass(RouterId r, NodeId dst, Rng &rng,
+                          const int *vc_credits, int num_vcs) const
+{
+    // Must forward (not inherit the default): the base may be adaptive,
+    // whose backlog-driven choice would otherwise be replaced by the
+    // default's RNG draw.
+    return base_->chooseClass(r, dst, rng, vc_credits, num_vcs);
 }
 
 std::string

@@ -1,26 +1,33 @@
 /**
  * @file
  * Fault-aware routing fallback: a decorator over any RoutingAlgorithm
- * that detours lookahead decisions around dead links.
+ * that detours lookahead decisions around *dead* links (kill-link,
+ * permanent). Churn-down links are deliberately NOT detoured: they are
+ * lossless — flits wait in the link's retry buffer and resume in order
+ * at revival — so the base route stays valid, and keeping it avoids
+ * the deadlock turns a transient detour would reintroduce.
  *
- * While no link has died, every call forwards to the base algorithm
- * untouched (one flag test), so behaviour — and output — is identical
- * to an unwrapped run. After a death, decisions whose output link is
- * dead are replaced by the best alive alternative:
+ * While every link is available, each call forwards to the base
+ * algorithm untouched (one flag test), so behaviour — and output — is
+ * identical to an unwrapped run. Afterwards, decisions whose output
+ * link is dead are replaced by the best available alternative:
  *
- *   1. an alive link making minimal progress (Manhattan distance to the
- *      destination router decreases) whose endpoint can still reach the
- *      destination over alive links, lowest port number first;
- *   2. failing that, any alive link whose endpoint can reach the
+ *   1. an available link making minimal progress (Manhattan distance to
+ *      the destination router decreases) whose endpoint can still reach
+ *      the destination over available links, lowest port number first;
+ *   2. failing that, any available link whose endpoint can reach the
  *      destination (a misroute);
- *   3. failing that, the original dead decision — the network drops the
- *      flit at the dead link and accounts it in the degradation report.
+ *   3. failing that, the original decision — the dead link drops the
+ *      flit (accounted in the degradation report).
  *
- * Detours ignore the base algorithm's turn restrictions, so a faulted
- * mesh is no longer provably deadlock-free; the fault layer waives the
- * forward-progress probe accordingly and runs end via the drain limit
- * instead of hanging. Decisions are memoised per (router, destination)
- * and invalidated whenever another link dies.
+ * Detours ignore the base algorithm's turn restrictions, so a mesh
+ * with dead links is no longer provably deadlock-free; kill-link is
+ * therefore restricted to the deterministic DOR algorithms (xy|yx),
+ * the fault layer waives the forward-progress probe, and runs end via
+ * the drain limit instead of hanging. Decisions are memoised per
+ * (router, destination) and invalidated on every availability
+ * transition (rerouteGeneration bumps on link death, churn down, and
+ * churn up alike), so detours always avoid currently-down links too.
  */
 
 #ifndef NOC_FAULT_FAULT_ROUTING_HPP
@@ -46,6 +53,8 @@ class FaultRouting : public RoutingAlgorithm
     std::pair<VcId, int> vcRange(int cls, int num_vcs) const override;
     std::pair<VcId, int> vcRangeAt(RouterId r, NodeId src, NodeId dst,
                                    int cls, int num_vcs) const override;
+    int chooseClass(RouterId r, NodeId dst, Rng &rng,
+                    const int *vc_credits, int num_vcs) const override;
     std::string name() const override;
 
   private:

@@ -54,8 +54,9 @@ eventHorizon(const SimConfig &cfg)
     int horizon = lat * span + 4;
     // A fault plan's retransmission bursts serialise onto the wire: a
     // full retry window (bounded by the link's credit window) may run
-    // ahead of `now` before the wire delay even starts.
-    if (!cfg.faultSpec.empty())
+    // ahead of `now` before the wire delay even starts. Churn revivals
+    // replay a deferred window through the same path.
+    if (!cfg.faultSpec.empty() || !cfg.churnSpec.empty())
         horizon += cfg.numVcs * cfg.bufferDepth + 16;
     return horizon;
 }
@@ -136,13 +137,17 @@ Network::Network(const SimConfig &cfg)
     if (plan.dropCreditEvery == 0 && cfg_.dropCreditEvery > 0)
         plan.dropCreditEvery =
             static_cast<std::uint64_t>(cfg_.dropCreditEvery);
-    if (!plan.empty()) {
-        faults_ = std::make_unique<FaultController>(plan, cfg_, *topo_);
+    ChurnPlan churn;
+    if (!cfg_.churnSpec.empty())
+        churn = ChurnPlan::parse(cfg_.churnSpec);
+    if (!plan.empty() || !churn.empty()) {
+        faults_ =
+            std::make_unique<FaultController>(plan, churn, cfg_, *topo_);
         faults_->bindRing(&ring_);
     }
 
     routing_ = makeRouting(cfg_.routing, *topo_);
-    if (faults_ && !faults_->plan().kills.empty())
+    if (faults_ && faults_->needsReroute())
         routing_ = std::make_unique<FaultRouting>(std::move(routing_),
                                                   *topo_, faults_.get());
 
@@ -286,6 +291,15 @@ Network::step()
     if (faults_) {
         NOC_PROF_SCOPE(prof_, FaultHook);
         faults_->beginCycle(now_);
+        // Availability transitions this cycle invalidate the cached
+        // routes of pseudo-circuits at the affected routers: flush them
+        // before any arrival can ride a stale circuit.
+        if (faults_->takeTeardowns(teardownScratch_)) {
+            for (const TeardownRequest &t : teardownScratch_) {
+                if (routers_[t.router]->faultTeardown(t.inPort, now_))
+                    faults_->noteChurnTeardown();
+            }
+        }
         if (stalls) {
             faultPending_.clear();
             faults_->drainStallQueues(now_, faultPending_);

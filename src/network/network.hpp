@@ -228,6 +228,7 @@ class Network
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
     EventRing ring_;
     std::vector<LinkEvent> faultPending_;  ///< scratch: released stall holds
+    std::vector<TeardownRequest> teardownScratch_;  ///< scratch: churn epochs
     Cycle now_ = 0;
     std::uint64_t outstanding_ = 0;
     Cycle lastProgress_ = 0;

@@ -71,9 +71,8 @@ NetworkInterface::step(Cycle now)
         current_ = queue_.front();
         queue_.pop_front();
         sentFlits_ = 0;
-        currentCls_ = routing_.numClasses() > 1
-            ? static_cast<int>(rng_.nextBelow(routing_.numClasses()))
-            : 0;
+        currentCls_ = routing_.chooseClass(router_, current_->dst, rng_,
+                                           credits_.data(), cfg_.numVcs);
         currentVc_ = chooseVc(*current_, currentCls_);
         currentRoute_ = routing_.route(router_, current_->dst, currentCls_);
         currentInjectTime_ = now;

@@ -14,10 +14,11 @@ selectRouterOps(const SimConfig &cfg, const RoutingAlgorithm &routing,
 {
     if (cfg.kernel != KernelChoice::Auto)
         return nullptr;
-    // Fault campaigns perturb delivery and routing in ways only the
-    // generic path models (and wrap the routing object, which would
-    // also fail the typeid test below).
-    if (!cfg.faultSpec.empty() || cfg.dropCreditEvery != 0)
+    // Fault and churn campaigns perturb delivery and routing in ways
+    // only the generic path models (and wrap the routing object, which
+    // would also fail the typeid test below).
+    if (!cfg.faultSpec.empty() || !cfg.churnSpec.empty() ||
+        cfg.dropCreditEvery != 0)
         return nullptr;
     if (cfg.scheme == Scheme::Evc)
         return nullptr;

@@ -20,6 +20,7 @@
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "routing/routing.hpp"
 
 namespace noc {
 
@@ -30,6 +31,10 @@ struct OutputVcState
     bool owned = false;
     PortId ownerPort = kInvalidPort;
     VcId ownerVc = kInvalidVc;
+    /// Lookahead route stamped on the packet's head at traversal; body
+    /// and tail flits copy it so one packet carries one route even when
+    /// the routing function changes mid-packet (fault/churn reroutes).
+    RouteDecision headLookahead;
 };
 
 class OutputPort

@@ -770,9 +770,19 @@ Router::traverseT(PortId in_port, Flit flit, const RouteDecision &route,
         flit.vc = out_vc;
         ++flit.hops;
         if (!chan.isTerminal()) {
-            const RouterId next = chan.drops[route.drop].router;
-            NOC_PROF_SCOPE(fineProf_, RouteCompute);
-            flit.route = P::route(*this, next, flit.dst, flit.cls);
+            // One packet carries one lookahead route: the head computes
+            // it and body/tail flits copy the head's stamp. Recomputing
+            // per flit would split a packet across two paths when the
+            // routing function changes mid-stream (fault/churn detour
+            // generations) and corrupt downstream wormhole state.
+            OutputVcState &ls = op.vc(route.drop, out_vc);
+            if (isHead(flit.type)) {
+                const RouterId next = chan.drops[route.drop].router;
+                NOC_PROF_SCOPE(fineProf_, RouteCompute);
+                ls.headLookahead = P::route(*this, next, flit.dst,
+                                            flit.cls);
+            }
+            flit.route = ls.headLookahead;
         }
         sentFlits.push_back({route.outPort, route.drop, flit});
     }

@@ -1,0 +1,50 @@
+#include "routing/adaptive.hpp"
+
+#include <cstdint>
+
+#include "common/log.hpp"
+#include "routing/o1turn.hpp"
+
+namespace noc {
+
+AdaptiveRouting::AdaptiveRouting(const Mesh &mesh)
+    : xy_(mesh, true), yx_(mesh, false)
+{
+}
+
+RouteDecision
+AdaptiveRouting::route(RouterId r, NodeId dst, int cls) const
+{
+    NOC_ASSERT(cls == 0 || cls == 1,
+               "adaptive routing has exactly two classes");
+    return decide(r, dst, cls);
+}
+
+std::pair<VcId, int>
+AdaptiveRouting::vcRange(int cls, int num_vcs) const
+{
+    NOC_ASSERT(num_vcs >= 2, "adaptive routing needs at least two VCs");
+    return O1TurnRouting::splitRange(cls, num_vcs);
+}
+
+int
+AdaptiveRouting::chooseClass(RouterId r, NodeId dst, Rng &rng,
+                             const int *vc_credits, int num_vcs) const
+{
+    (void)r;
+    (void)dst;
+    (void)rng;
+    const auto [base0, count0] = O1TurnRouting::splitRange(0, num_vcs);
+    const auto [base1, count1] = O1TurnRouting::splitRange(1, num_vcs);
+    std::int64_t free0 = 0;
+    std::int64_t free1 = 0;
+    for (int v = 0; v < count0; ++v)
+        free0 += vc_credits[base0 + v];
+    for (int v = 0; v < count1; ++v)
+        free1 += vc_credits[base1 + v];
+    // Compare per-partition backlog normalised by width: free0/count0
+    // vs free1/count1, cross-multiplied to stay in integers.
+    return free1 * count0 > free0 * count1 ? 1 : 0;
+}
+
+} // namespace noc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Load-adaptive routing (UGAL-L flavoured, Singh et al. 2004): each
+ * packet picks between the two dimension-order orientations (XY / YX)
+ * at injection based on *local* backlog — the free-credit count of the
+ * injection port's VC partition backing each orientation. The two
+ * orientations run in disjoint VC partitions exactly like O1TURN, so
+ * each virtual network stays dimension-ordered and deadlock-free; what
+ * changes versus O1TURN is only the per-packet choice (congestion-
+ * driven instead of a coin flip).
+ *
+ * The classic UGAL non-minimal escape path is provided by composition:
+ * under topology churn or link death the FaultRouting decorator wraps
+ * this algorithm and detours decisions whose output link is
+ * unavailable (minimal progress first, misroute second), falling back
+ * to fault-aware minimal routing when a region is dark. Adaptive
+ * routing is deterministic — the backlog signal is shard-local state —
+ * so it remains eligible for the sharded stepping path.
+ */
+
+#ifndef NOC_ROUTING_ADAPTIVE_HPP
+#define NOC_ROUTING_ADAPTIVE_HPP
+
+#include "routing/dor.hpp"
+
+namespace noc {
+
+class AdaptiveRouting : public RoutingAlgorithm
+{
+  public:
+    explicit AdaptiveRouting(const Mesh &mesh);
+
+    /** cls 0 routes XY, cls 1 routes YX (same classes as O1TURN). */
+    RouteDecision route(RouterId r, NodeId dst, int cls) const override;
+    int numClasses() const override { return 2; }
+    std::pair<VcId, int> vcRange(int cls, int num_vcs) const override;
+
+    /**
+     * UGAL-L choice: compare the injection port's free credits per VC
+     * partition, normalised by partition width (cross-multiplied so an
+     * odd VC split compares fairly). Ties go to XY; no randomness is
+     * consumed, keeping the decision replayable and shard-safe.
+     */
+    int chooseClass(RouterId r, NodeId dst, Rng &rng,
+                    const int *vc_credits, int num_vcs) const override;
+
+    std::string name() const override { return "Adaptive"; }
+
+    /** Inlinable route computation (see MeshDor::decide). */
+    RouteDecision
+    decide(RouterId r, NodeId dst, int cls) const
+    {
+        return cls == 0 ? xy_.decide(r, dst) : yx_.decide(r, dst);
+    }
+
+  private:
+    MeshDor xy_;
+    MeshDor yx_;
+};
+
+} // namespace noc
+
+#endif // NOC_ROUTING_ADAPTIVE_HPP

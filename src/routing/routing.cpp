@@ -1,6 +1,8 @@
 #include "routing/routing.hpp"
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
+#include "routing/adaptive.hpp"
 #include "routing/dor.hpp"
 #include "routing/o1turn.hpp"
 #include "routing/torus_dor.hpp"
@@ -28,6 +30,23 @@ RoutingAlgorithm::vcRangeAt(RouterId r, NodeId src, NodeId dst, int cls,
     return vcRange(cls, num_vcs);
 }
 
+int
+RoutingAlgorithm::chooseClass(RouterId r, NodeId dst, Rng &rng,
+                              const int *vc_credits, int num_vcs) const
+{
+    (void)r;
+    (void)dst;
+    (void)vc_credits;
+    (void)num_vcs;
+    // Exactly the historical NI policy: single-class algorithms consume
+    // no randomness (byte-identity with pre-chooseClass output), multi-
+    // class ones draw uniformly.
+    const int n = numClasses();
+    if (n <= 1)
+        return 0;
+    return static_cast<int>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+}
+
 std::unique_ptr<RoutingAlgorithm>
 makeRouting(RoutingKind kind, const Topology &topo)
 {
@@ -39,6 +58,8 @@ makeRouting(RoutingKind kind, const Topology &topo)
             return std::make_unique<MeshDor>(*mesh, false);
           case RoutingKind::O1Turn:
             return std::make_unique<O1TurnRouting>(*mesh);
+          case RoutingKind::Adaptive:
+            return std::make_unique<AdaptiveRouting>(*mesh);
         }
     }
     if (const auto *fbfly = dynamic_cast<const FlattenedButterfly *>(&topo)) {
@@ -49,6 +70,9 @@ makeRouting(RoutingKind kind, const Topology &topo)
             return std::make_unique<FbflyDor>(*fbfly, false);
           case RoutingKind::O1Turn:
             NOC_FATAL("O1TURN is not defined on the flattened butterfly");
+          case RoutingKind::Adaptive:
+            NOC_FATAL("adaptive routing is not defined on the flattened "
+                      "butterfly");
         }
     }
     if (const auto *torus = dynamic_cast<const Torus *>(&topo)) {
@@ -59,6 +83,8 @@ makeRouting(RoutingKind kind, const Topology &topo)
             return std::make_unique<TorusDor>(*torus, false);
           case RoutingKind::O1Turn:
             NOC_FATAL("O1TURN is not defined on the torus");
+          case RoutingKind::Adaptive:
+            NOC_FATAL("adaptive routing is not defined on the torus");
         }
     }
     if (const auto *mecs = dynamic_cast<const Mecs *>(&topo)) {
@@ -69,6 +95,8 @@ makeRouting(RoutingKind kind, const Topology &topo)
             return std::make_unique<MecsDor>(*mecs, false);
           case RoutingKind::O1Turn:
             NOC_FATAL("O1TURN is not defined on MECS");
+          case RoutingKind::Adaptive:
+            NOC_FATAL("adaptive routing is not defined on MECS");
         }
     }
     NOC_FATAL("no routing algorithm for topology " + topo.name());

@@ -23,6 +23,7 @@
 
 namespace noc {
 
+class Rng;
 class Topology;
 
 /** A routing decision at one router: output channel and drop-off. */
@@ -61,6 +62,18 @@ class RoutingAlgorithm
     virtual std::pair<VcId, int> vcRangeAt(RouterId r, NodeId src,
                                            NodeId dst, int cls,
                                            int num_vcs) const;
+
+    /**
+     * Pick the routing class for a packet about to inject at router `r`
+     * towards `dst`. `vc_credits` is the injection port's per-VC free
+     * credit array (`num_vcs` entries) — the only congestion signal an
+     * NI has locally. The default draws uniformly at random among the
+     * classes (O1TURN's policy; single-class algorithms return 0
+     * without consuming the RNG); adaptive routing overrides it with a
+     * backlog-driven choice.
+     */
+    virtual int chooseClass(RouterId r, NodeId dst, Rng &rng,
+                            const int *vc_credits, int num_vcs) const;
 
     virtual std::string name() const = 0;
 };

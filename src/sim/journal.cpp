@@ -243,9 +243,10 @@ journalKey(const SweepJob &job)
     h = fnv1a(h, job.label);
     h = fnv1a(h, job.cfg.describe());
     h = fnv1a(h, std::to_string(job.cfg.seed));
-    // The fault plan is deliberately excluded from describe() (output
-    // byte-identity), so it must be hashed explicitly here.
+    // The fault and churn plans are deliberately excluded from
+    // describe() (output byte-identity), so they are hashed explicitly.
     h = fnv1a(h, job.cfg.faultSpec);
+    h = fnv1a(h, job.cfg.churnSpec);
     h = fnv1a(h, std::to_string(job.cfg.dropCreditEvery));
     h = fnv1a(h, std::to_string(job.windows.warmup));
     h = fnv1a(h, std::to_string(job.windows.measure));

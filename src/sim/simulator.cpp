@@ -79,7 +79,8 @@ Simulator::run(const SimWindows &windows)
         const SimConfig &cfg = net_.config();
         const int shards = resolveShardCount(cfg);
         if (shards > 1 && net_.now() == 0 && source_->openLoop() &&
-            cfg.faultSpec.empty() && cfg.dropCreditEvery == 0 &&
+            cfg.faultSpec.empty() && cfg.churnSpec.empty() &&
+            cfg.dropCreditEvery == 0 &&
             telem_ == nullptr && prof_ == nullptr &&
             windows.sampleInterval == 0 && !hc.any())
             return runSharded(windows, shards);
@@ -177,15 +178,21 @@ Simulator::run(const SimWindows &windows)
         ++drained_cycles;
         if (watchdog.due(net_.now()))
             watchdog.snapshot(net_, net_.now());
-        // A dead link wedges the packets routed onto it by design: end
-        // the drain quietly once nothing has moved for a while — the
-        // degradation report (not a stall warning) is the result.
-        if (faults != nullptr && faults->anyLinkDead() &&
+        // A dead or permanently-down link wedges the packets routed
+        // onto it by design: end the drain quietly once nothing has
+        // moved for a while — the degradation report (not a stall
+        // warning) is the result. Never while a revival is scheduled:
+        // deferred flits resume when the link comes back.
+        const bool revival =
+            faults != nullptr && faults->revivalPending(net_.now());
+        if (faults != nullptr && !revival && faults->anyUnavailable() &&
             net_.cyclesSinceProgress() > 4 * faults->retryTimeout() + 64)
             break;
         // Forward-progress watchdog: fail fast on a wedged network
-        // instead of spinning to the drain limit.
-        if (!net_.idle() && net_.cyclesSinceProgress() > 10000) {
+        // instead of spinning to the drain limit. A pending revival is
+        // not a wedge — the churn plan promises the outage ends.
+        if (!net_.idle() && !revival &&
+            net_.cyclesSinceProgress() > 10000) {
             NOC_WARN("network stalled during drain: " +
                      net_.describeStall());
             break;

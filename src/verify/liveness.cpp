@@ -1,0 +1,84 @@
+#include "verify/liveness.hpp"
+
+#include <sstream>
+
+namespace noc {
+
+namespace {
+
+LivenessVerdict
+fail(const std::ostringstream &os)
+{
+    LivenessVerdict v;
+    v.ok = false;
+    v.message = os.str();
+    return v;
+}
+
+} // namespace
+
+LivenessVerdict
+checkLiveness(const FaultReport &report, bool drained)
+{
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t unroutable = 0;
+    std::uint64_t in_flight = 0;
+
+    for (const FaultReport::Flow &f : report.flows) {
+        const std::uint64_t settled = f.delivered + f.dropped + f.unroutable;
+        if (settled > f.offered) {
+            std::ostringstream os;
+            os << "liveness: flow " << f.src << "->" << f.dst
+               << " settles more packets than were offered (" << settled
+               << " > " << f.offered << ")";
+            return fail(os);
+        }
+        if (f.inFlight != f.offered - settled) {
+            std::ostringstream os;
+            os << "liveness: flow " << f.src << "->" << f.dst
+               << " in-flight count " << f.inFlight
+               << " does not close the books (offered " << f.offered
+               << ", settled " << settled << ")";
+            return fail(os);
+        }
+        offered += f.offered;
+        delivered += f.delivered;
+        dropped += f.dropped;
+        unroutable += f.unroutable;
+        in_flight += f.inFlight;
+    }
+
+    const struct
+    {
+        const char *name;
+        std::uint64_t fromFlows;
+        std::uint64_t total;
+    } sums[] = {
+        {"offered", offered, report.packetsOffered},
+        {"delivered", delivered, report.packetsDelivered},
+        {"dropped", dropped, report.packetsDropped},
+        {"unroutable", unroutable, report.packetsUnroutable},
+        {"in-flight", in_flight, report.packetsInFlight},
+    };
+    for (const auto &s : sums) {
+        if (s.fromFlows != s.total) {
+            std::ostringstream os;
+            os << "liveness: flow table sums to " << s.fromFlows << " "
+               << s.name << " packets but the report totals " << s.total;
+            return fail(os);
+        }
+    }
+
+    if (drained && report.packetsInFlight != 0) {
+        std::ostringstream os;
+        os << "liveness: run drained with " << report.packetsInFlight
+           << " packets still unaccounted (lost in the fabric)";
+        return fail(os);
+    }
+
+    return LivenessVerdict{};
+}
+
+} // namespace noc

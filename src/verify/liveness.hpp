@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Liveness oracle for degraded runs: an accounting-closure check over
+ * the fault layer's degradation report.
+ *
+ * The guarantee under faults and churn is not "every packet arrives" —
+ * it is *graceful degradation*: every offered packet is accounted for
+ * exactly once as delivered, dropped (dead link), refused (unroutable),
+ * or still in flight; and a run that claims to have drained holds
+ * nothing. A violation means packets leaked out of the books — the
+ * churn engine lost a deferred flit, a refusal double-counted, or a
+ * teardown orphaned a packet — which is precisely the class of bug the
+ * per-cycle invariant mask cannot see (it reasons about flits and
+ * credits, not end-to-end packet fates).
+ *
+ * Unlike the InvariantChecker this is always compiled: it reads only
+ * the final FaultReport, costs one pass over the flow table, and is
+ * meant to be asserted by tests, benches, and the fuzzer after every
+ * faulted/churned run. It is not wired into the Simulator — callers
+ * decide when a run's accounting must close.
+ */
+
+#ifndef NOC_VERIFY_LIVENESS_HPP
+#define NOC_VERIFY_LIVENESS_HPP
+
+#include <string>
+
+#include "fault/fault_controller.hpp"
+
+namespace noc {
+
+/** Outcome of a liveness audit; `message` names the first violation. */
+struct LivenessVerdict
+{
+    bool ok = true;
+    std::string message;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Audit a degradation report for accounting closure:
+ *
+ *   - per flow: delivered + dropped + unroutable <= offered, and
+ *     inFlight is exactly the difference;
+ *   - the flow table sums to the report totals for every disposition;
+ *   - `drained` implies nothing is in flight (a drained network that
+ *     still owes packets has lost them).
+ *
+ * Pass `drained` from SimResult::drained.
+ */
+LivenessVerdict checkLiveness(const FaultReport &report, bool drained);
+
+} // namespace noc
+
+#endif // NOC_VERIFY_LIVENESS_HPP

@@ -79,6 +79,8 @@ TEST(ParseEnums, AllSpellings)
     EXPECT_EQ(parseRouting("xy"), RoutingKind::XY);
     EXPECT_EQ(parseRouting("YX"), RoutingKind::YX);
     EXPECT_EQ(parseRouting("o1turn"), RoutingKind::O1Turn);
+    EXPECT_EQ(parseRouting("adaptive"), RoutingKind::Adaptive);
+    EXPECT_EQ(parseRouting("UGAL"), RoutingKind::Adaptive);
     EXPECT_EQ(parseVaPolicy("static"), VaPolicy::Static);
     EXPECT_EQ(parseVaPolicy("Dynamic"), VaPolicy::Dynamic);
     EXPECT_EQ(parseTopology("mesh"), TopologyKind::Mesh);
@@ -93,7 +95,7 @@ TEST(ParseEnumsDeath, UnknownNamesFatal)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_EXIT(parseScheme("warp"), testing::ExitedWithCode(1), "scheme");
-    EXPECT_EXIT(parseRouting("adaptive"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(parseRouting("valiant"), testing::ExitedWithCode(1),
                 "routing");
     EXPECT_EXIT(parseTopology("hypercube"), testing::ExitedWithCode(1),
                 "topology");

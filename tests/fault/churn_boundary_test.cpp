@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Window-boundary churn tests: transitions landing exactly on the
+ * warmup→measure and measure→drain boundaries are handled like any
+ * other cycle — no lost packets, no invariant violations, no
+ * double-fired events — and churned or faulted runs fall back to the
+ * serial loop even when sharding is requested.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/synthetic.hpp"
+#include "verify/liveness.hpp"
+#include "verify/verify.hpp"
+
+namespace noc {
+namespace {
+
+using PacketKey = std::tuple<NodeId, NodeId, Cycle, std::uint32_t>;
+using PacketMultiset = std::multiset<PacketKey>;
+
+class RecordingSource : public TrafficSource
+{
+  public:
+    explicit RecordingSource(std::unique_ptr<TrafficSource> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    void tick(Network &net, Cycle now, SimPhase phase) override
+    {
+        inner_->tick(net, now, phase);
+    }
+
+    void onPacketDelivered(const CompletedPacket &p, Network &net,
+                           Cycle now) override
+    {
+        delivered_.insert(PacketKey{p.src, p.dst, p.createTime, p.size});
+        inner_->onPacketDelivered(p, net, now);
+    }
+
+    bool exhausted() const override { return inner_->exhausted(); }
+
+    const PacketMultiset &delivered() const { return delivered_; }
+
+  private:
+    std::unique_ptr<TrafficSource> inner_;
+    PacketMultiset delivered_;
+};
+
+/// warmup ends at cycle 500 (measure starts *at* 500); measure ends at
+/// 4499 (drain starts *at* 4500). The tests below pin churn transitions
+/// to exactly those cycles.
+SimWindows
+boundaryWindows()
+{
+    SimWindows w;
+    w.warmup = 500;
+    w.measure = 4000;
+    w.drainLimit = 30000;
+    return w;
+}
+
+struct BoundaryRun
+{
+    SimResult result;
+    PacketMultiset delivered;
+    std::uint64_t violations = 0;
+    std::string report;
+};
+
+BoundaryRun
+runBoundary(SimConfig cfg, const std::string &churn,
+            const std::string &fault = "")
+{
+    BoundaryRun out;
+    cfg.seed = 11;
+    cfg.churnSpec = churn;
+    cfg.faultSpec = fault;
+    auto inner = std::make_unique<SyntheticTraffic>(
+        SyntheticPattern::UniformRandom, cfg.numNodes(), 0.12, 5,
+        cfg.seed * 77 + 5);
+    auto recorder = std::make_unique<RecordingSource>(std::move(inner));
+    const RecordingSource *rec = recorder.get();
+    Simulator sim(cfg, std::move(recorder));
+#if NOC_VERIFY_ENABLED
+    InvariantChecker checker;
+    sim.setVerifier(&checker);
+#endif
+    out.result = sim.run(boundaryWindows());
+    out.delivered = rec->delivered();
+#if NOC_VERIFY_ENABLED
+    out.violations = checker.violationCount();
+    out.report = checker.report();
+#endif
+    return out;
+}
+
+TEST(ChurnBoundary, LinkDownExactlyAtWarmupMeasureBoundary)
+{
+    // The outage begins on the first measured cycle. Measurement must
+    // not see a half-initialised transition: nothing lost, mask green.
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+
+    const BoundaryRun clean = runBoundary(cfg, "");
+    const BoundaryRun churned = runBoundary(cfg, "window:5>6@500..900");
+
+    ASSERT_TRUE(churned.result.drained);
+    EXPECT_EQ(clean.delivered, churned.delivered);
+    EXPECT_EQ(churned.result.fault.linkDownEvents, 1u);
+    EXPECT_EQ(churned.result.fault.linkUpEvents, 1u);
+    EXPECT_EQ(churned.result.fault.packetsDropped, 0u);
+    EXPECT_EQ(churned.violations, 0u) << churned.report;
+}
+
+TEST(ChurnBoundary, LinkReviveExactlyAtWarmupMeasureBoundary)
+{
+    // The mirror case: down during warmup, revived on the first
+    // measured cycle (window to=499 revives at 500). Deferred warmup
+    // flits resume into the measurement window.
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+
+    const BoundaryRun clean = runBoundary(cfg, "");
+    const BoundaryRun churned = runBoundary(cfg, "window:5>6@100..499");
+
+    ASSERT_TRUE(churned.result.drained);
+    EXPECT_EQ(clean.delivered, churned.delivered);
+    EXPECT_EQ(churned.result.fault.linkUpEvents, 1u);
+    EXPECT_EQ(churned.result.fault.flitsDeferred,
+              churned.result.fault.flitsResumed);
+    EXPECT_EQ(churned.violations, 0u) << churned.report;
+}
+
+TEST(ChurnBoundary, LinkDownExactlyAtMeasureDrainBoundary)
+{
+    // The outage begins on the first drain cycle; the revival arrives
+    // while draining. The drain loop must wait out the outage (revival
+    // pending suppresses the quiet-exit) and still empty the network.
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::PseudoSB;
+
+    const BoundaryRun clean = runBoundary(cfg, "");
+    const BoundaryRun churned = runBoundary(cfg, "window:5>6@4500..4900");
+
+    ASSERT_TRUE(churned.result.drained);
+    EXPECT_EQ(clean.delivered, churned.delivered);
+    EXPECT_EQ(churned.result.fault.linkDownEvents, 1u);
+    EXPECT_EQ(churned.result.fault.packetsDropped, 0u);
+    EXPECT_EQ(churned.violations, 0u) << churned.report;
+    // Measured stats cover [500, 4499] and the outage starts at 4500:
+    // the measurement itself is untouched.
+    EXPECT_EQ(clean.result.measuredPackets, churned.result.measuredPackets);
+    EXPECT_EQ(clean.result.avgTotalLatency, churned.result.avgTotalLatency);
+}
+
+TEST(ChurnBoundary, KillLinkExactlyOnBothBoundaries)
+{
+    // The lossy fault-plan cousin: permanent kills landing exactly on
+    // the warmup→measure and measure→drain boundaries degrade
+    // gracefully (accounted drops/refusals, no violations).
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::Pseudo;
+
+    // A kill is latent until traffic actually crosses the link: flits
+    // sent at/after the kill cycle corrupt, retries exhaust, and only
+    // then is the link formally dead. On the warmup→measure boundary
+    // the measurement traffic trips it promptly.
+    {
+        SCOPED_TRACE("kill-link:5>6@cycle500");
+        const BoundaryRun r = runBoundary(cfg, "", "kill-link:5>6@cycle500");
+        ASSERT_TRUE(r.result.fault.active);
+        EXPECT_EQ(r.result.fault.linksKilled, 1u);
+        EXPECT_GT(r.result.fault.packetsDelivered, 0u);
+        EXPECT_EQ(r.violations, 0u) << r.report;
+    }
+    // On the measure→drain boundary injection has already stopped, so
+    // the kill may never be tripped at all — the run must still drain
+    // with closed accounting and a green mask either way.
+    {
+        SCOPED_TRACE("kill-link:5>6@cycle4500");
+        const BoundaryRun r =
+            runBoundary(cfg, "", "kill-link:5>6@cycle4500");
+        ASSERT_TRUE(r.result.fault.active);
+        EXPECT_GT(r.result.fault.packetsDelivered, 0u);
+        EXPECT_EQ(r.violations, 0u) << r.report;
+        const LivenessVerdict v =
+            checkLiveness(r.result.fault, r.result.drained);
+        EXPECT_TRUE(v.ok) << v.message;
+    }
+}
+
+TEST(ChurnBoundary, ChurnedRunsFallBackToTheSerialLoop)
+{
+    // Sharded execution cannot carry the fault layer (sim/shard.hpp
+    // documents the serial-only riders), so a churn plan must force the
+    // serial loop even when sharding is explicitly requested — and
+    // under shards=auto. No verifier here: this pins execution policy,
+    // not invariants.
+    SimConfig cfg = traceConfig();
+    cfg.scheme = Scheme::Baseline;
+
+    auto run = [&](int shards, const std::string &churn) {
+        SimConfig c = cfg;
+        c.seed = 11;
+        c.shards = shards;
+        c.churnSpec = churn;
+        Simulator sim(c, std::make_unique<SyntheticTraffic>(
+                             SyntheticPattern::UniformRandom, c.numNodes(),
+                             0.12, 5, c.seed * 77 + 5));
+        return sim.run(boundaryWindows());
+    };
+
+    // Sanity: without churn this config *does* shard when asked.
+    const SimResult sharded = run(4, "");
+    ASSERT_EQ(sharded.shardsUsed, 4);
+
+    const SimResult explicitShards = run(4, "window:5>6@500..900");
+    EXPECT_EQ(explicitShards.shardsUsed, 1);
+    EXPECT_TRUE(explicitShards.fault.churn);
+
+    const SimResult autoShards = run(0, "window:5>6@4500..4900");
+    EXPECT_EQ(autoShards.shardsUsed, 1);
+
+    // And the serial fallback is the same simulation: bit-identical to
+    // an unsharded churned run.
+    const SimResult serial = run(1, "window:5>6@500..900");
+    EXPECT_EQ(serial.avgTotalLatency, explicitShards.avgTotalLatency);
+    EXPECT_EQ(serial.measuredPackets, explicitShards.measuredPackets);
+}
+
+} // namespace
+} // namespace noc

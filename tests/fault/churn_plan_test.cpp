@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Churn-plan grammar tests: every clause form parses into the right
+ * fields, trace files replay deterministically with conflicting
+ * duplicates rejected, and malformed specs never yield a half-parsed
+ * plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fault/churn_plan.hpp"
+
+namespace noc {
+namespace {
+
+/// Writes `body` to a unique temp file, removes it on scope exit.
+class TraceFile
+{
+  public:
+    explicit TraceFile(const std::string &body)
+    {
+        path_ = ::testing::TempDir() + "churn_plan_test_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                ".trace";
+        std::ofstream out(path_);
+        out << body;
+    }
+
+    ~TraceFile() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(ChurnPlan, EmptySpecIsEmptyPlan)
+{
+    const ChurnPlan plan = ChurnPlan::parse("");
+    EXPECT_TRUE(plan.empty());
+    EXPECT_FALSE(plan.hasLinkClauses());
+    EXPECT_FALSE(plan.hasRouterClauses());
+}
+
+TEST(ChurnPlan, PeriodClause)
+{
+    const ChurnPlan plan =
+        ChurnPlan::parse("period:1>2@up300/down80/phase500");
+    ASSERT_EQ(plan.periods.size(), 1u);
+    EXPECT_EQ(plan.periods[0].src, RouterId{1});
+    EXPECT_EQ(plan.periods[0].dst, RouterId{2});
+    EXPECT_EQ(plan.periods[0].up, Cycle{300});
+    EXPECT_EQ(plan.periods[0].down, Cycle{80});
+    EXPECT_EQ(plan.periods[0].phase, Cycle{500});
+    EXPECT_TRUE(plan.hasLinkClauses());
+    EXPECT_FALSE(plan.hasRouterClauses());
+
+    // Phase defaults to 0 when omitted.
+    const ChurnPlan nophase = ChurnPlan::parse("period:1>2@up300/down80");
+    ASSERT_EQ(nophase.periods.size(), 1u);
+    EXPECT_EQ(nophase.periods[0].phase, Cycle{0});
+}
+
+TEST(ChurnPlan, WindowClause)
+{
+    const ChurnPlan plan = ChurnPlan::parse("window:2>6@500..700");
+    ASSERT_EQ(plan.windows.size(), 1u);
+    EXPECT_EQ(plan.windows[0].src, RouterId{2});
+    EXPECT_EQ(plan.windows[0].dst, RouterId{6});
+    EXPECT_EQ(plan.windows[0].from, Cycle{500});
+    EXPECT_EQ(plan.windows[0].to, Cycle{700});
+
+    // A one-cycle outage is the degenerate window.
+    const ChurnPlan one = ChurnPlan::parse("window:2>6@500..500");
+    ASSERT_EQ(one.windows.size(), 1u);
+    EXPECT_EQ(one.windows[0].from, one.windows[0].to);
+}
+
+TEST(ChurnPlan, RouterPeriodClause)
+{
+    const ChurnPlan plan =
+        ChurnPlan::parse("router-period:5@up600/down100");
+    ASSERT_EQ(plan.routerPeriods.size(), 1u);
+    EXPECT_EQ(plan.routerPeriods[0].router, RouterId{5});
+    EXPECT_EQ(plan.routerPeriods[0].up, Cycle{600});
+    EXPECT_EQ(plan.routerPeriods[0].down, Cycle{100});
+    EXPECT_FALSE(plan.hasLinkClauses());
+    EXPECT_TRUE(plan.hasRouterClauses());
+}
+
+TEST(ChurnPlan, RandomClause)
+{
+    const ChurnPlan plan = ChurnPlan::parse("random@mttf800/mttr150");
+    ASSERT_EQ(plan.randoms.size(), 1u);
+    EXPECT_EQ(plan.randoms[0].mttf, Cycle{800});
+    EXPECT_EQ(plan.randoms[0].mttr, Cycle{150});
+    EXPECT_EQ(plan.randoms[0].links, 2);   // documented default
+
+    const ChurnPlan wide = ChurnPlan::parse("random@mttf800/mttr150/links4");
+    ASSERT_EQ(wide.randoms.size(), 1u);
+    EXPECT_EQ(wide.randoms[0].links, 4);
+}
+
+TEST(ChurnPlan, TraceFileReplaysSortedByCycle)
+{
+    const TraceFile trace(
+        "# contact plan\n"
+        "900 link 1>2 up\n"
+        "\n"
+        "400 link 1>2 down   # out of order on purpose\n"
+        "650 router 5 down\n"
+        "800 router 5 up\n");
+    const ChurnPlan plan = ChurnPlan::parse("trace:" + trace.path());
+    ASSERT_EQ(plan.traceEvents.size(), 4u);
+    // Events come back sorted by cycle regardless of file order.
+    EXPECT_EQ(plan.traceEvents[0].cycle, Cycle{400});
+    EXPECT_FALSE(plan.traceEvents[0].isRouter);
+    EXPECT_EQ(plan.traceEvents[0].src, RouterId{1});
+    EXPECT_EQ(plan.traceEvents[0].dst, RouterId{2});
+    EXPECT_FALSE(plan.traceEvents[0].up);
+    EXPECT_EQ(plan.traceEvents[1].cycle, Cycle{650});
+    EXPECT_TRUE(plan.traceEvents[1].isRouter);
+    EXPECT_EQ(plan.traceEvents[1].src, RouterId{5});
+    EXPECT_EQ(plan.traceEvents[2].cycle, Cycle{800});
+    EXPECT_TRUE(plan.traceEvents[2].up);
+    EXPECT_EQ(plan.traceEvents[3].cycle, Cycle{900});
+    EXPECT_TRUE(plan.hasLinkClauses());
+    EXPECT_TRUE(plan.hasRouterClauses());
+}
+
+TEST(ChurnPlan, TraceDuplicateCycleEntityIsRejected)
+{
+    // Two events for the same (cycle, entity) have no defined order —
+    // a conflict, even across separate trace files.
+    const TraceFile one(
+        "400 link 1>2 down\n"
+        "400 link 1>2 up\n");
+    std::string error;
+    ChurnPlan plan = ChurnPlan::parse("trace:" + one.path(), &error);
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(plan.empty());
+    EXPECT_NE(error.find("duplicate events for link 1>2 at cycle 400"),
+              std::string::npos)
+        << error;
+
+    const TraceFile a("400 router 7 down\n");
+    const TraceFile b("400 router 7 down\n");
+    plan = ChurnPlan::parse(
+        "trace:" + a.path() + ",trace:" + b.path(), &error);
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(plan.empty());
+    EXPECT_NE(error.find("router 7 at cycle 400"), std::string::npos)
+        << error;
+
+    // Same cycle, *different* entities is fine.
+    const TraceFile ok(
+        "400 link 1>2 down\n"
+        "400 link 2>1 down\n"
+        "400 router 7 down\n");
+    plan = ChurnPlan::parse("trace:" + ok.path(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(plan.traceEvents.size(), 3u);
+}
+
+TEST(ChurnPlan, FullGrammarLine)
+{
+    const TraceFile trace("100 link 0>1 down\n200 link 0>1 up\n");
+    const ChurnPlan plan = ChurnPlan::parse(
+        "period:1>2@up300/down80/phase500,window:2>6@500..700,"
+        "router-period:5@up600/down100,random@mttf800/mttr150/links4,"
+        "trace:" + trace.path());
+    EXPECT_EQ(plan.periods.size(), 1u);
+    EXPECT_EQ(plan.windows.size(), 1u);
+    EXPECT_EQ(plan.routerPeriods.size(), 1u);
+    EXPECT_EQ(plan.randoms.size(), 1u);
+    EXPECT_EQ(plan.traceEvents.size(), 2u);
+    EXPECT_FALSE(plan.empty());
+}
+
+TEST(ChurnPlan, MalformedSpecsAreRejectedWhole)
+{
+    const char *bad[] = {
+        "period:1>2@up300",              // missing down
+        "period:1>2@up0/down80",         // zero duration
+        "period:1-2@up300/down80",       // wrong link separator
+        "period:1>2@up300/down80/skew5", // unknown third field
+        "window:2>6@700..500",           // to < from
+        "window:2>6@500",                // missing the window
+        "window:2-6@500..700",           // wrong link separator
+        "router-period:5@up600",         // missing down
+        "router-period:x@up600/down100", // non-numeric router
+        "random@mttf800",                // missing mttr
+        "random@mttf0/mttr150",          // zero mean
+        "random@mttf800/mttr150/links0", // zero links
+        "trace:/nonexistent/churn.trace",
+        "nonsense-clause",
+        "period:1>2@up300/down80,,",     // dangling comma
+        // conflicting duplicates within one spec
+        "period:1>2@up300/down80,period:1>2@up10/down10",
+        "window:2>6@500..700,window:2>6@600..800",
+        "router-period:5@up600/down100,router-period:5@up10/down10",
+    };
+    for (const char *spec : bad) {
+        std::string error;
+        const ChurnPlan plan = ChurnPlan::parse(spec, &error);
+        EXPECT_FALSE(error.empty()) << "accepted: " << spec;
+        EXPECT_TRUE(plan.empty()) << "half-parsed: " << spec;
+    }
+}
+
+TEST(ChurnPlan, MalformedTraceLinesAreRejectedWhole)
+{
+    const char *bodies[] = {
+        "400 link 1>2 sideways\n",   // unknown state
+        "400 cable 1>2 down\n",      // unknown entity kind
+        "400 link 1-2 down\n",       // bad link spelling
+        "400 router x down\n",       // bad router id
+        "x link 1>2 down\n",         // bad cycle
+        "400 link 1>2 down extra\n", // trailing tokens
+    };
+    for (const char *body : bodies) {
+        const TraceFile trace(body);
+        std::string error;
+        const ChurnPlan plan =
+            ChurnPlan::parse("trace:" + trace.path(), &error);
+        EXPECT_FALSE(error.empty()) << "accepted trace line: " << body;
+        EXPECT_TRUE(plan.empty()) << "half-parsed trace: " << body;
+    }
+}
+
+TEST(ChurnPlan, AbuttingWindowsOnOneLinkAreAllowed)
+{
+    // The overlap check is inclusive-inclusive: [500,700] and [701,900]
+    // touch but do not overlap.
+    std::string error;
+    const ChurnPlan plan = ChurnPlan::parse(
+        "window:2>6@500..700,window:2>6@701..900,window:6>2@500..700",
+        &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(plan.windows.size(), 3u);
+}
+
+} // namespace
+} // namespace noc

@@ -100,6 +100,54 @@ TEST(FaultPlan, MalformedSpecsAreRejectedWhole)
     }
 }
 
+TEST(FaultPlan, DuplicateEventsForOneTargetAreRejected)
+{
+    // Conflicting duplicates are parse errors, not silent merges: the
+    // error must name the clash so a generated campaign can be fixed.
+    struct Case
+    {
+        const char *spec;
+        const char *needle;   ///< substring the error must contain
+    };
+    const Case bad[] = {
+        {"flip-link:3>7@p0.001,flip-link:3>7@p0.01",
+         "duplicate flip-link clause for link 3>7"},
+        {"kill-link:2>6@cycle5000,kill-link:2>6@cycle5000",
+         "duplicate kill-link event for link 2>6 at cycle 5000"},
+        {"stall-router:4@2000..2200,stall-router:4@2100..2400",
+         "overlapping stall windows for router 4"},
+        {"stall-router:4@2000..2200,stall-router:4@2200..2400",
+         "overlapping stall windows for router 4"},
+    };
+    for (const Case &c : bad) {
+        std::string error;
+        const FaultPlan plan = FaultPlan::parse(c.spec, &error);
+        EXPECT_FALSE(error.empty()) << "accepted: " << c.spec;
+        EXPECT_TRUE(plan.empty()) << "half-parsed: " << c.spec;
+        EXPECT_NE(error.find(c.needle), std::string::npos)
+            << "error for " << c.spec << " was: " << error;
+    }
+}
+
+TEST(FaultPlan, DistinctTargetsAndCyclesStillMerge)
+{
+    // The duplicate check is per (cycle, entity): the same link may die
+    // at two different cycles (earliest wins at resolution), different
+    // links may each carry a clause, and stall windows on one router
+    // may abut without touching.
+    std::string error;
+    const FaultPlan plan = FaultPlan::parse(
+        "kill-link:2>6@cycle5000,kill-link:2>6@cycle6000,"
+        "flip-link:3>7@p0.001,flip-link:7>3@p0.001,"
+        "stall-router:4@2000..2200,stall-router:4@2201..2400,"
+        "stall-router:5@2000..2200",
+        &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(plan.kills.size(), 2u);
+    EXPECT_EQ(plan.flips.size(), 2u);
+    EXPECT_EQ(plan.stalls.size(), 3u);
+}
+
 TEST(FaultPlan, UnconnectedPairsAreLeftToTopologyValidation)
 {
     // Parsing is pure: "3>3" is syntactically fine here and rejected

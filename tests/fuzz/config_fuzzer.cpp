@@ -29,7 +29,9 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analytic/analytic_model.hpp"
@@ -41,6 +43,7 @@
 #include "sim/sweep.hpp"
 #include "telemetry/telemetry.hpp"
 #include "traffic/synthetic.hpp"
+#include "verify/liveness.hpp"
 #include "verify/verify.hpp"
 
 using namespace noc;
@@ -130,8 +133,10 @@ sampleCase(Rng &rng, std::uint64_t case_seed, const std::string &inject)
     }
 
     std::vector<std::string> routings = {"xy", "yx"};
-    if (mesh_family && scheme != "evc")
+    if (mesh_family && scheme != "evc") {
         routings.push_back("o1turn");
+        routings.push_back("adaptive");   // sampled vcs >= 2 always
+    }
     const std::string routing = pick(rng, routings);
     add(fc, "routing", routing);
     add(fc, "va", rng.nextBool(0.5) ? "static" : "dynamic");
@@ -184,34 +189,40 @@ sampleCase(Rng &rng, std::uint64_t case_seed, const std::string &inject)
     // rejects link/stall clauses there.)
     const bool on_grid =
         mesh_family || std::string(grid.topology) == "torus";
+    const int rw = grid.width;
+    const int rh = grid.height;
+    auto adjacentPair = [&rng, rw, rh](long &src, long &dst) {
+        const long r = static_cast<long>(rng.nextBelow(
+            static_cast<std::uint64_t>(rw) *
+            static_cast<std::uint64_t>(rh)));
+        const long x = r % rw;
+        const long y = r / rw;
+        if (x + 1 < rw && (y + 1 >= rh || rng.nextBool(0.5))) {
+            src = r;
+            dst = r + 1;
+        } else if (y + 1 < rh) {
+            src = r;
+            dst = r + rw;
+        } else {
+            src = 0;
+            dst = 1;
+        }
+    };
     if (!injecting && on_grid && scheme != "evc" && rng.nextBool(0.35)) {
-        const int rw = grid.width;
-        const int rh = grid.height;
-        auto adjacentPair = [&rng, rw, rh](long &src, long &dst) {
-            const long r = static_cast<long>(rng.nextBelow(
-                static_cast<std::uint64_t>(rw) *
-                static_cast<std::uint64_t>(rh)));
-            const long x = r % rw;
-            const long y = r / rw;
-            if (x + 1 < rw && (y + 1 >= rh || rng.nextBool(0.5))) {
-                src = r;
-                dst = r + 1;
-            } else if (y + 1 < rh) {
-                src = r;
-                dst = r + rw;
-            } else {
-                src = 0;
-                dst = 1;
-            }
-        };
         std::string plan;
         const int flips = 1 + (rng.nextBool(0.3) ? 1 : 0);
         static const std::vector<std::string> probs = {"0.001", "0.005",
                                                        "0.01", "0.02"};
+        std::set<std::pair<long, long>> flipped;
         for (int f = 0; f < flips; ++f) {
             long src = 0;
             long dst = 1;
             adjacentPair(src, dst);
+            // The parser rejects duplicate flip-link clauses per link,
+            // so a pair collision drops the extra clause instead of
+            // turning the case into a parse error.
+            if (!flipped.insert({src, dst}).second)
+                continue;
             if (!plan.empty())
                 plan += ",";
             plan += "flip-link:" + std::to_string(src) + ">" +
@@ -246,6 +257,59 @@ sampleCase(Rng &rng, std::uint64_t case_seed, const std::string &inject)
         if (rng.nextBool(0.2))
             plan += ",retry-limit=" + std::to_string(rng.nextRange(4, 12));
         add(fc, "fault", plan);
+    }
+
+    // Topology churn rides on the same grids (the controller allows
+    // xy|yx|adaptive — churn waits outages out instead of detouring, so
+    // adaptive composes) and may stack with a fault plan above: both
+    // feed one controller. Clauses are scaled to the sampled windows so
+    // every outage both fires and revives inside the horizon.
+    if (!injecting && mesh_family && scheme != "evc" &&
+        (routing == "xy" || routing == "yx" || routing == "adaptive") &&
+        rng.nextBool(0.3)) {
+        const long horizon =
+            static_cast<long>(fc.windows.warmup + fc.windows.measure);
+        std::string plan;
+        switch (rng.nextBelow(4)) {
+        case 0: {   // one bounded outage window
+            long src = 0;
+            long dst = 1;
+            adjacentPair(src, dst);
+            const long from = static_cast<long>(
+                fc.windows.warmup + rng.nextBelow(fc.windows.measure / 2));
+            const long to = from + static_cast<long>(rng.nextRange(40, 300));
+            plan = "window:" + std::to_string(src) + ">" +
+                   std::to_string(dst) + "@" + std::to_string(from) + ".." +
+                   std::to_string(to);
+            break;
+        }
+        case 1: {   // a flapping link
+            long src = 0;
+            long dst = 1;
+            adjacentPair(src, dst);
+            plan = "period:" + std::to_string(src) + ">" +
+                   std::to_string(dst) + "@up" +
+                   std::to_string(rng.nextRange(200, 600)) + "/down" +
+                   std::to_string(rng.nextRange(40, 160));
+            break;
+        }
+        case 2: {   // a flapping router (stall semantics)
+            const long r = static_cast<long>(rng.nextBelow(
+                static_cast<std::uint64_t>(rw) *
+                static_cast<std::uint64_t>(rh)));
+            plan = "router-period:" + std::to_string(r) + "@up" +
+                   std::to_string(rng.nextRange(400, 1200)) + "/down" +
+                   std::to_string(rng.nextRange(40, 160));
+            break;
+        }
+        default:   // seeded random churn over a few links
+            plan = "random@mttf" +
+                   std::to_string(std::max<long>(200, horizon / 4)) +
+                   "/mttr" + std::to_string(rng.nextRange(40, 160)) +
+                   "/links" + std::to_string(rng.nextRange(1, 3));
+            break;
+        }
+        add(fc, "churn", plan);
     }
 
     // Sweep resilience knobs: run the same case through a one-job
@@ -565,6 +629,21 @@ main(int argc, char **argv)
                         i, res.report.c_str(), reproducer(fc).c_str());
             exit_code = 1;
             break;
+        }
+        // Liveness screen: every faulted or churned run must close its
+        // accounting books — offered == delivered + dropped +
+        // unroutable + in-flight, per flow and in total, and a drained
+        // run must have nothing left in flight.
+        if (inject.empty() && res.result.fault.active) {
+            const LivenessVerdict v =
+                checkLiveness(res.result.fault, res.drained);
+            if (!v.ok) {
+                std::printf("config_fuzzer: liveness failure (config "
+                            "%ld): %s\n%s\n",
+                            i, v.message.c_str(), reproducer(fc).c_str());
+                exit_code = 1;
+                break;
+            }
         }
         // Kernel differential on clean direct runs: force the generic
         // core on the identical config and require exact statistical
